@@ -1,0 +1,63 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace graphio::bench {
+
+BenchArgs BenchArgs::parse(int argc, char** argv) {
+  BenchArgs args;
+  args.scale = bench_scale_from_env();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      GIO_EXPECTS_MSG(i + 1 < argc, arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--csv") {
+      args.csv_path = next();
+    } else if (arg == "--scale") {
+      const std::string value = next();
+      if (value == "quick")
+        args.scale = BenchScale::kQuick;
+      else if (value == "default")
+        args.scale = BenchScale::kDefault;
+      else if (value == "paper")
+        args.scale = BenchScale::kPaper;
+      else
+        GIO_EXPECTS_MSG(false, "--scale must be quick|default|paper");
+    } else {
+      GIO_EXPECTS_MSG(false, "unknown argument: " + arg +
+                                 " (supported: --csv <path>, --scale <s>)");
+    }
+  }
+  return args;
+}
+
+void print_header(const std::string& title, const std::string& anchor,
+                  const BenchArgs& args) {
+  std::cout << "== " << title << " ==\n"
+            << "reproduces: " << anchor << "   scale: "
+            << to_string(args.scale) << "\n\n";
+}
+
+double mincut_or_nan(const Digraph& g, double memory,
+                     std::int64_t max_vertices, double budget_seconds) {
+  if (g.num_vertices() > max_vertices) return std::nan("");
+  flow::ConvexMinCutOptions options;
+  options.time_budget_seconds = budget_seconds;
+  const auto result = flow::convex_mincut_bound(g, memory, options);
+  if (!result.completed) return std::nan("");
+  return result.bound;
+}
+
+void finish(Table& table, const BenchArgs& args) {
+  table.print(std::cout);
+  if (!args.csv_path.empty()) {
+    table.write_csv_file(args.csv_path);
+    std::cout << "\nCSV written to " << args.csv_path << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace graphio::bench

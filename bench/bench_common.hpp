@@ -1,0 +1,34 @@
+// Shared scaffolding for the figure-reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graphio/graphio.hpp"
+
+namespace graphio::bench {
+
+/// Command line: every figure bench accepts `--csv <path>` (mirror rows to
+/// CSV) and `--scale quick|default|paper` (overriding GRAPHIO_BENCH_SCALE).
+struct BenchArgs {
+  std::string csv_path;
+  BenchScale scale = BenchScale::kDefault;
+
+  static BenchArgs parse(int argc, char** argv);
+};
+
+/// Prints the standard bench header (name, paper anchor, scale).
+void print_header(const std::string& title, const std::string& anchor,
+                  const BenchArgs& args);
+
+/// Runs the convex min-cut baseline with a scale-dependent time budget;
+/// returns NaN (rendered "-") when the graph is beyond the cutoff, exactly
+/// like the paper cutting off the baseline at 1 day.
+double mincut_or_nan(const Digraph& g, double memory,
+                     std::int64_t max_vertices, double budget_seconds);
+
+/// Finishes a bench: print table, optionally write CSV.
+void finish(Table& table, const BenchArgs& args);
+
+}  // namespace graphio::bench

@@ -1,0 +1,67 @@
+// Figure 7: I/O lower bound for the 2^l-point FFT.
+//   (top)    bound vs l, spectral + convex min-cut, M ∈ {4, 8, 16}
+//   (bottom) bound vs the growth term l·2^l — should be near-linear, the
+//            paper's evidence that the spectral bound tracks the published
+//            Ω(l·2^l/log M) shape.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphio;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Figure 7: FFT I/O bound vs graph size",
+                      "Jain & Zaharia SPAA'20, Figure 7", args);
+
+  int l_max = 10;            // n = 11·1024 = 11264 (Lanczos path)
+  std::int64_t mincut_cap = 700;   // min-cut O(n·maxflow) explodes beyond this
+  double mincut_budget = 60.0;
+  if (args.scale == BenchScale::kQuick) {
+    l_max = 6;
+    mincut_cap = 200;
+    mincut_budget = 10.0;
+  } else if (args.scale == BenchScale::kPaper) {
+    l_max = 12;              // the paper's full range
+    mincut_cap = 1600;
+    mincut_budget = 3600.0;
+  }
+
+  const std::vector<double> memories{4.0, 8.0, 16.0};
+
+  std::vector<std::string> header{"l", "n", "l*2^l"};
+  for (double m : memories) {
+    header.push_back("spectral M=" + format_double(m, 0));
+    header.push_back("mincut M=" + format_double(m, 0));
+    header.push_back("bound/(l*2^l) M=" + format_double(m, 0));
+  }
+  Table table(std::move(header));
+
+  for (int l = 3; l <= l_max; ++l) {
+    const Digraph g = builders::fft(l);
+    std::vector<std::string> row{format_int(l), format_int(g.num_vertices()),
+                                 format_double(published::fft_growth(l), 0)};
+    // One eigendecomposition serves every memory size (spectra are M-free).
+    const std::vector<SpectralBound> spectral = spectral_bounds(g, memories);
+    for (std::size_t i = 0; i < memories.size(); ++i) {
+      const double m = memories[i];
+      if (static_cast<double>(g.max_in_degree()) > m) {
+        row.insert(row.end(), {"-", "-", "-"});  // paper's feasibility rule
+        continue;
+      }
+      const double mincut =
+          bench::mincut_or_nan(g, m, mincut_cap, mincut_budget);
+      row.push_back(format_double(spectral[i].bound, 1));
+      row.push_back(format_double(mincut, 1));
+      row.push_back(
+          format_double(spectral[i].bound / published::fft_growth(l), 4));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::finish(table, args);
+
+  std::cout << "Shape checks (paper, Section 6.4):\n"
+               "  * spectral > mincut at equal M for all plotted l\n"
+               "  * bound/(l*2^l) column roughly flat -> linear growth in "
+               "the Hong-Kung term\n"
+               "  * '-' cells: min-cut past cutoff (paper cut off at 1 day) "
+               "or M < max in-degree\n";
+  return 0;
+}

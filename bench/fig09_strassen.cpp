@@ -1,0 +1,77 @@
+// Figure 9: I/O lower bound for Strassen multiplication.
+//   (top)    bound vs n, spectral + convex min-cut, M ∈ {8, 16}
+//   (bottom) bound vs n^{log₂7} (Ballard et al.'s growth term)
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphio;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Figure 9: Strassen I/O bound vs matrix size",
+                      "Jain & Zaharia SPAA'20, Figure 9", args);
+
+  int n_max = 16;
+  std::int64_t mincut_cap = 3000;
+  double mincut_budget = 60.0;
+  if (args.scale == BenchScale::kQuick) {
+    n_max = 8;
+    mincut_cap = 700;
+    mincut_budget = 10.0;
+  } else if (args.scale == BenchScale::kPaper) {
+    n_max = 32;  // one size past the paper's 16 — the method scales
+    mincut_cap = 3000;
+    mincut_budget = 600.0;
+  }
+
+  const std::vector<double> memories{8.0, 16.0};
+
+  std::vector<std::string> header{"n", "vertices", "n^log2(7)"};
+  for (double m : memories) {
+    header.push_back("spectral M=" + format_double(m, 0));
+    header.push_back("mincut M=" + format_double(m, 0));
+    header.push_back("bound/growth M=" + format_double(m, 0));
+  }
+  Table table(std::move(header));
+
+  for (int n = 4; n <= n_max; n *= 2) {
+    const Digraph g = builders::strassen_matmul(n);
+    const double growth = published::strassen_growth(n);
+    std::vector<std::string> row{format_int(n), format_int(g.num_vertices()),
+                                 format_double(growth, 0)};
+    // One eigendecomposition serves every memory size (spectra are M-free).
+    // Strassen's recursive graph has a tightly clustered near-zero
+    // spectrum that defeats Krylov solvers without shift-invert (the
+    // authors used ARPACK's shift-invert eigsh); past the dense-rescue
+    // size we either pay the dense path (paper scale) or report "nc".
+    SpectralOptions options;
+    if (args.scale == BenchScale::kPaper && g.num_vertices() > 4096)
+      options.backend = EigenBackend::kDense;
+    const std::vector<SpectralBound> spectral =
+        spectral_bounds(g, memories, options);
+    for (std::size_t i = 0; i < memories.size(); ++i) {
+      const double m = memories[i];
+      if (static_cast<double>(g.max_in_degree()) > m) {
+        row.insert(row.end(), {"-", "-", "-"});
+        continue;
+      }
+      const bool converged = spectral[i].eigensolver_converged ||
+                             !spectral[i].eigenvalues.empty();
+      row.push_back(converged ? format_double(spectral[i].bound, 1) : "nc");
+      row.push_back(format_double(
+          bench::mincut_or_nan(g, m, mincut_cap, mincut_budget), 1));
+      row.push_back(converged
+                        ? format_double(spectral[i].bound / growth, 4)
+                        : "nc");
+    }
+    table.add_row(std::move(row));
+  }
+  bench::finish(table, args);
+
+  std::cout << "Shape checks (paper, Section 6.4):\n"
+               "  * spectral above mincut at every plotted point\n"
+               "  * bound/growth column roughly flat -> the bound tracks "
+               "Ballard et al.'s Omega((n/sqrt(M))^log2(7) * M) shape\n"
+               "  * 'nc': the Krylov solver could not certify the clustered "
+               "near-zero Strassen spectrum at this size; "
+               "--scale paper switches to the exact dense path\n";
+  return 0;
+}

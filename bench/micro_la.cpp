@@ -1,0 +1,131 @@
+// Microbenchmarks: linear-algebra substrate (google-benchmark).
+//
+// These track the primitives the spectral bound's runtime is made of:
+// sparse matvec, dense eigensolve, tridiagonal QL, Sturm bisection,
+// thick-restart Lanczos, and the Jacobi cross-validator.
+#include <benchmark/benchmark.h>
+
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/laplacian.hpp"
+#include "graphio/la/bisection.hpp"
+#include "graphio/la/householder.hpp"
+#include "graphio/la/jacobi.hpp"
+#include "graphio/la/lanczos.hpp"
+#include "graphio/la/lobpcg.hpp"
+#include "graphio/la/symmetric_eigen.hpp"
+#include "graphio/la/vector_ops.hpp"
+#include "graphio/support/prng.hpp"
+
+namespace {
+
+using namespace graphio;
+
+void BM_CsrMatvec(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  const auto lap =
+      laplacian(builders::fft(l), LaplacianKind::kOutDegreeNormalized);
+  std::vector<double> x(static_cast<std::size_t>(lap.size()), 1.0);
+  std::vector<double> y(x.size());
+  for (auto _ : state) {
+    lap.matvec(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * lap.nonzeros());
+}
+BENCHMARK(BM_CsrMatvec)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_DenseEigenvalues(benchmark::State& state) {
+  const auto n = state.range(0);
+  const Digraph g = builders::erdos_renyi_dag(n, 8.0 / static_cast<double>(n),
+                                              1234);
+  const la::DenseMatrix lap = dense_laplacian(g, LaplacianKind::kPlain);
+  for (auto _ : state) {
+    auto values = la::symmetric_eigenvalues(lap);
+    benchmark::DoNotOptimize(values.data());
+  }
+}
+BENCHMARK(BM_DenseEigenvalues)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_TridiagonalQl(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::SymTridiag t;
+  t.diag.assign(n, 2.0);
+  t.off.assign(n - 1, -1.0);
+  for (auto _ : state) {
+    auto values = la::tridiagonal_eigenvalues(t);
+    benchmark::DoNotOptimize(values.data());
+  }
+}
+BENCHMARK(BM_TridiagonalQl)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SturmBisectionSmallest16(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::SymTridiag t;
+  t.diag.assign(n, 2.0);
+  t.off.assign(n - 1, -1.0);
+  for (auto _ : state) {
+    auto values = la::bisection_smallest(t, 16);
+    benchmark::DoNotOptimize(values.data());
+  }
+}
+BENCHMARK(BM_SturmBisectionSmallest16)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_LanczosSmallest16(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  const auto lap =
+      laplacian(builders::bhk_hypercube(l), LaplacianKind::kOutDegreeNormalized);
+  la::LanczosOptions opts;
+  opts.rel_tol = 1e-6;
+  for (auto _ : state) {
+    auto result = la::smallest_eigenvalues(lap, 16, opts);
+    benchmark::DoNotOptimize(result.values.data());
+  }
+}
+BENCHMARK(BM_LanczosSmallest16)->Arg(9)->Arg(11)->Unit(benchmark::kMillisecond);
+
+void BM_LobpcgSmallest16(benchmark::State& state) {
+  // Same problem as BM_LanczosSmallest16 for a direct backend comparison.
+  const int l = static_cast<int>(state.range(0));
+  const auto lap =
+      laplacian(builders::bhk_hypercube(l), LaplacianKind::kOutDegreeNormalized);
+  la::LobpcgOptions opts;
+  opts.rel_tol = 1e-6;
+  opts.dense_fallback = 0;
+  for (auto _ : state) {
+    auto result = la::lobpcg_smallest(lap, 16, opts);
+    benchmark::DoNotOptimize(result.values.data());
+  }
+}
+BENCHMARK(BM_LobpcgSmallest16)->Arg(9)->Arg(11)->Unit(benchmark::kMillisecond);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Prng rng(7);
+  la::DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      std::vector<double> x(1);
+      la::fill_normal(x, rng);
+      a(i, j) = a(j, i) = x[0];
+    }
+  for (auto _ : state) {
+    auto result = la::jacobi_eigenvalues(a);
+    benchmark::DoNotOptimize(result.data());
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(64)->Arg(128);
+
+void BM_HouseholderTridiagonalize(benchmark::State& state) {
+  const auto n = state.range(0);
+  const Digraph g = builders::erdos_renyi_dag(n, 8.0 / static_cast<double>(n),
+                                              99);
+  const la::DenseMatrix lap = dense_laplacian(g, LaplacianKind::kPlain);
+  for (auto _ : state) {
+    la::DenseMatrix scratch = lap;
+    auto t = la::householder_tridiagonalize(scratch, false);
+    benchmark::DoNotOptimize(t.diag.data());
+  }
+}
+BENCHMARK(BM_HouseholderTridiagonalize)->Arg(256)->Arg(512);
+
+}  // namespace

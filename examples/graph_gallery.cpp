@@ -1,0 +1,49 @@
+// Regenerates the paper's illustration figures as Graphviz DOT files:
+//   Figure 1 — inner product graph
+//   Figure 4 — 3-city Bellman–Held–Karp hypercube
+//   Figure 5 — 4-point FFT butterfly
+//   Figure 6 — the evaluation-graph gallery (8-pt FFT, 2×2 matmul,
+//              2×2 Strassen, 5-city BHK)
+//
+//   $ ./graph_gallery [output-dir]     (default ".")
+//   $ dot -Tpng fig1_inner_product.dot -o fig1.png
+#include <iostream>
+#include <string>
+
+#include "graphio/graphio.hpp"
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  using namespace graphio;
+
+  auto emit = [&](const Digraph& g, const std::string& file,
+                  const std::string& name) {
+    DotOptions options;
+    options.graph_name = name;
+    const std::string path = dir + "/" + file;
+    write_dot(g, path, options);
+    std::cout << path << "  (" << g.num_vertices() << " vertices, "
+              << g.num_edges() << " edges)\n";
+  };
+
+  emit(builders::inner_product(2), "fig1_inner_product.dot", "inner_product");
+
+  // Figure 4: label hypercube vertices with their visited-set bitstrings.
+  Digraph bhk3 = builders::bhk_hypercube(3);
+  for (VertexId v = 0; v < bhk3.num_vertices(); ++v) {
+    std::string bits;
+    for (int b = 2; b >= 0; --b) bits += ((v >> b) & 1) != 0 ? '1' : '0';
+    bhk3.set_name(v, bits);
+  }
+  emit(bhk3, "fig4_bhk_3cities.dot", "bhk_hypercube");
+
+  emit(builders::fft(2), "fig5_fft_4point.dot", "fft_butterfly");
+
+  emit(builders::fft(3), "fig6a_fft_8point.dot", "fft8");
+  emit(builders::naive_matmul(2), "fig6b_naive_matmul_2x2.dot", "matmul2");
+  emit(builders::strassen_matmul(2), "fig6c_strassen_2x2.dot", "strassen2");
+  emit(builders::bhk_hypercube(5), "fig6d_bhk_5cities.dot", "bhk5");
+
+  std::cout << "\nRender with: dot -Tpng <file>.dot -o <file>.png\n";
+  return 0;
+}

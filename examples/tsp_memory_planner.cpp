@@ -1,0 +1,43 @@
+// Domain example: sizing fast memory for the Bellman–Held–Karp TSP solver.
+//
+// Section 5.1 shows the hypercube computation stops being I/O-bound once
+// M exceeds ≈ 2^l/(l+1)². This planner sweeps city counts and reports,
+// for each, the spectral bound at several memory sizes plus the
+// closed-form threshold — the table a systems engineer would use to pick
+// a cache budget before running the DP.
+#include <iostream>
+
+#include "graphio/graphio.hpp"
+
+int main(int argc, char** argv) {
+  const int max_cities = argc > 1 ? std::atoi(argv[1]) : 12;
+
+  graphio::Table table({"cities", "vertices", "M=8", "M=32", "M=128",
+                        "closed form (α=1, M=8)", "M threshold (§5.1)"});
+  for (int l = 6; l <= max_cities; ++l) {
+    const graphio::Digraph g = graphio::builders::bhk_hypercube(l);
+    std::vector<std::string> row;
+    row.push_back(graphio::format_int(l));
+    row.push_back(graphio::format_int(g.num_vertices()));
+    for (double m : {8.0, 32.0, 128.0}) {
+      if (static_cast<double>(g.max_in_degree()) > m) {
+        row.push_back("-");
+        continue;
+      }
+      row.push_back(graphio::format_double(
+          graphio::spectral_bound(g, m).bound, 1));
+    }
+    row.push_back(graphio::format_double(
+        graphio::analytic::bhk_bound_alpha1(l, 8.0), 1));
+    row.push_back(graphio::format_double(
+        graphio::analytic::bhk_nontrivial_memory_threshold(l), 2));
+    table.add_row(std::move(row));
+  }
+
+  std::cout << "Bellman–Held–Karp I/O lower bounds (non-trivial I/Os)\n\n";
+  table.print(std::cout);
+  std::cout << "\nReading: once M clears the threshold column, the DP's "
+               "working set fits and the\nspectral bound collapses — "
+               "adding cache beyond that point buys nothing.\n";
+  return 0;
+}

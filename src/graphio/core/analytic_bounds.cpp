@@ -1,0 +1,104 @@
+#include "graphio/core/analytic_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graphio/core/analytic_spectra.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::analytic {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double bhk_bound(int l, double memory, int alpha) {
+  GIO_EXPECTS(l >= 1 && alpha >= 0 && alpha < l);
+  // k = Σ_{i≤α} C(l,i); Σ_{i≤α} i·C(l,i) enters the eigenvalue sum.
+  double k = 0.0;
+  double weighted = 0.0;
+  for (int i = 0; i <= alpha; ++i) {
+    const double c = binomial(l, i);
+    k += c;
+    weighted += static_cast<double>(i) * c;
+  }
+  const double pow2 = std::ldexp(1.0, l + 1);  // 2^{l+1}
+  return weighted * pow2 / (static_cast<double>(l) * k) - 2.0 * memory * k;
+}
+
+double bhk_bound_alpha1(int l, double memory) {
+  GIO_EXPECTS(l >= 2);
+  return std::ldexp(1.0, l + 1) / (l + 1) - 2.0 * memory * (l + 1);
+}
+
+double bhk_bound_best_alpha(int l, double memory, int* best_alpha) {
+  GIO_EXPECTS(l >= 1);
+  double best = 0.0;
+  int arg = 0;
+  for (int alpha = 0; alpha < l; ++alpha) {
+    const double value = bhk_bound(l, memory, alpha);
+    if (value > best) {
+      best = value;
+      arg = alpha;
+    }
+  }
+  if (best_alpha != nullptr) *best_alpha = arg;
+  return best;
+}
+
+double bhk_nontrivial_memory_threshold(int l) {
+  GIO_EXPECTS(l >= 1);
+  const double lp1 = static_cast<double>(l) + 1.0;
+  return std::ldexp(1.0, l) / (lp1 * lp1);
+}
+
+double fft_bound(int l, double memory, int alpha) {
+  GIO_EXPECTS(l >= 1 && alpha >= 0 && alpha < l);
+  const double n = static_cast<double>(l + 1) * std::ldexp(1.0, l);
+  const double gap = 1.0 - std::cos(kPi / (2.0 * (l - alpha) + 1.0));
+  return n * gap - std::ldexp(1.0, alpha + 2) * memory;
+}
+
+double fft_bound_paper_alpha(int l, double memory) {
+  GIO_EXPECTS(l >= 1 && memory >= 1.0);
+  const int alpha = std::clamp(
+      l - static_cast<int>(std::llround(std::log2(memory))), 0, l - 1);
+  return fft_bound(l, memory, alpha);
+}
+
+double fft_bound_best_alpha(int l, double memory, int* best_alpha) {
+  GIO_EXPECTS(l >= 1);
+  double best = 0.0;
+  int arg = 0;
+  for (int alpha = 0; alpha < l; ++alpha) {
+    const double value = fft_bound(l, memory, alpha);
+    if (value > best) {
+      best = value;
+      arg = alpha;
+    }
+  }
+  if (best_alpha != nullptr) *best_alpha = arg;
+  return best;
+}
+
+double fft_bound_small_angle(int l, double memory) {
+  GIO_EXPECTS(l >= 1 && memory > 1.0);
+  const double n = static_cast<double>(l + 1) * std::ldexp(1.0, l);
+  const double log2m = std::log2(memory);
+  return n * (kPi * kPi / (8.0 * log2m * log2m) - 4.0 / (l + 1));
+}
+
+double er_sparse_bound(std::int64_t n, double p0, double memory) {
+  GIO_EXPECTS_MSG(p0 > 6.0, "the 5.3 sparse bound requires p0 > 6");
+  GIO_EXPECTS(n >= 2);
+  const double nn = static_cast<double>(n);
+  return nn / (1.0 + std::sqrt(6.0 / p0)) * (1.0 - std::sqrt(2.0 / p0)) -
+         4.0 * memory;
+}
+
+double er_dense_bound(std::int64_t n, double memory) {
+  GIO_EXPECTS(n >= 2);
+  return static_cast<double>(n) / 2.0 - 4.0 * memory;
+}
+
+}  // namespace graphio::analytic

@@ -1,0 +1,44 @@
+// Closed-form I/O lower bounds from Section 5, derived with the spectral
+// method (Theorem 5) and the closed-form spectra of analytic_spectra.
+#pragma once
+
+#include <cstdint>
+
+namespace graphio::analytic {
+
+/// §5.1, Bellman–Held–Karp hypercube with l cities, partition level α
+/// (k = Σ_{i≤α} C(l,i) segments):
+///   J* ≥ Σ_{i≤α} C(l,i) · ( i·2^{l+1} / (l·Σ_{i≤α}C(l,i)) − 2M ).
+double bhk_bound(int l, double memory, int alpha);
+
+/// §5.1 with the paper's α = 1 choice: 2^{l+1}/(l+1) − 2M(l+1).
+double bhk_bound_alpha1(int l, double memory);
+
+/// §5.1 maximized over α (0..l−1); optionally reports the best α.
+double bhk_bound_best_alpha(int l, double memory, int* best_alpha = nullptr);
+
+/// Largest M for which the α=1 bound stays positive: M ≤ 2^l/(l+1)².
+double bhk_nontrivial_memory_threshold(int l);
+
+/// §5.2, 2^l-point FFT butterfly with k = 2^{α+1}:
+///   J* ≥ (l+1)·2^l · (1 − cos(π / (2(l−α)+1))) − 2^{α+2}·M.
+double fft_bound(int l, double memory, int alpha);
+
+/// §5.2 with the paper's α = l − log₂M choice (clamped into [0, l−1]).
+double fft_bound_paper_alpha(int l, double memory);
+
+/// §5.2 maximized over α; optionally reports the best α.
+double fft_bound_best_alpha(int l, double memory, int* best_alpha = nullptr);
+
+/// §5.2 small-angle form: (l+1)·2^l·(π²/(8·log₂²M) − 4/(l+1)).
+double fft_bound_small_angle(int l, double memory);
+
+/// §5.3, sparse regime p = p0·log n/(n−1) (p0 > 6): the high-probability
+/// bound n/(1+√(6/p0)) · (1 − √(2/p0)) − 4M with k = 2 (leading terms of
+/// the paper's expression; the O(·) corrections vanish as n → ∞).
+double er_sparse_bound(std::int64_t n, double p0, double memory);
+
+/// §5.3, dense regime np/log n → ∞: n/2 − 4M (leading term).
+double er_dense_bound(std::int64_t n, double memory);
+
+}  // namespace graphio::analytic

@@ -1,0 +1,145 @@
+#include "graphio/core/analytic_spectra.hpp"
+
+#include <cmath>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::analytic {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double binomial(int n, int k) {
+  GIO_EXPECTS(n >= 0);
+  if (k < 0 || k > n) return 0.0;
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i)
+    result = result * static_cast<double>(n - k + i) / static_cast<double>(i);
+  return std::round(result);
+}
+
+Spectrum hypercube_spectrum(int l) {
+  GIO_EXPECTS(l >= 0 && l <= 40);
+  std::vector<Spectrum::Entry> entries;
+  entries.reserve(static_cast<std::size_t>(l) + 1);
+  for (int i = 0; i <= l; ++i)
+    entries.push_back(
+        {2.0 * i, static_cast<std::int64_t>(binomial(l, i))});
+  return Spectrum::from_entries(std::move(entries));
+}
+
+std::vector<double> path_p_spectrum(int i) {
+  GIO_EXPECTS(i >= 1);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(i));
+  for (int j = 0; j < i; ++j)
+    values.push_back(4.0 - 4.0 * std::cos(kPi * j / i));
+  return values;
+}
+
+std::vector<double> path_pprime_spectrum(int i) {
+  GIO_EXPECTS(i >= 1);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(i));
+  for (int j = 0; j < i; ++j)
+    values.push_back(4.0 - 4.0 * std::cos(kPi * (2 * j + 1) / (2 * i + 1)));
+  return values;
+}
+
+std::vector<double> path_pdoubleprime_spectrum(int i) {
+  GIO_EXPECTS(i >= 1);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(i));
+  for (int j = 1; j <= i; ++j)
+    values.push_back(4.0 - 4.0 * std::cos(kPi * j / (i + 1)));
+  return values;
+}
+
+Spectrum butterfly_spectrum(int l) {
+  GIO_EXPECTS(l >= 0 && l <= 32);
+  std::vector<Spectrum::Entry> entries;
+
+  // One copy of P_{l+1}.
+  for (double v : path_p_spectrum(l + 1)) entries.push_back({v, 1});
+
+  // 2^{l-i+1} copies of P'_i for i = 1..l.
+  for (int i = 1; i <= l; ++i) {
+    const std::int64_t mult = std::int64_t{1} << (l - i + 1);
+    for (double v : path_pprime_spectrum(i)) entries.push_back({v, mult});
+  }
+
+  // (l-i)·2^{l-i-1} copies of P''_i for i = 1..l-1.
+  for (int i = 1; i <= l - 1; ++i) {
+    const std::int64_t mult =
+        static_cast<std::int64_t>(l - i) * (std::int64_t{1} << (l - i - 1));
+    for (double v : path_pdoubleprime_spectrum(i)) entries.push_back({v, mult});
+  }
+
+  Spectrum s = Spectrum::from_entries(std::move(entries));
+  GIO_ENSURES(s.total_count() ==
+              static_cast<std::int64_t>(l + 1) * (std::int64_t{1} << l));
+  return s;
+}
+
+Spectrum path_spectrum(std::int64_t n) {
+  GIO_EXPECTS(n >= 1);
+  std::vector<Spectrum::Entry> entries;
+  for (std::int64_t k = 0; k < n; ++k)
+    entries.push_back(
+        {2.0 - 2.0 * std::cos(kPi * static_cast<double>(k) /
+                              static_cast<double>(n)),
+         1});
+  return Spectrum::from_entries(std::move(entries));
+}
+
+Spectrum cycle_spectrum(std::int64_t n) {
+  GIO_EXPECTS(n >= 3);
+  std::vector<Spectrum::Entry> entries;
+  for (std::int64_t k = 0; k < n; ++k)
+    entries.push_back(
+        {2.0 - 2.0 * std::cos(2.0 * kPi * static_cast<double>(k) /
+                              static_cast<double>(n)),
+         1});
+  return Spectrum::from_entries(std::move(entries));
+}
+
+Spectrum complete_spectrum(std::int64_t n) {
+  GIO_EXPECTS(n >= 1);
+  std::vector<Spectrum::Entry> entries;
+  entries.push_back({0.0, 1});
+  if (n > 1) entries.push_back({static_cast<double>(n), n - 1});
+  return Spectrum::from_entries(std::move(entries));
+}
+
+Spectrum star_spectrum(std::int64_t n) {
+  GIO_EXPECTS(n >= 2);
+  std::vector<Spectrum::Entry> entries;
+  entries.push_back({0.0, 1});
+  if (n > 2) entries.push_back({1.0, n - 2});
+  entries.push_back({static_cast<double>(n), 1});
+  return Spectrum::from_entries(std::move(entries));
+}
+
+Spectrum cartesian_product_spectrum(const Spectrum& a, const Spectrum& b) {
+  std::vector<Spectrum::Entry> entries;
+  entries.reserve(a.entries().size() * b.entries().size());
+  for (const Spectrum::Entry& ea : a.entries())
+    for (const Spectrum::Entry& eb : b.entries())
+      entries.push_back(
+          {ea.value + eb.value, ea.multiplicity * eb.multiplicity});
+  return Spectrum::from_entries(std::move(entries));
+}
+
+Spectrum grid_spectrum(std::int64_t rows, std::int64_t cols) {
+  return cartesian_product_spectrum(path_spectrum(rows),
+                                    path_spectrum(cols));
+}
+
+Spectrum torus_spectrum(std::int64_t rows, std::int64_t cols) {
+  return cartesian_product_spectrum(cycle_spectrum(rows),
+                                    cycle_spectrum(cols));
+}
+
+}  // namespace graphio::analytic

@@ -1,0 +1,65 @@
+// Closed-form Laplacian spectra (Section 5 and Appendix A).
+//
+// These are spectra of the *plain* undirected Laplacian L, as used by
+// Theorem 5 for closed-form analysis. The butterfly spectrum (Theorem 7)
+// is the paper's novel result: it is assembled here from the path
+// decomposition of Lemmas 8–11 — a multiset union of the spectra of the
+// weight-2 paths P_{l+1}, P'_i and P''_i. Note the paper's Theorem 7
+// statement writes the first family as 4−4cos(πj/k); Lemma 11 (P_{k+1}
+// with k+1 vertices) and the Section 5.2 usage give 4−4cos(πj/(k+1)),
+// which is what numerical spectra confirm, so that is what we implement.
+#pragma once
+
+#include <vector>
+
+#include "graphio/core/spectrum.hpp"
+
+namespace graphio::analytic {
+
+/// Q_l: eigenvalue 2i with multiplicity C(l, i), i = 0..l.
+Spectrum hypercube_spectrum(int l);
+
+/// B_l (the (l+1)·2^l-vertex unwrapped butterfly), via Theorem 7 /
+/// Lemmas 8–11.
+Spectrum butterfly_spectrum(int l);
+
+/// Weight-2 path P_i (i vertices, edge weights 2):
+/// 4 − 4cos(πj/i), j = 0..i−1 (Lemma 11).
+std::vector<double> path_p_spectrum(int i);
+
+/// P'_i — weight-2 path with one end-vertex weight 2:
+/// 4 − 4cos(π(2j+1)/(2i+1)), j = 0..i−1 (Lemma 11).
+std::vector<double> path_pprime_spectrum(int i);
+
+/// P''_i — weight-2 path with both end-vertex weights 2 (tridiagonal
+/// Toeplitz): 4 − 4cos(jπ/(i+1)), j = 1..i (Lemma 11).
+std::vector<double> path_pdoubleprime_spectrum(int i);
+
+/// Unweighted path on n vertices: 2 − 2cos(πk/n), k = 0..n−1.
+Spectrum path_spectrum(std::int64_t n);
+
+/// Cycle C_n: 2 − 2cos(2πk/n), k = 0..n−1.
+Spectrum cycle_spectrum(std::int64_t n);
+
+/// Complete graph K_n: 0 once, n with multiplicity n−1.
+Spectrum complete_spectrum(std::int64_t n);
+
+/// Star S_n (one center, n−1 leaves): 0, 1 (×(n−2)), n.
+Spectrum star_spectrum(std::int64_t n);
+
+/// Cartesian (box) product: the Laplacian of G □ H is the Kronecker sum
+/// L_G ⊕ L_H, so its spectrum is every pairwise sum λ_i(G) + λ_j(H).
+/// This is the engine behind grid and torus spectra — and behind the
+/// hypercube too (Q_l = K_2 □ … □ K_2).
+Spectrum cartesian_product_spectrum(const Spectrum& a, const Spectrum& b);
+
+/// rows×cols grid (path □ path): 2−2cos(πi/rows) + 2−2cos(πj/cols).
+Spectrum grid_spectrum(std::int64_t rows, std::int64_t cols);
+
+/// rows×cols torus (cycle □ cycle).
+Spectrum torus_spectrum(std::int64_t rows, std::int64_t cols);
+
+/// Binomial coefficient as double (exact for the ranges used here).
+double binomial(int n, int k);
+
+}  // namespace graphio::analytic

@@ -1,0 +1,21 @@
+#include "graphio/core/hierarchy.hpp"
+
+namespace graphio {
+
+HierarchyProfile hierarchy_profile(const Digraph& g,
+                                   std::span<const double> capacities,
+                                   const SpectralOptions& options) {
+  HierarchyProfile profile;
+  if (capacities.empty()) return profile;
+  const std::vector<SpectralBound> bounds =
+      spectral_bounds(g, capacities, options);
+  profile.eigenvalues = bounds.front().eigenvalues;
+  profile.eigensolver_converged = bounds.front().eigensolver_converged;
+  profile.levels.reserve(capacities.size());
+  for (std::size_t i = 0; i < capacities.size(); ++i)
+    profile.levels.push_back(
+        {capacities[i], bounds[i].bound, bounds[i].best_k});
+  return profile;
+}
+
+}  // namespace graphio

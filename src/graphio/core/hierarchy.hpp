@@ -1,0 +1,47 @@
+// Multi-level memory hierarchies (an extension beyond the paper's
+// two-level model, in the direction its Section 3 model naturally
+// generalizes).
+//
+// For a hierarchy L1 ⊂ L2 ⊂ … ⊂ Lk ⊂ slow memory with capacities
+// M1 < M2 < … < Mk, the traffic crossing the boundary between level i and
+// level i+1 is lower-bounded by the paper's two-level bound with fast
+// memory M_i: collapse levels 1..i into "fast" (capacity M_i — the
+// inclusive hierarchy holds at most M_i distinct values at or below level
+// i) and everything above into "slow". Each boundary is an independent
+// two-level instance, so one spectral decomposition prices every level of
+// a cache hierarchy at once (the spectrum does not depend on M).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graphio/core/spectral_bound.hpp"
+#include "graphio/graph/digraph.hpp"
+
+namespace graphio {
+
+struct LevelTraffic {
+  /// Capacity of the fast side of this boundary (values, not bytes).
+  double capacity = 0.0;
+  /// Lower bound on the values crossing this boundary during any
+  /// evaluation (Theorem 4 at M = capacity).
+  double traffic_bound = 0.0;
+  /// The maximizing segment count for this level.
+  int best_k = 0;
+};
+
+struct HierarchyProfile {
+  std::vector<LevelTraffic> levels;  ///< one entry per capacity, same order
+  /// The shared spectrum the levels were priced from.
+  std::vector<double> eigenvalues;
+  bool eigensolver_converged = true;
+};
+
+/// Prices every boundary of an inclusive memory hierarchy with the given
+/// per-level capacities (ascending or not — each entry is independent).
+/// Cost: one eigendecomposition regardless of the number of levels.
+HierarchyProfile hierarchy_profile(const Digraph& g,
+                                   std::span<const double> capacities,
+                                   const SpectralOptions& options = {});
+
+}  // namespace graphio

@@ -1,0 +1,106 @@
+#include "graphio/core/partition.hpp"
+
+#include <unordered_set>
+
+#include "graphio/la/csr_matrix.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+
+std::vector<std::int64_t> balanced_partition_sizes(std::int64_t n,
+                                                   std::int64_t k) {
+  GIO_EXPECTS_MSG(k >= 1 && k <= n, "need 1 <= k <= n");
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(k), n / k);
+  for (std::int64_t i = 0; i < n % k; ++i) ++sizes[static_cast<std::size_t>(i)];
+  return sizes;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> balanced_segments(
+    std::int64_t n, std::int64_t k) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> segments;
+  std::int64_t start = 0;
+  for (std::int64_t size : balanced_partition_sizes(n, k)) {
+    segments.emplace_back(start, start + size);
+    start += size;
+  }
+  GIO_ENSURES(start == n);
+  return segments;
+}
+
+namespace {
+
+/// segment_of[v] for the balanced k-partition of `order`.
+std::vector<std::int64_t> segment_assignment(
+    const Digraph& g, const std::vector<VertexId>& order, std::int64_t k) {
+  const std::int64_t n = g.num_vertices();
+  GIO_EXPECTS_MSG(static_cast<std::int64_t>(order.size()) == n,
+                  "order must cover all vertices");
+  std::vector<std::int64_t> seg(static_cast<std::size_t>(n), -1);
+  const auto segments = balanced_segments(n, k);
+  for (std::size_t s = 0; s < segments.size(); ++s)
+    for (std::int64_t pos = segments[s].first; pos < segments[s].second; ++pos)
+      seg[static_cast<std::size_t>(order[static_cast<std::size_t>(pos)])] =
+          static_cast<std::int64_t>(s);
+  for (std::int64_t assigned : seg)
+    GIO_EXPECTS_MSG(assigned >= 0, "order must be a permutation");
+  return seg;
+}
+
+}  // namespace
+
+std::int64_t lemma1_reads_writes(const Digraph& g,
+                                 const std::vector<VertexId>& order,
+                                 std::int64_t k) {
+  const auto seg = segment_assignment(g, order, k);
+  // R_S: distinct (vertex, segment) pairs with an edge from outside into S.
+  // W_S: distinct vertices with an edge leaving their own segment.
+  std::unordered_set<std::int64_t> reads;   // u * k + target segment
+  std::unordered_set<std::int64_t> writes;  // u (a vertex leaves once)
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const std::int64_t su = seg[static_cast<std::size_t>(u)];
+    for (VertexId v : g.children(u)) {
+      const std::int64_t sv = seg[static_cast<std::size_t>(v)];
+      if (su == sv) continue;
+      reads.insert(u * k + sv);
+      writes.insert(u);
+    }
+  }
+  return static_cast<std::int64_t>(reads.size() + writes.size());
+}
+
+double partition_edge_objective(const Digraph& g,
+                                const std::vector<VertexId>& order,
+                                std::int64_t k) {
+  const auto seg = segment_assignment(g, order, k);
+  double objective = 0.0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const double dout = static_cast<double>(g.out_degree(u));
+    for (VertexId v : g.children(u)) {
+      if (seg[static_cast<std::size_t>(u)] == seg[static_cast<std::size_t>(v)])
+        continue;
+      objective += 2.0 / dout;  // the edge is in ∂S of both segments
+    }
+  }
+  return objective;
+}
+
+double trace_objective(const Digraph& g, const std::vector<VertexId>& order,
+                       std::int64_t k, LaplacianKind kind) {
+  const auto seg = segment_assignment(g, order, k);
+  const la::CsrMatrix lap = laplacian(g, kind);
+  const std::int64_t n = g.num_vertices();
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<double> y(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (std::int64_t s = 0; s < k; ++s) {
+    for (std::int64_t v = 0; v < n; ++v)
+      x[static_cast<std::size_t>(v)] =
+          seg[static_cast<std::size_t>(v)] == s ? 1.0 : 0.0;
+    lap.matvec(x, y);
+    for (std::int64_t v = 0; v < n; ++v)
+      total += x[static_cast<std::size_t>(v)] * y[static_cast<std::size_t>(v)];
+  }
+  return total;
+}
+
+}  // namespace graphio

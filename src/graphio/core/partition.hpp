@@ -1,0 +1,56 @@
+// Partition machinery of Sections 4.1–4.2.
+//
+// For an evaluation order X and k, the paper splits the order into k
+// contiguous segments as equal as possible (the first n mod k segments get
+// one extra vertex). These helpers evaluate, for explicit orders, each
+// quantity in the derivation chain
+//
+//   J(X) ≥ Σ_S (|R_S| + |W_S|) − 2M|P|                     (Lemma 1)
+//        ≥ Σ_S Σ_{(u,v)∈∂S} 1/dout(u) − 2M|P|              (Theorem 2)
+//        = tr(Xᵀ L̃ X W(k)) − 2kM                           (trace identity)
+//        ≥ ⌊n/k⌋ Σ_{i≤k} λ_i(L̃) − 2kM                      (Theorem 4)
+//
+// so the property tests can check every inequality numerically on random
+// graphs and random topological orders.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graphio/graph/digraph.hpp"
+#include "graphio/graph/laplacian.hpp"
+
+namespace graphio {
+
+/// Sizes of the balanced k-partition of n items (first n mod k parts get
+/// ⌊n/k⌋+1, the rest ⌊n/k⌋). Requires 1 ≤ k ≤ n.
+std::vector<std::int64_t> balanced_partition_sizes(std::int64_t n,
+                                                   std::int64_t k);
+
+/// [start, end) position ranges of the balanced k-partition of 0..n-1.
+std::vector<std::pair<std::int64_t, std::int64_t>> balanced_segments(
+    std::int64_t n, std::int64_t k);
+
+/// Σ_S (|R_S| + |W_S|) for the balanced k-partition of `order` — the
+/// Lemma 1 read/write sets (R_S: vertices outside S with an edge into S;
+/// W_S: vertices in S with an edge out of S). Vertices are counted once
+/// per segment regardless of edge multiplicity.
+std::int64_t lemma1_reads_writes(const Digraph& g,
+                                 const std::vector<VertexId>& order,
+                                 std::int64_t k);
+
+/// Σ_S Σ_{(u,v)∈∂S} 1/dout(u) — the Theorem 2 objective. Each directed
+/// edge crossing two segments contributes 2/dout(u) (it lies in the
+/// boundary of both segments).
+double partition_edge_objective(const Digraph& g,
+                                const std::vector<VertexId>& order,
+                                std::int64_t k);
+
+/// tr(Xᵀ L X W(k)) computed via segment indicator vectors (Equation 3):
+/// Σ_S x_Sᵀ L x_S. With kOutDegreeNormalized this must equal
+/// partition_edge_objective exactly (trace identity).
+double trace_objective(const Digraph& g, const std::vector<VertexId>& order,
+                       std::int64_t k, LaplacianKind kind);
+
+}  // namespace graphio

@@ -1,0 +1,91 @@
+#include "graphio/core/partition_dp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graphio/graph/topo.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+
+OptimalPartitionResult optimal_lemma1_bound(
+    const Digraph& g, const std::vector<VertexId>& order, double memory) {
+  GIO_EXPECTS_MSG(is_topological(g, order),
+                  "optimal_lemma1_bound requires a topological order");
+  GIO_EXPECTS(memory >= 0.0);
+  const std::int64_t n = g.num_vertices();
+  OptimalPartitionResult result;
+  if (n == 0) return result;
+
+  std::vector<std::int64_t> position(static_cast<std::size_t>(n), 0);
+  for (std::size_t t = 0; t < order.size(); ++t)
+    position[static_cast<std::size_t>(order[t])] =
+        static_cast<std::int64_t>(t);
+
+  // last_use[p] = vertices whose final consumer sits at position p (their
+  // W membership ends when the segment extends past p).
+  std::vector<std::vector<VertexId>> last_use(static_cast<std::size_t>(n));
+  std::vector<char> has_children(static_cast<std::size_t>(n), 0);
+  for (VertexId v = 0; v < n; ++v) {
+    std::int64_t last = -1;
+    for (VertexId child : g.children(v))
+      last = std::max(last, position[static_cast<std::size_t>(child)]);
+    if (last >= 0) {
+      has_children[static_cast<std::size_t>(v)] = 1;
+      last_use[static_cast<std::size_t>(last)].push_back(v);
+    }
+  }
+
+  const double kNegInf = -std::numeric_limits<double>::infinity();
+  // f[j] = best objective over partitions of the first j positions;
+  // f[0] = 0 and every prefix may also be "not yet started" — Lemma 1
+  // allows the partition to cover all of V, so segments tile [0, n).
+  std::vector<double> f(static_cast<std::size_t>(n) + 1, kNegInf);
+  std::vector<std::int64_t> parent_break(static_cast<std::size_t>(n) + 1, 0);
+  f[0] = 0.0;
+
+  std::vector<std::int64_t> r_stamp(static_cast<std::size_t>(n), -1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (f[static_cast<std::size_t>(i)] == kNegInf) continue;
+    // Extend a segment anchored at i rightward, maintaining |R| and |W|.
+    std::int64_t reads = 0;
+    std::int64_t writes = 0;
+    for (std::int64_t j = i; j < n; ++j) {
+      const VertexId w = order[static_cast<std::size_t>(j)];
+      // R: distinct producers strictly left of the anchor.
+      for (VertexId u : g.parents(w)) {
+        const auto ui = static_cast<std::size_t>(u);
+        if (position[ui] < i && r_stamp[ui] != i) {
+          r_stamp[ui] = i;
+          ++reads;
+        }
+      }
+      // W: w joins if it has any consumer (they all sit right of j).
+      if (has_children[static_cast<std::size_t>(w)]) ++writes;
+      // ...and vertices whose final consumer is exactly at j leave W.
+      for (VertexId v : last_use[static_cast<std::size_t>(j)])
+        if (position[static_cast<std::size_t>(v)] >= i) --writes;
+
+      const double candidate =
+          f[static_cast<std::size_t>(i)] +
+          static_cast<double>(reads + writes) - 2.0 * memory;
+      auto& best = f[static_cast<std::size_t>(j + 1)];
+      if (candidate > best) {
+        best = candidate;
+        parent_break[static_cast<std::size_t>(j + 1)] = i;
+      }
+    }
+  }
+
+  if (f[static_cast<std::size_t>(n)] <= 0.0) return result;
+  result.bound = f[static_cast<std::size_t>(n)];
+  for (std::int64_t pos = n; pos > 0;
+       pos = parent_break[static_cast<std::size_t>(pos)]) {
+    result.breakpoints.push_back(parent_break[static_cast<std::size_t>(pos)]);
+    ++result.segments;
+  }
+  std::reverse(result.breakpoints.begin(), result.breakpoints.end());
+  return result;
+}
+
+}  // namespace graphio

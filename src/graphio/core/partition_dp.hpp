@@ -1,0 +1,48 @@
+// Optimal contiguous partitions for Lemma 1 (strengthening Section 4.2's
+// balanced k-partitions).
+//
+// For a fixed evaluation order X, Lemma 1 holds for EVERY partition of X
+// into contiguous segments, so the strongest per-order statement is
+//
+//   J(X)  ≥  max_{P ∈ P_X}  Σ_{S ∈ P} (|R_S| + |W_S|)  −  2M|P|
+//
+// The paper relaxes the max to balanced k-partitions (which is what makes
+// the spectral step possible); this module computes the true max by
+// dynamic programming over segment breakpoints in O(n² + n·E):
+//
+//   f(j) = max_{i < j}  f(i) + cost(i, j) − 2M,      f(0) = 0,
+//
+// where cost(i, j) = |R| + |W| of the segment holding positions [i, j).
+// Per left anchor i the segment costs extend incrementally in O(1)
+// amortized (stamped distinct-parent counting for R; last-consumer
+// buckets for W).
+//
+// The result lower-bounds J(X) for that specific order — not J*(G) —
+// so it serves as (a) a per-schedule certificate ("this order cannot do
+// better than ..."), and (b) a tighter adversary for the relaxation
+// ablation when minimized over sampled orders.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graphio/graph/digraph.hpp"
+
+namespace graphio {
+
+struct OptimalPartitionResult {
+  /// max(0, best partition objective) — a lower bound on J(X).
+  double bound = 0.0;
+  /// Number of segments in the maximizing partition (0 when bound is 0).
+  std::int64_t segments = 0;
+  /// Breakpoints of the maximizing partition: positions where segments
+  /// start, ascending, beginning with 0 (empty when bound is 0).
+  std::vector<std::int64_t> breakpoints;
+};
+
+/// Evaluates the Lemma 1 objective at the optimal contiguous partition of
+/// `order` (must be topological). O(n² + n·E) time, O(n) extra space.
+OptimalPartitionResult optimal_lemma1_bound(
+    const Digraph& g, const std::vector<VertexId>& order, double memory);
+
+}  // namespace graphio

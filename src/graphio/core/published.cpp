@@ -1,0 +1,52 @@
+#include "graphio/core/published.hpp"
+
+#include <cmath>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::published {
+
+double fft_hong_kung(int l, double memory) {
+  GIO_EXPECTS(l >= 0 && memory > 1.0);
+  return static_cast<double>(l) * std::ldexp(1.0, l) / std::log2(memory);
+}
+
+double matmul_irony(int n, double memory) {
+  GIO_EXPECTS(n >= 0 && memory > 0.0);
+  const double nn = static_cast<double>(n);
+  return nn * nn * nn / std::sqrt(memory);
+}
+
+double strassen_ballard(int n, double memory) {
+  GIO_EXPECTS(n >= 1 && memory > 0.0);
+  const double log2_7 = std::log2(7.0);
+  return std::pow(static_cast<double>(n) / std::sqrt(memory), log2_7) * memory;
+}
+
+double bhk_spectral_paper(int l, double memory) {
+  GIO_EXPECTS(l >= 1);
+  return std::ldexp(1.0, l) / static_cast<double>(l) -
+         2.0 * memory * static_cast<double>(l);
+}
+
+double fft_growth(int l) {
+  GIO_EXPECTS(l >= 0);
+  return static_cast<double>(l) * std::ldexp(1.0, l);
+}
+
+double matmul_growth(int n) {
+  const double nn = static_cast<double>(n);
+  return nn * nn * nn;
+}
+
+double strassen_growth(int n) {
+  GIO_EXPECTS(n >= 1);
+  return std::pow(static_cast<double>(n), std::log2(7.0));
+}
+
+double bhk_growth(int l) {
+  GIO_EXPECTS(l >= 1);
+  return std::ldexp(1.0, l) / static_cast<double>(l);
+}
+
+}  // namespace graphio::published

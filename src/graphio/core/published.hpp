@@ -1,0 +1,29 @@
+// Previously published lower bounds referenced by the paper (Section 6.2)
+// and the growth terms used on the x-axes of the figure-bottom plots.
+// These are asymptotic Ω(·) expressions evaluated with constant 1 — they
+// set the *shape* the spectral bound is compared against, not absolute
+// values.
+#pragma once
+
+namespace graphio::published {
+
+/// Hong & Kung [17]: FFT on 2^l points, Ω(l·2^l / log M).
+double fft_hong_kung(int l, double memory);
+
+/// Irony, Toledo & Tiskin [16]: naive matmul, Ω(n³ / √M).
+double matmul_irony(int n, double memory);
+
+/// Ballard et al. [4]: Strassen, Ω((n/√M)^{log₂7} · M).
+double strassen_ballard(int n, double memory);
+
+/// The paper's own §5.1 derivation for Bellman–Held–Karp:
+/// Ω(2^l/l − 2Ml) (as quoted in §6.2).
+double bhk_spectral_paper(int l, double memory);
+
+// Growth terms (figure-bottom x axes).
+double fft_growth(int l);       ///< l·2^l
+double matmul_growth(int n);    ///< n³
+double strassen_growth(int n);  ///< n^{log₂7}
+double bhk_growth(int l);       ///< 2^l / l
+
+}  // namespace graphio::published

@@ -1,0 +1,78 @@
+#include "graphio/core/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+
+Spectrum Spectrum::from_entries(std::vector<Entry> entries) {
+  for (const Entry& e : entries)
+    GIO_EXPECTS_MSG(e.multiplicity >= 0, "multiplicity must be non-negative");
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.value < b.value; });
+  Spectrum s;
+  for (const Entry& e : entries) {
+    if (e.multiplicity == 0) continue;
+    if (!s.entries_.empty() && s.entries_.back().value == e.value)
+      s.entries_.back().multiplicity += e.multiplicity;
+    else
+      s.entries_.push_back(e);
+  }
+  return s;
+}
+
+Spectrum Spectrum::from_values(std::span<const double> values,
+                               double merge_tol) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  Spectrum s;
+  for (double v : sorted) {
+    if (!s.entries_.empty() &&
+        std::fabs(v - s.entries_.back().value) <= merge_tol)
+      ++s.entries_.back().multiplicity;
+    else
+      s.entries_.push_back({v, 1});
+  }
+  return s;
+}
+
+std::int64_t Spectrum::total_count() const noexcept {
+  std::int64_t total = 0;
+  for (const Entry& e : entries_) total += e.multiplicity;
+  return total;
+}
+
+std::vector<double> Spectrum::smallest(std::int64_t count) const {
+  const std::int64_t total = total_count();
+  if (count < 0 || count > total) count = total;
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (const Entry& e : entries_) {
+    for (std::int64_t i = 0;
+         i < e.multiplicity &&
+         static_cast<std::int64_t>(out.size()) < count;
+         ++i)
+      out.push_back(e.value);
+    if (static_cast<std::int64_t>(out.size()) == count) break;
+  }
+  return out;
+}
+
+double Spectrum::max_abs_diff(const Spectrum& other,
+                              std::int64_t count) const {
+  std::vector<double> mine = smallest(count);
+  std::vector<double> theirs = other.smallest(count);
+  const std::size_t n = std::min(mine.size(), theirs.size());
+  double worst =
+      mine.size() != theirs.size()
+          ? std::numeric_limits<double>::infinity()
+          : 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    worst = std::max(worst, std::fabs(mine[i] - theirs[i]));
+  return worst;
+}
+
+}  // namespace graphio

@@ -1,0 +1,53 @@
+// Eigenvalue multisets (spectra) with explicit multiplicities.
+//
+// Closed-form spectra (hypercube, butterfly, paths) naturally come as
+// (value, multiplicity) pairs with multiplicities far larger than anything
+// worth expanding; computed spectra come as plain sorted vectors. This
+// type bridges the two.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace graphio {
+
+class Spectrum {
+ public:
+  struct Entry {
+    double value;
+    std::int64_t multiplicity;
+  };
+
+  Spectrum() = default;
+
+  /// From (value, multiplicity) pairs in any order; entries are sorted and
+  /// equal values merged.
+  static Spectrum from_entries(std::vector<Entry> entries);
+
+  /// From a sorted-or-not list of plain eigenvalues; values closer than
+  /// merge_tol collapse into one entry with multiplicity.
+  static Spectrum from_values(std::span<const double> values,
+                              double merge_tol = 1e-9);
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Total eigenvalue count (dimension of the underlying matrix).
+  [[nodiscard]] std::int64_t total_count() const noexcept;
+
+  /// The `count` smallest eigenvalues expanded with multiplicity
+  /// (count < 0 or count > total: expand everything).
+  [[nodiscard]] std::vector<double> smallest(std::int64_t count = -1) const;
+
+  /// max |λ_i(this) − λ_i(other)| over the first `count` values of both.
+  [[nodiscard]] double max_abs_diff(const Spectrum& other,
+                                    std::int64_t count = -1) const;
+
+ private:
+  std::vector<Entry> entries_;  // ascending by value
+};
+
+}  // namespace graphio

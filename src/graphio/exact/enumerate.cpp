@@ -1,0 +1,139 @@
+#include "graphio/exact/enumerate.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "graphio/sim/memsim.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::exact {
+
+namespace {
+
+struct OrderEnumerator {
+  const Digraph& g;
+  const std::function<bool(const std::vector<VertexId>&)>& visit;
+  std::vector<std::int64_t> missing;
+  std::vector<VertexId> order;
+  std::int64_t visited = 0;
+  bool stopped = false;
+
+  void recurse() {
+    if (stopped) return;
+    const std::int64_t n = g.num_vertices();
+    if (static_cast<std::int64_t>(order.size()) == n) {
+      ++visited;
+      if (!visit(order)) stopped = true;
+      return;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (missing[static_cast<std::size_t>(v)] != 0) continue;
+      // Take v.
+      missing[static_cast<std::size_t>(v)] = -1;  // mark placed
+      for (VertexId c : g.children(v)) --missing[static_cast<std::size_t>(c)];
+      order.push_back(v);
+      recurse();
+      order.pop_back();
+      for (VertexId c : g.children(v)) ++missing[static_cast<std::size_t>(c)];
+      missing[static_cast<std::size_t>(v)] = 0;
+      if (stopped) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::int64_t for_each_topological_order(
+    const Digraph& g,
+    const std::function<bool(const std::vector<VertexId>&)>& visit) {
+  OrderEnumerator e{g, visit, {}, {}, 0, false};
+  const std::int64_t n = g.num_vertices();
+  e.missing.resize(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v)
+    e.missing[static_cast<std::size_t>(v)] = g.in_degree(v);
+  e.order.reserve(static_cast<std::size_t>(n));
+  e.recurse();
+  return e.visited;
+}
+
+std::int64_t count_topological_orders(const Digraph& g, std::int64_t cap) {
+  std::int64_t count = 0;
+  for_each_topological_order(g, [&](const std::vector<VertexId>&) {
+    ++count;
+    return count < cap;
+  });
+  return count;
+}
+
+std::int64_t min_simulated_io_over_all_orders(const Digraph& g,
+                                              std::int64_t memory) {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for_each_topological_order(g, [&](const std::vector<VertexId>& order) {
+    best = std::min(best, sim::simulate_io(g, order, memory).total());
+    return true;
+  });
+  GIO_ENSURES(best != std::numeric_limits<std::int64_t>::max());
+  return best;
+}
+
+std::int64_t brute_force_wavefront(const Digraph& g, VertexId v) {
+  const std::int64_t n = g.num_vertices();
+  GIO_EXPECTS(g.contains(v));
+  GIO_EXPECTS_MSG(n <= 24, "brute force enumerates all 2^n subsets");
+  if (g.out_degree(v) == 0) return 0;
+
+  using Mask = std::uint32_t;
+  std::vector<Mask> parents(static_cast<std::size_t>(n), 0);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId p : g.parents(u))
+      parents[static_cast<std::size_t>(u)] |= Mask{1} << p;
+
+  // Strict descendants of v (must be outside S).
+  Mask descendants = 0;
+  {
+    std::vector<VertexId> stack(g.children(v).begin(), g.children(v).end());
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      if ((descendants & (Mask{1} << u)) != 0) continue;
+      descendants |= Mask{1} << u;
+      for (VertexId c : g.children(u)) stack.push_back(c);
+    }
+  }
+
+  const Mask vbit = Mask{1} << v;
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  const Mask limit = n == 32 ? ~Mask{0} : (Mask{1} << n) - 1;
+  for (Mask s = 0; s <= limit; ++s) {
+    if ((s & vbit) == 0) continue;
+    if ((s & descendants) != 0) continue;
+    // Down-closed: every member's parents are members.
+    bool closed = true;
+    Mask rest = s;
+    while (rest != 0 && closed) {
+      const int u = std::countr_zero(rest);
+      rest &= rest - 1;
+      if ((parents[static_cast<std::size_t>(u)] & ~s) != 0) closed = false;
+    }
+    if (!closed) continue;
+    // Wavefront: members with an edge leaving S.
+    std::int64_t wavefront = 0;
+    Mask members = s;
+    while (members != 0) {
+      const int u = std::countr_zero(members);
+      members &= members - 1;
+      for (VertexId c : g.children(u)) {
+        if ((s & (Mask{1} << c)) == 0) {
+          ++wavefront;
+          break;
+        }
+      }
+    }
+    best = std::min(best, wavefront);
+    if (best == 0) break;
+  }
+  return best;
+}
+
+}  // namespace graphio::exact

@@ -1,0 +1,43 @@
+// Exhaustive enumeration utilities for small graphs.
+//
+// These are deliberately brute-force reference implementations used by the
+// test suite to certify the cleverer machinery:
+//   * every topological order — validates schedule heuristics and the
+//     claim that simulate_io minimized over all orders upper-bounds J*;
+//   * every down-closed vertex set — validates the Dinic-based convex
+//     min-cut reduction C(v, G) against its set-theoretic definition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graphio/graph/digraph.hpp"
+
+namespace graphio::exact {
+
+/// Invokes `visit` once per topological order of g (lexicographically by
+/// vertex id). `visit` returns false to stop the enumeration early.
+/// Returns the number of orders visited.
+std::int64_t for_each_topological_order(
+    const Digraph& g,
+    const std::function<bool(const std::vector<VertexId>&)>& visit);
+
+/// Number of topological orders, stopping at `cap` (graphs have
+/// exponentially many orders; the cap keeps tests bounded).
+std::int64_t count_topological_orders(const Digraph& g, std::int64_t cap);
+
+/// min over all topological orders of simulate_io(g, order, memory) under
+/// the Belady policy. Exponential — small graphs only. This is an upper
+/// bound on J*(G) that can still exceed exact_optimal_io (Belady eviction
+/// is not optimal once spills have write costs).
+std::int64_t min_simulated_io_over_all_orders(const Digraph& g,
+                                              std::int64_t memory);
+
+/// Brute-force C(v, G): the minimum wavefront |{u ∈ S : ∃(u,w) ∈ E,
+/// w ∉ S}| over all down-closed S that contain v and exclude v's strict
+/// descendants — the set-theoretic definition that flow::wavefront_mincut
+/// computes via max-flow. Requires n ≤ 24 (enumerates all vertex subsets).
+std::int64_t brute_force_wavefront(const Digraph& g, VertexId v);
+
+}  // namespace graphio::exact

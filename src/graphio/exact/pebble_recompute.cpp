@@ -1,0 +1,130 @@
+#include "graphio/exact/pebble_recompute.hpp"
+
+#include <bit>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "graphio/graph/topo.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::exact {
+
+namespace {
+
+struct Move {
+  std::uint64_t state;
+  std::int64_t cost;  // 0 or 1
+};
+
+}  // namespace
+
+RecomputeResult exact_optimal_io_with_recomputation(
+    const Digraph& g, std::int64_t memory, const RecomputeOptions& options) {
+  const std::int64_t n = g.num_vertices();
+  GIO_EXPECTS_MSG(n <= kMaxRecomputeVertices,
+                  "recompute search packs 2 n-bit sets into 64 bits");
+  GIO_EXPECTS(memory >= 1);
+  GIO_EXPECTS_MSG(is_dag(g), "pebbling requires an acyclic graph");
+
+  RecomputeResult result;
+  if (n == 0) {
+    result.io = 0;
+    result.complete = true;
+    return result;
+  }
+
+  std::vector<std::uint64_t> parent_mask(static_cast<std::size_t>(n), 0);
+  std::uint64_t sink_mask = 0;
+  std::int64_t max_operands = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint64_t mask = 0;
+    for (VertexId p : g.parents(v)) mask |= 1ULL << p;
+    parent_mask[static_cast<std::size_t>(v)] = mask;
+    max_operands = std::max<std::int64_t>(max_operands,
+                                          std::popcount(mask));
+    if (g.out_degree(v) == 0) sink_mask |= 1ULL << v;
+  }
+  GIO_EXPECTS_MSG(max_operands <= memory,
+                  "vertex has more distinct operands than fast memory");
+
+  const auto nn = static_cast<unsigned>(n);
+  auto red = [&](std::uint64_t s) { return s & ((1ULL << nn) - 1); };
+  auto blue = [&](std::uint64_t s) { return s >> nn; };
+  auto pack = [&](std::uint64_t r, std::uint64_t b) { return r | (b << nn); };
+
+  // 0-1 BFS (deque Dijkstra) over packed states.
+  std::unordered_map<std::uint64_t, std::int64_t> dist;
+  std::deque<std::uint64_t> queue;
+  const std::uint64_t start = pack(0, 0);
+  dist.emplace(start, 0);
+  queue.push_back(start);
+
+  std::vector<Move> moves;
+  while (!queue.empty()) {
+    const std::uint64_t state = queue.front();
+    queue.pop_front();
+    const std::int64_t d = dist.at(state);
+    ++result.states_expanded;
+    if (result.states_expanded > options.max_states) return result;
+
+    const std::uint64_t r = red(state);
+    const std::uint64_t b = blue(state);
+    if ((b & sink_mask) == sink_mask) {
+      result.io = d;
+      result.complete = true;
+      return result;
+    }
+
+    moves.clear();
+    const bool red_free = std::popcount(r) < memory;
+    for (VertexId v = 0; v < n; ++v) {
+      const std::uint64_t bit = 1ULL << v;
+      const bool is_sink = (sink_mask & bit) != 0;
+      // compute v: parents red; sinks are reported straight into "blue"
+      // without occupying a red slot. When no pebble is free, the result
+      // may SLIDE into any currently red slot (the no-recompute model's
+      // compute likewise lets the result take a just-freed operand slot;
+      // without sliding, a binary op at M = 2 would deadlock).
+      if ((parent_mask[static_cast<std::size_t>(v)] & ~r) == 0) {
+        if (is_sink) {
+          if (!(b & bit)) moves.push_back({pack(r, b | bit), 0});
+        } else if (!(r & bit)) {
+          if (red_free) {
+            moves.push_back({pack(r | bit, b), 0});
+          } else {
+            std::uint64_t occupied = r;
+            while (occupied != 0) {
+              const std::uint64_t slot = occupied & (~occupied + 1);
+              occupied &= occupied - 1;
+              moves.push_back({pack((r & ~slot) | bit, b), 0});
+            }
+          }
+        }
+      }
+      // read v from slow memory.
+      if ((b & bit) && !(r & bit) && !is_sink && red_free)
+        moves.push_back({pack(r | bit, b), 1});
+      // write v to slow memory.
+      if ((r & bit) && !(b & bit)) moves.push_back({pack(r, b | bit), 1});
+      // drop v's red pebble.
+      if (r & bit) moves.push_back({pack(r & ~bit, b), 0});
+    }
+
+    for (const Move& move : moves) {
+      const std::int64_t nd = d + move.cost;
+      auto [it, inserted] = dist.emplace(move.state, nd);
+      if (!inserted) {
+        if (it->second <= nd) continue;
+        it->second = nd;
+      }
+      if (move.cost == 0)
+        queue.push_front(move.state);
+      else
+        queue.push_back(move.state);
+    }
+  }
+  return result;  // exhausted without reaching the goal (disconnected?)
+}
+
+}  // namespace graphio::exact

@@ -1,0 +1,59 @@
+// Exact optimal I/O under the ORIGINAL Hong–Kung red-blue pebble game —
+// recomputation allowed.
+//
+// The paper (following [4, 12, 21]) forbids recomputation: a value
+// evicted while still needed must be written once and re-read. Hong &
+// Kung's original game [17] instead allows re-deriving a value from its
+// parents at zero I/O cost, which can only help. This module computes the
+// recomputation-allowed optimum J*_rb(G) exactly for tiny graphs, so the
+// suite can measure the modelling gap
+//
+//     J*_rb(G)  ≤  J*(G)      (every no-recompute execution is a valid
+//                              pebbling strategy)
+//
+// and the ablation bench can show where the two models genuinely diverge
+// (deep narrow graphs where recomputing a cheap chain beats spilling).
+//
+// Game state is (red set R, blue set B) with |R| ≤ M; moves:
+//   * compute v (cost 0): all parents red; the result takes a free red
+//     pebble or slides into any occupied slot (matching the no-recompute
+//     model, where a result may take a just-freed operand slot). Sinks
+//     are reported immediately (their "blue" bit records completion) and
+//     do not occupy a red slot — the paper's trivial-I/O convention;
+//   * read  v (cost 1): v blue, not red, a red pebble free;
+//   * write v (cost 1): v red, not blue;
+//   * drop  v (cost 0): remove v's red pebble.
+// Inputs are computed free (no parents), matching the paper's free
+// first-touch rule. Goal: every sink reported. Search is 0-1 BFS over
+// packed (R, B) states; the state space is ~2^(2n), so this is for
+// genuinely tiny graphs (n ≤ 16 in practice, enforced via max_states).
+#pragma once
+
+#include <cstdint>
+
+#include "graphio/graph/digraph.hpp"
+
+namespace graphio::exact {
+
+/// Hard limit from packing two n-bit sets into one 64-bit key.
+inline constexpr std::int64_t kMaxRecomputeVertices = 16;
+
+struct RecomputeOptions {
+  /// Search cap; when exceeded the result is marked incomplete.
+  std::int64_t max_states = 20'000'000;
+};
+
+struct RecomputeResult {
+  /// Optimal non-trivial I/O with recomputation allowed, -1 on cutoff.
+  std::int64_t io = -1;
+  bool complete = false;
+  std::int64_t states_expanded = 0;
+};
+
+/// Exact J*_rb(G) for fast memory `memory`. Requires
+/// n ≤ kMaxRecomputeVertices and memory ≥ max #distinct operands.
+RecomputeResult exact_optimal_io_with_recomputation(
+    const Digraph& g, std::int64_t memory,
+    const RecomputeOptions& options = {});
+
+}  // namespace graphio::exact

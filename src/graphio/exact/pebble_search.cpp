@@ -1,0 +1,211 @@
+#include "graphio/exact/pebble_search.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "graphio/graph/topo.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::exact {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+/// State = three n-bit sets packed into one word:
+/// computed | resident << n | written << 2n.
+using State = std::uint64_t;
+
+struct Pack {
+  int n;
+  [[nodiscard]] State make(Mask computed, Mask resident,
+                           Mask written) const {
+    return static_cast<State>(computed) |
+           (static_cast<State>(resident) << n) |
+           (static_cast<State>(written) << (2 * n));
+  }
+  [[nodiscard]] Mask computed(State s) const {
+    return static_cast<Mask>(s & ((1ULL << n) - 1));
+  }
+  [[nodiscard]] Mask resident(State s) const {
+    return static_cast<Mask>((s >> n) & ((1ULL << n) - 1));
+  }
+  [[nodiscard]] Mask written(State s) const {
+    return static_cast<Mask>((s >> (2 * n)) & ((1ULL << n) - 1));
+  }
+};
+
+struct Move {
+  State from;
+  VertexId computed_vertex;  // -1 for evict/read moves
+};
+
+}  // namespace
+
+ExactResult exact_optimal_io(const Digraph& g, std::int64_t memory,
+                             const ExactOptions& options) {
+  const std::int64_t n64 = g.num_vertices();
+  GIO_EXPECTS_MSG(n64 <= kMaxExactVertices,
+                  "exact search is limited to 21 vertices");
+  GIO_EXPECTS_MSG(topological_order(g).has_value(), "graph has a cycle");
+  GIO_EXPECTS(memory >= 1);
+  const int n = static_cast<int>(n64);
+  const Pack pack{n};
+
+  // Distinct parent / child masks.
+  std::vector<Mask> parents(static_cast<std::size_t>(n), 0);
+  std::vector<Mask> children(static_cast<std::size_t>(n), 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId p : g.parents(v))
+      parents[static_cast<std::size_t>(v)] |= Mask{1} << p;
+    for (VertexId c : g.children(v))
+      children[static_cast<std::size_t>(v)] |= Mask{1} << c;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const int operands =
+        std::popcount(parents[static_cast<std::size_t>(v)]);
+    GIO_EXPECTS_MSG(operands <= memory,
+                    "vertex has more distinct operands than fast memory");
+  }
+
+  const Mask all = n == 32 ? ~Mask{0} : (Mask{1} << n) - 1;
+
+  // Live values under computed-set C: computed with an uncomputed child.
+  auto live_mask = [&](Mask computed) {
+    Mask live = 0;
+    Mask rest = computed;
+    while (rest != 0) {
+      const int v = std::countr_zero(rest);
+      rest &= rest - 1;
+      if ((children[static_cast<std::size_t>(v)] & ~computed) != 0)
+        live |= Mask{1} << v;
+    }
+    return live;
+  };
+
+  const State start = pack.make(0, 0, 0);
+  std::unordered_map<State, std::int32_t> dist;
+  std::unordered_map<State, Move> pred;
+  dist.reserve(1 << 16);
+  dist[start] = 0;
+
+  std::deque<State> queue;  // 0-1 BFS: cost-0 moves go to the front
+  queue.push_back(start);
+
+  ExactResult result;
+  const std::int64_t m = memory;
+
+  auto relax = [&](State from, State to, std::int32_t weight,
+                   VertexId computed_vertex) {
+    const std::int32_t nd = dist[from] + weight;
+    auto [it, inserted] =
+        dist.try_emplace(to, std::numeric_limits<std::int32_t>::max());
+    if (nd < it->second) {
+      it->second = nd;
+      if (options.reconstruct_order) pred[to] = {from, computed_vertex};
+      if (weight == 0)
+        queue.push_front(to);
+      else
+        queue.push_back(to);
+    }
+  };
+
+  State goal_state = 0;
+  bool found = false;
+  while (!queue.empty()) {
+    const State s = queue.front();
+    queue.pop_front();
+    const Mask computed = pack.computed(s);
+    const Mask resident = pack.resident(s);
+    const Mask written = pack.written(s);
+
+    if (computed == all) {
+      result.io = dist[s];
+      goal_state = s;
+      found = true;
+      break;
+    }
+    ++result.states_expanded;
+    if (result.states_expanded > options.max_states) break;
+
+    // A popped state may be stale (0-1 BFS enqueues duplicates when a
+    // state improves); re-expanding is harmless because relax() always
+    // reads the current best distance of `s`.
+
+    // --- compute moves ---------------------------------------------------
+    for (VertexId v = 0; v < n; ++v) {
+      const Mask bit = Mask{1} << v;
+      if ((computed & bit) != 0) continue;
+      if ((parents[static_cast<std::size_t>(v)] & ~resident) != 0) continue;
+      const Mask new_computed = computed | bit;
+      const Mask live_after = live_mask(new_computed);
+      Mask new_resident = resident & live_after;
+      const Mask new_written = written & live_after;
+      const bool needs_slot =
+          (children[static_cast<std::size_t>(v)] & ~new_computed) != 0;
+      if (!needs_slot) {
+        relax(s, pack.make(new_computed, new_resident, new_written), 0, v);
+        continue;
+      }
+      if (std::popcount(new_resident) < m) {
+        relax(s,
+              pack.make(new_computed, new_resident | bit, new_written), 0,
+              v);
+        continue;
+      }
+      // Memory full after the surviving operands: fuse one eviction into
+      // the move (write the victim if it was never persisted). The victim
+      // may also be v itself — "compute and write out immediately".
+      Mask victims = new_resident | bit;
+      while (victims != 0) {
+        const int u = std::countr_zero(victims);
+        victims &= victims - 1;
+        const Mask ubit = Mask{1} << u;
+        const Mask r2 = (new_resident | bit) & ~ubit;
+        const bool pay = (new_written & ubit) == 0;  // live by construction
+        relax(s, pack.make(new_computed, r2, new_written | ubit),
+              pay ? 1 : 0, v);
+      }
+    }
+
+    // --- evict moves -------------------------------------------------------
+    Mask evictable = resident;
+    while (evictable != 0) {
+      const int u = std::countr_zero(evictable);
+      evictable &= evictable - 1;
+      const Mask ubit = Mask{1} << u;
+      const bool pay = (written & ubit) == 0;  // canonical ⇒ u is live
+      relax(s, pack.make(computed, resident & ~ubit, written | ubit),
+            pay ? 1 : 0, -1);
+    }
+
+    // --- read moves ----------------------------------------------------
+    if (std::popcount(resident) < m) {
+      Mask readable = written & ~resident;
+      while (readable != 0) {
+        const int u = std::countr_zero(readable);
+        readable &= readable - 1;
+        relax(s, pack.make(computed, resident | (Mask{1} << u), written), 1,
+              -1);
+      }
+    }
+  }
+
+  result.complete = found;
+  if (found && options.reconstruct_order) {
+    std::vector<VertexId> rev;
+    State cur = goal_state;
+    while (cur != start) {
+      const Move& mv = pred.at(cur);
+      if (mv.computed_vertex >= 0) rev.push_back(mv.computed_vertex);
+      cur = mv.from;
+    }
+    result.order.assign(rev.rbegin(), rev.rend());
+  }
+  return result;
+}
+
+}  // namespace graphio::exact

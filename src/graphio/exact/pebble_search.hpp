@@ -1,0 +1,67 @@
+// Exact optimal I/O for small computation graphs.
+//
+// The paper (and every bound in this library) targets J*(G) — the I/O of
+// the *best* evaluation order under the Section 3 memory model. For graphs
+// of up to ~20 vertices J* can be computed exactly by shortest-path search
+// over machine states, which gives the test suite a ground truth that
+// every lower bound must stay below and every simulated schedule must stay
+// above:
+//
+//     spectral / min-cut lower bounds  ≤  J*(G)  ≤  simulate_io(any order).
+//
+// The state is (computed set C, fast-memory contents R, written set W).
+// Moves mirror the model exactly (see sim/memsim.hpp for the scheduling
+// counterpart):
+//   * compute v (cost 0): all distinct parents of v resident; v joins R if
+//     it still has uncomputed consumers; values whose last consumer was v
+//     leave R and W (dead values are dropped eagerly — they can never be
+//     useful again, so canonical states never retain them);
+//   * evict u ∈ R (cost 1 if u is live and unwritten — the model forbids
+//     recomputation, so a still-needed value must be persisted; cost 0 if
+//     u was already written);
+//   * read u (cost 1): u written, not resident, and a slot is free.
+// Inputs are computed with no parents (the paper's free first-touch rule),
+// and sinks are reported immediately, so trivial I/O never appears.
+//
+// The search is 0-1 BFS (Dijkstra with unit weights) over states encoded
+// in 64 bits, which caps the vertex count at 21.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graphio/graph/digraph.hpp"
+
+namespace graphio::exact {
+
+/// Hard limit on graph size: states pack 3 bit-sets of n bits into 64 bits.
+inline constexpr std::int64_t kMaxExactVertices = 21;
+
+struct ExactOptions {
+  /// Search state cap; when exceeded the result is marked incomplete.
+  std::int64_t max_states = 20'000'000;
+  /// Also reconstruct one optimal evaluation order (costs extra memory).
+  bool reconstruct_order = false;
+};
+
+struct ExactResult {
+  /// Optimal non-trivial I/O J*(G), or -1 when the search was cut off.
+  std::int64_t io = -1;
+  /// True when the search ran to completion (io is exact, not a cutoff).
+  bool complete = false;
+  std::int64_t states_expanded = 0;
+  /// An optimal topological evaluation order (only when requested). Note
+  /// that replaying it through simulate_io may cost *more* than `io`:
+  /// the search also optimizes eviction decisions, which Belady's rule
+  /// does not capture once writes have distinct costs.
+  std::vector<VertexId> order;
+};
+
+/// Computes J*(G) exactly for graphs with at most kMaxExactVertices
+/// vertices. Throws if the graph is too large, cyclic, or if `memory` is
+/// smaller than some vertex's distinct-operand count plus its own slot
+/// requirement (such graphs cannot be evaluated at all in the model).
+ExactResult exact_optimal_io(const Digraph& g, std::int64_t memory,
+                             const ExactOptions& options = {});
+
+}  // namespace graphio::exact

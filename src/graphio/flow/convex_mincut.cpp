@@ -1,0 +1,155 @@
+#include "graphio/flow/convex_mincut.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "graphio/flow/dinic.hpp"
+#include "graphio/flow/partitioner.hpp"
+#include "graphio/flow/push_relabel.hpp"
+#include "graphio/support/contracts.hpp"
+#include "graphio/support/parallel.hpp"
+#include "graphio/support/timer.hpp"
+
+namespace graphio::flow {
+
+namespace {
+
+/// Marks all strict descendants of v (BFS over children).
+void mark_descendants(const Digraph& g, VertexId v, std::vector<char>& mark,
+                      std::vector<VertexId>& queue) {
+  mark.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  queue.clear();
+  for (VertexId child : g.children(v)) {
+    if (!mark[static_cast<std::size_t>(child)]) {
+      mark[static_cast<std::size_t>(child)] = 1;
+      queue.push_back(child);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (VertexId child : g.children(queue[head])) {
+      if (!mark[static_cast<std::size_t>(child)]) {
+        mark[static_cast<std::size_t>(child)] = 1;
+        queue.push_back(child);
+      }
+    }
+  }
+}
+
+template <typename Network>
+std::int64_t wavefront_mincut_impl(const Digraph& g, VertexId v,
+                                   std::vector<char>& descendant,
+                                   std::vector<VertexId>& scratch) {
+  if (g.out_degree(v) == 0) return 0;
+  mark_descendants(g, v, descendant, scratch);
+
+  const std::int64_t n = g.num_vertices();
+  // Node layout: u_in = 2u, u_out = 2u + 1, s = 2n, t = 2n + 1.
+  Network net(2 * n + 2);
+  const std::int64_t s = 2 * n;
+  const std::int64_t t = 2 * n + 1;
+  auto in_node = [](VertexId u) { return 2 * u; };
+  auto out_node = [](VertexId u) { return 2 * u + 1; };
+
+  for (VertexId u = 0; u < n; ++u) net.add_edge(in_node(u), out_node(u), 1);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId w : g.children(u)) {
+      net.add_edge(out_node(u), in_node(w), Network::kInfinity);  // boundary
+      net.add_edge(in_node(w), in_node(u), Network::kInfinity);  // closure
+    }
+  }
+  net.add_edge(s, in_node(v), Network::kInfinity);
+  for (VertexId w = 0; w < n; ++w)
+    if (descendant[static_cast<std::size_t>(w)])
+      net.add_edge(in_node(w), t, Network::kInfinity);
+
+  const std::int64_t cut = net.max_flow(s, t);
+  GIO_ENSURES(cut < Network::kInfinity);
+  return cut;
+}
+
+std::int64_t wavefront_mincut_dispatch(const Digraph& g, VertexId v,
+                                       FlowEngine engine,
+                                       std::vector<char>& descendant,
+                                       std::vector<VertexId>& scratch) {
+  return engine == FlowEngine::kDinic
+             ? wavefront_mincut_impl<Dinic>(g, v, descendant, scratch)
+             : wavefront_mincut_impl<PushRelabel>(g, v, descendant, scratch);
+}
+
+}  // namespace
+
+std::int64_t wavefront_mincut(const Digraph& g, VertexId v,
+                              FlowEngine engine) {
+  GIO_EXPECTS(g.contains(v));
+  std::vector<char> descendant;
+  std::vector<VertexId> scratch;
+  return wavefront_mincut_dispatch(g, v, engine, descendant, scratch);
+}
+
+ConvexMinCutResult convex_mincut_bound(const Digraph& g, double memory,
+                                       const ConvexMinCutOptions& options) {
+  GIO_EXPECTS_MSG(memory >= 0.0, "memory size must be non-negative");
+  const std::int64_t n = g.num_vertices();
+  WallTimer timer;
+
+  std::vector<std::int64_t> cuts(static_cast<std::size_t>(n), 0);
+  std::vector<char> processed(static_cast<std::size_t>(n), 0);
+  std::atomic<bool> expired{false};
+
+  auto body = [&](std::int64_t v) {
+    if (expired.load(std::memory_order_relaxed)) return;
+    thread_local std::vector<char> descendant;
+    thread_local std::vector<VertexId> scratch;
+    cuts[static_cast<std::size_t>(v)] = wavefront_mincut_dispatch(
+        g, static_cast<VertexId>(v), options.engine, descendant, scratch);
+    processed[static_cast<std::size_t>(v)] = 1;
+    if (timer.seconds() > options.time_budget_seconds)
+      expired.store(true, std::memory_order_relaxed);
+  };
+  if (options.parallel) {
+    parallel_for_dynamic(n, body);
+  } else {
+    for (std::int64_t v = 0; v < n && !expired; ++v) body(v);
+  }
+
+  ConvexMinCutResult result;
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (!processed[static_cast<std::size_t>(v)]) continue;
+    ++result.vertices_processed;
+    const std::int64_t cut = cuts[static_cast<std::size_t>(v)];
+    if (result.best_vertex < 0 || cut > result.best_cut) {
+      result.best_vertex = static_cast<VertexId>(v);
+      result.best_cut = cut;
+    }
+  }
+  // max_v 2·(C(v) − M) is monotone in C(v), so only the largest cut matters.
+  result.bound =
+      std::max(0.0, 2.0 * (static_cast<double>(result.best_cut) - memory));
+  result.completed = !expired.load();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+ConvexMinCutResult partitioned_convex_mincut_bound(
+    const Digraph& g, double memory, std::int64_t max_part_size,
+    const ConvexMinCutOptions& options) {
+  GIO_EXPECTS(max_part_size >= 1);
+  WallTimer timer;
+  ConvexMinCutResult total;
+  for (const auto& part : bfs_partition(g, max_part_size)) {
+    const Digraph sub = induced_subgraph(g, part);
+    ConvexMinCutOptions sub_options = options;
+    sub_options.time_budget_seconds =
+        options.time_budget_seconds - timer.seconds();
+    const ConvexMinCutResult piece =
+        convex_mincut_bound(sub, memory, sub_options);
+    total.bound += piece.bound;
+    total.vertices_processed += piece.vertices_processed;
+    total.completed = total.completed && piece.completed;
+    if (!piece.completed) break;
+  }
+  total.seconds = timer.seconds();
+  return total;
+}
+
+}  // namespace graphio::flow

@@ -1,0 +1,132 @@
+#include "graphio/flow/dinic.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::flow {
+
+Dinic::Dinic(std::int64_t num_nodes) {
+  GIO_EXPECTS(num_nodes >= 0);
+  adj_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void Dinic::add_edge(std::int64_t u, std::int64_t v, std::int64_t capacity) {
+  GIO_EXPECTS(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  GIO_EXPECTS(capacity >= 0);
+  adj_[static_cast<std::size_t>(u)].push_back(
+      {v, capacity, adj_[static_cast<std::size_t>(v)].size()});
+  adj_[static_cast<std::size_t>(v)].push_back(
+      {u, 0, adj_[static_cast<std::size_t>(u)].size() - 1});
+}
+
+bool Dinic::bfs(std::int64_t s, std::int64_t t) {
+  level_.assign(adj_.size(), -1);
+  std::queue<std::int64_t> queue;
+  level_[static_cast<std::size_t>(s)] = 0;
+  queue.push(s);
+  while (!queue.empty()) {
+    const std::int64_t v = queue.front();
+    queue.pop();
+    for (const Arc& arc : adj_[static_cast<std::size_t>(v)]) {
+      if (arc.cap <= 0 || level_[static_cast<std::size_t>(arc.to)] >= 0)
+        continue;
+      level_[static_cast<std::size_t>(arc.to)] =
+          level_[static_cast<std::size_t>(v)] + 1;
+      queue.push(arc.to);
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] >= 0;
+}
+
+std::int64_t Dinic::blocking_flow(std::int64_t s, std::int64_t t) {
+  // Iterative DFS with the current-arc optimization; recursion would
+  // overflow the stack on path-like computation graphs.
+  struct Step {
+    std::int64_t from;
+    std::size_t arc;
+  };
+  std::int64_t total = 0;
+  std::vector<Step> path;
+  std::int64_t v = s;
+  for (;;) {
+    if (v == t) {
+      std::int64_t push = kInfinity;
+      for (const Step& step : path) {
+        const Arc& arc =
+            adj_[static_cast<std::size_t>(step.from)][step.arc];
+        push = std::min(push, arc.cap);
+      }
+      for (const Step& step : path) {
+        Arc& arc = adj_[static_cast<std::size_t>(step.from)][step.arc];
+        arc.cap -= push;
+        adj_[static_cast<std::size_t>(arc.to)][arc.rev].cap += push;
+      }
+      total += push;
+      // Retreat to just before the first saturated arc on the path.
+      std::size_t cut = 0;
+      while (cut < path.size() &&
+             adj_[static_cast<std::size_t>(path[cut].from)][path[cut].arc]
+                     .cap > 0)
+        ++cut;
+      GIO_ASSERT(cut < path.size());
+      v = path[cut].from;
+      path.resize(cut);
+      continue;
+    }
+    auto& arcs = adj_[static_cast<std::size_t>(v)];
+    std::size_t& i = iter_[static_cast<std::size_t>(v)];
+    bool advanced = false;
+    while (i < arcs.size()) {
+      const Arc& arc = arcs[i];
+      if (arc.cap > 0 && level_[static_cast<std::size_t>(arc.to)] ==
+                             level_[static_cast<std::size_t>(v)] + 1) {
+        path.push_back({v, i});
+        v = arc.to;
+        advanced = true;
+        break;
+      }
+      ++i;
+    }
+    if (advanced) continue;
+    // Dead end: prune this node from the level graph and retreat.
+    if (path.empty()) break;
+    level_[static_cast<std::size_t>(v)] = -1;
+    v = path.back().from;
+    ++iter_[static_cast<std::size_t>(v)];
+    path.pop_back();
+  }
+  return total;
+}
+
+std::int64_t Dinic::max_flow(std::int64_t s, std::int64_t t) {
+  GIO_EXPECTS(s >= 0 && s < num_nodes() && t >= 0 && t < num_nodes());
+  GIO_EXPECTS_MSG(s != t, "source and sink must differ");
+  std::int64_t flow = 0;
+  while (bfs(s, t)) {
+    iter_.assign(adj_.size(), 0);
+    flow += blocking_flow(s, t);
+  }
+  return flow;
+}
+
+std::vector<char> Dinic::min_cut_source_side(std::int64_t s) const {
+  std::vector<char> reachable(adj_.size(), 0);
+  std::queue<std::int64_t> queue;
+  reachable[static_cast<std::size_t>(s)] = 1;
+  queue.push(s);
+  while (!queue.empty()) {
+    const std::int64_t v = queue.front();
+    queue.pop();
+    for (const Arc& arc : adj_[static_cast<std::size_t>(v)]) {
+      if (arc.cap <= 0 || reachable[static_cast<std::size_t>(arc.to)])
+        continue;
+      reachable[static_cast<std::size_t>(arc.to)] = 1;
+      queue.push(arc.to);
+    }
+  }
+  return reachable;
+}
+
+}  // namespace graphio::flow

@@ -1,0 +1,50 @@
+// Dinic's max-flow algorithm (blocking flows on BFS level graphs).
+//
+// Substrate for the convex min-cut baseline of Elango et al. [13]; the
+// networks there have unit vertex capacities, where Dinic runs in
+// O(E·sqrt(V)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace graphio::flow {
+
+class Dinic {
+ public:
+  /// Effectively-infinite capacity for structural arcs.
+  static constexpr std::int64_t kInfinity =
+      std::int64_t{1} << 60;
+
+  explicit Dinic(std::int64_t num_nodes);
+
+  /// Adds a directed arc u → v with the given capacity (residual arc has 0).
+  void add_edge(std::int64_t u, std::int64_t v, std::int64_t capacity);
+
+  /// Computes the maximum s-t flow. May be called once per instance.
+  std::int64_t max_flow(std::int64_t s, std::int64_t t);
+
+  /// After max_flow: the set of nodes reachable from s in the residual
+  /// graph (the source side of a minimum cut).
+  [[nodiscard]] std::vector<char> min_cut_source_side(std::int64_t s) const;
+
+  [[nodiscard]] std::int64_t num_nodes() const noexcept {
+    return static_cast<std::int64_t>(adj_.size());
+  }
+
+ private:
+  struct Arc {
+    std::int64_t to;
+    std::int64_t cap;
+    std::size_t rev;  // index of the reverse arc in adj_[to]
+  };
+
+  bool bfs(std::int64_t s, std::int64_t t);
+  std::int64_t blocking_flow(std::int64_t s, std::int64_t t);
+
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace graphio::flow

@@ -1,0 +1,71 @@
+#include "graphio/flow/partitioner.hpp"
+
+#include <unordered_map>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::flow {
+
+std::vector<std::vector<VertexId>> bfs_partition(const Digraph& g,
+                                                 std::int64_t max_part_size) {
+  GIO_EXPECTS(max_part_size >= 1);
+  const std::int64_t n = g.num_vertices();
+  std::vector<char> assigned(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<VertexId>> parts;
+
+  std::vector<VertexId> queue;
+  for (VertexId seed = 0; seed < n; ++seed) {
+    if (assigned[static_cast<std::size_t>(seed)]) continue;
+    std::vector<VertexId> part;
+    queue.clear();
+    queue.push_back(seed);
+    assigned[static_cast<std::size_t>(seed)] = 1;
+    // BFS over the undirected skeleton; a part stops growing at the cap
+    // and remaining frontier vertices seed later parts.
+    for (std::size_t head = 0;
+         head < queue.size() &&
+         static_cast<std::int64_t>(part.size()) < max_part_size;
+         ++head) {
+      const VertexId v = queue[head];
+      part.push_back(v);
+      auto visit = [&](VertexId next) {
+        if (!assigned[static_cast<std::size_t>(next)] &&
+            static_cast<std::int64_t>(queue.size()) <
+                max_part_size * 4) {  // bounded frontier
+          assigned[static_cast<std::size_t>(next)] = 1;
+          queue.push_back(next);
+        }
+      };
+      for (VertexId next : g.children(v)) visit(next);
+      for (VertexId next : g.parents(v)) visit(next);
+    }
+    // Vertices queued but not placed get released for later seeds.
+    for (std::size_t head = part.size(); head < queue.size(); ++head)
+      assigned[static_cast<std::size_t>(queue[head])] = 0;
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+Digraph induced_subgraph(const Digraph& g,
+                         std::span<const VertexId> vertices) {
+  std::unordered_map<VertexId, VertexId> remap;
+  remap.reserve(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    GIO_EXPECTS(g.contains(vertices[i]));
+    const bool fresh =
+        remap.emplace(vertices[i], static_cast<VertexId>(i)).second;
+    GIO_EXPECTS_MSG(fresh, "induced_subgraph: duplicate vertex");
+  }
+  Digraph sub(static_cast<std::int64_t>(vertices.size()));
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (VertexId child : g.children(vertices[i])) {
+      auto it = remap.find(child);
+      if (it != remap.end())
+        sub.add_edge(static_cast<VertexId>(i), it->second);
+    }
+  }
+  return sub;
+}
+
+}  // namespace graphio::flow

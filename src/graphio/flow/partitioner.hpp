@@ -1,0 +1,27 @@
+// Simple connectivity-aware graph partitioner.
+//
+// Stands in for METIS in the partitioned convex min-cut variant: grows
+// parts by BFS over the undirected skeleton until the size cap, which is
+// enough to reproduce the paper's observation that sub-graph partitioning
+// makes the baseline trivial on complex graphs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graphio/graph/digraph.hpp"
+
+namespace graphio::flow {
+
+/// Partitions vertices into connected-ish parts of at most max_part_size.
+/// Every vertex appears in exactly one part.
+std::vector<std::vector<VertexId>> bfs_partition(const Digraph& g,
+                                                 std::int64_t max_part_size);
+
+/// The sub-graph induced by `vertices` (ids are remapped to 0..k-1 in the
+/// given order; edges with both endpoints inside are kept, with
+/// multiplicity).
+Digraph induced_subgraph(const Digraph& g, std::span<const VertexId> vertices);
+
+}  // namespace graphio::flow

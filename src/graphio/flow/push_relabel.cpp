@@ -1,0 +1,197 @@
+#include "graphio/flow/push_relabel.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::flow {
+
+PushRelabel::PushRelabel(std::int64_t num_nodes) {
+  GIO_EXPECTS(num_nodes >= 0);
+  adj_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void PushRelabel::add_edge(std::int64_t u, std::int64_t v,
+                           std::int64_t capacity) {
+  GIO_EXPECTS(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  GIO_EXPECTS(capacity >= 0);
+  auto& fwd = adj_[static_cast<std::size_t>(u)];
+  auto& bwd = adj_[static_cast<std::size_t>(v)];
+  fwd.push_back({v, capacity, bwd.size()});
+  bwd.push_back({u, 0, fwd.size() - 1});
+}
+
+void PushRelabel::push(std::int64_t u, Arc& arc) {
+  const std::int64_t amount =
+      std::min(excess_[static_cast<std::size_t>(u)], arc.cap);
+  arc.cap -= amount;
+  adj_[static_cast<std::size_t>(arc.to)][arc.rev].cap += amount;
+  excess_[static_cast<std::size_t>(u)] -= amount;
+  excess_[static_cast<std::size_t>(arc.to)] += amount;
+}
+
+void PushRelabel::relabel(std::int64_t u) {
+  std::int64_t lowest = 2 * num_nodes();
+  for (const Arc& arc : adj_[static_cast<std::size_t>(u)])
+    if (arc.cap > 0)
+      lowest = std::min(lowest, height_[static_cast<std::size_t>(arc.to)]);
+  height_[static_cast<std::size_t>(u)] = lowest + 1;
+}
+
+void PushRelabel::global_relabel(std::int64_t s, std::int64_t t) {
+  // Exact heights = BFS distance to t in the residual graph; unreachable
+  // nodes sit at n + distance-to-s (they can only return flow to s).
+  const std::int64_t n = num_nodes();
+  std::fill(height_.begin(), height_.end(), 2 * n);
+  std::queue<std::int64_t> queue;
+  auto scan = [&](std::int64_t root, std::int64_t base) {
+    height_[static_cast<std::size_t>(root)] = base;
+    queue.push(root);
+    while (!queue.empty()) {
+      const std::int64_t u = queue.front();
+      queue.pop();
+      for (const Arc& arc : adj_[static_cast<std::size_t>(u)]) {
+        // Residual arc arc.to → u exists iff the reverse arc has capacity.
+        const Arc& rev = adj_[static_cast<std::size_t>(arc.to)][arc.rev];
+        const auto to = static_cast<std::size_t>(arc.to);
+        if (rev.cap > 0 && height_[to] >= 2 * n &&
+            arc.to != s && arc.to != t) {
+          height_[to] = height_[static_cast<std::size_t>(u)] + 1;
+          queue.push(arc.to);
+        }
+      }
+    }
+  };
+  scan(t, 0);
+  height_[static_cast<std::size_t>(s)] = n;
+  scan(s, n);
+
+  std::fill(height_count_.begin(), height_count_.end(), 0);
+  for (std::int64_t v = 0; v < n; ++v)
+    if (height_[static_cast<std::size_t>(v)] < 2 * n)
+      ++height_count_[static_cast<std::size_t>(
+          height_[static_cast<std::size_t>(v)])];
+  std::fill(current_.begin(), current_.end(), 0);
+}
+
+void PushRelabel::gap_heuristic(std::int64_t gap) {
+  // No node left at height `gap`: every node strictly between gap and n
+  // can no longer reach t and is lifted above s's height in one step.
+  const std::int64_t n = num_nodes();
+  for (std::int64_t v = 0; v < n; ++v) {
+    auto& h = height_[static_cast<std::size_t>(v)];
+    if (h > gap && h < n) {
+      --height_count_[static_cast<std::size_t>(h)];
+      h = n + 1;
+      if (h < 2 * n) ++height_count_[static_cast<std::size_t>(h)];
+      current_[static_cast<std::size_t>(v)] = 0;
+    }
+  }
+}
+
+std::int64_t PushRelabel::max_flow(std::int64_t s, std::int64_t t) {
+  GIO_EXPECTS(s >= 0 && s < num_nodes() && t >= 0 && t < num_nodes());
+  GIO_EXPECTS_MSG(s != t, "source and sink must differ");
+  const std::int64_t n = num_nodes();
+  excess_.assign(static_cast<std::size_t>(n), 0);
+  height_.assign(static_cast<std::size_t>(n), 0);
+  current_.assign(static_cast<std::size_t>(n), 0);
+  height_count_.assign(static_cast<std::size_t>(2 * n), 0);
+  active_.assign(static_cast<std::size_t>(n), 0);
+  fifo_.clear();
+  fifo_head_ = 0;
+
+  global_relabel(s, t);
+
+  // Saturate every arc out of s.
+  excess_[static_cast<std::size_t>(s)] = 0;
+  for (Arc& arc : adj_[static_cast<std::size_t>(s)]) {
+    excess_[static_cast<std::size_t>(s)] += arc.cap;
+    push(s, arc);
+  }
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (v != s && v != t && excess_[static_cast<std::size_t>(v)] > 0) {
+      fifo_.push_back(v);
+      active_[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+
+  // Periodic global relabeling: roughly once per O(n + m) discharge work.
+  std::int64_t work = 0;
+  std::int64_t arcs = 0;
+  for (const auto& list : adj_) arcs += static_cast<std::int64_t>(list.size());
+  const std::int64_t work_budget = std::max<std::int64_t>(n + arcs, 64);
+
+  while (fifo_head_ < fifo_.size()) {
+    const std::int64_t u = fifo_[fifo_head_++];
+    active_[static_cast<std::size_t>(u)] = 0;
+    if (fifo_head_ > 1024 && fifo_head_ * 2 > fifo_.size()) {
+      fifo_.erase(fifo_.begin(),
+                  fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_head_));
+      fifo_head_ = 0;
+    }
+    if (u == s || u == t) continue;
+
+    // Discharge u.
+    while (excess_[static_cast<std::size_t>(u)] > 0) {
+      auto& list = adj_[static_cast<std::size_t>(u)];
+      if (current_[static_cast<std::size_t>(u)] >= list.size()) {
+        const std::int64_t old_height = height_[static_cast<std::size_t>(u)];
+        if (old_height < 2 * n)
+          --height_count_[static_cast<std::size_t>(old_height)];
+        relabel(u);
+        work += static_cast<std::int64_t>(list.size());
+        const std::int64_t new_height = height_[static_cast<std::size_t>(u)];
+        if (new_height < 2 * n)
+          ++height_count_[static_cast<std::size_t>(new_height)];
+        if (old_height < n &&
+            height_count_[static_cast<std::size_t>(old_height)] == 0)
+          gap_heuristic(old_height);
+        current_[static_cast<std::size_t>(u)] = 0;
+        if (height_[static_cast<std::size_t>(u)] >= 2 * n) break;
+        continue;
+      }
+      Arc& arc = list[current_[static_cast<std::size_t>(u)]];
+      ++work;
+      if (arc.cap > 0 && height_[static_cast<std::size_t>(u)] ==
+                             height_[static_cast<std::size_t>(arc.to)] + 1) {
+        push(u, arc);
+        if (arc.to != s && arc.to != t &&
+            !active_[static_cast<std::size_t>(arc.to)]) {
+          fifo_.push_back(arc.to);
+          active_[static_cast<std::size_t>(arc.to)] = 1;
+        }
+      } else {
+        ++current_[static_cast<std::size_t>(u)];
+      }
+    }
+
+    if (work >= work_budget) {
+      work = 0;
+      global_relabel(s, t);
+    }
+  }
+  return excess_[static_cast<std::size_t>(t)];
+}
+
+std::vector<char> PushRelabel::min_cut_source_side(std::int64_t s) const {
+  GIO_EXPECTS(s >= 0 && s < num_nodes());
+  std::vector<char> reachable(static_cast<std::size_t>(num_nodes()), 0);
+  std::queue<std::int64_t> queue;
+  reachable[static_cast<std::size_t>(s)] = 1;
+  queue.push(s);
+  while (!queue.empty()) {
+    const std::int64_t u = queue.front();
+    queue.pop();
+    for (const Arc& arc : adj_[static_cast<std::size_t>(u)]) {
+      if (arc.cap > 0 && !reachable[static_cast<std::size_t>(arc.to)]) {
+        reachable[static_cast<std::size_t>(arc.to)] = 1;
+        queue.push(arc.to);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace graphio::flow

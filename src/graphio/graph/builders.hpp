@@ -1,0 +1,104 @@
+// Computation-graph builders for every family in the paper's evaluation
+// (Section 6.2), the illustration graphs (Figures 1, 4, 5, 6), and classic
+// graphs with known spectra used to validate the eigensolvers.
+#pragma once
+
+#include <cstdint>
+
+#include "graphio/graph/digraph.hpp"
+
+namespace graphio::builders {
+
+/// Inner product of two length-m vectors (paper Figure 1 for m = 2):
+/// 2m inputs, m products, and a chain of m−1 additions.
+Digraph inner_product(int m);
+
+/// The 2^l-point FFT butterfly graph B_l (paper Figure 5): (l+1)·2^l
+/// vertices in l+1 columns; vertex (c, r) for c ≥ 1 has parents
+/// (c−1, r) and (c−1, r xor 2^{c−1}). Max in/out degree 2.
+Digraph fft(int levels);
+
+/// Vertex id of butterfly vertex (column c, row r) in fft(levels).
+VertexId fft_vertex(int levels, int column, std::int64_t row);
+
+/// How the n products of each dot product are reduced in naive_matmul.
+enum class Reduction {
+  kNary,        ///< one sum vertex with n parents (paper: "max in-degree n")
+  kChain,       ///< left-to-right accumulation, n−1 binary adds
+  kBinaryTree,  ///< balanced tree, n−1 binary adds
+};
+
+/// Naive n×n matrix multiplication C = A·B: 2n² inputs, n³ products,
+/// plus the reduction vertices (paper Figure 6, second graph).
+Digraph naive_matmul(int n, Reduction reduction = Reduction::kNary);
+
+/// Strassen multiplication of two n×n matrices (n a power of two).
+/// Quadrant pre-additions are binary; the C11/C22 recombinations are
+/// 4-ary (paper: "max in-degree 4").
+Digraph strassen_matmul(int n);
+
+/// Bellman–Held–Karp dynamic program for an l-city TSP: the boolean
+/// l-dimensional hypercube (paper Figure 4); edges go from each subset to
+/// its supersets with one extra city. 2^l vertices, max in-degree l.
+Digraph bhk_hypercube(int cities);
+
+/// Erdős–Rényi G(n, p) oriented low-index → high-index (a DAG whose
+/// undirected skeleton is exactly G(n, p)); Section 5.3.
+Digraph erdos_renyi_dag(std::int64_t n, double p, std::uint64_t seed);
+
+// --- classic graphs (eigensolver validation, extra workloads) -----------
+
+/// Directed path 0 → 1 → … → n−1.
+Digraph path(std::int64_t n);
+
+/// Directed cycle (not a DAG; Laplacian tests only).
+Digraph cycle(std::int64_t n);
+
+/// Complete DAG: edge i → j for every i < j (undirected skeleton K_n).
+Digraph complete_dag(std::int64_t n);
+
+/// Star: 0 → i for i = 1..n−1.
+Digraph star(std::int64_t n);
+
+/// rows×cols grid with edges right and down (stencil-style computation).
+Digraph grid(int rows, int cols);
+
+/// Complete binary reduction tree with 2^depth leaves feeding one root.
+Digraph binary_tree(int depth);
+
+// --- extended workloads (beyond the paper's evaluation set) --------------
+// The paper's method applies to arbitrary computations; these builders
+// exercise it on further kernel families common in HPC practice. Used by
+// bench/new_workloads and the generality tests.
+
+/// Iterated 3-point stencil: `steps` time steps over `cells` cells; vertex
+/// (t, i) consumes (t−1, i−1), (t−1, i), (t−1, i+1) (clamped at borders).
+/// (steps+1)·cells vertices, max in-degree 3.
+Digraph stencil1d(int cells, int steps);
+
+/// Iterated 5-point stencil over a rows×cols domain for `steps` steps.
+/// (steps+1)·rows·cols vertices, max in-degree 5.
+Digraph stencil2d(int rows, int cols, int steps);
+
+/// Blelloch parallel prefix sum over 2^log_n inputs: up-sweep reduction
+/// tree followed by the down-sweep. Outputs one inclusive prefix per
+/// input plus the up-sweep root (the grand total), as in the classic
+/// formulation.
+Digraph prefix_scan(int log_n);
+
+/// Bitonic sorting network on 2^log_n wires. Every compare-exchange is
+/// two vertices (min and max of the two incoming wire values), so the
+/// graph has 2^log_n · (1 + log_n(log_n+1)) vertices and in-degree 2.
+Digraph bitonic_sort(int log_n);
+
+/// Forward-substitution dataflow for solving L·x = b with dense lower
+/// triangular L: n(n+1)/2 + n matrix/vector inputs, one multiply per
+/// (i, j) pair and a chain of subtractions per row. In-degree ≤ 2.
+Digraph triangular_solve(int n);
+
+/// Right-looking dense Cholesky factorization dataflow (A = L·Lᵀ):
+/// sqrt/divide/update vertices over the lower triangle. Θ(n³) vertices,
+/// in-degree ≤ 3.
+Digraph cholesky(int n);
+
+}  // namespace graphio::builders

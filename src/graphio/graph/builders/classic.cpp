@@ -1,0 +1,77 @@
+#include "graphio/graph/builders.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::builders {
+
+Digraph path(std::int64_t n) {
+  GIO_EXPECTS(n >= 0);
+  Digraph g(n);
+  for (std::int64_t i = 0; i + 1 < n; ++i)
+    g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  return g;
+}
+
+Digraph cycle(std::int64_t n) {
+  GIO_EXPECTS_MSG(n >= 3, "a cycle needs at least 3 vertices");
+  Digraph g(n);
+  for (std::int64_t i = 0; i < n; ++i)
+    g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>((i + 1) % n));
+  return g;
+}
+
+Digraph complete_dag(std::int64_t n) {
+  GIO_EXPECTS(n >= 0);
+  Digraph g(n);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = i + 1; j < n; ++j)
+      g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+  return g;
+}
+
+Digraph star(std::int64_t n) {
+  GIO_EXPECTS_MSG(n >= 1, "a star needs a center");
+  Digraph g(n);
+  for (std::int64_t i = 1; i < n; ++i)
+    g.add_edge(0, static_cast<VertexId>(i));
+  return g;
+}
+
+Digraph grid(int rows, int cols) {
+  GIO_EXPECTS(rows >= 1 && cols >= 1);
+  Digraph g(static_cast<std::int64_t>(rows) * cols);
+  auto id = [cols](int i, int j) {
+    return static_cast<VertexId>(static_cast<std::int64_t>(i) * cols + j);
+  };
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (j + 1 < cols) g.add_edge(id(i, j), id(i, j + 1));
+      if (i + 1 < rows) g.add_edge(id(i, j), id(i + 1, j));
+    }
+  }
+  return g;
+}
+
+Digraph binary_tree(int depth) {
+  GIO_EXPECTS(depth >= 0 && depth <= 30);
+  // Leaves are inputs; each internal vertex sums its two children.
+  // Build level by level from the leaves up.
+  Digraph g;
+  std::vector<VertexId> level;
+  const std::int64_t leaves = std::int64_t{1} << depth;
+  level.reserve(static_cast<std::size_t>(leaves));
+  for (std::int64_t i = 0; i < leaves; ++i) level.push_back(g.add_vertex());
+  while (level.size() > 1) {
+    std::vector<VertexId> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const VertexId parent = g.add_vertex();
+      g.add_edge(level[i], parent);
+      g.add_edge(level[i + 1], parent);
+      next.push_back(parent);
+    }
+    level = std::move(next);
+  }
+  return g;
+}
+
+}  // namespace graphio::builders

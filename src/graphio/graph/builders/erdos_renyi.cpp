@@ -1,0 +1,19 @@
+#include "graphio/graph/builders.hpp"
+#include "graphio/support/contracts.hpp"
+#include "graphio/support/prng.hpp"
+
+namespace graphio::builders {
+
+Digraph erdos_renyi_dag(std::int64_t n, double p, std::uint64_t seed) {
+  GIO_EXPECTS(n >= 0);
+  GIO_EXPECTS_MSG(p >= 0.0 && p <= 1.0, "edge probability must be in [0,1]");
+  Digraph g(n);
+  Prng rng(seed);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(p))
+        g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+  return g;
+}
+
+}  // namespace graphio::builders

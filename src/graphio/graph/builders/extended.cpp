@@ -1,0 +1,227 @@
+#include <string>
+#include <vector>
+
+#include "graphio/graph/builders.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::builders {
+
+Digraph stencil1d(int cells, int steps) {
+  GIO_EXPECTS(cells >= 1 && steps >= 0);
+  Digraph g(static_cast<std::int64_t>(cells) * (steps + 1));
+  auto at = [cells](int t, int i) {
+    return static_cast<VertexId>(t) * cells + i;
+  };
+  for (int t = 1; t <= steps; ++t) {
+    for (int i = 0; i < cells; ++i) {
+      for (int di = -1; di <= 1; ++di) {
+        const int j = i + di;
+        if (j < 0 || j >= cells) continue;
+        g.add_edge(at(t - 1, j), at(t, i));
+      }
+    }
+  }
+  return g;
+}
+
+Digraph stencil2d(int rows, int cols, int steps) {
+  GIO_EXPECTS(rows >= 1 && cols >= 1 && steps >= 0);
+  const std::int64_t plane = static_cast<std::int64_t>(rows) * cols;
+  Digraph g(plane * (steps + 1));
+  auto at = [&](int t, int r, int c) {
+    return static_cast<VertexId>(t) * plane + static_cast<VertexId>(r) * cols +
+           c;
+  };
+  constexpr int kDr[] = {0, -1, 1, 0, 0};
+  constexpr int kDc[] = {0, 0, 0, -1, 1};
+  for (int t = 1; t <= steps; ++t) {
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        for (int k = 0; k < 5; ++k) {
+          const int rr = r + kDr[k];
+          const int cc = c + kDc[k];
+          if (rr < 0 || rr >= rows || cc < 0 || cc >= cols) continue;
+          g.add_edge(at(t - 1, rr, cc), at(t, r, c));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Digraph prefix_scan(int log_n) {
+  GIO_EXPECTS(log_n >= 1 && log_n <= 24);
+  const std::int64_t n = std::int64_t{1} << log_n;
+  Digraph g;
+
+  // Inputs.
+  std::vector<VertexId> level(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    level[static_cast<std::size_t>(i)] = g.add_vertex();
+    g.set_name(level[static_cast<std::size_t>(i)],
+               "x" + std::to_string(i));
+  }
+
+  // Up-sweep: reduction tree; ups[d][j] is the sum of block j at level d
+  // (blocks of size 2^{d+1}). ups[d] has n >> (d+1) vertices.
+  std::vector<std::vector<VertexId>> ups;
+  {
+    std::vector<VertexId> current = level;
+    for (int d = 0; d < log_n; ++d) {
+      std::vector<VertexId> next(current.size() / 2);
+      for (std::size_t j = 0; j < next.size(); ++j) {
+        const VertexId s = g.add_vertex();
+        g.add_edge(current[2 * j], s);
+        g.add_edge(current[2 * j + 1], s);
+        next[j] = s;
+      }
+      ups.push_back(next);
+      current = std::move(next);
+    }
+  }
+
+  // Down-sweep: exclusive prefixes flow back down. down[d][j] is the
+  // exclusive prefix of block j at level d; the root's prefix is the
+  // identity (a fresh zero input vertex).
+  std::vector<VertexId> down(1);
+  down[0] = g.add_vertex();  // identity element
+  g.set_name(down[0], "zero");
+  for (int d = log_n - 1; d >= 0; --d) {
+    const std::vector<VertexId>& sums =
+        d > 0 ? ups[static_cast<std::size_t>(d - 1)] : level;
+    std::vector<VertexId> next(sums.size());
+    for (std::size_t j = 0; j < down.size(); ++j) {
+      // Left child inherits the parent's prefix as-is (reuse the vertex);
+      // right child gets prefix + left block sum (one add vertex).
+      next[2 * j] = down[j];
+      const VertexId add = g.add_vertex();
+      g.add_edge(down[j], add);
+      g.add_edge(sums[2 * j], add);
+      next[2 * j + 1] = add;
+    }
+    down = std::move(next);
+  }
+
+  // Final inclusive prefixes: exclusive prefix + own element.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const VertexId out = g.add_vertex();
+    g.set_name(out, "prefix" + std::to_string(i));
+    g.add_edge(down[static_cast<std::size_t>(i)], out);
+    g.add_edge(level[static_cast<std::size_t>(i)], out);
+  }
+  return g;
+}
+
+Digraph bitonic_sort(int log_n) {
+  GIO_EXPECTS(log_n >= 1 && log_n <= 12);
+  const std::int64_t n = std::int64_t{1} << log_n;
+  Digraph g;
+  std::vector<VertexId> wire(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    wire[static_cast<std::size_t>(i)] = g.add_vertex();
+    g.set_name(wire[static_cast<std::size_t>(i)], "in" + std::to_string(i));
+  }
+  // Standard bitonic network: stages k = 2,4,...,n; sub-stages j = k/2..1.
+  for (std::int64_t k = 2; k <= n; k <<= 1) {
+    for (std::int64_t j = k >> 1; j > 0; j >>= 1) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t partner = i ^ j;
+        if (partner <= i) continue;
+        // One compare-exchange: two outputs, each consuming both wires.
+        const VertexId lo = g.add_vertex();
+        const VertexId hi = g.add_vertex();
+        g.add_edge(wire[static_cast<std::size_t>(i)], lo);
+        g.add_edge(wire[static_cast<std::size_t>(partner)], lo);
+        g.add_edge(wire[static_cast<std::size_t>(i)], hi);
+        g.add_edge(wire[static_cast<std::size_t>(partner)], hi);
+        const bool ascending = (i & k) == 0;
+        wire[static_cast<std::size_t>(i)] = ascending ? lo : hi;
+        wire[static_cast<std::size_t>(partner)] = ascending ? hi : lo;
+      }
+    }
+  }
+  return g;
+}
+
+Digraph triangular_solve(int n) {
+  GIO_EXPECTS(n >= 1);
+  Digraph g;
+  // Inputs: L(i, j) for j <= i, and b(i).
+  std::vector<std::vector<VertexId>> l(static_cast<std::size_t>(n));
+  std::vector<VertexId> b(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    l[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(i) + 1);
+    for (int j = 0; j <= i; ++j)
+      l[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          g.add_vertex();
+    b[static_cast<std::size_t>(i)] = g.add_vertex();
+  }
+  std::vector<VertexId> x(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // acc = b_i − Σ_{j<i} L(i,j)·x_j, then x_i = acc / L(i,i).
+    VertexId acc = b[static_cast<std::size_t>(i)];
+    for (int j = 0; j < i; ++j) {
+      const VertexId prod = g.add_vertex();  // L(i,j)·x_j
+      g.add_edge(l[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                 prod);
+      g.add_edge(x[static_cast<std::size_t>(j)], prod);
+      const VertexId sub = g.add_vertex();  // acc − prod
+      g.add_edge(acc, sub);
+      g.add_edge(prod, sub);
+      acc = sub;
+    }
+    const VertexId xi = g.add_vertex();  // acc / L(i,i)
+    g.add_edge(acc, xi);
+    g.add_edge(l[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)],
+               xi);
+    g.set_name(xi, "x" + std::to_string(i));
+    x[static_cast<std::size_t>(i)] = xi;
+  }
+  return g;
+}
+
+Digraph cholesky(int n) {
+  GIO_EXPECTS(n >= 1);
+  Digraph g;
+  // a[i][j] tracks the current value-producing vertex for entry (i, j) of
+  // the working lower triangle; starts as the input A(i, j).
+  std::vector<std::vector<VertexId>> a(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(i) + 1);
+    for (int j = 0; j <= i; ++j)
+      a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          g.add_vertex();
+  }
+  for (int k = 0; k < n; ++k) {
+    // L(k,k) = sqrt(a_kk)
+    const VertexId lkk = g.add_vertex();
+    g.set_name(lkk, "L" + std::to_string(k) + std::to_string(k));
+    g.add_edge(a[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)],
+               lkk);
+    a[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)] = lkk;
+    // Column scale: L(i,k) = a_ik / L(k,k).
+    for (int i = k + 1; i < n; ++i) {
+      const VertexId lik = g.add_vertex();
+      g.add_edge(a[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)],
+                 lik);
+      g.add_edge(lkk, lik);
+      a[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = lik;
+    }
+    // Trailing update: a_ij -= L(i,k)·L(j,k) for k < j <= i.
+    for (int i = k + 1; i < n; ++i) {
+      for (int j = k + 1; j <= i; ++j) {
+        const VertexId upd = g.add_vertex();
+        g.add_edge(a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                   upd);
+        g.add_edge(a[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)],
+                   upd);
+        g.add_edge(a[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)],
+                   upd);
+        a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = upd;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace graphio::builders

@@ -1,0 +1,28 @@
+#include "graphio/graph/builders.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::builders {
+
+VertexId fft_vertex(int levels, int column, std::int64_t row) {
+  GIO_EXPECTS(levels >= 0 && column >= 0 && column <= levels);
+  const std::int64_t width = std::int64_t{1} << levels;
+  GIO_EXPECTS(row >= 0 && row < width);
+  return static_cast<VertexId>(column) * width + row;
+}
+
+Digraph fft(int levels) {
+  GIO_EXPECTS_MSG(levels >= 0 && levels <= 24, "FFT level out of range");
+  const std::int64_t width = std::int64_t{1} << levels;
+  Digraph g((static_cast<std::int64_t>(levels) + 1) * width);
+  for (int c = 1; c <= levels; ++c) {
+    const std::int64_t stride = std::int64_t{1} << (c - 1);
+    for (std::int64_t r = 0; r < width; ++r) {
+      const VertexId dst = fft_vertex(levels, c, r);
+      g.add_edge(fft_vertex(levels, c - 1, r), dst);
+      g.add_edge(fft_vertex(levels, c - 1, r ^ stride), dst);
+    }
+  }
+  return g;
+}
+
+}  // namespace graphio::builders

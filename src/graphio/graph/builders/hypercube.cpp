@@ -1,0 +1,21 @@
+#include "graphio/graph/builders.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::builders {
+
+Digraph bhk_hypercube(int cities) {
+  GIO_EXPECTS_MSG(cities >= 1 && cities <= 28, "city count out of range");
+  const std::int64_t n = std::int64_t{1} << cities;
+  Digraph g(n);
+  for (std::int64_t mask = 0; mask < n; ++mask) {
+    for (int bit = 0; bit < cities; ++bit) {
+      const std::int64_t flag = std::int64_t{1} << bit;
+      if ((mask & flag) == 0)
+        g.add_edge(static_cast<VertexId>(mask),
+                   static_cast<VertexId>(mask | flag));
+    }
+  }
+  return g;
+}
+
+}  // namespace graphio::builders

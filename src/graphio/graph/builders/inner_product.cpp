@@ -1,0 +1,38 @@
+#include "graphio/graph/builders.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::builders {
+
+Digraph inner_product(int m) {
+  GIO_EXPECTS_MSG(m >= 1, "inner product needs at least one element");
+  Digraph g;
+  std::vector<VertexId> a(static_cast<std::size_t>(m));
+  std::vector<VertexId> b(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    a[static_cast<std::size_t>(i)] = g.add_vertex();
+    g.set_name(a[static_cast<std::size_t>(i)], "a" + std::to_string(i));
+  }
+  for (int i = 0; i < m; ++i) {
+    b[static_cast<std::size_t>(i)] = g.add_vertex();
+    g.set_name(b[static_cast<std::size_t>(i)], "b" + std::to_string(i));
+  }
+  std::vector<VertexId> products(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const VertexId p = g.add_vertex();
+    g.set_name(p, "a" + std::to_string(i) + "*b" + std::to_string(i));
+    g.add_edge(a[static_cast<std::size_t>(i)], p);
+    g.add_edge(b[static_cast<std::size_t>(i)], p);
+    products[static_cast<std::size_t>(i)] = p;
+  }
+  VertexId acc = products[0];
+  for (int i = 1; i < m; ++i) {
+    const VertexId s = g.add_vertex();
+    g.set_name(s, "sum" + std::to_string(i));
+    g.add_edge(acc, s);
+    g.add_edge(products[static_cast<std::size_t>(i)], s);
+    acc = s;
+  }
+  return g;
+}
+
+}  // namespace graphio::builders

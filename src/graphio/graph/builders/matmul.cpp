@@ -1,0 +1,80 @@
+#include <functional>
+
+#include "graphio/graph/builders.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::builders {
+
+namespace {
+
+/// Reduces `terms` to a single vertex according to the reduction style.
+VertexId reduce_terms(Digraph& g, const std::vector<VertexId>& terms,
+                      Reduction reduction) {
+  GIO_ASSERT(!terms.empty());
+  if (terms.size() == 1) return terms[0];
+  switch (reduction) {
+    case Reduction::kNary: {
+      const VertexId sum = g.add_vertex();
+      for (VertexId t : terms) g.add_edge(t, sum);
+      return sum;
+    }
+    case Reduction::kChain: {
+      VertexId acc = terms[0];
+      for (std::size_t i = 1; i < terms.size(); ++i) {
+        const VertexId s = g.add_vertex();
+        g.add_edge(acc, s);
+        g.add_edge(terms[i], s);
+        acc = s;
+      }
+      return acc;
+    }
+    case Reduction::kBinaryTree: {
+      std::vector<VertexId> layer = terms;
+      while (layer.size() > 1) {
+        std::vector<VertexId> next;
+        next.reserve((layer.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+          const VertexId s = g.add_vertex();
+          g.add_edge(layer[i], s);
+          g.add_edge(layer[i + 1], s);
+          next.push_back(s);
+        }
+        if (layer.size() % 2 == 1) next.push_back(layer.back());
+        layer = std::move(next);
+      }
+      return layer[0];
+    }
+  }
+  GIO_ASSERT(false);
+  return terms[0];
+}
+
+}  // namespace
+
+Digraph naive_matmul(int n, Reduction reduction) {
+  GIO_EXPECTS_MSG(n >= 1, "matrix side must be positive");
+  const std::int64_t n64 = n;
+  Digraph g(2 * n64 * n64);  // inputs A then B
+  auto a_in = [&](int i, int k) {
+    return static_cast<VertexId>(static_cast<std::int64_t>(i) * n64 + k);
+  };
+  auto b_in = [&](int k, int j) {
+    return static_cast<VertexId>(n64 * n64 + static_cast<std::int64_t>(k) * n64 + j);
+  };
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::vector<VertexId> products(static_cast<std::size_t>(n));
+      for (int k = 0; k < n; ++k) {
+        const VertexId p = g.add_vertex();
+        g.add_edge(a_in(i, k), p);
+        g.add_edge(b_in(k, j), p);
+        products[static_cast<std::size_t>(k)] = p;
+      }
+      (void)reduce_terms(g, products, reduction);
+    }
+  }
+  return g;
+}
+
+}  // namespace graphio::builders

@@ -1,0 +1,135 @@
+#include <vector>
+
+#include "graphio/graph/builders.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::builders {
+
+namespace {
+
+/// A square matrix of vertex ids, n×n row-major.
+struct VertexMatrix {
+  int n = 0;
+  std::vector<VertexId> ids;
+
+  VertexId at(int i, int j) const {
+    return ids[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) + j];
+  }
+  VertexId& at(int i, int j) {
+    return ids[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) + j];
+  }
+  static VertexMatrix sized(int n) {
+    VertexMatrix m;
+    m.n = n;
+    m.ids.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+    return m;
+  }
+};
+
+VertexMatrix quadrant(const VertexMatrix& m, int qi, int qj) {
+  const int h = m.n / 2;
+  VertexMatrix out = VertexMatrix::sized(h);
+  for (int i = 0; i < h; ++i)
+    for (int j = 0; j < h; ++j) out.at(i, j) = m.at(qi * h + i, qj * h + j);
+  return out;
+}
+
+/// Elementwise binary combination (add/sub): one new vertex per element
+/// with two parents.
+VertexMatrix combine2(Digraph& g, const VertexMatrix& x,
+                      const VertexMatrix& y) {
+  GIO_ASSERT(x.n == y.n);
+  VertexMatrix out = VertexMatrix::sized(x.n);
+  for (int i = 0; i < x.n; ++i) {
+    for (int j = 0; j < x.n; ++j) {
+      const VertexId v = g.add_vertex();
+      g.add_edge(x.at(i, j), v);
+      g.add_edge(y.at(i, j), v);
+      out.at(i, j) = v;
+    }
+  }
+  return out;
+}
+
+/// Elementwise 4-ary combination (e.g. C11 = M1 + M4 − M5 + M7): one new
+/// vertex per element with four parents — the paper's "max in-degree 4".
+VertexMatrix combine4(Digraph& g, const VertexMatrix& a,
+                      const VertexMatrix& b, const VertexMatrix& c,
+                      const VertexMatrix& d) {
+  VertexMatrix out = VertexMatrix::sized(a.n);
+  for (int i = 0; i < a.n; ++i) {
+    for (int j = 0; j < a.n; ++j) {
+      const VertexId v = g.add_vertex();
+      g.add_edge(a.at(i, j), v);
+      g.add_edge(b.at(i, j), v);
+      g.add_edge(c.at(i, j), v);
+      g.add_edge(d.at(i, j), v);
+      out.at(i, j) = v;
+    }
+  }
+  return out;
+}
+
+VertexMatrix strassen_rec(Digraph& g, const VertexMatrix& a,
+                          const VertexMatrix& b) {
+  GIO_ASSERT(a.n == b.n);
+  if (a.n == 1) {
+    VertexMatrix out = VertexMatrix::sized(1);
+    const VertexId p = g.add_vertex();
+    g.add_edge(a.at(0, 0), p);
+    g.add_edge(b.at(0, 0), p);
+    out.at(0, 0) = p;
+    return out;
+  }
+
+  const VertexMatrix a11 = quadrant(a, 0, 0), a12 = quadrant(a, 0, 1);
+  const VertexMatrix a21 = quadrant(a, 1, 0), a22 = quadrant(a, 1, 1);
+  const VertexMatrix b11 = quadrant(b, 0, 0), b12 = quadrant(b, 0, 1);
+  const VertexMatrix b21 = quadrant(b, 1, 0), b22 = quadrant(b, 1, 1);
+
+  // The seven Strassen products with their pre-combinations.
+  const VertexMatrix m1 = strassen_rec(g, combine2(g, a11, a22), combine2(g, b11, b22));
+  const VertexMatrix m2 = strassen_rec(g, combine2(g, a21, a22), b11);
+  const VertexMatrix m3 = strassen_rec(g, a11, combine2(g, b12, b22));
+  const VertexMatrix m4 = strassen_rec(g, a22, combine2(g, b21, b11));
+  const VertexMatrix m5 = strassen_rec(g, combine2(g, a11, a12), b22);
+  const VertexMatrix m6 = strassen_rec(g, combine2(g, a21, a11), combine2(g, b11, b12));
+  const VertexMatrix m7 = strassen_rec(g, combine2(g, a12, a22), combine2(g, b21, b22));
+
+  const int h = a.n / 2;
+  VertexMatrix c = VertexMatrix::sized(a.n);
+  const VertexMatrix c11 = combine4(g, m1, m4, m5, m7);
+  const VertexMatrix c12 = combine2(g, m3, m5);
+  const VertexMatrix c21 = combine2(g, m2, m4);
+  const VertexMatrix c22 = combine4(g, m1, m2, m3, m6);
+  for (int i = 0; i < h; ++i) {
+    for (int j = 0; j < h; ++j) {
+      c.at(i, j) = c11.at(i, j);
+      c.at(i, j + h) = c12.at(i, j);
+      c.at(i + h, j) = c21.at(i, j);
+      c.at(i + h, j + h) = c22.at(i, j);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Digraph strassen_matmul(int n) {
+  GIO_EXPECTS_MSG(n >= 1 && (n & (n - 1)) == 0,
+                  "Strassen builder requires a power-of-two side");
+  Digraph g(2LL * n * n);
+  VertexMatrix a = VertexMatrix::sized(n);
+  VertexMatrix b = VertexMatrix::sized(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a.at(i, j) = static_cast<VertexId>(static_cast<std::int64_t>(i) * n + j);
+      b.at(i, j) = static_cast<VertexId>(
+          static_cast<std::int64_t>(n) * n + static_cast<std::int64_t>(i) * n + j);
+    }
+  }
+  (void)strassen_rec(g, a, b);
+  return g;
+}
+
+}  // namespace graphio::builders

@@ -1,0 +1,100 @@
+#include "graphio/graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+
+namespace {
+const std::string kEmptyName;
+}
+
+Digraph::Digraph(std::int64_t num_vertices) {
+  GIO_EXPECTS(num_vertices >= 0);
+  out_.resize(static_cast<std::size_t>(num_vertices));
+  in_.resize(static_cast<std::size_t>(num_vertices));
+}
+
+VertexId Digraph::add_vertex() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return num_vertices() - 1;
+}
+
+void Digraph::add_edge(VertexId u, VertexId v) {
+  check_vertex(u);
+  check_vertex(v);
+  GIO_EXPECTS_MSG(u != v, "self-loops are not valid computation edges");
+  out_[static_cast<std::size_t>(u)].push_back(v);
+  in_[static_cast<std::size_t>(v)].push_back(u);
+  ++num_edges_;
+}
+
+std::span<const VertexId> Digraph::children(VertexId v) const {
+  check_vertex(v);
+  return out_[static_cast<std::size_t>(v)];
+}
+
+std::span<const VertexId> Digraph::parents(VertexId v) const {
+  check_vertex(v);
+  return in_[static_cast<std::size_t>(v)];
+}
+
+std::int64_t Digraph::out_degree(VertexId v) const {
+  return static_cast<std::int64_t>(children(v).size());
+}
+
+std::int64_t Digraph::in_degree(VertexId v) const {
+  return static_cast<std::int64_t>(parents(v).size());
+}
+
+std::int64_t Digraph::degree(VertexId v) const {
+  return in_degree(v) + out_degree(v);
+}
+
+std::int64_t Digraph::max_out_degree() const {
+  std::int64_t best = 0;
+  for (const auto& adj : out_)
+    best = std::max(best, static_cast<std::int64_t>(adj.size()));
+  return best;
+}
+
+std::int64_t Digraph::max_in_degree() const {
+  std::int64_t best = 0;
+  for (const auto& adj : in_)
+    best = std::max(best, static_cast<std::int64_t>(adj.size()));
+  return best;
+}
+
+std::vector<VertexId> Digraph::sources() const {
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < num_vertices(); ++v)
+    if (in_degree(v) == 0) result.push_back(v);
+  return result;
+}
+
+std::vector<VertexId> Digraph::sinks() const {
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < num_vertices(); ++v)
+    if (out_degree(v) == 0) result.push_back(v);
+  return result;
+}
+
+void Digraph::set_name(VertexId v, std::string name) {
+  check_vertex(v);
+  if (names_.size() < out_.size()) names_.resize(out_.size());
+  names_[static_cast<std::size_t>(v)] = std::move(name);
+}
+
+const std::string& Digraph::name(VertexId v) const {
+  check_vertex(v);
+  if (static_cast<std::size_t>(v) >= names_.size()) return kEmptyName;
+  return names_[static_cast<std::size_t>(v)];
+}
+
+void Digraph::check_vertex(VertexId v) const {
+  GIO_EXPECTS_MSG(contains(v), "vertex id out of range");
+}
+
+}  // namespace graphio

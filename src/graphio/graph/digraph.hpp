@@ -1,0 +1,71 @@
+// Directed computation graph (Section 3 of the paper).
+//
+// Each vertex is one operation producing one value; an edge (u, v) means v
+// consumes u's value. Parallel edges are allowed (an operation may use the
+// same operand twice, e.g. x·x); self-loops are not. Most of the library
+// requires acyclicity, which is validated where it matters (topological
+// orders, simulators) rather than on every add_edge.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace graphio {
+
+using VertexId = std::int64_t;
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::int64_t num_vertices);
+
+  /// Appends an isolated vertex; returns its id.
+  VertexId add_vertex();
+
+  /// Adds a directed edge u → v. Parallel edges accumulate; self-loops throw.
+  void add_edge(VertexId u, VertexId v);
+
+  [[nodiscard]] std::int64_t num_vertices() const noexcept {
+    return static_cast<std::int64_t>(out_.size());
+  }
+  [[nodiscard]] std::int64_t num_edges() const noexcept { return num_edges_; }
+
+  /// Out-neighbors of v, with multiplicity.
+  [[nodiscard]] std::span<const VertexId> children(VertexId v) const;
+  /// In-neighbors of v, with multiplicity.
+  [[nodiscard]] std::span<const VertexId> parents(VertexId v) const;
+
+  [[nodiscard]] std::int64_t out_degree(VertexId v) const;
+  [[nodiscard]] std::int64_t in_degree(VertexId v) const;
+  /// Undirected degree: in_degree + out_degree.
+  [[nodiscard]] std::int64_t degree(VertexId v) const;
+
+  [[nodiscard]] std::int64_t max_out_degree() const;
+  [[nodiscard]] std::int64_t max_in_degree() const;
+
+  /// Vertices with no parents (the computation's inputs).
+  [[nodiscard]] std::vector<VertexId> sources() const;
+  /// Vertices with no children (the computation's outputs).
+  [[nodiscard]] std::vector<VertexId> sinks() const;
+
+  /// Optional human-readable vertex names (used by DOT export / tracer).
+  void set_name(VertexId v, std::string name);
+  [[nodiscard]] const std::string& name(VertexId v) const;
+
+  /// True if `v` is a valid vertex id.
+  [[nodiscard]] bool contains(VertexId v) const noexcept {
+    return v >= 0 && v < num_vertices();
+  }
+
+ private:
+  void check_vertex(VertexId v) const;
+
+  std::vector<std::vector<VertexId>> out_;
+  std::vector<std::vector<VertexId>> in_;
+  std::vector<std::string> names_;
+  std::int64_t num_edges_ = 0;
+};
+
+}  // namespace graphio

@@ -1,0 +1,46 @@
+#include "graphio/graph/dot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+
+namespace {
+std::string dot_escape(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char ch : label) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const Digraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph \"" << dot_escape(options.graph_name) << "\" {\n";
+  os << "  rankdir=" << options.rankdir << ";\n";
+  os << "  node [shape=circle, fontsize=10];\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    os << "  v" << v;
+    if (options.use_names && !g.name(v).empty())
+      os << " [label=\"" << dot_escape(g.name(v)) << "\"]";
+    os << ";\n";
+  }
+  for (VertexId u = 0; u < g.num_vertices(); ++u)
+    for (VertexId v : g.children(u)) os << "  v" << u << " -> v" << v << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+void write_dot(const Digraph& g, const std::string& path,
+               const DotOptions& options) {
+  std::ofstream out(path);
+  GIO_EXPECTS_MSG(out.good(), "cannot open DOT output file: " + path);
+  out << to_dot(g, options);
+}
+
+}  // namespace graphio

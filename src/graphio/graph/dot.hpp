@@ -1,0 +1,26 @@
+// Graphviz DOT export, used by the graph gallery example to regenerate the
+// paper's illustration figures (1, 4, 5, 6).
+#pragma once
+
+#include <string>
+
+#include "graphio/graph/digraph.hpp"
+
+namespace graphio {
+
+struct DotOptions {
+  std::string graph_name = "G";
+  /// "TB" top-to-bottom (default), "LR" left-to-right.
+  std::string rankdir = "TB";
+  /// Emit vertex names (when set) as labels; otherwise vertex ids.
+  bool use_names = true;
+};
+
+/// Renders the graph in DOT syntax.
+std::string to_dot(const Digraph& g, const DotOptions& options = {});
+
+/// Writes to_dot(g) to a file; throws contract_error when unwritable.
+void write_dot(const Digraph& g, const std::string& path,
+               const DotOptions& options = {});
+
+}  // namespace graphio

@@ -1,0 +1,111 @@
+#include "graphio/graph/topo.hpp"
+
+#include <algorithm>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+
+namespace {
+
+/// Kahn's algorithm with a caller-supplied policy for picking the next
+/// ready vertex (index into the ready list).
+template <typename Pick>
+std::optional<std::vector<VertexId>> kahn(const Digraph& g, Pick pick) {
+  const std::int64_t n = g.num_vertices();
+  std::vector<std::int64_t> missing(static_cast<std::size_t>(n));
+  std::vector<VertexId> ready;
+  for (VertexId v = 0; v < n; ++v) {
+    missing[static_cast<std::size_t>(v)] = g.in_degree(v);
+    if (missing[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+  }
+
+  std::vector<VertexId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const std::size_t idx = pick(ready);
+    const VertexId v = ready[idx];
+    ready[idx] = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (VertexId child : g.children(v)) {
+      if (--missing[static_cast<std::size_t>(child)] == 0)
+        ready.push_back(child);
+    }
+  }
+  if (static_cast<std::int64_t>(order.size()) != n) return std::nullopt;
+  return order;
+}
+
+}  // namespace
+
+std::optional<std::vector<VertexId>> topological_order(const Digraph& g) {
+  return kahn(g, [](const std::vector<VertexId>& ready) {
+    return static_cast<std::size_t>(
+        std::min_element(ready.begin(), ready.end()) - ready.begin());
+  });
+}
+
+bool is_dag(const Digraph& g) { return topological_order(g).has_value(); }
+
+bool is_topological(const Digraph& g, const std::vector<VertexId>& order) {
+  const std::int64_t n = g.num_vertices();
+  if (static_cast<std::int64_t>(order.size()) != n) return false;
+  std::vector<std::int64_t> position(static_cast<std::size_t>(n), -1);
+  for (std::size_t t = 0; t < order.size(); ++t) {
+    if (!g.contains(order[t])) return false;
+    auto& slot = position[static_cast<std::size_t>(order[t])];
+    if (slot != -1) return false;  // duplicate
+    slot = static_cast<std::int64_t>(t);
+  }
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v : g.children(u))
+      if (position[static_cast<std::size_t>(u)] >
+          position[static_cast<std::size_t>(v)])
+        return false;
+  return true;
+}
+
+std::vector<VertexId> random_topological_order(const Digraph& g, Prng& rng) {
+  auto order = kahn(g, [&rng](const std::vector<VertexId>& ready) {
+    return static_cast<std::size_t>(rng.below(ready.size()));
+  });
+  GIO_EXPECTS_MSG(order.has_value(), "graph has a cycle");
+  return std::move(*order);
+}
+
+std::vector<VertexId> dfs_topological_order(const Digraph& g) {
+  const std::int64_t n = g.num_vertices();
+  std::vector<int> state(static_cast<std::size_t>(n), 0);  // 0 new 1 open 2 done
+  std::vector<VertexId> postorder;
+  postorder.reserve(static_cast<std::size_t>(n));
+
+  // Iterative DFS from every root to avoid stack overflow on deep graphs.
+  std::vector<std::pair<VertexId, std::size_t>> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (state[static_cast<std::size_t>(root)] != 0) continue;
+    stack.emplace_back(root, 0);
+    state[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      const auto kids = g.children(v);
+      if (next < kids.size()) {
+        const VertexId child = kids[next++];
+        const auto cs = state[static_cast<std::size_t>(child)];
+        GIO_EXPECTS_MSG(cs != 1, "graph has a cycle");
+        if (cs == 0) {
+          state[static_cast<std::size_t>(child)] = 1;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        state[static_cast<std::size_t>(v)] = 2;
+        postorder.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  std::reverse(postorder.begin(), postorder.end());
+  return postorder;
+}
+
+}  // namespace graphio

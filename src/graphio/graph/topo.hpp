@@ -1,0 +1,31 @@
+// Topological orders — the paper's evaluation orders X ∈ O_G.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graphio/graph/digraph.hpp"
+#include "graphio/support/prng.hpp"
+
+namespace graphio {
+
+/// Kahn's algorithm; deterministic (lowest-id-first among ready vertices).
+/// Returns nullopt when the graph has a cycle.
+std::optional<std::vector<VertexId>> topological_order(const Digraph& g);
+
+/// True iff the graph is acyclic.
+bool is_dag(const Digraph& g);
+
+/// True iff `order` is a permutation of the vertices that respects all edges.
+bool is_topological(const Digraph& g, const std::vector<VertexId>& order);
+
+/// A uniformly-randomized Kahn order (random choice among ready vertices).
+/// Used by the property tests to sample evaluation orders. Throws on cycles.
+std::vector<VertexId> random_topological_order(const Digraph& g, Prng& rng);
+
+/// DFS-based order (reverse postorder). Often memory-friendlier than BFS
+/// orders; used as a schedule heuristic in the simulator benches.
+/// Throws on cycles.
+std::vector<VertexId> dfs_topological_order(const Digraph& g);
+
+}  // namespace graphio

@@ -1,0 +1,80 @@
+#include "graphio/graph/transforms.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graphio/graph/topo.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+
+Digraph reverse(const Digraph& g) {
+  Digraph out(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.children(u)) out.add_edge(v, u);
+    if (!g.name(u).empty()) out.set_name(u, g.name(u));
+  }
+  return out;
+}
+
+Digraph transitive_reduction(const Digraph& g) {
+  const auto order = topological_order(g);
+  GIO_EXPECTS_MSG(order.has_value(),
+                  "transitive_reduction requires an acyclic graph");
+  const std::int64_t n = g.num_vertices();
+  std::vector<std::int64_t> position(static_cast<std::size_t>(n), 0);
+  for (std::size_t t = 0; t < order->size(); ++t)
+    position[static_cast<std::size_t>((*order)[t])] =
+        static_cast<std::int64_t>(t);
+
+  Digraph out(n);
+  // reachable[w] == stamp iff w is reachable from u via a kept path.
+  std::vector<std::int64_t> reachable(static_cast<std::size_t>(n), -1);
+  std::vector<VertexId> stack;
+  for (VertexId u = 0; u < n; ++u) {
+    if (!g.name(u).empty()) out.set_name(u, g.name(u));
+    // Deduplicate and order u's children by topological position: a child
+    // is kept iff it is not reachable from an earlier-kept child.
+    std::vector<VertexId> children(g.children(u).begin(),
+                                   g.children(u).end());
+    std::sort(children.begin(), children.end(),
+              [&](VertexId a, VertexId b) {
+                return position[static_cast<std::size_t>(a)] <
+                       position[static_cast<std::size_t>(b)];
+              });
+    children.erase(std::unique(children.begin(), children.end()),
+                   children.end());
+
+    const std::int64_t stamp = u;
+    for (VertexId child : children) {
+      if (reachable[static_cast<std::size_t>(child)] == stamp) continue;
+      out.add_edge(u, child);
+      // Mark everything reachable from the kept child.
+      stack.assign(1, child);
+      while (!stack.empty()) {
+        const VertexId w = stack.back();
+        stack.pop_back();
+        if (reachable[static_cast<std::size_t>(w)] == stamp) continue;
+        reachable[static_cast<std::size_t>(w)] = stamp;
+        for (VertexId next : g.children(w)) stack.push_back(next);
+      }
+    }
+  }
+  return out;
+}
+
+bool same_structure(const Digraph& a, const Digraph& b) {
+  if (a.num_vertices() != b.num_vertices() ||
+      a.num_edges() != b.num_edges())
+    return false;
+  for (VertexId u = 0; u < a.num_vertices(); ++u) {
+    std::vector<VertexId> ca(a.children(u).begin(), a.children(u).end());
+    std::vector<VertexId> cb(b.children(u).begin(), b.children(u).end());
+    std::sort(ca.begin(), ca.end());
+    std::sort(cb.begin(), cb.end());
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+}  // namespace graphio

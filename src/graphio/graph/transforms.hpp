@@ -1,0 +1,39 @@
+// Structural graph transforms.
+//
+// These are analysis tools, not schedule-preserving rewrites: reversing a
+// computation graph swaps inputs and outputs (the adjoint computation),
+// and the transitive reduction is the minimal DAG with the same
+// reachability. Two bound-relevant facts the tests pin down:
+//
+//  * reverse(G) has the same undirected skeleton as G, so the *plain*
+//    Laplacian L is identical and the Theorem 5 bound is
+//    reversal-invariant (up to the max-out-degree factor, which becomes
+//    the max in-degree). The normalized L̃ is NOT invariant — edge
+//    weights 1/dout(u) change direction — so Theorem 4 can differ between
+//    a computation and its adjoint.
+//
+//  * removing transitively implied edges only removes Laplacian weight,
+//    so bounds on the reduction are never larger — the reduction is the
+//    conservative graph to bound when the true operand structure is
+//    uncertain.
+#pragma once
+
+#include "graphio/graph/digraph.hpp"
+
+namespace graphio {
+
+/// Every edge (u, v) becomes (v, u); names are preserved. The reverse of
+/// a DAG is a DAG (the adjoint computation).
+Digraph reverse(const Digraph& g);
+
+/// The transitive reduction of a DAG: keeps edge (u, v) iff there is no
+/// other path u → v. Parallel edges collapse to one (a second identical
+/// operand edge is transitively implied by the first). Throws on cyclic
+/// graphs. O(V·E).
+Digraph transitive_reduction(const Digraph& g);
+
+/// True iff `a` and `b` have identical vertex counts and identical
+/// multisets of edges (names ignored).
+bool same_structure(const Digraph& a, const Digraph& b);
+
+}  // namespace graphio

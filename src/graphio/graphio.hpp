@@ -1,0 +1,70 @@
+// graphio — spectral lower bounds on the I/O complexity of computation
+// graphs (Jain & Zaharia, SPAA 2020). Umbrella public header.
+//
+// Quick start:
+//   #include "graphio/graphio.hpp"
+//   auto g = graphio::builders::fft(8);                 // 2^8-point FFT
+//   auto b = graphio::spectral_bound(g, /*memory=*/16); // Theorem 4
+//   // b.bound is a lower bound on the I/O of ANY evaluation order of g.
+#pragma once
+
+// Core: the paper's contribution.
+#include "graphio/core/analytic_bounds.hpp"
+#include "graphio/core/analytic_spectra.hpp"
+#include "graphio/core/hierarchy.hpp"
+#include "graphio/core/partition.hpp"
+#include "graphio/core/partition_dp.hpp"
+#include "graphio/core/published.hpp"
+#include "graphio/core/spectral_bound.hpp"
+#include "graphio/core/spectrum.hpp"
+
+// Computation graphs.
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/digraph.hpp"
+#include "graphio/graph/dot.hpp"
+#include "graphio/graph/laplacian.hpp"
+#include "graphio/graph/topo.hpp"
+#include "graphio/graph/transforms.hpp"
+
+// Baseline (convex min-cut) and max-flow substrate.
+#include "graphio/flow/convex_mincut.hpp"
+#include "graphio/flow/dinic.hpp"
+#include "graphio/flow/partitioner.hpp"
+#include "graphio/flow/push_relabel.hpp"
+
+// Execution simulator (upper bounds) and schedules.
+#include "graphio/sim/anneal.hpp"
+#include "graphio/sim/memsim.hpp"
+#include "graphio/sim/parallel_memsim.hpp"
+#include "graphio/sim/schedule.hpp"
+
+// Exact ground truth for small graphs.
+#include "graphio/exact/enumerate.hpp"
+#include "graphio/exact/pebble_recompute.hpp"
+#include "graphio/exact/pebble_search.hpp"
+
+// Operation tracer and traced reference programs.
+#include "graphio/trace/programs.hpp"
+#include "graphio/trace/tape.hpp"
+
+// Serialization.
+#include "graphio/io/edgelist.hpp"
+#include "graphio/io/json.hpp"
+
+// Linear algebra substrate.
+#include "graphio/la/bisection.hpp"
+#include "graphio/la/csr_matrix.hpp"
+#include "graphio/la/dense_matrix.hpp"
+#include "graphio/la/jacobi.hpp"
+#include "graphio/la/lanczos.hpp"
+#include "graphio/la/lobpcg.hpp"
+#include "graphio/la/power_iteration.hpp"
+#include "graphio/la/symmetric_eigen.hpp"
+#include "graphio/la/tridiagonal.hpp"
+
+// Support.
+#include "graphio/support/env.hpp"
+#include "graphio/support/parallel.hpp"
+#include "graphio/support/prng.hpp"
+#include "graphio/support/table.hpp"
+#include "graphio/support/timer.hpp"

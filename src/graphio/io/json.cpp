@@ -1,0 +1,355 @@
+#include "graphio/io/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::io {
+
+// --- writer ----------------------------------------------------------------
+
+void JsonWriter::comma_if_needed() {
+  if (stack_.empty()) return;
+  if (!first_in_frame_.back() && !pending_key_) out_ << ",";
+  first_in_frame_.back() = false;
+}
+
+void JsonWriter::expect_value_allowed() {
+  GIO_EXPECTS_MSG(!done_, "document already complete");
+  if (!stack_.empty() && stack_.back() == Frame::kObject)
+    GIO_EXPECTS_MSG(pending_key_, "object members need a key first");
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  expect_value_allowed();
+  comma_if_needed();
+  out_ << "{";
+  stack_.push_back(Frame::kObject);
+  first_in_frame_.push_back(true);
+  pending_key_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  GIO_EXPECTS_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                  "no object to close");
+  GIO_EXPECTS_MSG(!pending_key_, "dangling key");
+  out_ << "}";
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  expect_value_allowed();
+  comma_if_needed();
+  out_ << "[";
+  stack_.push_back(Frame::kArray);
+  first_in_frame_.push_back(true);
+  pending_key_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  GIO_EXPECTS_MSG(!stack_.empty() && stack_.back() == Frame::kArray,
+                  "no array to close");
+  out_ << "]";
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  GIO_EXPECTS_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                  "keys only make sense inside objects");
+  GIO_EXPECTS_MSG(!pending_key_, "two keys in a row");
+  comma_if_needed();
+  out_ << '"' << json_escape(k) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  expect_value_allowed();
+  comma_if_needed();
+  out_ << '"' << json_escape(v) << '"';
+  pending_key_ = false;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string_view(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  expect_value_allowed();
+  comma_if_needed();
+  if (std::isfinite(v)) {
+    char buf[32];
+    const auto [end, ec] =
+        std::to_chars(buf, buf + sizeof buf, v,
+                      std::chars_format::general, 17);
+    GIO_ASSERT(ec == std::errc());
+    out_ << std::string_view(buf, static_cast<std::size_t>(end - buf));
+  } else {
+    out_ << "null";  // JSON has no inf/nan
+  }
+  pending_key_ = false;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  expect_value_allowed();
+  comma_if_needed();
+  out_ << v;
+  pending_key_ = false;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  expect_value_allowed();
+  comma_if_needed();
+  out_ << (v ? "true" : "false");
+  pending_key_ = false;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  expect_value_allowed();
+  comma_if_needed();
+  out_ << "null";
+  pending_key_ = false;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  GIO_EXPECTS_MSG(done_ && stack_.empty(),
+                  "document incomplete (open containers)");
+  return out_.str();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- validator ---------------------------------------------------------------
+
+namespace {
+
+struct Scanner {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+  [[nodiscard]] bool eof() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (eof() || peek() != '"') return false;
+    ++pos;
+    while (!eof()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos;
+        if (eof()) return false;
+        const char e = text[pos];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos + i >= text.size() ||
+                std::isxdigit(static_cast<unsigned char>(text[pos + i])) ==
+                    0)
+              return false;
+          }
+          pos += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t begin = pos;
+    if (!eof() && peek() == '-') ++pos;
+    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+      return false;
+    if (peek() == '0') {
+      ++pos;
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0)
+        ++pos;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0)
+        ++pos;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0)
+        ++pos;
+    }
+    return pos > begin;
+  }
+
+  bool value(int depth) {
+    if (depth > 256) return false;  // stack guard
+    skip_ws();
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': {
+        ++pos;
+        skip_ws();
+        if (!eof() && peek() == '}') {
+          ++pos;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          if (!string()) return false;
+          skip_ws();
+          if (eof() || peek() != ':') return false;
+          ++pos;
+          if (!value(depth + 1)) return false;
+          skip_ws();
+          if (eof()) return false;
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          if (peek() == '}') {
+            ++pos;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '[': {
+        ++pos;
+        skip_ws();
+        if (!eof() && peek() == ']') {
+          ++pos;
+          return true;
+        }
+        for (;;) {
+          if (!value(depth + 1)) return false;
+          skip_ws();
+          if (eof()) return false;
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          if (peek() == ']') {
+            ++pos;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  Scanner s{text};
+  if (!s.value(0)) return false;
+  s.skip_ws();
+  return s.eof();
+}
+
+// --- converters ---------------------------------------------------------------
+
+std::string graph_to_json(const Digraph& g) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("n").value(g.num_vertices());
+  w.key("edges").begin_array();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId c : g.children(v)) {
+      w.begin_array();
+      w.value(v);
+      w.value(c);
+      w.end_array();
+    }
+  }
+  w.end_array();
+  bool any_names = false;
+  for (VertexId v = 0; v < g.num_vertices() && !any_names; ++v)
+    any_names = !g.name(v).empty();
+  if (any_names) {
+    w.key("names").begin_object();
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (!g.name(v).empty()) w.key(std::to_string(v)).value(g.name(v));
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace graphio::io

@@ -1,0 +1,69 @@
+// Minimal streaming JSON writer (and validating scanner).
+//
+// The writer emits machine-readable experiment artifacts — graphs, bound
+// reports, bench series — without an external JSON dependency. It checks
+// nesting discipline at runtime (object keys before values, matching
+// closes) so misuse fails loudly in tests rather than producing garbage.
+// The scanner is a strict structural validator used by the test suite to
+// certify everything the writer (or a bench) produces.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graphio/graph/digraph.hpp"
+
+namespace graphio::io {
+
+class JsonWriter {
+ public:
+  /// Writes into an internal buffer; collect with str().
+  JsonWriter() = default;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key for the next value (objects only).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Finished document (throws if containers remain open).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Frame { kObject, kArray };
+  void comma_if_needed();
+  void expect_value_allowed();
+
+  std::ostringstream out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_in_frame_;
+  bool pending_key_ = false;
+  bool done_ = false;
+};
+
+/// Escapes a string per RFC 8259 (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// Structural validation: true iff `text` is one complete, well-formed
+/// JSON value (objects, arrays, strings, numbers, true/false/null).
+bool json_valid(std::string_view text);
+
+/// Serializes a graph as {"n": ..., "edges": [[u, v], ...],
+/// "names": {"id": "name", ...}} (names only when present).
+std::string graph_to_json(const Digraph& g);
+
+}  // namespace graphio::io

@@ -1,0 +1,94 @@
+#include "graphio/la/bisection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::la {
+
+namespace {
+
+/// Gershgorin interval [lo, hi] containing every eigenvalue of T.
+std::pair<double, double> gershgorin_interval(const SymTridiag& t) {
+  const std::size_t n = t.diag.size();
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (std::size_t i = 0; i < n; ++i) {
+    double radius = 0.0;
+    if (i > 0) radius += std::fabs(t.off[i - 1]);
+    if (i + 1 < n) radius += std::fabs(t.off[i]);
+    lo = std::min(lo, t.diag[i] - radius);
+    hi = std::max(hi, t.diag[i] + radius);
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+std::int64_t sturm_count_below(const SymTridiag& t, double x) {
+  const std::size_t n = t.diag.size();
+  GIO_EXPECTS_MSG(t.off.size() + 1 >= n, "off-diagonal too short");
+  // LDLᵀ of T − xI: d_i = (a_i − x) − b_{i-1}² / d_{i-1}; the number of
+  // negative pivots equals ν(x) (Sylvester's law of inertia).
+  std::int64_t count = 0;
+  double d = 1.0;
+  const double tiny = std::numeric_limits<double>::min();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double b = i > 0 ? t.off[i - 1] : 0.0;
+    double denom = d;
+    if (std::fabs(denom) < tiny) denom = denom < 0.0 ? -tiny : tiny;
+    d = (t.diag[i] - x) - b * b / denom;
+    if (d < 0.0) ++count;
+  }
+  return count;
+}
+
+double bisection_eigenvalue(const SymTridiag& t, std::int64_t k,
+                            double tol) {
+  const auto n = static_cast<std::int64_t>(t.diag.size());
+  GIO_EXPECTS(k >= 0 && k < n);
+  GIO_EXPECTS(tol > 0.0);
+  auto [lo, hi] = gershgorin_interval(t);
+  // Invariant: ν(lo) ≤ k < ν(hi).
+  lo -= tol;
+  hi += tol;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= lo || mid >= hi) break;  // double resolution exhausted
+    if (sturm_count_below(t, mid) <= k)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<double> bisection_smallest(const SymTridiag& t,
+                                       std::int64_t count, double tol) {
+  const auto n = static_cast<std::int64_t>(t.diag.size());
+  count = std::clamp<std::int64_t>(count, 0, n);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t k = 0; k < count; ++k)
+    out.push_back(bisection_eigenvalue(t, k, tol));
+  // Bisection can leave neighbours a hair out of order at tol resolution.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<double> bisection_in_window(const SymTridiag& t, double lo,
+                                        double hi, double tol) {
+  GIO_EXPECTS(lo <= hi);
+  const std::int64_t first = sturm_count_below(t, lo);
+  const std::int64_t last = sturm_count_below(t, hi);  // count < hi
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(last - first));
+  for (std::int64_t k = first; k < last; ++k)
+    out.push_back(bisection_eigenvalue(t, k, tol));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace graphio::la

@@ -1,0 +1,37 @@
+// Sturm-sequence bisection for symmetric tridiagonal eigenvalues.
+//
+// The Sturm count ν(x) — the number of eigenvalues of T strictly below x —
+// is computable in O(n) per evaluation from the LDLᵀ signs of T − xI.
+// Bisection on ν gives any single eigenvalue (or all eigenvalues in a
+// window) to machine precision without computing the rest of the
+// spectrum. Combined with Householder reduction this yields a *windowed*
+// dense backend: exactly the h smallest Laplacian eigenvalues the I/O
+// bound consumes, independently of the QL path (the two are
+// cross-validated in the test suite).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graphio/la/tridiagonal.hpp"
+
+namespace graphio::la {
+
+/// ν(x): how many eigenvalues of T are < x. O(n) per call.
+std::int64_t sturm_count_below(const SymTridiag& t, double x);
+
+/// The k-th smallest eigenvalue (k is 0-based) via bisection to within
+/// `tol` of the true value. Requires 0 ≤ k < n.
+double bisection_eigenvalue(const SymTridiag& t, std::int64_t k,
+                            double tol = 1e-13);
+
+/// The `count` smallest eigenvalues, ascending (each to within `tol`).
+std::vector<double> bisection_smallest(const SymTridiag& t,
+                                       std::int64_t count,
+                                       double tol = 1e-13);
+
+/// All eigenvalues in the half-open window [lo, hi), ascending.
+std::vector<double> bisection_in_window(const SymTridiag& t, double lo,
+                                        double hi, double tol = 1e-13);
+
+}  // namespace graphio::la

@@ -1,0 +1,108 @@
+#include "graphio/la/csr_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "graphio/support/contracts.hpp"
+#include "graphio/support/parallel.hpp"
+
+namespace graphio::la {
+
+CsrMatrix CsrMatrix::from_triplets(std::int64_t n,
+                                   std::vector<Triplet> entries) {
+  GIO_EXPECTS(n >= 0);
+  for (const Triplet& t : entries)
+    GIO_EXPECTS_MSG(t.row >= 0 && t.row < n && t.col >= 0 && t.col < n,
+                    "triplet index out of range");
+
+  std::sort(entries.begin(), entries.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.n_ = n;
+  m.row_ptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+
+  std::size_t i = 0;
+  while (i < entries.size()) {
+    std::size_t j = i;
+    double sum = 0.0;
+    while (j < entries.size() && entries[j].row == entries[i].row &&
+           entries[j].col == entries[i].col) {
+      sum += entries[j].value;
+      ++j;
+    }
+    if (sum != 0.0) {
+      m.col_idx_.push_back(entries[i].col);
+      m.values_.push_back(sum);
+      ++m.row_ptr_[static_cast<std::size_t>(entries[i].row) + 1];
+    }
+    i = j;
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(n); ++r)
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+void CsrMatrix::matvec(std::span<const double> x, std::span<double> y) const {
+  GIO_EXPECTS(static_cast<std::int64_t>(x.size()) == n_ &&
+              static_cast<std::int64_t>(y.size()) == n_);
+  const std::int64_t* rp = row_ptr_.data();
+  const std::int64_t* ci = col_idx_.data();
+  const double* vv = values_.data();
+  const double* xp = x.data();
+  double* yp = y.data();
+  parallel_for(n_, [&](std::int64_t i) {
+    double acc = 0.0;
+    for (std::int64_t k = rp[i]; k < rp[i + 1]; ++k) acc += vv[k] * xp[ci[k]];
+    yp[i] = acc;
+  });
+}
+
+double CsrMatrix::symmetry_error() const {
+  std::map<std::pair<std::int64_t, std::int64_t>, double> upper;
+  for (std::int64_t i = 0; i < n_; ++i) {
+    for (std::int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::int64_t j = col_idx_[k];
+      if (i == j) continue;
+      auto key = std::minmax(i, j);
+      auto [it, inserted] = upper.try_emplace({key.first, key.second},
+                                             i < j ? values_[k] : -values_[k]);
+      if (!inserted) it->second += (i < j ? values_[k] : -values_[k]);
+    }
+  }
+  double worst = 0.0;
+  for (const auto& [key, diff] : upper) worst = std::max(worst, std::fabs(diff));
+  return worst;
+}
+
+double CsrMatrix::gershgorin_upper_bound() const {
+  double bound = 0.0;
+  for (std::int64_t i = 0; i < n_; ++i) {
+    double diag = 0.0;
+    double off = 0.0;
+    for (std::int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      if (col_idx_[k] == i)
+        diag += values_[k];
+      else
+        off += std::fabs(values_[k]);
+    }
+    bound = std::max(bound, diag + off);
+  }
+  return bound;
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix d(static_cast<std::size_t>(n_), static_cast<std::size_t>(n_));
+  for (std::int64_t i = 0; i < n_; ++i)
+    for (std::int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      d(static_cast<std::size_t>(i), static_cast<std::size_t>(col_idx_[k])) +=
+          values_[k];
+  return d;
+}
+
+}  // namespace graphio::la

@@ -1,0 +1,62 @@
+#include "graphio/la/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphio::la {
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix eye(n, n);
+  for (std::size_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  return eye;
+}
+
+void DenseMatrix::matvec(std::span<const double> x, std::span<double> y) const {
+  GIO_EXPECTS(x.size() == cols_ && y.size() == rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = data_.data() + i * cols_;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += a[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  GIO_EXPECTS(cols_ == other.rows());
+  DenseMatrix out(rows_, other.cols());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols(); ++j)
+        out(i, j) += aik * other(k, j);
+    }
+  }
+  return out;
+}
+
+double DenseMatrix::symmetry_error() const {
+  GIO_EXPECTS(rows_ == cols_);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = i + 1; j < cols_; ++j)
+      worst = std::max(worst, std::fabs((*this)(i, j) - (*this)(j, i)));
+  return worst;
+}
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
+  GIO_EXPECTS(rows_ == other.rows() && cols_ == other.cols());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    worst = std::max(worst, std::fabs(data_[i] - other.data()[i]));
+  return worst;
+}
+
+}  // namespace graphio::la

@@ -1,0 +1,73 @@
+// Row-major dense matrix.
+//
+// Used for the dense symmetric eigensolver (graphs small enough to afford
+// O(n³)), for the projected matrices inside Lanczos, and throughout the
+// tests. Value semantics, bounds-checked in debug builds.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::la {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows × cols zero matrix.
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static DenseMatrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    GIO_ASSERT(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    GIO_ASSERT(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Contiguous row access.
+  [[nodiscard]] std::span<double> row(std::size_t i) {
+    GIO_ASSERT(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    GIO_ASSERT(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<double> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+
+  /// y = A x.
+  void matvec(std::span<const double> x, std::span<double> y) const;
+
+  /// Returns Aᵀ.
+  [[nodiscard]] DenseMatrix transposed() const;
+
+  /// Returns A · B (test helper; not performance-tuned).
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
+
+  /// max |A_ij − A_ji|; 0 for perfectly symmetric matrices.
+  [[nodiscard]] double symmetry_error() const;
+
+  /// max |A_ij − B_ij| (matrices must have equal shape).
+  [[nodiscard]] double max_abs_diff(const DenseMatrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace graphio::la

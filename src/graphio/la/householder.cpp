@@ -1,0 +1,87 @@
+#include "graphio/la/householder.hpp"
+
+#include <cmath>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::la {
+
+SymTridiag householder_tridiagonalize(DenseMatrix& a, bool accumulate) {
+  GIO_EXPECTS(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  std::vector<double> d(n, 0.0);
+  std::vector<double> e(n, 0.0);  // e[i] couples rows i-1 and i
+  if (n == 0) return {};
+
+  for (std::size_t i = n - 1; i >= 1; --i) {
+    const std::size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (std::size_t k = 0; k <= l; ++k) scale += std::fabs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        const double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          if (accumulate) a(j, i) = a(i, j) / h;
+          double gg = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) gg += a(j, k) * a(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) gg += a(k, j) * a(i, k);
+          e[j] = gg / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          const double gg = e[j] - hh * f;
+          e[j] = gg;
+          for (std::size_t k = 0; k <= j; ++k)
+            a(j, k) -= f * e[k] + gg * a(i, k);
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+
+  if (accumulate) {
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (d[i] != 0.0) {
+        for (std::size_t j = 0; j < i; ++j) {
+          double g = 0.0;
+          for (std::size_t k = 0; k < i; ++k) g += a(i, k) * a(k, j);
+          for (std::size_t k = 0; k < i; ++k) a(k, j) -= g * a(k, i);
+        }
+      }
+      d[i] = a(i, i);
+      a(i, i) = 1.0;
+      for (std::size_t j = 0; j < i; ++j) {
+        a(j, i) = 0.0;
+        a(i, j) = 0.0;
+      }
+    }
+  } else {
+    e[0] = 0.0;
+    for (std::size_t i = 0; i < n; ++i) d[i] = a(i, i);
+  }
+
+  SymTridiag t;
+  t.diag = std::move(d);
+  t.off.assign(e.begin() + 1, e.end());
+  return t;
+}
+
+}  // namespace graphio::la

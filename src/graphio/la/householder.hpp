@@ -1,0 +1,18 @@
+// Householder reduction of a dense symmetric matrix to tridiagonal form
+// (EISPACK tred2 lineage), with optional accumulation of the orthogonal
+// transform for eigenvector computation.
+#pragma once
+
+#include "graphio/la/dense_matrix.hpp"
+#include "graphio/la/tridiagonal.hpp"
+
+namespace graphio::la {
+
+/// Reduces the symmetric matrix `a` to tridiagonal T = Qᵀ A Q in place.
+///
+/// Only the lower triangle of `a` is read. When `accumulate` is true, on
+/// return `a` holds Q (so eigenvectors of A are Q · eigenvectors of T);
+/// otherwise the contents of `a` are unspecified scratch.
+SymTridiag householder_tridiagonalize(DenseMatrix& a, bool accumulate);
+
+}  // namespace graphio::la

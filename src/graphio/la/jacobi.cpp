@@ -1,0 +1,107 @@
+#include "graphio/la/jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::la {
+
+namespace {
+
+double off_diagonal_norm(const DenseMatrix& a) {
+  const std::size_t n = a.rows();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) sum += a(i, j) * a(i, j);
+  return std::sqrt(2.0 * sum);
+}
+
+double frobenius_norm(const DenseMatrix& a) {
+  double sum = 0.0;
+  for (const double v : a.data()) sum += v * v;
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+JacobiResult jacobi_eigen(DenseMatrix a, const JacobiOptions& opts) {
+  const std::size_t n = a.rows();
+  GIO_EXPECTS_MSG(a.cols() == n, "matrix must be square");
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      GIO_EXPECTS_MSG(std::fabs(a(i, j) - a(j, i)) <=
+                          1e-10 * std::max(1.0, frobenius_norm(a)),
+                      "matrix must be symmetric");
+
+  JacobiResult result;
+  result.vectors = DenseMatrix::identity(n);
+  const double scale = std::max(frobenius_norm(a), 1e-300);
+
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    if (off_diagonal_norm(a) <= opts.rel_tol * scale) {
+      result.converged = true;
+      break;
+    }
+    ++result.sweeps;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (apq == 0.0) continue;
+        // Classic two-sided rotation that zeroes a(p,q).
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double sign = theta >= 0.0 ? 1.0 : -1.0;
+        const double t =
+            sign / (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = result.vectors(k, p);
+          const double vkq = result.vectors(k, q);
+          result.vectors(k, p) = c * vkp - s * vkq;
+          result.vectors(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!result.converged)
+    result.converged = off_diagonal_norm(a) <= opts.rel_tol * scale;
+
+  // Extract and sort (values with matching vector columns).
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i);
+  std::sort(perm.begin(), perm.end(),
+            [&](std::size_t x, std::size_t y) { return diag[x] < diag[y]; });
+  result.values.resize(n);
+  DenseMatrix sorted(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.values[j] = diag[perm[j]];
+    for (std::size_t i = 0; i < n; ++i)
+      sorted(i, j) = result.vectors(i, perm[j]);
+  }
+  result.vectors = std::move(sorted);
+  return result;
+}
+
+std::vector<double> jacobi_eigenvalues(DenseMatrix a,
+                                       const JacobiOptions& opts) {
+  return jacobi_eigen(std::move(a), opts).values;
+}
+
+}  // namespace graphio::la

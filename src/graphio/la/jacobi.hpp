@@ -1,0 +1,37 @@
+// Cyclic Jacobi eigensolver for dense symmetric matrices.
+//
+// Slower than Householder+QL but famously accurate (small relative errors
+// even for tiny eigenvalues) and completely independent of that code
+// path, which makes it the test suite's arbiter whenever the primary
+// dense solver is in question. O(n³) per sweep, typically 6–10 sweeps.
+#pragma once
+
+#include <vector>
+
+#include "graphio/la/dense_matrix.hpp"
+
+namespace graphio::la {
+
+struct JacobiOptions {
+  /// Stop when the off-diagonal Frobenius mass falls below
+  /// rel_tol · ‖A‖_F.
+  double rel_tol = 1e-14;
+  int max_sweeps = 30;
+};
+
+struct JacobiResult {
+  std::vector<double> values;  ///< ascending
+  DenseMatrix vectors;         ///< column j ↔ values[j]
+  int sweeps = 0;
+  bool converged = false;
+};
+
+/// Eigendecomposition of the symmetric matrix `a` by cyclic Jacobi
+/// rotations. Throws if `a` is not square/symmetric.
+JacobiResult jacobi_eigen(DenseMatrix a, const JacobiOptions& opts = {});
+
+/// Values-only convenience.
+std::vector<double> jacobi_eigenvalues(DenseMatrix a,
+                                       const JacobiOptions& opts = {});
+
+}  // namespace graphio::la

@@ -1,0 +1,131 @@
+#include "graphio/la/power_iteration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graphio/la/vector_ops.hpp"
+#include "graphio/support/contracts.hpp"
+#include "graphio/support/prng.hpp"
+
+namespace graphio::la {
+
+namespace {
+
+using Column = std::vector<double>;
+
+/// One deflated power run on the operator op(v) = shift·v − A·v (or plain
+/// A·v when shift is 0). Returns the converged Rayleigh quotient w.r.t.
+/// A and the unit eigenvector estimate in `v`.
+struct RunResult {
+  double theta_a = 0.0;  // Rayleigh quotient with respect to A
+  double residual = 0.0;
+  bool converged = false;
+};
+
+RunResult power_run(const CsrMatrix& a, double shift,
+                    const std::vector<Column>& deflated, Column& v,
+                    const PowerOptions& opts, double tol,
+                    std::int64_t& matvecs) {
+  const std::size_t n = static_cast<std::size_t>(a.size());
+  Column av(n);
+  RunResult out;
+  for (std::int64_t it = 0; it < opts.max_iterations; ++it) {
+    // Deflate: remove converged directions so the next-largest dominates.
+    for (const Column& d : deflated) {
+      const double c = dot(d, v);
+      if (c != 0.0) axpy(-c, d, v);
+    }
+    if (normalize(v) <= 1e-14) return out;  // collapsed onto deflated set
+
+    a.matvec(v, av);
+    ++matvecs;
+    out.theta_a = dot(v, av);
+    // Residual is shift-invariant: ‖(σI−A)v − (σ−θ)v‖ = ‖Av − θv‖.
+    double res = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = av[i] - out.theta_a * v[i];
+      res += r * r;
+    }
+    out.residual = std::sqrt(res);
+    if (out.residual <= tol) {
+      out.converged = true;
+      return out;
+    }
+    // Advance: v ← (σ v − A v) normalized (power step on the shifted op).
+    if (shift != 0.0) {
+      for (std::size_t i = 0; i < n; ++i) av[i] = shift * v[i] - av[i];
+    }
+    v = av;
+    if (normalize(v) <= 1e-300) return out;  // operator annihilated v
+  }
+  return out;
+}
+
+}  // namespace
+
+PowerResult largest_eigenvalue(const CsrMatrix& a, const PowerOptions& opts) {
+  GIO_EXPECTS(a.size() >= 1);
+  const double scale = std::max(a.gershgorin_upper_bound(), 1e-300);
+  const double tol = opts.rel_tol * scale;
+  Prng rng(opts.seed);
+  Column v(static_cast<std::size_t>(a.size()));
+  fill_normal(v, rng);
+  (void)normalize(v);
+
+  PowerResult result;
+  const RunResult run =
+      power_run(a, 0.0, {}, v, opts, tol, result.matvecs);
+  result.values = {run.theta_a};
+  result.residuals = {run.residual};
+  result.converged = run.converged;
+  return result;
+}
+
+PowerResult power_smallest_eigenvalues(const CsrMatrix& a, int want,
+                                       const PowerOptions& opts) {
+  const std::int64_t n = a.size();
+  GIO_EXPECTS(want >= 0);
+  want = static_cast<int>(std::min<std::int64_t>(want, n));
+  PowerResult result;
+  if (want == 0) {
+    result.converged = true;
+    return result;
+  }
+  const double scale = std::max(a.gershgorin_upper_bound(), 1e-300);
+  const double tol = opts.rel_tol * scale;
+  // σ strictly above λ_max makes σI − A PSD with its largest eigenvalue
+  // at A's smallest; the +0.05 margin keeps the top from degenerating.
+  const double shift = 1.05 * scale;
+
+  Prng rng(opts.seed);
+  std::vector<Column> deflated;
+  result.converged = true;
+  for (int k = 0; k < want; ++k) {
+    Column v(static_cast<std::size_t>(n));
+    fill_normal(v, rng);
+    (void)normalize(v);
+    const RunResult run =
+        power_run(a, shift, deflated, v, opts, tol, result.matvecs);
+    result.values.push_back(run.theta_a);
+    result.residuals.push_back(run.residual);
+    result.converged = result.converged && run.converged;
+    deflated.push_back(std::move(v));
+  }
+  // Deflation delivers eigenvalues in (approximately) ascending order
+  // already, but enforce it for downstream prefix sums.
+  std::vector<std::size_t> perm(result.values.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::sort(perm.begin(), perm.end(), [&](std::size_t x, std::size_t y) {
+    return result.values[x] < result.values[y];
+  });
+  PowerResult sorted;
+  sorted.converged = result.converged;
+  sorted.matvecs = result.matvecs;
+  for (const std::size_t i : perm) {
+    sorted.values.push_back(result.values[i]);
+    sorted.residuals.push_back(result.residuals[i]);
+  }
+  return sorted;
+}
+
+}  // namespace graphio::la

@@ -1,0 +1,55 @@
+#include "graphio/la/symmetric_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graphio/la/householder.hpp"
+#include "graphio/la/tridiagonal.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::la {
+
+namespace {
+
+void check_symmetric(const DenseMatrix& a) {
+  GIO_EXPECTS_MSG(a.rows() == a.cols(), "matrix must be square");
+  double scale = 0.0;
+  for (double v : a.data()) scale = std::max(scale, std::fabs(v));
+  GIO_EXPECTS_MSG(a.symmetry_error() <= 1e-10 * std::max(scale, 1.0),
+                  "matrix must be symmetric");
+}
+
+}  // namespace
+
+std::vector<double> symmetric_eigenvalues(DenseMatrix a) {
+  check_symmetric(a);
+  SymTridiag t = householder_tridiagonalize(a, /*accumulate=*/false);
+  return tridiagonal_eigenvalues(std::move(t));
+}
+
+SymmetricEigen symmetric_eigen(DenseMatrix a) {
+  check_symmetric(a);
+  const std::size_t n = a.rows();
+  SymTridiag t = householder_tridiagonalize(a, /*accumulate=*/true);
+  // `a` now holds the accumulated Q; QL rotates it into the eigenvectors.
+  ql_implicit_shift(t.diag, t.off, &a);
+
+  // Sort pairs ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return t.diag[x] < t.diag[y];
+  });
+
+  SymmetricEigen out;
+  out.values.resize(n);
+  out.vectors = DenseMatrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = t.diag[order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = a(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace graphio::la

@@ -1,0 +1,47 @@
+// Symmetric tridiagonal eigensolvers.
+//
+// The implicit-shift QL iteration (EISPACK tql1/tql2 lineage) is the
+// workhorse of both the dense symmetric eigensolver (after Householder
+// reduction) and the projected problems inside Lanczos. A closed form for
+// tridiagonal Toeplitz matrices is also provided — it is exactly the P''
+// path spectrum of the paper's Lemma 11.
+#pragma once
+
+#include <vector>
+
+#include "graphio/la/dense_matrix.hpp"
+
+namespace graphio::la {
+
+/// A symmetric tridiagonal matrix: diag has n entries, off has n−1
+/// (off[i] couples rows i and i+1).
+struct SymTridiag {
+  std::vector<double> diag;
+  std::vector<double> off;
+};
+
+/// Eigenvalues of T in ascending order. O(n²) worst case, no vectors.
+std::vector<double> tridiagonal_eigenvalues(SymTridiag t);
+
+struct TridiagEigen {
+  std::vector<double> values;  ///< ascending
+  DenseMatrix vectors;         ///< column j is the eigenvector of values[j]
+};
+
+/// Eigenvalues and orthonormal eigenvectors of T.
+TridiagEigen tridiagonal_eigen(SymTridiag t);
+
+/// In-place implicit-shift QL on (d, e); if z is non-null its columns are
+/// rotated alongside so that on entry z = Q₀ (accumulated Householder or
+/// identity) yields on exit the eigenvectors of the original matrix.
+/// e is laid out with e[i] coupling rows i and i+1; e must have size ≥ n−1.
+/// The results are NOT sorted. Throws on non-convergence (> 64 sweeps).
+void ql_implicit_shift(std::vector<double>& d, std::vector<double>& e,
+                       DenseMatrix* z);
+
+/// Closed-form eigenvalues (ascending) of the n×n tridiagonal Toeplitz
+/// matrix with constant diagonal `a` and off-diagonal `b`:
+/// λ_k = a + 2b·cos(kπ/(n+1)), k = 1..n.
+std::vector<double> toeplitz_tridiagonal_eigenvalues(int n, double a, double b);
+
+}  // namespace graphio::la

@@ -1,0 +1,37 @@
+#include "graphio/la/vector_ops.hpp"
+
+#include <cmath>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::la {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  GIO_ASSERT(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  GIO_ASSERT(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scal(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double nrm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double normalize(std::span<double> x) {
+  const double norm = nrm2(x);
+  if (norm > 0.0) scal(1.0 / norm, x);
+  return norm;
+}
+
+void fill_normal(std::span<double> x, Prng& rng) {
+  for (double& v : x) v = rng.normal();
+}
+
+}  // namespace graphio::la

@@ -1,0 +1,34 @@
+// BLAS-1 style primitives on contiguous double vectors.
+//
+// These are the inner kernels of the eigensolvers. They are deliberately
+// plain loops: at the sizes this library works with (n up to a few hundred
+// thousand) the compiler vectorizes them well, and keeping them free of
+// dependencies makes the whole library self-contained.
+#pragma once
+
+#include <span>
+
+#include "graphio/support/prng.hpp"
+
+namespace graphio::la {
+
+/// xᵀy.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scal(double alpha, std::span<double> x);
+
+/// Euclidean norm ‖x‖₂.
+double nrm2(std::span<const double> x);
+
+/// x <- x / ‖x‖₂; returns the norm. Zero vectors are left untouched and
+/// return 0.
+double normalize(std::span<double> x);
+
+/// Fills x with independent standard normals.
+void fill_normal(std::span<double> x, Prng& rng);
+
+}  // namespace graphio::la

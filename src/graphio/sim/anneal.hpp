@@ -1,0 +1,61 @@
+// Local search over topological orders.
+//
+// The lower-bound engines bound J*(G) from below; the memory simulator
+// turns any single schedule into an upper bound. This module closes the
+// gap from above: simulated annealing over the space of topological
+// orders, using dependency-legal *insertion moves* (pull one vertex to a
+// new position inside the window delimited by its latest-scheduled parent
+// and earliest-scheduled child — every such move preserves topological
+// validity, and repeated insertions reach every topological order, so the
+// search space is connected).
+//
+// Each candidate order is scored by sim::simulate_io under Belady
+// eviction. The best order ever seen is returned, so the result can only
+// improve on the starting schedule. With initial_temperature = 0 the
+// search degenerates to first-improvement hill climbing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graphio/graph/digraph.hpp"
+#include "graphio/sim/memsim.hpp"
+
+namespace graphio::sim {
+
+struct AnnealOptions {
+  /// Total insertion moves attempted.
+  std::int64_t iterations = 4000;
+  /// Starting temperature as a fraction of the initial schedule's I/O
+  /// (0 disables uphill moves — pure hill climbing).
+  double initial_temperature = 0.05;
+  /// Geometric cooling factor applied every `iterations / 100` moves.
+  double cooling = 0.95;
+  std::uint64_t seed = 0x5EEDC0DEULL;
+  EvictionPolicy policy = EvictionPolicy::kBelady;
+};
+
+struct AnnealResult {
+  /// The best topological order found.
+  std::vector<VertexId> order;
+  /// simulate_io(order) under the chosen policy.
+  std::int64_t io = 0;
+  /// I/O of the starting schedule, for reporting the improvement.
+  std::int64_t start_io = 0;
+  std::int64_t moves_attempted = 0;
+  std::int64_t moves_accepted = 0;
+};
+
+/// Refines `start` (must be a topological order of g) by annealing.
+/// `memory` must be at least the largest number of distinct operands of
+/// any vertex (the simulator's feasibility requirement).
+AnnealResult anneal_schedule(const Digraph& g, std::int64_t memory,
+                             std::vector<VertexId> start,
+                             const AnnealOptions& options = {});
+
+/// Convenience: starts from the better of the natural Kahn and the
+/// locality-greedy order, then anneals.
+AnnealResult anneal_schedule(const Digraph& g, std::int64_t memory,
+                             const AnnealOptions& options = {});
+
+}  // namespace graphio::sim

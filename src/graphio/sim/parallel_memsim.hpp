@@ -1,0 +1,101 @@
+// p-processor execution simulator for the parallel memory model of
+// Section 4.4.
+//
+// Every vertex is owned by (computed on) exactly one of p processors, each
+// with its own fast memory of M values; slow memory is shared and
+// unbounded. Execution follows one global topological order; each
+// processor sees the subsequence it owns. I/O is counted per processor,
+// mirroring the paper's rule that communication with slow memory *or with
+// another processor* is I/O:
+//
+//   * a processor computing v must hold all of v's distinct operands in
+//     its fast memory; faulting a non-resident operand costs 1 read;
+//   * when that operand is unwritten and currently resident on another
+//     processor, the pull is inter-processor: the producer is charged one
+//     `send` as the other side of the transfer (once written to slow
+//     memory, later readers touch only slow memory and nobody else pays);
+//   * evicting a value that still has unconsumed consumers anywhere costs
+//     one write unless it was already written (values are immutable);
+//     values whose consumers are all done are dropped for free;
+//   * sources are computed free on their owner (first-touch rule) and
+//     sinks are reported immediately, as in the serial model.
+//
+// Theorem 6 lower-bounds the I/O of the *maximum-loaded* processor under
+// any such execution, so the sandwich test is
+//   parallel_spectral_bound(g, M, p) ≤ max_i per_processor[i].total().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graphio/graph/digraph.hpp"
+#include "graphio/sim/memsim.hpp"
+
+namespace graphio::sim {
+
+/// How partition_assignment splits a global evaluation order across p
+/// processors.
+enum class PartitionStrategy {
+  kContiguous,  ///< processor i owns the i-th block of ~n/p order positions
+  kRoundRobin,  ///< order position t goes to processor t mod p
+  kRandom,      ///< independent uniform owner per vertex (seeded)
+};
+
+struct ProcessorIo {
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  /// Transfers of unwritten values pulled out of this processor's fast
+  /// memory by another processor (the producer side of P2P communication).
+  std::int64_t sends = 0;
+  std::int64_t vertices = 0;  ///< how many vertices this processor computed
+
+  [[nodiscard]] std::int64_t total() const noexcept {
+    return reads + writes + sends;
+  }
+};
+
+struct ParallelSimResult {
+  std::vector<ProcessorIo> per_processor;
+
+  /// I/O of the busiest processor — the quantity Theorem 6 lower-bounds.
+  [[nodiscard]] std::int64_t max_total() const noexcept {
+    std::int64_t best = 0;
+    for (const ProcessorIo& p : per_processor)
+      best = best < p.total() ? p.total() : best;
+    return best;
+  }
+  /// Aggregate I/O across processors.
+  [[nodiscard]] std::int64_t sum_total() const noexcept {
+    std::int64_t sum = 0;
+    for (const ProcessorIo& p : per_processor) sum += p.total();
+    return sum;
+  }
+};
+
+/// Owner assignment for every vertex (indexed by vertex id, values in
+/// [0, processors)) built from a global topological order.
+std::vector<int> partition_assignment(const Digraph& g,
+                                      const std::vector<VertexId>& order,
+                                      std::int64_t processors,
+                                      PartitionStrategy strategy,
+                                      std::uint64_t seed = 0xD15C0ULL);
+
+/// Simulates `order` on p = max(assignment)+1 processors with fast memory
+/// `memory` per processor. `assignment[v]` is the owner of vertex v;
+/// `order` must be topological. Eviction uses the configured policy with
+/// per-processor next-use keys.
+ParallelSimResult simulate_parallel_io(const Digraph& g,
+                                       const std::vector<VertexId>& order,
+                                       const std::vector<int>& assignment,
+                                       std::int64_t memory,
+                                       const SimOptions& options = {});
+
+/// Convenience: best (minimum max_total) result over the three partition
+/// strategies applied to the natural Kahn order. An upper-bound
+/// counterpart to parallel_spectral_bound.
+ParallelSimResult best_parallel_schedule_io(const Digraph& g,
+                                            std::int64_t memory,
+                                            std::int64_t processors,
+                                            std::uint64_t seed = 0xD15C0ULL);
+
+}  // namespace graphio::sim

@@ -1,0 +1,105 @@
+#include "graphio/sim/schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::sim {
+
+namespace {
+
+/// (parent, edge multiplicity) pairs with distinct parents, per vertex.
+std::vector<std::vector<std::pair<VertexId, std::int64_t>>>
+distinct_parent_lists(const Digraph& g) {
+  const std::int64_t n = g.num_vertices();
+  std::vector<std::vector<std::pair<VertexId, std::int64_t>>> lists(
+      static_cast<std::size_t>(n));
+  std::vector<VertexId> scratch;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto parents = g.parents(v);
+    scratch.assign(parents.begin(), parents.end());
+    std::sort(scratch.begin(), scratch.end());
+    auto& list = lists[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < scratch.size();) {
+      std::size_t j = i;
+      while (j < scratch.size() && scratch[j] == scratch[i]) ++j;
+      list.emplace_back(scratch[i], static_cast<std::int64_t>(j - i));
+      i = j;
+    }
+  }
+  return lists;
+}
+
+}  // namespace
+
+std::vector<VertexId> greedy_locality_order(const Digraph& g) {
+  const std::int64_t n = g.num_vertices();
+  const auto parent_lists = distinct_parent_lists(g);
+
+  std::vector<std::int64_t> missing(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> produced_at(static_cast<std::size_t>(n), -1);
+  // Remaining consuming edges of each produced value; when a vertex's last
+  // edge is consumed the value dies and frees a fast-memory slot.
+  std::vector<std::int64_t> remaining_uses(static_cast<std::size_t>(n));
+
+  std::vector<VertexId> ready;
+  for (VertexId v = 0; v < n; ++v) {
+    missing[static_cast<std::size_t>(v)] = g.in_degree(v);
+    remaining_uses[static_cast<std::size_t>(v)] = g.out_degree(v);
+    if (missing[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+  }
+
+  std::vector<VertexId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    // Pick the ready vertex minimizing live-set pressure:
+    //   1. most parents killed (their last use) minus the new live value,
+    //   2. then most recently produced operands (likely still resident),
+    //   3. then the lowest id (deterministic).
+    std::size_t best_pos = 0;
+    std::int64_t best_pressure = std::numeric_limits<std::int64_t>::min();
+    std::int64_t best_recency = -2;
+    for (std::size_t pos = 0; pos < ready.size(); ++pos) {
+      const VertexId v = ready[pos];
+      std::int64_t kills = 0;
+      std::int64_t recency = -1;
+      for (const auto& [p, mult] : parent_lists[static_cast<std::size_t>(v)]) {
+        if (remaining_uses[static_cast<std::size_t>(p)] == mult) ++kills;
+        recency =
+            std::max(recency, produced_at[static_cast<std::size_t>(p)]);
+      }
+      const std::int64_t pressure =
+          kills - (g.out_degree(v) > 0 ? 1 : 0);
+      const bool better =
+          pressure > best_pressure ||
+          (pressure == best_pressure && recency > best_recency) ||
+          (pressure == best_pressure && recency == best_recency &&
+           v < ready[best_pos]);
+      if (pos == 0 || better) {
+        best_pos = pos;
+        best_pressure = pressure;
+        best_recency = recency;
+      }
+    }
+
+    const VertexId v = ready[best_pos];
+    ready[best_pos] = ready.back();
+    ready.pop_back();
+
+    const auto t = static_cast<std::int64_t>(order.size());
+    produced_at[static_cast<std::size_t>(v)] = t;
+    order.push_back(v);
+    for (const auto& [p, mult] : parent_lists[static_cast<std::size_t>(v)])
+      remaining_uses[static_cast<std::size_t>(p)] -= mult;
+    for (VertexId child : g.children(v)) {
+      if (--missing[static_cast<std::size_t>(child)] == 0)
+        ready.push_back(child);
+    }
+  }
+  GIO_EXPECTS_MSG(static_cast<std::int64_t>(order.size()) == n,
+                  "graph has a cycle");
+  return order;
+}
+
+}  // namespace graphio::sim

@@ -1,0 +1,18 @@
+// Schedule heuristics beyond the plain topological orders in graph/topo.
+#pragma once
+
+#include <vector>
+
+#include "graphio/graph/digraph.hpp"
+
+namespace graphio::sim {
+
+/// Locality-greedy topological order: among ready vertices, prefer the one
+/// whose operands were produced most recently (so they are still likely in
+/// fast memory). Ties break toward lower vertex ids. Throws on cycles.
+///
+/// This is the scheduler the tightness bench uses to get practical upper
+/// bounds closer to J* than arbitrary Kahn orders.
+std::vector<VertexId> greedy_locality_order(const Digraph& g);
+
+}  // namespace graphio::sim

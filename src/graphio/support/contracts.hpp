@@ -1,0 +1,64 @@
+// Lightweight contract checking (C++ Core Guidelines I.6/I.8 style).
+//
+// GIO_EXPECTS checks preconditions at public API boundaries and throws
+// graphio::contract_error on violation; it stays enabled in release builds
+// because bound *validity* depends on input invariants (e.g. acyclicity).
+// GIO_ASSERT guards internal invariants and compiles out under NDEBUG.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace graphio {
+
+/// Thrown when a public-API precondition is violated.
+class contract_error : public std::logic_error {
+ public:
+  explicit contract_error(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::string what = std::string(kind) + " violated: (" + cond + ") at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) what += " — " + msg;
+  throw contract_error(what);
+}
+}  // namespace detail
+
+#define GIO_EXPECTS(cond)                                                    \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::graphio::detail::contract_fail("precondition", #cond, __FILE__,      \
+                                       __LINE__, "");                        \
+  } while (false)
+
+#define GIO_EXPECTS_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::graphio::detail::contract_fail("precondition", #cond, __FILE__,      \
+                                       __LINE__, (msg));                     \
+  } while (false)
+
+#define GIO_ENSURES(cond)                                                    \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::graphio::detail::contract_fail("postcondition", #cond, __FILE__,     \
+                                       __LINE__, "");                        \
+  } while (false)
+
+#ifdef NDEBUG
+#define GIO_ASSERT(cond) ((void)0)
+#else
+#define GIO_ASSERT(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::graphio::detail::contract_fail("invariant", #cond, __FILE__,         \
+                                       __LINE__, "");                        \
+  } while (false)
+#endif
+
+}  // namespace graphio

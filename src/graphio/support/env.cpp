@@ -1,0 +1,49 @@
+#include "graphio/support/env.hpp"
+
+#include <cstdlib>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
+std::optional<long long> env_int(const std::string& name) {
+  auto raw = env_string(name);
+  if (!raw) return std::nullopt;
+  std::size_t pos = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(*raw, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  GIO_EXPECTS_MSG(pos == raw->size(),
+                  "environment variable " + name + " is not an integer: " + *raw);
+  return value;
+}
+
+BenchScale bench_scale_from_env() {
+  auto raw = env_string("GRAPHIO_BENCH_SCALE");
+  if (!raw) return BenchScale::kDefault;
+  if (*raw == "quick") return BenchScale::kQuick;
+  if (*raw == "default") return BenchScale::kDefault;
+  if (*raw == "paper") return BenchScale::kPaper;
+  GIO_EXPECTS_MSG(false, "GRAPHIO_BENCH_SCALE must be quick|default|paper, got " + *raw);
+  return BenchScale::kDefault;  // unreachable
+}
+
+std::string to_string(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kQuick: return "quick";
+    case BenchScale::kDefault: return "default";
+    case BenchScale::kPaper: return "paper";
+  }
+  return "unknown";
+}
+
+}  // namespace graphio

@@ -1,0 +1,28 @@
+// Environment-variable knobs shared by the bench harness.
+//
+// GRAPHIO_BENCH_SCALE = quick | default | paper
+//   quick   — smoke-test sizes (CI)
+//   default — every figure reproduced at sizes that finish in minutes
+//   paper   — the full parameter ranges from the paper (minutes to hours)
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace graphio {
+
+enum class BenchScale { kQuick, kDefault, kPaper };
+
+/// Reads GRAPHIO_BENCH_SCALE (falls back to kDefault; unknown values throw).
+BenchScale bench_scale_from_env();
+
+/// Reads a string environment variable.
+std::optional<std::string> env_string(const std::string& name);
+
+/// Reads an integer environment variable (throws contract_error on garbage).
+std::optional<long long> env_int(const std::string& name);
+
+/// Human-readable name of a scale.
+std::string to_string(BenchScale scale);
+
+}  // namespace graphio

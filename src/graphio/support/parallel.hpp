@@ -1,0 +1,50 @@
+// Shared-memory parallelism helpers.
+//
+// The library parallelizes its hot loops (CSR matvec, reorthogonalization,
+// the per-vertex min-cut sweep) with OpenMP when available and degrades to
+// serial execution otherwise, so the build never requires OpenMP.
+#pragma once
+
+#include <cstdint>
+
+#if defined(GRAPHIO_HAS_OPENMP)
+#include <omp.h>
+#endif
+
+namespace graphio {
+
+/// Number of worker threads OpenMP would use (1 without OpenMP).
+inline int hardware_threads() noexcept {
+#if defined(GRAPHIO_HAS_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Runs body(i) for i in [0, n) — in parallel when OpenMP is available.
+/// The body must write to disjoint state per index (no synchronization is
+/// provided; C++ Core Guidelines CP.2: avoid data races by construction).
+template <typename Body>
+void parallel_for(std::int64_t n, const Body& body) {
+#if defined(GRAPHIO_HAS_OPENMP)
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) body(i);
+#else
+  for (std::int64_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
+/// Same but with a dynamic schedule; used when per-index work is skewed
+/// (e.g. the convex min-cut sweep where max-flow cost varies per vertex).
+template <typename Body>
+void parallel_for_dynamic(std::int64_t n, const Body& body) {
+#if defined(GRAPHIO_HAS_OPENMP)
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t i = 0; i < n; ++i) body(i);
+#else
+  for (std::int64_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
+}  // namespace graphio

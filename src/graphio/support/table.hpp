@@ -1,0 +1,55 @@
+// Console table / CSV emission for the benchmark harness.
+//
+// Every bench binary prints the rows/series of the paper figure it
+// reproduces as an aligned text table, and can mirror the same rows into a
+// CSV file for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace graphio {
+
+/// A simple column-aligned table with an optional CSV mirror.
+///
+/// Usage:
+///   Table t({"l", "n", "spectral M=4", "mincut M=4"});
+///   t.add_row({"3", "32", "12.4", "8"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows (excluding header).
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Writes the aligned table.
+  void print(std::ostream& os) const;
+
+  /// Writes header + rows as RFC-4180-ish CSV (cells with commas/quotes are
+  /// quoted).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: writes CSV to `path` (no-op when path is empty).
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly: fixed with `digits` decimals, trimming
+/// trailing zeros ("12.5", "0.001", "3"). NaN renders as "-" (used for
+/// "not run / cut off" cells in figure tables, matching the paper's
+/// missing points).
+std::string format_double(double value, int digits = 3);
+
+/// Formats an integral count with no decoration.
+std::string format_int(long long value);
+
+}  // namespace graphio

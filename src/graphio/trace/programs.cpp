@@ -1,0 +1,192 @@
+#include "graphio/trace/programs.hpp"
+
+#include <string>
+#include <vector>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::trace {
+
+namespace {
+
+/// A square matrix of traced values, n×n row-major.
+struct ValueMatrix {
+  int n = 0;
+  std::vector<Value> vals;
+
+  const Value& at(int i, int j) const {
+    return vals[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                j];
+  }
+  Value& at(int i, int j) {
+    return vals[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                j];
+  }
+  static ValueMatrix sized(int n) {
+    ValueMatrix m;
+    m.n = n;
+    m.vals.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                  Value{});
+    return m;
+  }
+};
+
+ValueMatrix quadrant(const ValueMatrix& m, int qi, int qj) {
+  const int h = m.n / 2;
+  ValueMatrix out = ValueMatrix::sized(h);
+  for (int i = 0; i < h; ++i)
+    for (int j = 0; j < h; ++j) out.at(i, j) = m.at(qi * h + i, qj * h + j);
+  return out;
+}
+
+ValueMatrix combine2(const ValueMatrix& x, const ValueMatrix& y) {
+  ValueMatrix out = ValueMatrix::sized(x.n);
+  for (int i = 0; i < x.n; ++i)
+    for (int j = 0; j < x.n; ++j) out.at(i, j) = x.at(i, j) + y.at(i, j);
+  return out;
+}
+
+ValueMatrix combine4(Tape& tape, const ValueMatrix& a, const ValueMatrix& b,
+                     const ValueMatrix& c, const ValueMatrix& d) {
+  ValueMatrix out = ValueMatrix::sized(a.n);
+  for (int i = 0; i < a.n; ++i)
+    for (int j = 0; j < a.n; ++j)
+      out.at(i, j) =
+          tape.op({a.at(i, j), b.at(i, j), c.at(i, j), d.at(i, j)});
+  return out;
+}
+
+ValueMatrix strassen_run(Tape& tape, const ValueMatrix& a,
+                         const ValueMatrix& b) {
+  if (a.n == 1) {
+    ValueMatrix out = ValueMatrix::sized(1);
+    out.at(0, 0) = a.at(0, 0) * b.at(0, 0);
+    return out;
+  }
+  const ValueMatrix a11 = quadrant(a, 0, 0), a12 = quadrant(a, 0, 1);
+  const ValueMatrix a21 = quadrant(a, 1, 0), a22 = quadrant(a, 1, 1);
+  const ValueMatrix b11 = quadrant(b, 0, 0), b12 = quadrant(b, 0, 1);
+  const ValueMatrix b21 = quadrant(b, 1, 0), b22 = quadrant(b, 1, 1);
+
+  const ValueMatrix m1 = strassen_run(tape, combine2(a11, a22), combine2(b11, b22));
+  const ValueMatrix m2 = strassen_run(tape, combine2(a21, a22), b11);
+  const ValueMatrix m3 = strassen_run(tape, a11, combine2(b12, b22));
+  const ValueMatrix m4 = strassen_run(tape, a22, combine2(b21, b11));
+  const ValueMatrix m5 = strassen_run(tape, combine2(a11, a12), b22);
+  const ValueMatrix m6 = strassen_run(tape, combine2(a21, a11), combine2(b11, b12));
+  const ValueMatrix m7 = strassen_run(tape, combine2(a12, a22), combine2(b21, b22));
+
+  const int h = a.n / 2;
+  ValueMatrix c = ValueMatrix::sized(a.n);
+  const ValueMatrix c11 = combine4(tape, m1, m4, m5, m7);
+  const ValueMatrix c12 = combine2(m3, m5);
+  const ValueMatrix c21 = combine2(m2, m4);
+  const ValueMatrix c22 = combine4(tape, m1, m2, m3, m6);
+  for (int i = 0; i < h; ++i) {
+    for (int j = 0; j < h; ++j) {
+      c.at(i, j) = c11.at(i, j);
+      c.at(i, j + h) = c12.at(i, j);
+      c.at(i + h, j) = c21.at(i, j);
+      c.at(i + h, j + h) = c22.at(i, j);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Digraph traced_fft(int levels) {
+  GIO_EXPECTS(levels >= 0 && levels <= 20);
+  const std::int64_t width = std::int64_t{1} << levels;
+  Tape tape;
+  std::vector<Value> wire(static_cast<std::size_t>(width));
+  for (std::int64_t r = 0; r < width; ++r)
+    wire[static_cast<std::size_t>(r)] =
+        tape.input("x" + std::to_string(r));
+  // Iterative radix-2 butterfly: at level c each output point combines
+  // its own wire with the wire `stride` away (the twiddle scaling is part
+  // of the op — one value per point per level, exactly Figure 5).
+  for (int c = 1; c <= levels; ++c) {
+    const std::int64_t stride = std::int64_t{1} << (c - 1);
+    std::vector<Value> next(static_cast<std::size_t>(width));
+    for (std::int64_t r = 0; r < width; ++r)
+      next[static_cast<std::size_t>(r)] =
+          tape.op({wire[static_cast<std::size_t>(r)],
+                   wire[static_cast<std::size_t>(r ^ stride)]});
+    wire = std::move(next);
+  }
+  return tape.release();
+}
+
+Digraph traced_matmul(int n, ReduceShape shape) {
+  GIO_EXPECTS(n >= 1);
+  Tape tape;
+  ValueMatrix a = ValueMatrix::sized(n);
+  ValueMatrix b = ValueMatrix::sized(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      a.at(i, j) = tape.input("a" + std::to_string(i) + "_" + std::to_string(j));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      b.at(i, j) = tape.input("b" + std::to_string(i) + "_" + std::to_string(j));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::vector<Value> products;
+      products.reserve(static_cast<std::size_t>(n));
+      for (int k = 0; k < n; ++k)
+        products.push_back(a.at(i, k) * b.at(k, j));
+      (void)reduce(products, shape,
+                   "c" + std::to_string(i) + "_" + std::to_string(j));
+    }
+  }
+  return tape.release();
+}
+
+Digraph traced_strassen(int n) {
+  GIO_EXPECTS_MSG(n >= 1 && (n & (n - 1)) == 0,
+                  "Strassen requires a power-of-two side");
+  Tape tape;
+  ValueMatrix a = ValueMatrix::sized(n);
+  ValueMatrix b = ValueMatrix::sized(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) a.at(i, j) = tape.input();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) b.at(i, j) = tape.input();
+  (void)strassen_run(tape, a, b);
+  return tape.release();
+}
+
+Digraph traced_bhk(int cities) {
+  GIO_EXPECTS(cities >= 1 && cities <= 24);
+  const std::uint64_t n = std::uint64_t{1} << cities;
+  Tape tape;
+  std::vector<Value> solution(static_cast<std::size_t>(n));
+  solution[0] = tape.input("start");
+  // Subsets in increasing popcount order are exactly increasing integers'
+  // topological closure here: every subset k > 0 combines the solution
+  // sets of all subsets with one city removed.
+  for (std::uint64_t k = 1; k < n; ++k) {
+    std::vector<Value> operands;
+    for (std::uint64_t rest = k; rest != 0; rest &= rest - 1) {
+      const std::uint64_t bit = rest & (~rest + 1);
+      operands.push_back(solution[static_cast<std::size_t>(k & ~bit)]);
+    }
+    solution[static_cast<std::size_t>(k)] = tape.op(operands);
+  }
+  return tape.release();
+}
+
+Digraph traced_horner(int degree) {
+  GIO_EXPECTS(degree >= 0);
+  Tape tape;
+  const Value x = tape.input("x");
+  Value acc = tape.input("c" + std::to_string(degree));
+  for (int i = degree - 1; i >= 0; --i) {
+    const Value scaled = acc * x;
+    const Value coeff = tape.input("c" + std::to_string(i));
+    acc = scaled + coeff;
+  }
+  return tape.release();
+}
+
+}  // namespace graphio::trace

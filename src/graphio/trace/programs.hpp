@@ -1,0 +1,39 @@
+// Traced reference programs (the paper's Section 6.1 workflow).
+//
+// Each function RUNS a real algorithm on trace::Value handles; the tape
+// records exactly the computation graph that execution performs. The
+// builders in graph/builders construct the same families directly from
+// their structural definitions, so the pair gives two independent routes
+// to each evaluation graph — the cross-validation tests check that both
+// routes agree on every structural invariant and on the spectral bound
+// itself.
+#pragma once
+
+#include "graphio/graph/digraph.hpp"
+#include "graphio/trace/tape.hpp"
+
+namespace graphio::trace {
+
+/// Runs the recursive radix-2 decimation-in-time FFT on 2^levels traced
+/// inputs (butterfly: a ± t·b per level — two ops per output point whose
+/// operand structure matches the butterfly graph).
+Digraph traced_fft(int levels);
+
+/// Runs naive n×n matrix multiplication; each C entry reduces its n
+/// products with the given shape.
+Digraph traced_matmul(int n, ReduceShape shape = ReduceShape::kNary);
+
+/// Runs Strassen's algorithm down to 1×1 base cases on n×n operands
+/// (n a power of two).
+Digraph traced_strassen(int n);
+
+/// Runs the Bellman–Held–Karp dynamic program for an l-city TSP with the
+/// paper's hypercube formulation: one op per visited-set vertex combining
+/// its subset predecessors.
+Digraph traced_bhk(int cities);
+
+/// Runs Horner evaluation of a degree-d polynomial (chain of fused
+/// multiply-adds): the canonical "arbitrary user computation".
+Digraph traced_horner(int degree);
+
+}  // namespace graphio::trace

@@ -1,0 +1,35 @@
+#include "graphio/trace/tape.hpp"
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::trace {
+
+Value Tape::input(std::string name) {
+  const VertexId v = graph_.add_vertex();
+  if (!name.empty()) graph_.set_name(v, std::move(name));
+  return Value(this, v);
+}
+
+Value Tape::op(std::span<const Value> operands, std::string name) {
+  GIO_EXPECTS_MSG(!operands.empty(), "an operation needs operands");
+  for (const Value& operand : operands)
+    GIO_EXPECTS_MSG(operand.tape() == this,
+                    "all operands must come from the same tape");
+  const VertexId v = graph_.add_vertex();
+  if (!name.empty()) graph_.set_name(v, std::move(name));
+  for (const Value& operand : operands) graph_.add_edge(operand.id(), v);
+  return Value(this, v);
+}
+
+Value Tape::op(std::initializer_list<Value> operands, std::string name) {
+  return op(std::span<const Value>(operands.begin(), operands.size()),
+            std::move(name));
+}
+
+Digraph Tape::release() {
+  Digraph out = std::move(graph_);
+  graph_ = Digraph();
+  return out;
+}
+
+}  // namespace graphio::trace

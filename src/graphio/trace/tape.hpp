@@ -1,0 +1,86 @@
+// Operation tracer — the C++ analogue of the paper's Python solver
+// (Section 6.1: "we develop a solver that traces operations during a
+// Python computation and thus extracts a computation graph").
+//
+// A Tape records every operation performed on trace::Value handles and
+// builds the computation Digraph as a side effect. Arithmetic operators
+// create binary vertices; Tape::op creates custom n-ary operations (the
+// paper's "custom operations"). Running ordinary numeric code on Values
+// therefore yields the exact graph that code computes.
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graphio/graph/digraph.hpp"
+
+namespace graphio::trace {
+
+class Value;
+
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Records an input (source vertex).
+  Value input(std::string name = "");
+
+  /// Records an n-ary operation consuming `operands` (≥ 1), all of which
+  /// must belong to this tape. Duplicate operands create parallel edges
+  /// (e.g. x·x).
+  Value op(std::span<const Value> operands, std::string name = "");
+  Value op(std::initializer_list<Value> operands, std::string name = "");
+
+  /// The computation graph recorded so far.
+  [[nodiscard]] const Digraph& graph() const noexcept { return graph_; }
+
+  /// Moves the recorded graph out of the tape (tape becomes empty).
+  Digraph release();
+
+  [[nodiscard]] std::int64_t num_operations() const noexcept {
+    return graph_.num_vertices();
+  }
+
+ private:
+  friend class Value;
+  Digraph graph_;
+};
+
+/// A traced scalar: a lightweight (tape, vertex) handle with value
+/// semantics. Arithmetic on Values records binary vertices on the tape.
+class Value {
+ public:
+  Value() = default;
+
+  [[nodiscard]] VertexId id() const noexcept { return id_; }
+  [[nodiscard]] Tape* tape() const noexcept { return tape_; }
+  [[nodiscard]] bool valid() const noexcept { return tape_ != nullptr; }
+
+  friend Value operator+(Value a, Value b);
+  friend Value operator-(Value a, Value b);
+  friend Value operator*(Value a, Value b);
+  friend Value operator/(Value a, Value b);
+  Value& operator+=(Value other);
+  Value& operator-=(Value other);
+  Value& operator*=(Value other);
+  Value& operator/=(Value other);
+
+ private:
+  friend class Tape;
+  Value(Tape* tape, VertexId id) : tape_(tape), id_(id) {}
+
+  Tape* tape_ = nullptr;
+  VertexId id_ = -1;
+};
+
+/// Reduces values to one result using the given reduction shape
+/// (chain = left fold of binary adds, tree = balanced, nary = one vertex).
+enum class ReduceShape { kChain, kBinaryTree, kNary };
+Value reduce(std::span<const Value> values, ReduceShape shape,
+             std::string name = "");
+
+}  // namespace graphio::trace

@@ -1,0 +1,56 @@
+#include <vector>
+
+#include "graphio/support/contracts.hpp"
+#include "graphio/trace/tape.hpp"
+
+namespace graphio::trace {
+
+namespace {
+Value binary(const char* symbol, Value a, Value b) {
+  GIO_EXPECTS_MSG(a.valid() && b.valid(), "operands must be traced values");
+  GIO_EXPECTS_MSG(a.tape() == b.tape(),
+                  "operands must come from the same tape");
+  return a.tape()->op({a, b}, symbol);
+}
+}  // namespace
+
+Value operator+(Value a, Value b) { return binary("+", a, b); }
+Value operator-(Value a, Value b) { return binary("-", a, b); }
+Value operator*(Value a, Value b) { return binary("*", a, b); }
+Value operator/(Value a, Value b) { return binary("/", a, b); }
+
+Value& Value::operator+=(Value other) { return *this = *this + other; }
+Value& Value::operator-=(Value other) { return *this = *this - other; }
+Value& Value::operator*=(Value other) { return *this = *this * other; }
+Value& Value::operator/=(Value other) { return *this = *this / other; }
+
+Value reduce(std::span<const Value> values, ReduceShape shape,
+             std::string name) {
+  GIO_EXPECTS_MSG(!values.empty(), "cannot reduce zero values");
+  if (values.size() == 1) return values[0];
+  switch (shape) {
+    case ReduceShape::kNary:
+      return values[0].tape()->op(values, std::move(name));
+    case ReduceShape::kChain: {
+      Value acc = values[0];
+      for (std::size_t i = 1; i < values.size(); ++i) acc = acc + values[i];
+      return acc;
+    }
+    case ReduceShape::kBinaryTree: {
+      std::vector<Value> layer(values.begin(), values.end());
+      while (layer.size() > 1) {
+        std::vector<Value> next;
+        next.reserve((layer.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+          next.push_back(layer[i] + layer[i + 1]);
+        if (layer.size() % 2 == 1) next.push_back(layer.back());
+        layer = std::move(next);
+      }
+      return layer[0];
+    }
+  }
+  GIO_ASSERT(false);
+  return values[0];
+}
+
+}  // namespace graphio::trace

@@ -1,0 +1,271 @@
+// Closed-form spectra and Section 5 bounds, validated against numerics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphio/core/analytic_bounds.hpp"
+#include "graphio/core/analytic_spectra.hpp"
+#include "graphio/core/published.hpp"
+#include "graphio/core/spectral_bound.hpp"
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/laplacian.hpp"
+#include "graphio/la/symmetric_eigen.hpp"
+#include "graphio/la/tridiagonal.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::analytic {
+namespace {
+
+TEST(Binomial, SmallValues) {
+  EXPECT_DOUBLE_EQ(binomial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 6), 0.0);
+  EXPECT_DOUBLE_EQ(binomial(20, 10), 184756.0);
+}
+
+TEST(HypercubeSpectrum, MatchesDenseForSmallCubes) {
+  for (int l : {1, 2, 4, 6}) {
+    const auto g = builders::bhk_hypercube(l);
+    const auto numeric = Spectrum::from_values(
+        la::symmetric_eigenvalues(dense_laplacian(g, LaplacianKind::kPlain)),
+        1e-7);
+    EXPECT_LT(hypercube_spectrum(l).max_abs_diff(numeric), 1e-7) << "l=" << l;
+  }
+}
+
+TEST(HypercubeSpectrum, CountsAndExtremes) {
+  const Spectrum s = hypercube_spectrum(10);
+  EXPECT_EQ(s.total_count(), 1024);
+  EXPECT_DOUBLE_EQ(s.entries().front().value, 0.0);
+  EXPECT_DOUBLE_EQ(s.entries().back().value, 20.0);
+  EXPECT_EQ(s.entries()[1].multiplicity, 10);  // λ=2 has multiplicity C(10,1)
+}
+
+// The paper's novel result (Theorem 7): the butterfly spectrum closed form.
+// This is the strongest test in the module — the closed form must
+// reproduce the dense spectrum of the actual graph including every
+// multiplicity.
+TEST(ButterflySpectrum, Theorem7MatchesDenseSpectrum) {
+  for (int l : {1, 2, 3, 4, 5, 6}) {
+    const auto g = builders::fft(l);
+    const auto numeric = Spectrum::from_values(
+        la::symmetric_eigenvalues(dense_laplacian(g, LaplacianKind::kPlain)),
+        1e-7);
+    const Spectrum closed = butterfly_spectrum(l);
+    ASSERT_EQ(closed.total_count(), numeric.total_count()) << "l=" << l;
+    EXPECT_LT(closed.max_abs_diff(numeric), 1e-7) << "l=" << l;
+  }
+}
+
+TEST(ButterflySpectrum, TotalCountFormula) {
+  for (int l : {1, 4, 8, 12})
+    EXPECT_EQ(butterfly_spectrum(l).total_count(),
+              static_cast<std::int64_t>(l + 1) * (std::int64_t{1} << l));
+}
+
+TEST(ButterflySpectrum, SingleVertexBaseCase) {
+  const Spectrum s = butterfly_spectrum(0);
+  ASSERT_EQ(s.total_count(), 1);
+  EXPECT_DOUBLE_EQ(s.entries()[0].value, 0.0);
+}
+
+namespace {
+la::SymTridiag weighted_path(int i, bool left_weight, bool right_weight) {
+  // Path with i vertices, edge weights 2, optional +2 vertex weights at
+  // the ends (the P / P' / P'' family of Appendix A).
+  la::SymTridiag t;
+  t.diag.assign(static_cast<std::size_t>(i), 4.0);
+  if (i >= 1) {
+    t.diag.front() = left_weight ? 4.0 : 2.0;
+    t.diag.back() = right_weight ? 4.0 : 2.0;
+  }
+  if (i == 1) {
+    // Single vertex: degree contributions collapse; weight only.
+    t.diag[0] = (left_weight ? 2.0 : 0.0) + (right_weight ? 2.0 : 0.0);
+  }
+  t.off.assign(i > 0 ? static_cast<std::size_t>(i - 1) : 0, -2.0);
+  return t;
+}
+}  // namespace
+
+TEST(PathSpectra, Lemma11FormulasMatchTridiagonalNumerics) {
+  for (int i : {2, 3, 5, 8}) {
+    // P_i: no end weights.
+    auto p = tridiagonal_eigenvalues(weighted_path(i, false, false));
+    auto p_closed = path_p_spectrum(i);
+    std::sort(p_closed.begin(), p_closed.end());
+    for (std::size_t j = 0; j < p.size(); ++j)
+      EXPECT_NEAR(p[j], p_closed[j], 1e-9) << "P_" << i;
+
+    // P'_i: one end weighted.
+    auto pp = tridiagonal_eigenvalues(weighted_path(i, false, true));
+    auto pp_closed = path_pprime_spectrum(i);
+    std::sort(pp_closed.begin(), pp_closed.end());
+    for (std::size_t j = 0; j < pp.size(); ++j)
+      EXPECT_NEAR(pp[j], pp_closed[j], 1e-9) << "P'_" << i;
+
+    // P''_i: both ends weighted.
+    auto ppp = tridiagonal_eigenvalues(weighted_path(i, true, true));
+    auto ppp_closed = path_pdoubleprime_spectrum(i);
+    std::sort(ppp_closed.begin(), ppp_closed.end());
+    for (std::size_t j = 0; j < ppp.size(); ++j)
+      EXPECT_NEAR(ppp[j], ppp_closed[j], 1e-9) << "P''_" << i;
+  }
+}
+
+TEST(BhkBounds, GeneralAlphaFormulaReducesToAlpha1) {
+  for (int l : {6, 10, 14})
+    for (double m : {4.0, 16.0})
+      EXPECT_NEAR(bhk_bound(l, m, 1), bhk_bound_alpha1(l, m), 1e-9);
+}
+
+TEST(BhkBounds, Alpha1HandValue) {
+  // l=10, M=4: 2^11/11 − 2·4·11 = 186.18… − 88.
+  EXPECT_NEAR(bhk_bound_alpha1(10, 4), 2048.0 / 11.0 - 88.0, 1e-9);
+}
+
+TEST(BhkBounds, BestAlphaDominatesAlpha1) {
+  for (int l : {8, 12}) {
+    for (double m : {2.0, 8.0}) {
+      int alpha = -1;
+      const double best = bhk_bound_best_alpha(l, m, &alpha);
+      EXPECT_GE(best, std::max(0.0, bhk_bound_alpha1(l, m)) - 1e-9);
+      EXPECT_GE(alpha, 0);
+    }
+  }
+}
+
+TEST(BhkBounds, NontrivialExactlyBelowThreshold) {
+  // §5.1: the α=1 bound is positive as long as M ≤ 2^l/(l+1)².
+  const int l = 10;
+  const double threshold = bhk_nontrivial_memory_threshold(l);
+  EXPECT_NEAR(threshold, 1024.0 / 121.0, 1e-12);
+  EXPECT_GT(bhk_bound_alpha1(l, threshold * 0.99), 0.0);
+  EXPECT_LT(bhk_bound_alpha1(l, threshold * 1.01), 0.0);
+}
+
+TEST(BhkBounds, ClosedFormIsValidSpectralBound) {
+  // The closed form must agree with mechanically evaluating Theorem 5 on
+  // the analytic hypercube spectrum with k = l+1 (α = 1).
+  const int l = 9;
+  const double m = 3.0;
+  const auto lambda = hypercube_spectrum(l).smallest(l + 1);
+  // floor(n/k)·Σλ/l − 2kM with k = l+1: matches bhk_bound_alpha1 up to the
+  // paper's floor-free simplification ⌊2^l/(l+1)⌋ ≈ 2^l/(l+1).
+  double prefix = 0.0;
+  for (double v : lambda) prefix += v;
+  const double mechanical =
+      std::floor(std::ldexp(1.0, l) / (l + 1)) * prefix / l -
+      2.0 * (l + 1) * m;
+  const double closed = bhk_bound_alpha1(l, m);
+  EXPECT_NEAR(mechanical, closed, prefix / l + 1e-9);  // floor slack ≤ Σλ/l
+  EXPECT_LE(mechanical, closed + 1e-9);
+}
+
+TEST(FftBounds, PaperAlphaChoiceAndHandValue) {
+  // l=10, M=4 → α = 10−2 = 8: (11·1024)(1−cos(π/5)) − 2^10·4.
+  const double expected =
+      11.0 * 1024.0 * (1.0 - std::cos(3.14159265358979323846 / 5.0)) -
+      std::ldexp(1.0, 10) * 4.0;
+  EXPECT_NEAR(fft_bound(10, 4, 8), expected, 1e-9);
+  EXPECT_NEAR(fft_bound_paper_alpha(10, 4), expected, 1e-9);
+}
+
+TEST(FftBounds, BestAlphaDominatesPaperChoice) {
+  for (int l : {8, 12})
+    for (double m : {4.0, 16.0})
+      EXPECT_GE(fft_bound_best_alpha(l, m),
+                std::max(0.0, fft_bound_paper_alpha(l, m)) - 1e-9);
+}
+
+TEST(FftBounds, WithinLogFactorOfHongKung) {
+  // §5.2's headline: the spectral closed form is at most ~1/log₂M weaker
+  // than the tight Ω(l·2^l/log M) bound. The asymptotic regime needs
+  // M ≪ l (the −4/(l+1) correction must be dominated), so test far out.
+  const int l = 100;
+  const double m = 4.0;
+  const double spectral = fft_bound_best_alpha(l, m);
+  const double hong_kung = published::fft_hong_kung(l, m);
+  EXPECT_GT(spectral, 0.0);
+  // "only a 1/log₂M factor worse": allow a constant of 4 on top.
+  EXPECT_GT(spectral, hong_kung / (4.0 * std::log2(m)));
+  EXPECT_LT(spectral, hong_kung);
+}
+
+TEST(FftBounds, NegativeOutsideTheAsymptoticRegime) {
+  // At small l the 2^{α+2}M term wins — the closed form is honest about it.
+  EXPECT_LT(fft_bound_paper_alpha(20, 16.0), 0.0);
+}
+
+TEST(ErBounds, SparseAndDenseRegimes) {
+  EXPECT_THROW(er_sparse_bound(100, 5.0, 1.0), contract_error);
+  // p0 = 24: n/(1+0.5)·(1−√(1/12)) − 4M with M = 0.25.
+  const double expected =
+      1000.0 / 1.5 * (1.0 - std::sqrt(2.0 / 24.0)) - 4.0 * 0.25;
+  EXPECT_NEAR(er_sparse_bound(1000, 24.0, 0.25), expected, 1e-9);
+  EXPECT_DOUBLE_EQ(er_dense_bound(1000, 10.0), 460.0);
+}
+
+TEST(Published, ReferenceCurves) {
+  EXPECT_DOUBLE_EQ(published::fft_hong_kung(10, 4), 10.0 * 1024.0 / 2.0);
+  EXPECT_DOUBLE_EQ(published::matmul_irony(8, 16), 512.0 / 4.0);
+  EXPECT_NEAR(published::strassen_ballard(8, 4),
+              std::pow(4.0, std::log2(7.0)) * 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(published::bhk_growth(10), 102.4);
+  EXPECT_DOUBLE_EQ(published::fft_growth(3), 24.0);
+  EXPECT_DOUBLE_EQ(published::matmul_growth(4), 64.0);
+}
+
+TEST(ProductSpectra, GridMatchesDenseEigensolver) {
+  // L(G □ H) = L_G ⊕ L_H: the grid builder's undirected skeleton is
+  // path(rows) □ path(cols).
+  for (const auto& [rows, cols] :
+       {std::pair<int, int>{3, 5}, {4, 4}, {2, 9}}) {
+    const Digraph g = builders::grid(rows, cols);
+    const std::vector<double> numeric =
+        la::symmetric_eigenvalues(dense_laplacian(g, LaplacianKind::kPlain));
+    const Spectrum closed = grid_spectrum(rows, cols);
+    EXPECT_EQ(closed.total_count(), g.num_vertices());
+    EXPECT_LT(closed.max_abs_diff(Spectrum::from_values(numeric)), 1e-8)
+        << rows << "x" << cols;
+  }
+}
+
+TEST(ProductSpectra, TorusMatchesDenseEigensolver) {
+  // Assemble a 4×5 torus directly (cycle □ cycle skeleton).
+  const std::int64_t rows = 4;
+  const std::int64_t cols = 5;
+  Digraph g(rows * cols);
+  auto id = [&](std::int64_t r, std::int64_t c) { return r * cols + c; };
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c) {
+      g.add_edge(id(r, c), id((r + 1) % rows, c));
+      g.add_edge(id(r, c), id(r, (c + 1) % cols));
+    }
+  const std::vector<double> numeric =
+      la::symmetric_eigenvalues(dense_laplacian(g, LaplacianKind::kPlain));
+  const Spectrum closed = torus_spectrum(rows, cols);
+  EXPECT_LT(closed.max_abs_diff(Spectrum::from_values(numeric)), 1e-8);
+}
+
+TEST(ProductSpectra, HypercubeIsAPowerOfK2) {
+  // Q_4 = K_2 □ K_2 □ K_2 □ K_2 — the product engine must rebuild the
+  // binomial-multiplicity closed form exactly.
+  Spectrum q = complete_spectrum(2);
+  for (int i = 1; i < 4; ++i)
+    q = cartesian_product_spectrum(q, complete_spectrum(2));
+  EXPECT_DOUBLE_EQ(q.max_abs_diff(hypercube_spectrum(4)), 0.0);
+}
+
+TEST(ProductSpectra, ProductIsCommutativeAndCountsMultiply) {
+  const Spectrum a = path_spectrum(6);
+  const Spectrum b = cycle_spectrum(5);
+  const Spectrum ab = cartesian_product_spectrum(a, b);
+  const Spectrum ba = cartesian_product_spectrum(b, a);
+  EXPECT_EQ(ab.total_count(), a.total_count() * b.total_count());
+  EXPECT_DOUBLE_EQ(ab.max_abs_diff(ba), 0.0);
+}
+
+}  // namespace
+}  // namespace graphio::analytic

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "graphio/core/hierarchy.hpp"
+#include "graphio/core/spectral_bound.hpp"
+#include "graphio/graph/builders.hpp"
+
+namespace graphio {
+namespace {
+
+TEST(Hierarchy, EachLevelMatchesTheTwoLevelBound) {
+  const Digraph g = builders::fft(6);
+  const std::vector<double> capacities{2.0, 8.0, 32.0};
+  const HierarchyProfile profile = hierarchy_profile(g, capacities);
+  ASSERT_EQ(profile.levels.size(), 3u);
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    const SpectralBound two_level = spectral_bound(g, capacities[i]);
+    EXPECT_DOUBLE_EQ(profile.levels[i].traffic_bound, two_level.bound)
+        << "level " << i;
+    EXPECT_EQ(profile.levels[i].capacity, capacities[i]);
+  }
+}
+
+TEST(Hierarchy, TrafficWeaklyDecreasesWithCapacity) {
+  const Digraph g = builders::bhk_hypercube(8);
+  const std::vector<double> capacities{2.0, 4.0, 16.0, 64.0, 256.0};
+  const HierarchyProfile profile = hierarchy_profile(g, capacities);
+  for (std::size_t i = 1; i < profile.levels.size(); ++i)
+    EXPECT_LE(profile.levels[i].traffic_bound,
+              profile.levels[i - 1].traffic_bound + 1e-9);
+}
+
+TEST(Hierarchy, SharedSpectrumAcrossLevels) {
+  const Digraph g = builders::fft(5);
+  const std::vector<double> capacities{4.0, 16.0};
+  const HierarchyProfile profile = hierarchy_profile(g, capacities);
+  EXPECT_FALSE(profile.eigenvalues.empty());
+  EXPECT_TRUE(profile.eigensolver_converged);
+  // The profile's spectrum is the same one a direct bound call computes.
+  const SpectralBound direct = spectral_bound(g, 4.0);
+  EXPECT_EQ(profile.eigenvalues, direct.eigenvalues);
+}
+
+TEST(Hierarchy, EmptyCapacitiesAndEdgelessGraphs) {
+  const Digraph g = builders::fft(4);
+  EXPECT_TRUE(hierarchy_profile(g, {}).levels.empty());
+  const Digraph isolated(6);
+  const std::vector<double> capacities{1.0, 2.0};
+  const HierarchyProfile profile = hierarchy_profile(isolated, capacities);
+  for (const LevelTraffic& level : profile.levels)
+    EXPECT_DOUBLE_EQ(level.traffic_bound, 0.0);
+}
+
+TEST(Hierarchy, UnsortedCapacitiesArePricedIndependently) {
+  const Digraph g = builders::fft(6);
+  const std::vector<double> forward{2.0, 32.0};
+  const std::vector<double> backward{32.0, 2.0};
+  const HierarchyProfile a = hierarchy_profile(g, forward);
+  const HierarchyProfile b = hierarchy_profile(g, backward);
+  EXPECT_DOUBLE_EQ(a.levels[0].traffic_bound, b.levels[1].traffic_bound);
+  EXPECT_DOUBLE_EQ(a.levels[1].traffic_bound, b.levels[0].traffic_bound);
+}
+
+}  // namespace
+}  // namespace graphio

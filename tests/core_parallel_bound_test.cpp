@@ -1,0 +1,57 @@
+// Theorem 6: the parallel spectral bound.
+#include <gtest/gtest.h>
+
+#include "graphio/core/spectral_bound.hpp"
+#include "graphio/graph/builders.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+namespace {
+
+TEST(ParallelBound, OneProcessorReducesToTheorem4) {
+  for (const Digraph& g : {builders::fft(5), builders::bhk_hypercube(6)}) {
+    const SpectralBound serial = spectral_bound(g, 4);
+    const SpectralBound p1 = parallel_spectral_bound(g, 4, 1);
+    EXPECT_DOUBLE_EQ(serial.bound, p1.bound);
+    EXPECT_EQ(serial.best_k, p1.best_k);
+  }
+}
+
+TEST(ParallelBound, MonotoneNonIncreasingInProcessors) {
+  const Digraph g = builders::bhk_hypercube(7);
+  double previous = parallel_spectral_bound(g, 2, 1).bound;
+  for (std::int64_t p : {2, 4, 8, 16}) {
+    const double current = parallel_spectral_bound(g, 2, p).bound;
+    EXPECT_LE(current, previous) << "p=" << p;
+    previous = current;
+  }
+}
+
+TEST(ParallelBound, FloorMatchesHandComputation) {
+  // Directly check ⌊n/(kp)⌋ against bound_from_spectrum on a fixed
+  // spectrum: n=100, λ={0,1}, M=0, p=3, k=2 → ⌊100/6⌋·1 = 16.
+  const std::vector<double> lambda{0.0, 1.0};
+  const BoundOverK b = bound_from_spectrum(lambda, 100, 0.0, 3);
+  EXPECT_DOUBLE_EQ(b.bound, 16.0);
+}
+
+TEST(ParallelBound, VanishesWhenProcessorsExceedVertices) {
+  const Digraph g = builders::fft(4);
+  const SpectralBound b =
+      parallel_spectral_bound(g, 1, g.num_vertices() + 1);
+  EXPECT_DOUBLE_EQ(b.bound, 0.0);  // ⌊n/(kp)⌋ = 0 for every k
+}
+
+TEST(ParallelBound, RejectsBadProcessorCount) {
+  EXPECT_THROW(parallel_spectral_bound(builders::path(4), 1, 0),
+               contract_error);
+}
+
+TEST(ParallelBound, StillPositiveForModestParallelism) {
+  // The hypercube keeps a positive per-processor bound at small M.
+  const Digraph g = builders::bhk_hypercube(8);
+  EXPECT_GT(parallel_spectral_bound(g, 2, 2).bound, 0.0);
+}
+
+}  // namespace
+}  // namespace graphio

@@ -1,0 +1,125 @@
+// Numerical verification of the paper's derivation chain (Lemma 1 →
+// Theorem 2 → trace identity → Theorem 4) on explicit orders.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graphio/core/partition.hpp"
+#include "graphio/core/spectral_bound.hpp"
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/topo.hpp"
+#include "graphio/la/symmetric_eigen.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+namespace {
+
+TEST(BalancedPartition, SizesAndSegments) {
+  const auto sizes = balanced_partition_sizes(10, 3);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 4);  // first n mod k get the extra vertex
+  EXPECT_EQ(sizes[1], 3);
+  EXPECT_EQ(sizes[2], 3);
+
+  const auto segments = balanced_segments(10, 3);
+  EXPECT_EQ(segments[0], (std::pair<std::int64_t, std::int64_t>{0, 4}));
+  EXPECT_EQ(segments[2], (std::pair<std::int64_t, std::int64_t>{7, 10}));
+
+  EXPECT_THROW(balanced_partition_sizes(3, 4), contract_error);
+  EXPECT_THROW(balanced_partition_sizes(3, 0), contract_error);
+}
+
+TEST(BalancedPartition, EqualSplitWhenDivisible) {
+  for (std::int64_t size : balanced_partition_sizes(12, 4)) EXPECT_EQ(size, 3);
+}
+
+TEST(PartitionObjective, HandComputedOnPath) {
+  // Path 0→1→2→3, natural order, k=2 → segments {0,1} {2,3}; the single
+  // crossing edge (1,2) has dout(1)=1 and lies in both boundaries: 2/1.
+  const Digraph g = builders::path(4);
+  const std::vector<VertexId> order{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(partition_edge_objective(g, order, 2), 2.0);
+  // k=4: every edge crosses → 3 edges × 2 = 6.
+  EXPECT_DOUBLE_EQ(partition_edge_objective(g, order, 4), 6.0);
+}
+
+TEST(PartitionObjective, Lemma1HandComputedOnPath) {
+  const Digraph g = builders::path(4);
+  const std::vector<VertexId> order{0, 1, 2, 3};
+  // k=2: R of segment 2 = {1}, W of segment 1 = {1} → total 2.
+  EXPECT_EQ(lemma1_reads_writes(g, order, 2), 2);
+}
+
+TEST(PartitionObjective, TraceIdentityHoldsExactly) {
+  // tr(XᵀL̃XW(k)) == Σ_S Σ_{∂S} 1/dout — Equation 3 / Section 4.2.
+  Prng rng(21);
+  for (const Digraph& g :
+       {builders::fft(4), builders::bhk_hypercube(5),
+        builders::erdos_renyi_dag(60, 0.1, 3)}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const auto order = random_topological_order(g, rng);
+      for (std::int64_t k : {2, 3, 7}) {
+        EXPECT_NEAR(
+            trace_objective(g, order, k, LaplacianKind::kOutDegreeNormalized),
+            partition_edge_objective(g, order, k), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(PartitionObjective, PlainTraceCountsUnweightedBoundary) {
+  const Digraph g = builders::path(6);
+  const std::vector<VertexId> order{0, 1, 2, 3, 4, 5};
+  // k=3 → segments of 2; crossing edges (1,2) and (3,4) → |∂S| total 4.
+  EXPECT_NEAR(trace_objective(g, order, 3, LaplacianKind::kPlain), 4.0,
+              1e-12);
+}
+
+TEST(DerivationChain, Lemma1DominatesTheorem2Objective) {
+  Prng rng(5);
+  for (const Digraph& g :
+       {builders::fft(4), builders::naive_matmul(3),
+        builders::strassen_matmul(4), builders::bhk_hypercube(5)}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto order = random_topological_order(g, rng);
+      for (std::int64_t k : {2, 4, 8}) {
+        EXPECT_GE(static_cast<double>(lemma1_reads_writes(g, order, k)),
+                  partition_edge_objective(g, order, k) - 1e-9)
+            << "k=" << k;
+      }
+    }
+  }
+}
+
+TEST(DerivationChain, ObjectiveDominatesSpectralRelaxation) {
+  // For every order X and every k:
+  //   Σ_S Σ_{∂S} 1/dout ≥ ⌊n/k⌋ · Σ_{i≤k} λ_i(L̃)   (Theorem 4 inner step)
+  Prng rng(17);
+  for (const Digraph& g :
+       {builders::fft(4), builders::bhk_hypercube(5),
+        builders::erdos_renyi_dag(50, 0.15, 11)}) {
+    const auto lambda = la::symmetric_eigenvalues(
+        dense_laplacian(g, LaplacianKind::kOutDegreeNormalized));
+    const std::int64_t n = g.num_vertices();
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto order = random_topological_order(g, rng);
+      for (std::int64_t k : {2, 3, 5, 10}) {
+        double prefix = 0.0;
+        for (std::int64_t i = 0; i < k; ++i)
+          prefix += std::max(0.0, lambda[static_cast<std::size_t>(i)]);
+        const double relaxed = static_cast<double>(n / k) * prefix;
+        EXPECT_GE(partition_edge_objective(g, order, k), relaxed - 1e-8)
+            << "k=" << k;
+      }
+    }
+  }
+}
+
+TEST(PartitionObjective, RejectsNonPermutationOrders) {
+  const Digraph g = builders::path(4);
+  EXPECT_THROW(partition_edge_objective(g, {0, 1, 2}, 2), contract_error);
+  EXPECT_THROW(partition_edge_objective(g, {0, 1, 2, 2}, 2), contract_error);
+}
+
+}  // namespace
+}  // namespace graphio

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphio/core/spectrum.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+namespace {
+
+TEST(Spectrum, FromEntriesSortsAndMerges) {
+  const Spectrum s = Spectrum::from_entries({{2.0, 3}, {0.0, 1}, {2.0, 2}});
+  ASSERT_EQ(s.entries().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.entries()[0].value, 0.0);
+  EXPECT_EQ(s.entries()[0].multiplicity, 1);
+  EXPECT_DOUBLE_EQ(s.entries()[1].value, 2.0);
+  EXPECT_EQ(s.entries()[1].multiplicity, 5);
+  EXPECT_EQ(s.total_count(), 6);
+}
+
+TEST(Spectrum, FromEntriesDropsZeroMultiplicity) {
+  const Spectrum s = Spectrum::from_entries({{1.0, 0}, {2.0, 1}});
+  ASSERT_EQ(s.entries().size(), 1u);
+  EXPECT_THROW(Spectrum::from_entries({{1.0, -1}}), contract_error);
+}
+
+TEST(Spectrum, FromValuesMergesWithinTolerance) {
+  const std::vector<double> values{1.0, 1.0 + 1e-12, 2.0, 0.0};
+  const Spectrum s = Spectrum::from_values(values, 1e-9);
+  ASSERT_EQ(s.entries().size(), 3u);
+  EXPECT_EQ(s.entries()[1].multiplicity, 2);  // the two ~1.0 values
+  EXPECT_EQ(s.total_count(), 4);
+}
+
+TEST(Spectrum, SmallestExpandsMultiplicity) {
+  const Spectrum s = Spectrum::from_entries({{0.0, 1}, {2.0, 3}, {5.0, 1}});
+  const auto two = s.smallest(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_DOUBLE_EQ(two[0], 0.0);
+  EXPECT_DOUBLE_EQ(two[1], 2.0);
+  const auto all = s.smallest();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_DOUBLE_EQ(all[3], 2.0);
+  EXPECT_DOUBLE_EQ(all[4], 5.0);
+  EXPECT_EQ(s.smallest(99).size(), 5u);  // clamped to total
+}
+
+TEST(Spectrum, MaxAbsDiff) {
+  const Spectrum a = Spectrum::from_entries({{0.0, 2}, {1.0, 2}});
+  const Spectrum b = Spectrum::from_entries({{0.0, 2}, {1.25, 2}});
+  EXPECT_NEAR(a.max_abs_diff(b), 0.25, 1e-15);
+  EXPECT_NEAR(a.max_abs_diff(b, 2), 0.0, 1e-15);  // first two values agree
+  const Spectrum shorter = Spectrum::from_entries({{0.0, 1}});
+  EXPECT_TRUE(std::isinf(a.max_abs_diff(shorter)));
+}
+
+TEST(Spectrum, EmptySpectrum) {
+  const Spectrum s;
+  EXPECT_EQ(s.total_count(), 0);
+  EXPECT_TRUE(s.smallest().empty());
+}
+
+}  // namespace
+}  // namespace graphio

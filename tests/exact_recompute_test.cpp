@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "graphio/exact/pebble_recompute.hpp"
+#include "graphio/exact/pebble_search.hpp"
+#include "graphio/graph/builders.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+namespace {
+
+TEST(Recompute, TrivialGraphsCostNothing) {
+  // Pure inputs-to-outputs with enough memory: everything is trivial I/O.
+  const Digraph g = builders::inner_product(2);  // 7 vertices
+  const auto r = exact::exact_optimal_io_with_recomputation(g, 7);
+  ASSERT_TRUE(r.complete);
+  EXPECT_EQ(r.io, 0);
+}
+
+TEST(Recompute, NeverExceedsTheNoRecomputeOptimum) {
+  // Every no-recompute execution is a valid pebbling, so J*_rb ≤ J*.
+  struct Case {
+    Digraph graph;
+    std::int64_t memory;
+  };
+  std::vector<Case> cases;
+  cases.push_back({builders::inner_product(2), 2});
+  cases.push_back({builders::inner_product(3), 2});
+  cases.push_back({builders::fft(2), 2});
+  cases.push_back({builders::bhk_hypercube(3), 3});
+  cases.push_back({builders::stencil1d(5, 2), 3});
+  cases.push_back({builders::prefix_scan(2), 2});
+  for (const Case& c : cases) {
+    if (c.graph.num_vertices() > exact::kMaxRecomputeVertices) continue;
+    const auto with = exact::exact_optimal_io_with_recomputation(
+        c.graph, c.memory);
+    const auto without = exact::exact_optimal_io(c.graph, c.memory);
+    ASSERT_TRUE(with.complete && without.complete)
+        << "n=" << c.graph.num_vertices();
+    EXPECT_LE(with.io, without.io) << "n=" << c.graph.num_vertices();
+  }
+}
+
+TEST(Recompute, RecomputationStrictlyWinsOnFanOutChains) {
+  // A cheap value consumed at both ends of a long chain: the no-recompute
+  // model must spill it; the pebble game just rebuilds it from the input.
+  //   0 → 1 → 2 → 3 → 4 → 5 (chain), plus 0 → 6 and 5 → 6, 1 → 7, 4 → 7
+  Digraph g(8);
+  for (VertexId v = 0; v < 5; ++v) g.add_edge(v, v + 1);
+  g.add_edge(0, 6);
+  g.add_edge(5, 6);
+  g.add_edge(1, 7);
+  g.add_edge(4, 7);
+  const std::int64_t memory = 2;
+  const auto with = exact::exact_optimal_io_with_recomputation(g, memory);
+  const auto without = exact::exact_optimal_io(g, memory);
+  ASSERT_TRUE(with.complete && without.complete);
+  EXPECT_LT(with.io, without.io);
+}
+
+TEST(Recompute, MemoryOneOnAPathIsFree) {
+  // A path needs only the previous value; M = 1 suffices with zero I/O
+  // under both models.
+  const Digraph g = builders::path(8);
+  const auto r = exact::exact_optimal_io_with_recomputation(g, 1);
+  ASSERT_TRUE(r.complete);
+  EXPECT_EQ(r.io, 0);
+}
+
+TEST(Recompute, MatchesNoRecomputeWhenRecomputationCannotHelp) {
+  // A single binary tree reduction: every value is consumed exactly once,
+  // so recomputation buys nothing.
+  const Digraph g = builders::binary_tree(3);  // 15 vertices
+  const auto with = exact::exact_optimal_io_with_recomputation(g, 2);
+  const auto without = exact::exact_optimal_io(g, 2);
+  ASSERT_TRUE(with.complete && without.complete);
+  EXPECT_EQ(with.io, without.io);
+}
+
+TEST(Recompute, RejectsBadInputs) {
+  EXPECT_THROW(
+      exact::exact_optimal_io_with_recomputation(builders::fft(3), 2),
+      contract_error);  // 32 vertices > 16
+  EXPECT_THROW(
+      exact::exact_optimal_io_with_recomputation(builders::path(3), 0),
+      contract_error);
+  Digraph cyclic(2);
+  cyclic.add_edge(0, 1);
+  cyclic.add_edge(1, 0);
+  EXPECT_THROW(exact::exact_optimal_io_with_recomputation(cyclic, 2),
+               contract_error);
+}
+
+TEST(Recompute, StateCapReportsIncomplete) {
+  const Digraph g = builders::bhk_hypercube(3);
+  exact::RecomputeOptions opts;
+  opts.max_states = 3;
+  const auto r = exact::exact_optimal_io_with_recomputation(g, 3, opts);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.io, -1);
+}
+
+}  // namespace
+}  // namespace graphio

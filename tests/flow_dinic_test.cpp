@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "graphio/flow/dinic.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::flow {
+namespace {
+
+TEST(Dinic, SingleEdge) {
+  Dinic net(2);
+  net.add_edge(0, 1, 7);
+  EXPECT_EQ(net.max_flow(0, 1), 7);
+}
+
+TEST(Dinic, SeriesTakesMinimum) {
+  Dinic net(3);
+  net.add_edge(0, 1, 5);
+  net.add_edge(1, 2, 3);
+  EXPECT_EQ(net.max_flow(0, 2), 3);
+}
+
+TEST(Dinic, ParallelPathsAdd) {
+  Dinic net(4);
+  net.add_edge(0, 1, 2);
+  net.add_edge(1, 3, 2);
+  net.add_edge(0, 2, 3);
+  net.add_edge(2, 3, 3);
+  EXPECT_EQ(net.max_flow(0, 3), 5);
+}
+
+TEST(Dinic, ClassicTextbookNetwork) {
+  // CLRS-style example with a known max flow of 23.
+  Dinic net(6);
+  net.add_edge(0, 1, 16);
+  net.add_edge(0, 2, 13);
+  net.add_edge(1, 2, 10);
+  net.add_edge(2, 1, 4);
+  net.add_edge(1, 3, 12);
+  net.add_edge(3, 2, 9);
+  net.add_edge(2, 4, 14);
+  net.add_edge(4, 3, 7);
+  net.add_edge(3, 5, 20);
+  net.add_edge(4, 5, 4);
+  EXPECT_EQ(net.max_flow(0, 5), 23);
+}
+
+TEST(Dinic, DisconnectedIsZero) {
+  Dinic net(4);
+  net.add_edge(0, 1, 5);
+  net.add_edge(2, 3, 5);
+  EXPECT_EQ(net.max_flow(0, 3), 0);
+}
+
+TEST(Dinic, BipartiteMatchingAsUnitFlow) {
+  // 3x3 bipartite with perfect matching available.
+  Dinic net(8);  // 0=s, 1..3 left, 4..6 right, 7=t
+  for (int l = 1; l <= 3; ++l) net.add_edge(0, l, 1);
+  for (int r = 4; r <= 6; ++r) net.add_edge(r, 7, 1);
+  net.add_edge(1, 4, 1);
+  net.add_edge(1, 5, 1);
+  net.add_edge(2, 4, 1);
+  net.add_edge(3, 6, 1);
+  EXPECT_EQ(net.max_flow(0, 7), 3);
+}
+
+TEST(Dinic, MinCutSeparatesSourceFromSink) {
+  Dinic net(4);
+  net.add_edge(0, 1, 1);
+  net.add_edge(1, 2, 10);
+  net.add_edge(2, 3, 10);
+  EXPECT_EQ(net.max_flow(0, 3), 1);
+  const auto side = net.min_cut_source_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[1]);  // the unit edge is the bottleneck
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(Dinic, LongChainDoesNotOverflowStack) {
+  const std::int64_t n = 300000;
+  Dinic net(n);
+  for (std::int64_t i = 0; i + 1 < n; ++i) net.add_edge(i, i + 1, 2);
+  EXPECT_EQ(net.max_flow(0, n - 1), 2);
+}
+
+TEST(Dinic, RejectsBadArguments) {
+  Dinic net(2);
+  EXPECT_THROW(net.add_edge(0, 5, 1), contract_error);
+  EXPECT_THROW(net.add_edge(0, 1, -1), contract_error);
+  EXPECT_THROW(net.max_flow(0, 0), contract_error);
+  EXPECT_THROW(net.max_flow(0, 9), contract_error);
+}
+
+TEST(Dinic, ZeroCapacityEdgesCarryNothing) {
+  Dinic net(2);
+  net.add_edge(0, 1, 0);
+  EXPECT_EQ(net.max_flow(0, 1), 0);
+}
+
+}  // namespace
+}  // namespace graphio::flow

@@ -1,0 +1,160 @@
+// Extended workload builders: structure, counts, and degrees match the
+// closed-form characterizations in the header.
+#include <gtest/gtest.h>
+
+#include "graphio/exact/pebble_search.hpp"
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/topo.hpp"
+#include "graphio/sim/memsim.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::builders {
+namespace {
+
+TEST(Stencil1d, CountsAndDegrees) {
+  const Digraph g = stencil1d(10, 4);
+  EXPECT_EQ(g.num_vertices(), 50);
+  // Interior vertex: 3 incoming; border: 2. Edge count:
+  // steps · (3·cells − 2).
+  EXPECT_EQ(g.num_edges(), 4 * (3 * 10 - 2));
+  EXPECT_EQ(g.max_in_degree(), 3);
+  EXPECT_TRUE(topological_order(g).has_value());
+  EXPECT_EQ(static_cast<int>(g.sources().size()), 10);  // initial row
+  EXPECT_EQ(static_cast<int>(g.sinks().size()), 10);    // final row
+}
+
+TEST(Stencil1d, ZeroStepsIsAnAntichain) {
+  const Digraph g = stencil1d(7, 0);
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Stencil2d, CountsAndDegrees) {
+  const Digraph g = stencil2d(4, 5, 3);
+  EXPECT_EQ(g.num_vertices(), 4 * 5 * 4);
+  EXPECT_EQ(g.max_in_degree(), 5);
+  EXPECT_TRUE(topological_order(g).has_value());
+  // Corners have 3 parents (self + 2 neighbours).
+  std::int64_t corner_in = g.in_degree(static_cast<VertexId>(4 * 5));
+  EXPECT_EQ(corner_in, 3);
+}
+
+TEST(PrefixScan, ShapeAndOutputs) {
+  const int log_n = 4;
+  const std::int64_t n = 16;
+  const Digraph g = prefix_scan(log_n);
+  // n inputs + 1 zero + (n−1) up-sweep + (n−1) down-sweep adds + n outputs.
+  EXPECT_EQ(g.num_vertices(), n + 1 + (n - 1) + (n - 1) + n);
+  EXPECT_TRUE(topological_order(g).has_value());
+  EXPECT_EQ(g.max_in_degree(), 2);
+  // Outputs: one prefix per input, plus the up-sweep total.
+  EXPECT_EQ(static_cast<std::int64_t>(g.sinks().size()), n + 1);
+}
+
+TEST(PrefixScan, DepthIsLogarithmic) {
+  // Longest path ≈ 2·log n (up + down sweeps), far below the serial n.
+  const Digraph g = prefix_scan(5);
+  const auto order = *topological_order(g);
+  std::vector<std::int64_t> depth(static_cast<std::size_t>(g.num_vertices()),
+                                  0);
+  std::int64_t longest = 0;
+  for (VertexId v : order) {
+    for (VertexId p : g.parents(v))
+      depth[static_cast<std::size_t>(v)] =
+          std::max(depth[static_cast<std::size_t>(v)],
+                   depth[static_cast<std::size_t>(p)] + 1);
+    longest = std::max(longest, depth[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_LE(longest, 2 * 5 + 2);
+}
+
+TEST(BitonicSort, ComparatorCount) {
+  const int log_n = 3;
+  const std::int64_t n = 8;
+  const Digraph g = bitonic_sort(log_n);
+  // Comparators: n/2 · log_n(log_n+1)/2 = 4·6 = 24, two vertices each.
+  const std::int64_t comparators = (n / 2) * log_n * (log_n + 1) / 2;
+  EXPECT_EQ(g.num_vertices(), n + 2 * comparators);
+  EXPECT_EQ(g.num_edges(), 4 * comparators);
+  EXPECT_EQ(g.max_in_degree(), 2);
+  EXPECT_TRUE(topological_order(g).has_value());
+  // Final wires: n sinks.
+  EXPECT_EQ(static_cast<std::int64_t>(g.sinks().size()), n);
+}
+
+TEST(TriangularSolve, CountsAndChainStructure) {
+  const int n = 5;
+  const Digraph g = triangular_solve(n);
+  // Inputs: n(n+1)/2 + n; per row i: i products + i subs + 1 divide.
+  const std::int64_t inputs = n * (n + 1) / 2 + n;
+  std::int64_t ops = 0;
+  for (int i = 0; i < n; ++i) ops += 2 * i + 1;
+  EXPECT_EQ(g.num_vertices(), inputs + ops);
+  EXPECT_EQ(g.max_in_degree(), 2);
+  EXPECT_TRUE(topological_order(g).has_value());
+  // x_{n-1} is the last solve output and a sink.
+  EXPECT_EQ(g.name(g.sinks().back()), "x" + std::to_string(n - 1));
+}
+
+TEST(TriangularSolve, SequentialDependencyChainIsDeep) {
+  // x_i depends on x_{i-1} (via the products), so depth grows with n.
+  const Digraph g = triangular_solve(6);
+  const auto order = *topological_order(g);
+  std::vector<std::int64_t> depth(static_cast<std::size_t>(g.num_vertices()),
+                                  0);
+  std::int64_t longest = 0;
+  for (VertexId v : order) {
+    for (VertexId p : g.parents(v))
+      depth[static_cast<std::size_t>(v)] =
+          std::max(depth[static_cast<std::size_t>(v)],
+                   depth[static_cast<std::size_t>(p)] + 1);
+    longest = std::max(longest, depth[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_GE(longest, 10);
+}
+
+TEST(Cholesky, CountsAndDegrees) {
+  const int n = 4;
+  const Digraph g = cholesky(n);
+  // Inputs n(n+1)/2; ops: per k one sqrt, (n−k−1) divides, T(k) updates
+  // where T(k) = (n−k−1)(n−k)/2.
+  std::int64_t ops = 0;
+  for (int k = 0; k < n; ++k)
+    ops += 1 + (n - k - 1) + (n - k - 1) * (n - k) / 2;
+  EXPECT_EQ(g.num_vertices(), n * (n + 1) / 2 + ops);
+  EXPECT_EQ(g.max_in_degree(), 3);
+  EXPECT_TRUE(topological_order(g).has_value());
+}
+
+TEST(Cholesky, FactorEntriesAreNamed) {
+  const Digraph g = cholesky(3);
+  bool found = false;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    found = found || g.name(v) == "L22";
+  EXPECT_TRUE(found);
+}
+
+TEST(ExtendedBuilders, RejectBadArguments) {
+  EXPECT_THROW(stencil1d(0, 1), contract_error);
+  EXPECT_THROW(stencil2d(1, 0, 1), contract_error);
+  EXPECT_THROW(prefix_scan(0), contract_error);
+  EXPECT_THROW(bitonic_sort(0), contract_error);
+  EXPECT_THROW(triangular_solve(0), contract_error);
+  EXPECT_THROW(cholesky(0), contract_error);
+}
+
+TEST(ExtendedBuilders, TinyInstancesAreExactlySolvable) {
+  // Smoke the whole stack on the new families: exact J* is well-defined
+  // and sandwiched by the simulator.
+  for (const Digraph& g : {stencil1d(3, 2), prefix_scan(2),
+                           triangular_solve(2), cholesky(2)}) {
+    if (g.num_vertices() > exact::kMaxExactVertices) continue;
+    const std::int64_t m = std::max<std::int64_t>(3, g.max_in_degree());
+    const auto r = exact::exact_optimal_io(g, m);
+    ASSERT_TRUE(r.complete);
+    EXPECT_LE(r.io, sim::best_schedule_io(g, m).total());
+  }
+}
+
+}  // namespace
+}  // namespace graphio::builders

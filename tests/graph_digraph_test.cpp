@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "graphio/graph/digraph.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+namespace {
+
+TEST(Digraph, StartsEmpty) {
+  Digraph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.sources().empty());
+  EXPECT_TRUE(g.sinks().empty());
+}
+
+TEST(Digraph, AddVertexReturnsSequentialIds) {
+  Digraph g;
+  EXPECT_EQ(g.add_vertex(), 0);
+  EXPECT_EQ(g.add_vertex(), 1);
+  Digraph h(5);
+  EXPECT_EQ(h.num_vertices(), 5);
+  EXPECT_EQ(h.add_vertex(), 5);
+}
+
+TEST(Digraph, EdgesAndDegrees) {
+  Digraph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.in_degree(2), 2);
+  EXPECT_EQ(g.out_degree(2), 1);
+  EXPECT_EQ(g.degree(2), 3);
+  EXPECT_EQ(g.max_in_degree(), 2);
+  EXPECT_EQ(g.max_out_degree(), 1);
+}
+
+TEST(Digraph, ParallelEdgesCountWithMultiplicity) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // x*x style reuse
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.in_degree(1), 2);
+  ASSERT_EQ(g.children(0).size(), 2u);
+  EXPECT_EQ(g.children(0)[0], 1);
+  EXPECT_EQ(g.children(0)[1], 1);
+}
+
+TEST(Digraph, RejectsSelfLoopsAndBadIds) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), contract_error);
+  EXPECT_THROW(g.add_edge(0, 2), contract_error);
+  EXPECT_THROW(g.add_edge(-1, 0), contract_error);
+  EXPECT_THROW((void)g.children(5), contract_error);
+}
+
+TEST(Digraph, SourcesAndSinks) {
+  Digraph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto sources = g.sources();
+  const auto sinks = g.sinks();
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(sources[0], 0);
+  EXPECT_EQ(sources[1], 1);
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sinks[0], 3);
+}
+
+TEST(Digraph, NamesDefaultEmptyAndRoundTrip) {
+  Digraph g(2);
+  EXPECT_EQ(g.name(0), "");
+  g.set_name(1, "output");
+  EXPECT_EQ(g.name(1), "output");
+  EXPECT_EQ(g.name(0), "");
+  EXPECT_THROW(g.set_name(7, "x"), contract_error);
+}
+
+TEST(Digraph, ParentsReflectEdgeOrigins) {
+  Digraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const auto parents = g.parents(2);
+  ASSERT_EQ(parents.size(), 2u);
+  EXPECT_EQ(parents[0], 0);
+  EXPECT_EQ(parents[1], 1);
+  EXPECT_TRUE(g.parents(0).empty());
+}
+
+}  // namespace
+}  // namespace graphio

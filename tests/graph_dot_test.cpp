@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/dot.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+namespace {
+
+TEST(Dot, EmitsVerticesAndEdges) {
+  Digraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -> v2;"), std::string::npos);
+  EXPECT_NE(dot.find("v1 -> v2;"), std::string::npos);
+}
+
+TEST(Dot, UsesNamesAsLabels) {
+  const Digraph g = builders::inner_product(2);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("label=\"a0\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a0*b0\""), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotesInLabels) {
+  Digraph g(1);
+  g.set_name(0, "say \"hi\"");
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("\\\"hi\\\""), std::string::npos);
+}
+
+TEST(Dot, RespectsOptions) {
+  Digraph g(1);
+  DotOptions options;
+  options.graph_name = "fft";
+  options.rankdir = "LR";
+  options.use_names = false;
+  g.set_name(0, "ignored");
+  const std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("digraph \"fft\""), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_EQ(dot.find("ignored"), std::string::npos);
+}
+
+TEST(Dot, WritesFile) {
+  const std::string path = ::testing::TempDir() + "graphio_dot_test.dot";
+  write_dot(builders::path(3), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("v0 -> v1;"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Dot, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(write_dot(builders::path(2), "/nonexistent-dir/x.dot"),
+               contract_error);
+}
+
+TEST(Dot, ParallelEdgesAppearTwice) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  const std::string dot = to_dot(g);
+  const auto first = dot.find("v0 -> v1;");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(dot.find("v0 -> v1;", first + 1), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphio

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/laplacian.hpp"
+#include "graphio/la/symmetric_eigen.hpp"
+
+namespace graphio {
+namespace {
+
+TEST(Laplacian, PlainMatchesHandComputation) {
+  // Inner-product graph of Figure 1: a0,a1,b0,b1 -> products -> sum.
+  const Digraph g = builders::inner_product(2);
+  const la::DenseMatrix lap = dense_laplacian(g, LaplacianKind::kPlain);
+  // Inputs have degree 1, products degree 3, sum degree 2.
+  EXPECT_DOUBLE_EQ(lap(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(lap(4, 4), 3.0);
+  EXPECT_DOUBLE_EQ(lap(6, 6), 2.0);
+  EXPECT_DOUBLE_EQ(lap(0, 4), -1.0);
+  EXPECT_DOUBLE_EQ(lap(4, 0), -1.0);
+}
+
+TEST(Laplacian, NormalizedUsesOutDegreeWeights) {
+  // 0 -> 1, 0 -> 2: dout(0)=2, so both edges carry weight 1/2.
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  const la::DenseMatrix lap =
+      dense_laplacian(g, LaplacianKind::kOutDegreeNormalized);
+  EXPECT_DOUBLE_EQ(lap(0, 0), 1.0);  // 1/2 + 1/2
+  EXPECT_DOUBLE_EQ(lap(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(lap(0, 1), -0.5);
+  EXPECT_DOUBLE_EQ(lap(2, 2), 0.5);
+}
+
+TEST(Laplacian, ParallelEdgesAccumulate) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  const la::DenseMatrix plain = dense_laplacian(g, LaplacianKind::kPlain);
+  EXPECT_DOUBLE_EQ(plain(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(plain(0, 1), -2.0);
+  const la::DenseMatrix norm =
+      dense_laplacian(g, LaplacianKind::kOutDegreeNormalized);
+  // Two edges of weight 1/dout(0) = 1/2 each.
+  EXPECT_DOUBLE_EQ(norm(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(norm(0, 1), -1.0);
+}
+
+TEST(Laplacian, SparseAndDenseAgree) {
+  for (auto kind :
+       {LaplacianKind::kPlain, LaplacianKind::kOutDegreeNormalized}) {
+    const Digraph g = builders::strassen_matmul(4);
+    const la::DenseMatrix dense = dense_laplacian(g, kind);
+    const la::DenseMatrix via_sparse = laplacian(g, kind).to_dense();
+    EXPECT_LT(dense.max_abs_diff(via_sparse), 1e-14);
+  }
+}
+
+TEST(Laplacian, RowSumsAreZero) {
+  for (auto kind :
+       {LaplacianKind::kPlain, LaplacianKind::kOutDegreeNormalized}) {
+    const Digraph g = builders::fft(4);
+    const la::DenseMatrix lap = dense_laplacian(g, kind);
+    for (std::size_t i = 0; i < lap.rows(); ++i) {
+      double row_sum = 0.0;
+      for (std::size_t j = 0; j < lap.cols(); ++j) row_sum += lap(i, j);
+      EXPECT_NEAR(row_sum, 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Laplacian, IsSymmetricPositiveSemidefinite) {
+  for (auto kind :
+       {LaplacianKind::kPlain, LaplacianKind::kOutDegreeNormalized}) {
+    const Digraph g = builders::naive_matmul(3);
+    const la::CsrMatrix lap = laplacian(g, kind);
+    EXPECT_NEAR(lap.symmetry_error(), 0.0, 1e-14);
+    const auto values = la::symmetric_eigenvalues(lap.to_dense());
+    EXPECT_GT(values.front(), -1e-9);  // PSD
+    EXPECT_NEAR(values.front(), 0.0, 1e-9);
+  }
+}
+
+TEST(Laplacian, ZeroEigenvalueMultiplicityEqualsComponents) {
+  // Two disjoint inner products -> two components -> two zero eigenvalues.
+  Digraph g = builders::inner_product(2);
+  const auto h = builders::inner_product(2);
+  const VertexId offset = g.num_vertices();
+  for (VertexId v = 0; v < h.num_vertices(); ++v) (void)g.add_vertex();
+  for (VertexId v = 0; v < h.num_vertices(); ++v)
+    for (VertexId c : h.children(v)) g.add_edge(v + offset, c + offset);
+
+  const auto values =
+      la::symmetric_eigenvalues(dense_laplacian(g, LaplacianKind::kPlain));
+  EXPECT_NEAR(values[0], 0.0, 1e-10);
+  EXPECT_NEAR(values[1], 0.0, 1e-10);
+  EXPECT_GT(values[2], 1e-8);
+}
+
+TEST(Laplacian, QuadraticFormCountsWeightedBoundary) {
+  // Equation 3: xᵀL̃x = Σ_{(u,v)∈∂S} 1/dout(u) for indicator x of S.
+  const Digraph g = builders::fft(3);
+  const la::CsrMatrix lap =
+      laplacian(g, LaplacianKind::kOutDegreeNormalized);
+  // S = column 0 (the inputs).
+  std::vector<double> x(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  for (std::int64_t r = 0; r < 8; ++r)
+    x[static_cast<std::size_t>(builders::fft_vertex(3, 0, r))] = 1.0;
+  std::vector<double> y(x.size());
+  lap.matvec(x, y);
+  double quad = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) quad += x[i] * y[i];
+  // Boundary: all 16 edges out of column 0, each of weight 1/2.
+  EXPECT_NEAR(quad, 8.0, 1e-12);
+}
+
+TEST(Laplacian, EdgelessGraph) {
+  const Digraph g(5);
+  const la::CsrMatrix lap = laplacian(g, LaplacianKind::kPlain);
+  EXPECT_EQ(lap.nonzeros(), 0);
+  EXPECT_DOUBLE_EQ(lap.gershgorin_upper_bound(), 0.0);
+}
+
+}  // namespace
+}  // namespace graphio

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/topo.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+namespace {
+
+TEST(Topo, OrdersSimpleDag) {
+  Digraph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 0);
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(is_topological(g, *order));
+}
+
+TEST(Topo, DetectsCycles) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(topological_order(g).has_value());
+  EXPECT_FALSE(is_dag(g));
+  EXPECT_THROW(dfs_topological_order(g), contract_error);
+  Prng rng(1);
+  EXPECT_THROW(random_topological_order(g, rng), contract_error);
+}
+
+TEST(Topo, CycleBuilderIsNotADag) {
+  EXPECT_FALSE(is_dag(builders::cycle(5)));
+  EXPECT_TRUE(is_dag(builders::path(5)));
+}
+
+TEST(Topo, IsTopologicalRejectsBadOrders) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(is_topological(g, {0, 1, 2}));
+  EXPECT_FALSE(is_topological(g, {1, 0, 2}));     // violates 0 -> 1
+  EXPECT_FALSE(is_topological(g, {0, 1}));        // too short
+  EXPECT_FALSE(is_topological(g, {0, 1, 1}));     // duplicate
+  EXPECT_FALSE(is_topological(g, {0, 1, 5}));     // bad id
+}
+
+TEST(Topo, KahnOrderIsDeterministicLowestIdFirst) {
+  Digraph g(4);  // two independent chains
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ((*order)[0], 0);  // lowest ready id first
+}
+
+TEST(Topo, DfsOrderIsTopological) {
+  const auto g = builders::fft(4);
+  const auto order = dfs_topological_order(g);
+  EXPECT_TRUE(is_topological(g, order));
+}
+
+TEST(Topo, DfsHandlesVeryDeepGraphsWithoutOverflow) {
+  const auto g = builders::path(200000);
+  const auto order = dfs_topological_order(g);
+  EXPECT_TRUE(is_topological(g, order));
+}
+
+TEST(Topo, RandomOrdersAreTopologicalAndVary) {
+  const auto g = builders::bhk_hypercube(5);
+  Prng rng(99);
+  std::set<std::vector<VertexId>> seen;
+  for (int i = 0; i < 8; ++i) {
+    auto order = random_topological_order(g, rng);
+    EXPECT_TRUE(is_topological(g, order));
+    seen.insert(std::move(order));
+  }
+  EXPECT_GT(seen.size(), 1u);  // randomization actually varies
+}
+
+TEST(Topo, BuilderGraphsAreAllDags) {
+  EXPECT_TRUE(is_dag(builders::fft(5)));
+  EXPECT_TRUE(is_dag(builders::naive_matmul(4)));
+  EXPECT_TRUE(is_dag(builders::strassen_matmul(4)));
+  EXPECT_TRUE(is_dag(builders::bhk_hypercube(5)));
+  EXPECT_TRUE(is_dag(builders::erdos_renyi_dag(60, 0.2, 5)));
+  EXPECT_TRUE(is_dag(builders::grid(7, 9)));
+  EXPECT_TRUE(is_dag(builders::binary_tree(5)));
+  EXPECT_TRUE(is_dag(builders::inner_product(6)));
+  EXPECT_TRUE(is_dag(builders::complete_dag(12)));
+  EXPECT_TRUE(is_dag(builders::star(12)));
+}
+
+}  // namespace
+}  // namespace graphio

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "graphio/core/spectral_bound.hpp"
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/laplacian.hpp"
+#include "graphio/graph/topo.hpp"
+#include "graphio/graph/transforms.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+namespace {
+
+TEST(Reverse, SwapsSourcesAndSinks) {
+  const Digraph g = builders::fft(3);
+  const Digraph r = reverse(g);
+  EXPECT_EQ(g.sources(), r.sinks());
+  EXPECT_EQ(g.sinks(), r.sources());
+  EXPECT_EQ(g.num_edges(), r.num_edges());
+  EXPECT_TRUE(is_dag(r));
+}
+
+TEST(Reverse, IsAnInvolution) {
+  const Digraph g = builders::strassen_matmul(4);
+  EXPECT_TRUE(same_structure(g, reverse(reverse(g))));
+}
+
+TEST(Reverse, PreservesPlainLaplacian) {
+  // The undirected skeleton is unchanged, so L is identical.
+  const Digraph g = builders::naive_matmul(3);
+  const Digraph r = reverse(g);
+  const auto lg = dense_laplacian(g, LaplacianKind::kPlain);
+  const auto lr = dense_laplacian(r, LaplacianKind::kPlain);
+  EXPECT_DOUBLE_EQ(lg.max_abs_diff(lr), 0.0);
+}
+
+TEST(Reverse, Theorem4CanDifferBetweenComputationAndAdjoint) {
+  // Normalized edge weights 1/dout(u) flip direction under reversal; on a
+  // graph with asymmetric degrees the two bounds differ.
+  const Digraph g = builders::star(6);  // hub out-degree 5; reverse: in 5
+  const auto fwd = laplacian(g, LaplacianKind::kOutDegreeNormalized);
+  const auto bwd =
+      laplacian(reverse(g), LaplacianKind::kOutDegreeNormalized);
+  EXPECT_GT(fwd.to_dense().max_abs_diff(bwd.to_dense()), 0.1);
+}
+
+TEST(TransitiveReduction, RemovesImpliedEdges) {
+  // Triangle 0→1, 1→2, 0→2: the direct 0→2 edge is implied.
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const Digraph tr = transitive_reduction(g);
+  EXPECT_EQ(tr.num_edges(), 2);
+  EXPECT_EQ(tr.children(0).size(), 1u);
+  EXPECT_EQ(tr.children(0)[0], 1);
+}
+
+TEST(TransitiveReduction, CollapsesParallelEdges) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(transitive_reduction(g).num_edges(), 1);
+}
+
+TEST(TransitiveReduction, FixedPointOnAlreadyReducedGraphs) {
+  // Butterfly and hypercube graphs have no transitive edges.
+  for (const Digraph& g : {builders::fft(4), builders::bhk_hypercube(4),
+                           builders::path(7)}) {
+    const Digraph tr = transitive_reduction(g);
+    EXPECT_TRUE(same_structure(g, tr)) << "n=" << g.num_vertices();
+  }
+}
+
+TEST(TransitiveReduction, PreservesReachability) {
+  // Random DAG: the reduction must preserve the reachable-set of every
+  // vertex while never adding edges.
+  const Digraph g = builders::erdos_renyi_dag(40, 0.15, 5);
+  const Digraph tr = transitive_reduction(g);
+  EXPECT_LE(tr.num_edges(), g.num_edges());
+
+  auto reach_set = [](const Digraph& graph, VertexId from) {
+    std::vector<char> seen(static_cast<std::size_t>(graph.num_vertices()), 0);
+    std::vector<VertexId> stack{from};
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (VertexId w : graph.children(u)) {
+        if (!seen[static_cast<std::size_t>(w)]) {
+          seen[static_cast<std::size_t>(w)] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+    return seen;
+  };
+  for (VertexId v = 0; v < g.num_vertices(); v += 7)
+    EXPECT_EQ(reach_set(g, v), reach_set(tr, v)) << "vertex " << v;
+}
+
+TEST(TransitiveReduction, BoundNeverGrows) {
+  // Removing edges removes Laplacian weight; Σ smallest eigenvalues can
+  // only shrink (Weyl monotonicity), so the spectral bound cannot grow.
+  const Digraph g = builders::erdos_renyi_dag(200, 0.05, 11);
+  const Digraph tr = transitive_reduction(g);
+  const double before = spectral_bound(g, 4.0).bound;
+  const double after = spectral_bound(tr, 4.0).bound;
+  EXPECT_LE(after, before + 1e-9);
+}
+
+TEST(TransitiveReduction, ThrowsOnCycles) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW(transitive_reduction(g), contract_error);
+}
+
+TEST(SameStructure, DetectsDifferences) {
+  Digraph a(3);
+  a.add_edge(0, 1);
+  Digraph b(3);
+  b.add_edge(0, 2);
+  EXPECT_FALSE(same_structure(a, b));
+  EXPECT_TRUE(same_structure(a, a));
+  EXPECT_FALSE(same_structure(a, Digraph(4)));
+}
+
+}  // namespace
+}  // namespace graphio

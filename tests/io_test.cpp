@@ -1,0 +1,208 @@
+// Serialization: edge-list round trips (including multiplicity and names),
+// parser failure injection, JSON writer discipline, and validator rigor.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "graphio/graph/builders.hpp"
+#include "graphio/io/edgelist.hpp"
+#include "graphio/io/json.hpp"
+#include "graphio/support/contracts.hpp"
+#include "graphio/support/prng.hpp"
+
+namespace graphio::io {
+namespace {
+
+bool same_graph(const Digraph& a, const Digraph& b) {
+  if (a.num_vertices() != b.num_vertices()) return false;
+  if (a.num_edges() != b.num_edges()) return false;
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    std::vector<VertexId> ca(a.children(v).begin(), a.children(v).end());
+    std::vector<VertexId> cb(b.children(v).begin(), b.children(v).end());
+    std::sort(ca.begin(), ca.end());
+    std::sort(cb.begin(), cb.end());
+    if (ca != cb) return false;
+    if (a.name(v) != b.name(v)) return false;
+  }
+  return true;
+}
+
+TEST(Edgelist, RoundTripsBuilders) {
+  for (const Digraph& g :
+       {builders::fft(4), builders::naive_matmul(3),
+        builders::bhk_hypercube(4), builders::inner_product(3)}) {
+    EXPECT_TRUE(same_graph(g, from_edgelist_string(to_edgelist_string(g))));
+  }
+}
+
+TEST(Edgelist, RoundTripsParallelEdgesAndNames) {
+  Digraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(0, 2);  // x·x-style parallel edge
+  g.add_edge(1, 2);
+  g.set_name(0, "x");
+  g.set_name(2, "x squared plus y");  // names may contain spaces
+  const Digraph back = from_edgelist_string(to_edgelist_string(g));
+  EXPECT_TRUE(same_graph(g, back));
+  EXPECT_EQ(back.name(2), "x squared plus y");
+}
+
+TEST(Edgelist, RoundTripsRandomGraphs) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Digraph g = builders::erdos_renyi_dag(60, 0.08, seed);
+    EXPECT_TRUE(same_graph(g, from_edgelist_string(to_edgelist_string(g))));
+  }
+}
+
+TEST(Edgelist, EmptyGraphRoundTrips) {
+  EXPECT_TRUE(
+      same_graph(Digraph(0), from_edgelist_string(to_edgelist_string(Digraph(0)))));
+}
+
+TEST(Edgelist, CommentsAndBlankLinesAreIgnored) {
+  const Digraph g = from_edgelist_string(
+      "graphio-edgelist 1\n"
+      "# a comment\n"
+      "\n"
+      "n 2   # trailing comment\n"
+      "e 0 1\n");
+  EXPECT_EQ(g.num_vertices(), 2);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Edgelist, RejectsMalformedDocuments) {
+  EXPECT_THROW(from_edgelist_string(""), contract_error);
+  EXPECT_THROW(from_edgelist_string("bogus 1\n"), contract_error);
+  EXPECT_THROW(from_edgelist_string("graphio-edgelist 2\nn 1\n"),
+               contract_error);
+  EXPECT_THROW(from_edgelist_string("graphio-edgelist 1\ne 0 1\n"),
+               contract_error);  // edge before n
+  EXPECT_THROW(from_edgelist_string("graphio-edgelist 1\nn 2\nn 2\n"),
+               contract_error);  // duplicate n
+  EXPECT_THROW(from_edgelist_string("graphio-edgelist 1\nn 2\ne 0 5\n"),
+               contract_error);  // id out of range
+  EXPECT_THROW(from_edgelist_string("graphio-edgelist 1\nn 2\ne 1 1\n"),
+               contract_error);  // self loop
+  EXPECT_THROW(from_edgelist_string("graphio-edgelist 1\nn 2\nq 0 1\n"),
+               contract_error);  // unknown directive
+}
+
+TEST(Edgelist, ErrorsCarryLineNumbers) {
+  try {
+    (void)from_edgelist_string("graphio-edgelist 1\nn 2\ne 0 9\n");
+    FAIL() << "expected throw";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Edgelist, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "graphio_edgelist_test.txt";
+  const Digraph g = builders::fft(3);
+  save_edgelist(path, g);
+  EXPECT_TRUE(same_graph(g, load_edgelist(path)));
+  std::filesystem::remove(path);
+}
+
+// --- JSON writer -----------------------------------------------------------
+
+TEST(Json, WritesScalarsAndContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("graphio");
+  w.key("n").value(std::int64_t{42});
+  w.key("pi").value(3.25);
+  w.key("ok").value(true);
+  w.key("missing").null();
+  w.key("xs").begin_array().value(1).value(2).end_array();
+  w.end_object();
+  const std::string text = w.str();
+  EXPECT_TRUE(json_valid(text)) << text;
+  EXPECT_NE(text.find("\"n\":42"), std::string::npos);
+  EXPECT_NE(text.find("\"xs\":[1,2]"), std::string::npos);
+}
+
+TEST(Json, EscapesControlCharactersAndQuotes) {
+  JsonWriter w;
+  w.value("a\"b\\c\nd\te\x01");
+  const std::string text = w.str();
+  EXPECT_TRUE(json_valid(text)) << text;
+  EXPECT_NE(text.find("\\\""), std::string::npos);
+  EXPECT_NE(text.find("\\n"), std::string::npos);
+  EXPECT_NE(text.find("\\u0001"), std::string::npos);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::nan(""));
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), contract_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("a");
+    EXPECT_THROW(w.key("b"), contract_error);  // two keys in a row
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), contract_error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW((void)w.str(), contract_error);  // incomplete document
+  }
+}
+
+TEST(Json, ValidatorAcceptsValidDocuments) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid("[1,-2.5,3e8,\"x\",true,false,null]"));
+  EXPECT_TRUE(json_valid("{\"a\":{\"b\":[{}]}}"));
+  EXPECT_TRUE(json_valid("  42  "));
+}
+
+TEST(Json, ValidatorRejectsInvalidDocuments) {
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("[1,]"));
+  EXPECT_FALSE(json_valid("{\"a\"}"));
+  EXPECT_FALSE(json_valid("{\"a\":1,}"));
+  EXPECT_FALSE(json_valid("01"));
+  EXPECT_FALSE(json_valid("1 2"));
+  EXPECT_FALSE(json_valid("\"unterminated"));
+  EXPECT_FALSE(json_valid("nul"));
+  EXPECT_FALSE(json_valid("[\"bad\\escape\"]"));
+}
+
+TEST(Json, GraphConversionIsValidAndComplete) {
+  Digraph g = builders::inner_product(2);
+  g.set_name(0, "x0");
+  const std::string text = graph_to_json(g);
+  EXPECT_TRUE(json_valid(text)) << text;
+  EXPECT_NE(text.find("\"n\":7"), std::string::npos);
+  EXPECT_NE(text.find("\"names\""), std::string::npos);
+}
+
+TEST(Json, RoundTripsThroughValidatorForAllBuilders) {
+  for (const Digraph& g :
+       {builders::fft(3), builders::strassen_matmul(2),
+        builders::bhk_hypercube(3), builders::grid(3, 4)}) {
+    EXPECT_TRUE(json_valid(graph_to_json(g)));
+  }
+}
+
+}  // namespace
+}  // namespace graphio::io

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/laplacian.hpp"
+#include "graphio/la/csr_matrix.hpp"
+#include "graphio/support/contracts.hpp"
+#include "graphio/support/prng.hpp"
+
+namespace graphio::la {
+namespace {
+
+TEST(CsrMatrix, BuildsFromTripletsWithDuplicateSumming) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      3, {{0, 1, 2.0}, {0, 1, 3.0}, {2, 2, 1.0}, {1, 0, -4.0}});
+  EXPECT_EQ(m.size(), 3);
+  EXPECT_EQ(m.nonzeros(), 3);
+  const DenseMatrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), -4.0);
+  EXPECT_DOUBLE_EQ(d(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+}
+
+TEST(CsrMatrix, DropsEntriesThatCancel) {
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(2, {{0, 1, 1.0}, {0, 1, -1.0}});
+  EXPECT_EQ(m.nonzeros(), 0);
+}
+
+TEST(CsrMatrix, RejectsOutOfRangeTriplets) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, {{0, 2, 1.0}}),
+               graphio::contract_error);
+  EXPECT_THROW(CsrMatrix::from_triplets(2, {{-1, 0, 1.0}}),
+               graphio::contract_error);
+}
+
+TEST(CsrMatrix, MatvecMatchesDense) {
+  Prng rng(123);
+  std::vector<Triplet> entries;
+  const std::int64_t n = 50;
+  for (int e = 0; e < 300; ++e)
+    entries.push_back({static_cast<std::int64_t>(rng.below(n)),
+                       static_cast<std::int64_t>(rng.below(n)),
+                       rng.uniform(-1, 1)});
+  const CsrMatrix sparse = CsrMatrix::from_triplets(n, entries);
+  const DenseMatrix dense = sparse.to_dense();
+
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (double& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> ys(static_cast<std::size_t>(n));
+  std::vector<double> yd(static_cast<std::size_t>(n));
+  sparse.matvec(x, ys);
+  dense.matvec(x, yd);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(CsrMatrix, SymmetryErrorDetectsAsymmetry) {
+  const CsrMatrix sym =
+      CsrMatrix::from_triplets(2, {{0, 1, 3.0}, {1, 0, 3.0}});
+  EXPECT_NEAR(sym.symmetry_error(), 0.0, 1e-15);
+  const CsrMatrix asym =
+      CsrMatrix::from_triplets(2, {{0, 1, 3.0}, {1, 0, 1.0}});
+  EXPECT_NEAR(asym.symmetry_error(), 2.0, 1e-15);
+}
+
+TEST(CsrMatrix, GershgorinBoundsLaplacianSpectrum) {
+  const auto g = builders::fft(5);
+  const CsrMatrix lap = laplacian(g, LaplacianKind::kPlain);
+  // Laplacian Gershgorin bound = 2 · max degree = 2 · 4 = 8 for interior
+  // butterfly vertices.
+  EXPECT_DOUBLE_EQ(lap.gershgorin_upper_bound(), 8.0);
+}
+
+TEST(CsrMatrix, EmptyMatrix) {
+  const CsrMatrix m = CsrMatrix::from_triplets(0, {});
+  EXPECT_EQ(m.size(), 0);
+  EXPECT_EQ(m.nonzeros(), 0);
+  std::vector<double> x;
+  std::vector<double> y;
+  m.matvec(x, y);  // no-op, no crash
+}
+
+}  // namespace
+}  // namespace graphio::la

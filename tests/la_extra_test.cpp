@@ -1,0 +1,228 @@
+// Secondary eigensolvers: Sturm bisection, cyclic Jacobi, power iteration.
+// Each is validated against closed forms and against the primary QL path —
+// three independent routes to the same spectra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/laplacian.hpp"
+#include "graphio/la/bisection.hpp"
+#include "graphio/la/householder.hpp"
+#include "graphio/la/jacobi.hpp"
+#include "graphio/la/power_iteration.hpp"
+#include "graphio/la/symmetric_eigen.hpp"
+#include "graphio/la/tridiagonal.hpp"
+#include "graphio/la/vector_ops.hpp"
+#include "graphio/support/prng.hpp"
+
+namespace graphio::la {
+namespace {
+
+SymTridiag toeplitz(int n, double a, double b) {
+  SymTridiag t;
+  t.diag.assign(static_cast<std::size_t>(n), a);
+  t.off.assign(static_cast<std::size_t>(n - 1), b);
+  return t;
+}
+
+DenseMatrix random_symmetric(std::size_t n, Prng& rng) {
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      std::vector<double> x(1);
+      fill_normal(x, rng);
+      a(i, j) = x[0];
+      a(j, i) = x[0];
+    }
+  }
+  return a;
+}
+
+// --- Sturm bisection ---------------------------------------------------
+
+TEST(Bisection, CountBelowMatchesClosedForm) {
+  // Toeplitz(2, -1): eigenvalues 2 − 2cos(kπ/(n+1)).
+  const SymTridiag t = toeplitz(8, 2.0, -1.0);
+  const auto exact = toeplitz_tridiagonal_eigenvalues(8, 2.0, -1.0);
+  // x values avoid exact eigenvalues (ties are resolution-dependent).
+  for (double x : {0.0, 0.11, 1.01, 2.02, 3.9, 4.5}) {
+    std::int64_t expected = 0;
+    for (double lam : exact) expected += lam < x ? 1 : 0;
+    EXPECT_EQ(sturm_count_below(t, x), expected) << "x=" << x;
+  }
+}
+
+TEST(Bisection, EigenvaluesMatchToeplitzClosedForm) {
+  const int n = 12;
+  const SymTridiag t = toeplitz(n, 4.0, -2.0);
+  const auto exact = toeplitz_tridiagonal_eigenvalues(n, 4.0, -2.0);
+  for (int k = 0; k < n; ++k)
+    EXPECT_NEAR(bisection_eigenvalue(t, k), exact[static_cast<std::size_t>(k)],
+                1e-10)
+        << k;
+}
+
+TEST(Bisection, SmallestAgreesWithQl) {
+  const SymTridiag t = toeplitz(40, 1.0, 0.3);
+  auto ql = tridiagonal_eigenvalues(t);
+  const auto bis = bisection_smallest(t, 10);
+  for (int k = 0; k < 10; ++k)
+    EXPECT_NEAR(bis[static_cast<std::size_t>(k)],
+                ql[static_cast<std::size_t>(k)], 1e-10);
+}
+
+TEST(Bisection, WindowQueries) {
+  const SymTridiag t = toeplitz(16, 2.0, -1.0);
+  const auto exact = toeplitz_tridiagonal_eigenvalues(16, 2.0, -1.0);
+  const auto window = bisection_in_window(t, 1.0, 3.0);
+  std::int64_t expected = 0;
+  for (double lam : exact) expected += (lam >= 1.0 && lam < 3.0) ? 1 : 0;
+  EXPECT_EQ(static_cast<std::int64_t>(window.size()), expected);
+  for (double lam : window) {
+    EXPECT_GE(lam, 1.0 - 1e-9);
+    EXPECT_LT(lam, 3.0 + 1e-9);
+  }
+}
+
+TEST(Bisection, HandlesRepeatedEigenvalues) {
+  // Two decoupled copies (off-diagonal zero in the middle): every
+  // eigenvalue is doubled; bisection must count and find both copies.
+  SymTridiag t = toeplitz(8, 2.0, -1.0);
+  t.off[3] = 0.0;  // splits into two 4-blocks with identical spectra
+  const auto vals = bisection_smallest(t, 8);
+  for (int k = 0; k + 1 < 8; k += 2)
+    EXPECT_NEAR(vals[static_cast<std::size_t>(k)],
+                vals[static_cast<std::size_t>(k + 1)], 1e-9);
+}
+
+TEST(Bisection, WindowedLaplacianPathAgreesWithDenseSolver) {
+  // Full pipeline: Laplacian → Householder tridiagonalization → bisection
+  // window == dense QL smallest values.
+  const Digraph g = builders::fft(4);
+  DenseMatrix lap = dense_laplacian(g, LaplacianKind::kOutDegreeNormalized);
+  const auto dense = symmetric_eigenvalues(lap);
+  DenseMatrix scratch = dense_laplacian(g, LaplacianKind::kOutDegreeNormalized);
+  const SymTridiag t = householder_tridiagonalize(scratch, false);
+  const auto bis = bisection_smallest(t, 12);
+  for (int k = 0; k < 12; ++k)
+    EXPECT_NEAR(bis[static_cast<std::size_t>(k)],
+                dense[static_cast<std::size_t>(k)], 1e-8);
+}
+
+// --- Jacobi ---------------------------------------------------------------
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnSpectrum) {
+  DenseMatrix a(4, 4);
+  a(0, 0) = 3.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 0.5;
+  a(3, 3) = 7.0;
+  const auto r = jacobi_eigen(a);
+  ASSERT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.values[0], -1.0);
+  EXPECT_DOUBLE_EQ(r.values[3], 7.0);
+}
+
+TEST(Jacobi, AgreesWithQlOnRandomMatrices) {
+  Prng rng(42);
+  for (int trial = 0; trial < 3; ++trial) {
+    const DenseMatrix a = random_symmetric(24, rng);
+    const auto ql = symmetric_eigenvalues(a);
+    const auto jac = jacobi_eigenvalues(a);
+    ASSERT_TRUE(jacobi_eigen(a).converged);
+    for (std::size_t i = 0; i < ql.size(); ++i)
+      EXPECT_NEAR(jac[i], ql[i], 1e-9) << i;
+  }
+}
+
+TEST(Jacobi, EigenvectorsSatisfyDefinition) {
+  Prng rng(7);
+  const DenseMatrix a = random_symmetric(12, rng);
+  const auto r = jacobi_eigen(a);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t j = 0; j < 12; ++j) {
+    // ‖A x_j − λ_j x_j‖ small.
+    double err = 0.0;
+    for (std::size_t i = 0; i < 12; ++i) {
+      double axi = 0.0;
+      for (std::size_t k = 0; k < 12; ++k) axi += a(i, k) * r.vectors(k, j);
+      const double diff = axi - r.values[j] * r.vectors(i, j);
+      err += diff * diff;
+    }
+    EXPECT_LT(std::sqrt(err), 1e-9) << j;
+  }
+}
+
+TEST(Jacobi, LaplacianSpectraMatchAnalytic) {
+  // K_5: 0 once, 5 with multiplicity 4.
+  const Digraph g = builders::complete_dag(5);
+  const auto vals =
+      jacobi_eigenvalues(dense_laplacian(g, LaplacianKind::kPlain));
+  EXPECT_NEAR(vals[0], 0.0, 1e-12);
+  for (int i = 1; i < 5; ++i)
+    EXPECT_NEAR(vals[static_cast<std::size_t>(i)], 5.0, 1e-10);
+}
+
+TEST(Jacobi, RejectsAsymmetricInput) {
+  DenseMatrix a(3, 3);
+  a(0, 1) = 1.0;  // a(1,0) stays 0
+  EXPECT_THROW(jacobi_eigen(a), contract_error);
+}
+
+// --- power iteration --------------------------------------------------------
+
+TEST(Power, LargestEigenvalueOfCompleteGraphLaplacian) {
+  // K_n Laplacian: λ_max = n.
+  const Digraph g = builders::complete_dag(12);
+  const auto lap = laplacian(g, LaplacianKind::kPlain);
+  const auto r = largest_eigenvalue(lap);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.values[0], 12.0, 1e-5);
+}
+
+TEST(Power, SmallestEigenvaluesOfPathLaplacian) {
+  const Digraph g = builders::path(24);
+  const auto lap = laplacian(g, LaplacianKind::kPlain);
+  const auto dense = symmetric_eigenvalues(lap.to_dense());
+  PowerOptions opts;
+  opts.max_iterations = 200000;
+  const auto r = power_smallest_eigenvalues(lap, 3, opts);
+  ASSERT_TRUE(r.converged);
+  for (int k = 0; k < 3; ++k)
+    EXPECT_NEAR(r.values[static_cast<std::size_t>(k)],
+                dense[static_cast<std::size_t>(k)], 1e-5)
+        << k;
+}
+
+TEST(Power, ZeroModeOfConnectedLaplacianIsFoundFirst) {
+  const Digraph g = builders::grid(5, 5);
+  const auto lap = laplacian(g, LaplacianKind::kPlain);
+  const auto r = power_smallest_eigenvalues(lap, 1);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.values[0], 0.0, 1e-6);
+}
+
+TEST(Power, ResidualsBoundTheError) {
+  const Digraph g = builders::bhk_hypercube(5);
+  const auto lap = laplacian(g, LaplacianKind::kPlain);
+  const auto dense = symmetric_eigenvalues(lap.to_dense());
+  const auto r = power_smallest_eigenvalues(lap, 4);
+  for (std::size_t k = 0; k < r.values.size(); ++k) {
+    // |θ − λ| ≤ ‖residual‖ for the matched eigenvalue.
+    double best = 1e300;
+    for (double lam : dense) best = std::min(best, std::fabs(lam - r.values[k]));
+    EXPECT_LE(best, r.residuals[k] + 1e-9) << k;
+  }
+}
+
+TEST(Power, WantZeroIsTriviallyConverged) {
+  const auto lap =
+      laplacian(builders::path(10), LaplacianKind::kPlain);
+  const auto r = power_smallest_eigenvalues(lap, 0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.values.empty());
+}
+
+}  // namespace
+}  // namespace graphio::la

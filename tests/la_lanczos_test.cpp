@@ -1,0 +1,138 @@
+// The Lanczos solver underwrites the soundness of every large-graph bound,
+// so these tests focus on the failure mode that would silently corrupt
+// bounds: missing eigenvalue multiplicity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphio/core/analytic_spectra.hpp"
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/laplacian.hpp"
+#include "graphio/la/lanczos.hpp"
+#include "graphio/la/symmetric_eigen.hpp"
+#include "graphio/support/prng.hpp"
+
+namespace graphio::la {
+namespace {
+
+void expect_matches_dense(const Digraph& g, LaplacianKind kind, int want,
+                          double tol, const LanczosOptions& opts = {}) {
+  const CsrMatrix lap = laplacian(g, kind);
+  LanczosOptions forced = opts;
+  forced.dense_fallback = 0;  // force the Krylov path
+  const LanczosResult sparse = smallest_eigenvalues(lap, want, forced);
+  ASSERT_TRUE(sparse.converged)
+      << "cycles=" << sparse.cycles << " got=" << sparse.values.size();
+
+  auto dense = symmetric_eigenvalues(lap.to_dense());
+  ASSERT_GE(static_cast<int>(dense.size()), want);
+  for (int i = 0; i < want; ++i)
+    EXPECT_NEAR(sparse.values[static_cast<std::size_t>(i)],
+                dense[static_cast<std::size_t>(i)], tol)
+        << "index " << i;
+}
+
+TEST(Lanczos, PathGraphSimpleSpectrum) {
+  expect_matches_dense(builders::path(400), LaplacianKind::kPlain, 25, 1e-7);
+}
+
+TEST(Lanczos, GridGraph) {
+  expect_matches_dense(builders::grid(20, 20), LaplacianKind::kPlain, 30,
+                       1e-7);
+}
+
+TEST(Lanczos, HypercubeMultiplicities) {
+  // Q_8: eigenvalues 0,2,4,6 with multiplicities 1,8,28,56 — the first 37
+  // values contain a 28-fold eigenvalue, larger than the block size.
+  expect_matches_dense(builders::bhk_hypercube(8), LaplacianKind::kPlain, 60,
+                       1e-7);
+}
+
+TEST(Lanczos, HypercubeNormalizedLaplacian) {
+  expect_matches_dense(builders::bhk_hypercube(8),
+                       LaplacianKind::kOutDegreeNormalized, 40, 1e-7);
+}
+
+TEST(Lanczos, ButterflyPlainLaplacian) {
+  expect_matches_dense(builders::fft(5), LaplacianKind::kPlain, 40, 1e-7);
+}
+
+TEST(Lanczos, ButterflyNormalizedLaplacian) {
+  expect_matches_dense(builders::fft(5),
+                       LaplacianKind::kOutDegreeNormalized, 40, 1e-7);
+}
+
+TEST(Lanczos, ErdosRenyiGraph) {
+  expect_matches_dense(builders::erdos_renyi_dag(300, 0.05, 9),
+                       LaplacianKind::kOutDegreeNormalized, 30, 1e-7);
+}
+
+TEST(Lanczos, DisconnectedGraphZeroMultiplicity) {
+  // Three disjoint paths → eigenvalue 0 with multiplicity 3.
+  Digraph g(0);
+  for (int c = 0; c < 3; ++c) {
+    const VertexId base = g.num_vertices();
+    for (int i = 0; i < 120; ++i) g.add_vertex();
+    for (int i = 0; i + 1 < 120; ++i)
+      g.add_edge(base + i, base + i + 1);
+  }
+  const CsrMatrix lap = laplacian(g, LaplacianKind::kPlain);
+  LanczosOptions opts;
+  opts.dense_fallback = 0;
+  const LanczosResult res = smallest_eigenvalues(lap, 5, opts);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.values[0], 0.0, 1e-8);
+  EXPECT_NEAR(res.values[1], 0.0, 1e-8);
+  EXPECT_NEAR(res.values[2], 0.0, 1e-8);
+  EXPECT_GT(res.values[3], 1e-6);
+}
+
+TEST(Lanczos, SmallProblemsFallBackToDense) {
+  const CsrMatrix lap =
+      laplacian(builders::path(40), LaplacianKind::kPlain);
+  const LanczosResult res = smallest_eigenvalues(lap, 10);  // default opts
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.matvecs, 0);  // dense path used
+  const auto dense = symmetric_eigenvalues(lap.to_dense());
+  for (int i = 0; i < 10; ++i)
+    EXPECT_NEAR(res.values[static_cast<std::size_t>(i)],
+                dense[static_cast<std::size_t>(i)], 1e-9);
+}
+
+TEST(Lanczos, WantZeroAndWantAll) {
+  const CsrMatrix lap =
+      laplacian(builders::path(500), LaplacianKind::kPlain);
+  const LanczosResult none = smallest_eigenvalues(lap, 0);
+  EXPECT_TRUE(none.converged);
+  EXPECT_TRUE(none.values.empty());
+}
+
+TEST(Lanczos, DeterministicAcrossRuns) {
+  const CsrMatrix lap =
+      laplacian(builders::grid(25, 25), LaplacianKind::kPlain);
+  LanczosOptions opts;
+  opts.dense_fallback = 0;
+  const LanczosResult a = smallest_eigenvalues(lap, 12, opts);
+  const LanczosResult b = smallest_eigenvalues(lap, 12, opts);
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t i = 0; i < a.values.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.values[i], b.values[i]);
+}
+
+TEST(Lanczos, InterlacingNeverUndershootsTruth) {
+  // Locked values must match true eigenvalues to residual tolerance; in
+  // particular the k-th smallest locked value must not be significantly
+  // *below* the k-th smallest true value (that would inflate bounds).
+  const auto g = builders::erdos_renyi_dag(500, 0.02, 77);
+  const CsrMatrix lap = laplacian(g, LaplacianKind::kPlain);
+  LanczosOptions opts;
+  opts.dense_fallback = 0;
+  const LanczosResult sparse = smallest_eigenvalues(lap, 20, opts);
+  ASSERT_TRUE(sparse.converged);
+  const auto dense = symmetric_eigenvalues(lap.to_dense());
+  for (std::size_t i = 0; i < sparse.values.size(); ++i)
+    EXPECT_GT(sparse.values[i], dense[i] - 1e-6);
+}
+
+}  // namespace
+}  // namespace graphio::la

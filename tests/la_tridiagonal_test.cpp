@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphio/core/analytic_spectra.hpp"
+#include "graphio/la/dense_matrix.hpp"
+#include "graphio/la/householder.hpp"
+#include "graphio/la/symmetric_eigen.hpp"
+#include "graphio/la/tridiagonal.hpp"
+#include "graphio/support/prng.hpp"
+
+namespace graphio::la {
+namespace {
+
+DenseMatrix tridiag_to_dense(const SymTridiag& t) {
+  const std::size_t n = t.diag.size();
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) = t.diag[i];
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    a(i, i + 1) = t.off[i];
+    a(i + 1, i) = t.off[i];
+  }
+  return a;
+}
+
+TEST(Tridiagonal, ToeplitzClosedFormMatchesQl) {
+  // The paper's P'' matrices: diag 4, off-diag -2 (Lemma 11).
+  for (int n : {1, 2, 3, 5, 8, 13}) {
+    SymTridiag t;
+    t.diag.assign(static_cast<std::size_t>(n), 4.0);
+    t.off.assign(static_cast<std::size_t>(n) - (n > 0 ? 1 : 0), -2.0);
+    const auto ql = tridiagonal_eigenvalues(t);
+    const auto closed = toeplitz_tridiagonal_eigenvalues(n, 4.0, -2.0);
+    ASSERT_EQ(ql.size(), closed.size());
+    for (std::size_t i = 0; i < ql.size(); ++i)
+      EXPECT_NEAR(ql[i], closed[i], 1e-10) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(Tridiagonal, ToeplitzMatchesLemma11PathFormula) {
+  // λ(L(P''_i)) = 4 − 4cos(jπ/(i+1)) — the same numbers two ways.
+  for (int i : {1, 2, 4, 9}) {
+    const auto toeplitz = toeplitz_tridiagonal_eigenvalues(i, 4.0, -2.0);
+    const auto lemma = analytic::path_pdoubleprime_spectrum(i);
+    std::vector<double> sorted = lemma;
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(toeplitz.size(), sorted.size());
+    for (std::size_t j = 0; j < sorted.size(); ++j)
+      EXPECT_NEAR(toeplitz[j], sorted[j], 1e-10);
+  }
+}
+
+TEST(Tridiagonal, EigenvectorsReconstructMatrix) {
+  Prng rng(31);
+  SymTridiag t;
+  const std::size_t n = 12;
+  for (std::size_t i = 0; i < n; ++i) t.diag.push_back(rng.uniform(-2, 2));
+  for (std::size_t i = 0; i + 1 < n; ++i) t.off.push_back(rng.uniform(-2, 2));
+  const DenseMatrix dense = tridiag_to_dense(t);
+
+  const TridiagEigen eig = tridiagonal_eigen(t);
+  // Rebuild V diag(λ) Vᵀ.
+  DenseMatrix lambda(n, n);
+  for (std::size_t i = 0; i < n; ++i) lambda(i, i) = eig.values[i];
+  const DenseMatrix rebuilt =
+      eig.vectors.multiply(lambda).multiply(eig.vectors.transposed());
+  EXPECT_LT(rebuilt.max_abs_diff(dense), 1e-10);
+}
+
+TEST(Tridiagonal, ZeroOffDiagonalIsJustSorting) {
+  SymTridiag t;
+  t.diag = {5.0, 1.0, 3.0};
+  t.off = {0.0, 0.0};
+  const auto values = tridiagonal_eigenvalues(t);
+  EXPECT_DOUBLE_EQ(values[0], 1.0);
+  EXPECT_DOUBLE_EQ(values[1], 3.0);
+  EXPECT_DOUBLE_EQ(values[2], 5.0);
+}
+
+TEST(Tridiagonal, EmptyAndSingleton) {
+  SymTridiag empty;
+  EXPECT_TRUE(tridiagonal_eigenvalues(empty).empty());
+  SymTridiag one;
+  one.diag = {7.0};
+  const auto v = tridiagonal_eigenvalues(one);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+}
+
+TEST(Householder, PreservesEigenvalues) {
+  Prng rng(77);
+  const std::size_t n = 20;
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = rng.uniform(-1, 1);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  const auto direct = symmetric_eigenvalues(a);
+
+  DenseMatrix scratch = a;
+  SymTridiag t = householder_tridiagonalize(scratch, /*accumulate=*/false);
+  auto reduced = tridiagonal_eigenvalues(std::move(t));
+  ASSERT_EQ(direct.size(), reduced.size());
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    EXPECT_NEAR(direct[i], reduced[i], 1e-9);
+}
+
+TEST(Householder, AccumulatedTransformIsOrthogonalAndSimilar) {
+  Prng rng(5);
+  const std::size_t n = 15;
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = rng.uniform(-1, 1);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  DenseMatrix q = a;
+  const SymTridiag t = householder_tridiagonalize(q, /*accumulate=*/true);
+
+  // Q orthogonal.
+  const DenseMatrix qtq = q.transposed().multiply(q);
+  EXPECT_LT(qtq.max_abs_diff(DenseMatrix::identity(n)), 1e-10);
+
+  // Qᵀ A Q = T.
+  const DenseMatrix t_rebuilt = q.transposed().multiply(a).multiply(q);
+  EXPECT_LT(t_rebuilt.max_abs_diff(tridiag_to_dense(t)), 1e-9);
+}
+
+}  // namespace
+}  // namespace graphio::la

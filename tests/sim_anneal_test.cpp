@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graphio/exact/pebble_search.hpp"
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/topo.hpp"
+#include "graphio/sim/anneal.hpp"
+#include "graphio/sim/memsim.hpp"
+#include "graphio/support/contracts.hpp"
+#include "graphio/support/prng.hpp"
+
+namespace graphio {
+namespace {
+
+TEST(Anneal, ResultIsTopologicalAndNeverWorseThanStart) {
+  const Digraph g = builders::fft(4);
+  const auto start = topological_order(g);
+  ASSERT_TRUE(start.has_value());
+  sim::AnnealOptions options;
+  options.iterations = 800;
+  const sim::AnnealResult r = sim::anneal_schedule(g, 4, *start, options);
+  EXPECT_TRUE(is_topological(g, r.order));
+  EXPECT_LE(r.io, r.start_io);
+  EXPECT_EQ(r.io, sim::simulate_io(g, r.order, 4).total());
+}
+
+TEST(Anneal, ImprovesABadStartingOrder) {
+  // A random Kahn order on a butterfly scatters column-adjacent work, so
+  // local insertion moves should find something strictly better.
+  const Digraph g = builders::fft(4);
+  Prng rng(17);
+  const std::vector<VertexId> bad = random_topological_order(g, rng);
+  sim::AnnealOptions options;
+  options.iterations = 3000;
+  options.seed = 3;
+  const sim::AnnealResult r = sim::anneal_schedule(g, 3, bad, options);
+  EXPECT_LT(r.io, r.start_io);
+}
+
+TEST(Anneal, NeverGoesBelowTheExactOptimum) {
+  const Digraph g = builders::bhk_hypercube(4);  // 16 vertices, exact range
+  const auto truth = exact::exact_optimal_io(g, 4);
+  ASSERT_TRUE(truth.complete);
+  sim::AnnealOptions options;
+  options.iterations = 2000;
+  const sim::AnnealResult r = sim::anneal_schedule(g, 4, options);
+  EXPECT_GE(r.io, truth.io);
+}
+
+TEST(Anneal, DeterministicForFixedSeed) {
+  const Digraph g = builders::stencil1d(8, 4);
+  sim::AnnealOptions options;
+  options.iterations = 500;
+  options.seed = 99;
+  const sim::AnnealResult a = sim::anneal_schedule(g, 4, options);
+  const sim::AnnealResult b = sim::anneal_schedule(g, 4, options);
+  EXPECT_EQ(a.io, b.io);
+  EXPECT_EQ(a.order, b.order);
+}
+
+TEST(Anneal, ZeroIterationsReturnsTheStart) {
+  const Digraph g = builders::inner_product(3);
+  const auto start = topological_order(g);
+  ASSERT_TRUE(start.has_value());
+  sim::AnnealOptions options;
+  options.iterations = 0;
+  const sim::AnnealResult r = sim::anneal_schedule(g, 2, *start, options);
+  EXPECT_EQ(r.order, *start);
+  EXPECT_EQ(r.io, r.start_io);
+  EXPECT_EQ(r.moves_attempted, 0);
+}
+
+TEST(Anneal, HillClimbingModeAcceptsNoUphillMoves) {
+  const Digraph g = builders::fft(3);
+  sim::AnnealOptions options;
+  options.iterations = 1500;
+  options.initial_temperature = 0.0;
+  const sim::AnnealResult r = sim::anneal_schedule(g, 2, options);
+  EXPECT_TRUE(is_topological(g, r.order));
+  EXPECT_LE(r.io, r.start_io);
+}
+
+TEST(Anneal, RejectsNonTopologicalStart) {
+  const Digraph g = builders::path(4);
+  std::vector<VertexId> backwards{3, 2, 1, 0};
+  EXPECT_THROW(sim::anneal_schedule(g, 2, backwards, {}), contract_error);
+}
+
+TEST(Anneal, PathGraphHasNothingToImprove) {
+  // A path admits exactly one topological order; annealing must return it
+  // with zero accepted moves that change anything.
+  const Digraph g = builders::path(6);
+  const sim::AnnealResult r = sim::anneal_schedule(g, 2, sim::AnnealOptions{});
+  const auto only = topological_order(g);
+  EXPECT_EQ(r.order, *only);
+  EXPECT_EQ(r.io, r.start_io);
+}
+
+TEST(Anneal, LruPolicyIsRespected) {
+  const Digraph g = builders::fft(3);
+  sim::AnnealOptions options;
+  options.iterations = 400;
+  options.policy = sim::EvictionPolicy::kLru;
+  const sim::AnnealResult r = sim::anneal_schedule(g, 2, options);
+  sim::SimOptions sim_options;
+  sim_options.policy = sim::EvictionPolicy::kLru;
+  EXPECT_EQ(r.io, sim::simulate_io(g, r.order, 2, sim_options).total());
+}
+
+class AnnealSandwich
+    : public ::testing::TestWithParam<std::tuple<int, std::int64_t>> {};
+
+TEST_P(AnnealSandwich, StaysBetweenExactAndStart) {
+  const auto [cities, memory] = GetParam();
+  const Digraph g = builders::bhk_hypercube(cities);
+  if (g.max_in_degree() > memory)
+    GTEST_SKIP() << "infeasible: max in-degree exceeds fast memory";
+  const auto truth = exact::exact_optimal_io(g, memory);
+  ASSERT_TRUE(truth.complete);
+  sim::AnnealOptions options;
+  options.iterations = 1200;
+  options.seed = static_cast<std::uint64_t>(cities) * 1000 +
+                 static_cast<std::uint64_t>(memory);
+  const sim::AnnealResult r = sim::anneal_schedule(g, memory, options);
+  EXPECT_GE(r.io, truth.io);
+  EXPECT_LE(r.io, r.start_io);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnnealSandwich,
+    ::testing::Combine(::testing::Values(3, 4), ::testing::Values(3, 4, 6)),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::int64_t>>& param_info) {
+      return "l" + std::to_string(std::get<0>(param_info.param)) + "_m" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace graphio

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/topo.hpp"
+#include "graphio/sim/memsim.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::sim {
+namespace {
+
+std::vector<VertexId> natural(const Digraph& g) {
+  auto order = topological_order(g);
+  EXPECT_TRUE(order.has_value());
+  return *order;
+}
+
+TEST(MemSim, ChainNeedsNoIo) {
+  const Digraph g = builders::path(16);
+  for (std::int64_t m : {1, 2, 8}) {
+    const SimResult r = simulate_io(g, natural(g), m);
+    EXPECT_EQ(r.total(), 0) << "M=" << m;
+  }
+}
+
+TEST(MemSim, DiamondFitsInTwoSlots) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_EQ(simulate_io(g, natural(g), 2).total(), 0);
+}
+
+TEST(MemSim, ForcedSpillIsExactlyTwo) {
+  // a,b inputs; c=a+b; d=f(a,c); e=f(b,c). With M=2, after computing c
+  // three values are live: one spill (write+read) is forced.
+  Digraph g(5);
+  g.add_edge(0, 2);  // a -> c
+  g.add_edge(1, 2);  // b -> c
+  g.add_edge(0, 3);  // a -> d
+  g.add_edge(2, 3);  // c -> d
+  g.add_edge(1, 4);  // b -> e
+  g.add_edge(2, 4);  // c -> e
+  const SimResult r = simulate_io(g, {0, 1, 2, 3, 4}, 2);
+  EXPECT_EQ(r.writes, 1);
+  EXPECT_EQ(r.reads, 1);
+  // With M=3 everything fits.
+  EXPECT_EQ(simulate_io(g, {0, 1, 2, 3, 4}, 3).total(), 0);
+}
+
+TEST(MemSim, RejectsNonTopologicalOrder) {
+  const Digraph g = builders::path(3);
+  EXPECT_THROW(simulate_io(g, {1, 0, 2}, 4), contract_error);
+  EXPECT_THROW(simulate_io(g, {0, 1}, 4), contract_error);
+}
+
+TEST(MemSim, RejectsMemorySmallerThanOperandSet) {
+  const Digraph g = builders::naive_matmul(3);  // n-ary sums need 3 operands
+  EXPECT_THROW(simulate_io(g, natural(g), 2), contract_error);
+  EXPECT_NO_THROW(simulate_io(g, natural(g), 4));
+}
+
+TEST(MemSim, ParallelEdgesNeedOneSlot) {
+  // x -> y twice (y = x·x): one resident copy serves both operand slots.
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(simulate_io(g, {0, 1}, 1).total(), 0);
+}
+
+TEST(MemSim, TrivialIoAccounting) {
+  const Digraph g = builders::inner_product(2);  // 4 inputs, 1 output
+  const SimResult plain = simulate_io(g, natural(g), 8);
+  EXPECT_EQ(plain.total(), 0);
+  EXPECT_EQ(plain.trivial_io, 5);
+  SimOptions opts;
+  opts.count_trivial = true;
+  const SimResult with = simulate_io(g, natural(g), 8, opts);
+  EXPECT_EQ(with.reads, 4);
+  EXPECT_EQ(with.writes, 1);
+}
+
+TEST(MemSim, PeakResidentNeverExceedsMemory) {
+  const Digraph g = builders::fft(4);
+  for (std::int64_t m : {2, 3, 4, 8}) {
+    const SimResult r = simulate_io(g, natural(g), m);
+    EXPECT_LE(r.peak_resident, m);
+  }
+}
+
+TEST(MemSim, MoreMemoryNeverHurts) {
+  const Digraph g = builders::fft(5);
+  const auto order = natural(g);
+  std::int64_t previous = simulate_io(g, order, 2).total();
+  for (std::int64_t m : {3, 4, 6, 8, 16, 64}) {
+    const std::int64_t current = simulate_io(g, order, m).total();
+    EXPECT_LE(current, previous) << "M=" << m;
+    previous = current;
+  }
+}
+
+TEST(MemSim, LargeMemoryMeansOnlyCompulsoryIo) {
+  const Digraph g = builders::strassen_matmul(4);
+  const SimResult r = simulate_io(g, natural(g), g.num_vertices());
+  EXPECT_EQ(r.total(), 0);
+}
+
+TEST(MemSim, BeladyNoWorseThanLruOnFft) {
+  const Digraph g = builders::fft(5);
+  const auto order = natural(g);
+  for (std::int64_t m : {2, 4, 8}) {
+    SimOptions belady;
+    SimOptions lru;
+    lru.policy = EvictionPolicy::kLru;
+    EXPECT_LE(simulate_io(g, order, m, belady).reads,
+              simulate_io(g, order, m, lru).reads)
+        << "M=" << m;
+  }
+}
+
+TEST(MemSim, FftRequiresIoWithTinyMemory) {
+  const Digraph g = builders::fft(4);
+  EXPECT_GT(simulate_io(g, natural(g), 2).total(), 0);
+}
+
+TEST(BestScheduleIo, PicksTheCheapestOrder) {
+  const Digraph g = builders::fft(4);
+  const SimResult best = best_schedule_io(g, 4);
+  const SimResult nat = simulate_io(g, natural(g), 4);
+  EXPECT_LE(best.total(), nat.total());
+}
+
+TEST(BestScheduleIo, ThrowsOnCyclicGraph) {
+  EXPECT_THROW(best_schedule_io(builders::cycle(4), 4), contract_error);
+}
+
+}  // namespace
+}  // namespace graphio::sim

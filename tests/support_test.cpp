@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "graphio/support/contracts.hpp"
+#include "graphio/support/env.hpp"
+#include "graphio/support/prng.hpp"
+#include "graphio/support/table.hpp"
+#include "graphio/support/timer.hpp"
+
+namespace graphio {
+namespace {
+
+TEST(Contracts, ExpectsThrowsOnViolation) {
+  EXPECT_THROW(GIO_EXPECTS(1 == 2), contract_error);
+  EXPECT_NO_THROW(GIO_EXPECTS(1 == 1));
+  EXPECT_THROW(GIO_EXPECTS_MSG(false, "context"), contract_error);
+}
+
+TEST(Contracts, MessageMentionsConditionAndContext) {
+  try {
+    GIO_EXPECTS_MSG(false, "helpful note");
+    FAIL() << "should have thrown";
+  } catch (const contract_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("helpful note"), std::string::npos);
+  }
+}
+
+TEST(Prng, DeterministicForEqualSeeds) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1);
+  Prng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Prng rng(7);
+  double lo = 1.0;
+  double hi = 0.0;
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(Prng, BelowIsUnbiasedAcrossRange) {
+  Prng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.below(10)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 450);
+}
+
+TEST(Prng, NormalHasUnitVariance) {
+  Prng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.03);
+  EXPECT_NEAR(sq / trials, 1.0, 0.05);
+}
+
+TEST(Prng, ShuffleIsAPermutation) {
+  Prng rng(17);
+  std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(items);
+  std::set<int> seen(items.begin(), items.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Prng, SplitStreamsAreIndependent) {
+  Prng a(3);
+  Prng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i)
+    sink = sink + std::sqrt(static_cast<double>(i));
+  EXPECT_GE(t.seconds(), 0.0);
+  const double first = t.milliseconds();
+  const double second = t.milliseconds();
+  EXPECT_GE(second, first);  // monotone across calls
+}
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("value"), std::string::npos);
+}
+
+TEST(Table, RejectsMisshapenRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), contract_error);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"with\"quote", "x"});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(12.5), "12.5");
+  EXPECT_EQ(format_double(3.0), "3");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(std::nan("")), "-");
+}
+
+TEST(Env, MissingVariableIsNullopt) {
+  EXPECT_FALSE(env_string("GRAPHIO_DEFINITELY_NOT_SET").has_value());
+  EXPECT_FALSE(env_int("GRAPHIO_DEFINITELY_NOT_SET").has_value());
+}
+
+TEST(Env, ReadsIntegers) {
+  ::setenv("GRAPHIO_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("GRAPHIO_TEST_INT").value(), 42);
+  ::setenv("GRAPHIO_TEST_INT", "nonsense", 1);
+  EXPECT_THROW(env_int("GRAPHIO_TEST_INT"), contract_error);
+  ::unsetenv("GRAPHIO_TEST_INT");
+}
+
+TEST(Env, BenchScaleParses) {
+  ::setenv("GRAPHIO_BENCH_SCALE", "quick", 1);
+  EXPECT_EQ(bench_scale_from_env(), BenchScale::kQuick);
+  ::setenv("GRAPHIO_BENCH_SCALE", "paper", 1);
+  EXPECT_EQ(bench_scale_from_env(), BenchScale::kPaper);
+  ::setenv("GRAPHIO_BENCH_SCALE", "bogus", 1);
+  EXPECT_THROW(bench_scale_from_env(), contract_error);
+  ::unsetenv("GRAPHIO_BENCH_SCALE");
+  EXPECT_EQ(bench_scale_from_env(), BenchScale::kDefault);
+}
+
+}  // namespace
+}  // namespace graphio

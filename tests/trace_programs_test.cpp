@@ -1,0 +1,118 @@
+// Traced programs vs direct builders: two independent constructions of
+// each evaluation graph must agree on structure and on the bound itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graphio/core/spectral_bound.hpp"
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/laplacian.hpp"
+#include "graphio/graph/topo.hpp"
+#include "graphio/la/symmetric_eigen.hpp"
+#include "graphio/trace/programs.hpp"
+
+namespace graphio::trace {
+namespace {
+
+std::vector<std::pair<std::int64_t, std::int64_t>> degree_profile(
+    const Digraph& g) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> profile;
+  profile.reserve(static_cast<std::size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    profile.emplace_back(g.in_degree(v), g.out_degree(v));
+  std::sort(profile.begin(), profile.end());
+  return profile;
+}
+
+/// Structural agreement: counts, degree profiles, and the low end of the
+/// Laplacian spectrum (a strong isomorphism invariant).
+void expect_structurally_equal(const Digraph& a, const Digraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.sources().size(), b.sources().size());
+  EXPECT_EQ(a.sinks().size(), b.sinks().size());
+  EXPECT_EQ(degree_profile(a), degree_profile(b));
+  const auto sa =
+      la::symmetric_eigenvalues(dense_laplacian(a, LaplacianKind::kPlain));
+  const auto sb =
+      la::symmetric_eigenvalues(dense_laplacian(b, LaplacianKind::kPlain));
+  const std::size_t check = std::min<std::size_t>(sa.size(), 40);
+  for (std::size_t i = 0; i < check; ++i)
+    EXPECT_NEAR(sa[i], sb[i], 1e-8) << "eigenvalue " << i;
+}
+
+TEST(TracedPrograms, FftMatchesButterflyBuilderExactly) {
+  for (int l : {1, 2, 3, 4}) {
+    const Digraph traced = traced_fft(l);
+    const Digraph built = builders::fft(l);
+    ASSERT_EQ(traced.num_vertices(), built.num_vertices()) << l;
+    // Identical construction order ⇒ identical ids; compare edges 1:1.
+    for (VertexId v = 0; v < built.num_vertices(); ++v) {
+      std::vector<VertexId> pa(traced.parents(v).begin(),
+                               traced.parents(v).end());
+      std::vector<VertexId> pb(built.parents(v).begin(),
+                               built.parents(v).end());
+      std::sort(pa.begin(), pa.end());
+      std::sort(pb.begin(), pb.end());
+      ASSERT_EQ(pa, pb) << "vertex " << v << " at level " << l;
+    }
+  }
+}
+
+TEST(TracedPrograms, MatmulMatchesBuilderStructurally) {
+  using builders::Reduction;
+  const std::pair<ReduceShape, Reduction> shapes[] = {
+      {ReduceShape::kNary, Reduction::kNary},
+      {ReduceShape::kChain, Reduction::kChain},
+      {ReduceShape::kBinaryTree, Reduction::kBinaryTree},
+  };
+  for (const auto& [trace_shape, build_shape] : shapes) {
+    expect_structurally_equal(traced_matmul(3, trace_shape),
+                              builders::naive_matmul(3, build_shape));
+  }
+}
+
+TEST(TracedPrograms, StrassenMatchesBuilderStructurally) {
+  expect_structurally_equal(traced_strassen(2), builders::strassen_matmul(2));
+  expect_structurally_equal(traced_strassen(4), builders::strassen_matmul(4));
+}
+
+TEST(TracedPrograms, BhkMatchesHypercubeBuilderStructurally) {
+  expect_structurally_equal(traced_bhk(3), builders::bhk_hypercube(3));
+  expect_structurally_equal(traced_bhk(5), builders::bhk_hypercube(5));
+}
+
+TEST(TracedPrograms, SpectralBoundsAgreeAcrossConstructionRoutes) {
+  // The figure benches could have been driven by either construction.
+  {
+    const double a = spectral_bound(traced_fft(5), 2).bound;
+    const double b = spectral_bound(builders::fft(5), 2).bound;
+    EXPECT_NEAR(a, b, 1e-6);
+  }
+  {
+    const double a = spectral_bound(traced_bhk(6), 4).bound;
+    const double b = spectral_bound(builders::bhk_hypercube(6), 4).bound;
+    EXPECT_NEAR(a, b, 1e-6);
+  }
+}
+
+TEST(TracedPrograms, HornerIsAChainOfFmas) {
+  const int d = 6;
+  const Digraph g = traced_horner(d);
+  // Inputs: x + d+1 coefficients; ops: d multiplies + d adds.
+  EXPECT_EQ(g.num_vertices(), 1 + (d + 1) + 2 * d);
+  EXPECT_EQ(static_cast<int>(g.sinks().size()), 1);
+  EXPECT_TRUE(topological_order(g).has_value());
+  // x feeds every multiply: out-degree d.
+  EXPECT_EQ(g.out_degree(0), d);
+}
+
+TEST(TracedPrograms, HornerDegreeZeroIsJustTheConstant) {
+  const Digraph g = traced_horner(0);
+  EXPECT_EQ(g.num_vertices(), 2);  // x (unused) and c0
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace graphio::trace

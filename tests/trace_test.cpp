@@ -1,0 +1,169 @@
+// The tracer must reconstruct, from running arithmetic code, exactly the
+// graphs the direct builders produce.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/topo.hpp"
+#include "graphio/support/contracts.hpp"
+#include "graphio/trace/tape.hpp"
+
+namespace graphio::trace {
+namespace {
+
+void expect_same_graph(const Digraph& a, const Digraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    const auto ca = a.children(v);
+    const auto cb = b.children(v);
+    ASSERT_EQ(ca.size(), cb.size()) << "vertex " << v;
+    for (std::size_t i = 0; i < ca.size(); ++i)
+      EXPECT_EQ(ca[i], cb[i]) << "vertex " << v << " child " << i;
+  }
+}
+
+TEST(Trace, RecordsInputsAndBinaryOps) {
+  Tape tape;
+  const Value a = tape.input("a");
+  const Value b = tape.input("b");
+  const Value c = a + b;
+  const Value d = c * a;
+  (void)d;
+  const Digraph& g = tape.graph();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.name(2), "+");
+  EXPECT_EQ(g.name(3), "*");
+  EXPECT_EQ(g.in_degree(3), 2);
+  EXPECT_TRUE(is_dag(g));
+}
+
+TEST(Trace, SquaringCreatesParallelEdges) {
+  Tape tape;
+  const Value x = tape.input("x");
+  const Value sq = x * x;
+  (void)sq;
+  EXPECT_EQ(tape.graph().num_edges(), 2);
+  EXPECT_EQ(tape.graph().in_degree(1), 2);
+}
+
+TEST(Trace, CompoundAssignmentChains) {
+  Tape tape;
+  Value acc = tape.input();
+  acc += tape.input();
+  acc *= tape.input();
+  acc -= tape.input();
+  acc /= tape.input();
+  EXPECT_EQ(tape.graph().num_vertices(), 5 + 4);
+  EXPECT_EQ(tape.graph().sinks().size(), 1u);
+}
+
+TEST(Trace, RejectsCrossTapeOperations) {
+  Tape t1;
+  Tape t2;
+  const Value a = t1.input();
+  const Value b = t2.input();
+  EXPECT_THROW((void)(a + b), contract_error);
+}
+
+TEST(Trace, RejectsInvalidValuesAndEmptyOps) {
+  Tape tape;
+  Value uninitialized;
+  const Value a = tape.input();
+  EXPECT_THROW((void)(a + uninitialized), contract_error);
+  EXPECT_THROW(tape.op({}), contract_error);
+}
+
+TEST(Trace, NaryOpRecordsAllOperands) {
+  Tape tape;
+  std::vector<Value> xs;
+  for (int i = 0; i < 5; ++i) xs.push_back(tape.input());
+  const Value s = tape.op(xs, "sum5");
+  EXPECT_EQ(tape.graph().in_degree(s.id()), 5);
+  EXPECT_EQ(tape.graph().name(s.id()), "sum5");
+}
+
+TEST(Trace, InnerProductMatchesBuilder) {
+  const int m = 4;
+  Tape tape;
+  std::vector<Value> a;
+  std::vector<Value> b;
+  for (int i = 0; i < m; ++i) a.push_back(tape.input());
+  for (int i = 0; i < m; ++i) b.push_back(tape.input());
+  std::vector<Value> products;
+  for (int i = 0; i < m; ++i)
+    products.push_back(a[static_cast<std::size_t>(i)] *
+                       b[static_cast<std::size_t>(i)]);
+  (void)reduce(products, ReduceShape::kChain);
+  expect_same_graph(tape.graph(), builders::inner_product(m));
+}
+
+TEST(Trace, TracedFftMatchesButterflyBuilder) {
+  const int levels = 4;
+  const std::size_t width = 1u << levels;
+  Tape tape;
+  std::vector<Value> column;
+  for (std::size_t r = 0; r < width; ++r) column.push_back(tape.input());
+  for (int c = 1; c <= levels; ++c) {
+    const std::size_t stride = 1u << (c - 1);
+    std::vector<Value> next;
+    next.reserve(width);
+    for (std::size_t r = 0; r < width; ++r)
+      next.push_back(tape.op({column[r], column[r ^ stride]}, "bf"));
+    column = std::move(next);
+  }
+  expect_same_graph(tape.graph(), builders::fft(levels));
+}
+
+TEST(Trace, TracedMatmulMatchesBuilder) {
+  const int n = 3;
+  Tape tape;
+  std::vector<Value> a;
+  std::vector<Value> b;
+  for (int i = 0; i < n * n; ++i) a.push_back(tape.input());
+  for (int i = 0; i < n * n; ++i) b.push_back(tape.input());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::vector<Value> terms;
+      for (int k = 0; k < n; ++k)
+        terms.push_back(a[static_cast<std::size_t>(i * n + k)] *
+                        b[static_cast<std::size_t>(k * n + j)]);
+      (void)reduce(terms, ReduceShape::kNary, "dot");
+    }
+  }
+  expect_same_graph(tape.graph(),
+                    builders::naive_matmul(n, builders::Reduction::kNary));
+}
+
+TEST(Trace, ReduceShapes) {
+  for (auto shape :
+       {ReduceShape::kChain, ReduceShape::kBinaryTree, ReduceShape::kNary}) {
+    Tape tape;
+    std::vector<Value> xs;
+    for (int i = 0; i < 6; ++i) xs.push_back(tape.input());
+    const Value r = reduce(xs, shape);
+    const Digraph& g = tape.graph();
+    EXPECT_EQ(g.sinks().size(), 1u);
+    EXPECT_EQ(g.sinks()[0], r.id());
+    if (shape == ReduceShape::kNary) {
+      EXPECT_EQ(g.num_vertices(), 7);
+      EXPECT_EQ(g.in_degree(r.id()), 6);
+    } else {
+      EXPECT_EQ(g.num_vertices(), 6 + 5);
+      EXPECT_EQ(g.max_in_degree(), 2);
+    }
+  }
+}
+
+TEST(Trace, ReleaseEmptiesTheTape) {
+  Tape tape;
+  (void)(tape.input() + tape.input());
+  const Digraph g = tape.release();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(tape.num_operations(), 0);
+}
+
+}  // namespace
+}  // namespace graphio::trace

@@ -1,0 +1,434 @@
+// graphio — command-line front end for the spectral I/O bound library.
+//
+//   graphio generate fft:6 --out fft6.gel       emit a builder graph
+//   graphio info fft6.gel                       structural summary
+//   graphio bound fft:8 --memory 4 --method all spectral + baselines
+//   graphio spectrum bhk:8 --count 12           smallest Laplacian values
+//   graphio simulate fft:6 --memory 8           schedule I/O (upper bound)
+//   graphio exact inner:2 --memory 3            exact J* (tiny graphs)
+//
+// Graph arguments are either a family spec — fft:L, matmul:N[:nary|chain|
+// tree], strassen:N, bhk:L, er:N:P:SEED, grid:R:C, tree:D, path:N,
+// inner:M — or a path to a graphio-edgelist file.
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graphio/core/hierarchy.hpp"
+#include "graphio/core/spectral_bound.hpp"
+#include "graphio/exact/pebble_search.hpp"
+#include "graphio/flow/convex_mincut.hpp"
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/laplacian.hpp"
+#include "graphio/graph/topo.hpp"
+#include "graphio/io/edgelist.hpp"
+#include "graphio/io/json.hpp"
+#include "graphio/sim/anneal.hpp"
+#include "graphio/sim/memsim.hpp"
+#include "graphio/sim/parallel_memsim.hpp"
+#include "graphio/sim/schedule.hpp"
+#include "graphio/support/table.hpp"
+
+namespace {
+
+using namespace graphio;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: graphio <command> <graph> [options]\n"
+      "\n"
+      "commands\n"
+      "  generate <graph> [--out FILE]          write graph as edgelist\n"
+      "  info <graph>                           structural summary\n"
+      "  bound <graph> --memory M [options]     I/O lower bounds\n"
+      "  spectrum <graph> [--count H] [--plain] smallest Laplacian eigenvalues\n"
+      "  simulate <graph> --memory M            schedule I/O (upper bound)\n"
+      "  exact <graph> --memory M               exact J* (<= 21 vertices)\n"
+      "  anneal <graph> --memory M [--iterations I]\n"
+      "                                         local-search schedule tuning\n"
+      "  parallel <graph> --memory M [--processors P]\n"
+      "                                         Theorem 6 vs simulated p-proc\n"
+      "  hierarchy <graph> [--levels 8,64,512]  per-level traffic bounds\n"
+      "\n"
+      "graph: family spec or edgelist file\n"
+      "  fft:L  matmul:N[:nary|chain|tree]  strassen:N  bhk:L\n"
+      "  er:N:P:SEED  grid:R:C  tree:D  path:N  inner:M\n"
+      "  stencil1d:C:T  stencil2d:R:C:T  scan:LOGN  bitonic:LOGN\n"
+      "  trisolve:N  cholesky:N\n"
+      "\n"
+      "bound options\n"
+      "  --method spectral|plain|mincut|all   (default spectral)\n"
+      "  --processors P                       parallel bound, Theorem 6\n"
+      "  --json                               machine-readable output\n";
+  std::exit(2);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto end = s.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::int64_t parse_int(const std::string& s, const char* what) {
+  std::int64_t v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size())
+    usage(std::string("bad ") + what + ": '" + s + "'");
+  return v;
+}
+
+double parse_double(const std::string& s, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    usage(std::string("bad ") + what + ": '" + s + "'");
+  }
+}
+
+Digraph resolve_graph(const std::string& spec) {
+  if (std::filesystem::exists(spec)) return io::load_edgelist(spec);
+  const auto parts = split(spec, ':');
+  const std::string& kind = parts[0];
+  auto arg = [&](std::size_t i) -> const std::string& {
+    if (i >= parts.size()) usage("family spec '" + spec + "' needs more arguments");
+    return parts[i];
+  };
+  if (kind == "fft") return builders::fft(static_cast<int>(parse_int(arg(1), "level")));
+  if (kind == "matmul") {
+    builders::Reduction red = builders::Reduction::kNary;
+    if (parts.size() > 2) {
+      if (parts[2] == "nary") red = builders::Reduction::kNary;
+      else if (parts[2] == "chain") red = builders::Reduction::kChain;
+      else if (parts[2] == "tree") red = builders::Reduction::kBinaryTree;
+      else usage("unknown reduction '" + parts[2] + "'");
+    }
+    return builders::naive_matmul(static_cast<int>(parse_int(arg(1), "size")), red);
+  }
+  if (kind == "strassen")
+    return builders::strassen_matmul(static_cast<int>(parse_int(arg(1), "size")));
+  if (kind == "bhk")
+    return builders::bhk_hypercube(static_cast<int>(parse_int(arg(1), "cities")));
+  if (kind == "er")
+    return builders::erdos_renyi_dag(parse_int(arg(1), "n"),
+                                     parse_double(arg(2), "p"),
+                                     static_cast<std::uint64_t>(parse_int(arg(3), "seed")));
+  if (kind == "grid")
+    return builders::grid(static_cast<int>(parse_int(arg(1), "rows")),
+                          static_cast<int>(parse_int(arg(2), "cols")));
+  if (kind == "tree")
+    return builders::binary_tree(static_cast<int>(parse_int(arg(1), "depth")));
+  if (kind == "path") return builders::path(parse_int(arg(1), "n"));
+  if (kind == "inner")
+    return builders::inner_product(static_cast<int>(parse_int(arg(1), "m")));
+  if (kind == "stencil1d")
+    return builders::stencil1d(static_cast<int>(parse_int(arg(1), "cells")),
+                               static_cast<int>(parse_int(arg(2), "steps")));
+  if (kind == "stencil2d")
+    return builders::stencil2d(static_cast<int>(parse_int(arg(1), "rows")),
+                               static_cast<int>(parse_int(arg(2), "cols")),
+                               static_cast<int>(parse_int(arg(3), "steps")));
+  if (kind == "scan")
+    return builders::prefix_scan(static_cast<int>(parse_int(arg(1), "log n")));
+  if (kind == "bitonic")
+    return builders::bitonic_sort(static_cast<int>(parse_int(arg(1), "log n")));
+  if (kind == "trisolve")
+    return builders::triangular_solve(static_cast<int>(parse_int(arg(1), "n")));
+  if (kind == "cholesky")
+    return builders::cholesky(static_cast<int>(parse_int(arg(1), "n")));
+  usage("unknown graph '" + spec + "' (not a family spec or existing file)");
+}
+
+struct Args {
+  std::string command;
+  std::string graph;
+  double memory = -1.0;
+  std::int64_t processors = 1;
+  std::string method = "spectral";
+  std::string out;
+  int count = 16;
+  std::int64_t iterations = 4000;
+  std::string levels = "8,64,512";
+  bool plain = false;
+  bool json = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  if (argc < 3) usage();
+  Args a;
+  a.command = argv[1];
+  a.graph = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("flag " + flag + " needs a value");
+      return argv[++i];
+    };
+    if (flag == "--memory") a.memory = parse_double(next(), "memory");
+    else if (flag == "--processors") a.processors = parse_int(next(), "processors");
+    else if (flag == "--method") a.method = next();
+    else if (flag == "--out") a.out = next();
+    else if (flag == "--count") a.count = static_cast<int>(parse_int(next(), "count"));
+    else if (flag == "--iterations") a.iterations = parse_int(next(), "iterations");
+    else if (flag == "--levels") a.levels = next();
+    else if (flag == "--plain") a.plain = true;
+    else if (flag == "--json") a.json = true;
+    else usage("unknown flag '" + flag + "'");
+  }
+  return a;
+}
+
+void require_memory(const Args& a) {
+  if (a.memory < 1.0) usage("command '" + a.command + "' needs --memory M (>= 1)");
+}
+
+int cmd_generate(const Args& a, const Digraph& g) {
+  if (a.out.empty()) {
+    io::write_edgelist(std::cout, g);
+  } else {
+    io::save_edgelist(a.out, g);
+    std::cout << "wrote " << g.num_vertices() << " vertices, "
+              << g.num_edges() << " edges to " << a.out << "\n";
+  }
+  return 0;
+}
+
+int cmd_info(const Args& a, const Digraph& g) {
+  if (a.json) {
+    std::cout << io::graph_to_json(g) << "\n";
+    return 0;
+  }
+  Table t({"property", "value"});
+  t.add_row({"vertices", std::to_string(g.num_vertices())});
+  t.add_row({"edges", std::to_string(g.num_edges())});
+  t.add_row({"sources", std::to_string(g.sources().size())});
+  t.add_row({"sinks", std::to_string(g.sinks().size())});
+  t.add_row({"max in-degree", std::to_string(g.max_in_degree())});
+  t.add_row({"max out-degree", std::to_string(g.max_out_degree())});
+  t.add_row({"acyclic", topological_order(g).has_value() ? "yes" : "no"});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_bound(const Args& a, const Digraph& g) {
+  require_memory(a);
+  const bool all = a.method == "all";
+  io::JsonWriter json;
+  Table table({"method", "bound", "detail", "seconds"});
+  if (a.json) json.begin_object();
+
+  auto emit = [&](const std::string& name, double bound,
+                  const std::string& detail, double seconds) {
+    if (a.json) {
+      json.key(name).begin_object();
+      json.key("bound").value(bound);
+      json.key("detail").value(detail);
+      json.key("seconds").value(seconds);
+      json.end_object();
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.6g", bound);
+      char sec[32];
+      std::snprintf(sec, sizeof sec, "%.3f", seconds);
+      table.add_row({name, buf, detail, sec});
+    }
+  };
+
+  if (all || a.method == "spectral") {
+    const SpectralBound b =
+        a.processors > 1
+            ? parallel_spectral_bound(g, a.memory, a.processors)
+            : spectral_bound(g, a.memory);
+    emit("spectral", b.bound, "k=" + std::to_string(b.best_k), b.seconds);
+  }
+  if (all || a.method == "plain") {
+    const SpectralBound b = spectral_bound_plain(g, a.memory);
+    emit("spectral-plain", b.bound, "k=" + std::to_string(b.best_k),
+         b.seconds);
+  }
+  if (all || a.method == "mincut") {
+    const auto b = flow::convex_mincut_bound(g, a.memory);
+    emit("convex-mincut", b.bound,
+         "C(v)=" + std::to_string(b.best_cut), b.seconds);
+  }
+  if (all) {
+    const auto upper = sim::best_schedule_io(g, static_cast<std::int64_t>(a.memory));
+    emit("best-schedule (upper)", static_cast<double>(upper.total()),
+         "reads+writes", 0.0);
+  }
+  if (a.json) {
+    json.end_object();
+    std::cout << json.str() << "\n";
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_spectrum(const Args& a, const Digraph& g) {
+  SpectralOptions opts;
+  bool converged = true;
+  const auto kind = a.plain ? LaplacianKind::kPlain
+                            : LaplacianKind::kOutDegreeNormalized;
+  const auto values =
+      smallest_laplacian_eigenvalues(g, kind, a.count, opts, &converged);
+  if (a.json) {
+    io::JsonWriter w;
+    w.begin_object();
+    w.key("kind").value(a.plain ? "plain" : "out-degree-normalized");
+    w.key("converged").value(converged);
+    w.key("values").begin_array();
+    for (double v : values) w.value(v);
+    w.end_array();
+    w.end_object();
+    std::cout << w.str() << "\n";
+    return 0;
+  }
+  std::printf("# %zu smallest eigenvalues (%s Laplacian)%s\n", values.size(),
+              a.plain ? "plain" : "out-degree-normalized",
+              converged ? "" : "  [NOT fully converged]");
+  for (std::size_t i = 0; i < values.size(); ++i)
+    std::printf("lambda_%zu = %.12g\n", i + 1, values[i]);
+  return 0;
+}
+
+int cmd_simulate(const Args& a, const Digraph& g) {
+  require_memory(a);
+  const auto m = static_cast<std::int64_t>(a.memory);
+  Table t({"schedule", "reads", "writes", "total"});
+  auto row = [&](const std::string& name, const sim::SimResult& r) {
+    t.add_row({name, std::to_string(r.reads), std::to_string(r.writes),
+               std::to_string(r.total())});
+  };
+  row("natural", sim::simulate_io(g, *topological_order(g), m));
+  row("dfs", sim::simulate_io(g, dfs_topological_order(g), m));
+  row("greedy-locality", sim::simulate_io(g, sim::greedy_locality_order(g), m));
+  row("best-of-all", sim::best_schedule_io(g, m));
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_exact(const Args& a, const Digraph& g) {
+  require_memory(a);
+  exact::ExactOptions opts;
+  opts.reconstruct_order = true;
+  const auto r = exact::exact_optimal_io(
+      g, static_cast<std::int64_t>(a.memory), opts);
+  if (!r.complete) {
+    std::cout << "search hit the state cap (" << r.states_expanded
+              << " states) — no exact answer\n";
+    return 1;
+  }
+  std::cout << "J* = " << r.io << "   (" << r.states_expanded
+            << " states expanded)\n";
+  std::cout << "optimal order:";
+  for (VertexId v : r.order) std::cout << ' ' << v;
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_anneal(const Args& a, const Digraph& g) {
+  require_memory(a);
+  if (g.max_in_degree() > static_cast<std::int64_t>(a.memory))
+    usage("no feasible schedule: max in-degree exceeds --memory");
+  sim::AnnealOptions opts;
+  opts.iterations = a.iterations;
+  const sim::AnnealResult r =
+      sim::anneal_schedule(g, static_cast<std::int64_t>(a.memory), opts);
+  const SpectralBound lower = spectral_bound(g, a.memory);
+  std::cout << "start schedule I/O:   " << r.start_io << "\n"
+            << "annealed schedule:    " << r.io << "  ("
+            << r.moves_accepted << "/" << r.moves_attempted
+            << " moves accepted)\n"
+            << "spectral lower bound: " << lower.bound << "\n";
+  if (!a.out.empty()) {
+    io::JsonWriter w;
+    w.begin_object();
+    w.key("io").value(r.io);
+    w.key("order").begin_array();
+    for (VertexId v : r.order) w.value(v);
+    w.end_array();
+    w.end_object();
+    std::ofstream out(a.out);
+    out << w.str() << "\n";
+    std::cout << "wrote annealed order to " << a.out << "\n";
+  }
+  return 0;
+}
+
+int cmd_parallel(const Args& a, const Digraph& g) {
+  require_memory(a);
+  const auto m = static_cast<std::int64_t>(a.memory);
+  Table t({"p", "Theorem 6 bound", "sim busiest", "sim aggregate"});
+  for (std::int64_t p = 1; p <= a.processors; p *= 2) {
+    const SpectralBound b = parallel_spectral_bound(g, a.memory, p);
+    std::string busiest = "-";
+    std::string aggregate = "-";
+    if (g.max_in_degree() <= m) {
+      const auto r = sim::best_parallel_schedule_io(g, m, p);
+      busiest = std::to_string(r.max_total());
+      aggregate = std::to_string(r.sum_total());
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", b.bound);
+    t.add_row({std::to_string(p), buf, busiest, aggregate});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_hierarchy(const Args& a, const Digraph& g) {
+  std::vector<double> capacities;
+  for (const std::string& part : split(a.levels, ','))
+    capacities.push_back(parse_double(part, "level capacity"));
+  const HierarchyProfile profile = hierarchy_profile(g, capacities);
+  Table t({"level capacity", "traffic bound", "best k"});
+  for (const LevelTraffic& level : profile.levels) {
+    char cap[32];
+    char bound[32];
+    std::snprintf(cap, sizeof cap, "%.6g", level.capacity);
+    std::snprintf(bound, sizeof bound, "%.6g", level.traffic_bound);
+    t.add_row({cap, bound, std::to_string(level.best_k)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse_args(argc, argv);
+    const Digraph g = resolve_graph(a.graph);
+    if (a.command == "generate") return cmd_generate(a, g);
+    if (a.command == "info") return cmd_info(a, g);
+    if (a.command == "bound") return cmd_bound(a, g);
+    if (a.command == "spectrum") return cmd_spectrum(a, g);
+    if (a.command == "simulate") return cmd_simulate(a, g);
+    if (a.command == "exact") return cmd_exact(a, g);
+    if (a.command == "anneal") return cmd_anneal(a, g);
+    if (a.command == "parallel") return cmd_parallel(a, g);
+    if (a.command == "hierarchy") return cmd_hierarchy(a, g);
+    usage("unknown command '" + a.command + "'");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
