@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <utility>
 
 namespace graphio::bench {
 
@@ -41,14 +42,57 @@ void print_header(const std::string& title, const std::string& anchor,
             << to_string(args.scale) << "\n\n";
 }
 
+engine::Engine& shared_engine() {
+  static engine::Engine instance;
+  return instance;
+}
+
+engine::BoundReport run(const std::string& spec,
+                        std::vector<double> memories,
+                        std::vector<std::string> methods,
+                        const RunOptions& options) {
+  engine::BoundRequest request;
+  request.spec = spec;
+  request.memories = std::move(memories);
+  request.methods = std::move(methods);
+  request.spectral = options.spectral;
+  request.mincut.time_budget_seconds = options.mincut_budget_seconds;
+  if (shared_engine().graph(spec).num_vertices() >
+      options.mincut_max_vertices) {
+    std::erase(request.methods, std::string("mincut"));
+    if (request.methods.empty()) {
+      // An empty method list means "all" to the Engine — which would
+      // re-enable the min-cut sweep the cap just excluded. Return an
+      // empty report instead.
+      engine::BoundReport report;
+      report.graph = request.display_name();
+      report.vertices = shared_engine().graph(spec).num_vertices();
+      report.edges = shared_engine().graph(spec).num_edges();
+      report.memories = request.memories;
+      return report;
+    }
+  }
+  return shared_engine().evaluate(request);
+}
+
+double cell(const engine::BoundReport& report, std::string_view method,
+            double memory) {
+  const engine::MethodRow* row = report.row(method, memory);
+  if (row == nullptr || !row->applicable) return std::nan("");
+  if (method == "mincut" && !row->converged) return std::nan("");
+  return row->value;
+}
+
 double mincut_or_nan(const Digraph& g, double memory,
                      std::int64_t max_vertices, double budget_seconds) {
   if (g.num_vertices() > max_vertices) return std::nan("");
-  flow::ConvexMinCutOptions options;
-  options.time_budget_seconds = budget_seconds;
-  const auto result = flow::convex_mincut_bound(g, memory, options);
-  if (!result.completed) return std::nan("");
-  return result.bound;
+  engine::BoundRequest request;
+  request.graph = g;
+  request.memories = {memory};
+  request.methods = {"mincut"};
+  request.mincut.time_budget_seconds = budget_seconds;
+  const engine::BoundReport report = shared_engine().evaluate(request);
+  return cell(report, "mincut", memory);
 }
 
 void finish(Table& table, const BenchArgs& args) {

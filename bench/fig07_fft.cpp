@@ -11,17 +11,18 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 7: FFT I/O bound vs graph size",
                       "Jain & Zaharia SPAA'20, Figure 7", args);
 
-  int l_max = 10;            // n = 11·1024 = 11264 (Lanczos path)
-  std::int64_t mincut_cap = 700;   // min-cut O(n·maxflow) explodes beyond this
-  double mincut_budget = 60.0;
+  bench::RunOptions options;
+  int l_max = 10;                       // n = 11·1024 = 11264 (Lanczos path)
+  options.mincut_max_vertices = 700;    // min-cut O(n·maxflow) explodes beyond
+  options.mincut_budget_seconds = 60.0;
   if (args.scale == BenchScale::kQuick) {
     l_max = 6;
-    mincut_cap = 200;
-    mincut_budget = 10.0;
+    options.mincut_max_vertices = 200;
+    options.mincut_budget_seconds = 10.0;
   } else if (args.scale == BenchScale::kPaper) {
-    l_max = 12;              // the paper's full range
-    mincut_cap = 1600;
-    mincut_budget = 3600.0;
+    l_max = 12;                         // the paper's full range
+    options.mincut_max_vertices = 1600;
+    options.mincut_budget_seconds = 3600.0;
   }
 
   const std::vector<double> memories{4.0, 8.0, 16.0};
@@ -35,23 +36,24 @@ int main(int argc, char** argv) {
   Table table(std::move(header));
 
   for (int l = 3; l <= l_max; ++l) {
-    const Digraph g = builders::fft(l);
-    std::vector<std::string> row{format_int(l), format_int(g.num_vertices()),
+    const std::string spec = "fft:" + std::to_string(l);
+    // One Engine request per graph: the eigendecomposition and the min-cut
+    // wavefront sweep are each computed once and reused across all M.
+    const engine::BoundReport report =
+        bench::run(spec, memories, {"spectral", "mincut"}, options);
+    std::vector<std::string> row{format_int(l), format_int(report.vertices),
                                  format_double(published::fft_growth(l), 0)};
-    // One eigendecomposition serves every memory size (spectra are M-free).
-    const std::vector<SpectralBound> spectral = spectral_bounds(g, memories);
-    for (std::size_t i = 0; i < memories.size(); ++i) {
-      const double m = memories[i];
-      if (static_cast<double>(g.max_in_degree()) > m) {
+    const std::int64_t in_degree =
+        bench::shared_engine().graph(spec).max_in_degree();
+    for (double m : memories) {
+      if (static_cast<double>(in_degree) > m) {
         row.insert(row.end(), {"-", "-", "-"});  // paper's feasibility rule
         continue;
       }
-      const double mincut =
-          bench::mincut_or_nan(g, m, mincut_cap, mincut_budget);
-      row.push_back(format_double(spectral[i].bound, 1));
-      row.push_back(format_double(mincut, 1));
-      row.push_back(
-          format_double(spectral[i].bound / published::fft_growth(l), 4));
+      const double spectral = bench::cell(report, "spectral", m);
+      row.push_back(format_double(spectral, 1));
+      row.push_back(format_double(bench::cell(report, "mincut", m), 1));
+      row.push_back(format_double(spectral / published::fft_growth(l), 4));
     }
     table.add_row(std::move(row));
   }

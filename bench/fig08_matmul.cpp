@@ -14,19 +14,19 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 8: naive matmul I/O bound vs matrix size",
                       "Jain & Zaharia SPAA'20, Figure 8", args);
 
+  bench::RunOptions options;
   int n_max = 40;
-  std::int64_t mincut_cap = 4000;
-  double mincut_budget = 60.0;
-  SpectralOptions options;
+  options.mincut_max_vertices = 4000;
+  options.mincut_budget_seconds = 60.0;
   if (args.scale == BenchScale::kQuick) {
     n_max = 16;
-    mincut_cap = 1500;
-    mincut_budget = 10.0;
+    options.mincut_max_vertices = 1500;
+    options.mincut_budget_seconds = 10.0;
   } else if (args.scale == BenchScale::kPaper) {
     n_max = 64;
-    mincut_cap = 8000;
-    mincut_budget = 600.0;
-    options.lanczos.max_basis = 256;
+    options.mincut_max_vertices = 8000;
+    options.mincut_budget_seconds = 600.0;
+    options.spectral.lanczos.max_basis = 256;
   }
 
   const std::vector<double> memories{32.0, 64.0, 128.0};
@@ -39,22 +39,19 @@ int main(int argc, char** argv) {
   Table table(std::move(header));
 
   for (int n = 4; n <= n_max; n += 4) {
-    const Digraph g = builders::naive_matmul(n, builders::Reduction::kNary);
+    const std::string spec = "matmul:" + std::to_string(n);
+    const engine::BoundReport report =
+        bench::run(spec, memories, {"spectral", "mincut"}, options);
     std::vector<std::string> row{
-        format_int(n), format_int(g.num_vertices()),
+        format_int(n), format_int(report.vertices),
         format_double(published::matmul_growth(n), 0)};
-    // One eigendecomposition serves every memory size (spectra are M-free).
-    const std::vector<SpectralBound> spectral =
-        spectral_bounds(g, memories, options);
-    for (std::size_t i = 0; i < memories.size(); ++i) {
-      const double m = memories[i];
-      if (static_cast<double>(g.max_in_degree()) > m) {
+    for (double m : memories) {
+      if (static_cast<double>(n) > m) {  // max in-degree is n (n-ary sums)
         row.insert(row.end(), {"-", "-"});
         continue;
       }
-      row.push_back(format_double(spectral[i].bound, 1));
-      row.push_back(format_double(
-          bench::mincut_or_nan(g, m, mincut_cap, mincut_budget), 1));
+      row.push_back(format_double(bench::cell(report, "spectral", m), 1));
+      row.push_back(format_double(bench::cell(report, "mincut", m), 1));
     }
     table.add_row(std::move(row));
   }

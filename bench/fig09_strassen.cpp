@@ -9,17 +9,17 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 9: Strassen I/O bound vs matrix size",
                       "Jain & Zaharia SPAA'20, Figure 9", args);
 
+  bench::RunOptions options;
   int n_max = 16;
-  std::int64_t mincut_cap = 3000;
-  double mincut_budget = 60.0;
+  options.mincut_max_vertices = 3000;
+  options.mincut_budget_seconds = 60.0;
   if (args.scale == BenchScale::kQuick) {
     n_max = 8;
-    mincut_cap = 700;
-    mincut_budget = 10.0;
+    options.mincut_max_vertices = 700;
+    options.mincut_budget_seconds = 10.0;
   } else if (args.scale == BenchScale::kPaper) {
     n_max = 32;  // one size past the paper's 16 — the method scales
-    mincut_cap = 3000;
-    mincut_budget = 600.0;
+    options.mincut_budget_seconds = 600.0;
   }
 
   const std::vector<double> memories{8.0, 16.0};
@@ -33,34 +33,41 @@ int main(int argc, char** argv) {
   Table table(std::move(header));
 
   for (int n = 4; n <= n_max; n *= 2) {
-    const Digraph g = builders::strassen_matmul(n);
+    const std::string spec = "strassen:" + std::to_string(n);
     const double growth = published::strassen_growth(n);
-    std::vector<std::string> row{format_int(n), format_int(g.num_vertices()),
-                                 format_double(growth, 0)};
-    // One eigendecomposition serves every memory size (spectra are M-free).
     // Strassen's recursive graph has a tightly clustered near-zero
     // spectrum that defeats Krylov solvers without shift-invert (the
     // authors used ARPACK's shift-invert eigsh); past the dense-rescue
     // size we either pay the dense path (paper scale) or report "nc".
-    SpectralOptions options;
-    if (args.scale == BenchScale::kPaper && g.num_vertices() > 4096)
-      options.backend = EigenBackend::kDense;
-    const std::vector<SpectralBound> spectral =
-        spectral_bounds(g, memories, options);
-    for (std::size_t i = 0; i < memories.size(); ++i) {
-      const double m = memories[i];
-      if (static_cast<double>(g.max_in_degree()) > m) {
+    bench::RunOptions run_options = options;
+    if (args.scale == BenchScale::kPaper &&
+        bench::shared_engine().graph(spec).num_vertices() > 4096)
+      run_options.spectral.backend = EigenBackend::kDense;
+    const engine::BoundReport report =
+        bench::run(spec, memories, {"spectral", "mincut"}, run_options);
+    const std::int64_t in_degree =
+        bench::shared_engine().graph(spec).max_in_degree();
+    std::vector<std::string> row{format_int(n), format_int(report.vertices),
+                                 format_double(growth, 0)};
+    for (double m : memories) {
+      if (static_cast<double>(in_degree) > m) {
         row.insert(row.end(), {"-", "-", "-"});
         continue;
       }
-      const bool converged = spectral[i].eigensolver_converged ||
-                             !spectral[i].eigenvalues.empty();
-      row.push_back(converged ? format_double(spectral[i].bound, 1) : "nc");
-      row.push_back(format_double(
-          bench::mincut_or_nan(g, m, mincut_cap, mincut_budget), 1));
-      row.push_back(converged
-                        ? format_double(spectral[i].bound / growth, 4)
-                        : "nc");
+      const engine::MethodRow* spectral = report.row("spectral", m);
+      // "nc": the solver certified nothing (no spectrum prefix at all);
+      // a partial prefix still yields a valid, just weaker, bound.
+      const engine::ArtifactCache* cache = bench::shared_engine().cache(spec);
+      const bool certified =
+          spectral != nullptr &&
+          (spectral->converged ||
+           (cache != nullptr &&
+            cache->cached_spectrum_values(
+                LaplacianKind::kOutDegreeNormalized) > 0));
+      row.push_back(certified ? format_double(spectral->value, 1) : "nc");
+      row.push_back(format_double(bench::cell(report, "mincut", m), 1));
+      row.push_back(certified ? format_double(spectral->value / growth, 4)
+                              : "nc");
     }
     table.add_row(std::move(row));
   }

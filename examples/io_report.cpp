@@ -1,6 +1,6 @@
 // End-to-end pipeline on a user-supplied graph: load an edge-list file,
-// compute every bound the library offers plus a simulated upper bound, and
-// emit a machine-readable JSON report.
+// evaluate every bound family the library offers through the Engine, and
+// emit the machine-readable BoundReport JSON.
 //
 //   $ ./io_report <graph.edgelist> [memory] [report.json]
 //
@@ -16,67 +16,33 @@
 int main(int argc, char** argv) {
   using namespace graphio;
 
-  Digraph g;
-  std::string source;
+  engine::BoundRequest req;
   if (argc > 1) {
-    source = argv[1];
-    g = io::load_edgelist(source);
+    req.spec = argv[1];
   } else {
-    source = "strassen_8.edgelist (generated)";
-    g = builders::strassen_matmul(8);
-    io::save_edgelist("strassen_8.edgelist", g);
+    io::save_edgelist("strassen_8.edgelist", builders::strassen_matmul(8));
     std::cout << "no input given; wrote demo graph strassen_8.edgelist\n";
+    req.spec = "strassen_8.edgelist";
   }
   const double memory = argc > 2 ? std::atof(argv[2]) : 8.0;
   const std::string report_path =
       argc > 3 ? argv[3] : std::string("io_report.json");
 
-  std::cout << "graph: " << source << " — " << g.num_vertices()
-            << " vertices, " << g.num_edges() << " edges, max in-degree "
-            << g.max_in_degree() << "\n";
+  req.memories = {memory};
+  req.methods = {"all"};
 
-  // Lower bounds.
-  const SpectralBound theorem4 = spectral_bound(g, memory);
-  const SpectralBound theorem5 = spectral_bound_plain(g, memory);
-  const auto mincut = flow::convex_mincut_bound(g, memory);
-  std::cout << "Theorem 4 (normalized Laplacian): " << theorem4.bound
-            << "  [best k=" << theorem4.best_k << "]\n"
-            << "Theorem 5 (plain Laplacian):      " << theorem5.bound << "\n"
-            << "convex min-cut baseline:          " << mincut.bound << "\n";
+  Engine engine;
+  const engine::BoundReport report = engine.evaluate(req);
 
-  // Upper bound — only defined when every operand set fits in memory.
-  std::int64_t upper = -1;
-  if (static_cast<double>(g.max_in_degree()) <= memory) {
-    sim::AnnealOptions anneal;
-    anneal.iterations = g.num_vertices() > 3000 ? 200 : 1500;
-    upper = sim::anneal_schedule(g, static_cast<std::int64_t>(memory), anneal)
-                .io;
-    std::cout << "annealed schedule (upper bound):  " << upper << "\n";
-  } else {
-    std::cout << "no feasible schedule: max in-degree exceeds M\n";
-  }
-
-  // JSON report.
-  io::JsonWriter json;
-  json.begin_object();
-  json.key("source").value(source);
-  json.key("vertices").value(g.num_vertices());
-  json.key("edges").value(g.num_edges());
-  json.key("memory").value(memory);
-  json.key("bounds").begin_object();
-  json.key("spectral_theorem4").value(theorem4.bound);
-  json.key("spectral_best_k").value(theorem4.best_k);
-  json.key("spectral_theorem5").value(theorem5.bound);
-  json.key("convex_mincut").value(mincut.bound);
-  json.end_object();
-  json.key("eigenvalues_used").begin_array();
-  for (double lambda : theorem4.eigenvalues) json.value(lambda);
-  json.end_array();
-  if (upper >= 0) json.key("annealed_upper_bound").value(upper);
-  json.end_object();
+  std::cout << "graph: " << report.graph << " — " << report.vertices
+            << " vertices, " << report.edges << " edges\n\n";
+  report.to_table().print(std::cout);
+  std::cout << "\ncache: " << report.cache.misses << " artifacts computed, "
+            << report.cache.hits << " reused, " << report.cache.eigensolves
+            << " eigensolves\n";
 
   std::ofstream out(report_path);
-  out << json.str() << "\n";
+  out << report.to_json() << "\n";
   std::cout << "wrote " << report_path << "\n";
   return 0;
 }

@@ -1,5 +1,6 @@
-// Quickstart: bound the I/O of an FFT with three lines of library code,
-// then sanity-check the bound against real simulated schedules.
+// Quickstart: bound the I/O of an FFT through the unified Engine — one
+// request evaluates the spectral lower bound, the min-cut baseline, and a
+// simulated upper bound, sharing every reusable artifact.
 //
 //   $ ./quickstart [levels] [memory]
 #include <cstdlib>
@@ -11,27 +12,26 @@ int main(int argc, char** argv) {
   const int levels = argc > 1 ? std::atoi(argv[1]) : 8;
   const double memory = argc > 2 ? std::atof(argv[2]) : 16.0;
 
-  // 1. Build (or trace) a computation graph.
-  const graphio::Digraph g = graphio::builders::fft(levels);
-  std::cout << "2^" << levels << "-point FFT butterfly: " << g.num_vertices()
-            << " vertices, " << g.num_edges() << " edges\n";
+  // 1. Describe the analysis: graph, memory sweep, method set.
+  graphio::engine::BoundRequest req;
+  req.spec = "fft:" + std::to_string(levels);
+  req.memories = {memory};
+  req.methods = {"spectral", "mincut", "memsim"};
 
-  // 2. Spectral lower bound (Theorem 4) — valid for ANY evaluation order.
-  const graphio::SpectralBound lower = graphio::spectral_bound(g, memory);
-  std::cout << "spectral lower bound (M=" << memory << "): " << lower.bound
-            << "  (best k=" << lower.best_k << ", "
-            << lower.seconds * 1e3 << " ms)\n";
+  // 2. Evaluate. The Engine builds the graph, computes shared artifacts
+  //    (spectrum, wavefront cuts) once, and runs every method.
+  graphio::Engine engine;
+  const graphio::engine::BoundReport report = engine.evaluate(req);
 
-  // 3. Compare with the convex min-cut baseline and a real schedule.
-  const auto mincut = graphio::flow::convex_mincut_bound(g, memory);
-  std::cout << "convex min-cut baseline:    " << mincut.bound << "\n";
+  std::cout << "2^" << levels << "-point FFT butterfly: " << report.vertices
+            << " vertices, " << report.edges << " edges\n\n";
+  report.to_table().print(std::cout);
 
-  const auto upper = graphio::sim::best_schedule_io(
-      g, static_cast<std::int64_t>(memory));
-  std::cout << "best simulated schedule:    " << upper.total()
-            << " I/Os (upper bound)\n";
-
-  std::cout << "sandwich: " << lower.bound << " <= J* <= " << upper.total()
-            << "\n";
+  // 3. The sandwich: every lower-bound row <= J* <= every upper-bound row.
+  const auto* lower = report.row("spectral", memory);
+  const auto* upper = report.row("memsim", memory);
+  if (lower != nullptr && upper != nullptr && upper->applicable)
+    std::cout << "\nsandwich: " << lower->value << " <= J* <= "
+              << upper->value << "\n";
   return 0;
 }

@@ -1,0 +1,111 @@
+#include "graphio/engine/artifact_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "graphio/graph/topo.hpp"
+#include "graphio/support/contracts.hpp"
+#include "graphio/support/timer.hpp"
+
+namespace graphio::engine {
+
+ArtifactCache::ArtifactCache(Digraph graph) : graph_(std::move(graph)) {}
+
+const std::vector<VertexId>& ArtifactCache::topo_order() {
+  if (topo_.has_value()) {
+    ++stats_.hits;
+    return *topo_;
+  }
+  ++stats_.misses;
+  auto order = topological_order(graph_);
+  GIO_EXPECTS_MSG(order.has_value(), "graph is cyclic");
+  topo_ = std::move(*order);
+  return *topo_;
+}
+
+const la::CsrMatrix& ArtifactCache::laplacian(LaplacianKind kind) {
+  const auto it = laplacians_.find(kind);
+  if (it != laplacians_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  return laplacians_.emplace(kind, graphio::laplacian(graph_, kind))
+      .first->second;
+}
+
+namespace {
+
+/// Options equality restricted to the fields that change what the
+/// eigensolver computes; a cached spectrum only satisfies requests made
+/// under equivalent options.
+bool solver_options_equal(const SpectralOptions& a,
+                          const SpectralOptions& b) {
+  return a.backend == b.backend && a.eig_rel_tol == b.eig_rel_tol &&
+         a.dense_threshold == b.dense_threshold &&
+         a.dense_rescue_threshold == b.dense_rescue_threshold &&
+         a.lanczos.block_size == b.lanczos.block_size &&
+         a.lanczos.max_basis == b.lanczos.max_basis &&
+         a.lanczos.stall_basis_cap == b.lanczos.stall_basis_cap &&
+         a.lanczos.max_cycles == b.lanczos.max_cycles;
+}
+
+}  // namespace
+
+const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
+    LaplacianKind kind, int count, const SpectralOptions& options) {
+  GIO_EXPECTS(count >= 0);
+  count = static_cast<int>(
+      std::min<std::int64_t>(count, graph_.num_vertices()));
+  const auto it = spectra_.find(kind);
+  // Hit on `requested`, not values.size(): a non-converged solve returns
+  // a shorter prefix, and re-running the identical failing solve would
+  // only repeat the most expensive case for the same partial answer.
+  if (it != spectra_.end() && it->second.requested >= count &&
+      solver_options_equal(spectra_options_.at(kind), options)) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  ++stats_.eigensolves;
+  ++eigensolves_by_kind_[kind];
+  WallTimer timer;
+  SpectrumArtifact artifact;
+  artifact.requested = count;
+  artifact.values = smallest_laplacian_eigenvalues(
+      graph_, kind, count, options, &artifact.converged);
+  artifact.seconds = timer.seconds();
+  spectra_options_.insert_or_assign(kind, options);
+  return spectra_.insert_or_assign(kind, std::move(artifact)).first->second;
+}
+
+std::int64_t ArtifactCache::cached_spectrum_values(
+    LaplacianKind kind) const noexcept {
+  const auto it = spectra_.find(kind);
+  return it == spectra_.end()
+             ? 0
+             : static_cast<std::int64_t>(it->second.values.size());
+}
+
+const flow::ConvexMinCutResult& ArtifactCache::max_wavefront_cut(
+    const flow::ConvexMinCutOptions& options) {
+  const auto it = max_cuts_.find(options.engine);
+  if (it != max_cuts_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  ++stats_.mincut_sweeps;
+  // Memory 0 keeps every cut relevant; per-M bounds derive from best_cut.
+  return max_cuts_
+      .emplace(options.engine,
+               flow::convex_mincut_bound(graph_, 0.0, options))
+      .first->second;
+}
+
+std::int64_t ArtifactCache::eigensolves(LaplacianKind kind) const noexcept {
+  const auto it = eigensolves_by_kind_.find(kind);
+  return it == eigensolves_by_kind_.end() ? 0 : it->second;
+}
+
+}  // namespace graphio::engine

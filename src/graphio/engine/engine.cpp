@@ -1,0 +1,159 @@
+#include "graphio/engine/engine.hpp"
+
+#include <utility>
+
+#include "graphio/engine/graph_spec.hpp"
+#include "graphio/support/contracts.hpp"
+#include "graphio/support/parallel.hpp"
+#include "graphio/support/timer.hpp"
+
+namespace graphio::engine {
+
+namespace {
+
+/// Resolves the request's method ids against the registry; empty or "all"
+/// selects everything. Throws on unknown ids.
+std::vector<const BoundMethod*> select_methods(const BoundRequest& request) {
+  bool all = request.methods.empty();
+  for (const std::string& id : request.methods)
+    if (id == "all") all = true;
+  if (all) return methods();
+  std::vector<const BoundMethod*> selected;
+  selected.reserve(request.methods.size());
+  for (const std::string& id : request.methods) {
+    const BoundMethod* method = find_method(id);
+    GIO_EXPECTS_MSG(method != nullptr, "unknown method '" + id + "'");
+    selected.push_back(method);
+  }
+  return selected;
+}
+
+}  // namespace
+
+BoundReport Engine::evaluate_with_cache(const BoundRequest& request,
+                                        ArtifactCache& cache) {
+  GIO_EXPECTS_MSG(!request.memories.empty(),
+                  "request needs at least one memory size");
+  for (double m : request.memories)
+    GIO_EXPECTS_MSG(m >= 0.0, "memory size must be non-negative");
+  GIO_EXPECTS(request.processors >= 1);
+  const std::vector<const BoundMethod*> selected = select_methods(request);
+
+  WallTimer timer;
+  const ArtifactCache::Stats before = cache.stats();
+
+  BoundReport report;
+  report.graph = request.display_name();
+  report.vertices = cache.graph().num_vertices();
+  report.edges = cache.graph().num_edges();
+  report.processors = request.processors;
+  report.memories = request.memories;
+
+  // Family metadata for the closed-form method: the spec, or a spec-shaped
+  // display name attached to an explicit graph.
+  std::optional<GraphSpec> spec;
+  if (!request.spec.empty()) spec = GraphSpec::try_parse(request.spec);
+  else if (!request.name.empty()) spec = GraphSpec::try_parse(request.name);
+
+  MethodContext ctx{cache, request, spec.has_value() ? &*spec : nullptr};
+  for (const BoundMethod* method : selected) {
+    std::vector<MethodRow> rows;
+    try {
+      rows = method->evaluate(ctx, request.memories);
+    } catch (const std::exception& e) {
+      // A method must never sink the whole report; surface the failure as
+      // inapplicable rows instead.
+      rows.clear();
+      for (double m : request.memories) {
+        MethodRow row;
+        row.method = std::string(method->id());
+        row.memory = m;
+        row.kind = method->kind();
+        row.applicable = false;
+        row.note = e.what();
+        rows.push_back(std::move(row));
+      }
+    }
+    report.rows.insert(report.rows.end(),
+                       std::make_move_iterator(rows.begin()),
+                       std::make_move_iterator(rows.end()));
+  }
+
+  const ArtifactCache::Stats after = cache.stats();
+  report.cache.hits = after.hits - before.hits;
+  report.cache.misses = after.misses - before.misses;
+  report.cache.eigensolves = after.eigensolves - before.eigensolves;
+  report.cache.mincut_sweeps = after.mincut_sweeps - before.mincut_sweeps;
+  report.seconds = timer.seconds();
+  return report;
+}
+
+ArtifactCache& Engine::ensure_cache(const std::string& spec) {
+  GIO_EXPECTS_MSG(!spec.empty(),
+                  "request needs a graph spec or an explicit graph");
+  auto it = caches_.find(spec);
+  if (it == caches_.end()) {
+    it = caches_
+             .emplace(spec, std::make_unique<ArtifactCache>(
+                                GraphSpec::parse(spec).build()))
+             .first;
+  }
+  return *it->second;
+}
+
+BoundReport Engine::evaluate(const BoundRequest& request) {
+  if (request.graph.has_value()) {
+    // Explicit graphs get a private cache: the Engine cannot tell whether
+    // two Digraph values are the same computation.
+    ArtifactCache cache(*request.graph);
+    return evaluate_with_cache(request, cache);
+  }
+  return evaluate_with_cache(request, ensure_cache(request.spec));
+}
+
+const Digraph& Engine::graph(const std::string& spec) {
+  return ensure_cache(spec).graph();
+}
+
+std::vector<BoundReport> Engine::evaluate_batch(
+    std::span<const BoundRequest> requests, bool parallel) {
+  std::vector<BoundReport> reports(requests.size());
+  if (!parallel) {
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      reports[i] = evaluate(requests[i]);
+    return reports;
+  }
+  // Parallel path: private caches per request keep the fan-out race-free
+  // without locking the persistent cache map.
+  std::vector<std::string> errors(requests.size());
+  parallel_for_dynamic(static_cast<std::int64_t>(requests.size()),
+                       [&](std::int64_t i) {
+                         const BoundRequest& request =
+                             requests[static_cast<std::size_t>(i)];
+                         try {
+                           Digraph g = request.graph.has_value()
+                                           ? *request.graph
+                                           : GraphSpec::parse(request.spec)
+                                                 .build();
+                           ArtifactCache cache(std::move(g));
+                           reports[static_cast<std::size_t>(i)] =
+                               evaluate_with_cache(request, cache);
+                         } catch (const std::exception& e) {
+                           errors[static_cast<std::size_t>(i)] = e.what();
+                         }
+                       });
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    GIO_EXPECTS_MSG(errors[i].empty(), "request '" +
+                                           requests[i].display_name() +
+                                           "' failed: " + errors[i]);
+  return reports;
+}
+
+const ArtifactCache* Engine::cache(const std::string& spec) const {
+  const auto it = caches_.find(spec);
+  return it == caches_.end() ? nullptr : it->second.get();
+}
+
+void Engine::clear() { caches_.clear(); }
+
+}  // namespace graphio::engine

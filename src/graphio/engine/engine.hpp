@@ -1,0 +1,74 @@
+// Engine — the unified front door to every bound/estimate in the library.
+//
+//   engine::Engine eng;
+//   engine::BoundRequest req;
+//   req.spec = "fft:8";
+//   req.memories = {4, 8, 16};
+//   req.methods = {"all"};
+//   engine::BoundReport report = eng.evaluate(req);
+//   std::cout << report.to_json() << "\n";
+//
+// The Engine owns one ArtifactCache per spec-addressed graph, so the
+// expensive shared artifacts — topological orders, Laplacians,
+// eigen-spectra, wavefront cut sweeps — are computed once and reused
+// across every method, every M of a sweep, and every later request for
+// the same spec. Batch evaluation over multiple graphs fans out through
+// support/parallel.hpp.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graphio/engine/artifact_cache.hpp"
+#include "graphio/engine/report.hpp"
+#include "graphio/engine/request.hpp"
+
+namespace graphio::engine {
+
+class Engine {
+ public:
+  Engine() = default;
+
+  /// Evaluates one request: resolves the graph (building it on first use
+  /// of a spec), runs every selected method over the memory sweep, and
+  /// returns the structured report. Throws contract_error on malformed
+  /// requests (unknown method id, empty sweep, unresolvable spec);
+  /// per-method failures are reported as inapplicable rows, not thrown.
+  BoundReport evaluate(const BoundRequest& request);
+
+  /// Evaluates many requests, fanning out through support/parallel.hpp.
+  /// Each parallel request uses a private ArtifactCache (the persistent
+  /// per-spec caches are only read by the serial path), so results match
+  /// sequential evaluation exactly.
+  std::vector<BoundReport> evaluate_batch(
+      std::span<const BoundRequest> requests, bool parallel = true);
+
+  /// Builds (or fetches from cache) the graph a spec resolves to without
+  /// evaluating anything — for callers that need structural facts (vertex
+  /// count, degrees) before shaping a request.
+  const Digraph& graph(const std::string& spec);
+
+  /// The cache backing a spec, or nullptr if that spec has not been
+  /// evaluated yet (test/introspection hook).
+  [[nodiscard]] const ArtifactCache* cache(const std::string& spec) const;
+
+  /// Drops all cached graphs and artifacts.
+  void clear();
+
+ private:
+  ArtifactCache& ensure_cache(const std::string& spec);
+  BoundReport evaluate_with_cache(const BoundRequest& request,
+                                  ArtifactCache& cache);
+
+  std::unordered_map<std::string, std::unique_ptr<ArtifactCache>> caches_;
+};
+
+}  // namespace graphio::engine
+
+namespace graphio {
+// Headline alias: the Engine is the library's recommended entry point.
+using engine::Engine;
+}  // namespace graphio

@@ -1,0 +1,188 @@
+#include "graphio/engine/graph_spec.hpp"
+
+#include <charconv>
+#include <filesystem>
+
+#include "graphio/graph/builders.hpp"
+#include "graphio/io/edgelist.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::engine {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto end = s.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::int64_t parse_int(const std::string& s, const std::string& context) {
+  std::int64_t v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  GIO_EXPECTS_MSG(ec == std::errc() && p == s.data() + s.size(),
+                  "bad integer '" + s + "' in graph spec '" + context + "'");
+  return v;
+}
+
+double parse_double(const std::string& s, const std::string& context) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    GIO_EXPECTS_MSG(used == s.size(), "trailing characters");
+    return v;
+  } catch (const contract_error&) {
+    throw;
+  } catch (const std::exception&) {
+    GIO_EXPECTS_MSG(false,
+                    "bad number '" + s + "' in graph spec '" + context + "'");
+  }
+  return 0.0;  // unreachable
+}
+
+struct Family {
+  const char* name;
+  int min_params;
+  int max_params;
+  const char* help;
+};
+
+constexpr Family kFamilies[] = {
+    {"fft", 1, 1, "fft:L              2^L-point FFT butterfly"},
+    {"matmul", 1, 2, "matmul:N[:red]     naive N*N matmul (red: nary|chain|tree)"},
+    {"strassen", 1, 1, "strassen:N         Strassen N*N matmul (N a power of 2)"},
+    {"bhk", 1, 1, "bhk:L              Bellman-Held-Karp hypercube, L cities"},
+    {"er", 3, 3, "er:N:P:SEED        Erdos-Renyi DAG G(N, P)"},
+    {"grid", 2, 2, "grid:R:C           R*C grid with right/down edges"},
+    {"tree", 1, 1, "tree:D             binary reduction tree of depth D"},
+    {"path", 1, 1, "path:N             directed path on N vertices"},
+    {"inner", 1, 1, "inner:M            inner product of length-M vectors"},
+    {"stencil1d", 2, 2, "stencil1d:C:T      3-point stencil, C cells, T steps"},
+    {"stencil2d", 3, 3, "stencil2d:R:C:T    5-point stencil, R*C cells, T steps"},
+    {"scan", 1, 1, "scan:LOGN          Blelloch prefix scan on 2^LOGN inputs"},
+    {"bitonic", 1, 1, "bitonic:LOGN       bitonic sort on 2^LOGN wires"},
+    {"trisolve", 1, 1, "trisolve:N         triangular solve, N*N system"},
+    {"cholesky", 1, 1, "cholesky:N         dense Cholesky, N*N matrix"},
+};
+
+const Family* find_family(const std::string& name) {
+  for (const Family& f : kFamilies)
+    if (name == f.name) return &f;
+  return nullptr;
+}
+
+}  // namespace
+
+GraphSpec GraphSpec::parse(const std::string& text) {
+  GIO_EXPECTS_MSG(!text.empty(), "empty graph spec");
+  GraphSpec spec;
+  spec.text = text;
+  if (std::filesystem::exists(text)) {
+    spec.family = "file";
+    spec.params = {text};
+    return spec;
+  }
+  auto parts = split(text, ':');
+  spec.family = parts[0];
+  spec.params.assign(parts.begin() + 1, parts.end());
+  const Family* family = find_family(spec.family);
+  GIO_EXPECTS_MSG(family != nullptr,
+                  "unknown graph '" + text +
+                      "' (not a family spec or existing file)");
+  const int got = static_cast<int>(spec.params.size());
+  GIO_EXPECTS_MSG(got >= family->min_params && got <= family->max_params,
+                  "family spec '" + text + "' takes " +
+                      std::to_string(family->min_params) +
+                      (family->min_params == family->max_params
+                           ? ""
+                           : ".." + std::to_string(family->max_params)) +
+                      " argument(s)");
+  return spec;
+}
+
+std::optional<GraphSpec> GraphSpec::try_parse(const std::string& text) {
+  try {
+    return parse(text);
+  } catch (const contract_error&) {
+    return std::nullopt;
+  }
+}
+
+std::int64_t GraphSpec::int_param(std::size_t i) const {
+  GIO_EXPECTS_MSG(i < params.size(), "spec '" + text + "': missing argument");
+  return parse_int(params[i], text);
+}
+
+double GraphSpec::double_param(std::size_t i) const {
+  GIO_EXPECTS_MSG(i < params.size(), "spec '" + text + "': missing argument");
+  return parse_double(params[i], text);
+}
+
+Digraph GraphSpec::build() const {
+  if (family == "file") return io::load_edgelist(params.at(0));
+  if (family == "fft") return builders::fft(static_cast<int>(int_param(0)));
+  if (family == "matmul") {
+    builders::Reduction red = builders::Reduction::kNary;
+    if (params.size() > 1) {
+      if (params[1] == "nary") red = builders::Reduction::kNary;
+      else if (params[1] == "chain") red = builders::Reduction::kChain;
+      else if (params[1] == "tree") red = builders::Reduction::kBinaryTree;
+      else GIO_EXPECTS_MSG(false, "unknown reduction '" + params[1] + "'");
+    }
+    return builders::naive_matmul(static_cast<int>(int_param(0)), red);
+  }
+  if (family == "strassen")
+    return builders::strassen_matmul(static_cast<int>(int_param(0)));
+  if (family == "bhk")
+    return builders::bhk_hypercube(static_cast<int>(int_param(0)));
+  if (family == "er")
+    return builders::erdos_renyi_dag(
+        int_param(0), double_param(1),
+        static_cast<std::uint64_t>(int_param(2)));
+  if (family == "grid")
+    return builders::grid(static_cast<int>(int_param(0)),
+                          static_cast<int>(int_param(1)));
+  if (family == "tree")
+    return builders::binary_tree(static_cast<int>(int_param(0)));
+  if (family == "path") return builders::path(int_param(0));
+  if (family == "inner")
+    return builders::inner_product(static_cast<int>(int_param(0)));
+  if (family == "stencil1d")
+    return builders::stencil1d(static_cast<int>(int_param(0)),
+                               static_cast<int>(int_param(1)));
+  if (family == "stencil2d")
+    return builders::stencil2d(static_cast<int>(int_param(0)),
+                               static_cast<int>(int_param(1)),
+                               static_cast<int>(int_param(2)));
+  if (family == "scan")
+    return builders::prefix_scan(static_cast<int>(int_param(0)));
+  if (family == "bitonic")
+    return builders::bitonic_sort(static_cast<int>(int_param(0)));
+  if (family == "trisolve")
+    return builders::triangular_solve(static_cast<int>(int_param(0)));
+  if (family == "cholesky")
+    return builders::cholesky(static_cast<int>(int_param(0)));
+  GIO_EXPECTS_MSG(false, "unknown graph family '" + family + "'");
+  return Digraph{};  // unreachable
+}
+
+std::string family_help() {
+  std::string out;
+  for (const Family& f : kFamilies) {
+    out += "  ";
+    out += f.help;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace graphio::engine

@@ -1,0 +1,49 @@
+// Textual graph specifications — the shared grammar of the CLI, benches,
+// and Engine requests.
+//
+// A spec is either a family descriptor `family[:arg[:arg...]]` covering
+// every builder in graph/builders.hpp, or a path to a graphio-edgelist
+// file. Centralizing the grammar here means the CLI, the Engine, and any
+// batch driver resolve graphs identically, and methods that need family
+// structure (the Section 5 closed forms) can recover it from the spec
+// instead of re-deriving it from the graph.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graphio/graph/digraph.hpp"
+
+namespace graphio::engine {
+
+struct GraphSpec {
+  /// The original spec text ("fft:8", "runs/my_graph.gel").
+  std::string text;
+  /// Family name ("fft", "bhk", ...) or "file" for edge-list paths.
+  std::string family;
+  /// Raw arguments after the family name (the path, for "file").
+  std::vector<std::string> params;
+
+  /// Parses a family spec or file path. A spec naming an existing file is
+  /// always treated as a file. Throws contract_error on an unknown family
+  /// or malformed arguments.
+  static GraphSpec parse(const std::string& text);
+
+  /// As parse(), but returns nullopt instead of throwing — used to probe
+  /// whether a display name doubles as a spec (analytic closed forms).
+  static std::optional<GraphSpec> try_parse(const std::string& text);
+
+  /// Builds (family) or loads (file) the graph. Throws on I/O errors.
+  [[nodiscard]] Digraph build() const;
+
+  /// Integer / double parameter accessors (bounds-checked, throwing).
+  [[nodiscard]] std::int64_t int_param(std::size_t i) const;
+  [[nodiscard]] double double_param(std::size_t i) const;
+};
+
+/// One-line-per-family help text for CLI usage screens.
+std::string family_help();
+
+}  // namespace graphio::engine

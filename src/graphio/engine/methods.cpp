@@ -1,0 +1,382 @@
+#include <algorithm>
+#include <cmath>
+
+#include "graphio/core/analytic_bounds.hpp"
+#include "graphio/core/partition_dp.hpp"
+#include "graphio/engine/method.hpp"
+#include "graphio/exact/pebble_search.hpp"
+#include "graphio/sim/memsim.hpp"
+#include "graphio/support/contracts.hpp"
+#include "graphio/support/timer.hpp"
+
+namespace graphio::engine {
+
+std::string_view to_string(BoundKind kind) {
+  switch (kind) {
+    case BoundKind::kLower: return "lower";
+    case BoundKind::kUpper: return "upper";
+    case BoundKind::kExact: return "exact";
+    case BoundKind::kCertificate: return "certificate";
+  }
+  return "?";
+}
+
+namespace {
+
+MethodRow base_row(const BoundMethod& method, double memory,
+                   std::int64_t processors = 1) {
+  MethodRow row;
+  row.method = std::string(method.id());
+  row.memory = memory;
+  row.processors = processors;
+  row.kind = method.kind();
+  return row;
+}
+
+std::vector<MethodRow> inapplicable_rows(const BoundMethod& method,
+                                         std::span<const double> memories,
+                                         const std::string& why,
+                                         std::int64_t processors = 1) {
+  std::vector<MethodRow> rows;
+  rows.reserve(memories.size());
+  for (double m : memories) {
+    MethodRow row = base_row(method, m, processors);
+    row.applicable = false;
+    row.note = why;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------- spectral
+
+/// Shared Theorem 4/5/6 evaluation: one cached spectrum, one cheap
+/// max-over-k per memory size. Unlike the free-function fast path, the
+/// cache always resolves the full h = min(max_eigenvalues, n) prefix so
+/// that every method and every M of the request (and later requests on
+/// the same graph) reuse a single eigendecomposition.
+std::vector<MethodRow> spectral_rows(const BoundMethod& method,
+                                     MethodContext& ctx,
+                                     std::span<const double> memories,
+                                     LaplacianKind kind, double scale,
+                                     std::int64_t processors) {
+  const Digraph& g = ctx.cache.graph();
+  WallTimer timer;
+  const int h = static_cast<int>(std::min<std::int64_t>(
+      ctx.request.spectral.max_eigenvalues, g.num_vertices()));
+  const ArtifactCache::SpectrumArtifact& spectrum =
+      ctx.cache.spectrum(kind, h, ctx.request.spectral);
+
+  std::vector<MethodRow> rows;
+  rows.reserve(memories.size());
+  for (std::size_t i = 0; i < memories.size(); ++i) {
+    MethodRow row = base_row(method, memories[i], processors);
+    const BoundOverK best = bound_from_spectrum(
+        spectrum.values, g.num_vertices(), memories[i], processors, scale);
+    row.value = best.bound;
+    row.best_k = best.best_k;
+    row.converged = spectrum.converged;
+    row.note = "k=" + std::to_string(best.best_k);
+    row.seconds = i == 0 ? timer.seconds() : 0.0;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+class SpectralMethod final : public BoundMethod {
+ public:
+  std::string_view id() const override { return "spectral"; }
+  std::string_view summary() const override {
+    return "Theorem 4: spectral bound on the normalized Laplacian";
+  }
+  BoundKind kind() const override { return BoundKind::kLower; }
+  std::vector<MethodRow> evaluate(
+      MethodContext& ctx, std::span<const double> memories) const override {
+    return spectral_rows(*this, ctx, memories,
+                         LaplacianKind::kOutDegreeNormalized, 1.0, 1);
+  }
+};
+
+class SpectralPlainMethod final : public BoundMethod {
+ public:
+  std::string_view id() const override { return "spectral-plain"; }
+  std::string_view summary() const override {
+    return "Theorem 5: spectral bound on the plain Laplacian";
+  }
+  BoundKind kind() const override { return BoundKind::kLower; }
+  std::vector<MethodRow> evaluate(
+      MethodContext& ctx, std::span<const double> memories) const override {
+    const std::int64_t dmax = ctx.cache.graph().max_out_degree();
+    if (dmax == 0) {
+      // Edgeless graph: the Laplacian is zero and the bound is trivially 0.
+      std::vector<MethodRow> rows;
+      for (double m : memories) rows.push_back(base_row(*this, m));
+      return rows;
+    }
+    return spectral_rows(*this, ctx, memories, LaplacianKind::kPlain,
+                         1.0 / static_cast<double>(dmax), 1);
+  }
+};
+
+class ParallelMethod final : public BoundMethod {
+ public:
+  std::string_view id() const override { return "parallel"; }
+  std::string_view summary() const override {
+    return "Theorem 6: per-processor bound for p processors";
+  }
+  BoundKind kind() const override { return BoundKind::kLower; }
+  std::vector<MethodRow> evaluate(
+      MethodContext& ctx, std::span<const double> memories) const override {
+    return spectral_rows(*this, ctx, memories,
+                         LaplacianKind::kOutDegreeNormalized, 1.0,
+                         ctx.request.processors);
+  }
+};
+
+// ------------------------------------------------------------------ mincut
+
+class MincutMethod final : public BoundMethod {
+ public:
+  std::string_view id() const override { return "mincut"; }
+  std::string_view summary() const override {
+    return "convex min-cut baseline (Elango et al.)";
+  }
+  BoundKind kind() const override { return BoundKind::kLower; }
+  std::vector<MethodRow> evaluate(
+      MethodContext& ctx, std::span<const double> memories) const override {
+    WallTimer timer;
+    // The wavefront cuts C(v) are M-independent; one sweep serves the
+    // whole memory sweep (the bound at M is 2*max(0, max_v C(v) - M)).
+    const flow::ConvexMinCutResult& sweep =
+        ctx.cache.max_wavefront_cut(ctx.request.mincut);
+    std::vector<MethodRow> rows;
+    rows.reserve(memories.size());
+    for (std::size_t i = 0; i < memories.size(); ++i) {
+      MethodRow row = base_row(*this, memories[i]);
+      row.value = std::max(
+          0.0, 2.0 * (static_cast<double>(sweep.best_cut) - memories[i]));
+      row.converged = sweep.completed;
+      row.note = "C(v)=" + std::to_string(sweep.best_cut);
+      row.seconds = i == 0 ? timer.seconds() : 0.0;
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+};
+
+// ------------------------------------------------------------ partition-dp
+
+class PartitionDpMethod final : public BoundMethod {
+ public:
+  std::string_view id() const override { return "partition-dp"; }
+  std::string_view summary() const override {
+    return "optimal Lemma 1 partition of the natural order (certifies J(X))";
+  }
+  BoundKind kind() const override { return BoundKind::kCertificate; }
+  std::vector<MethodRow> evaluate(
+      MethodContext& ctx, std::span<const double> memories) const override {
+    const std::vector<VertexId>* order = nullptr;
+    try {
+      order = &ctx.cache.topo_order();
+    } catch (const contract_error&) {
+      return inapplicable_rows(*this, memories, "graph is cyclic");
+    }
+    std::vector<MethodRow> rows;
+    rows.reserve(memories.size());
+    for (double m : memories) {
+      WallTimer timer;
+      MethodRow row = base_row(*this, m);
+      const OptimalPartitionResult r =
+          optimal_lemma1_bound(ctx.cache.graph(), *order, m);
+      row.value = r.bound;
+      row.best_k = static_cast<int>(r.segments);
+      row.note = "segments=" + std::to_string(r.segments);
+      row.seconds = timer.seconds();
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+};
+
+// ---------------------------------------------------------------- analytic
+
+class AnalyticMethod final : public BoundMethod {
+ public:
+  std::string_view id() const override { return "analytic"; }
+  std::string_view summary() const override {
+    return "Section 5 closed forms (fft / bhk / er families)";
+  }
+  BoundKind kind() const override { return BoundKind::kLower; }
+  std::vector<MethodRow> evaluate(
+      MethodContext& ctx, std::span<const double> memories) const override {
+    const GraphSpec* spec = ctx.spec;
+    if (spec == nullptr)
+      return inapplicable_rows(*this, memories,
+                               "closed forms need a family spec");
+    std::vector<MethodRow> rows;
+    rows.reserve(memories.size());
+    if (spec->family == "fft") {
+      const int l = static_cast<int>(spec->int_param(0));
+      for (double m : memories) {
+        MethodRow row = base_row(*this, m);
+        int alpha = 0;
+        row.value = std::max(0.0, analytic::fft_bound_best_alpha(l, m, &alpha));
+        row.best_k = alpha;
+        row.note = "alpha=" + std::to_string(alpha);
+        rows.push_back(std::move(row));
+      }
+      return rows;
+    }
+    if (spec->family == "bhk") {
+      const int l = static_cast<int>(spec->int_param(0));
+      for (double m : memories) {
+        MethodRow row = base_row(*this, m);
+        int alpha = 0;
+        row.value = std::max(0.0, analytic::bhk_bound_best_alpha(l, m, &alpha));
+        row.best_k = alpha;
+        row.note = "alpha=" + std::to_string(alpha);
+        rows.push_back(std::move(row));
+      }
+      return rows;
+    }
+    if (spec->family == "er") {
+      const std::int64_t n = spec->int_param(0);
+      const double p = spec->double_param(1);
+      const double p0 =
+          n > 1 ? p * static_cast<double>(n - 1) /
+                      std::log(static_cast<double>(n))
+                : 0.0;
+      if (p0 <= 6.0)
+        return inapplicable_rows(
+            *this, memories,
+            "er closed form needs the sparse regime p0 > 6");
+      for (double m : memories) {
+        MethodRow row = base_row(*this, m);
+        row.value = std::max(0.0, analytic::er_sparse_bound(n, p0, m));
+        row.best_k = 2;  // the closed form fixes k = 2
+        row.note = "p0=" + std::to_string(p0);
+        rows.push_back(std::move(row));
+      }
+      return rows;
+    }
+    return inapplicable_rows(
+        *this, memories, "no closed form for family '" + spec->family + "'");
+  }
+};
+
+// ------------------------------------------------------------ pebble-exact
+
+class PebbleExactMethod final : public BoundMethod {
+ public:
+  std::string_view id() const override { return "pebble-exact"; }
+  std::string_view summary() const override {
+    return "exact J* by state-space search (tiny graphs)";
+  }
+  BoundKind kind() const override { return BoundKind::kExact; }
+  std::vector<MethodRow> evaluate(
+      MethodContext& ctx, std::span<const double> memories) const override {
+    const Digraph& g = ctx.cache.graph();
+    if (g.num_vertices() > exact::kMaxExactVertices)
+      return inapplicable_rows(
+          *this, memories,
+          "graph exceeds " + std::to_string(exact::kMaxExactVertices) +
+              " vertices");
+    std::vector<MethodRow> rows;
+    rows.reserve(memories.size());
+    for (double m : memories) {
+      MethodRow row = base_row(*this, m);
+      WallTimer timer;
+      try {
+        const exact::ExactResult r = exact::exact_optimal_io(
+            g, static_cast<std::int64_t>(m), ctx.request.exact);
+        row.value = static_cast<double>(r.io);
+        row.converged = r.complete;
+        row.note = "states=" + std::to_string(r.states_expanded);
+        if (!r.complete) {
+          row.applicable = false;
+          row.note += " (state cap hit)";
+        }
+      } catch (const contract_error& e) {
+        row.applicable = false;
+        row.note = e.what();
+      }
+      row.seconds = timer.seconds();
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+};
+
+// ---------------------------------------------------------------- memsim
+
+class MemsimMethod final : public BoundMethod {
+ public:
+  std::string_view id() const override { return "memsim"; }
+  std::string_view summary() const override {
+    return "best simulated schedule (upper bound on J*)";
+  }
+  BoundKind kind() const override { return BoundKind::kUpper; }
+  std::vector<MethodRow> evaluate(
+      MethodContext& ctx, std::span<const double> memories) const override {
+    const Digraph& g = ctx.cache.graph();
+    std::vector<MethodRow> rows;
+    rows.reserve(memories.size());
+    for (double m : memories) {
+      MethodRow row = base_row(*this, m);
+      const auto mem = static_cast<std::int64_t>(m);
+      if (static_cast<double>(g.max_in_degree()) > m || mem < 1) {
+        row.applicable = false;
+        row.note = "no feasible schedule: max in-degree exceeds M";
+        rows.push_back(std::move(row));
+        continue;
+      }
+      WallTimer timer;
+      try {
+        const sim::SimResult r =
+            sim::best_schedule_io(g, mem, ctx.request.sim_random_orders);
+        row.value = static_cast<double>(r.total());
+        row.note = "reads=" + std::to_string(r.reads) +
+                   " writes=" + std::to_string(r.writes);
+      } catch (const contract_error& e) {
+        row.applicable = false;
+        row.note = e.what();
+      }
+      row.seconds = timer.seconds();
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+};
+
+}  // namespace
+
+const std::vector<const BoundMethod*>& methods() {
+  static const SpectralMethod spectral;
+  static const SpectralPlainMethod spectral_plain;
+  static const ParallelMethod parallel;
+  static const MincutMethod mincut;
+  static const PartitionDpMethod partition_dp;
+  static const AnalyticMethod analytic;
+  static const PebbleExactMethod pebble_exact;
+  static const MemsimMethod memsim;
+  static const std::vector<const BoundMethod*> all = {
+      &spectral, &spectral_plain, &parallel,     &mincut,
+      &partition_dp, &analytic,   &pebble_exact, &memsim};
+  return all;
+}
+
+const BoundMethod* find_method(std::string_view id) {
+  for (const BoundMethod* method : methods())
+    if (method->id() == id) return method;
+  return nullptr;
+}
+
+std::vector<std::string> method_ids() {
+  std::vector<std::string> ids;
+  ids.reserve(methods().size());
+  for (const BoundMethod* method : methods())
+    ids.emplace_back(method->id());
+  return ids;
+}
+
+}  // namespace graphio::engine

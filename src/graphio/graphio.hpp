@@ -1,12 +1,37 @@
 // graphio — spectral lower bounds on the I/O complexity of computation
 // graphs (Jain & Zaharia, SPAA 2020). Umbrella public header.
 //
-// Quick start:
+// Quick start — the Engine evaluates every bound family through one API,
+// sharing expensive artifacts (topological orders, Laplacians,
+// eigen-spectra, wavefront cuts) across methods and memory sizes:
+//
 //   #include "graphio/graphio.hpp"
+//   graphio::Engine engine;
+//   graphio::engine::BoundRequest req;
+//   req.spec = "fft:8";              // or req.graph = my_digraph
+//   req.memories = {4, 8, 16};       // the M sweep
+//   req.methods = {"all"};           // or {"spectral", "mincut", ...}
+//   auto report = engine.evaluate(req);
+//   std::cout << report.to_table();  // or report.to_json()
+//   // Each report row is one (method, M) cell: bound, best k/alpha,
+//   // convergence flag, wall time. Lower-bound rows hold for ANY
+//   // evaluation order of the graph.
+//
+// Single bounds are also available as free functions when no sharing is
+// needed:
+//
 //   auto g = graphio::builders::fft(8);                 // 2^8-point FFT
 //   auto b = graphio::spectral_bound(g, /*memory=*/16); // Theorem 4
-//   // b.bound is a lower bound on the I/O of ANY evaluation order of g.
 #pragma once
+
+// Unified analysis API: Engine, BoundRequest/BoundReport, the BoundMethod
+// registry, and the shared-artifact cache.
+#include "graphio/engine/artifact_cache.hpp"
+#include "graphio/engine/engine.hpp"
+#include "graphio/engine/graph_spec.hpp"
+#include "graphio/engine/method.hpp"
+#include "graphio/engine/report.hpp"
+#include "graphio/engine/request.hpp"
 
 // Core: the paper's contribution.
 #include "graphio/core/analytic_bounds.hpp"

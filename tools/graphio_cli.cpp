@@ -1,29 +1,33 @@
 // graphio — command-line front end for the spectral I/O bound library.
 //
-//   graphio generate fft:6 --out fft6.gel       emit a builder graph
-//   graphio info fft6.gel                       structural summary
-//   graphio bound fft:8 --memory 4 --method all spectral + baselines
-//   graphio spectrum bhk:8 --count 12           smallest Laplacian values
-//   graphio simulate fft:6 --memory 8           schedule I/O (upper bound)
-//   graphio exact inner:2 --memory 3            exact J* (tiny graphs)
+//   graphio generate fft:6 --out fft6.gel        emit a builder graph
+//   graphio info fft6.gel [--json]               structural summary
+//   graphio bound fft:8 --memory 4,8,16 --method all [--json]
+//                                                every bound, one report
+//   graphio compare fft:8 bhk:10 --memory 8 --method spectral,mincut
+//                                                batch over graphs
+//   graphio sweep fft:8 --memory-min 2 --memory-max 64 --method spectral
+//                                                geometric M sweep
+//   graphio spectrum bhk:8 --count 12            smallest Laplacian values
+//   graphio simulate fft:6 --memory 8            schedule I/O (upper bound)
+//   graphio exact inner:2 --memory 3             exact J* (tiny graphs)
 //
-// Graph arguments are either a family spec — fft:L, matmul:N[:nary|chain|
-// tree], strassen:N, bhk:L, er:N:P:SEED, grid:R:C, tree:D, path:N,
-// inner:M — or a path to a graphio-edgelist file.
+// Graph arguments are either a family spec (see `graphio help`) or a path
+// to a graphio-edgelist file. All bound evaluation routes through
+// engine::Engine, so artifacts (spectra, wavefront cuts) are shared across
+// methods and memory sizes, and --json uniformly emits BoundReport JSON.
 #include <charconv>
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "graphio/core/hierarchy.hpp"
 #include "graphio/core/spectral_bound.hpp"
+#include "graphio/engine/engine.hpp"
+#include "graphio/engine/graph_spec.hpp"
 #include "graphio/exact/pebble_search.hpp"
-#include "graphio/flow/convex_mincut.hpp"
-#include "graphio/graph/builders.hpp"
 #include "graphio/graph/laplacian.hpp"
 #include "graphio/graph/topo.hpp"
 #include "graphio/io/edgelist.hpp"
@@ -38,15 +42,29 @@ namespace {
 
 using namespace graphio;
 
+std::string method_list() {
+  std::string out;
+  for (const std::string& id : engine::method_ids()) {
+    if (!out.empty()) out += "|";
+    out += id;
+  }
+  return out;
+}
+
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
-      "usage: graphio <command> <graph> [options]\n"
+      "usage: graphio <command> <graph...> [options]\n"
       "\n"
       "commands\n"
       "  generate <graph> [--out FILE]          write graph as edgelist\n"
-      "  info <graph>                           structural summary\n"
-      "  bound <graph> --memory M [options]     I/O lower bounds\n"
+      "  info <graph> [--json]                  structural summary\n"
+      "  bound <graph> --memory M[,M...]        I/O bounds through the Engine\n"
+      "        [--method m[,m...]|all] [--processors P] [--json]\n"
+      "  compare <graph> <graph...> --memory M[,M...]\n"
+      "        [--method ...] [--json]          one report per graph, batched\n"
+      "  sweep <graph> --memory-min A --memory-max B [--memory-factor F]\n"
+      "        [--method ...] [--json]          geometric memory sweep\n"
       "  spectrum <graph> [--count H] [--plain] smallest Laplacian eigenvalues\n"
       "  simulate <graph> --memory M            schedule I/O (upper bound)\n"
       "  exact <graph> --memory M               exact J* (<= 21 vertices)\n"
@@ -57,15 +75,9 @@ using namespace graphio;
       "  hierarchy <graph> [--levels 8,64,512]  per-level traffic bounds\n"
       "\n"
       "graph: family spec or edgelist file\n"
-      "  fft:L  matmul:N[:nary|chain|tree]  strassen:N  bhk:L\n"
-      "  er:N:P:SEED  grid:R:C  tree:D  path:N  inner:M\n"
-      "  stencil1d:C:T  stencil2d:R:C:T  scan:LOGN  bitonic:LOGN\n"
-      "  trisolve:N  cholesky:N\n"
+      << engine::family_help() <<
       "\n"
-      "bound options\n"
-      "  --method spectral|plain|mincut|all   (default spectral)\n"
-      "  --processors P                       parallel bound, Theorem 6\n"
-      "  --json                               machine-readable output\n";
+      "methods: " << method_list() << " | all\n";
   std::exit(2);
 }
 
@@ -103,103 +115,119 @@ double parse_double(const std::string& s, const char* what) {
   }
 }
 
-Digraph resolve_graph(const std::string& spec) {
-  if (std::filesystem::exists(spec)) return io::load_edgelist(spec);
-  const auto parts = split(spec, ':');
-  const std::string& kind = parts[0];
-  auto arg = [&](std::size_t i) -> const std::string& {
-    if (i >= parts.size()) usage("family spec '" + spec + "' needs more arguments");
-    return parts[i];
-  };
-  if (kind == "fft") return builders::fft(static_cast<int>(parse_int(arg(1), "level")));
-  if (kind == "matmul") {
-    builders::Reduction red = builders::Reduction::kNary;
-    if (parts.size() > 2) {
-      if (parts[2] == "nary") red = builders::Reduction::kNary;
-      else if (parts[2] == "chain") red = builders::Reduction::kChain;
-      else if (parts[2] == "tree") red = builders::Reduction::kBinaryTree;
-      else usage("unknown reduction '" + parts[2] + "'");
-    }
-    return builders::naive_matmul(static_cast<int>(parse_int(arg(1), "size")), red);
-  }
-  if (kind == "strassen")
-    return builders::strassen_matmul(static_cast<int>(parse_int(arg(1), "size")));
-  if (kind == "bhk")
-    return builders::bhk_hypercube(static_cast<int>(parse_int(arg(1), "cities")));
-  if (kind == "er")
-    return builders::erdos_renyi_dag(parse_int(arg(1), "n"),
-                                     parse_double(arg(2), "p"),
-                                     static_cast<std::uint64_t>(parse_int(arg(3), "seed")));
-  if (kind == "grid")
-    return builders::grid(static_cast<int>(parse_int(arg(1), "rows")),
-                          static_cast<int>(parse_int(arg(2), "cols")));
-  if (kind == "tree")
-    return builders::binary_tree(static_cast<int>(parse_int(arg(1), "depth")));
-  if (kind == "path") return builders::path(parse_int(arg(1), "n"));
-  if (kind == "inner")
-    return builders::inner_product(static_cast<int>(parse_int(arg(1), "m")));
-  if (kind == "stencil1d")
-    return builders::stencil1d(static_cast<int>(parse_int(arg(1), "cells")),
-                               static_cast<int>(parse_int(arg(2), "steps")));
-  if (kind == "stencil2d")
-    return builders::stencil2d(static_cast<int>(parse_int(arg(1), "rows")),
-                               static_cast<int>(parse_int(arg(2), "cols")),
-                               static_cast<int>(parse_int(arg(3), "steps")));
-  if (kind == "scan")
-    return builders::prefix_scan(static_cast<int>(parse_int(arg(1), "log n")));
-  if (kind == "bitonic")
-    return builders::bitonic_sort(static_cast<int>(parse_int(arg(1), "log n")));
-  if (kind == "trisolve")
-    return builders::triangular_solve(static_cast<int>(parse_int(arg(1), "n")));
-  if (kind == "cholesky")
-    return builders::cholesky(static_cast<int>(parse_int(arg(1), "n")));
-  usage("unknown graph '" + spec + "' (not a family spec or existing file)");
-}
-
 struct Args {
   std::string command;
-  std::string graph;
-  double memory = -1.0;
+  std::vector<std::string> graphs;
+  std::vector<double> memories;
+  double memory_min = 0.0;
+  double memory_max = 0.0;
+  double memory_factor = 2.0;
   std::int64_t processors = 1;
-  std::string method = "spectral";
+  std::vector<std::string> methods;
   std::string out;
   int count = 16;
   std::int64_t iterations = 4000;
   std::string levels = "8,64,512";
   bool plain = false;
   bool json = false;
+
+  [[nodiscard]] const std::string& graph() const {
+    if (graphs.empty()) usage("command needs a graph argument");
+    return graphs.front();
+  }
+  [[nodiscard]] double memory() const {
+    if (memories.empty()) return -1.0;
+    return memories.front();
+  }
 };
 
 Args parse_args(int argc, char** argv) {
   if (argc < 3) usage();
   Args a;
   a.command = argv[1];
-  a.graph = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  int i = 2;
+  for (; i < argc && argv[i][0] != '-'; ++i) a.graphs.emplace_back(argv[i]);
+  for (; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) usage("flag " + flag + " needs a value");
       return argv[++i];
     };
-    if (flag == "--memory") a.memory = parse_double(next(), "memory");
-    else if (flag == "--processors") a.processors = parse_int(next(), "processors");
-    else if (flag == "--method") a.method = next();
-    else if (flag == "--out") a.out = next();
-    else if (flag == "--count") a.count = static_cast<int>(parse_int(next(), "count"));
-    else if (flag == "--iterations") a.iterations = parse_int(next(), "iterations");
-    else if (flag == "--levels") a.levels = next();
-    else if (flag == "--plain") a.plain = true;
-    else if (flag == "--json") a.json = true;
-    else usage("unknown flag '" + flag + "'");
+    if (flag == "--memory") {
+      for (const std::string& part : split(next(), ','))
+        a.memories.push_back(parse_double(part, "memory"));
+    } else if (flag == "--memory-min") {
+      a.memory_min = parse_double(next(), "memory-min");
+    } else if (flag == "--memory-max") {
+      a.memory_max = parse_double(next(), "memory-max");
+    } else if (flag == "--memory-factor") {
+      a.memory_factor = parse_double(next(), "memory-factor");
+    } else if (flag == "--processors") {
+      a.processors = parse_int(next(), "processors");
+    } else if (flag == "--method") {
+      for (const std::string& part : split(next(), ','))
+        a.methods.push_back(part);
+    } else if (flag == "--out") {
+      a.out = next();
+    } else if (flag == "--count") {
+      a.count = static_cast<int>(parse_int(next(), "count"));
+    } else if (flag == "--iterations") {
+      a.iterations = parse_int(next(), "iterations");
+    } else if (flag == "--levels") {
+      a.levels = next();
+    } else if (flag == "--plain") {
+      a.plain = true;
+    } else if (flag == "--json") {
+      a.json = true;
+    } else {
+      usage("unknown flag '" + flag + "'");
+    }
   }
   return a;
 }
 
 void require_memory(const Args& a) {
-  if (a.memory < 1.0) usage("command '" + a.command + "' needs --memory M (>= 1)");
+  if (a.memory() < 1.0)
+    usage("command '" + a.command + "' needs --memory M (>= 1)");
 }
 
-int cmd_generate(const Args& a, const Digraph& g) {
+Digraph resolve_graph(const std::string& spec) {
+  return engine::GraphSpec::parse(spec).build();
+}
+
+engine::BoundRequest make_request(const Args& a, const std::string& spec) {
+  engine::BoundRequest req;
+  req.spec = spec;
+  req.memories = a.memories;
+  req.processors = a.processors;
+  req.methods = a.methods.empty() ? std::vector<std::string>{"spectral"}
+                                  : a.methods;
+  // --processors P with P > 1 asks for the Theorem 6 bound; the serial
+  // "spectral" method would silently ignore P, so route it to "parallel"
+  // (which is Theorem 4 again when P == 1).
+  if (a.processors > 1)
+    for (std::string& method : req.methods)
+      if (method == "spectral") method = "parallel";
+  return req;
+}
+
+int emit_reports(const Args& a, std::span<const engine::BoundReport> reports) {
+  if (a.json) {
+    if (reports.size() == 1)
+      std::cout << reports.front().to_json() << "\n";
+    else
+      std::cout << engine::reports_to_json(reports) << "\n";
+    return 0;
+  }
+  if (reports.size() == 1)
+    reports.front().to_table().print(std::cout);
+  else
+    engine::reports_to_table(reports).print(std::cout);
+  return 0;
+}
+
+int cmd_generate(const Args& a) {
+  const Digraph g = resolve_graph(a.graph());
   if (a.out.empty()) {
     io::write_edgelist(std::cout, g);
   } else {
@@ -210,9 +238,22 @@ int cmd_generate(const Args& a, const Digraph& g) {
   return 0;
 }
 
-int cmd_info(const Args& a, const Digraph& g) {
+int cmd_info(const Args& a) {
+  const Digraph g = resolve_graph(a.graph());
+  const bool acyclic = topological_order(g).has_value();
   if (a.json) {
-    std::cout << io::graph_to_json(g) << "\n";
+    io::JsonWriter w;
+    w.begin_object();
+    w.key("graph").value(a.graph());
+    w.key("vertices").value(g.num_vertices());
+    w.key("edges").value(g.num_edges());
+    w.key("sources").value(static_cast<std::int64_t>(g.sources().size()));
+    w.key("sinks").value(static_cast<std::int64_t>(g.sinks().size()));
+    w.key("max_in_degree").value(g.max_in_degree());
+    w.key("max_out_degree").value(g.max_out_degree());
+    w.key("acyclic").value(acyclic);
+    w.end_object();
+    std::cout << w.str() << "\n";
     return 0;
   }
   Table t({"property", "value"});
@@ -222,67 +263,49 @@ int cmd_info(const Args& a, const Digraph& g) {
   t.add_row({"sinks", std::to_string(g.sinks().size())});
   t.add_row({"max in-degree", std::to_string(g.max_in_degree())});
   t.add_row({"max out-degree", std::to_string(g.max_out_degree())});
-  t.add_row({"acyclic", topological_order(g).has_value() ? "yes" : "no"});
+  t.add_row({"acyclic", acyclic ? "yes" : "no"});
   t.print(std::cout);
   return 0;
 }
 
-int cmd_bound(const Args& a, const Digraph& g) {
+int cmd_bound(const Args& a) {
   require_memory(a);
-  const bool all = a.method == "all";
-  io::JsonWriter json;
-  Table table({"method", "bound", "detail", "seconds"});
-  if (a.json) json.begin_object();
-
-  auto emit = [&](const std::string& name, double bound,
-                  const std::string& detail, double seconds) {
-    if (a.json) {
-      json.key(name).begin_object();
-      json.key("bound").value(bound);
-      json.key("detail").value(detail);
-      json.key("seconds").value(seconds);
-      json.end_object();
-    } else {
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.6g", bound);
-      char sec[32];
-      std::snprintf(sec, sizeof sec, "%.3f", seconds);
-      table.add_row({name, buf, detail, sec});
-    }
-  };
-
-  if (all || a.method == "spectral") {
-    const SpectralBound b =
-        a.processors > 1
-            ? parallel_spectral_bound(g, a.memory, a.processors)
-            : spectral_bound(g, a.memory);
-    emit("spectral", b.bound, "k=" + std::to_string(b.best_k), b.seconds);
-  }
-  if (all || a.method == "plain") {
-    const SpectralBound b = spectral_bound_plain(g, a.memory);
-    emit("spectral-plain", b.bound, "k=" + std::to_string(b.best_k),
-         b.seconds);
-  }
-  if (all || a.method == "mincut") {
-    const auto b = flow::convex_mincut_bound(g, a.memory);
-    emit("convex-mincut", b.bound,
-         "C(v)=" + std::to_string(b.best_cut), b.seconds);
-  }
-  if (all) {
-    const auto upper = sim::best_schedule_io(g, static_cast<std::int64_t>(a.memory));
-    emit("best-schedule (upper)", static_cast<double>(upper.total()),
-         "reads+writes", 0.0);
-  }
-  if (a.json) {
-    json.end_object();
-    std::cout << json.str() << "\n";
-  } else {
-    table.print(std::cout);
-  }
-  return 0;
+  engine::Engine eng;
+  const engine::BoundReport report = eng.evaluate(make_request(a, a.graph()));
+  const engine::BoundReport reports[] = {report};
+  return emit_reports(a, reports);
 }
 
-int cmd_spectrum(const Args& a, const Digraph& g) {
+int cmd_compare(const Args& a) {
+  require_memory(a);
+  if (a.graphs.size() < 2)
+    usage("compare needs at least two graph arguments");
+  std::vector<engine::BoundRequest> requests;
+  requests.reserve(a.graphs.size());
+  for (const std::string& spec : a.graphs)
+    requests.push_back(make_request(a, spec));
+  engine::Engine eng;
+  const auto reports = eng.evaluate_batch(requests);
+  return emit_reports(a, reports);
+}
+
+int cmd_sweep(const Args& a) {
+  if (a.memory_min < 1.0 || a.memory_max < a.memory_min)
+    usage("sweep needs --memory-min A and --memory-max B with 1 <= A <= B");
+  if (a.memory_factor <= 1.0) usage("--memory-factor must be > 1");
+  Args sweep = a;
+  sweep.memories.clear();
+  for (double m = a.memory_min; m <= a.memory_max; m *= a.memory_factor)
+    sweep.memories.push_back(m);
+  engine::Engine eng;
+  const engine::BoundReport report =
+      eng.evaluate(make_request(sweep, a.graph()));
+  const engine::BoundReport reports[] = {report};
+  return emit_reports(a, reports);
+}
+
+int cmd_spectrum(const Args& a) {
+  const Digraph g = resolve_graph(a.graph());
   SpectralOptions opts;
   bool converged = true;
   const auto kind = a.plain ? LaplacianKind::kPlain
@@ -309,9 +332,10 @@ int cmd_spectrum(const Args& a, const Digraph& g) {
   return 0;
 }
 
-int cmd_simulate(const Args& a, const Digraph& g) {
+int cmd_simulate(const Args& a) {
   require_memory(a);
-  const auto m = static_cast<std::int64_t>(a.memory);
+  const Digraph g = resolve_graph(a.graph());
+  const auto m = static_cast<std::int64_t>(a.memory());
   Table t({"schedule", "reads", "writes", "total"});
   auto row = [&](const std::string& name, const sim::SimResult& r) {
     t.add_row({name, std::to_string(r.reads), std::to_string(r.writes),
@@ -325,12 +349,13 @@ int cmd_simulate(const Args& a, const Digraph& g) {
   return 0;
 }
 
-int cmd_exact(const Args& a, const Digraph& g) {
+int cmd_exact(const Args& a) {
   require_memory(a);
+  const Digraph g = resolve_graph(a.graph());
   exact::ExactOptions opts;
   opts.reconstruct_order = true;
   const auto r = exact::exact_optimal_io(
-      g, static_cast<std::int64_t>(a.memory), opts);
+      g, static_cast<std::int64_t>(a.memory()), opts);
   if (!r.complete) {
     std::cout << "search hit the state cap (" << r.states_expanded
               << " states) — no exact answer\n";
@@ -344,15 +369,16 @@ int cmd_exact(const Args& a, const Digraph& g) {
   return 0;
 }
 
-int cmd_anneal(const Args& a, const Digraph& g) {
+int cmd_anneal(const Args& a) {
   require_memory(a);
-  if (g.max_in_degree() > static_cast<std::int64_t>(a.memory))
+  const Digraph g = resolve_graph(a.graph());
+  if (g.max_in_degree() > static_cast<std::int64_t>(a.memory()))
     usage("no feasible schedule: max in-degree exceeds --memory");
   sim::AnnealOptions opts;
   opts.iterations = a.iterations;
   const sim::AnnealResult r =
-      sim::anneal_schedule(g, static_cast<std::int64_t>(a.memory), opts);
-  const SpectralBound lower = spectral_bound(g, a.memory);
+      sim::anneal_schedule(g, static_cast<std::int64_t>(a.memory()), opts);
+  const SpectralBound lower = spectral_bound(g, a.memory());
   std::cout << "start schedule I/O:   " << r.start_io << "\n"
             << "annealed schedule:    " << r.io << "  ("
             << r.moves_accepted << "/" << r.moves_attempted
@@ -373,12 +399,13 @@ int cmd_anneal(const Args& a, const Digraph& g) {
   return 0;
 }
 
-int cmd_parallel(const Args& a, const Digraph& g) {
+int cmd_parallel(const Args& a) {
   require_memory(a);
-  const auto m = static_cast<std::int64_t>(a.memory);
+  const Digraph g = resolve_graph(a.graph());
+  const auto m = static_cast<std::int64_t>(a.memory());
   Table t({"p", "Theorem 6 bound", "sim busiest", "sim aggregate"});
   for (std::int64_t p = 1; p <= a.processors; p *= 2) {
-    const SpectralBound b = parallel_spectral_bound(g, a.memory, p);
+    const SpectralBound b = parallel_spectral_bound(g, a.memory(), p);
     std::string busiest = "-";
     std::string aggregate = "-";
     if (g.max_in_degree() <= m) {
@@ -394,7 +421,8 @@ int cmd_parallel(const Args& a, const Digraph& g) {
   return 0;
 }
 
-int cmd_hierarchy(const Args& a, const Digraph& g) {
+int cmd_hierarchy(const Args& a) {
+  const Digraph g = resolve_graph(a.graph());
   std::vector<double> capacities;
   for (const std::string& part : split(a.levels, ','))
     capacities.push_back(parse_double(part, "level capacity"));
@@ -416,16 +444,17 @@ int cmd_hierarchy(const Args& a, const Digraph& g) {
 int main(int argc, char** argv) {
   try {
     const Args a = parse_args(argc, argv);
-    const Digraph g = resolve_graph(a.graph);
-    if (a.command == "generate") return cmd_generate(a, g);
-    if (a.command == "info") return cmd_info(a, g);
-    if (a.command == "bound") return cmd_bound(a, g);
-    if (a.command == "spectrum") return cmd_spectrum(a, g);
-    if (a.command == "simulate") return cmd_simulate(a, g);
-    if (a.command == "exact") return cmd_exact(a, g);
-    if (a.command == "anneal") return cmd_anneal(a, g);
-    if (a.command == "parallel") return cmd_parallel(a, g);
-    if (a.command == "hierarchy") return cmd_hierarchy(a, g);
+    if (a.command == "generate") return cmd_generate(a);
+    if (a.command == "info") return cmd_info(a);
+    if (a.command == "bound") return cmd_bound(a);
+    if (a.command == "compare") return cmd_compare(a);
+    if (a.command == "sweep") return cmd_sweep(a);
+    if (a.command == "spectrum") return cmd_spectrum(a);
+    if (a.command == "simulate") return cmd_simulate(a);
+    if (a.command == "exact") return cmd_exact(a);
+    if (a.command == "anneal") return cmd_anneal(a);
+    if (a.command == "parallel") return cmd_parallel(a);
+    if (a.command == "hierarchy") return cmd_hierarchy(a);
     usage("unknown command '" + a.command + "'");
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

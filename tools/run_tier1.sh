@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything, run the test suite.
+# Usage: tools/run_tier1.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$(nproc)"
+cd "$build_dir"
+ctest --output-on-failure -j "$(nproc)"
