@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "graphio/engine/fingerprint.hpp"
 #include "graphio/graph/topo.hpp"
 #include "graphio/support/contracts.hpp"
 #include "graphio/support/timer.hpp"
@@ -10,6 +11,16 @@
 namespace graphio::engine {
 
 ArtifactCache::ArtifactCache(Digraph graph) : graph_(std::move(graph)) {}
+
+std::uint64_t ArtifactCache::fingerprint() {
+  if (fingerprint_.has_value()) {
+    ++stats_.hits;
+    return *fingerprint_;
+  }
+  ++stats_.misses;
+  fingerprint_ = graph_fingerprint(graph_);
+  return *fingerprint_;
+}
 
 const std::vector<VertexId>& ArtifactCache::topo_order() {
   if (topo_.has_value()) {

@@ -31,6 +31,11 @@ class ArtifactCache {
 
   [[nodiscard]] const Digraph& graph() const noexcept { return graph_; }
 
+  /// Content fingerprint of the graph (engine/fingerprint.hpp), computed
+  /// on first use and cached — the serve ResultStore asks for it on every
+  /// request.
+  [[nodiscard]] std::uint64_t fingerprint();
+
   /// Kahn topological order. Throws contract_error on cyclic graphs.
   const std::vector<VertexId>& topo_order();
 
@@ -76,6 +81,22 @@ class ArtifactCache {
     std::int64_t misses = 0;       ///< artifact requests that computed
     std::int64_t eigensolves = 0;  ///< actual eigendecomposition runs
     std::int64_t mincut_sweeps = 0;  ///< full wavefront min-cut sweeps
+
+    /// Aggregation across caches/workers and before/after deltas — the
+    /// only two operations consumers perform; keeping them here means a
+    /// new counter cannot be silently dropped at one of the call sites.
+    Stats& operator+=(const Stats& other) noexcept {
+      hits += other.hits;
+      misses += other.misses;
+      eigensolves += other.eigensolves;
+      mincut_sweeps += other.mincut_sweeps;
+      return *this;
+    }
+    [[nodiscard]] Stats operator-(const Stats& other) const noexcept {
+      return {hits - other.hits, misses - other.misses,
+              eigensolves - other.eigensolves,
+              mincut_sweeps - other.mincut_sweeps};
+    }
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -86,6 +107,7 @@ class ArtifactCache {
  private:
   Digraph graph_;
   Stats stats_;
+  std::optional<std::uint64_t> fingerprint_;
   std::optional<std::vector<VertexId>> topo_;
   std::map<LaplacianKind, la::CsrMatrix> laplacians_;
   std::map<LaplacianKind, SpectrumArtifact> spectra_;

@@ -9,27 +9,6 @@
 
 namespace graphio::engine {
 
-namespace {
-
-/// Resolves the request's method ids against the registry; empty or "all"
-/// selects everything. Throws on unknown ids.
-std::vector<const BoundMethod*> select_methods(const BoundRequest& request) {
-  bool all = request.methods.empty();
-  for (const std::string& id : request.methods)
-    if (id == "all") all = true;
-  if (all) return methods();
-  std::vector<const BoundMethod*> selected;
-  selected.reserve(request.methods.size());
-  for (const std::string& id : request.methods) {
-    const BoundMethod* method = find_method(id);
-    GIO_EXPECTS_MSG(method != nullptr, "unknown method '" + id + "'");
-    selected.push_back(method);
-  }
-  return selected;
-}
-
-}  // namespace
-
 BoundReport Engine::evaluate_with_cache(const BoundRequest& request,
                                         ArtifactCache& cache) {
   GIO_EXPECTS_MSG(!request.memories.empty(),
@@ -62,7 +41,10 @@ BoundReport Engine::evaluate_with_cache(const BoundRequest& request,
       rows = method->evaluate(ctx, request.memories);
     } catch (const std::exception& e) {
       // A method must never sink the whole report; surface the failure as
-      // inapplicable rows instead.
+      // inapplicable rows instead. converged=false distinguishes "threw"
+      // (possibly transient) from a method's own deterministic
+      // inapplicability verdict — the serve ResultStore only persists
+      // converged rows.
       rows.clear();
       for (double m : request.memories) {
         MethodRow row;
@@ -70,6 +52,7 @@ BoundReport Engine::evaluate_with_cache(const BoundRequest& request,
         row.memory = m;
         row.kind = method->kind();
         row.applicable = false;
+        row.converged = false;
         row.note = e.what();
         rows.push_back(std::move(row));
       }
@@ -79,11 +62,7 @@ BoundReport Engine::evaluate_with_cache(const BoundRequest& request,
                        std::make_move_iterator(rows.end()));
   }
 
-  const ArtifactCache::Stats after = cache.stats();
-  report.cache.hits = after.hits - before.hits;
-  report.cache.misses = after.misses - before.misses;
-  report.cache.eigensolves = after.eigensolves - before.eigensolves;
-  report.cache.mincut_sweeps = after.mincut_sweeps - before.mincut_sweeps;
+  report.cache = cache.stats() - before;
   report.seconds = timer.seconds();
   return report;
 }
@@ -113,6 +92,16 @@ BoundReport Engine::evaluate(const BoundRequest& request) {
 
 const Digraph& Engine::graph(const std::string& spec) {
   return ensure_cache(spec).graph();
+}
+
+std::uint64_t Engine::fingerprint(const std::string& spec) {
+  return ensure_cache(spec).fingerprint();
+}
+
+ArtifactCache::Stats Engine::stats() const {
+  ArtifactCache::Stats total;
+  for (const auto& [spec, cache] : caches_) total += cache->stats();
+  return total;
 }
 
 std::vector<BoundReport> Engine::evaluate_batch(

@@ -51,9 +51,20 @@ class Engine {
   /// count, degrees) before shaping a request.
   const Digraph& graph(const std::string& spec);
 
+  /// Content fingerprint of the graph a spec resolves to (building the
+  /// graph on first use, like graph()). The serve ResultStore keys disk
+  /// records with this, so equal graphs share warm results regardless of
+  /// how their requests spell the spec.
+  std::uint64_t fingerprint(const std::string& spec);
+
   /// The cache backing a spec, or nullptr if that spec has not been
   /// evaluated yet (test/introspection hook).
   [[nodiscard]] const ArtifactCache* cache(const std::string& spec) const;
+
+  /// Lifetime artifact-cache totals summed across every spec this Engine
+  /// has touched — the serve layer reports these per worker and in the
+  /// batch summary footer.
+  [[nodiscard]] ArtifactCache::Stats stats() const;
 
   /// Drops all cached graphs and artifacts.
   void clear();

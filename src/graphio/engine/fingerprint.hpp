@@ -1,0 +1,28 @@
+// Content fingerprints for computation graphs.
+//
+// The serve subsystem's persistent ResultStore keys results by *what was
+// analyzed*, not by how the request named it: "fft:5", a copy of the same
+// graph loaded from an edgelist file, and an equal DOT file all hash to
+// the same fingerprint, so a warm store serves them all from disk. The
+// hash covers exactly the structure the bounds depend on — vertex count
+// and the full adjacency (with edge multiplicity) — and deliberately
+// ignores vertex names, which never influence any bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graphio/graph/digraph.hpp"
+
+namespace graphio::engine {
+
+/// 64-bit FNV-1a over (n, adjacency lists in vertex order). Stable across
+/// platforms and process runs; identical graphs always collide, distinct
+/// graphs collide with probability ~2^-64.
+[[nodiscard]] std::uint64_t graph_fingerprint(const Digraph& g) noexcept;
+
+/// Fixed-width lowercase hex rendering ("00af3b…", 16 chars) — the form
+/// used in result-store keys and JSONL records.
+[[nodiscard]] std::string fingerprint_hex(std::uint64_t fingerprint);
+
+}  // namespace graphio::engine

@@ -1,9 +1,11 @@
 #include "graphio/engine/graph_spec.hpp"
 
+#include <cctype>
 #include <charconv>
 #include <filesystem>
 
 #include "graphio/graph/builders.hpp"
+#include "graphio/graph/dot.hpp"
 #include "graphio/io/edgelist.hpp"
 #include "graphio/support/contracts.hpp"
 
@@ -127,8 +129,23 @@ double GraphSpec::double_param(std::size_t i) const {
   return parse_double(params[i], text);
 }
 
+namespace {
+
+bool has_dot_extension(const std::string& path) {
+  std::string ext = std::filesystem::path(path).extension().string();
+  for (char& c : ext) c = static_cast<char>(std::tolower(c));
+  return ext == ".dot" || ext == ".gv";
+}
+
+}  // namespace
+
 Digraph GraphSpec::build() const {
-  if (family == "file") return io::load_edgelist(params.at(0));
+  if (family == "file") {
+    // Dispatch on extension: Graphviz DOT for *.dot / *.gv, the native
+    // edgelist format otherwise.
+    if (has_dot_extension(params.at(0))) return load_dot(params.at(0));
+    return io::load_edgelist(params.at(0));
+  }
   if (family == "fft") return builders::fft(static_cast<int>(int_param(0)));
   if (family == "matmul") {
     builders::Reduction red = builders::Reduction::kNary;

@@ -2,11 +2,12 @@
 // and Engine requests.
 //
 // A spec is either a family descriptor `family[:arg[:arg...]]` covering
-// every builder in graph/builders.hpp, or a path to a graphio-edgelist
-// file. Centralizing the grammar here means the CLI, the Engine, and any
-// batch driver resolve graphs identically, and methods that need family
-// structure (the Section 5 closed forms) can recover it from the spec
-// instead of re-deriving it from the graph.
+// every builder in graph/builders.hpp, or a path to a graph file — a
+// graphio-edgelist document, or Graphviz DOT when the extension is .dot
+// or .gv. Centralizing the grammar here means the CLI, the Engine, and
+// any batch driver resolve graphs identically, and methods that need
+// family structure (the Section 5 closed forms) can recover it from the
+// spec instead of re-deriving it from the graph.
 #pragma once
 
 #include <cstdint>

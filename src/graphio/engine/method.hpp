@@ -89,6 +89,13 @@ const std::vector<const BoundMethod*>& methods();
 /// Lookup by id; nullptr when unknown.
 const BoundMethod* find_method(std::string_view id);
 
+/// Resolves a request's method ids against the registry — the one shared
+/// definition of selection semantics (Engine::evaluate and the serve
+/// scheduler must agree, or a request could succeed without a ResultStore
+/// and fail with one). An empty list or any "all" entry selects every
+/// registered method, in registry order; unknown ids throw contract_error.
+std::vector<const BoundMethod*> select_methods(const BoundRequest& request);
+
 /// The ids of methods(), in order.
 std::vector<std::string> method_ids();
 

@@ -371,6 +371,21 @@ const BoundMethod* find_method(std::string_view id) {
   return nullptr;
 }
 
+std::vector<const BoundMethod*> select_methods(const BoundRequest& request) {
+  bool all = request.methods.empty();
+  for (const std::string& id : request.methods)
+    if (id == "all") all = true;
+  if (all) return methods();
+  std::vector<const BoundMethod*> selected;
+  selected.reserve(request.methods.size());
+  for (const std::string& id : request.methods) {
+    const BoundMethod* method = find_method(id);
+    GIO_EXPECTS_MSG(method != nullptr, "unknown method '" + id + "'");
+    selected.push_back(method);
+  }
+  return selected;
+}
+
 std::vector<std::string> method_ids() {
   std::vector<std::string> ids;
   ids.reserve(methods().size());

@@ -6,7 +6,8 @@ namespace graphio::engine {
 
 namespace {
 
-void append_row_json(io::JsonWriter& w, const MethodRow& row) {
+void append_row_json(io::JsonWriter& w, const MethodRow& row,
+                     bool include_timing) {
   w.begin_object();
   w.key("method").value(row.method);
   w.key("memory").value(row.memory);
@@ -18,7 +19,7 @@ void append_row_json(io::JsonWriter& w, const MethodRow& row) {
     if (row.best_k != 0) w.key("best_k").value(row.best_k);
     w.key("converged").value(row.converged);
   }
-  w.key("seconds").value(row.seconds);
+  if (include_timing) w.key("seconds").value(row.seconds);
   if (!row.note.empty()) w.key("note").value(row.note);
   w.end_object();
 }
@@ -55,7 +56,7 @@ const MethodRow* BoundReport::row(std::string_view method,
   return nullptr;
 }
 
-void BoundReport::append_json(io::JsonWriter& w) const {
+void BoundReport::append_json(io::JsonWriter& w, bool include_timing) const {
   w.begin_object();
   w.key("graph").begin_object();
   w.key("name").value(graph);
@@ -66,15 +67,17 @@ void BoundReport::append_json(io::JsonWriter& w) const {
   w.key("memories").begin_array();
   for (double m : memories) w.value(m);
   w.end_array();
-  w.key("cache").begin_object();
-  w.key("hits").value(cache.hits);
-  w.key("misses").value(cache.misses);
-  w.key("eigensolves").value(cache.eigensolves);
-  w.key("mincut_sweeps").value(cache.mincut_sweeps);
-  w.end_object();
-  w.key("seconds").value(seconds);
+  if (include_timing) {
+    w.key("cache").begin_object();
+    w.key("hits").value(cache.hits);
+    w.key("misses").value(cache.misses);
+    w.key("eigensolves").value(cache.eigensolves);
+    w.key("mincut_sweeps").value(cache.mincut_sweeps);
+    w.end_object();
+    w.key("seconds").value(seconds);
+  }
   w.key("rows").begin_array();
-  for (const MethodRow& row : rows) append_row_json(w, row);
+  for (const MethodRow& row : rows) append_row_json(w, row, include_timing);
   w.end_array();
   w.end_object();
 }

@@ -39,7 +39,12 @@ struct BoundReport {
                                      double memory) const;
 
   /// Serializes into an open JSON writer (for embedding in arrays).
-  void append_json(io::JsonWriter& w) const;
+  /// With include_timing=false, wall-clock fields (seconds, per-row
+  /// seconds) and cache-delta stats are omitted, making the output a pure
+  /// function of the analysis — the serve layer streams this form so
+  /// result files compare byte-identical across thread counts and
+  /// warm/cold store runs.
+  void append_json(io::JsonWriter& w, bool include_timing = true) const;
   /// Complete JSON document.
   [[nodiscard]] std::string to_json() const;
   /// Console table: method | M | kind | bound | detail | conv | seconds.

@@ -1,7 +1,10 @@
 #include "graphio/graph/dot.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
+#include <utility>
 
 #include "graphio/support/contracts.hpp"
 
@@ -41,6 +44,237 @@ void write_dot(const Digraph& g, const std::string& path,
   std::ofstream out(path);
   GIO_EXPECTS_MSG(out.good(), "cannot open DOT output file: " + path);
   out << to_dot(g, options);
+}
+
+// --- reader ----------------------------------------------------------------
+
+namespace {
+
+/// Tokenizer + recursive-descent parser for the structural DOT subset.
+class DotReader {
+ public:
+  explicit DotReader(std::string text) : text_(std::move(text)) {}
+
+  Digraph parse() {
+    next_token();
+    if (token_ == "strict") next_token();
+    check(token_ == "digraph",
+          "expected 'digraph' (undirected graphs are not supported)");
+    next_token();
+    if (token_ != "{") next_token();  // optional graph name
+    check(token_ == "{", "expected '{'");
+    next_token();
+    while (token_ != "}") {
+      check(!token_.empty(), "unexpected end of input (missing '}')");
+      statement();
+    }
+    next_token();
+    check(token_.empty(), "trailing content after closing '}'");
+    return std::move(graph_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw contract_error("DOT parse error at offset " +
+                         std::to_string(token_pos_) + ": " + what);
+  }
+  void check(bool ok, const std::string& what) const {
+    if (!ok) fail(what);
+  }
+
+  // '-' is deliberately NOT an id character: it would swallow the leading
+  // dash of a spaceless edge operator ("a->b" must tokenize as a, ->, b).
+  // Negative numeric literals only occur in attribute values, which are
+  // skipped; quoted ids cover names containing dashes.
+  static bool id_char(char c) {
+    return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_' ||
+           c == '.' || c == '+';
+  }
+
+  void skip_space_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        const auto end = text_.find("*/", pos_ + 2);
+        if (end == std::string::npos) {
+          token_pos_ = pos_;
+          fail("unterminated /* comment");
+        }
+        pos_ = end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  /// Advances to the next token; token_ empty at end of input.
+  /// Quoted tokens are unescaped and flagged so "->" in a label is not
+  /// mistaken for an edge operator.
+  void next_token() {
+    skip_space_and_comments();
+    token_.clear();
+    token_quoted_ = false;
+    token_pos_ = pos_;
+    if (pos_ >= text_.size()) return;
+    const char c = text_[pos_];
+    if (c == '"') {
+      token_quoted_ = true;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        token_ += text_[pos_];
+        ++pos_;
+      }
+      check(pos_ < text_.size(), "unterminated quoted string");
+      ++pos_;
+      return;
+    }
+    if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+      token_ = "->";
+      pos_ += 2;
+      return;
+    }
+    if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+      fail("undirected edge '--' (only digraphs are supported)");
+    }
+    if (id_char(c)) {
+      while (pos_ < text_.size() && id_char(text_[pos_])) {
+        token_ += text_[pos_];
+        ++pos_;
+      }
+      return;
+    }
+    token_ = std::string(1, c);
+    ++pos_;
+  }
+
+  [[nodiscard]] bool at_keyword(const char* word) const {
+    return !token_quoted_ && token_ == word;
+  }
+
+  VertexId vertex(const std::string& id) {
+    const auto it = ids_.find(id);
+    if (it != ids_.end()) return it->second;
+    const VertexId v = graph_.add_vertex();
+    ids_.emplace(id, v);
+    return v;
+  }
+
+  /// Parses `[k=v, k=v; …]`* and returns the last `label` value (or "").
+  std::string attr_list() {
+    std::string label;
+    while (token_ == "[") {
+      next_token();
+      while (token_ != "]") {
+        check(!token_.empty(), "unterminated attribute list");
+        const std::string key = token_;
+        next_token();
+        check(token_ == "=", "expected '=' in attribute");
+        next_token();
+        check(!token_.empty() && token_ != "]" && token_ != ",",
+              "missing attribute value");
+        std::string value = token_;
+        // Negative numeric values ("fontsize=-1") arrive as '-' + digits;
+        // rejoin them so a negative label is captured whole.
+        if (!token_quoted_ && token_ == "-") {
+          next_token();
+          check(!token_.empty() && token_ != "]" && token_ != ",",
+                "missing attribute value after '-'");
+          value += token_;
+        }
+        if (key == "label") label = value;
+        next_token();
+        if (token_ == "," || token_ == ";") next_token();
+      }
+      next_token();
+    }
+    return label;
+  }
+
+  void statement() {
+    check(!token_quoted_ || !token_.empty(), "empty statement");
+    if (at_keyword("subgraph") || token_ == "{")
+      fail("subgraphs are not supported");
+    if (at_keyword("node") || at_keyword("edge") || at_keyword("graph")) {
+      // Default-attribute statement: consume and ignore.
+      next_token();
+      check(token_ == "[", "expected '[' after '" + token_ + "'");
+      attr_list();
+      if (token_ == ";") next_token();
+      return;
+    }
+    check(token_quoted_ ||
+              (!token_.empty() && token_ != "[" && token_ != "=" &&
+               token_ != ";" && token_ != "]"),
+          "expected a node id, got '" + token_ + "'");
+    const std::string first = token_;
+    const std::size_t first_pos = token_pos_;
+    next_token();
+    if (token_ == "=") {
+      // Graph-level attribute (rankdir=TB;): consume and ignore.
+      next_token();
+      check(!token_.empty(), "missing value after '='");
+      next_token();
+      if (token_ == ";") next_token();
+      return;
+    }
+    VertexId tail = vertex(first);
+    bool is_edge = false;
+    while (token_ == "->") {
+      next_token();
+      check(!token_.empty() && (token_quoted_ || id_char(token_[0])),
+            "expected a node id after '->'");
+      const VertexId head = vertex(token_);
+      if (head == tail) {
+        token_pos_ = first_pos;
+        fail("self-loop on '" + first + "'");
+      }
+      graph_.add_edge(tail, head);
+      tail = head;
+      is_edge = true;
+      next_token();
+    }
+    const std::string label = attr_list();
+    // A label on a plain node statement names the vertex; edge labels are
+    // presentation-only and dropped.
+    if (!is_edge && !label.empty())
+      graph_.set_name(ids_.at(first), label);
+    if (token_ == ";") next_token();
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::string token_;
+  std::size_t token_pos_ = 0;
+  bool token_quoted_ = false;
+  Digraph graph_;
+  std::unordered_map<std::string, VertexId> ids_;
+};
+
+}  // namespace
+
+Digraph read_dot(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DotReader(buffer.str()).parse();
+}
+
+Digraph from_dot_string(const std::string& text) {
+  return DotReader(text).parse();
+}
+
+Digraph load_dot(const std::string& path) {
+  std::ifstream in(path);
+  GIO_EXPECTS_MSG(in.good(), "cannot open DOT file: " + path);
+  return read_dot(in);
 }
 
 }  // namespace graphio

@@ -1,7 +1,17 @@
-// Graphviz DOT export, used by the graph gallery example to regenerate the
-// paper's illustration figures (1, 4, 5, 6).
+// Graphviz DOT export and import.
+//
+// Export regenerates the paper's illustration figures (1, 4, 5, 6) via
+// the graph gallery example. Import lets users feed DOT computation
+// graphs straight to the tools: engine::GraphSpec dispatches *.dot / *.gv
+// paths here, so `graphio bound my_dag.dot --memory 8` works the same as
+// an edgelist file. The reader accepts the structural digraph subset —
+// node statements, `a -> b [-> c …]` edge chains, attribute lists (only
+// `label` is consumed; layout attributes are skipped), quoted ids, and
+// // /*…*/ # comments. Subgraphs and undirected graphs are rejected with
+// a contract_error naming the offending token.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "graphio/graph/digraph.hpp"
@@ -22,5 +32,17 @@ std::string to_dot(const Digraph& g, const DotOptions& options = {});
 /// Writes to_dot(g) to a file; throws contract_error when unwritable.
 void write_dot(const Digraph& g, const std::string& path,
                const DotOptions& options = {});
+
+/// Parses the structural digraph subset described above. Vertices are
+/// numbered in order of first mention; a `label` attribute becomes the
+/// vertex name. Throws contract_error on malformed input (with the byte
+/// offset), undirected graphs, subgraphs, or self-loops.
+Digraph read_dot(std::istream& in);
+
+/// read_dot over an in-memory document (round-trips to_dot exactly).
+Digraph from_dot_string(const std::string& text);
+
+/// Loads a DOT file; throws contract_error on unopenable paths.
+Digraph load_dot(const std::string& path);
 
 }  // namespace graphio

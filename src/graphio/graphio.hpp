@@ -22,16 +22,37 @@
 //
 //   auto g = graphio::builders::fft(8);                 // 2^8-point FFT
 //   auto b = graphio::spectral_bound(g, /*memory=*/16); // Theorem 4
+//
+// For corpora instead of single graphs, the serve subsystem fans JSONL
+// job streams across a work-stealing thread pool with a persistent
+// on-disk result cache (warm reruns perform zero eigensolves):
+//
+//   graphio::serve::BatchOptions options;
+//   options.threads = 8;                  // 0 = hardware_threads()
+//   options.store_dir = "runs/store";     // "" disables the disk cache
+//   graphio::serve::BatchSession session(options);
+//   std::ifstream jobs("jobs.jsonl");     // {"spec":"fft:8","memories":[4,8]}
+//   graphio::serve::BatchSummary s = session.run(jobs, std::cout);
+//   std::cerr << s.to_json() << "\n";     // throughput, p50/p95, hit rates
 #pragma once
 
 // Unified analysis API: Engine, BoundRequest/BoundReport, the BoundMethod
 // registry, and the shared-artifact cache.
 #include "graphio/engine/artifact_cache.hpp"
 #include "graphio/engine/engine.hpp"
+#include "graphio/engine/fingerprint.hpp"
 #include "graphio/engine/graph_spec.hpp"
 #include "graphio/engine/method.hpp"
 #include "graphio/engine/report.hpp"
 #include "graphio/engine/request.hpp"
+
+// Concurrent batch-analysis service: JSONL jobs in, JSONL reports out,
+// work-stealing scheduler, persistent result store.
+#include "graphio/serve/batch_session.hpp"
+#include "graphio/serve/job.hpp"
+#include "graphio/serve/job_queue.hpp"
+#include "graphio/serve/result_store.hpp"
+#include "graphio/serve/scheduler.hpp"
 
 // Core: the paper's contribution.
 #include "graphio/core/analytic_bounds.hpp"

@@ -1,18 +1,22 @@
-// Minimal streaming JSON writer (and validating scanner).
+// Minimal streaming JSON writer, validating scanner, and value parser.
 //
 // The writer emits machine-readable experiment artifacts — graphs, bound
 // reports, bench series — without an external JSON dependency. It checks
 // nesting discipline at runtime (object keys before values, matching
 // closes) so misuse fails loudly in tests rather than producing garbage.
 // The scanner is a strict structural validator used by the test suite to
-// certify everything the writer (or a bench) produces.
+// certify everything the writer (or a bench) produces. JsonValue is the
+// read side: the serve subsystem parses JSONL job lines and result-store
+// records with it, so the library round-trips its own output.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "graphio/graph/digraph.hpp"
@@ -57,6 +61,65 @@ class JsonWriter {
 
 /// Escapes a string per RFC 8259 (quotes, backslash, control characters).
 std::string json_escape(std::string_view s);
+
+/// A parsed JSON document: one immutable tree of values. Object member
+/// order is preserved; duplicate keys keep the first occurrence (lookups
+/// are front-to-back). Accessors throw contract_error on type mismatches
+/// so malformed job lines surface as one catchable error with context.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON value (trailing non-whitespace is an
+  /// error). Throws contract_error with a byte offset on malformed input.
+  static JsonValue parse(std::string_view text);
+
+  JsonValue() = default;
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return type_ == Type::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  /// Typed accessors (throwing on mismatch). as_int additionally rejects
+  /// non-integral numbers.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array access. size() also works for objects (member count).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const JsonValue& at(std::size_t i) const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+
+  /// Object access: get() returns nullptr when absent, at() throws.
+  [[nodiscard]] const JsonValue* get(std::string_view key) const;
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
 
 /// Structural validation: true iff `text` is one complete, well-formed
 /// JSON value (objects, arrays, strings, numbers, true/false/null).

@@ -1,0 +1,198 @@
+#include "graphio/serve/batch_session.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "graphio/io/json.hpp"
+#include "graphio/support/timer.hpp"
+
+namespace graphio::serve {
+
+namespace {
+
+void write_result_line(std::ostream& out, const JobResult& result) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("job").value(result.id);
+  if (result.ok) {
+    w.key("report");
+    result.report.append_json(w, /*include_timing=*/false);
+  } else {
+    w.key("error").value(result.error);
+  }
+  w.end_object();
+  out << w.str() << '\n';
+}
+
+void write_reject_line(std::ostream& out, std::int64_t line_no,
+                       const std::string& what) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("job").value(line_no);
+  w.key("error").value(what);
+  w.end_object();
+  out << w.str() << '\n';
+}
+
+double percentile(std::vector<double> sorted_or_not, double p) {
+  if (sorted_or_not.empty()) return 0.0;
+  std::sort(sorted_or_not.begin(), sorted_or_not.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_or_not.size() - 1) + 0.5);
+  return sorted_or_not[std::min(rank, sorted_or_not.size() - 1)];
+}
+
+}  // namespace
+
+double BatchSummary::store_hit_rate() const {
+  const std::int64_t total = store_hits + store_misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(store_hits) /
+                          static_cast<double>(total);
+}
+
+std::string BatchSummary::to_json() const {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("jobs").value(jobs);
+  w.key("ok").value(ok);
+  w.key("failed").value(failed);
+  w.key("rejected_lines").value(rejected_lines);
+  w.key("threads").value(threads);
+  w.key("steals").value(steals);
+  w.key("seconds").value(seconds);
+  w.key("throughput").value(throughput);
+  w.key("p50_seconds").value(p50_seconds);
+  w.key("p95_seconds").value(p95_seconds);
+  w.key("store").begin_object();
+  w.key("hits").value(store_hits);
+  w.key("misses").value(store_misses);
+  w.key("hit_rate").value(store_hit_rate());
+  w.end_object();
+  w.key("cache").begin_object();
+  w.key("hits").value(cache.hits);
+  w.key("misses").value(cache.misses);
+  w.key("eigensolves").value(cache.eigensolves);
+  w.key("mincut_sweeps").value(cache.mincut_sweeps);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+BatchSession::BatchSession(const BatchOptions& options) {
+  if (!options.store_dir.empty())
+    store_ = std::make_unique<ResultStore>(options.store_dir);
+  SchedulerOptions scheduler_options;
+  scheduler_options.threads = options.threads;
+  scheduler_options.store = store_.get();
+  scheduler_ = std::make_unique<Scheduler>(scheduler_options);
+}
+
+BatchSession::~BatchSession() = default;
+
+BatchSummary BatchSession::run(std::istream& in, std::ostream& out) {
+  BatchSummary summary;
+  WallTimer timer;
+
+  // Ingest first: rejected lines are reported up front (in line order),
+  // valid jobs go to the queue. Job ids are 1-based line numbers so the
+  // caller can join results back to the jobs file.
+  std::vector<Job> jobs;
+  std::string line;
+  std::int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;  // blank line
+    if (line[start] == '#') continue;          // comment line
+    Job job;
+    job.id = line_no;
+    try {
+      job.request = request_from_json_line(line);
+    } catch (const std::exception& e) {
+      ++summary.rejected_lines;
+      write_reject_line(out, line_no, e.what());
+      continue;
+    }
+    jobs.push_back(std::move(job));
+  }
+  summary.jobs = static_cast<std::int64_t>(jobs.size());
+
+  std::vector<double> latencies;
+  latencies.reserve(jobs.size());
+  const Scheduler::RunStats stats = scheduler_->run(
+      std::move(jobs), [&](const JobResult& result) {
+        // Serialized by the scheduler's result mutex.
+        write_result_line(out, result);
+        latencies.push_back(result.seconds);
+        if (result.ok) ++summary.ok;
+        else ++summary.failed;
+        summary.store_hits += result.store_hits;
+        summary.store_misses += result.store_misses;
+      });
+
+  summary.threads = stats.threads;
+  summary.steals = stats.steals;
+  summary.cache = stats.cache;
+  summary.seconds = timer.seconds();
+  summary.throughput =
+      summary.seconds > 0.0
+          ? static_cast<double>(summary.ok + summary.failed) /
+                summary.seconds
+          : 0.0;
+  summary.p50_seconds = percentile(latencies, 0.50);
+  summary.p95_seconds = percentile(latencies, 0.95);
+  return summary;
+}
+
+BatchSummary BatchSession::serve(std::istream& in, std::ostream& out) {
+  BatchSummary summary;
+  summary.threads = 1;
+  WallTimer timer;
+  std::vector<double> latencies;
+  const engine::ArtifactCache::Stats before = scheduler_->engine_stats();
+
+  std::string line;
+  std::int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    Job job;
+    job.id = line_no;
+    try {
+      job.request = request_from_json_line(line);
+    } catch (const std::exception& e) {
+      ++summary.rejected_lines;
+      write_reject_line(out, line_no, e.what());
+      out.flush();
+      continue;
+    }
+    ++summary.jobs;
+    const JobResult result = scheduler_->run_one(job);
+    write_result_line(out, result);
+    out.flush();
+    latencies.push_back(result.seconds);
+    if (result.ok) ++summary.ok;
+    else ++summary.failed;
+    summary.store_hits += result.store_hits;
+    summary.store_misses += result.store_misses;
+  }
+
+  summary.cache = scheduler_->engine_stats() - before;
+  summary.seconds = timer.seconds();
+  summary.throughput =
+      summary.seconds > 0.0
+          ? static_cast<double>(summary.ok + summary.failed) /
+                summary.seconds
+          : 0.0;
+  summary.p50_seconds = percentile(latencies, 0.50);
+  summary.p95_seconds = percentile(latencies, 0.95);
+  return summary;
+}
+
+}  // namespace graphio::serve

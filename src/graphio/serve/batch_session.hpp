@@ -1,0 +1,81 @@
+// BatchSession — JSONL in, JSONL out: the serve subsystem's front door.
+//
+// run() ingests a jobs file (one request per line, see serve/job.hpp),
+// fans it across the Scheduler, and streams one result line per job to
+// the output as results complete:
+//
+//   {"job": 3, "report": {...}}          evaluated request (job = line no)
+//   {"job": 7, "error": "unknown …"}     failed request
+//
+// Malformed lines are rejected as error records without aborting the rest
+// of the batch. Result lines are *deterministic*: reports are serialized
+// without timing/cache fields, so `sort` of two runs' outputs compares
+// byte-identical across thread counts and warm/cold stores. Timing lives
+// in the returned BatchSummary (and its to_json footer).
+//
+// serve() is the interactive sibling: a stdin/stdout request/response
+// loop (one JSONL request line in, one result line out, flushed) for
+// driving graphio from another process.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "graphio/serve/scheduler.hpp"
+
+namespace graphio::serve {
+
+struct BatchOptions {
+  /// Worker threads; 0 means hardware_threads().
+  int threads = 0;
+  /// Directory for the persistent ResultStore; empty disables it.
+  std::string store_dir;
+};
+
+struct BatchSummary {
+  std::int64_t jobs = 0;           ///< parsed job lines handed to workers
+  std::int64_t ok = 0;             ///< jobs that produced a report
+  std::int64_t failed = 0;         ///< jobs that errored during evaluation
+  std::int64_t rejected_lines = 0; ///< unparseable job lines
+  int threads = 0;
+  std::int64_t steals = 0;         ///< queue rebalance events
+  double seconds = 0.0;            ///< batch wall time
+  double throughput = 0.0;         ///< completed jobs per second
+  double p50_seconds = 0.0;        ///< median per-job worker latency
+  double p95_seconds = 0.0;        ///< 95th-percentile per-job latency
+  std::int64_t store_hits = 0;     ///< rows served from the ResultStore
+  std::int64_t store_misses = 0;
+  engine::ArtifactCache::Stats cache;  ///< artifact activity this batch
+  /// Fraction of store lookups served, 0 when the store was off/empty.
+  [[nodiscard]] double store_hit_rate() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+class BatchSession {
+ public:
+  /// Opens the store (when configured) and builds the worker pool.
+  explicit BatchSession(const BatchOptions& options = {});
+  ~BatchSession();
+
+  /// Batch mode: evaluates every JSONL line of `in`, streaming result
+  /// lines to `out` as they complete.
+  BatchSummary run(std::istream& in, std::ostream& out);
+
+  /// Interactive mode: one request line in, one result line out (flushed
+  /// after every response), until EOF. Uses worker 0's Engine only, so
+  /// artifacts stay warm across requests.
+  BatchSummary serve(std::istream& in, std::ostream& out);
+
+  [[nodiscard]] const ResultStore* store() const noexcept {
+    return store_.get();
+  }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return *scheduler_; }
+
+ private:
+  std::unique_ptr<ResultStore> store_;
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
+}  // namespace graphio::serve

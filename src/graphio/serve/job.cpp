@@ -1,0 +1,66 @@
+#include "graphio/serve/job.hpp"
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::serve {
+
+engine::BoundRequest request_from_json(const io::JsonValue& value) {
+  GIO_EXPECTS_MSG(value.is_object(), "job line must be a JSON object");
+  engine::BoundRequest request;
+  for (const auto& [key, v] : value.members()) {
+    if (key == "spec") {
+      request.spec = v.as_string();
+    } else if (key == "name") {
+      request.name = v.as_string();
+    } else if (key == "memories") {
+      for (const io::JsonValue& m : v.items()) {
+        const double memory = m.as_double();
+        GIO_EXPECTS_MSG(memory >= 0.0, "memory size must be non-negative");
+        request.memories.push_back(memory);
+      }
+    } else if (key == "methods") {
+      for (const io::JsonValue& m : v.items())
+        request.methods.push_back(m.as_string());
+    } else if (key == "processors") {
+      request.processors = v.as_int();
+      GIO_EXPECTS_MSG(request.processors >= 1, "processors must be >= 1");
+    } else if (key == "sim_random_orders") {
+      const std::int64_t orders = v.as_int();
+      GIO_EXPECTS_MSG(orders >= 0 && orders <= 1'000'000,
+                      "sim_random_orders out of range");
+      request.sim_random_orders = static_cast<int>(orders);
+    } else {
+      GIO_EXPECTS_MSG(false, "unknown job key '" + key + "'");
+    }
+  }
+  GIO_EXPECTS_MSG(!request.spec.empty(), "job needs a \"spec\"");
+  GIO_EXPECTS_MSG(!request.memories.empty(),
+                  "job needs a non-empty \"memories\" array");
+  return request;
+}
+
+engine::BoundRequest request_from_json_line(const std::string& line) {
+  return request_from_json(io::JsonValue::parse(line));
+}
+
+std::string request_to_json_line(const engine::BoundRequest& request) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("spec").value(request.spec);
+  if (!request.name.empty()) w.key("name").value(request.name);
+  w.key("memories").begin_array();
+  for (double m : request.memories) w.value(m);
+  w.end_array();
+  if (!request.methods.empty()) {
+    w.key("methods").begin_array();
+    for (const std::string& m : request.methods) w.value(m);
+    w.end_array();
+  }
+  if (request.processors != 1) w.key("processors").value(request.processors);
+  if (request.sim_random_orders != 4)
+    w.key("sim_random_orders").value(request.sim_random_orders);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace graphio::serve

@@ -1,0 +1,45 @@
+// Jobs — the serve subsystem's unit of work: one BoundRequest with a
+// stable id, parsed from a JSONL job line.
+//
+// Job-line grammar (one JSON object per line):
+//
+//   {"spec": "fft:8",                     required — family spec or file
+//    "memories": [4, 8, 16],              required — non-empty, >= 0
+//    "methods": ["spectral", "mincut"],   optional — default every method
+//    "processors": 4,                     optional — Theorem 6 p, default 1
+//    "sim_random_orders": 4,              optional — memsim sampling knob
+//    "name": "my-label"}                  optional — display name
+//
+// Parsing is strict: unknown keys, wrong types, and out-of-range values
+// throw contract_error with enough context to report the offending line
+// without aborting the batch (BatchSession catches per line).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graphio/engine/request.hpp"
+#include "graphio/io/json.hpp"
+
+namespace graphio::serve {
+
+struct Job {
+  /// Stable id assigned by the ingest side (the 1-based jobs-file line
+  /// number in batch mode); results carry it so callers can join output
+  /// back to input after out-of-order completion.
+  std::int64_t id = 0;
+  engine::BoundRequest request;
+};
+
+/// Parses one job line into a request. Throws contract_error on invalid
+/// JSON, missing/unknown keys, or values the Engine would reject.
+engine::BoundRequest request_from_json(const io::JsonValue& value);
+
+/// Convenience: parse + validate one JSONL line.
+engine::BoundRequest request_from_json_line(const std::string& line);
+
+/// Serializes a request back to its job-line form (round-trip with
+/// request_from_json; used by tools generating job corpora).
+std::string request_to_json_line(const engine::BoundRequest& request);
+
+}  // namespace graphio::serve

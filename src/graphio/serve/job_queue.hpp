@@ -1,0 +1,58 @@
+// JobQueue — sharded deques with work stealing for the serve Scheduler.
+//
+// Jobs are sharded by graph-spec hash, one deque per worker, so every
+// request for the same spec lands on the same worker and reuses that
+// worker's per-spec ArtifactCache (one eigendecomposition per graph no
+// matter how many jobs sweep it). A worker that drains its own shard
+// steals from the *back* of the busiest other shard — the classic
+// Blumofe–Leiserson arrangement: owners pop recent jobs (warm cache),
+// thieves take the oldest ones (most likely a spec the owner has not
+// started), so stealing costs at most one redundant artifact build.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "graphio/serve/job.hpp"
+
+namespace graphio::serve {
+
+class JobQueue {
+ public:
+  /// One shard per worker; `workers` must be >= 1.
+  explicit JobQueue(int workers);
+
+  /// Enqueues onto the shard owning the job's spec (hash-affine). Not
+  /// thread-safe against pop(): fill the queue before starting workers.
+  void push(Job job);
+
+  /// Enqueues onto a specific shard (tests / custom placement).
+  void push_to_shard(std::size_t shard, Job job);
+
+  /// Pops the next job for `worker`: front of its own shard, else back of
+  /// the fullest other shard. Returns false when every shard is empty —
+  /// the batch is done (jobs never enqueue more jobs). Thread-safe.
+  bool pop(std::size_t worker, Job& out);
+
+  [[nodiscard]] std::size_t shards() const noexcept {
+    return shards_.size();
+  }
+  /// Jobs stolen across shards so far (scheduler telemetry).
+  [[nodiscard]] std::int64_t steals() const noexcept;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::deque<Job> jobs;
+  };
+
+  std::size_t shard_of(const Job& job) const noexcept;
+
+  std::vector<Shard> shards_;
+  mutable std::mutex steals_mutex_;
+  std::int64_t steals_ = 0;
+};
+
+}  // namespace graphio::serve

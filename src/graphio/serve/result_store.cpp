@@ -1,0 +1,162 @@
+#include "graphio/serve/result_store.hpp"
+
+#include <charconv>
+#include <utility>
+
+#include "graphio/engine/fingerprint.hpp"
+#include "graphio/io/json.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::serve {
+
+namespace {
+
+/// Round-trippable double rendering, shared by the key encoding and the
+/// log records so a value always looks up the way it was written.
+std::string format_double_exact(double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v,
+                                       std::chars_format::general, 17);
+  GIO_ASSERT(ec == std::errc());
+  return std::string(buf, static_cast<std::size_t>(end - buf));
+}
+
+engine::BoundKind kind_from_string(const std::string& s) {
+  if (s == "lower") return engine::BoundKind::kLower;
+  if (s == "upper") return engine::BoundKind::kUpper;
+  if (s == "exact") return engine::BoundKind::kExact;
+  if (s == "certificate") return engine::BoundKind::kCertificate;
+  GIO_EXPECTS_MSG(false, "unknown bound kind '" + s + "'");
+  return engine::BoundKind::kLower;  // unreachable
+}
+
+std::string record_line(const ResultStore::Key& key,
+                        const engine::MethodRow& row) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("graph").value(engine::fingerprint_hex(key.graph_fingerprint));
+  w.key("method").value(key.method);
+  w.key("memory").value(key.memory);
+  w.key("processors").value(key.processors);
+  w.key("orders").value(key.sim_random_orders);
+  w.key("row").begin_object();
+  w.key("kind").value(engine::to_string(row.kind));
+  w.key("applicable").value(row.applicable);
+  w.key("bound").value(row.value);
+  w.key("best_k").value(row.best_k);
+  w.key("converged").value(row.converged);
+  w.key("seconds").value(row.seconds);
+  w.key("note").value(row.note);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+/// Parses one log line back into (key, row). Throws on malformed lines;
+/// the loader catches and counts.
+std::pair<ResultStore::Key, engine::MethodRow> parse_record(
+    const std::string& line) {
+  const io::JsonValue v = io::JsonValue::parse(line);
+  ResultStore::Key key;
+  const std::string& hex = v.at("graph").as_string();
+  GIO_EXPECTS_MSG(hex.size() == 16, "bad fingerprint");
+  std::uint64_t fp = 0;
+  const auto [p, ec] =
+      std::from_chars(hex.data(), hex.data() + hex.size(), fp, 16);
+  GIO_EXPECTS_MSG(ec == std::errc() && p == hex.data() + hex.size(),
+                  "bad fingerprint");
+  key.graph_fingerprint = fp;
+  key.method = v.at("method").as_string();
+  key.memory = v.at("memory").as_double();
+  key.processors = v.at("processors").as_int();
+  key.sim_random_orders = static_cast<int>(v.at("orders").as_int());
+
+  const io::JsonValue& r = v.at("row");
+  engine::MethodRow row;
+  row.method = key.method;
+  row.memory = key.memory;
+  row.processors = key.processors;
+  row.kind = kind_from_string(r.at("kind").as_string());
+  row.applicable = r.at("applicable").as_bool();
+  row.value = r.at("bound").as_double();
+  row.best_k = static_cast<int>(r.at("best_k").as_int());
+  row.converged = r.at("converged").as_bool();
+  row.seconds = r.at("seconds").as_double();
+  row.note = r.at("note").as_string();
+  return {std::move(key), std::move(row)};
+}
+
+}  // namespace
+
+std::string ResultStore::encode_key(const Key& key) {
+  std::string out = engine::fingerprint_hex(key.graph_fingerprint);
+  out += '|';
+  out += key.method;
+  out += '|';
+  out += format_double_exact(key.memory);
+  out += '|';
+  out += std::to_string(key.processors);
+  out += '|';
+  out += std::to_string(key.sim_random_orders);
+  return out;
+}
+
+ResultStore::ResultStore(const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  GIO_EXPECTS_MSG(!ec, "cannot create store directory '" + dir.string() +
+                           "': " + ec.message());
+  log_path_ = dir / "results.jsonl";
+
+  if (std::filesystem::exists(log_path_)) {
+    std::ifstream in(log_path_);
+    GIO_EXPECTS_MSG(in.good(),
+                    "cannot read store log '" + log_path_.string() + "'");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      try {
+        auto [key, row] = parse_record(line);
+        if (rows_.emplace(encode_key(key), std::move(row)).second)
+          ++stats_.loaded;
+      } catch (const std::exception&) {
+        ++stats_.corrupt;  // torn/garbage line; keep replaying
+      }
+    }
+  }
+
+  log_.open(log_path_, std::ios::app);
+  GIO_EXPECTS_MSG(log_.good(),
+                  "cannot append to store log '" + log_path_.string() + "'");
+}
+
+std::optional<engine::MethodRow> ResultStore::lookup(const Key& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = rows_.find(encode_key(key));
+  if (it == rows_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void ResultStore::insert(const Key& key, const engine::MethodRow& row) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!rows_.emplace(encode_key(key), row).second) return;
+  log_ << record_line(key, row) << '\n';
+  log_.flush();
+  ++stats_.appended;
+}
+
+ResultStore::Stats ResultStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ResultStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rows_.size();
+}
+
+}  // namespace graphio::serve

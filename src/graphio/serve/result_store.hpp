@@ -1,0 +1,81 @@
+// ResultStore — persistent on-disk cache of evaluated bound rows.
+//
+// Every computed (graph, method, M) cell is appended to a JSONL log under
+// the store directory and indexed in memory, so repeated sweeps over a
+// corpus hit disk instead of recomputing eigen-spectra: a warm rerun of a
+// whole batch performs zero eigensolves (certified by the serve tests).
+//
+// Keys are content-addressed: the graph's structural fingerprint
+// (engine/fingerprint.hpp), the method id, the memory size, and the two
+// request knobs that change results for some method (processors for
+// "parallel", sim_random_orders for "memsim"). Per-method solver options
+// (SpectralOptions etc.) are NOT part of the key — the serve layer always
+// evaluates with defaults; drivers tuning solver options should point
+// each configuration at its own store directory.
+//
+// The log is append-only and crash-tolerant: unparseable lines (e.g. a
+// torn final line after a crash) are counted and skipped on load, and the
+// next insert simply appends after them.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "graphio/engine/method.hpp"
+
+namespace graphio::serve {
+
+class ResultStore {
+ public:
+  struct Key {
+    std::uint64_t graph_fingerprint = 0;
+    std::string method;
+    double memory = 0.0;
+    std::int64_t processors = 1;
+    int sim_random_orders = 4;
+  };
+
+  /// Opens (creating the directory if needed) and replays `dir/results.jsonl`.
+  /// Throws contract_error when the directory cannot be created or the log
+  /// cannot be opened for append.
+  explicit ResultStore(const std::filesystem::path& dir);
+
+  /// The cached row for a key, or nullopt. Thread-safe; counts a hit/miss.
+  std::optional<engine::MethodRow> lookup(const Key& key);
+
+  /// Records a computed row: appends one JSONL line and indexes it. A key
+  /// already present is ignored (first write wins, matching lookup).
+  /// Thread-safe.
+  void insert(const Key& key, const engine::MethodRow& row);
+
+  struct Stats {
+    std::int64_t loaded = 0;     ///< rows replayed from disk at startup
+    std::int64_t corrupt = 0;    ///< log lines skipped as unparseable
+    std::int64_t hits = 0;       ///< lookups served
+    std::int64_t misses = 0;     ///< lookups that found nothing
+    std::int64_t appended = 0;   ///< rows written this session
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return log_path_;
+  }
+
+ private:
+  static std::string encode_key(const Key& key);
+
+  mutable std::mutex mutex_;
+  std::filesystem::path log_path_;
+  std::ofstream log_;
+  std::unordered_map<std::string, engine::MethodRow> rows_;
+  Stats stats_;
+};
+
+}  // namespace graphio::serve

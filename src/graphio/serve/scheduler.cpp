@@ -1,0 +1,202 @@
+#include "graphio/serve/scheduler.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "graphio/engine/fingerprint.hpp"
+#include "graphio/serve/job_queue.hpp"
+#include "graphio/support/contracts.hpp"
+#include "graphio/support/parallel.hpp"
+#include "graphio/support/timer.hpp"
+
+namespace graphio::serve {
+
+namespace {
+
+/// The store key for one (request, method, memory) cell. processors and
+/// sim_random_orders only key the methods whose results they change, so
+/// e.g. a "spectral" row computed under a processors=4 request still
+/// serves later processors=1 requests.
+ResultStore::Key store_key(std::uint64_t fingerprint,
+                           const engine::BoundRequest& request,
+                           std::string_view method, double memory) {
+  ResultStore::Key key;
+  key.graph_fingerprint = fingerprint;
+  key.method = std::string(method);
+  key.memory = memory;
+  key.processors = method == "parallel" ? request.processors : 1;
+  key.sim_random_orders =
+      method == "memsim" ? request.sim_random_orders : 0;
+  return key;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const SchedulerOptions& options)
+    : store_(options.store) {
+  int threads = options.threads > 0 ? options.threads : hardware_threads();
+  threads = std::max(threads, 1);
+  engines_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    engines_.push_back(std::make_unique<engine::Engine>());
+}
+
+JobResult Scheduler::evaluate_job(engine::Engine& engine,
+                                  const Job& job) const {
+  JobResult result;
+  result.id = job.id;
+  WallTimer timer;
+  try {
+    if (store_ == nullptr) {
+      result.report = engine.evaluate(job.request);
+    } else {
+      const engine::BoundRequest& request = job.request;
+      GIO_EXPECTS_MSG(!request.memories.empty(),
+                      "request needs at least one memory size");
+      const std::vector<const engine::BoundMethod*> selected =
+          engine::select_methods(request);
+      // Content-addressing makes explicit-graph requests first-class store
+      // citizens: they hash the carried graph, spec requests hash (and
+      // cache) through the Engine.
+      const std::uint64_t fingerprint =
+          request.graph.has_value()
+              ? engine::graph_fingerprint(*request.graph)
+              : engine.fingerprint(request.spec);
+      const Digraph& graph = request.graph.has_value()
+                                 ? *request.graph
+                                 : engine.graph(request.spec);
+
+      // Per-method: either every (method, M) row is on disk, or the whole
+      // sweep is recomputed (the sweep shares one spectrum/cut anyway and
+      // partial hits are rare — they only happen when the memory list
+      // changed between runs).
+      std::vector<std::vector<engine::MethodRow>> stored(selected.size());
+      std::vector<std::string> missed;
+      for (std::size_t s = 0; s < selected.size(); ++s) {
+        const std::string id(selected[s]->id());
+        std::vector<engine::MethodRow> rows;
+        rows.reserve(request.memories.size());
+        for (double m : request.memories) {
+          auto row = store_->lookup(store_key(fingerprint, request, id, m));
+          if (!row.has_value()) break;
+          rows.push_back(std::move(*row));
+        }
+        if (rows.size() == request.memories.size()) {
+          result.store_hits +=
+              static_cast<std::int64_t>(request.memories.size());
+          stored[s] = std::move(rows);
+        } else {
+          result.store_misses +=
+              static_cast<std::int64_t>(request.memories.size());
+          missed.push_back(id);
+        }
+      }
+
+      engine::BoundReport computed;
+      if (!missed.empty()) {
+        engine::BoundRequest sub = request;
+        sub.methods = missed;
+        computed = engine.evaluate(sub);
+        // Only persist converged rows. Non-converged covers methods that
+        // threw (possibly transiently: the Engine marks exception rows
+        // converged=false), time-budget-cut min-cut sweeps, and partial
+        // spectra — caching any of those would serve a degraded or stale
+        // answer forever. Deterministic inapplicability verdicts ("graph
+        // is cyclic", "exceeds 21 vertices") stay converged and cached,
+        // preserving 100% warm-run hit rates.
+        for (const engine::MethodRow& row : computed.rows)
+          if (row.converged)
+            store_->insert(store_key(fingerprint, request, row.method,
+                                     row.memory),
+                           row);
+      }
+
+      // Assemble the report in selection order, mixing stored and fresh
+      // rows; the deterministic serialization of both forms is identical.
+      engine::BoundReport& report = result.report;
+      report.graph = request.display_name();
+      report.vertices = graph.num_vertices();
+      report.edges = graph.num_edges();
+      report.processors = request.processors;
+      report.memories = request.memories;
+      report.cache = computed.cache;  // zero when fully warm
+      for (std::size_t s = 0; s < selected.size(); ++s) {
+        if (!stored[s].empty()) {
+          for (engine::MethodRow& row : stored[s])
+            report.rows.push_back(std::move(row));
+          continue;
+        }
+        for (const engine::MethodRow* row :
+             computed.rows_for(selected[s]->id()))
+          report.rows.push_back(*row);
+      }
+    }
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  result.seconds = timer.seconds();
+  result.report.seconds = result.seconds;
+  return result;
+}
+
+JobResult Scheduler::run_one(const Job& job) {
+  return evaluate_job(*engines_.front(), job);
+}
+
+engine::ArtifactCache::Stats Scheduler::engine_stats() const {
+  engine::ArtifactCache::Stats total;
+  for (const auto& engine : engines_) total += engine->stats();
+  return total;
+}
+
+Scheduler::RunStats Scheduler::run(
+    std::vector<Job> jobs,
+    const std::function<void(const JobResult&)>& on_result) {
+  RunStats stats;
+  stats.threads = threads();
+  stats.jobs = static_cast<std::int64_t>(jobs.size());
+  WallTimer timer;
+
+  std::vector<engine::ArtifactCache::Stats> before;
+  before.reserve(engines_.size());
+  for (const auto& engine : engines_) before.push_back(engine->stats());
+
+  JobQueue queue(threads());
+  for (Job& job : jobs) queue.push(std::move(job));
+
+  std::mutex result_mutex;
+  auto worker = [&](std::size_t index) {
+    // With several workers sharing the machine, inner library loops
+    // (matvec, min-cut sweeps) must not fan out again — request-level
+    // parallelism already saturates the cores. A lone worker keeps them.
+    std::optional<SerialRegion> serial;
+    if (engines_.size() > 1) serial.emplace();
+    engine::Engine& engine = *engines_[index];
+    Job job;
+    while (queue.pop(index, job)) {
+      const JobResult result = evaluate_job(engine, job);
+      const std::lock_guard<std::mutex> lock(result_mutex);
+      if (on_result) on_result(result);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(engines_.size() - 1);
+  for (std::size_t t = 1; t < engines_.size(); ++t)
+    pool.emplace_back(worker, t);
+  worker(0);
+  for (std::thread& t : pool) t.join();
+
+  for (std::size_t t = 0; t < engines_.size(); ++t)
+    stats.cache += engines_[t]->stats() - before[t];
+  stats.steals = queue.steals();
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace graphio::serve

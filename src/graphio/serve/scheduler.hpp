@@ -1,0 +1,90 @@
+// Scheduler — fans a corpus of jobs across a std::thread worker pool.
+//
+// Independent of OpenMP (support/parallel.hpp) by design: the serve layer
+// must parallelize even in no-OpenMP builds, and its workers are long-
+// lived request loops, not data-parallel loop bodies. Each worker owns a
+// private engine::Engine, so per-spec ArtifactCache reuse (one
+// eigendecomposition per graph) is preserved within a worker, and the
+// JobQueue's spec-hash sharding sends every job for a given graph to the
+// same worker unless stealing rebalances. Workers consult the optional
+// shared ResultStore row-by-row before computing, so warm batches touch
+// neither the eigensolver nor the flow substrate.
+//
+// Results are handed to a callback as they complete (any worker thread,
+// serialized by an internal mutex) — the BatchSession streams them to the
+// output without waiting for the batch. Every job produces exactly one
+// JobResult, ok or failed; a worker never throws out of a job.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graphio/engine/engine.hpp"
+#include "graphio/serve/job.hpp"
+#include "graphio/serve/result_store.hpp"
+
+namespace graphio::serve {
+
+struct SchedulerOptions {
+  /// Worker count; 0 means hardware_threads().
+  int threads = 0;
+  /// Shared persistent cache; nullptr disables store lookups.
+  ResultStore* store = nullptr;
+};
+
+struct JobResult {
+  std::int64_t id = 0;
+  bool ok = false;
+  /// Failure reason when !ok (bad spec, unknown method, cyclic graph…).
+  std::string error;
+  engine::BoundReport report;
+  /// Worker wall time spent on this job (store lookups included).
+  double seconds = 0.0;
+  /// Rows served from / missed in the persistent store for this job.
+  std::int64_t store_hits = 0;
+  std::int64_t store_misses = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerOptions& options = {});
+
+  /// Telemetry for one run() call.
+  struct RunStats {
+    int threads = 0;
+    std::int64_t jobs = 0;
+    std::int64_t steals = 0;
+    double seconds = 0.0;
+    /// Artifact activity across every worker Engine during this run
+    /// (hits/misses/eigensolves/mincut_sweeps deltas).
+    engine::ArtifactCache::Stats cache;
+  };
+
+  /// Runs every job to completion; `on_result` fires once per job, from
+  /// worker threads, serialized (never concurrently). Worker Engines and
+  /// their artifact caches persist across run() calls, so a long-lived
+  /// serve loop keeps its spectra warm between batches.
+  RunStats run(std::vector<Job> jobs,
+               const std::function<void(const JobResult&)>& on_result);
+
+  /// Evaluates one job on the calling thread with worker 0's Engine —
+  /// the synchronous path behind the `graphio serve` stdin/stdout loop.
+  JobResult run_one(const Job& job);
+
+  [[nodiscard]] int threads() const noexcept {
+    return static_cast<int>(engines_.size());
+  }
+
+  /// Lifetime artifact totals summed across every worker Engine.
+  [[nodiscard]] engine::ArtifactCache::Stats engine_stats() const;
+
+ private:
+  JobResult evaluate_job(engine::Engine& engine, const Job& job) const;
+
+  std::vector<std::unique_ptr<engine::Engine>> engines_;
+  ResultStore* store_ = nullptr;
+};
+
+}  // namespace graphio::serve

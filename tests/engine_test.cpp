@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 
 #include "graphio/core/spectral_bound.hpp"
 #include "graphio/engine/engine.hpp"
@@ -69,6 +71,33 @@ TEST(GraphSpec, ParsesFamiliesAndRejectsGarbage) {
   EXPECT_THROW(GraphSpec::parse("fft:x").build(), contract_error);
   EXPECT_FALSE(GraphSpec::try_parse("nope:3").has_value());
   EXPECT_TRUE(GraphSpec::try_parse("bhk:7").has_value());
+}
+
+TEST(GraphSpec, DispatchesDotFilesByExtension) {
+  const std::string path = ::testing::TempDir() + "graphio_spec_test.dot";
+  {
+    std::ofstream out(path);
+    out << "digraph { a -> b; a -> c; }\n";
+  }
+  const GraphSpec spec = GraphSpec::parse(path);
+  EXPECT_EQ(spec.family, "file");
+  const Digraph g = spec.build();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+
+  // Malformed DOT surfaces as a contract_error at build, not a crash or a
+  // silent empty graph.
+  {
+    std::ofstream out(path);
+    out << "digraph { a -> a }\n";  // self-loop
+  }
+  EXPECT_THROW(GraphSpec::parse(path).build(), contract_error);
+  {
+    std::ofstream out(path);
+    out << "graphio-edgelist 1\nn 2\ne 0 1\n";  // edgelist body, .dot name
+  }
+  EXPECT_THROW(GraphSpec::parse(path).build(), contract_error);
+  std::remove(path.c_str());
 }
 
 // ------------------------------------------------------------------ parity

@@ -74,5 +74,81 @@ TEST(Dot, ParallelEdgesAppearTwice) {
   EXPECT_NE(dot.find("v0 -> v1;", first + 1), std::string::npos);
 }
 
+// ----------------------------------------------------------------- reader
+
+TEST(DotReader, RoundTripsExporterOutput) {
+  for (const Digraph& g :
+       {builders::fft(3), builders::inner_product(3), builders::grid(3, 4)}) {
+    const Digraph back = from_dot_string(to_dot(g));
+    ASSERT_EQ(back.num_vertices(), g.num_vertices());
+    ASSERT_EQ(back.num_edges(), g.num_edges());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(std::vector<VertexId>(back.children(v).begin(),
+                                      back.children(v).end()),
+                std::vector<VertexId>(g.children(v).begin(),
+                                      g.children(v).end()));
+      EXPECT_EQ(back.name(v), g.name(v));
+    }
+  }
+}
+
+TEST(DotReader, ParsesHandWrittenSubset) {
+  const Digraph g = from_dot_string(R"(
+    // line comment
+    strict digraph my_graph {
+      rankdir=LR;  /* block comment */
+      node [shape=box];
+      # hash comment
+      a [label="input"];
+      a -> b -> c;
+      a -> c [style=dotted];
+      "quoted id" -> c;
+    }
+  )");
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.name(0), "input");
+  EXPECT_EQ(std::vector<VertexId>(g.children(0).begin(),
+                                  g.children(0).end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(DotReader, ParsesSpacelessEdgesAndNegativeAttributes) {
+  // "a->b" with no spaces is the common hand-written form; the tokenizer
+  // must not swallow the dash into the id.
+  const Digraph g = from_dot_string(
+      "digraph{a->b;b->c [weight=-2, fontsize=-1.5];}");
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(std::vector<VertexId>(g.children(0).begin(),
+                                  g.children(0).end()),
+            (std::vector<VertexId>{1}));
+  // A negative unquoted label is captured whole, not as the lone dash.
+  const Digraph labeled = from_dot_string("digraph { a [label=-5]; }");
+  EXPECT_EQ(labeled.name(0), "-5");
+}
+
+TEST(DotReader, RejectsMalformedDocuments) {
+  EXPECT_THROW(from_dot_string(""), contract_error);
+  EXPECT_THROW(from_dot_string("graph g { a -- b }"), contract_error);
+  EXPECT_THROW(from_dot_string("digraph { a -> }"), contract_error);
+  EXPECT_THROW(from_dot_string("digraph { a -> a }"), contract_error);
+  EXPECT_THROW(from_dot_string("digraph { a -> b"), contract_error);
+  EXPECT_THROW(from_dot_string("digraph { subgraph s { a } }"),
+               contract_error);
+  EXPECT_THROW(from_dot_string("digraph { a [label=] }"), contract_error);
+  EXPECT_THROW(from_dot_string("digraph { } trailing"), contract_error);
+  EXPECT_THROW(from_dot_string("digraph { \"open"), contract_error);
+}
+
+TEST(DotReader, LoadsFilesAndReportsMissingOnes) {
+  const std::string path = ::testing::TempDir() + "graphio_dot_read.dot";
+  write_dot(builders::binary_tree(3), path);
+  const Digraph g = load_dot(path);
+  EXPECT_EQ(g.num_vertices(), builders::binary_tree(3).num_vertices());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_dot(path), contract_error);
+}
+
 }  // namespace
 }  // namespace graphio

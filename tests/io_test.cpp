@@ -204,5 +204,76 @@ TEST(Json, RoundTripsThroughValidatorForAllBuilders) {
   }
 }
 
+TEST(JsonValue, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e3").as_double(), -2500.0);
+  EXPECT_EQ(JsonValue::parse("42").as_int(), 42);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(JsonValue::parse("  7  ").as_int(), 7);  // surrounding ws
+}
+
+TEST(JsonValue, ParsesContainersPreservingOrder) {
+  const JsonValue v = JsonValue::parse(
+      R"({"b": [1, 2.5, "x"], "a": {"nested": true}, "n": null})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "b");
+  EXPECT_EQ(v.members()[1].first, "a");
+  const JsonValue& array = v.at("b");
+  ASSERT_TRUE(array.is_array());
+  ASSERT_EQ(array.size(), 3u);
+  EXPECT_EQ(array.at(std::size_t{0}).as_int(), 1);
+  EXPECT_DOUBLE_EQ(array.at(1).as_double(), 2.5);
+  EXPECT_EQ(array.at(2).as_string(), "x");
+  EXPECT_TRUE(v.at("a").at("nested").as_bool());
+  EXPECT_TRUE(v.at("n").is_null());
+  EXPECT_EQ(v.get("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), contract_error);
+}
+
+TEST(JsonValue, UnescapesStrings) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\n\tA")").as_string(),
+            "a\"b\\c\n\tA");
+}
+
+TEST(JsonValue, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("fft:5");
+  w.key("pi").value(3.141592653589793);
+  w.key("big").value(std::int64_t{1} << 40);
+  w.key("flags").begin_array().value(true).value(false).end_array();
+  w.end_object();
+  const JsonValue v = JsonValue::parse(w.str());
+  EXPECT_EQ(v.at("name").as_string(), "fft:5");
+  EXPECT_DOUBLE_EQ(v.at("pi").as_double(), 3.141592653589793);
+  EXPECT_EQ(v.at("big").as_int(), std::int64_t{1} << 40);
+  EXPECT_TRUE(v.at("flags").at(std::size_t{0}).as_bool());
+}
+
+TEST(JsonValue, RejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse(""), contract_error);
+  EXPECT_THROW(JsonValue::parse("{"), contract_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), contract_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\"}"), contract_error);
+  EXPECT_THROW(JsonValue::parse("1 2"), contract_error);
+  EXPECT_THROW(JsonValue::parse("\"open"), contract_error);
+  EXPECT_THROW(JsonValue::parse("tru"), contract_error);
+}
+
+TEST(JsonValue, TypeMismatchesThrow) {
+  const JsonValue v = JsonValue::parse(R"({"a": 1.5})");
+  EXPECT_THROW((void)v.at("a").as_string(), contract_error);
+  EXPECT_THROW((void)v.at("a").as_int(), contract_error);  // non-integral
+  // Out-of-int64-range numbers must reject, not overflow (UB).
+  EXPECT_THROW((void)JsonValue::parse("1e300").as_int(), contract_error);
+  EXPECT_THROW((void)JsonValue::parse("-1e300").as_int(), contract_error);
+  EXPECT_THROW((void)v.at("a").items(), contract_error);
+  EXPECT_THROW((void)v.as_double(), contract_error);
+  EXPECT_THROW((void)v.at(std::size_t{0}), contract_error);  // object, not array
+}
+
 }  // namespace
 }  // namespace graphio::io

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "graphio/support/contracts.hpp"
 #include "graphio/support/env.hpp"
+#include "graphio/support/parallel.hpp"
 #include "graphio/support/prng.hpp"
 #include "graphio/support/table.hpp"
 #include "graphio/support/timer.hpp"
@@ -157,6 +160,85 @@ TEST(Env, ReadsIntegers) {
   ::setenv("GRAPHIO_TEST_INT", "nonsense", 1);
   EXPECT_THROW(env_int("GRAPHIO_TEST_INT"), contract_error);
   ::unsetenv("GRAPHIO_TEST_INT");
+}
+
+// parallel_for / parallel_for_dynamic must produce the same result as a
+// serial loop in every build flavor: OpenMP, the std::thread fallback,
+// and the degraded serial paths (small n, nested regions). The bodies
+// write disjoint slots per CP.2, so these also serve as the
+// ThreadSanitizer CI job's data-race probes.
+
+TEST(Parallel, HardwareThreadsIsPositive) {
+  EXPECT_GE(hardware_threads(), 1);
+}
+
+TEST(Parallel, StaticScheduleCoversEveryIndexOnce) {
+  // Above the fallback's spawn threshold so the threaded path runs when
+  // hardware allows.
+  const std::int64_t n = 10000;
+  std::vector<int> touched(static_cast<std::size_t>(n), 0);
+  parallel_for(n, [&](std::int64_t i) {
+    ++touched[static_cast<std::size_t>(i)];
+  });
+  for (std::int64_t i = 0; i < n; ++i)
+    ASSERT_EQ(touched[static_cast<std::size_t>(i)], 1) << i;
+}
+
+TEST(Parallel, DynamicScheduleCoversEveryIndexOnce) {
+  const std::int64_t n = 257;
+  std::vector<int> touched(static_cast<std::size_t>(n), 0);
+  parallel_for_dynamic(n, [&](std::int64_t i) {
+    ++touched[static_cast<std::size_t>(i)];
+  });
+  for (std::int64_t i = 0; i < n; ++i)
+    ASSERT_EQ(touched[static_cast<std::size_t>(i)], 1) << i;
+}
+
+TEST(Parallel, HandlesSmallAndEmptyRanges) {
+  int calls = 0;
+  parallel_for(0, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(3, [&](std::int64_t) { ++calls; });  // below threshold
+  EXPECT_EQ(calls, 3);
+  parallel_for_dynamic(0, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 3);
+  parallel_for_dynamic(1, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(Parallel, SerialRegionForcesSerialExecutionInEveryBuild) {
+  // Inside a SerialRegion the loop must run on the calling thread only —
+  // a non-atomic counter would race otherwise. Holds for OpenMP and the
+  // std::thread fallback alike (the serve scheduler relies on it to stop
+  // worker-level × loop-level thread multiplication).
+  const SerialRegion guard;
+  const std::int64_t n = 100000;
+  std::int64_t counter = 0;
+  parallel_for(n, [&](std::int64_t) { ++counter; });
+  EXPECT_EQ(counter, n);
+  parallel_for_dynamic(1000, [&](std::int64_t) { ++counter; });
+  EXPECT_EQ(counter, n + 1000);
+}
+
+TEST(Parallel, NestedRegionsStaySafe) {
+  // An outer dynamic loop whose body runs an inner parallel_for: the
+  // fallback must serialize the inner loop instead of oversubscribing
+  // (OpenMP does the same with nesting disabled). Totals must match the
+  // doubly-serial result either way.
+  const std::int64_t outer = 8;
+  const std::int64_t inner = 5000;
+  std::vector<std::int64_t> sums(static_cast<std::size_t>(outer), 0);
+  parallel_for_dynamic(outer, [&](std::int64_t o) {
+    std::vector<std::int64_t> local(static_cast<std::size_t>(inner), 0);
+    parallel_for(inner, [&](std::int64_t i) { local[
+        static_cast<std::size_t>(i)] = i; });
+    std::int64_t sum = 0;
+    for (std::int64_t v : local) sum += v;
+    sums[static_cast<std::size_t>(o)] = sum;
+  });
+  for (std::int64_t o = 0; o < outer; ++o)
+    EXPECT_EQ(sums[static_cast<std::size_t>(o)],
+              inner * (inner - 1) / 2);
 }
 
 TEST(Env, BenchScaleParses) {

@@ -11,11 +11,17 @@
 //   graphio spectrum bhk:8 --count 12            smallest Laplacian values
 //   graphio simulate fft:6 --memory 8            schedule I/O (upper bound)
 //   graphio exact inner:2 --memory 3             exact J* (tiny graphs)
+//   graphio batch jobs.jsonl --threads 8 --store runs/store
+//                                                concurrent batch service
+//   graphio serve --store runs/store             JSONL request loop (stdin)
 //
 // Graph arguments are either a family spec (see `graphio help`) or a path
-// to a graphio-edgelist file. All bound evaluation routes through
-// engine::Engine, so artifacts (spectra, wavefront cuts) are shared across
-// methods and memory sizes, and --json uniformly emits BoundReport JSON.
+// to a graph file (graphio-edgelist, or Graphviz DOT for *.dot / *.gv).
+// All bound evaluation routes through engine::Engine, so artifacts
+// (spectra, wavefront cuts) are shared across methods and memory sizes,
+// and --json uniformly emits BoundReport JSON. batch/serve route through
+// serve::BatchSession: results stream to stdout as deterministic JSONL
+// (sortable, timing-free), the summary footer goes to stderr.
 #include <charconv>
 #include <cstdio>
 #include <fstream>
@@ -32,6 +38,7 @@
 #include "graphio/graph/topo.hpp"
 #include "graphio/io/edgelist.hpp"
 #include "graphio/io/json.hpp"
+#include "graphio/serve/batch_session.hpp"
 #include "graphio/sim/anneal.hpp"
 #include "graphio/sim/memsim.hpp"
 #include "graphio/sim/parallel_memsim.hpp"
@@ -73,8 +80,14 @@ std::string method_list() {
       "  parallel <graph> --memory M [--processors P]\n"
       "                                         Theorem 6 vs simulated p-proc\n"
       "  hierarchy <graph> [--levels 8,64,512]  per-level traffic bounds\n"
+      "  batch <jobs.jsonl> [--threads N] [--store DIR]\n"
+      "                                         fan a JSONL job corpus across\n"
+      "                                         workers; results to stdout,\n"
+      "                                         summary footer to stderr\n"
+      "  serve [--threads N] [--store DIR]      JSONL request/response loop\n"
+      "                                         on stdin/stdout\n"
       "\n"
-      "graph: family spec or edgelist file\n"
+      "graph: family spec, edgelist file, or DOT file (*.dot, *.gv)\n"
       << engine::family_help() <<
       "\n"
       "methods: " << method_list() << " | all\n";
@@ -128,6 +141,8 @@ struct Args {
   int count = 16;
   std::int64_t iterations = 4000;
   std::string levels = "8,64,512";
+  std::int64_t threads = 0;
+  std::string store;
   bool plain = false;
   bool json = false;
 
@@ -142,7 +157,7 @@ struct Args {
 };
 
 Args parse_args(int argc, char** argv) {
-  if (argc < 3) usage();
+  if (argc < 2) usage();
   Args a;
   a.command = argv[1];
   int i = 2;
@@ -175,6 +190,11 @@ Args parse_args(int argc, char** argv) {
       a.iterations = parse_int(next(), "iterations");
     } else if (flag == "--levels") {
       a.levels = next();
+    } else if (flag == "--threads") {
+      a.threads = parse_int(next(), "threads");
+      if (a.threads < 1) usage("--threads must be >= 1");
+    } else if (flag == "--store") {
+      a.store = next();
     } else if (flag == "--plain") {
       a.plain = true;
     } else if (flag == "--json") {
@@ -421,6 +441,33 @@ int cmd_parallel(const Args& a) {
   return 0;
 }
 
+serve::BatchOptions batch_options(const Args& a) {
+  serve::BatchOptions options;
+  options.threads = static_cast<int>(a.threads);
+  options.store_dir = a.store;
+  return options;
+}
+
+int cmd_batch(const Args& a) {
+  if (a.graphs.empty()) usage("batch needs a jobs.jsonl argument");
+  std::ifstream jobs(a.graphs.front());
+  if (!jobs.good()) usage("cannot open jobs file '" + a.graphs.front() + "'");
+  serve::BatchSession session(batch_options(a));
+  const serve::BatchSummary summary = session.run(jobs, std::cout);
+  std::cerr << summary.to_json() << "\n";
+  // Rejected lines are per-line errors, already reported on stdout; only
+  // a batch where nothing succeeded exits non-zero.
+  return summary.ok > 0 || summary.jobs + summary.rejected_lines == 0 ? 0
+                                                                      : 1;
+}
+
+int cmd_serve(const Args& a) {
+  serve::BatchSession session(batch_options(a));
+  const serve::BatchSummary summary = session.serve(std::cin, std::cout);
+  std::cerr << summary.to_json() << "\n";
+  return 0;
+}
+
 int cmd_hierarchy(const Args& a) {
   const Digraph g = resolve_graph(a.graph());
   std::vector<double> capacities;
@@ -455,6 +502,8 @@ int main(int argc, char** argv) {
     if (a.command == "anneal") return cmd_anneal(a);
     if (a.command == "parallel") return cmd_parallel(a);
     if (a.command == "hierarchy") return cmd_hierarchy(a);
+    if (a.command == "batch") return cmd_batch(a);
+    if (a.command == "serve") return cmd_serve(a);
     usage("unknown command '" + a.command + "'");
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
