@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "graphio/la/lobpcg.hpp"
-#include "graphio/la/symmetric_eigen.hpp"
+#include "graphio/core/spectral_pipeline.hpp"
+#include "graphio/graph/components.hpp"
 #include "graphio/support/contracts.hpp"
 #include "graphio/support/timer.hpp"
 
@@ -39,59 +39,20 @@ std::vector<double> smallest_laplacian_eigenvalues(
     const Digraph& g, LaplacianKind kind, int h,
     const SpectralOptions& options, bool* converged) {
   GIO_EXPECTS(h >= 0);
-  const std::int64_t n = g.num_vertices();
-  h = static_cast<int>(std::min<std::int64_t>(h, n));
-  if (converged != nullptr) *converged = true;
-  if (h == 0) return {};
+  PipelineResult result = SpectralPipeline(options).run(g, kind, h);
+  if (converged != nullptr) *converged = result.converged;
+  return std::move(result.values);
+}
 
-  EigenBackend backend = options.backend;
-  if (backend == EigenBackend::kAuto)
-    backend = n <= options.dense_threshold ? EigenBackend::kDense
-                                           : EigenBackend::kLanczos;
-
-  if (backend == EigenBackend::kDense) {
-    std::vector<double> all =
-        la::symmetric_eigenvalues(dense_laplacian(g, kind));
-    all.resize(static_cast<std::size_t>(h));
-    return all;
-  }
-
-  const la::CsrMatrix lap = laplacian(g, kind);
-  std::vector<double> values;
-  std::vector<double> residuals;
-  bool sparse_converged = false;
-  if (backend == EigenBackend::kLobpcg) {
-    la::LobpcgOptions lopts;
-    lopts.rel_tol = options.eig_rel_tol;
-    la::LobpcgResult res = la::lobpcg_smallest(lap, h, lopts);
-    values = std::move(res.values);
-    residuals = std::move(res.residuals);
-    sparse_converged = res.converged;
-  } else {
-    la::LanczosOptions lopts = options.lanczos;
-    lopts.rel_tol = options.eig_rel_tol;
-    la::LanczosResult res = la::smallest_eigenvalues(lap, h, lopts);
-    values = std::move(res.values);
-    residuals = std::move(res.residuals);
-    sparse_converged = res.converged;
-  }
-  if (!sparse_converged && options.backend == EigenBackend::kAuto &&
-      n <= options.dense_rescue_threshold) {
-    // Tightly clustered interior eigenvalues can defeat Lanczos on
-    // moderate graphs (e.g. Strassen Laplacians); the dense path is slow
-    // but certain there.
-    std::vector<double> all =
-        la::symmetric_eigenvalues(dense_laplacian(g, kind));
-    all.resize(static_cast<std::size_t>(h));
-    return all;
-  }
-  if (converged != nullptr) *converged = sparse_converged;
-  // Certified lower estimates θ − ‖r‖: sound for the lower bound at any
-  // tolerance (clamped to the PSD floor of zero).
-  for (std::size_t i = 0; i < values.size(); ++i)
-    values[i] = std::max(0.0, values[i] - residuals[i]);
-  std::sort(values.begin(), values.end());
-  return values;
+bool solver_options_equal(const SpectralOptions& a, const SpectralOptions& b) {
+  return a.backend == b.backend && a.solver == b.solver &&
+         a.decompose == b.decompose && a.eig_rel_tol == b.eig_rel_tol &&
+         a.dense_threshold == b.dense_threshold &&
+         a.dense_rescue_threshold == b.dense_rescue_threshold &&
+         a.lanczos.block_size == b.lanczos.block_size &&
+         a.lanczos.max_basis == b.lanczos.max_basis &&
+         a.lanczos.stall_basis_cap == b.lanczos.stall_basis_cap &&
+         a.lanczos.max_cycles == b.lanczos.max_cycles;
 }
 
 namespace {
@@ -106,16 +67,33 @@ std::vector<SpectralBound> bound_impl_multi(const Digraph& g,
     GIO_EXPECTS_MSG(memory >= 0.0, "memory size must be non-negative");
   WallTimer timer;
 
-  EigenBackend backend = options.backend;
-  if (backend == EigenBackend::kAuto)
-    backend = g.num_vertices() <= options.dense_threshold
-                  ? EigenBackend::kDense
-                  : EigenBackend::kLanczos;
-  // The dense path produces the whole spectrum in one decomposition, so
-  // adaptivity only pays on the sparse paths.
-  const bool adapt = options.adaptive && backend != EigenBackend::kDense;
   const int h_cap = static_cast<int>(std::min<std::int64_t>(
       options.max_eigenvalues, g.num_vertices()));
+  // The dense path produces the whole spectrum in one decomposition, so
+  // adaptivity only pays when some component actually takes a sparse
+  // tier. Preview on the *largest component's* shape (under
+  // decomposition the whole-graph verdict is too pessimistic: a union
+  // above the dense threshold usually splits into components below it,
+  // and re-running fully dense component solves per h-doubling would
+  // quadruple the cubic work for nothing). Auto-policy tiers are
+  // monotone in n, so the largest component being dense means all are.
+  std::int64_t preview_n = g.num_vertices();
+  std::int64_t preview_edges = g.num_edges();
+  if (options.decompose) {
+    const WeakComponents components = weakly_connected_components(g);
+    preview_n = 0;
+    for (int c = 0; c < components.count; ++c) {
+      const auto n_c = static_cast<std::int64_t>(
+          components.vertices[static_cast<std::size_t>(c)].size());
+      if (n_c <= preview_n) continue;
+      preview_n = n_c;
+      preview_edges = components.edges_in(g, c);
+    }
+  }
+  const la::SolverChoice preview = resolve_component_solver(
+      preview_n, preview_n + 2 * preview_edges, h_cap, options);
+  const bool adapt =
+      options.adaptive && preview.kind != la::SolverKind::kDense;
   int h = adapt ? std::min(std::max(options.initial_eigenvalues, 2), h_cap)
                 : h_cap;
 

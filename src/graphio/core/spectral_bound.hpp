@@ -14,14 +14,22 @@
 #include <span>
 #include <vector>
 
+#include <string>
+
 #include "graphio/graph/digraph.hpp"
 #include "graphio/graph/laplacian.hpp"
 #include "graphio/la/lanczos.hpp"
+#include "graphio/la/solver_policy.hpp"
 
 namespace graphio {
 
+/// Legacy per-call solver switch, kept as shorthand for forcing one tier.
+/// Selection proper lives in the la::SolverPolicy registry: kAuto defers
+/// to SpectralOptions::solver (default the "auto" policy, which picks a
+/// tier per connected component from (n, nnz, h)); the other values force
+/// the matching pure policy regardless of SpectralOptions::solver.
 enum class EigenBackend {
-  kAuto,     ///< dense at or below dense_threshold, Lanczos above
+  kAuto,     ///< defer to the named solver policy (SpectralOptions::solver)
   kDense,    ///< Householder + implicit-shift QL on the full Laplacian
   kLanczos,  ///< block thick-restart Lanczos (default sparse path)
   kLobpcg,   ///< block LOBPCG (alternative sparse path; ablation_solver)
@@ -38,7 +46,17 @@ struct SpectralOptions {
   bool adaptive = true;
   int initial_eigenvalues = 16;
   EigenBackend backend = EigenBackend::kAuto;
-  /// kAuto picks the dense path at or below this vertex count.
+  /// Solver policy name (la/solver_policy.hpp registry) consulted per
+  /// connected component when backend == kAuto: auto|dense|lanczos|lobpcg.
+  std::string solver = "auto";
+  /// Decompose into weakly connected components and eigensolve each
+  /// independently (core/spectral_pipeline.hpp). Exact — the union's
+  /// spectrum is the multiset union of the components' — and cheaper
+  /// whenever components are small enough to flip solver tiers. Disable
+  /// to force one monolithic solve (the pre-pipeline behavior).
+  bool decompose = true;
+  /// The "auto" policy picks the dense path at or below this vertex count
+  /// (la::SolverThresholds::dense_n).
   std::int64_t dense_threshold = 2048;
   /// When Lanczos fails to converge and n is at or below this, redo the
   /// computation densely rather than returning a partial spectrum.
@@ -107,11 +125,17 @@ BoundOverK bound_from_spectrum(std::span<const double> lambda, std::int64_t n,
                                double memory, std::int64_t processors = 1,
                                double scale = 1.0);
 
-/// The h smallest Laplacian eigenvalues of the graph, ascending. The
-/// backend is chosen as in spectral_bound. Returns less than h values only
-/// if the sparse solver failed to converge (converged flag in `converged`).
+/// The h smallest Laplacian eigenvalues of the graph, ascending — the
+/// per-component SpectralPipeline (core/spectral_pipeline.hpp) behind a
+/// plain-vector interface. Returns less than h values only if a sparse
+/// solve failed to converge (converged flag in `converged`).
 std::vector<double> smallest_laplacian_eigenvalues(
     const Digraph& g, LaplacianKind kind, int h,
     const SpectralOptions& options = {}, bool* converged = nullptr);
+
+/// Equality restricted to the fields that change what the eigensolver
+/// computes — the one shared definition of "same solve" used by every
+/// spectrum cache (engine ArtifactCache, per-component cache).
+bool solver_options_equal(const SpectralOptions& a, const SpectralOptions& b);
 
 }  // namespace graphio

@@ -1,0 +1,124 @@
+// SpectralPipeline — decompose-and-conquer evaluation of Laplacian
+// spectra, the hot path behind every Theorem 4/5/6 bound.
+//
+// The Laplacian of a graph is block-diagonal over its weakly connected
+// components (graph/components.hpp), so its spectrum is the multiset
+// union of the components' spectra (Spectrum::merge) — the same
+// decomposition Section 5 exploits analytically (Lemmas 8–11) applied to
+// the numerical path. The pipeline:
+//
+//   1. decomposes the graph into weak components (skipped when
+//      options.decompose is off or the graph is connected);
+//   2. solves each component independently, choosing a solver tier per
+//      component through the la::SolverPolicy registry — a disjoint union
+//      too big for the dense solver usually splits into components that
+//      are not, turning one O(n³) monolithic solve into c solves of
+//      O((n/c)³), and edgeless components into no solve at all (their
+//      spectrum is identically zero);
+//   3. merges the per-component spectra and returns the smallest h values
+//      of the union — exactly what a monolithic solve would have
+//      produced, at any tolerance, because the decomposition is exact.
+//
+// The engine's ArtifactCache injects a component solver that consults a
+// fingerprint-keyed cache (engine/component_cache.hpp), so batch/serve
+// workloads sharing components across specs eigensolve each distinct
+// component once per process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graphio/core/spectral_bound.hpp"
+#include "graphio/core/spectrum.hpp"
+#include "graphio/graph/digraph.hpp"
+#include "graphio/graph/laplacian.hpp"
+#include "graphio/la/solver_policy.hpp"
+
+namespace graphio {
+
+/// The solved spectrum of one weakly connected component.
+struct ComponentSolve {
+  std::int64_t vertices = 0;
+  std::int64_t edges = 0;
+  /// Tier that produced the values (meaningful when solver_ran).
+  la::SolverKind solver = la::SolverKind::kDense;
+  /// False for trivial components (edgeless: spectrum identically zero)
+  /// and for cache-served solves — no eigensolver ran for this call.
+  bool solver_ran = false;
+  /// True when a component-spectrum cache served the values.
+  bool from_cache = false;
+  /// Certified smallest eigenvalues of the component's Laplacian block,
+  /// ascending; may be shorter than requested on non-convergence.
+  std::vector<double> values;
+  bool converged = true;
+  double seconds = 0.0;
+};
+
+/// The merged result of one pipeline run.
+struct PipelineResult {
+  /// Smallest h eigenvalues of the whole graph's Laplacian, ascending.
+  std::vector<double> values;
+  /// False when any contributing component solve did not converge.
+  bool converged = true;
+  /// Weak components the graph decomposed into (1 when decomposition is
+  /// disabled).
+  int components = 1;
+  /// Eigensolver runs actually performed (excludes trivial components and
+  /// cache hits) — the count BENCH_solver.json and the ArtifactCache
+  /// stats report.
+  std::int64_t eigensolves = 0;
+  /// Component solves served by an injected cache.
+  std::int64_t component_cache_hits = 0;
+  /// Per-component detail, in component order.
+  std::vector<ComponentSolve> per_component;
+  double seconds = 0.0;
+};
+
+/// The tier one component of shape (n, nnz, h) would be solved with:
+/// options.backend forces a tier, otherwise the policy named by
+/// options.solver decides. Throws contract_error (listing the registered
+/// names) on an unknown policy name.
+la::SolverChoice resolve_component_solver(std::int64_t n, std::int64_t nnz,
+                                          int h,
+                                          const SpectralOptions& options);
+
+/// Solves one graph as a single block: resolves the solver tier through
+/// the policy registry (options.backend forces a tier; otherwise
+/// options.solver names the policy) and returns certified smallest
+/// eigenvalues. The pipeline's default component solver, exposed for
+/// cache layers that wrap it.
+ComponentSolve solve_component_spectrum(const Digraph& component,
+                                        LaplacianKind kind, int h,
+                                        const SpectralOptions& options);
+
+class SpectralPipeline {
+ public:
+  /// Hook signature for replacing the per-component solve (the engine's
+  /// component-spectrum cache). Receives the component subgraph and the
+  /// clamped per-component h.
+  using ComponentSolver = std::function<ComponentSolve(
+      const Digraph&, LaplacianKind, int, const SpectralOptions&)>;
+
+  explicit SpectralPipeline(SpectralOptions options = {});
+
+  /// Replaces the default solve_component_spectrum with a caching or
+  /// instrumented wrapper.
+  void set_component_solver(ComponentSolver solver);
+
+  [[nodiscard]] const SpectralOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Computes the smallest h eigenvalues of g's Laplacian by per-component
+  /// decomposition (per options().decompose). h is clamped to the vertex
+  /// count.
+  [[nodiscard]] PipelineResult run(const Digraph& g, LaplacianKind kind,
+                                   int h) const;
+
+ private:
+  SpectralOptions options_;
+  ComponentSolver solver_;
+};
+
+}  // namespace graphio

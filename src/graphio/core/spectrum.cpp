@@ -8,7 +8,9 @@
 
 namespace graphio {
 
-Spectrum Spectrum::from_entries(std::vector<Entry> entries) {
+Spectrum Spectrum::from_entries(std::vector<Entry> entries,
+                                double merge_tol) {
+  GIO_EXPECTS_MSG(merge_tol >= 0.0, "merge tolerance must be non-negative");
   for (const Entry& e : entries)
     GIO_EXPECTS_MSG(e.multiplicity >= 0, "multiplicity must be non-negative");
   std::sort(entries.begin(), entries.end(),
@@ -16,7 +18,11 @@ Spectrum Spectrum::from_entries(std::vector<Entry> entries) {
   Spectrum s;
   for (const Entry& e : entries) {
     if (e.multiplicity == 0) continue;
-    if (!s.entries_.empty() && s.entries_.back().value == e.value)
+    // Same merge rule as from_values: compare against the surviving
+    // (smallest) value of the current run, so tolerance 0 degrades to
+    // exact-equality merging.
+    if (!s.entries_.empty() &&
+        e.value - s.entries_.back().value <= merge_tol)
       s.entries_.back().multiplicity += e.multiplicity;
     else
       s.entries_.push_back(e);
@@ -37,6 +43,13 @@ Spectrum Spectrum::from_values(std::span<const double> values,
       s.entries_.push_back({v, 1});
   }
   return s;
+}
+
+Spectrum Spectrum::merge(const Spectrum& other, double merge_tol) const {
+  std::vector<Entry> combined = entries_;
+  combined.insert(combined.end(), other.entries_.begin(),
+                  other.entries_.end());
+  return from_entries(std::move(combined), merge_tol);
 }
 
 std::int64_t Spectrum::total_count() const noexcept {

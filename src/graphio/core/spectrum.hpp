@@ -23,13 +23,23 @@ class Spectrum {
   Spectrum() = default;
 
   /// From (value, multiplicity) pairs in any order; entries are sorted and
-  /// equal values merged.
-  static Spectrum from_entries(std::vector<Entry> entries);
+  /// values closer than merge_tol collapse into one entry (multiplicities
+  /// add; the smaller value survives). The same tolerance semantics as
+  /// from_values — pass 0 for exact-equality merging.
+  static Spectrum from_entries(std::vector<Entry> entries,
+                               double merge_tol = 1e-9);
 
   /// From a sorted-or-not list of plain eigenvalues; values closer than
   /// merge_tol collapse into one entry with multiplicity.
   static Spectrum from_values(std::span<const double> values,
                               double merge_tol = 1e-9);
+
+  /// Multiset union with `other` — the spectrum of a block-diagonal
+  /// (disjoint-union) Laplacian is exactly the merge of the blocks'
+  /// spectra. Values closer than merge_tol collapse; pass 0 to keep the
+  /// union exact.
+  [[nodiscard]] Spectrum merge(const Spectrum& other,
+                               double merge_tol = 0.0) const;
 
   [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
     return entries_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "graphio/core/spectral_pipeline.hpp"
 #include "graphio/engine/fingerprint.hpp"
 #include "graphio/graph/topo.hpp"
 #include "graphio/support/contracts.hpp"
@@ -10,7 +11,12 @@
 
 namespace graphio::engine {
 
-ArtifactCache::ArtifactCache(Digraph graph) : graph_(std::move(graph)) {}
+ArtifactCache::ArtifactCache(Digraph graph,
+                             std::shared_ptr<ComponentSpectrumCache> components)
+    : graph_(std::move(graph)), components_(std::move(components)) {
+  if (components_ == nullptr)
+    components_ = std::make_shared<ComponentSpectrumCache>();
+}
 
 std::uint64_t ArtifactCache::fingerprint() {
   if (fingerprint_.has_value()) {
@@ -45,24 +51,6 @@ const la::CsrMatrix& ArtifactCache::laplacian(LaplacianKind kind) {
       .first->second;
 }
 
-namespace {
-
-/// Options equality restricted to the fields that change what the
-/// eigensolver computes; a cached spectrum only satisfies requests made
-/// under equivalent options.
-bool solver_options_equal(const SpectralOptions& a,
-                          const SpectralOptions& b) {
-  return a.backend == b.backend && a.eig_rel_tol == b.eig_rel_tol &&
-         a.dense_threshold == b.dense_threshold &&
-         a.dense_rescue_threshold == b.dense_rescue_threshold &&
-         a.lanczos.block_size == b.lanczos.block_size &&
-         a.lanczos.max_basis == b.lanczos.max_basis &&
-         a.lanczos.stall_basis_cap == b.lanczos.stall_basis_cap &&
-         a.lanczos.max_cycles == b.lanczos.max_cycles;
-}
-
-}  // namespace
-
 const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
     LaplacianKind kind, int count, const SpectralOptions& options) {
   GIO_EXPECTS(count >= 0);
@@ -78,14 +66,39 @@ const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
     return it->second;
   }
   ++stats_.misses;
-  ++stats_.eigensolves;
-  ++eigensolves_by_kind_[kind];
   WallTimer timer;
+
+  // Per-component pipeline with the fingerprint-keyed cache injected:
+  // equal components (within this graph or, via an Engine-shared cache,
+  // across specs) eigensolve once per process. Trivial (edgeless)
+  // components never touch the cache — recomputing zeros is cheaper than
+  // fingerprinting them.
+  SpectralPipeline pipeline(options);
+  pipeline.set_component_solver(
+      [this](const Digraph& component, LaplacianKind k, int h,
+             const SpectralOptions& opts) {
+        if (component.num_edges() == 0)
+          return solve_component_spectrum(component, k, h, opts);
+        const std::uint64_t fp = graph_fingerprint(component);
+        if (auto cached = components_->lookup(fp, k, h, opts))
+          return *std::move(cached);
+        ComponentSolve solve = solve_component_spectrum(component, k, h, opts);
+        components_->store(fp, k, h, opts, solve);
+        return solve;
+      });
+  const PipelineResult result = pipeline.run(graph_, kind, count);
+
   SpectrumArtifact artifact;
   artifact.requested = count;
-  artifact.values = smallest_laplacian_eigenvalues(
-      graph_, kind, count, options, &artifact.converged);
+  artifact.values = result.values;
+  artifact.converged = result.converged;
+  artifact.components = result.components;
+  artifact.eigensolves = result.eigensolves;
+  artifact.component_hits = result.component_cache_hits;
   artifact.seconds = timer.seconds();
+  stats_.eigensolves += result.eigensolves;
+  stats_.component_hits += result.component_cache_hits;
+  eigensolves_by_kind_[kind] += result.eigensolves;
   spectra_options_.insert_or_assign(kind, options);
   return spectra_.insert_or_assign(kind, std::move(artifact)).first->second;
 }

@@ -13,10 +13,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "graphio/core/spectral_bound.hpp"
+#include "graphio/engine/component_cache.hpp"
 #include "graphio/flow/convex_mincut.hpp"
 #include "graphio/graph/digraph.hpp"
 #include "graphio/graph/laplacian.hpp"
@@ -26,8 +28,17 @@ namespace graphio::engine {
 
 class ArtifactCache {
  public:
-  /// Takes ownership of the graph; artifacts are computed lazily.
-  explicit ArtifactCache(Digraph graph);
+  /// Takes ownership of the graph; artifacts are computed lazily. Spectra
+  /// are computed per weakly connected component through the
+  /// SpectralPipeline against `components`, the fingerprint-keyed
+  /// per-component spectrum cache — pass an Engine-shared instance so
+  /// equal components across specs (and across the batch fan-out's
+  /// private caches) eigensolve once per process; when null, the cache
+  /// creates a private one (identical components *within* one graph still
+  /// dedupe).
+  explicit ArtifactCache(
+      Digraph graph,
+      std::shared_ptr<ComponentSpectrumCache> components = nullptr);
 
   [[nodiscard]] const Digraph& graph() const noexcept { return graph_; }
 
@@ -53,14 +64,22 @@ class ArtifactCache {
     int requested = 0;
     /// Eigensolver wall time for this artifact (charged once).
     double seconds = 0.0;
+    /// Weak components the pipeline decomposed the graph into.
+    int components = 1;
+    /// Component eigensolves actually run for this artifact (solves
+    /// served by the component cache or trivially zero are excluded).
+    std::int64_t eigensolves = 0;
+    /// Component solves served by the shared component-spectrum cache.
+    std::int64_t component_hits = 0;
   };
 
   /// The `count` smallest Laplacian eigenvalues. A request covered by a
   /// previously computed artifact (same kind, count not larger, same
   /// solver-relevant options) is a cache hit and triggers no eigensolve;
-  /// a larger request or changed options recompute. The returned artifact
-  /// may hold more than `count` values — every consumer in the library
-  /// maximizes over a prefix, so extra values only help.
+  /// a larger request or changed options recompute. The cached artifact
+  /// may hold more than `count` values (it was computed for the larger
+  /// request) — every consumer in the library maximizes over a prefix,
+  /// so extra values only help.
   const SpectrumArtifact& spectrum(LaplacianKind kind, int count,
                                    const SpectralOptions& options = {});
 
@@ -79,8 +98,11 @@ class ArtifactCache {
   struct Stats {
     std::int64_t hits = 0;         ///< artifact requests served from cache
     std::int64_t misses = 0;       ///< artifact requests that computed
-    std::int64_t eigensolves = 0;  ///< actual eigendecomposition runs
+    std::int64_t eigensolves = 0;  ///< per-component eigendecomposition runs
     std::int64_t mincut_sweeps = 0;  ///< full wavefront min-cut sweeps
+    /// Component solves served by the shared component-spectrum cache
+    /// instead of an eigensolver run.
+    std::int64_t component_hits = 0;
 
     /// Aggregation across caches/workers and before/after deltas — the
     /// only two operations consumers perform; keeping them here means a
@@ -90,15 +112,24 @@ class ArtifactCache {
       misses += other.misses;
       eigensolves += other.eigensolves;
       mincut_sweeps += other.mincut_sweeps;
+      component_hits += other.component_hits;
       return *this;
     }
     [[nodiscard]] Stats operator-(const Stats& other) const noexcept {
       return {hits - other.hits, misses - other.misses,
               eigensolves - other.eigensolves,
-              mincut_sweeps - other.mincut_sweeps};
+              mincut_sweeps - other.mincut_sweeps,
+              component_hits - other.component_hits};
     }
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// The per-component spectrum cache this cache resolves against (shared
+  /// with the owning Engine, or private).
+  [[nodiscard]] const std::shared_ptr<ComponentSpectrumCache>&
+  component_cache() const noexcept {
+    return components_;
+  }
 
   /// Eigensolve count for one Laplacian kind (test hook for the
   /// computed-exactly-once guarantee).
@@ -106,6 +137,7 @@ class ArtifactCache {
 
  private:
   Digraph graph_;
+  std::shared_ptr<ComponentSpectrumCache> components_;
   Stats stats_;
   std::optional<std::uint64_t> fingerprint_;
   std::optional<std::vector<VertexId>> topo_;

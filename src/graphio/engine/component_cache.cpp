@@ -1,0 +1,72 @@
+#include "graphio/engine/component_cache.hpp"
+
+#include <algorithm>
+
+namespace graphio::engine {
+
+std::optional<ComponentSolve> ComponentSpectrumCache::lookup(
+    std::uint64_t fingerprint, LaplacianKind kind, int count,
+    const SpectralOptions& options) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = entries_.find({fingerprint, kind});
+  if (it != entries_.end()) {
+    for (const Entry& entry : it->second) {
+      if (entry.requested < count ||
+          !solver_options_equal(entry.options, options))
+        continue;
+      ++hits_;
+      ComponentSolve solve = entry.solve;
+      // Truncate to the request (values are ascending, so the prefix IS
+      // the smallest `count`) — equal-count requests then see one
+      // deterministic answer regardless of cache population order; see
+      // the header for the dense-vs-sparse fidelity contract.
+      if (static_cast<int>(solve.values.size()) > count)
+        solve.values.resize(static_cast<std::size_t>(count));
+      solve.from_cache = true;
+      solve.solver_ran = false;  // this call ran no eigensolver
+      solve.seconds = 0.0;
+      return solve;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void ComponentSpectrumCache::store(std::uint64_t fingerprint,
+                                   LaplacianKind kind, int requested,
+                                   const SpectralOptions& options,
+                                   const ComponentSolve& solve) {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Entry>& slots = entries_[{fingerprint, kind}];
+  for (Entry& entry : slots) {
+    if (!solver_options_equal(entry.options, options)) continue;
+    // Two workers can race to solve the same component; keep the entry
+    // that answers more future requests (ties keep the existing one).
+    if (entry.requested >= requested) return;
+    entry.solve = solve;
+    entry.solve.from_cache = false;
+    entry.requested = requested;
+    return;
+  }
+  Entry entry;
+  entry.solve = solve;
+  entry.solve.from_cache = false;
+  entry.requested = requested;
+  entry.options = options;
+  slots.push_back(std::move(entry));
+}
+
+ComponentSpectrumCache::Stats ComponentSpectrumCache::stats() const {
+  const std::scoped_lock lock(mutex_);
+  std::int64_t entries = 0;
+  for (const auto& [key, slots] : entries_)
+    entries += static_cast<std::int64_t>(slots.size());
+  return {hits_, misses_, entries};
+}
+
+void ComponentSpectrumCache::clear() {
+  const std::scoped_lock lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace graphio::engine

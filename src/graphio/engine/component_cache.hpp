@@ -1,0 +1,79 @@
+// ComponentSpectrumCache — process-lifetime cache of per-component
+// spectra, keyed by component content fingerprint.
+//
+// The spectral pipeline (core/spectral_pipeline.hpp) eigensolves one
+// weakly connected component at a time; components are content-addressed
+// (engine/fingerprint.hpp), so equal subprograms — the same FFT stage
+// appearing in many specs of a batch, every copy inside one disjoint
+// multi-program graph, the same graph re-analyzed across an M-sweep —
+// resolve to one cache entry and eigensolve exactly once per process.
+// One instance is shared by every ArtifactCache of an Engine (including
+// the private per-request caches of the parallel batch path) and by
+// every worker Engine of a serve Scheduler, which is why lookups are
+// mutex-guarded and results are returned by value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "graphio/core/spectral_pipeline.hpp"
+#include "graphio/graph/laplacian.hpp"
+
+namespace graphio::engine {
+
+class ComponentSpectrumCache {
+ public:
+  /// The cached solve for (fingerprint, kind) when it was computed with
+  /// equivalent solver options and at least `count` requested values —
+  /// same hit rule as ArtifactCache::spectrum: a non-converged solve is
+  /// still a hit for its requested count (re-running an identical failing
+  /// solve helps nobody). Values are truncated to the `count` smallest:
+  /// on the dense tier that is bit-identical to a fresh solve for
+  /// `count`; on the sparse tiers the prefix of the larger certified run
+  /// can differ from a fresh smaller run within solver tolerance — both
+  /// are sound certified lower estimates, and requests using equal
+  /// `count` (every serve/CLI workload) see one deterministic answer
+  /// regardless of population order. Thread-safe; counts a hit or miss.
+  std::optional<ComponentSolve> lookup(std::uint64_t fingerprint,
+                                       LaplacianKind kind, int count,
+                                       const SpectralOptions& options);
+
+  /// Records a solve computed for `requested` values. Distinct solver
+  /// options coexist as separate entries (a mixed-configuration batch
+  /// must not thrash); within one options group, whichever of the
+  /// existing and new entry answers more requests wins (ties keep the
+  /// existing entry). Thread-safe.
+  void store(std::uint64_t fingerprint, LaplacianKind kind, int requested,
+             const SpectralOptions& options, const ComponentSolve& solve);
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t entries = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Drops every entry (counters are kept).
+  void clear();
+
+ private:
+  struct Entry {
+    ComponentSolve solve;
+    int requested = 0;
+    SpectralOptions options;
+  };
+
+  mutable std::mutex mutex_;
+  /// One slot per distinct solver-options group under each
+  /// (fingerprint, kind) — the group count is bounded by the distinct
+  /// configurations a workload actually uses.
+  std::map<std::pair<std::uint64_t, LaplacianKind>, std::vector<Entry>>
+      entries_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace graphio::engine

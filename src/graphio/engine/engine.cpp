@@ -74,7 +74,7 @@ ArtifactCache& Engine::ensure_cache(const std::string& spec) {
   if (it == caches_.end()) {
     it = caches_
              .emplace(spec, std::make_unique<ArtifactCache>(
-                                GraphSpec::parse(spec).build()))
+                                GraphSpec::parse(spec).build(), components_))
              .first;
   }
   return *it->second;
@@ -82,9 +82,11 @@ ArtifactCache& Engine::ensure_cache(const std::string& spec) {
 
 BoundReport Engine::evaluate(const BoundRequest& request) {
   if (request.graph.has_value()) {
-    // Explicit graphs get a private cache: the Engine cannot tell whether
-    // two Digraph values are the same computation.
-    ArtifactCache cache(*request.graph);
+    // Explicit graphs get a private artifact cache (the Engine cannot
+    // tell whether two Digraph values are the same computation), but
+    // share the component-spectrum cache — content addressing makes that
+    // safe and lets explicit graphs reuse spec-built component spectra.
+    ArtifactCache cache(*request.graph, components_);
     return evaluate_with_cache(request, cache);
   }
   return evaluate_with_cache(request, ensure_cache(request.spec));
@@ -124,7 +126,7 @@ std::vector<BoundReport> Engine::evaluate_batch(
                                            ? *request.graph
                                            : GraphSpec::parse(request.spec)
                                                  .build();
-                           ArtifactCache cache(std::move(g));
+                           ArtifactCache cache(std::move(g), components_);
                            reports[static_cast<std::size_t>(i)] =
                                evaluate_with_cache(request, cache);
                          } catch (const std::exception& e) {
@@ -143,6 +145,9 @@ const ArtifactCache* Engine::cache(const std::string& spec) const {
   return it == caches_.end() ? nullptr : it->second.get();
 }
 
-void Engine::clear() { caches_.clear(); }
+void Engine::clear() {
+  caches_.clear();
+  components_->clear();
+}
 
 }  // namespace graphio::engine

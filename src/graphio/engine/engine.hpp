@@ -25,12 +25,25 @@
 #include "graphio/engine/artifact_cache.hpp"
 #include "graphio/engine/report.hpp"
 #include "graphio/engine/request.hpp"
+#include "graphio/support/contracts.hpp"
 
 namespace graphio::engine {
 
 class Engine {
  public:
   Engine() = default;
+
+  /// Shares an existing per-component spectrum cache instead of owning a
+  /// private one — the serve scheduler hands one instance to every
+  /// worker Engine, so a component shared across specs eigensolves once
+  /// per process even when the specs shard to different workers. The
+  /// cache is mutex-guarded; everything else about the Engines stays
+  /// independent.
+  explicit Engine(std::shared_ptr<ComponentSpectrumCache> components)
+      : components_(std::move(components)) {
+    GIO_EXPECTS_MSG(components_ != nullptr,
+                    "shared component cache must not be null");
+  }
 
   /// Evaluates one request: resolves the graph (building it on first use
   /// of a spec), runs every selected method over the memory sweep, and
@@ -66,7 +79,15 @@ class Engine {
   /// batch summary footer.
   [[nodiscard]] ArtifactCache::Stats stats() const;
 
-  /// Drops all cached graphs and artifacts.
+  /// The per-component spectrum cache shared by every ArtifactCache this
+  /// Engine creates — spec-addressed, explicit-graph, and batch fan-out
+  /// caches alike — so a component shared across specs eigensolves once.
+  [[nodiscard]] const std::shared_ptr<ComponentSpectrumCache>&
+  component_cache() const noexcept {
+    return components_;
+  }
+
+  /// Drops all cached graphs and artifacts (including component spectra).
   void clear();
 
  private:
@@ -74,6 +95,8 @@ class Engine {
   BoundReport evaluate_with_cache(const BoundRequest& request,
                                   ArtifactCache& cache);
 
+  std::shared_ptr<ComponentSpectrumCache> components_ =
+      std::make_shared<ComponentSpectrumCache>();
   std::unordered_map<std::string, std::unique_ptr<ArtifactCache>> caches_;
 };
 

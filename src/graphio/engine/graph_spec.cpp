@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "graphio/graph/builders.hpp"
+#include "graphio/graph/components.hpp"
 #include "graphio/graph/dot.hpp"
 #include "graphio/io/edgelist.hpp"
 #include "graphio/support/contracts.hpp"
@@ -74,6 +75,8 @@ constexpr Family kFamilies[] = {
     {"bitonic", 1, 1, "bitonic:LOGN       bitonic sort on 2^LOGN wires"},
     {"trisolve", 1, 1, "trisolve:N         triangular solve, N*N system"},
     {"cholesky", 1, 1, "cholesky:N         dense Cholesky, N*N matrix"},
+    // max_params 9 bounds the inner spec's own parameter list.
+    {"multi", 2, 9, "multi:C:SPEC       C disjoint copies of SPEC"},
 };
 
 const Family* find_family(const std::string& name) {
@@ -188,6 +191,19 @@ Digraph GraphSpec::build() const {
     return builders::triangular_solve(static_cast<int>(int_param(0)));
   if (family == "cholesky")
     return builders::cholesky(static_cast<int>(int_param(0)));
+  if (family == "multi") {
+    // multi:C:SPEC — C disjoint copies of the (re-joined) inner spec, the
+    // disjoint multi-program workload of the spectral pipeline.
+    const std::int64_t copies = int_param(0);
+    GIO_EXPECTS_MSG(copies >= 1 && copies <= 4096,
+                    "spec '" + text + "': copy count out of range");
+    std::string inner_text;
+    for (std::size_t i = 1; i < params.size(); ++i) {
+      if (!inner_text.empty()) inner_text += ':';
+      inner_text += params[i];
+    }
+    return disjoint_copies(parse(inner_text).build(), copies);
+  }
   GIO_EXPECTS_MSG(false, "unknown graph family '" + family + "'");
   return Digraph{};  // unreachable
 }

@@ -77,6 +77,8 @@ std::vector<MethodRow> spectral_rows(const BoundMethod& method,
     row.best_k = best.best_k;
     row.converged = spectrum.converged;
     row.note = "k=" + std::to_string(best.best_k);
+    if (spectrum.components > 1)
+      row.note += " components=" + std::to_string(spectrum.components);
     row.seconds = i == 0 ? timer.seconds() : 0.0;
     rows.push_back(std::move(row));
   }
@@ -380,7 +382,15 @@ std::vector<const BoundMethod*> select_methods(const BoundRequest& request) {
   selected.reserve(request.methods.size());
   for (const std::string& id : request.methods) {
     const BoundMethod* method = find_method(id);
-    GIO_EXPECTS_MSG(method != nullptr, "unknown method '" + id + "'");
+    if (method == nullptr) {
+      std::string known;
+      for (const std::string& known_id : method_ids()) {
+        if (!known.empty()) known += "|";
+        known += known_id;
+      }
+      GIO_EXPECTS_MSG(false, "unknown method '" + id + "' (known: " + known +
+                                 "|all)");
+    }
     selected.push_back(method);
   }
   return selected;

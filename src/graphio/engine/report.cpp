@@ -73,6 +73,7 @@ void BoundReport::append_json(io::JsonWriter& w, bool include_timing) const {
     w.key("misses").value(cache.misses);
     w.key("eigensolves").value(cache.eigensolves);
     w.key("mincut_sweeps").value(cache.mincut_sweeps);
+    w.key("component_hits").value(cache.component_hits);
     w.end_object();
     w.key("seconds").value(seconds);
   }

@@ -39,6 +39,7 @@
 // Unified analysis API: Engine, BoundRequest/BoundReport, the BoundMethod
 // registry, and the shared-artifact cache.
 #include "graphio/engine/artifact_cache.hpp"
+#include "graphio/engine/component_cache.hpp"
 #include "graphio/engine/engine.hpp"
 #include "graphio/engine/fingerprint.hpp"
 #include "graphio/engine/graph_spec.hpp"
@@ -62,10 +63,12 @@
 #include "graphio/core/partition_dp.hpp"
 #include "graphio/core/published.hpp"
 #include "graphio/core/spectral_bound.hpp"
+#include "graphio/core/spectral_pipeline.hpp"
 #include "graphio/core/spectrum.hpp"
 
 // Computation graphs.
 #include "graphio/graph/builders.hpp"
+#include "graphio/graph/components.hpp"
 #include "graphio/graph/digraph.hpp"
 #include "graphio/graph/dot.hpp"
 #include "graphio/graph/laplacian.hpp"
@@ -105,6 +108,7 @@
 #include "graphio/la/lanczos.hpp"
 #include "graphio/la/lobpcg.hpp"
 #include "graphio/la/power_iteration.hpp"
+#include "graphio/la/solver_policy.hpp"
 #include "graphio/la/symmetric_eigen.hpp"
 #include "graphio/la/tridiagonal.hpp"
 

@@ -1,0 +1,105 @@
+#include "graphio/la/solver_policy.hpp"
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::la {
+
+std::string_view to_string(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kDense: return "dense";
+    case SolverKind::kLanczos: return "lanczos";
+    case SolverKind::kLobpcg: return "lobpcg";
+  }
+  return "?";
+}
+
+namespace {
+
+class AutoPolicy final : public SolverPolicy {
+ public:
+  std::string_view name() const override { return "auto"; }
+  std::string_view summary() const override {
+    return "dense below the cubic-affordable threshold, LOBPCG for tiny-h "
+           "very-sparse problems, Lanczos otherwise";
+  }
+  SolverChoice choose(const SolverProblem& problem,
+                      const SolverThresholds& t) const override {
+    if (problem.n <= t.dense_n)
+      return {SolverKind::kDense,
+              "n=" + std::to_string(problem.n) +
+                  " <= dense_n=" + std::to_string(t.dense_n)};
+    const double density =
+        problem.n > 0
+            ? static_cast<double>(problem.nnz) /
+                  static_cast<double>(problem.n)
+            : 0.0;
+    if (problem.n >= t.lobpcg_min_n && problem.h <= t.lobpcg_max_h &&
+        density <= t.lobpcg_max_density)
+      return {SolverKind::kLobpcg,
+              "h=" + std::to_string(problem.h) + " and nnz/n=" +
+                  std::to_string(density) + " fit the LOBPCG niche"};
+    return {SolverKind::kLanczos,
+            "n=" + std::to_string(problem.n) + " above dense threshold"};
+  }
+};
+
+class ForcedPolicy final : public SolverPolicy {
+ public:
+  ForcedPolicy(SolverKind kind, std::string_view summary)
+      : kind_(kind), summary_(summary) {}
+  std::string_view name() const override { return to_string(kind_); }
+  std::string_view summary() const override { return summary_; }
+  SolverChoice choose(const SolverProblem&,
+                      const SolverThresholds&) const override {
+    return {kind_, "forced by policy"};
+  }
+
+ private:
+  SolverKind kind_;
+  std::string_view summary_;
+};
+
+}  // namespace
+
+const std::vector<const SolverPolicy*>& solver_policies() {
+  static const AutoPolicy auto_policy;
+  static const ForcedPolicy dense(
+      SolverKind::kDense, "always the dense Householder + QL solver");
+  static const ForcedPolicy lanczos(
+      SolverKind::kLanczos, "always block thick-restart Lanczos");
+  static const ForcedPolicy lobpcg(SolverKind::kLobpcg,
+                                   "always block LOBPCG");
+  static const std::vector<const SolverPolicy*> all = {&auto_policy, &dense,
+                                                       &lanczos, &lobpcg};
+  return all;
+}
+
+const SolverPolicy* find_solver_policy(std::string_view name) {
+  for (const SolverPolicy* policy : solver_policies())
+    if (policy->name() == name) return policy;
+  return nullptr;
+}
+
+const SolverPolicy& require_solver_policy(std::string_view name) {
+  const SolverPolicy* policy = find_solver_policy(name);
+  if (policy == nullptr) {
+    std::string known;
+    for (const SolverPolicy* p : solver_policies()) {
+      if (!known.empty()) known += "|";
+      known += p->name();
+    }
+    GIO_EXPECTS_MSG(false, "unknown solver policy '" + std::string(name) +
+                               "' (known: " + known + ")");
+  }
+  return *policy;
+}
+
+std::vector<std::string> solver_policy_ids() {
+  std::vector<std::string> ids;
+  ids.reserve(solver_policies().size());
+  for (const SolverPolicy* policy : solver_policies())
+    ids.emplace_back(policy->name());
+  return ids;
+}
+
+}  // namespace graphio::la

@@ -1,0 +1,97 @@
+// SolverPolicy — string-addressed registry of eigensolver-selection
+// policies, the la-level half of the decompose-and-conquer spectral
+// pipeline (core/spectral_pipeline.hpp).
+//
+// The library has three routes to the smallest h eigenvalues of a sparse
+// symmetric PSD matrix: the dense Householder+QL solver (cubic, exact),
+// block thick-restart Lanczos (the default sparse path), and block LOBPCG
+// (smaller working set, better at tiny h on very sparse operators; see
+// bench/ablation_solver). Callers used to hard-wire the choice per call;
+// the policy registry centralizes it as a pure function of the problem
+// shape (n, nnz, h), so the spectral pipeline can pick a different tier
+// per connected component — the whole point of decomposing: a graph too
+// big for the dense solver often splits into components that are not.
+//
+// Registered policies: "auto" (shape-based selection, the default),
+// "dense", "lanczos", "lobpcg" (forced tiers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphio::la {
+
+/// The three eigensolver tiers a policy can pick.
+enum class SolverKind {
+  kDense,    ///< Householder + implicit-shift QL (la/symmetric_eigen.hpp)
+  kLanczos,  ///< block thick-restart Lanczos (la/lanczos.hpp)
+  kLobpcg,   ///< block LOBPCG (la/lobpcg.hpp)
+};
+
+std::string_view to_string(SolverKind kind);
+
+/// Shape of one eigenproblem: the operator's dimension, its nonzero
+/// count, and how many of the smallest eigenvalues are wanted.
+struct SolverProblem {
+  std::int64_t n = 0;
+  std::int64_t nnz = 0;
+  int h = 0;
+};
+
+/// Tuning knobs of the "auto" policy. Callers can widen or narrow the
+/// tiers without writing a new policy; the forced policies ignore them.
+struct SolverThresholds {
+  /// At or below this dimension the cubic dense solver is cheap enough to
+  /// be the certain choice (matches the evidence in bench/ablation_solver
+  /// and the historical SpectralOptions::dense_threshold default).
+  std::int64_t dense_n = 2048;
+  /// LOBPCG is only considered above this dimension — below it Lanczos's
+  /// Chebyshev filter amortizes and usually wins outright.
+  std::int64_t lobpcg_min_n = 4096;
+  /// ... and only for requests of at most this many eigenvalues: LOBPCG
+  /// pays a dense 3b×3b Rayleigh–Ritz per iteration, so its advantage is
+  /// confined to small blocks.
+  int lobpcg_max_h = 8;
+  /// ... and only on very sparse operators (nnz/n at or below this):
+  /// denser rows make the per-iteration matvec block dominate.
+  double lobpcg_max_density = 3.0;
+};
+
+/// A policy's verdict, with a human-readable reason for reports/benches.
+struct SolverChoice {
+  SolverKind kind = SolverKind::kDense;
+  std::string reason;
+};
+
+class SolverPolicy {
+ public:
+  virtual ~SolverPolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::string_view summary() const = 0;
+
+  /// Picks a solver tier for one problem. Pure: equal inputs yield equal
+  /// choices, so cached spectra stay valid under replay.
+  [[nodiscard]] virtual SolverChoice choose(
+      const SolverProblem& problem,
+      const SolverThresholds& thresholds) const = 0;
+};
+
+/// All built-in policies, "auto" first. Stable addresses for the lifetime
+/// of the process.
+const std::vector<const SolverPolicy*>& solver_policies();
+
+/// Lookup by name; nullptr when unknown.
+const SolverPolicy* find_solver_policy(std::string_view name);
+
+/// Lookup by name; throws contract_error listing the registered names
+/// when unknown — the one shared "bad --solver" message of the CLI, the
+/// serve job parser, and the pipeline.
+const SolverPolicy& require_solver_policy(std::string_view name);
+
+/// The names of solver_policies(), in order.
+std::vector<std::string> solver_policy_ids();
+
+}  // namespace graphio::la

@@ -77,6 +77,7 @@ std::string BatchSummary::to_json() const {
   w.key("misses").value(cache.misses);
   w.key("eigensolves").value(cache.eigensolves);
   w.key("mincut_sweeps").value(cache.mincut_sweeps);
+  w.key("component_hits").value(cache.component_hits);
   w.end_object();
   w.end_object();
   return w.str();

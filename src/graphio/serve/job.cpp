@@ -1,5 +1,6 @@
 #include "graphio/serve/job.hpp"
 
+#include "graphio/la/solver_policy.hpp"
 #include "graphio/support/contracts.hpp"
 
 namespace graphio::serve {
@@ -29,6 +30,12 @@ engine::BoundRequest request_from_json(const io::JsonValue& value) {
       GIO_EXPECTS_MSG(orders >= 0 && orders <= 1'000'000,
                       "sim_random_orders out of range");
       request.sim_random_orders = static_cast<int>(orders);
+    } else if (key == "solver") {
+      // Validate at ingest so a bad name rejects the line (with the
+      // registered names) instead of failing every method at evaluation.
+      request.spectral.solver = la::require_solver_policy(v.as_string()).name();
+    } else if (key == "decompose") {
+      request.spectral.decompose = v.as_bool();
     } else {
       GIO_EXPECTS_MSG(false, "unknown job key '" + key + "'");
     }
@@ -59,6 +66,9 @@ std::string request_to_json_line(const engine::BoundRequest& request) {
   if (request.processors != 1) w.key("processors").value(request.processors);
   if (request.sim_random_orders != 4)
     w.key("sim_random_orders").value(request.sim_random_orders);
+  if (request.spectral.solver != "auto")
+    w.key("solver").value(request.spectral.solver);
+  if (!request.spectral.decompose) w.key("decompose").value(false);
   w.end_object();
   return w.str();
 }

@@ -8,6 +8,9 @@
 //    "methods": ["spectral", "mincut"],   optional — default every method
 //    "processors": 4,                     optional — Theorem 6 p, default 1
 //    "sim_random_orders": 4,              optional — memsim sampling knob
+//    "solver": "auto",                    optional — eigensolver policy
+//                                         (auto|dense|lanczos|lobpcg)
+//    "decompose": true,                   optional — per-component spectra
 //    "name": "my-label"}                  optional — display name
 //
 // Parsing is strict: unknown keys, wrong types, and out-of-range values

@@ -39,6 +39,8 @@ std::string record_line(const ResultStore::Key& key,
   w.key("memory").value(key.memory);
   w.key("processors").value(key.processors);
   w.key("orders").value(key.sim_random_orders);
+  w.key("solver").value(key.solver);
+  w.key("decompose").value(key.decompose);
   w.key("row").begin_object();
   w.key("kind").value(engine::to_string(row.kind));
   w.key("applicable").value(row.applicable);
@@ -70,6 +72,19 @@ std::pair<ResultStore::Key, engine::MethodRow> parse_record(
   key.memory = v.at("memory").as_double();
   key.processors = v.at("processors").as_int();
   key.sim_random_orders = static_cast<int>(v.at("orders").as_int());
+  // Absent in logs written before the solver-policy fields existed; those
+  // rows were computed with the defaults, which the scheduler keys as
+  // "auto" for the spectral families (and "" for everything else) — so
+  // default, not leave empty, or pre-upgrade spectral rows could never
+  // hit again.
+  const bool spectral_family = key.method == "spectral" ||
+                               key.method == "spectral-plain" ||
+                               key.method == "parallel";
+  key.solver = spectral_family ? "auto" : "";
+  if (const io::JsonValue* solver = v.get("solver"))
+    key.solver = solver->as_string();
+  if (const io::JsonValue* decompose = v.get("decompose"))
+    key.decompose = decompose->as_bool();
 
   const io::JsonValue& r = v.at("row");
   engine::MethodRow row;
@@ -98,6 +113,9 @@ std::string ResultStore::encode_key(const Key& key) {
   out += std::to_string(key.processors);
   out += '|';
   out += std::to_string(key.sim_random_orders);
+  out += '|';
+  out += key.solver;
+  out += key.decompose ? "" : "|mono";
   return out;
 }
 

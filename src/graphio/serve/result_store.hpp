@@ -6,12 +6,13 @@
 // whole batch performs zero eigensolves (certified by the serve tests).
 //
 // Keys are content-addressed: the graph's structural fingerprint
-// (engine/fingerprint.hpp), the method id, the memory size, and the two
+// (engine/fingerprint.hpp), the method id, the memory size, and the
 // request knobs that change results for some method (processors for
-// "parallel", sim_random_orders for "memsim"). Per-method solver options
-// (SpectralOptions etc.) are NOT part of the key — the serve layer always
-// evaluates with defaults; drivers tuning solver options should point
-// each configuration at its own store directory.
+// "parallel", sim_random_orders for "memsim", the solver policy and
+// decomposition switch for the spectral families). Other per-method
+// options (min-cut budgets etc.) are NOT part of the key — the serve
+// layer always evaluates those with defaults; drivers tuning them should
+// point each configuration at its own store directory.
 //
 // The log is append-only and crash-tolerant: unparseable lines (e.g. a
 // torn final line after a crash) are counted and skipped on load, and the
@@ -38,6 +39,11 @@ class ResultStore {
     double memory = 0.0;
     std::int64_t processors = 1;
     int sim_random_orders = 4;
+    /// Solver policy for the spectral families ("" for other methods, so
+    /// their rows serve every solver setting).
+    std::string solver;
+    /// Per-component decomposition switch (spectral families only).
+    bool decompose = true;
   };
 
   /// Opens (creating the directory if needed) and replays `dir/results.jsonl`.

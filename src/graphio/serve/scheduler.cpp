@@ -16,10 +16,11 @@ namespace graphio::serve {
 
 namespace {
 
-/// The store key for one (request, method, memory) cell. processors and
-/// sim_random_orders only key the methods whose results they change, so
-/// e.g. a "spectral" row computed under a processors=4 request still
-/// serves later processors=1 requests.
+/// The store key for one (request, method, memory) cell. processors,
+/// sim_random_orders, and the spectral solver knobs only key the methods
+/// whose results they change, so e.g. a "spectral" row computed under a
+/// processors=4 request still serves later processors=1 requests, and a
+/// "mincut" row serves every solver setting.
 ResultStore::Key store_key(std::uint64_t fingerprint,
                            const engine::BoundRequest& request,
                            std::string_view method, double memory) {
@@ -30,6 +31,11 @@ ResultStore::Key store_key(std::uint64_t fingerprint,
   key.processors = method == "parallel" ? request.processors : 1;
   key.sim_random_orders =
       method == "memsim" ? request.sim_random_orders : 0;
+  if (method == "spectral" || method == "spectral-plain" ||
+      method == "parallel") {
+    key.solver = request.spectral.solver;
+    key.decompose = request.spectral.decompose;
+  }
   return key;
 }
 
@@ -40,8 +46,13 @@ Scheduler::Scheduler(const SchedulerOptions& options)
   int threads = options.threads > 0 ? options.threads : hardware_threads();
   threads = std::max(threads, 1);
   engines_.reserve(static_cast<std::size_t>(threads));
+  // One component-spectrum cache across all worker Engines (it is
+  // mutex-guarded): a component shared by specs sharded to different
+  // workers still eigensolves once per process.
+  const auto components =
+      std::make_shared<engine::ComponentSpectrumCache>();
   for (int t = 0; t < threads; ++t)
-    engines_.push_back(std::make_unique<engine::Engine>());
+    engines_.push_back(std::make_unique<engine::Engine>(components));
 }
 
 JobResult Scheduler::evaluate_job(engine::Engine& engine,

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "graphio/core/spectral_bound.hpp"
+#include "graphio/core/spectral_pipeline.hpp"
+#include "graphio/engine/graph_spec.hpp"
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/components.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+namespace {
+
+SpectralOptions dense_monolithic() {
+  SpectralOptions options;
+  options.backend = EigenBackend::kDense;
+  options.decompose = false;
+  return options;
+}
+
+void expect_near_spectra(const std::vector<double>& a,
+                         const std::vector<double>& b, double tol,
+                         const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a[i], b[i], tol) << what << " lambda_" << i;
+}
+
+// ------------------------------------------------------------- decomposition
+
+TEST(SpectralPipeline, ConnectedGraphIsSingleInPlaceSolve) {
+  const Digraph g = builders::fft(4);
+  const PipelineResult result = SpectralPipeline(SpectralOptions{}).run(
+      g, LaplacianKind::kOutDegreeNormalized, 16);
+  EXPECT_EQ(result.components, 1);
+  EXPECT_EQ(result.eigensolves, 1);
+  ASSERT_EQ(result.per_component.size(), 1u);
+  EXPECT_EQ(result.per_component[0].vertices, g.num_vertices());
+  EXPECT_EQ(static_cast<int>(result.values.size()), 16);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(SpectralPipeline, DisjointFftCorpusSolvesPerComponent) {
+  // The ISSUE 3 acceptance shape: 8 disjoint FFTs -> 8 small eigensolves,
+  // never 1 monolithic one, with the merged spectrum matching the
+  // monolithic dense solve exactly.
+  const Digraph g = engine::GraphSpec::parse("multi:8:fft:4").build();
+  const int h = 40;
+
+  const PipelineResult piped =
+      SpectralPipeline(SpectralOptions{}).run(g, LaplacianKind::kOutDegreeNormalized, h);
+  EXPECT_EQ(piped.components, 8);
+  EXPECT_EQ(piped.eigensolves, 8);
+  for (const ComponentSolve& solve : piped.per_component) {
+    EXPECT_EQ(solve.vertices, g.num_vertices() / 8);
+    EXPECT_EQ(solve.solver, la::SolverKind::kDense);  // tier flip
+  }
+
+  const PipelineResult mono = SpectralPipeline(dense_monolithic())
+                                  .run(g, LaplacianKind::kOutDegreeNormalized,
+                                       h);
+  EXPECT_EQ(mono.components, 1);
+  EXPECT_EQ(mono.eigensolves, 1);
+  expect_near_spectra(piped.values, mono.values, 1e-8, "multi:8:fft:4");
+}
+
+TEST(SpectralPipeline, EdgelessComponentsNeedNoEigensolve) {
+  // path(3) plus two isolated vertices: the singletons contribute exact
+  // zeros without touching a solver.
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const PipelineResult result =
+      SpectralPipeline(SpectralOptions{}).run(g, LaplacianKind::kPlain, 5);
+  EXPECT_EQ(result.components, 3);
+  EXPECT_EQ(result.eigensolves, 1);  // only the path
+  ASSERT_EQ(result.values.size(), 5u);
+  // Plain Laplacian of P3 has spectrum {0, 1, 3}; the union adds two 0s.
+  const std::vector<double> expected{0.0, 0.0, 0.0, 1.0, 3.0};
+  expect_near_spectra(result.values, expected, 1e-9, "path+isolated");
+}
+
+TEST(SpectralPipeline, WhollyEdgelessGraphIsAllZerosNoSolve) {
+  const Digraph g(6);
+  const PipelineResult result =
+      SpectralPipeline(SpectralOptions{}).run(g, LaplacianKind::kOutDegreeNormalized, 4);
+  EXPECT_EQ(result.eigensolves, 0);
+  EXPECT_EQ(result.components, 6);
+  ASSERT_EQ(result.values.size(), 4u);
+  for (double v : result.values) EXPECT_EQ(v, 0.0);
+}
+
+TEST(SpectralPipeline, DecomposeOffReproducesMonolithicBehavior) {
+  const Digraph g = engine::GraphSpec::parse("multi:3:inner:3").build();
+  SpectralOptions mono;
+  mono.decompose = false;
+  const PipelineResult result =
+      SpectralPipeline(mono).run(g, LaplacianKind::kPlain, 8);
+  EXPECT_EQ(result.components, 1);
+  EXPECT_EQ(result.eigensolves, 1);
+}
+
+TEST(SpectralPipeline, UnknownSolverPolicyThrowsWithNames) {
+  SpectralOptions options;
+  options.solver = "qr";
+  try {
+    (void)SpectralPipeline(options).run(builders::path(4),
+                                        LaplacianKind::kPlain, 2);
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("auto|dense|lanczos|lobpcg"),
+              std::string::npos);
+  }
+}
+
+TEST(SpectralPipeline, ComponentSolverHookIsUsed) {
+  const Digraph g = engine::GraphSpec::parse("multi:4:path:3").build();
+  int calls = 0;
+  SpectralPipeline pipeline((SpectralOptions()));
+  pipeline.set_component_solver(
+      [&calls](const Digraph& component, LaplacianKind kind, int h,
+               const SpectralOptions& options) {
+        ++calls;
+        return solve_component_spectrum(component, kind, h, options);
+      });
+  const PipelineResult result = pipeline.run(g, LaplacianKind::kPlain, 6);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(result.components, 4);
+}
+
+// --------------------------------------------------- merged-spectrum parity
+
+// Random disjoint unions with 2..8 components: the merged per-component
+// spectrum must match the monolithic dense spectrum of the union within
+// 1e-8 (it is exactly the same multiset, so the tolerance only absorbs
+// floating-point noise between solve orders).
+class RandomUnionParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomUnionParity, MergedMatchesWholeGraphDense) {
+  const int seed = GetParam();
+  const int num_components = 2 + seed % 7;  // 2..8
+  std::vector<Digraph> parts;
+  for (int c = 0; c < num_components; ++c) {
+    const std::int64_t n = 10 + ((seed * 7 + c * 13) % 30);
+    const double p = 0.08 + 0.02 * (c % 4);
+    parts.push_back(builders::erdos_renyi_dag(
+        n, p, static_cast<std::uint64_t>(seed * 100 + c)));
+  }
+  const Digraph g = disjoint_union(parts);
+  const int h = static_cast<int>(std::min<std::int64_t>(
+      g.num_vertices(), 24));
+
+  for (const LaplacianKind kind :
+       {LaplacianKind::kPlain, LaplacianKind::kOutDegreeNormalized}) {
+    const PipelineResult piped = SpectralPipeline(SpectralOptions{}).run(g, kind, h);
+    const PipelineResult mono =
+        SpectralPipeline(dense_monolithic()).run(g, kind, h);
+    // The ER parts may themselves be disconnected, so expect *at least*
+    // the assembled component count.
+    EXPECT_GE(piped.components, num_components);
+    EXPECT_TRUE(piped.converged);
+    expect_near_spectra(piped.values, mono.values, 1e-8,
+                        "seed " + std::to_string(seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomUnionParity,
+                         ::testing::Range(0, 10));
+
+// Engine-facing acceptance: on every shipped builder family (small
+// instances, so the dense reference is affordable) the pipeline bound
+// equals the monolithic dense whole-graph bound within 1e-8.
+class BuilderParity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BuilderParity, PipelineBoundMatchesMonolithicDense) {
+  const std::string spec = GetParam();
+  const Digraph g = engine::GraphSpec::parse(spec).build();
+  SpectralOptions piped;
+  piped.adaptive = false;
+  const SpectralBound a = spectral_bound(g, 8.0, piped);
+  const SpectralBound b = spectral_bound(g, 8.0, dense_monolithic());
+  EXPECT_NEAR(a.bound, b.bound, 1e-8) << spec;
+  EXPECT_EQ(a.best_k, b.best_k) << spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, BuilderParity,
+    ::testing::Values("fft:4", "bhk:5", "inner:6", "matmul:3", "strassen:2",
+                      "er:60:0.1:7", "grid:5:6", "tree:4", "path:12",
+                      "stencil1d:6:4", "stencil2d:4:4:3", "scan:4",
+                      "bitonic:3", "trisolve:5", "cholesky:4",
+                      "multi:4:fft:3", "multi:2:bhk:4"));
+
+}  // namespace
+}  // namespace graphio

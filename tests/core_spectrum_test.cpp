@@ -60,5 +60,64 @@ TEST(Spectrum, EmptySpectrum) {
   EXPECT_TRUE(s.smallest().empty());
 }
 
+TEST(Spectrum, FromEntriesMergesWithinTolerance) {
+  // Unified with from_values: entries closer than merge_tol collapse.
+  const Spectrum s = Spectrum::from_entries(
+      {{1.0, 2}, {1.0 + 1e-12, 3}, {2.0, 1}}, 1e-9);
+  ASSERT_EQ(s.entries().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.entries()[0].value, 1.0);  // smaller value survives
+  EXPECT_EQ(s.entries()[0].multiplicity, 5);
+  EXPECT_EQ(s.total_count(), 6);
+  EXPECT_THROW(Spectrum::from_entries({{1.0, 1}}, -1.0), contract_error);
+}
+
+TEST(Spectrum, FromEntriesToleranceZeroIsExactEquality) {
+  const Spectrum s =
+      Spectrum::from_entries({{1.0, 1}, {1.0 + 1e-12, 1}}, 0.0);
+  ASSERT_EQ(s.entries().size(), 2u);  // distinct at tolerance 0
+}
+
+TEST(Spectrum, FromEntriesAndFromValuesAgree) {
+  const std::vector<double> values{0.0, 1.0, 1.0 + 1e-12, 2.5, 2.5};
+  std::vector<Spectrum::Entry> entries;
+  for (double v : values) entries.push_back({v, 1});
+  const Spectrum a = Spectrum::from_values(values, 1e-9);
+  const Spectrum b = Spectrum::from_entries(std::move(entries), 1e-9);
+  ASSERT_EQ(a.entries().size(), b.entries().size());
+  for (std::size_t i = 0; i < a.entries().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.entries()[i].value, b.entries()[i].value);
+    EXPECT_EQ(a.entries()[i].multiplicity, b.entries()[i].multiplicity);
+  }
+}
+
+TEST(Spectrum, MergeIsMultisetUnion) {
+  const Spectrum a = Spectrum::from_entries({{0.0, 1}, {2.0, 2}});
+  const Spectrum b = Spectrum::from_entries({{0.0, 1}, {1.0, 3}});
+  const Spectrum u = a.merge(b);
+  EXPECT_EQ(u.total_count(), a.total_count() + b.total_count());
+  const auto all = u.smallest();
+  const std::vector<double> expected{0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0};
+  ASSERT_EQ(all.size(), expected.size());
+  for (std::size_t i = 0; i < all.size(); ++i)
+    EXPECT_DOUBLE_EQ(all[i], expected[i]);
+}
+
+TEST(Spectrum, MergeToleranceCollapsesNearDuplicates) {
+  const Spectrum a = Spectrum::from_entries({{1.0, 1}});
+  const Spectrum b = Spectrum::from_entries({{1.0 + 1e-12, 1}});
+  EXPECT_EQ(a.merge(b, 0.0).entries().size(), 2u);
+  const Spectrum merged = a.merge(b, 1e-9);
+  ASSERT_EQ(merged.entries().size(), 1u);
+  EXPECT_EQ(merged.entries()[0].multiplicity, 2);
+  EXPECT_DOUBLE_EQ(merged.entries()[0].value, 1.0);
+}
+
+TEST(Spectrum, MergeWithEmptyIsIdentity) {
+  const Spectrum a = Spectrum::from_entries({{0.5, 2}});
+  const Spectrum u = a.merge(Spectrum{});
+  ASSERT_EQ(u.entries().size(), 1u);
+  EXPECT_EQ(u.total_count(), 2);
+}
+
 }  // namespace
 }  // namespace graphio

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graphio/engine/artifact_cache.hpp"
+#include "graphio/engine/component_cache.hpp"
+#include "graphio/engine/engine.hpp"
+#include "graphio/engine/graph_spec.hpp"
+#include "graphio/graph/builders.hpp"
+
+namespace graphio::engine {
+namespace {
+
+constexpr LaplacianKind kNorm = LaplacianKind::kOutDegreeNormalized;
+
+TEST(ComponentCache, SharedComponentAcrossTwoSpecsEigensolvesOnce) {
+  // The ISSUE 3 cache acceptance: a component shared by two specs of the
+  // same Engine is eigensolved exactly once.
+  Engine engine;
+  BoundRequest request;
+  request.spec = "fft:4";
+  request.memories = {4.0, 8.0};
+  request.methods = {"spectral"};
+  const BoundReport first = engine.evaluate(request);
+  EXPECT_EQ(first.cache.eigensolves, 1);
+  EXPECT_EQ(first.cache.component_hits, 0);
+
+  // Every component of the disjoint union is content-equal to fft:4.
+  request.spec = "multi:3:fft:4";
+  const BoundReport second = engine.evaluate(request);
+  EXPECT_EQ(second.cache.eigensolves, 0);
+  EXPECT_EQ(second.cache.component_hits, 3);
+  EXPECT_EQ(engine.component_cache()->stats().entries, 1);
+}
+
+TEST(ComponentCache, IdenticalComponentsWithinOneGraphDedupe) {
+  // Even a standalone ArtifactCache (private component cache) solves each
+  // *distinct* component once: 5 copies -> 1 eigensolve + 4 hits.
+  ArtifactCache cache(GraphSpec::parse("multi:5:inner:3").build());
+  const auto& artifact = cache.spectrum(kNorm, 20);
+  EXPECT_EQ(artifact.components, 5);
+  EXPECT_EQ(artifact.eigensolves, 1);
+  EXPECT_EQ(artifact.component_hits, 4);
+  EXPECT_EQ(cache.stats().eigensolves, 1);
+  EXPECT_EQ(cache.stats().component_hits, 4);
+}
+
+TEST(ComponentCache, TwoArtifactCachesShareThroughOneComponentCache) {
+  const auto shared = std::make_shared<ComponentSpectrumCache>();
+  ArtifactCache a(builders::fft(4), shared);
+  ArtifactCache b(GraphSpec::parse("multi:2:fft:4").build(), shared);
+
+  a.spectrum(kNorm, 16);
+  EXPECT_EQ(a.stats().eigensolves, 1);
+  b.spectrum(kNorm, 16);
+  EXPECT_EQ(b.stats().eigensolves, 0);
+  EXPECT_EQ(b.stats().component_hits, 2);
+  // Same values: merging two copies of a spectrum and truncating to the
+  // request reproduces the single copy's prefix (eigenvalue union).
+  EXPECT_EQ(shared->stats().entries, 1);
+  EXPECT_GE(shared->stats().hits, 2);
+}
+
+TEST(ComponentCache, DifferentKindsAndOptionsAreDistinctEntries) {
+  const auto shared = std::make_shared<ComponentSpectrumCache>();
+  ArtifactCache cache(builders::fft(4), shared);
+  cache.spectrum(kNorm, 8);
+  cache.spectrum(LaplacianKind::kPlain, 8);
+  EXPECT_EQ(shared->stats().entries, 2);
+  EXPECT_EQ(cache.stats().eigensolves, 2);
+
+  SpectralOptions lanczos;
+  lanczos.backend = EigenBackend::kLanczos;
+  cache.spectrum(kNorm, 8, lanczos);  // changed options: recompute
+  EXPECT_EQ(cache.stats().eigensolves, 3);
+}
+
+TEST(ComponentCache, LargerRequestRecomputesSmallerHits) {
+  ComponentSpectrumCache cache;
+  const SpectralOptions options;
+  ComponentSolve solve;
+  solve.vertices = 4;
+  solve.values = {0.0, 1.0};
+  cache.store(42, kNorm, 2, options, solve);
+  EXPECT_TRUE(cache.lookup(42, kNorm, 2, options).has_value());
+  EXPECT_TRUE(cache.lookup(42, kNorm, 1, options).has_value());
+  EXPECT_FALSE(cache.lookup(42, kNorm, 3, options).has_value());
+  EXPECT_FALSE(cache.lookup(7, kNorm, 2, options).has_value());
+
+  const auto served = cache.lookup(42, kNorm, 2, options);
+  ASSERT_TRUE(served.has_value());
+  EXPECT_TRUE(served->from_cache);
+  EXPECT_FALSE(served->solver_ran);
+
+  // A smaller request is served truncated — exactly what a fresh solve
+  // for that count would return, so results cannot depend on which
+  // request populated the cache first.
+  const auto truncated = cache.lookup(42, kNorm, 1, options);
+  ASSERT_TRUE(truncated.has_value());
+  ASSERT_EQ(truncated->values.size(), 1u);
+  EXPECT_EQ(truncated->values[0], 0.0);
+}
+
+TEST(ComponentCache, MixedSolverOptionsCoexistWithoutThrashing) {
+  ComponentSpectrumCache cache;
+  SpectralOptions auto_policy;
+  SpectralOptions dense;
+  dense.solver = "dense";
+  ComponentSolve solve;
+  solve.values = {0.0, 1.0};
+  cache.store(9, kNorm, 2, auto_policy, solve);
+  cache.store(9, kNorm, 2, dense, solve);
+  // Both configurations stay resident — a batch alternating solvers must
+  // not evict the other group's entry on every store.
+  EXPECT_TRUE(cache.lookup(9, kNorm, 2, auto_policy).has_value());
+  EXPECT_TRUE(cache.lookup(9, kNorm, 2, dense).has_value());
+  EXPECT_EQ(cache.stats().entries, 2);
+}
+
+TEST(ComponentCache, StoreKeepsTheLargerSolve) {
+  ComponentSpectrumCache cache;
+  const SpectralOptions options;
+  ComponentSolve big;
+  big.values = {0.0, 1.0, 2.0, 3.0};
+  cache.store(1, kNorm, 4, options, big);
+  ComponentSolve small;
+  small.values = {0.0, 1.0};
+  cache.store(1, kNorm, 2, options, small);  // must not shrink the entry
+  const auto served = cache.lookup(1, kNorm, 4, options);
+  ASSERT_TRUE(served.has_value());
+  EXPECT_EQ(served->values.size(), 4u);
+}
+
+TEST(ComponentCache, EngineClearDropsComponentSpectra) {
+  Engine engine;
+  BoundRequest request;
+  request.spec = "fft:4";
+  request.memories = {4.0};
+  request.methods = {"spectral"};
+  engine.evaluate(request);
+  EXPECT_EQ(engine.component_cache()->stats().entries, 1);
+  engine.clear();
+  EXPECT_EQ(engine.component_cache()->stats().entries, 0);
+  const BoundReport again = engine.evaluate(request);
+  EXPECT_EQ(again.cache.eigensolves, 1);  // really recomputed
+}
+
+TEST(ComponentCache, BatchFanOutSharesComponents) {
+  // The parallel batch path uses private ArtifactCaches but the shared
+  // component cache: N requests over the same graph still eigensolve each
+  // kind once.
+  Engine engine;
+  std::vector<BoundRequest> requests(4);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].spec = "fft:4";
+    requests[i].memories = {static_cast<double>(4 << i)};
+    requests[i].methods = {"spectral"};
+  }
+  engine.evaluate_batch(requests, /*parallel=*/true);
+  const ComponentSpectrumCache::Stats stats =
+      engine.component_cache()->stats();
+  // Workers race, so up to hardware-parallelism requests may miss before
+  // the first store lands; the cache still converges to one entry and
+  // every lookup is accounted for.
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.hits + stats.misses, 4);
+  // A serial re-evaluation of the same spec is a pure component hit.
+  BoundRequest again;
+  again.spec = "fft:4";
+  again.memories = {64.0};
+  again.methods = {"spectral"};
+  const BoundReport report = engine.evaluate(again);
+  EXPECT_EQ(report.cache.eigensolves, 0);
+  EXPECT_EQ(report.cache.component_hits, 1);
+}
+
+}  // namespace
+}  // namespace graphio::engine

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "graphio/graph/builders.hpp"
+#include "graphio/graph/components.hpp"
+#include "graphio/graph/transforms.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio {
+namespace {
+
+TEST(WeakComponentsTest, ConnectedGraphIsOneComponentVerbatim) {
+  const Digraph g = builders::fft(3);
+  const WeakComponents comps = weakly_connected_components(g);
+  ASSERT_EQ(comps.count, 1);
+  ASSERT_EQ(comps.vertices[0].size(),
+            static_cast<std::size_t>(g.num_vertices()));
+  // Ascending vertex map means the single component reproduces the graph
+  // exactly — the pipeline's in-place fast path depends on this.
+  for (std::size_t i = 0; i < comps.vertices[0].size(); ++i)
+    EXPECT_EQ(comps.vertices[0][i], static_cast<VertexId>(i));
+  EXPECT_TRUE(same_structure(comps.subgraph(g, 0), g));
+  EXPECT_EQ(comps.edges_in(g, 0), g.num_edges());
+}
+
+TEST(WeakComponentsTest, DirectionIsIgnored) {
+  // 0 -> 1 <- 2: weakly connected despite no directed path 0 -> 2.
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  EXPECT_EQ(num_weak_components(g), 1);
+}
+
+TEST(WeakComponentsTest, DisjointUnionRoundTrip) {
+  const std::vector<Digraph> parts = {builders::inner_product(2),
+                                      builders::path(4), builders::fft(2)};
+  std::vector<VertexId> offsets;
+  const Digraph u = disjoint_union(parts, &offsets);
+  ASSERT_EQ(offsets.size(), 3u);
+  EXPECT_EQ(offsets[0], 0);
+  EXPECT_EQ(offsets[1], parts[0].num_vertices());
+  EXPECT_EQ(u.num_vertices(), parts[0].num_vertices() +
+                                  parts[1].num_vertices() +
+                                  parts[2].num_vertices());
+  EXPECT_EQ(u.num_edges(), parts[0].num_edges() + parts[1].num_edges() +
+                               parts[2].num_edges());
+
+  const WeakComponents comps = weakly_connected_components(u);
+  ASSERT_EQ(comps.count, 3);
+  for (int c = 0; c < comps.count; ++c)
+    EXPECT_TRUE(same_structure(comps.subgraph(u, c),
+                               parts[static_cast<std::size_t>(c)]))
+        << "component " << c;
+}
+
+TEST(WeakComponentsTest, ComponentOfIsConsistentWithVertexLists) {
+  const std::vector<Digraph> parts = {builders::path(3),
+                                      builders::inner_product(2)};
+  const Digraph u = disjoint_union(parts);
+  const WeakComponents comps = weakly_connected_components(u);
+  ASSERT_EQ(comps.count, 2);
+  std::int64_t total = 0;
+  for (int c = 0; c < comps.count; ++c) {
+    for (VertexId v : comps.vertices[static_cast<std::size_t>(c)])
+      EXPECT_EQ(comps.component_of[static_cast<std::size_t>(v)], c);
+    total += static_cast<std::int64_t>(
+        comps.vertices[static_cast<std::size_t>(c)].size());
+  }
+  EXPECT_EQ(total, u.num_vertices());
+}
+
+TEST(WeakComponentsTest, IsolatedVerticesAreSingletons) {
+  Digraph g(4);
+  g.add_edge(1, 2);
+  const WeakComponents comps = weakly_connected_components(g);
+  EXPECT_EQ(comps.count, 3);  // {0}, {1,2}, {3}
+  EXPECT_EQ(num_weak_components(g), 3);
+  const Digraph singleton = comps.subgraph(g, 0);
+  EXPECT_EQ(singleton.num_vertices(), 1);
+  EXPECT_EQ(singleton.num_edges(), 0);
+}
+
+TEST(WeakComponentsTest, ParallelEdgesAndNamesSurvive) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // parallel operand edge
+  g.set_name(0, "x");
+  g.set_name(2, "lonely");
+  const WeakComponents comps = weakly_connected_components(g);
+  ASSERT_EQ(comps.count, 2);
+  const Digraph main = comps.subgraph(g, 0);
+  EXPECT_EQ(main.num_edges(), 2);
+  EXPECT_EQ(main.name(0), "x");
+  EXPECT_EQ(comps.subgraph(g, 1).name(0), "lonely");
+}
+
+TEST(WeakComponentsTest, SubgraphIndexIsBoundsChecked) {
+  const Digraph g = builders::path(3);
+  const WeakComponents comps = weakly_connected_components(g);
+  EXPECT_THROW(comps.subgraph(g, -1), contract_error);
+  EXPECT_THROW(comps.subgraph(g, comps.count), contract_error);
+}
+
+TEST(WeakComponentsTest, EmptyGraph) {
+  const Digraph g(0);
+  EXPECT_EQ(weakly_connected_components(g).count, 0);
+  EXPECT_EQ(num_weak_components(g), 0);
+  EXPECT_EQ(disjoint_union({}).num_vertices(), 0);
+}
+
+}  // namespace
+}  // namespace graphio

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graphio/la/solver_policy.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::la {
+namespace {
+
+TEST(SolverPolicy, RegistryContainsEveryDocumentedName) {
+  const std::vector<std::string> expected{"auto", "dense", "lanczos",
+                                          "lobpcg"};
+  EXPECT_EQ(solver_policy_ids(), expected);
+  for (const std::string& name : expected) {
+    const SolverPolicy* policy = find_solver_policy(name);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->name(), name);
+    EXPECT_FALSE(policy->summary().empty());
+  }
+}
+
+TEST(SolverPolicy, UnknownNameIsNullAndRequireListsRegistered) {
+  EXPECT_EQ(find_solver_policy("qr"), nullptr);
+  try {
+    require_solver_policy("qr");
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("qr"), std::string::npos);
+    EXPECT_NE(what.find("auto|dense|lanczos|lobpcg"), std::string::npos);
+  }
+}
+
+TEST(SolverPolicy, AutoPicksDenseAtOrBelowThreshold) {
+  const SolverPolicy& policy = require_solver_policy("auto");
+  const SolverThresholds t;
+  EXPECT_EQ(policy.choose({t.dense_n, 4 * t.dense_n, 100}, t).kind,
+            SolverKind::kDense);
+  EXPECT_EQ(policy.choose({1, 1, 1}, t).kind, SolverKind::kDense);
+  EXPECT_EQ(policy.choose({t.dense_n + 1, 4 * t.dense_n, 100}, t).kind,
+            SolverKind::kLanczos);
+}
+
+TEST(SolverPolicy, AutoPicksLobpcgOnlyInItsNiche) {
+  const SolverPolicy& policy = require_solver_policy("auto");
+  const SolverThresholds t;
+  // Large, very sparse, tiny h: the LOBPCG niche.
+  const SolverProblem niche{t.lobpcg_min_n, 2 * t.lobpcg_min_n,
+                            t.lobpcg_max_h};
+  EXPECT_EQ(policy.choose(niche, t).kind, SolverKind::kLobpcg);
+  // Each violated condition falls back to Lanczos.
+  SolverProblem too_many_values = niche;
+  too_many_values.h = t.lobpcg_max_h + 1;
+  EXPECT_EQ(policy.choose(too_many_values, t).kind, SolverKind::kLanczos);
+  SolverProblem too_dense = niche;
+  too_dense.nnz =
+      static_cast<std::int64_t>(2.0 * t.lobpcg_max_density * niche.n);
+  EXPECT_EQ(policy.choose(too_dense, t).kind, SolverKind::kLanczos);
+  SolverProblem too_small = niche;
+  too_small.n = t.lobpcg_min_n - 1;
+  too_small.nnz = 2 * too_small.n;
+  // ... unless that drops it below the dense threshold entirely.
+  if (too_small.n > t.dense_n)
+    EXPECT_EQ(policy.choose(too_small, t).kind, SolverKind::kLanczos);
+}
+
+TEST(SolverPolicy, ForcedPoliciesIgnoreShape) {
+  const SolverThresholds t;
+  const SolverProblem tiny{4, 8, 2};
+  EXPECT_EQ(require_solver_policy("lanczos").choose(tiny, t).kind,
+            SolverKind::kLanczos);
+  EXPECT_EQ(require_solver_policy("lobpcg").choose(tiny, t).kind,
+            SolverKind::kLobpcg);
+  EXPECT_EQ(require_solver_policy("dense").choose({1 << 20, 1 << 22, 100}, t)
+                .kind,
+            SolverKind::kDense);
+}
+
+TEST(SolverPolicy, ChoicesCarryReasons) {
+  const SolverThresholds t;
+  EXPECT_FALSE(
+      require_solver_policy("auto").choose({10, 20, 4}, t).reason.empty());
+  EXPECT_FALSE(
+      require_solver_policy("dense").choose({10, 20, 4}, t).reason.empty());
+}
+
+}  // namespace
+}  // namespace graphio::la

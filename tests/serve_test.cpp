@@ -134,6 +134,38 @@ TEST(ServeJob, RoundTripsThroughJsonLine) {
   EXPECT_EQ(back.processors, request.processors);
 }
 
+TEST(ServeJob, SolverPolicyKeysParseAndRoundTrip) {
+  const engine::BoundRequest request = request_from_json_line(
+      R"({"spec": "fft:5", "memories": [8], "solver": "dense",)"
+      R"( "decompose": false})");
+  EXPECT_EQ(request.spectral.solver, "dense");
+  EXPECT_FALSE(request.spectral.decompose);
+
+  const engine::BoundRequest back =
+      request_from_json_line(request_to_json_line(request));
+  EXPECT_EQ(back.spectral.solver, "dense");
+  EXPECT_FALSE(back.spectral.decompose);
+
+  // Defaults are omitted from the serialized line.
+  engine::BoundRequest defaults;
+  defaults.spec = "fft:5";
+  defaults.memories = {8};
+  const std::string line = request_to_json_line(defaults);
+  EXPECT_EQ(line.find("solver"), std::string::npos);
+  EXPECT_EQ(line.find("decompose"), std::string::npos);
+}
+
+TEST(ServeJob, UnknownSolverIsRejectedWithRegisteredNames) {
+  try {
+    request_from_json_line(
+        R"({"spec": "fft:5", "memories": [8], "solver": "qr"})");
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("auto|dense|lanczos|lobpcg"),
+              std::string::npos);
+  }
+}
+
 // -------------------------------------------------------------- fingerprint
 
 TEST(Fingerprint, EqualGraphsCollideDistinctGraphsDiffer) {

@@ -38,6 +38,7 @@
 #include "graphio/graph/topo.hpp"
 #include "graphio/io/edgelist.hpp"
 #include "graphio/io/json.hpp"
+#include "graphio/la/solver_policy.hpp"
 #include "graphio/serve/batch_session.hpp"
 #include "graphio/sim/anneal.hpp"
 #include "graphio/sim/memsim.hpp"
@@ -52,6 +53,15 @@ using namespace graphio;
 std::string method_list() {
   std::string out;
   for (const std::string& id : engine::method_ids()) {
+    if (!out.empty()) out += "|";
+    out += id;
+  }
+  return out;
+}
+
+std::string solver_list() {
+  std::string out;
+  for (const std::string& id : la::solver_policy_ids()) {
     if (!out.empty()) out += "|";
     out += id;
   }
@@ -90,7 +100,14 @@ std::string method_list() {
       "graph: family spec, edgelist file, or DOT file (*.dot, *.gv)\n"
       << engine::family_help() <<
       "\n"
-      "methods: " << method_list() << " | all\n";
+      "methods: " << method_list() << " | all\n"
+      "\n"
+      "spectral eigensolver options (bound/compare/sweep/spectrum)\n"
+      "  --solver " << solver_list() << "\n"
+      "                                         per-component solver policy\n"
+      "  --monolithic                           disable the per-component\n"
+      "                                         decomposition (one whole-graph\n"
+      "                                         eigensolve)\n";
   std::exit(2);
 }
 
@@ -143,6 +160,8 @@ struct Args {
   std::string levels = "8,64,512";
   std::int64_t threads = 0;
   std::string store;
+  std::string solver = "auto";
+  bool monolithic = false;
   bool plain = false;
   bool json = false;
 
@@ -195,6 +214,17 @@ Args parse_args(int argc, char** argv) {
       if (a.threads < 1) usage("--threads must be >= 1");
     } else if (flag == "--store") {
       a.store = next();
+    } else if (flag == "--solver") {
+      a.solver = next();
+      // Validate here so a typo fails with the registered names instead
+      // of surfacing later from deep inside an evaluation.
+      try {
+        la::require_solver_policy(a.solver);
+      } catch (const std::exception& e) {
+        usage(e.what());
+      }
+    } else if (flag == "--monolithic") {
+      a.monolithic = true;
     } else if (flag == "--plain") {
       a.plain = true;
     } else if (flag == "--json") {
@@ -220,6 +250,8 @@ engine::BoundRequest make_request(const Args& a, const std::string& spec) {
   req.spec = spec;
   req.memories = a.memories;
   req.processors = a.processors;
+  req.spectral.solver = a.solver;
+  req.spectral.decompose = !a.monolithic;
   req.methods = a.methods.empty() ? std::vector<std::string>{"spectral"}
                                   : a.methods;
   // --processors P with P > 1 asks for the Theorem 6 bound; the serial
@@ -327,6 +359,8 @@ int cmd_sweep(const Args& a) {
 int cmd_spectrum(const Args& a) {
   const Digraph g = resolve_graph(a.graph());
   SpectralOptions opts;
+  opts.solver = a.solver;
+  opts.decompose = !a.monolithic;
   bool converged = true;
   const auto kind = a.plain ? LaplacianKind::kPlain
                             : LaplacianKind::kOutDegreeNormalized;

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Machine-readable benchmark pass: builds Release and emits
+# BENCH_solver.json (monolithic vs per-component spectral pipeline) and
+# BENCH_serve.json (batch throughput + persistent-store trajectory) from a
+# fixed corpus into the repo root (or $GRAPHIO_BENCH_OUT).
+#
+# Usage: tools/run_benches.sh [quick|default|paper] [build-dir]
+#   scale default: "default" (CI smoke uses "quick")
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+scale=${1:-default}
+build_dir=${2:-"$repo_root/build-bench"}
+out_dir=${GRAPHIO_BENCH_OUT:-"$repo_root"}
+
+case "$scale" in
+  quick|default|paper) ;;
+  *) echo "error: scale must be quick|default|paper (got '$scale')" >&2
+     exit 2 ;;
+esac
+
+cmake -B "$build_dir" -S "$repo_root" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DGRAPHIO_BUILD_TESTS=OFF \
+      -DGRAPHIO_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" -j "$(nproc)" \
+      --target bench_solver_policy bench_serve_batch
+
+# The benches write BENCH_*.json into the working directory.
+mkdir -p "$out_dir"
+cd "$out_dir"
+"$build_dir/bench_solver_policy" --scale "$scale"
+"$build_dir/bench_serve_batch" --scale "$scale"
+
+echo
+echo "benchmark JSON written to $out_dir:"
+ls -l "$out_dir"/BENCH_solver.json "$out_dir"/BENCH_serve.json
