@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_k.dir/bench/ablation_k.cpp.o"
+  "CMakeFiles/bench_ablation_k.dir/bench/ablation_k.cpp.o.d"
+  "bench_ablation_k"
+  "bench_ablation_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

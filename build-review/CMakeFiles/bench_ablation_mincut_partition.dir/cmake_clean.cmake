@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mincut_partition.dir/bench/ablation_mincut_partition.cpp.o"
+  "CMakeFiles/bench_ablation_mincut_partition.dir/bench/ablation_mincut_partition.cpp.o.d"
+  "bench_ablation_mincut_partition"
+  "bench_ablation_mincut_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mincut_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

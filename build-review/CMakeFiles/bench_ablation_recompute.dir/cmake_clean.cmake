@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_recompute.dir/bench/ablation_recompute.cpp.o"
+  "CMakeFiles/bench_ablation_recompute.dir/bench/ablation_recompute.cpp.o.d"
+  "bench_ablation_recompute"
+  "bench_ablation_recompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

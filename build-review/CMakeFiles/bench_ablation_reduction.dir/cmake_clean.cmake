@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reduction.dir/bench/ablation_reduction.cpp.o"
+  "CMakeFiles/bench_ablation_reduction.dir/bench/ablation_reduction.cpp.o.d"
+  "bench_ablation_reduction"
+  "bench_ablation_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_relaxation.dir/bench/ablation_relaxation.cpp.o"
+  "CMakeFiles/bench_ablation_relaxation.dir/bench/ablation_relaxation.cpp.o.d"
+  "bench_ablation_relaxation"
+  "bench_ablation_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_solver.dir/bench/ablation_solver.cpp.o"
+  "CMakeFiles/bench_ablation_solver.dir/bench/ablation_solver.cpp.o.d"
+  "bench_ablation_solver"
+  "bench_ablation_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_fft.dir/bench/fig07_fft.cpp.o"
+  "CMakeFiles/bench_fig07_fft.dir/bench/fig07_fft.cpp.o.d"
+  "bench_fig07_fft"
+  "bench_fig07_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_matmul.dir/bench/fig08_matmul.cpp.o"
+  "CMakeFiles/bench_fig08_matmul.dir/bench/fig08_matmul.cpp.o.d"
+  "bench_fig08_matmul"
+  "bench_fig08_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_strassen.dir/bench/fig09_strassen.cpp.o"
+  "CMakeFiles/bench_fig09_strassen.dir/bench/fig09_strassen.cpp.o.d"
+  "bench_fig09_strassen"
+  "bench_fig09_strassen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_strassen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

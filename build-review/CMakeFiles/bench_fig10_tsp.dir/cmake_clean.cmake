@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tsp.dir/bench/fig10_tsp.cpp.o"
+  "CMakeFiles/bench_fig10_tsp.dir/bench/fig10_tsp.cpp.o.d"
+  "bench_fig10_tsp"
+  "bench_fig10_tsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

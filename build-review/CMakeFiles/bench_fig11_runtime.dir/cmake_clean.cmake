@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_runtime.dir/bench/fig11_runtime.cpp.o"
+  "CMakeFiles/bench_fig11_runtime.dir/bench/fig11_runtime.cpp.o.d"
+  "bench_fig11_runtime"
+  "bench_fig11_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hierarchy.dir/bench/hierarchy.cpp.o"
+  "CMakeFiles/bench_hierarchy.dir/bench/hierarchy.cpp.o.d"
+  "bench_hierarchy"
+  "bench_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_flow.dir/bench/micro_flow.cpp.o"
+  "CMakeFiles/bench_micro_flow.dir/bench/micro_flow.cpp.o.d"
+  "bench_micro_flow"
+  "bench_micro_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_la.dir/bench/micro_la.cpp.o"
+  "CMakeFiles/bench_micro_la.dir/bench/micro_la.cpp.o.d"
+  "bench_micro_la"
+  "bench_micro_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_new_workloads.dir/bench/new_workloads.cpp.o"
+  "CMakeFiles/bench_new_workloads.dir/bench/new_workloads.cpp.o.d"
+  "bench_new_workloads"
+  "bench_new_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_new_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_bound.dir/bench/parallel_bound.cpp.o"
+  "CMakeFiles/bench_parallel_bound.dir/bench/parallel_bound.cpp.o.d"
+  "bench_parallel_bound"
+  "bench_parallel_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_random_graphs.dir/bench/sec53_random_graphs.cpp.o"
+  "CMakeFiles/bench_sec53_random_graphs.dir/bench/sec53_random_graphs.cpp.o.d"
+  "bench_sec53_random_graphs"
+  "bench_sec53_random_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_random_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

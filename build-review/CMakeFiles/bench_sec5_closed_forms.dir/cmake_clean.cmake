@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_closed_forms.dir/bench/sec5_closed_forms.cpp.o"
+  "CMakeFiles/bench_sec5_closed_forms.dir/bench/sec5_closed_forms.cpp.o.d"
+  "bench_sec5_closed_forms"
+  "bench_sec5_closed_forms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_closed_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

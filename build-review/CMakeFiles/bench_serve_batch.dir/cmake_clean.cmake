@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serve_batch.dir/bench/serve_batch.cpp.o"
+  "CMakeFiles/bench_serve_batch.dir/bench/serve_batch.cpp.o.d"
+  "bench_serve_batch"
+  "bench_serve_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serve_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solver_policy.dir/bench/solver_policy.cpp.o"
+  "CMakeFiles/bench_solver_policy.dir/bench/solver_policy.cpp.o.d"
+  "bench_solver_policy"
+  "bench_solver_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solver_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

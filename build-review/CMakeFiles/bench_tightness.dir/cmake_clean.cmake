@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tightness.dir/bench/tightness.cpp.o"
+  "CMakeFiles/bench_tightness.dir/bench/tightness.cpp.o.d"
+  "bench_tightness"
+  "bench_tightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

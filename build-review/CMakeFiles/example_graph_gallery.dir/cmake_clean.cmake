@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_graph_gallery.dir/examples/graph_gallery.cpp.o"
+  "CMakeFiles/example_graph_gallery.dir/examples/graph_gallery.cpp.o.d"
+  "example_graph_gallery"
+  "example_graph_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_graph_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_io_report.dir/examples/io_report.cpp.o"
+  "CMakeFiles/example_io_report.dir/examples/io_report.cpp.o.d"
+  "example_io_report"
+  "example_io_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_io_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_io_report.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_io_report.
+# This may be replaced when dependencies are built.

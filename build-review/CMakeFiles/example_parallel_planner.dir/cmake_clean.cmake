@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parallel_planner.dir/examples/parallel_planner.cpp.o"
+  "CMakeFiles/example_parallel_planner.dir/examples/parallel_planner.cpp.o.d"
+  "example_parallel_planner"
+  "example_parallel_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parallel_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parallel_speedup.dir/examples/parallel_speedup.cpp.o"
+  "CMakeFiles/example_parallel_speedup.dir/examples/parallel_speedup.cpp.o.d"
+  "example_parallel_speedup"
+  "example_parallel_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parallel_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

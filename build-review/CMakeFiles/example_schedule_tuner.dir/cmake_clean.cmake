@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_schedule_tuner.dir/examples/schedule_tuner.cpp.o"
+  "CMakeFiles/example_schedule_tuner.dir/examples/schedule_tuner.cpp.o.d"
+  "example_schedule_tuner"
+  "example_schedule_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_schedule_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_polynomial.dir/examples/trace_polynomial.cpp.o"
+  "CMakeFiles/example_trace_polynomial.dir/examples/trace_polynomial.cpp.o.d"
+  "example_trace_polynomial"
+  "example_trace_polynomial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_polynomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tsp_memory_planner.dir/examples/tsp_memory_planner.cpp.o"
+  "CMakeFiles/example_tsp_memory_planner.dir/examples/tsp_memory_planner.cpp.o.d"
+  "example_tsp_memory_planner"
+  "example_tsp_memory_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tsp_memory_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,83 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphio/core/analytic_bounds.cpp" "CMakeFiles/graphio.dir/src/graphio/core/analytic_bounds.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/core/analytic_bounds.cpp.o.d"
+  "/root/repo/src/graphio/core/analytic_spectra.cpp" "CMakeFiles/graphio.dir/src/graphio/core/analytic_spectra.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/core/analytic_spectra.cpp.o.d"
+  "/root/repo/src/graphio/core/hierarchy.cpp" "CMakeFiles/graphio.dir/src/graphio/core/hierarchy.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/core/hierarchy.cpp.o.d"
+  "/root/repo/src/graphio/core/partition.cpp" "CMakeFiles/graphio.dir/src/graphio/core/partition.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/core/partition.cpp.o.d"
+  "/root/repo/src/graphio/core/partition_dp.cpp" "CMakeFiles/graphio.dir/src/graphio/core/partition_dp.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/core/partition_dp.cpp.o.d"
+  "/root/repo/src/graphio/core/published.cpp" "CMakeFiles/graphio.dir/src/graphio/core/published.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/core/published.cpp.o.d"
+  "/root/repo/src/graphio/core/spectral_bound.cpp" "CMakeFiles/graphio.dir/src/graphio/core/spectral_bound.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/core/spectral_bound.cpp.o.d"
+  "/root/repo/src/graphio/core/spectral_pipeline.cpp" "CMakeFiles/graphio.dir/src/graphio/core/spectral_pipeline.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/core/spectral_pipeline.cpp.o.d"
+  "/root/repo/src/graphio/core/spectrum.cpp" "CMakeFiles/graphio.dir/src/graphio/core/spectrum.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/core/spectrum.cpp.o.d"
+  "/root/repo/src/graphio/engine/artifact_cache.cpp" "CMakeFiles/graphio.dir/src/graphio/engine/artifact_cache.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/engine/artifact_cache.cpp.o.d"
+  "/root/repo/src/graphio/engine/component_cache.cpp" "CMakeFiles/graphio.dir/src/graphio/engine/component_cache.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/engine/component_cache.cpp.o.d"
+  "/root/repo/src/graphio/engine/engine.cpp" "CMakeFiles/graphio.dir/src/graphio/engine/engine.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/engine/engine.cpp.o.d"
+  "/root/repo/src/graphio/engine/fingerprint.cpp" "CMakeFiles/graphio.dir/src/graphio/engine/fingerprint.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/engine/fingerprint.cpp.o.d"
+  "/root/repo/src/graphio/engine/graph_spec.cpp" "CMakeFiles/graphio.dir/src/graphio/engine/graph_spec.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/engine/graph_spec.cpp.o.d"
+  "/root/repo/src/graphio/engine/methods.cpp" "CMakeFiles/graphio.dir/src/graphio/engine/methods.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/engine/methods.cpp.o.d"
+  "/root/repo/src/graphio/engine/report.cpp" "CMakeFiles/graphio.dir/src/graphio/engine/report.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/engine/report.cpp.o.d"
+  "/root/repo/src/graphio/exact/enumerate.cpp" "CMakeFiles/graphio.dir/src/graphio/exact/enumerate.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/exact/enumerate.cpp.o.d"
+  "/root/repo/src/graphio/exact/pebble_recompute.cpp" "CMakeFiles/graphio.dir/src/graphio/exact/pebble_recompute.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/exact/pebble_recompute.cpp.o.d"
+  "/root/repo/src/graphio/exact/pebble_search.cpp" "CMakeFiles/graphio.dir/src/graphio/exact/pebble_search.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/exact/pebble_search.cpp.o.d"
+  "/root/repo/src/graphio/flow/convex_mincut.cpp" "CMakeFiles/graphio.dir/src/graphio/flow/convex_mincut.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/flow/convex_mincut.cpp.o.d"
+  "/root/repo/src/graphio/flow/dinic.cpp" "CMakeFiles/graphio.dir/src/graphio/flow/dinic.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/flow/dinic.cpp.o.d"
+  "/root/repo/src/graphio/flow/partitioner.cpp" "CMakeFiles/graphio.dir/src/graphio/flow/partitioner.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/flow/partitioner.cpp.o.d"
+  "/root/repo/src/graphio/flow/push_relabel.cpp" "CMakeFiles/graphio.dir/src/graphio/flow/push_relabel.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/flow/push_relabel.cpp.o.d"
+  "/root/repo/src/graphio/graph/builders/classic.cpp" "CMakeFiles/graphio.dir/src/graphio/graph/builders/classic.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/graph/builders/classic.cpp.o.d"
+  "/root/repo/src/graphio/graph/builders/erdos_renyi.cpp" "CMakeFiles/graphio.dir/src/graphio/graph/builders/erdos_renyi.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/graph/builders/erdos_renyi.cpp.o.d"
+  "/root/repo/src/graphio/graph/builders/extended.cpp" "CMakeFiles/graphio.dir/src/graphio/graph/builders/extended.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/graph/builders/extended.cpp.o.d"
+  "/root/repo/src/graphio/graph/builders/fft.cpp" "CMakeFiles/graphio.dir/src/graphio/graph/builders/fft.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/graph/builders/fft.cpp.o.d"
+  "/root/repo/src/graphio/graph/builders/hypercube.cpp" "CMakeFiles/graphio.dir/src/graphio/graph/builders/hypercube.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/graph/builders/hypercube.cpp.o.d"
+  "/root/repo/src/graphio/graph/builders/inner_product.cpp" "CMakeFiles/graphio.dir/src/graphio/graph/builders/inner_product.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/graph/builders/inner_product.cpp.o.d"
+  "/root/repo/src/graphio/graph/builders/matmul.cpp" "CMakeFiles/graphio.dir/src/graphio/graph/builders/matmul.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/graph/builders/matmul.cpp.o.d"
+  "/root/repo/src/graphio/graph/builders/strassen.cpp" "CMakeFiles/graphio.dir/src/graphio/graph/builders/strassen.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/graph/builders/strassen.cpp.o.d"
+  "/root/repo/src/graphio/graph/components.cpp" "CMakeFiles/graphio.dir/src/graphio/graph/components.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/graph/components.cpp.o.d"
+  "/root/repo/src/graphio/graph/digraph.cpp" "CMakeFiles/graphio.dir/src/graphio/graph/digraph.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/graph/digraph.cpp.o.d"
+  "/root/repo/src/graphio/graph/dot.cpp" "CMakeFiles/graphio.dir/src/graphio/graph/dot.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/graph/dot.cpp.o.d"
+  "/root/repo/src/graphio/graph/laplacian.cpp" "CMakeFiles/graphio.dir/src/graphio/graph/laplacian.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/graph/laplacian.cpp.o.d"
+  "/root/repo/src/graphio/graph/topo.cpp" "CMakeFiles/graphio.dir/src/graphio/graph/topo.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/graph/topo.cpp.o.d"
+  "/root/repo/src/graphio/graph/transforms.cpp" "CMakeFiles/graphio.dir/src/graphio/graph/transforms.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/graph/transforms.cpp.o.d"
+  "/root/repo/src/graphio/io/edgelist.cpp" "CMakeFiles/graphio.dir/src/graphio/io/edgelist.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/io/edgelist.cpp.o.d"
+  "/root/repo/src/graphio/io/json.cpp" "CMakeFiles/graphio.dir/src/graphio/io/json.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/io/json.cpp.o.d"
+  "/root/repo/src/graphio/la/bisection.cpp" "CMakeFiles/graphio.dir/src/graphio/la/bisection.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/la/bisection.cpp.o.d"
+  "/root/repo/src/graphio/la/csr_matrix.cpp" "CMakeFiles/graphio.dir/src/graphio/la/csr_matrix.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/la/csr_matrix.cpp.o.d"
+  "/root/repo/src/graphio/la/dense_matrix.cpp" "CMakeFiles/graphio.dir/src/graphio/la/dense_matrix.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/la/dense_matrix.cpp.o.d"
+  "/root/repo/src/graphio/la/householder.cpp" "CMakeFiles/graphio.dir/src/graphio/la/householder.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/la/householder.cpp.o.d"
+  "/root/repo/src/graphio/la/jacobi.cpp" "CMakeFiles/graphio.dir/src/graphio/la/jacobi.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/la/jacobi.cpp.o.d"
+  "/root/repo/src/graphio/la/lanczos.cpp" "CMakeFiles/graphio.dir/src/graphio/la/lanczos.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/la/lanczos.cpp.o.d"
+  "/root/repo/src/graphio/la/lobpcg.cpp" "CMakeFiles/graphio.dir/src/graphio/la/lobpcg.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/la/lobpcg.cpp.o.d"
+  "/root/repo/src/graphio/la/power_iteration.cpp" "CMakeFiles/graphio.dir/src/graphio/la/power_iteration.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/la/power_iteration.cpp.o.d"
+  "/root/repo/src/graphio/la/solver_policy.cpp" "CMakeFiles/graphio.dir/src/graphio/la/solver_policy.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/la/solver_policy.cpp.o.d"
+  "/root/repo/src/graphio/la/symmetric_eigen.cpp" "CMakeFiles/graphio.dir/src/graphio/la/symmetric_eigen.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/la/symmetric_eigen.cpp.o.d"
+  "/root/repo/src/graphio/la/tridiagonal.cpp" "CMakeFiles/graphio.dir/src/graphio/la/tridiagonal.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/la/tridiagonal.cpp.o.d"
+  "/root/repo/src/graphio/la/vector_ops.cpp" "CMakeFiles/graphio.dir/src/graphio/la/vector_ops.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/la/vector_ops.cpp.o.d"
+  "/root/repo/src/graphio/serve/batch_session.cpp" "CMakeFiles/graphio.dir/src/graphio/serve/batch_session.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/serve/batch_session.cpp.o.d"
+  "/root/repo/src/graphio/serve/job.cpp" "CMakeFiles/graphio.dir/src/graphio/serve/job.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/serve/job.cpp.o.d"
+  "/root/repo/src/graphio/serve/job_queue.cpp" "CMakeFiles/graphio.dir/src/graphio/serve/job_queue.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/serve/job_queue.cpp.o.d"
+  "/root/repo/src/graphio/serve/result_store.cpp" "CMakeFiles/graphio.dir/src/graphio/serve/result_store.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/serve/result_store.cpp.o.d"
+  "/root/repo/src/graphio/serve/scheduler.cpp" "CMakeFiles/graphio.dir/src/graphio/serve/scheduler.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/serve/scheduler.cpp.o.d"
+  "/root/repo/src/graphio/sim/anneal.cpp" "CMakeFiles/graphio.dir/src/graphio/sim/anneal.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/sim/anneal.cpp.o.d"
+  "/root/repo/src/graphio/sim/memsim.cpp" "CMakeFiles/graphio.dir/src/graphio/sim/memsim.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/sim/memsim.cpp.o.d"
+  "/root/repo/src/graphio/sim/parallel_memsim.cpp" "CMakeFiles/graphio.dir/src/graphio/sim/parallel_memsim.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/sim/parallel_memsim.cpp.o.d"
+  "/root/repo/src/graphio/sim/schedule.cpp" "CMakeFiles/graphio.dir/src/graphio/sim/schedule.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/sim/schedule.cpp.o.d"
+  "/root/repo/src/graphio/support/env.cpp" "CMakeFiles/graphio.dir/src/graphio/support/env.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/support/env.cpp.o.d"
+  "/root/repo/src/graphio/support/table.cpp" "CMakeFiles/graphio.dir/src/graphio/support/table.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/support/table.cpp.o.d"
+  "/root/repo/src/graphio/trace/programs.cpp" "CMakeFiles/graphio.dir/src/graphio/trace/programs.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/trace/programs.cpp.o.d"
+  "/root/repo/src/graphio/trace/tape.cpp" "CMakeFiles/graphio.dir/src/graphio/trace/tape.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/trace/tape.cpp.o.d"
+  "/root/repo/src/graphio/trace/value.cpp" "CMakeFiles/graphio.dir/src/graphio/trace/value.cpp.o" "gcc" "CMakeFiles/graphio.dir/src/graphio/trace/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphio_bench_common.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/graphio_bench_common.dir/bench/bench_common.cpp.o.d"
+  "libgraphio_bench_common.a"
+  "libgraphio_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphio_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

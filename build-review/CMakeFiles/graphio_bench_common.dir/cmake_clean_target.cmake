@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgraphio_bench_common.a"
+)

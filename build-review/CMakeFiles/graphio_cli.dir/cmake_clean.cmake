@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphio_cli.dir/tools/graphio_cli.cpp.o"
+  "CMakeFiles/graphio_cli.dir/tools/graphio_cli.cpp.o.d"
+  "graphio"
+  "graphio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphio_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

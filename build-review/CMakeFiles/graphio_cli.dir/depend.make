@@ -1,0 +1,2 @@
+# Empty dependencies file for graphio_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_analytic_test.cpp" "CMakeFiles/graphio_tests.dir/tests/core_analytic_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/core_analytic_test.cpp.o.d"
+  "/root/repo/tests/core_bound_test.cpp" "CMakeFiles/graphio_tests.dir/tests/core_bound_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/core_bound_test.cpp.o.d"
+  "/root/repo/tests/core_hierarchy_test.cpp" "CMakeFiles/graphio_tests.dir/tests/core_hierarchy_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/core_hierarchy_test.cpp.o.d"
+  "/root/repo/tests/core_parallel_bound_test.cpp" "CMakeFiles/graphio_tests.dir/tests/core_parallel_bound_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/core_parallel_bound_test.cpp.o.d"
+  "/root/repo/tests/core_partition_dp_test.cpp" "CMakeFiles/graphio_tests.dir/tests/core_partition_dp_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/core_partition_dp_test.cpp.o.d"
+  "/root/repo/tests/core_partition_test.cpp" "CMakeFiles/graphio_tests.dir/tests/core_partition_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/core_partition_test.cpp.o.d"
+  "/root/repo/tests/core_pipeline_test.cpp" "CMakeFiles/graphio_tests.dir/tests/core_pipeline_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/core_pipeline_test.cpp.o.d"
+  "/root/repo/tests/core_spectrum_test.cpp" "CMakeFiles/graphio_tests.dir/tests/core_spectrum_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/core_spectrum_test.cpp.o.d"
+  "/root/repo/tests/engine_component_cache_test.cpp" "CMakeFiles/graphio_tests.dir/tests/engine_component_cache_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/engine_component_cache_test.cpp.o.d"
+  "/root/repo/tests/engine_test.cpp" "CMakeFiles/graphio_tests.dir/tests/engine_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/engine_test.cpp.o.d"
+  "/root/repo/tests/exact_pebble_test.cpp" "CMakeFiles/graphio_tests.dir/tests/exact_pebble_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/exact_pebble_test.cpp.o.d"
+  "/root/repo/tests/exact_recompute_test.cpp" "CMakeFiles/graphio_tests.dir/tests/exact_recompute_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/exact_recompute_test.cpp.o.d"
+  "/root/repo/tests/flow_dinic_test.cpp" "CMakeFiles/graphio_tests.dir/tests/flow_dinic_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/flow_dinic_test.cpp.o.d"
+  "/root/repo/tests/flow_mincut_test.cpp" "CMakeFiles/graphio_tests.dir/tests/flow_mincut_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/flow_mincut_test.cpp.o.d"
+  "/root/repo/tests/flow_push_relabel_test.cpp" "CMakeFiles/graphio_tests.dir/tests/flow_push_relabel_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/flow_push_relabel_test.cpp.o.d"
+  "/root/repo/tests/graph_builders_extended_test.cpp" "CMakeFiles/graphio_tests.dir/tests/graph_builders_extended_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/graph_builders_extended_test.cpp.o.d"
+  "/root/repo/tests/graph_builders_test.cpp" "CMakeFiles/graphio_tests.dir/tests/graph_builders_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/graph_builders_test.cpp.o.d"
+  "/root/repo/tests/graph_components_test.cpp" "CMakeFiles/graphio_tests.dir/tests/graph_components_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/graph_components_test.cpp.o.d"
+  "/root/repo/tests/graph_digraph_test.cpp" "CMakeFiles/graphio_tests.dir/tests/graph_digraph_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/graph_digraph_test.cpp.o.d"
+  "/root/repo/tests/graph_dot_test.cpp" "CMakeFiles/graphio_tests.dir/tests/graph_dot_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/graph_dot_test.cpp.o.d"
+  "/root/repo/tests/graph_laplacian_test.cpp" "CMakeFiles/graphio_tests.dir/tests/graph_laplacian_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/graph_laplacian_test.cpp.o.d"
+  "/root/repo/tests/graph_topo_test.cpp" "CMakeFiles/graphio_tests.dir/tests/graph_topo_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/graph_topo_test.cpp.o.d"
+  "/root/repo/tests/graph_transforms_test.cpp" "CMakeFiles/graphio_tests.dir/tests/graph_transforms_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/graph_transforms_test.cpp.o.d"
+  "/root/repo/tests/integration_extended_test.cpp" "CMakeFiles/graphio_tests.dir/tests/integration_extended_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/integration_extended_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "CMakeFiles/graphio_tests.dir/tests/integration_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/integration_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "CMakeFiles/graphio_tests.dir/tests/io_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/io_test.cpp.o.d"
+  "/root/repo/tests/la_csr_test.cpp" "CMakeFiles/graphio_tests.dir/tests/la_csr_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/la_csr_test.cpp.o.d"
+  "/root/repo/tests/la_dense_test.cpp" "CMakeFiles/graphio_tests.dir/tests/la_dense_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/la_dense_test.cpp.o.d"
+  "/root/repo/tests/la_extra_test.cpp" "CMakeFiles/graphio_tests.dir/tests/la_extra_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/la_extra_test.cpp.o.d"
+  "/root/repo/tests/la_lanczos_test.cpp" "CMakeFiles/graphio_tests.dir/tests/la_lanczos_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/la_lanczos_test.cpp.o.d"
+  "/root/repo/tests/la_lobpcg_test.cpp" "CMakeFiles/graphio_tests.dir/tests/la_lobpcg_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/la_lobpcg_test.cpp.o.d"
+  "/root/repo/tests/la_solver_policy_test.cpp" "CMakeFiles/graphio_tests.dir/tests/la_solver_policy_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/la_solver_policy_test.cpp.o.d"
+  "/root/repo/tests/la_tridiagonal_test.cpp" "CMakeFiles/graphio_tests.dir/tests/la_tridiagonal_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/la_tridiagonal_test.cpp.o.d"
+  "/root/repo/tests/property_extensions_test.cpp" "CMakeFiles/graphio_tests.dir/tests/property_extensions_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/property_extensions_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "CMakeFiles/graphio_tests.dir/tests/property_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/property_test.cpp.o.d"
+  "/root/repo/tests/serve_test.cpp" "CMakeFiles/graphio_tests.dir/tests/serve_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/serve_test.cpp.o.d"
+  "/root/repo/tests/sim_anneal_test.cpp" "CMakeFiles/graphio_tests.dir/tests/sim_anneal_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/sim_anneal_test.cpp.o.d"
+  "/root/repo/tests/sim_memsim_test.cpp" "CMakeFiles/graphio_tests.dir/tests/sim_memsim_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/sim_memsim_test.cpp.o.d"
+  "/root/repo/tests/sim_parallel_memsim_test.cpp" "CMakeFiles/graphio_tests.dir/tests/sim_parallel_memsim_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/sim_parallel_memsim_test.cpp.o.d"
+  "/root/repo/tests/sim_schedule_test.cpp" "CMakeFiles/graphio_tests.dir/tests/sim_schedule_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/sim_schedule_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "CMakeFiles/graphio_tests.dir/tests/support_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/support_test.cpp.o.d"
+  "/root/repo/tests/trace_programs_test.cpp" "CMakeFiles/graphio_tests.dir/tests/trace_programs_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/trace_programs_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "CMakeFiles/graphio_tests.dir/tests/trace_test.cpp.o" "gcc" "CMakeFiles/graphio_tests.dir/tests/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/graphio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
