@@ -56,12 +56,26 @@ void ComponentSpectrumCache::store(std::uint64_t fingerprint,
   slots.push_back(std::move(entry));
 }
 
+std::int64_t ComponentSpectrumCache::erase(std::uint64_t fingerprint) {
+  const std::scoped_lock lock(mutex_);
+  std::int64_t removed = 0;
+  // Keys sort by (fingerprint, kind), so the fingerprint's entries are one
+  // contiguous range starting at the smallest kind.
+  auto it = entries_.lower_bound({fingerprint, LaplacianKind{}});
+  while (it != entries_.end() && it->first.first == fingerprint) {
+    removed += static_cast<std::int64_t>(it->second.size());
+    it = entries_.erase(it);
+  }
+  evicted_ += removed;
+  return removed;
+}
+
 ComponentSpectrumCache::Stats ComponentSpectrumCache::stats() const {
   const std::scoped_lock lock(mutex_);
   std::int64_t entries = 0;
   for (const auto& [key, slots] : entries_)
     entries += static_cast<std::int64_t>(slots.size());
-  return {hits_, misses_, entries};
+  return {hits_, misses_, entries, evicted_};
 }
 
 void ComponentSpectrumCache::clear() {

@@ -53,8 +53,17 @@ class ComponentSpectrumCache {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
     std::int64_t entries = 0;
+    std::int64_t evicted = 0;  ///< entries dropped by erase()
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Drops every entry cached for one component fingerprint (all
+  /// Laplacian kinds, all solver-options groups); returns how many
+  /// entries went. The stream subsystem calls this when the last
+  /// component with that content disappears from a session, so a
+  /// long-lived mutation stream cannot grow the cache without bound.
+  /// Thread-safe.
+  std::int64_t erase(std::uint64_t fingerprint);
 
   /// Drops every entry (counters are kept).
   void clear();
@@ -74,6 +83,7 @@ class ComponentSpectrumCache {
       entries_;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
+  std::int64_t evicted_ = 0;
 };
 
 }  // namespace graphio::engine

@@ -64,6 +64,17 @@ class Engine {
   /// count, degrees) before shaping a request.
   const Digraph& graph(const std::string& spec);
 
+  /// Registers (or replaces) `name` as an explicit graph: later requests
+  /// whose spec equals `name` evaluate against it with a persistent
+  /// ArtifactCache, exactly like a family spec. Replacing drops the old
+  /// cache's whole-graph artifacts (they describe a graph that no longer
+  /// exists) while per-component spectra survive in the shared
+  /// content-addressed component cache — the invalidation granularity the
+  /// stream subsystem relies on. The name must not itself parse as a
+  /// family spec or name an existing graph file (a later plain request
+  /// for that spec would silently read the installed graph instead).
+  void install_graph(const std::string& name, Digraph graph);
+
   /// Content fingerprint of the graph a spec resolves to (building the
   /// graph on first use, like graph()). The serve ResultStore keys disk
   /// records with this, so equal graphs share warm results regardless of

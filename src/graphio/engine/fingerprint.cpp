@@ -2,29 +2,15 @@
 
 namespace graphio::engine {
 
-namespace {
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-inline std::uint64_t mix(std::uint64_t h, std::uint64_t value) noexcept {
-  for (int byte = 0; byte < 8; ++byte) {
-    h ^= (value >> (8 * byte)) & 0xFF;
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-}  // namespace
-
 std::uint64_t graph_fingerprint(const Digraph& g) noexcept {
-  std::uint64_t h = kFnvOffset;
-  h = mix(h, static_cast<std::uint64_t>(g.num_vertices()));
+  std::uint64_t h = fnv64_begin();
+  h = fnv64_mix(h, static_cast<std::uint64_t>(g.num_vertices()));
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     // Delimit each adjacency list so (1-child, 1-child) hashes differently
     // from (2-children, 0-children).
-    h = mix(h, static_cast<std::uint64_t>(g.out_degree(v)));
-    for (VertexId c : g.children(v)) h = mix(h, static_cast<std::uint64_t>(c));
+    h = fnv64_mix(h, static_cast<std::uint64_t>(g.out_degree(v)));
+    for (VertexId c : g.children(v))
+      h = fnv64_mix(h, static_cast<std::uint64_t>(c));
   }
   return h;
 }

@@ -16,6 +16,22 @@
 
 namespace graphio::engine {
 
+/// The FNV-1a primitive behind every fingerprint in the library: seed
+/// with fnv64_begin(), then fold 64-bit words with fnv64_mix. Exposed so
+/// derived fingerprints (the stream session's component-multiset hash)
+/// stay on the same scheme as graph_fingerprint.
+[[nodiscard]] constexpr std::uint64_t fnv64_begin() noexcept {
+  return 1469598103934665603ULL;
+}
+[[nodiscard]] constexpr std::uint64_t fnv64_mix(std::uint64_t h,
+                                                std::uint64_t value) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (value >> (8 * byte)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 /// 64-bit FNV-1a over (n, adjacency lists in vertex order). Stable across
 /// platforms and process runs; identical graphs always collide, distinct
 /// graphs collide with probability ~2^-64.

@@ -34,6 +34,18 @@
 //   std::ifstream jobs("jobs.jsonl");     // {"spec":"fft:8","memories":[4,8]}
 //   graphio::serve::BatchSummary s = session.run(jobs, std::cout);
 //   std::cerr << s.to_json() << "\n";     // throughput, p50/p95, hit rates
+//
+// For a graph that *evolves* — autotuners, compiler rewrites — the stream
+// subsystem applies patches and re-analyzes incrementally: only the
+// components a patch touched are re-eigensolved, clean components come
+// from the fingerprint-keyed component cache:
+//
+//   graphio::stream::StreamSession session("g");
+//   session.load("fft:8");
+//   graphio::stream::Patch patch;         // or stream::patch_from_json_line
+//   patch.mutations.push_back(graphio::stream::Mutation::add_edge(0, 9));
+//   auto applied = session.apply(patch);  // dirty/clean component counts
+//   auto report2 = session.evaluate(req); // == from-scratch, ~C× cheaper
 #pragma once
 
 // Unified analysis API: Engine, BoundRequest/BoundReport, the BoundMethod
@@ -54,6 +66,13 @@
 #include "graphio/serve/job_queue.hpp"
 #include "graphio/serve/result_store.hpp"
 #include "graphio/serve/scheduler.hpp"
+
+// Incremental analysis of evolving graphs: mutation/patch grammar,
+// dynamic connectivity, and the patch-apply/invalidate/re-solve session.
+#include "graphio/stream/dynamic_components.hpp"
+#include "graphio/stream/dynamic_graph.hpp"
+#include "graphio/stream/mutation.hpp"
+#include "graphio/stream/session.hpp"
 
 // Core: the paper's contribution.
 #include "graphio/core/analytic_bounds.hpp"

@@ -37,6 +37,30 @@ void write_reject_line(std::ostream& out, std::int64_t line_no,
   out << w.str() << '\n';
 }
 
+/// Deterministic stream result line ({"job": N, "load"/"patch": {...}}):
+/// structural counts and the session fingerprint, no wall-clock fields.
+void write_stream_line(std::ostream& out, std::int64_t job_id,
+                       std::string_view kind,
+                       const stream::PatchReport& report) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("job").value(job_id);
+  w.key(kind).begin_object();
+  w.key("graph").value(report.graph);
+  if (!report.label.empty()) w.key("label").value(report.label);
+  w.key("mutations").value(report.mutations);
+  w.key("vertices").value(report.vertices);
+  w.key("edges").value(report.edges);
+  w.key("components").value(static_cast<std::int64_t>(report.components));
+  w.key("dirty").value(static_cast<std::int64_t>(report.dirty_components));
+  w.key("clean").value(static_cast<std::int64_t>(report.clean_components));
+  w.key("evicted").value(report.evicted);
+  w.key("fingerprint").value(report.fingerprint);
+  w.end_object();
+  w.end_object();
+  out << w.str() << '\n';
+}
+
 double percentile(std::vector<double> sorted_or_not, double p) {
   if (sorted_or_not.empty()) return 0.0;
   std::sort(sorted_or_not.begin(), sorted_or_not.end());
@@ -79,6 +103,13 @@ std::string BatchSummary::to_json() const {
   w.key("mincut_sweeps").value(cache.mincut_sweeps);
   w.key("component_hits").value(cache.component_hits);
   w.end_object();
+  w.key("stream").begin_object();
+  w.key("jobs").value(stream_jobs);
+  w.key("patches").value(patches);
+  w.key("mutations").value(mutations);
+  w.key("dirty_components").value(dirty_components);
+  w.key("clean_components").value(clean_components);
+  w.end_object();
   w.end_object();
   return w.str();
 }
@@ -94,13 +125,78 @@ BatchSession::BatchSession(const BatchOptions& options) {
 
 BatchSession::~BatchSession() = default;
 
+const stream::StreamSession* BatchSession::stream_session(
+    const std::string& name) const {
+  const auto it = streams_.find(name);
+  return it == streams_.end() ? nullptr : it->second.get();
+}
+
+double BatchSession::handle_stream_job(const Job& job, std::ostream& out,
+                                       BatchSummary& summary) {
+  WallTimer timer;
+  ++summary.jobs;
+  ++summary.stream_jobs;
+  try {
+    if (job.kind == JobKind::kLoad) {
+      auto it = streams_.find(job.graph);
+      if (it == streams_.end()) {
+        // The constructor validates the name (must not collide with a
+        // family spec); a bad name rejects this line only.
+        it = streams_
+                 .emplace(job.graph, std::make_unique<stream::StreamSession>(
+                                         job.graph))
+                 .first;
+      }
+      const stream::PatchReport report = it->second->load(job.load_spec);
+      ++summary.patches;
+      write_stream_line(out, job.id, "load", report);
+      ++summary.ok;
+      return timer.seconds();
+    }
+
+    const auto it = streams_.find(job.graph);
+    GIO_EXPECTS_MSG(it != streams_.end(),
+                    "unknown stream graph '" + job.graph +
+                        "' — load it first ({\"graph\": \"" + job.graph +
+                        "\", \"load\": SPEC})");
+    stream::StreamSession& session = *it->second;
+    if (job.kind == JobKind::kPatch) {
+      const stream::PatchReport report = session.apply(job.patch);
+      ++summary.patches;
+      summary.mutations += report.mutations;
+      summary.dirty_components += report.dirty_components;
+      summary.clean_components += report.clean_components;
+      write_stream_line(out, job.id, "patch", report);
+      ++summary.ok;
+      return timer.seconds();
+    }
+
+    JobResult result;
+    result.id = job.id;
+    result.ok = true;
+    result.report = session.evaluate(job.request);
+    summary.cache += result.report.cache;
+    write_result_line(out, result);
+    ++summary.ok;
+  } catch (const std::exception& e) {
+    write_reject_line(out, job.id, e.what());
+    ++summary.failed;
+  }
+  return timer.seconds();
+}
+
 BatchSummary BatchSession::run(std::istream& in, std::ostream& out) {
   BatchSummary summary;
   WallTimer timer;
 
   // Ingest first: rejected lines are reported up front (in line order),
-  // valid jobs go to the queue. Job ids are 1-based line numbers so the
-  // caller can join results back to the jobs file.
+  // valid bound jobs go to the queue. Stream jobs are stateful, so they
+  // execute *during* ingest, in file order — each stream query sees
+  // exactly the loads/patches above it, while the spec jobs they
+  // interleave with still fan out across workers below. Job ids are
+  // 1-based line numbers so the caller can join results back to the
+  // jobs file.
+  std::vector<double> latencies;
   std::vector<Job> jobs;
   std::string line;
   std::int64_t line_no = 0;
@@ -110,20 +206,23 @@ BatchSummary BatchSession::run(std::istream& in, std::ostream& out) {
     if (start == std::string::npos) continue;  // blank line
     if (line[start] == '#') continue;          // comment line
     Job job;
-    job.id = line_no;
     try {
-      job.request = request_from_json_line(line);
+      job = job_from_json_line(line);
     } catch (const std::exception& e) {
       ++summary.rejected_lines;
       write_reject_line(out, line_no, e.what());
       continue;
     }
+    job.id = line_no;
+    if (job.is_stream()) {
+      latencies.push_back(handle_stream_job(job, out, summary));
+      continue;
+    }
     jobs.push_back(std::move(job));
   }
-  summary.jobs = static_cast<std::int64_t>(jobs.size());
+  summary.jobs += static_cast<std::int64_t>(jobs.size());
 
-  std::vector<double> latencies;
-  latencies.reserve(jobs.size());
+  latencies.reserve(latencies.size() + jobs.size());
   const Scheduler::RunStats stats = scheduler_->run(
       std::move(jobs), [&](const JobResult& result) {
         // Serialized by the scheduler's result mutex.
@@ -137,7 +236,8 @@ BatchSummary BatchSession::run(std::istream& in, std::ostream& out) {
 
   summary.threads = stats.threads;
   summary.steals = stats.steals;
-  summary.cache = stats.cache;
+  // += : stream queries already contributed their engines' deltas.
+  summary.cache += stats.cache;
   summary.seconds = timer.seconds();
   summary.throughput =
       summary.seconds > 0.0
@@ -164,12 +264,17 @@ BatchSummary BatchSession::serve(std::istream& in, std::ostream& out) {
     if (start == std::string::npos) continue;
     if (line[start] == '#') continue;
     Job job;
-    job.id = line_no;
     try {
-      job.request = request_from_json_line(line);
+      job = job_from_json_line(line);
     } catch (const std::exception& e) {
       ++summary.rejected_lines;
       write_reject_line(out, line_no, e.what());
+      out.flush();
+      continue;
+    }
+    job.id = line_no;
+    if (job.is_stream()) {
+      latencies.push_back(handle_stream_job(job, out, summary));
       out.flush();
       continue;
     }
@@ -184,7 +289,8 @@ BatchSummary BatchSession::serve(std::istream& in, std::ostream& out) {
     summary.store_misses += result.store_misses;
   }
 
-  summary.cache = scheduler_->engine_stats() - before;
+  // += : stream queries already contributed their engines' deltas.
+  summary.cache += scheduler_->engine_stats() - before;
   summary.seconds = timer.seconds();
   summary.throughput =
       summary.seconds > 0.0

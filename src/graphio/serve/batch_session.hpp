@@ -1,11 +1,23 @@
 // BatchSession — JSONL in, JSONL out: the serve subsystem's front door.
 //
-// run() ingests a jobs file (one request per line, see serve/job.hpp),
-// fans it across the Scheduler, and streams one result line per job to
-// the output as results complete:
+// run() ingests a jobs file (one job per line, see serve/job.hpp), fans
+// it across the Scheduler, and streams one result line per job to the
+// output as results complete:
 //
 //   {"job": 3, "report": {...}}          evaluated request (job = line no)
+//   {"job": 5, "load": {...}}            stream graph created/replaced
+//   {"job": 6, "patch": {...}}           stream mutations applied
 //   {"job": 7, "error": "unknown …"}     failed request
+//
+// Stream jobs (any line with a "graph" key) address named evolving
+// graphs (graphio/stream) owned by the session. Mutations are stateful,
+// so the stream lane is *ordered*: stream jobs execute in file order
+// during ingest, each query seeing exactly the patches above it, while
+// plain bound jobs keep fanning out across the worker pool. Stream
+// queries run on the owning StreamSession's engine (clean components
+// served from its component cache), not on the worker engines, and
+// bypass the persistent ResultStore — a mutating graph has no durable
+// identity to key rows under.
 //
 // Malformed lines are rejected as error records without aborting the rest
 // of the batch. Result lines are *deterministic*: reports are serialized
@@ -15,15 +27,18 @@
 //
 // serve() is the interactive sibling: a stdin/stdout request/response
 // loop (one JSONL request line in, one result line out, flushed) for
-// driving graphio from another process.
+// driving graphio from another process — and the engine behind
+// `graphio stream`, which replays an updates file through it.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "graphio/serve/scheduler.hpp"
+#include "graphio/stream/session.hpp"
 
 namespace graphio::serve {
 
@@ -36,7 +51,7 @@ struct BatchOptions {
 
 struct BatchSummary {
   std::int64_t jobs = 0;           ///< parsed job lines handed to workers
-  std::int64_t ok = 0;             ///< jobs that produced a report
+  std::int64_t ok = 0;             ///< jobs that produced a result
   std::int64_t failed = 0;         ///< jobs that errored during evaluation
   std::int64_t rejected_lines = 0; ///< unparseable job lines
   int threads = 0;
@@ -48,6 +63,12 @@ struct BatchSummary {
   std::int64_t store_hits = 0;     ///< rows served from the ResultStore
   std::int64_t store_misses = 0;
   engine::ArtifactCache::Stats cache;  ///< artifact activity this batch
+  /// Stream-lane activity (zero when the input had no stream jobs).
+  std::int64_t stream_jobs = 0;        ///< loads + patches + queries
+  std::int64_t patches = 0;            ///< load/patch jobs applied
+  std::int64_t mutations = 0;          ///< mutations across patches
+  std::int64_t dirty_components = 0;   ///< components re-analyzed
+  std::int64_t clean_components = 0;   ///< components reused as cached
   /// Fraction of store lookups served, 0 when the store was off/empty.
   [[nodiscard]] double store_hit_rate() const;
   [[nodiscard]] std::string to_json() const;
@@ -73,9 +94,20 @@ class BatchSession {
   }
   [[nodiscard]] Scheduler& scheduler() noexcept { return *scheduler_; }
 
+  /// The named stream session, or nullptr before any load of that name
+  /// (test/introspection hook).
+  [[nodiscard]] const stream::StreamSession* stream_session(
+      const std::string& name) const;
+
  private:
+  /// Executes one stream-lane job, writes its result line, updates the
+  /// summary, and returns the job latency in seconds.
+  double handle_stream_job(const Job& job, std::ostream& out,
+                           BatchSummary& summary);
+
   std::unique_ptr<ResultStore> store_;
   std::unique_ptr<Scheduler> scheduler_;
+  std::map<std::string, std::unique_ptr<stream::StreamSession>> streams_;
 };
 
 }  // namespace graphio::serve

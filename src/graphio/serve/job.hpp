@@ -1,7 +1,8 @@
-// Jobs — the serve subsystem's unit of work: one BoundRequest with a
-// stable id, parsed from a JSONL job line.
+// Jobs — the serve subsystem's unit of work, parsed from a JSONL line:
+// one BoundRequest with a stable id, or a stream job against a named
+// evolving graph.
 //
-// Job-line grammar (one JSON object per line):
+// Bound-job grammar (one JSON object per line):
 //
 //   {"spec": "fft:8",                     required — family spec or file
 //    "memories": [4, 8, 16],              required — non-empty, >= 0
@@ -13,6 +14,19 @@
 //    "decompose": true,                   optional — per-component spectra
 //    "name": "my-label"}                  optional — display name
 //
+// Stream-job grammar (graphio/stream): a "graph" key addresses a named
+// evolving graph held by the BatchSession; such jobs execute in file
+// order on one stream lane (mutations are stateful), while plain bound
+// jobs keep fanning out across workers.
+//
+//   {"graph": "g", "load": "fft:6"}       create/replace the named graph
+//   {"graph": "g", "patch": [MUTATION...], "label": "rewrite-3"}
+//                                         apply mutations (see
+//                                         stream/mutation.hpp grammar)
+//   {"graph": "g", "memories": [8], "methods": ["spectral"], ...}
+//                                         query the named graph (same
+//                                         keys as a bound job minus spec)
+//
 // Parsing is strict: unknown keys, wrong types, and out-of-range values
 // throw contract_error with enough context to report the offending line
 // without aborting the batch (BatchSession catches per line).
@@ -23,19 +37,42 @@
 
 #include "graphio/engine/request.hpp"
 #include "graphio/io/json.hpp"
+#include "graphio/stream/mutation.hpp"
 
 namespace graphio::serve {
+
+enum class JobKind {
+  kBound,  ///< evaluate a spec (or a named stream graph, when graph set)
+  kLoad,   ///< create/replace a named stream graph from a spec
+  kPatch,  ///< mutate a named stream graph
+};
 
 struct Job {
   /// Stable id assigned by the ingest side (the 1-based jobs-file line
   /// number in batch mode); results carry it so callers can join output
   /// back to input after out-of-order completion.
   std::int64_t id = 0;
+  JobKind kind = JobKind::kBound;
+  /// Named evolving graph this job addresses; empty for plain bound jobs.
+  std::string graph;
+  /// Spec to load (kLoad).
+  std::string load_spec;
+  /// Mutations to apply (kPatch).
+  stream::Patch patch;
+  /// The analysis request (kBound; spec empty when `graph` routes it).
   engine::BoundRequest request;
+
+  /// True when this job must run on the ordered stream lane.
+  [[nodiscard]] bool is_stream() const noexcept { return !graph.empty(); }
 };
 
-/// Parses one job line into a request. Throws contract_error on invalid
-/// JSON, missing/unknown keys, or values the Engine would reject.
+/// Parses one job line (bound or stream form). Throws contract_error on
+/// invalid JSON, missing/unknown keys, or values the Engine would reject.
+Job job_from_json(const io::JsonValue& value);
+Job job_from_json_line(const std::string& line);
+
+/// Parses one bound-job line into a request (stream jobs rejected).
+/// Throws contract_error like job_from_json.
 engine::BoundRequest request_from_json(const io::JsonValue& value);
 
 /// Convenience: parse + validate one JSONL line.

@@ -120,10 +120,18 @@ std::string ResultStore::encode_key(const Key& key) {
 }
 
 ResultStore::ResultStore(const std::filesystem::path& dir) {
+  // A store that cannot be created or opened must be a hard error: a
+  // silent cache-less run would recompute every eigensolve while the
+  // caller believes results are being persisted. create_directories is
+  // not required to report a pre-existing non-directory on every
+  // implementation, so check both ways.
+  GIO_EXPECTS_MSG(!dir.empty(), "store directory must not be empty");
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   GIO_EXPECTS_MSG(!ec, "cannot create store directory '" + dir.string() +
                            "': " + ec.message());
+  GIO_EXPECTS_MSG(std::filesystem::is_directory(dir, ec) && !ec,
+                  "store path '" + dir.string() + "' is not a directory");
   log_path_ = dir / "results.jsonl";
 
   if (std::filesystem::exists(log_path_)) {

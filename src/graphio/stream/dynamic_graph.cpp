@@ -1,0 +1,150 @@
+#include "graphio/stream/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::stream {
+
+namespace {
+
+/// Erases one occurrence of `value` (the last, so the common remove-then-
+/// re-add pattern stays cheap); returns false when absent.
+bool erase_one(std::vector<VertexId>& list, VertexId value) {
+  const auto it = std::find(list.rbegin(), list.rend(), value);
+  if (it == list.rend()) return false;
+  list.erase(std::next(it).base());
+  return true;
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(const Digraph& g) {
+  const std::int64_t n = g.num_vertices();
+  out_.resize(static_cast<std::size_t>(n));
+  in_.resize(static_cast<std::size_t>(n));
+  alive_.assign(static_cast<std::size_t>(n), true);
+  names_.resize(static_cast<std::size_t>(n));
+  num_alive_ = n;
+  num_edges_ = g.num_edges();
+  for (VertexId v = 0; v < n; ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    out_[i].assign(g.children(v).begin(), g.children(v).end());
+    in_[i].assign(g.parents(v).begin(), g.parents(v).end());
+    if (!g.name(v).empty()) names_[i] = g.name(v);
+  }
+}
+
+void DynamicGraph::check_alive(VertexId v, const char* role) const {
+  GIO_EXPECTS_MSG(v >= 0 && v < id_limit(),
+                  std::string(role) + " vertex " + std::to_string(v) +
+                      " does not exist (ids allocated: " +
+                      std::to_string(id_limit()) + ")");
+  GIO_EXPECTS_MSG(alive_[static_cast<std::size_t>(v)],
+                  std::string(role) + " vertex " + std::to_string(v) +
+                      " was removed");
+}
+
+VertexId DynamicGraph::add_vertex() {
+  out_.emplace_back();
+  in_.emplace_back();
+  alive_.push_back(true);
+  names_.emplace_back();
+  ++num_alive_;
+  return id_limit() - 1;
+}
+
+void DynamicGraph::remove_vertex(VertexId v) {
+  check_alive(v, "removed");
+  const auto i = static_cast<std::size_t>(v);
+  // Drop every incident multiplicity from the neighbors' mirror lists —
+  // one erase per list occurrence, so parallel edges come out exactly.
+  // Self-loops cannot exist, so v never appears in its own lists.
+  num_edges_ -= static_cast<std::int64_t>(out_[i].size() + in_[i].size());
+  for (VertexId w : out_[i]) {
+    const bool mirrored = erase_one(in_[static_cast<std::size_t>(w)], v);
+    GIO_ASSERT(mirrored);
+    (void)mirrored;
+  }
+  for (VertexId w : in_[i]) {
+    const bool mirrored = erase_one(out_[static_cast<std::size_t>(w)], v);
+    GIO_ASSERT(mirrored);
+    (void)mirrored;
+  }
+  out_[i].clear();
+  out_[i].shrink_to_fit();
+  in_[i].clear();
+  in_[i].shrink_to_fit();
+  names_[i].clear();
+  alive_[i] = false;
+  --num_alive_;
+}
+
+void DynamicGraph::add_edge(VertexId u, VertexId v) {
+  check_alive(u, "edge source");
+  check_alive(v, "edge target");
+  GIO_EXPECTS_MSG(u != v, "self-loops are not allowed");
+  out_[static_cast<std::size_t>(u)].push_back(v);
+  in_[static_cast<std::size_t>(v)].push_back(u);
+  ++num_edges_;
+}
+
+void DynamicGraph::remove_edge(VertexId u, VertexId v) {
+  check_alive(u, "edge source");
+  check_alive(v, "edge target");
+  GIO_EXPECTS_MSG(erase_one(out_[static_cast<std::size_t>(u)], v),
+                  "edge " + std::to_string(u) + " -> " + std::to_string(v) +
+                      " does not exist");
+  const bool mirrored = erase_one(in_[static_cast<std::size_t>(v)], u);
+  GIO_ASSERT(mirrored);
+  (void)mirrored;
+  --num_edges_;
+}
+
+std::span<const VertexId> DynamicGraph::children(VertexId v) const {
+  check_alive(v, "queried");
+  return out_[static_cast<std::size_t>(v)];
+}
+
+std::span<const VertexId> DynamicGraph::parents(VertexId v) const {
+  check_alive(v, "queried");
+  return in_[static_cast<std::size_t>(v)];
+}
+
+void DynamicGraph::set_name(VertexId v, std::string name) {
+  check_alive(v, "named");
+  names_[static_cast<std::size_t>(v)] = std::move(name);
+}
+
+const std::string& DynamicGraph::name(VertexId v) const {
+  check_alive(v, "queried");
+  return names_[static_cast<std::size_t>(v)];
+}
+
+Digraph DynamicGraph::materialize(
+    std::vector<VertexId>* external_of_local) const {
+  std::vector<VertexId> local_of(static_cast<std::size_t>(id_limit()), -1);
+  if (external_of_local != nullptr) {
+    external_of_local->clear();
+    external_of_local->reserve(static_cast<std::size_t>(num_alive_));
+  }
+  VertexId next = 0;
+  for (VertexId v = 0; v < id_limit(); ++v) {
+    if (!alive_[static_cast<std::size_t>(v)]) continue;
+    local_of[static_cast<std::size_t>(v)] = next++;
+    if (external_of_local != nullptr) external_of_local->push_back(v);
+  }
+  Digraph g(num_alive_);
+  for (VertexId v = 0; v < id_limit(); ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    if (!alive_[i]) continue;
+    const VertexId lv = local_of[i];
+    for (VertexId w : out_[i])
+      g.add_edge(lv, local_of[static_cast<std::size_t>(w)]);
+    if (!names_[i].empty()) g.set_name(lv, names_[i]);
+  }
+  return g;
+}
+
+}  // namespace graphio::stream

@@ -1,0 +1,158 @@
+#include "graphio/stream/mutation.hpp"
+
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::stream {
+
+std::string_view to_string(MutationOp op) {
+  switch (op) {
+    case MutationOp::kAddVertex: return "add_vertex";
+    case MutationOp::kRemoveVertex: return "remove_vertex";
+    case MutationOp::kAddEdge: return "add_edge";
+    case MutationOp::kRemoveEdge: return "remove_edge";
+  }
+  return "?";
+}
+
+Mutation Mutation::add_vertex(std::int64_t count) {
+  // Range-checked at ingest like every other numeric grammar field: one
+  // job line must not be able to allocate unbounded vertices.
+  GIO_EXPECTS_MSG(count >= 1 && count <= 1'000'000,
+                  "add_vertex count out of range [1, 1000000]");
+  Mutation m;
+  m.op = MutationOp::kAddVertex;
+  m.count = count;
+  return m;
+}
+
+Mutation Mutation::remove_vertex(VertexId v) {
+  GIO_EXPECTS_MSG(v >= 0, "vertex id must be non-negative");
+  Mutation m;
+  m.op = MutationOp::kRemoveVertex;
+  m.v = v;
+  return m;
+}
+
+Mutation Mutation::add_edge(VertexId u, VertexId v) {
+  GIO_EXPECTS_MSG(u >= 0 && v >= 0, "vertex ids must be non-negative");
+  GIO_EXPECTS_MSG(u != v, "self-loops are not allowed");
+  Mutation m;
+  m.op = MutationOp::kAddEdge;
+  m.u = u;
+  m.v = v;
+  return m;
+}
+
+Mutation Mutation::remove_edge(VertexId u, VertexId v) {
+  GIO_EXPECTS_MSG(u >= 0 && v >= 0, "vertex ids must be non-negative");
+  Mutation m;
+  m.op = MutationOp::kRemoveEdge;
+  m.u = u;
+  m.v = v;
+  return m;
+}
+
+Mutation mutation_from_json(const io::JsonValue& value) {
+  GIO_EXPECTS_MSG(value.is_object(), "mutation must be a JSON object");
+  std::string op;
+  std::int64_t count = 1;
+  VertexId u = -1;
+  VertexId v = -1;
+  bool has_count = false;
+  bool has_u = false;
+  bool has_v = false;
+  for (const auto& [key, field] : value.members()) {
+    if (key == "op") {
+      op = field.as_string();
+    } else if (key == "count") {
+      count = field.as_int();
+      has_count = true;
+    } else if (key == "u") {
+      u = field.as_int();
+      has_u = true;
+    } else if (key == "v") {
+      v = field.as_int();
+      has_v = true;
+    } else {
+      GIO_EXPECTS_MSG(false, "unknown mutation key '" + key + "'");
+    }
+  }
+  GIO_EXPECTS_MSG(!op.empty(), "mutation needs an \"op\"");
+  GIO_EXPECTS_MSG(op == "add_vertex" || op == "remove_vertex" ||
+                      op == "add_edge" || op == "remove_edge",
+                  "unknown mutation op '" + op +
+                      "' (known: add_vertex|remove_vertex|"
+                      "add_edge|remove_edge)");
+  if (op == "add_vertex") {
+    GIO_EXPECTS_MSG(!has_u && !has_v, "add_vertex takes no endpoints");
+    return Mutation::add_vertex(count);
+  }
+  GIO_EXPECTS_MSG(!has_count, "\"count\" only applies to add_vertex");
+  if (op == "remove_vertex") {
+    GIO_EXPECTS_MSG(has_v && !has_u, "remove_vertex needs \"v\" only");
+    return Mutation::remove_vertex(v);
+  }
+  GIO_EXPECTS_MSG(has_u && has_v,
+                  "edge mutation needs both \"u\" and \"v\"");
+  return op == "add_edge" ? Mutation::add_edge(u, v)
+                          : Mutation::remove_edge(u, v);
+}
+
+Patch patch_from_json(const io::JsonValue& value) {
+  Patch patch;
+  const io::JsonValue* mutations = &value;
+  if (value.is_object()) {
+    for (const auto& [key, field] : value.members()) {
+      if (key == "patch") {
+        mutations = &field;
+      } else if (key == "label") {
+        patch.label = field.as_string();
+      } else {
+        GIO_EXPECTS_MSG(false, "unknown patch key '" + key + "'");
+      }
+    }
+    GIO_EXPECTS_MSG(mutations != &value, "patch object needs a \"patch\"");
+  }
+  GIO_EXPECTS_MSG(mutations->is_array(),
+                  "\"patch\" must be an array of mutations");
+  patch.mutations.reserve(mutations->size());
+  for (const io::JsonValue& m : mutations->items())
+    patch.mutations.push_back(mutation_from_json(m));
+  return patch;
+}
+
+Patch patch_from_json_line(const std::string& line) {
+  return patch_from_json(io::JsonValue::parse(line));
+}
+
+void append_mutation_json(io::JsonWriter& w, const Mutation& m) {
+  w.begin_object();
+  w.key("op").value(to_string(m.op));
+  switch (m.op) {
+    case MutationOp::kAddVertex:
+      if (m.count != 1) w.key("count").value(m.count);
+      break;
+    case MutationOp::kRemoveVertex:
+      w.key("v").value(m.v);
+      break;
+    case MutationOp::kAddEdge:
+    case MutationOp::kRemoveEdge:
+      w.key("u").value(m.u);
+      w.key("v").value(m.v);
+      break;
+  }
+  w.end_object();
+}
+
+std::string patch_to_json_line(const Patch& patch) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("patch").begin_array();
+  for (const Mutation& m : patch.mutations) append_mutation_json(w, m);
+  w.end_array();
+  if (!patch.label.empty()) w.key("label").value(patch.label);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace graphio::stream

@@ -1,0 +1,87 @@
+// Mutations — the stream subsystem's unit of change: one graph edit,
+// batched into Patches, parsed from JSONL update lines.
+//
+// Mutation grammar (one JSON object per mutation):
+//
+//   {"op": "add_vertex"}                   append one isolated vertex
+//   {"op": "add_vertex", "count": 3}       append several at once
+//   {"op": "remove_vertex", "v": 5}        drop a vertex and its edges
+//   {"op": "add_edge", "u": 0, "v": 7}     add one u -> v edge
+//   {"op": "remove_edge", "u": 0, "v": 7}  drop one u -> v multiplicity
+//
+// A Patch is an ordered list of mutations applied atomically between two
+// analyses:
+//
+//   {"patch": [{"op": "add_edge", "u": 0, "v": 7}, ...],
+//    "label": "rewrite-17"}                label optional
+//
+// Vertex ids are the stream's stable external ids: ids are assigned in
+// append order, never renumbered by removals, and dead ids are never
+// reused — so a patch author can predict the id every add_vertex yields.
+// Parsing is strict (unknown keys/ops, wrong types, negative ids throw
+// contract_error with context), matching the serve job grammar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphio/graph/digraph.hpp"
+#include "graphio/io/json.hpp"
+
+namespace graphio::stream {
+
+enum class MutationOp {
+  kAddVertex,
+  kRemoveVertex,
+  kAddEdge,
+  kRemoveEdge,
+};
+
+std::string_view to_string(MutationOp op);
+
+struct Mutation {
+  MutationOp op = MutationOp::kAddVertex;
+  /// add_vertex: how many vertices to append (>= 1).
+  std::int64_t count = 1;
+  /// Edge endpoints (edge ops) or the removed vertex (`v`, remove_vertex).
+  VertexId u = -1;
+  VertexId v = -1;
+
+  static Mutation add_vertex(std::int64_t count = 1);
+  static Mutation remove_vertex(VertexId v);
+  static Mutation add_edge(VertexId u, VertexId v);
+  static Mutation remove_edge(VertexId u, VertexId v);
+};
+
+/// An ordered batch of mutations applied between two analyses.
+struct Patch {
+  std::vector<Mutation> mutations;
+  /// Free-form tag echoed into patch results (display only).
+  std::string label;
+
+  [[nodiscard]] bool empty() const noexcept { return mutations.empty(); }
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(mutations.size());
+  }
+};
+
+/// Parses one mutation object. Throws contract_error on unknown ops or
+/// keys, missing endpoints, or out-of-range values.
+Mutation mutation_from_json(const io::JsonValue& value);
+
+/// Parses a patch: either a bare JSON array of mutations, or an object
+/// {"patch": [...], "label": ...}. Throws contract_error on malformed
+/// input (an empty mutation array is valid — a no-op patch).
+Patch patch_from_json(const io::JsonValue& value);
+
+/// Convenience: parse one JSONL line into a patch.
+Patch patch_from_json_line(const std::string& line);
+
+/// Serializes back to the object form (round-trips with patch_from_json).
+std::string patch_to_json_line(const Patch& patch);
+
+/// Serializes one mutation into an open writer (for embedding).
+void append_mutation_json(io::JsonWriter& w, const Mutation& m);
+
+}  // namespace graphio::stream

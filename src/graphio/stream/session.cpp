@@ -1,0 +1,211 @@
+#include "graphio/stream/session.hpp"
+
+#include <utility>
+
+#include "graphio/engine/fingerprint.hpp"
+#include "graphio/engine/graph_spec.hpp"
+#include "graphio/support/contracts.hpp"
+#include "graphio/support/timer.hpp"
+
+namespace graphio::stream {
+
+StreamSession::StreamSession(std::string name)
+    : name_(std::move(name)), engine_(std::make_unique<engine::Engine>()) {
+  GIO_EXPECTS_MSG(!name_.empty(), "stream session needs a name");
+  GIO_EXPECTS_MSG(
+      !engine::GraphSpec::try_parse(name_).has_value(),
+      "stream graph name '" + name_ +
+          "' collides with a family spec or graph file — pick a plain name");
+}
+
+PatchReport StreamSession::load(const std::string& spec) {
+  const Digraph g = engine::GraphSpec::parse(spec).build();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return load_locked(g);
+}
+
+PatchReport StreamSession::load(const Digraph& graph) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return load_locked(graph);
+}
+
+PatchReport StreamSession::load_locked(const Digraph& graph) {
+  WallTimer timer;
+  const std::int64_t evicted_before = stats_.evicted;
+  graph_ = DynamicGraph(graph);
+  components_.reset(graph_);
+  // Loading replaces everything: evict the previous graph's component
+  // entries (nothing else references a session-private engine's cache)
+  // and re-fingerprint from scratch.
+  for (const auto& [fp, count] : fingerprint_refcount_) {
+    stats_.evicted += engine_->component_cache()->erase(fp);
+    (void)count;
+  }
+  component_fingerprint_.clear();
+  fingerprint_refcount_.clear();
+  loaded_ = true;
+  return finish_patch_locked(Patch{}, components_.component_ids(),
+                             evicted_before, timer.seconds());
+}
+
+PatchReport StreamSession::apply(const Patch& patch) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  GIO_EXPECTS_MSG(loaded_, "stream session '" + name_ +
+                               "' has no graph loaded yet");
+  WallTimer timer;
+  const std::int64_t evicted_before = stats_.evicted;
+  // Snapshot for atomicity: a failing mutation must leave the session on
+  // the last good graph, not half-patched. Both structures are plain
+  // vectors, so the copy is O(n + m) — the same order as the materialize
+  // every successful patch performs anyway.
+  const DynamicGraph graph_backup = graph_;
+  const DynamicComponents components_backup = components_;
+  components_.begin_patch();
+  for (std::size_t i = 0; i < patch.mutations.size(); ++i) {
+    const Mutation& m = patch.mutations[i];
+    try {
+      switch (m.op) {
+        case MutationOp::kAddVertex:
+          for (std::int64_t k = 0; k < m.count; ++k)
+            components_.on_add_vertex(graph_.add_vertex());
+          break;
+        case MutationOp::kRemoveVertex:
+          // Notify first: the labels must still cover v.
+          components_.on_remove_vertex(m.v);
+          graph_.remove_vertex(m.v);
+          break;
+        case MutationOp::kAddEdge:
+          graph_.add_edge(m.u, m.v);
+          components_.on_add_edge(m.u, m.v);
+          break;
+        case MutationOp::kRemoveEdge:
+          graph_.remove_edge(m.u, m.v);
+          components_.on_remove_edge(m.u, m.v);
+          break;
+      }
+    } catch (const std::exception& e) {
+      graph_ = graph_backup;
+      components_ = components_backup;
+      GIO_EXPECTS_MSG(false, "mutation " + std::to_string(i + 1) + "/" +
+                                 std::to_string(patch.mutations.size()) +
+                                 " (" + std::string(to_string(m.op)) +
+                                 ") failed: " + e.what());
+    }
+  }
+  components_.flush(graph_);
+  return finish_patch_locked(patch, components_.dirty(), evicted_before,
+                             timer.seconds());
+}
+
+void StreamSession::refingerprint_locked(const std::vector<int>& dirty) {
+  // Retire old fingerprints first — the dirty components' own, and those
+  // of components that died this patch (merged away, fully removed) — so
+  // equal content surviving elsewhere keeps its refcount and its cache
+  // entries. Eviction fires only when a content's last instance goes.
+  auto release = [this](std::uint64_t fp) {
+    if (--fingerprint_refcount_.at(fp) == 0) {
+      fingerprint_refcount_.erase(fp);
+      stats_.evicted += engine_->component_cache()->erase(fp);
+    }
+  };
+  for (int c : dirty) {
+    const auto it = component_fingerprint_.find(c);
+    if (it == component_fingerprint_.end()) continue;
+    release(it->second);
+    component_fingerprint_.erase(it);
+  }
+  for (auto it = component_fingerprint_.begin();
+       it != component_fingerprint_.end();) {
+    if (components_.alive(it->first)) {
+      ++it;
+      continue;
+    }
+    release(it->second);
+    it = component_fingerprint_.erase(it);
+  }
+
+  for (int c : dirty) {
+    const std::uint64_t fp =
+        engine::graph_fingerprint(components_.subgraph(graph_, c));
+    component_fingerprint_.emplace(c, fp);
+    ++fingerprint_refcount_[fp];
+  }
+}
+
+std::uint64_t StreamSession::combined_fingerprint_locked() const {
+  // Order-independent combination: FNV over the sorted multiset of
+  // per-component fingerprints. fingerprint_refcount_ IS that multiset,
+  // already sorted by key.
+  std::uint64_t h = engine::fnv64_begin();
+  std::int64_t components = 0;
+  for (const auto& [fp, count] : fingerprint_refcount_) {
+    for (int i = 0; i < count; ++i) h = engine::fnv64_mix(h, fp);
+    components += count;
+  }
+  h = engine::fnv64_mix(h, static_cast<std::uint64_t>(components));
+  return h;
+}
+
+PatchReport StreamSession::finish_patch_locked(const Patch& patch,
+                                               const std::vector<int>& dirty,
+                                               std::int64_t evicted_before,
+                                               double seconds) {
+  refingerprint_locked(dirty);
+  engine_->install_graph(name_, graph_.materialize());
+
+  PatchReport report;
+  report.graph = name_;
+  report.label = patch.label;
+  report.mutations = patch.size();
+  report.vertices = graph_.num_vertices();
+  report.edges = graph_.num_edges();
+  report.components = components_.count();
+  report.dirty_components = static_cast<int>(dirty.size());
+  report.clean_components = components_.count() - report.dirty_components;
+  report.fingerprint = engine::fingerprint_hex(combined_fingerprint_locked());
+  report.seconds = seconds;
+
+  ++stats_.patches;
+  stats_.mutations += report.mutations;
+  stats_.dirty_components += report.dirty_components;
+  stats_.clean_components += report.clean_components;
+  // refingerprint_locked (and, for loads, the pre-reset sweep) advanced
+  // stats_.evicted; the report carries this patch's share.
+  report.evicted = stats_.evicted - evicted_before;
+  return report;
+}
+
+engine::BoundReport StreamSession::evaluate(engine::BoundRequest request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  GIO_EXPECTS_MSG(loaded_, "stream session '" + name_ +
+                               "' has no graph loaded yet");
+  request.spec = name_;
+  request.graph.reset();
+  if (request.name.empty()) request.name = name_;
+  ++stats_.queries;
+  return engine_->evaluate(request);
+}
+
+std::uint64_t StreamSession::fingerprint() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return combined_fingerprint_locked();
+}
+
+Digraph StreamSession::graph() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  GIO_EXPECTS_MSG(loaded_, "stream session '" + name_ +
+                               "' has no graph loaded yet");
+  return graph_.materialize();
+}
+
+bool StreamSession::loaded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return loaded_;
+}
+
+StreamSession::Stats StreamSession::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace graphio::stream

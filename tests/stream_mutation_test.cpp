@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "graphio/stream/mutation.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::stream {
+namespace {
+
+TEST(StreamMutationTest, ParsesEveryOp) {
+  const Patch p = patch_from_json_line(
+      R"({"patch": [{"op": "add_vertex"},
+                    {"op": "add_vertex", "count": 3},
+                    {"op": "remove_vertex", "v": 5},
+                    {"op": "add_edge", "u": 0, "v": 7},
+                    {"op": "remove_edge", "u": 7, "v": 0}],
+          "label": "all-ops"})");
+  ASSERT_EQ(p.size(), 5);
+  EXPECT_EQ(p.label, "all-ops");
+  EXPECT_EQ(p.mutations[0].op, MutationOp::kAddVertex);
+  EXPECT_EQ(p.mutations[0].count, 1);
+  EXPECT_EQ(p.mutations[1].count, 3);
+  EXPECT_EQ(p.mutations[2].op, MutationOp::kRemoveVertex);
+  EXPECT_EQ(p.mutations[2].v, 5);
+  EXPECT_EQ(p.mutations[3].op, MutationOp::kAddEdge);
+  EXPECT_EQ(p.mutations[3].u, 0);
+  EXPECT_EQ(p.mutations[3].v, 7);
+  EXPECT_EQ(p.mutations[4].op, MutationOp::kRemoveEdge);
+}
+
+TEST(StreamMutationTest, BareArrayFormParses) {
+  const Patch p =
+      patch_from_json_line(R"([{"op": "add_edge", "u": 1, "v": 2}])");
+  ASSERT_EQ(p.size(), 1);
+  EXPECT_TRUE(p.label.empty());
+}
+
+TEST(StreamMutationTest, EmptyPatchIsValidNoOp) {
+  EXPECT_TRUE(patch_from_json_line(R"({"patch": []})").empty());
+}
+
+TEST(StreamMutationTest, RoundTripsThroughJson) {
+  Patch p;
+  p.mutations.push_back(Mutation::add_vertex(2));
+  p.mutations.push_back(Mutation::add_edge(0, 4));
+  p.mutations.push_back(Mutation::remove_edge(4, 2));
+  p.mutations.push_back(Mutation::remove_vertex(3));
+  p.label = "round-trip";
+  const Patch back = patch_from_json_line(patch_to_json_line(p));
+  ASSERT_EQ(back.size(), p.size());
+  EXPECT_EQ(back.label, p.label);
+  for (std::size_t i = 0; i < p.mutations.size(); ++i) {
+    EXPECT_EQ(back.mutations[i].op, p.mutations[i].op);
+    EXPECT_EQ(back.mutations[i].count, p.mutations[i].count);
+    EXPECT_EQ(back.mutations[i].u, p.mutations[i].u);
+    EXPECT_EQ(back.mutations[i].v, p.mutations[i].v);
+  }
+}
+
+TEST(StreamMutationTest, RejectsMalformedMutations) {
+  // Unknown op, with the known ones listed.
+  try {
+    patch_from_json_line(R"({"patch": [{"op": "rename", "v": 1}]})");
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("add_vertex|remove_vertex"),
+              std::string::npos);
+  }
+  // Unknown keys, missing endpoints, misplaced count, self-loop.
+  EXPECT_THROW(patch_from_json_line(R"({"patch": [{"op": "add_edge",
+      "u": 0, "v": 1, "w": 2}]})"),
+               contract_error);
+  EXPECT_THROW(patch_from_json_line(R"({"patch": [{"op": "add_edge",
+      "u": 0}]})"),
+               contract_error);
+  EXPECT_THROW(patch_from_json_line(R"({"patch": [{"op": "remove_vertex",
+      "u": 0, "v": 1}]})"),
+               contract_error);
+  EXPECT_THROW(patch_from_json_line(R"({"patch": [{"op": "remove_edge",
+      "u": 0, "v": 1, "count": 2}]})"),
+               contract_error);
+  EXPECT_THROW(patch_from_json_line(R"({"patch": [{"op": "add_edge",
+      "u": 3, "v": 3}]})"),
+               contract_error);
+  EXPECT_THROW(patch_from_json_line(R"({"patch": [{"op": "add_vertex",
+      "count": 0}]})"),
+               contract_error);
+  // One line must not be able to allocate unbounded vertices.
+  EXPECT_THROW(patch_from_json_line(R"({"patch": [{"op": "add_vertex",
+      "count": 100000000000}]})"),
+               contract_error);
+  EXPECT_THROW(patch_from_json_line(R"({"patch": [{"op": "remove_vertex",
+      "v": -2}]})"),
+               contract_error);
+}
+
+TEST(StreamMutationTest, RejectsMalformedPatches) {
+  EXPECT_THROW(patch_from_json_line(R"({"label": "no-mutations"})"),
+               contract_error);
+  EXPECT_THROW(patch_from_json_line(R"({"patch": [], "extra": 1})"),
+               contract_error);
+  EXPECT_THROW(patch_from_json_line(R"({"patch": {"op": "add_vertex"}})"),
+               contract_error);
+  EXPECT_THROW(patch_from_json_line("not json"), contract_error);
+}
+
+}  // namespace
+}  // namespace graphio::stream

@@ -96,6 +96,11 @@ std::string solver_list() {
       "                                         summary footer to stderr\n"
       "  serve [--threads N] [--store DIR]      JSONL request/response loop\n"
       "                                         on stdin/stdout\n"
+      "  stream <updates.jsonl> [--json]        replay a stream of graph\n"
+      "                                         loads/patches/queries in\n"
+      "                                         order; incremental re-analysis\n"
+      "                                         (--json adds the summary as a\n"
+      "                                         final stdout line)\n"
       "\n"
       "graph: family spec, edgelist file, or DOT file (*.dot, *.gv)\n"
       << engine::family_help() <<
@@ -502,6 +507,22 @@ int cmd_serve(const Args& a) {
   return 0;
 }
 
+int cmd_stream(const Args& a) {
+  if (a.graphs.empty()) usage("stream needs an updates.jsonl argument");
+  std::ifstream updates(a.graphs.front());
+  if (!updates.good())
+    usage("cannot open updates file '" + a.graphs.front() + "'");
+  serve::BatchSession session(batch_options(a));
+  // serve(): the ordered single-lane loop — every query sees exactly the
+  // patches above it, and results stream out as they complete.
+  const serve::BatchSummary summary = session.serve(updates, std::cout);
+  if (a.json)
+    std::cout << "{\"summary\":" << summary.to_json() << "}\n";
+  std::cerr << summary.to_json() << "\n";
+  return summary.ok > 0 || summary.jobs + summary.rejected_lines == 0 ? 0
+                                                                      : 1;
+}
+
 int cmd_hierarchy(const Args& a) {
   const Digraph g = resolve_graph(a.graph());
   std::vector<double> capacities;
@@ -538,6 +559,7 @@ int main(int argc, char** argv) {
     if (a.command == "hierarchy") return cmd_hierarchy(a);
     if (a.command == "batch") return cmd_batch(a);
     if (a.command == "serve") return cmd_serve(a);
+    if (a.command == "stream") return cmd_stream(a);
     usage("unknown command '" + a.command + "'");
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

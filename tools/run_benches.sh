@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Machine-readable benchmark pass: builds Release and emits
-# BENCH_solver.json (monolithic vs per-component spectral pipeline) and
-# BENCH_serve.json (batch throughput + persistent-store trajectory) from a
+# BENCH_solver.json (monolithic vs per-component spectral pipeline),
+# BENCH_serve.json (batch throughput + persistent-store trajectory), and
+# BENCH_stream.json (incremental re-analysis vs full recompute) from a
 # fixed corpus into the repo root (or $GRAPHIO_BENCH_OUT).
 #
 # Usage: tools/run_benches.sh [quick|default|paper] [build-dir]
@@ -24,14 +25,16 @@ cmake -B "$build_dir" -S "$repo_root" \
       -DGRAPHIO_BUILD_TESTS=OFF \
       -DGRAPHIO_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j "$(nproc)" \
-      --target bench_solver_policy bench_serve_batch
+      --target bench_solver_policy bench_serve_batch bench_stream_updates
 
 # The benches write BENCH_*.json into the working directory.
 mkdir -p "$out_dir"
 cd "$out_dir"
 "$build_dir/bench_solver_policy" --scale "$scale"
 "$build_dir/bench_serve_batch" --scale "$scale"
+"$build_dir/bench_stream_updates" --scale "$scale"
 
 echo
 echo "benchmark JSON written to $out_dir:"
-ls -l "$out_dir"/BENCH_solver.json "$out_dir"/BENCH_serve.json
+ls -l "$out_dir"/BENCH_solver.json "$out_dir"/BENCH_serve.json \
+      "$out_dir"/BENCH_stream.json
