@@ -1,16 +1,22 @@
 // stream_updates — incremental re-analysis vs full recompute on an
 // evolving multi-component graph.
 //
-// The stream claim (ISSUE 4 acceptance): after a small patch, a
-// StreamSession re-eigensolves only the components the patch touched —
-// clean components resolve from the fingerprint-keyed component cache —
-// while a from-scratch Engine on the final graph re-solves every
-// component; the bounds agree exactly (the decomposition is exact and
-// the dense tier is deterministic). The corpus is a disjoint union of
-// *distinct* Erdős–Rényi DAGs (distinct seeds), so the scratch baseline
-// cannot dedupe equal components and honestly pays one eigensolve per
-// component. Everything measured is algorithmic (eigensolve counts), so
-// the conclusions hold on 1 CPU.
+// The stream claim (ISSUE 4 acceptance, tightened by the ISSUE 5
+// zero-copy query path): after a small patch, a StreamSession
+// re-eigensolves — and re-*extracts* — only the components the patch
+// touched. Clean components resolve from the fingerprint-keyed component
+// cache without materializing a subgraph or recomputing a hash
+// (subgraph_extractions == dirty, fingerprint_computes == 0), while a
+// from-scratch Engine on the final graph decomposes, hashes, extracts,
+// and solves every component; the bounds agree exactly (the
+// decomposition is exact and the dense tier is deterministic). The
+// corpus is a disjoint union of *distinct* Erdős–Rényi DAGs (distinct
+// seeds), so the scratch baseline cannot dedupe equal components and
+// honestly pays one eigensolve per component. Everything measured is
+// algorithmic (eigensolve/extraction counts), so the conclusions hold on
+// 1 CPU. The per-phase breakdown (fingerprint / extract / solve / merge)
+// shows where each side's time goes: the incremental side is pinned to
+// the dirty components' solve time, which is the floor.
 //
 // Emits BENCH_stream.json:
 //
@@ -18,8 +24,15 @@
 //    "component_vertices": N, "vertices": ..., "memories": [2, 8],
 //    "cases": [{"patch_edges": 1, "dirty_components": 1,
 //               "incremental": {"seconds": ..., "eigensolves": 1,
-//                               "component_hits": C-1},
-//               "scratch": {"seconds": ..., "eigensolves": C},
+//                               "component_hits": C-1,
+//                               "subgraph_extractions": 1,
+//                               "fingerprint_computes": 0,
+//                               "phases": {"fingerprint": ...,
+//                                          "extract": ..., "solve": ...,
+//                                          "merge": ...}},
+//               "scratch": {"seconds": ..., "eigensolves": C,
+//                           "subgraph_extractions": C,
+//                           "fingerprint_computes": C, "phases": {...}},
 //               "speedup": ..., "max_abs_diff": 0}, ...]}
 #include <cmath>
 #include <fstream>
@@ -33,15 +46,35 @@ namespace {
 
 using namespace graphio;
 
+struct SideResult {
+  double seconds = 0.0;
+  std::int64_t eigensolves = 0;
+  std::int64_t component_hits = 0;
+  std::int64_t subgraph_extractions = 0;
+  std::int64_t fingerprint_computes = 0;
+  double fingerprint_seconds = 0.0;
+  double extract_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double merge_seconds = 0.0;
+
+  void record(const engine::ArtifactCache::Stats& cache) {
+    eigensolves = cache.eigensolves;
+    component_hits = cache.component_hits;
+    subgraph_extractions = cache.subgraph_extractions;
+    fingerprint_computes = cache.fingerprint_computes;
+    fingerprint_seconds = cache.fingerprint_seconds;
+    extract_seconds = cache.extract_seconds;
+    solve_seconds = cache.solve_seconds;
+    merge_seconds = cache.merge_seconds;
+  }
+};
+
 struct CaseResult {
   int patch_edges = 0;
   int dirty = 0;
   int components = 0;
-  double inc_seconds = 0.0;
-  std::int64_t inc_eigensolves = 0;
-  std::int64_t inc_component_hits = 0;
-  double scratch_seconds = 0.0;
-  std::int64_t scratch_eigensolves = 0;
+  SideResult inc;
+  SideResult scratch;
   double speedup = 0.0;
   double max_abs_diff = 0.0;
 };
@@ -79,11 +112,16 @@ int main(int argc, char** argv) {
       "Stream updates: incremental re-analysis vs full recompute",
       "graphio::stream (no paper figure)", args);
 
-  int components = 20;
+  // 32 components: the zero-copy query path's win scales with the number
+  // of *clean* components a patch leaves behind (each one skipped costs
+  // one map lookup instead of an extract + hash + solve), so the corpus
+  // carries enough of them for the skip to dominate. The floor on the
+  // incremental side is the dirty components' own solve time.
+  int components = 32;
   std::int64_t n = 500;
   if (args.scale == BenchScale::kQuick) n = 450;
   if (args.scale == BenchScale::kPaper) {
-    components = 24;
+    components = 40;
     n = 600;
   }
 
@@ -104,16 +142,17 @@ int main(int argc, char** argv) {
   std::cout << "warm pass: " << warm.cache.eigensolves << " eigensolves over "
             << components << " components\n\n";
 
-  Table table({"patch edges", "dirty", "inc solves", "inc hits", "inc s",
-               "scratch solves", "scratch s", "speedup", "max |diff|"});
+  Table table({"patch edges", "dirty", "inc solves", "inc hits", "inc extr",
+               "inc s", "scratch solves", "scratch s", "speedup",
+               "max |diff|"});
   std::vector<CaseResult> results;
   constexpr int kReps = 3;
   int case_index = 0;
   for (const int patch_edges : {1, 2, 4, 8}) {
     CaseResult r;
     r.patch_edges = patch_edges;
-    r.inc_seconds = std::numeric_limits<double>::infinity();
-    r.scratch_seconds = std::numeric_limits<double>::infinity();
+    r.inc.seconds = std::numeric_limits<double>::infinity();
+    r.scratch.seconds = std::numeric_limits<double>::infinity();
     // Best-of-kReps: each rep applies a fresh equal-size patch (distinct
     // edges, same component spread), so min-over-reps measures the
     // algorithm, not scheduler noise on a shared CI core. Counters are
@@ -133,11 +172,13 @@ int main(int argc, char** argv) {
       WallTimer inc_timer;
       const stream::PatchReport applied = session.apply(patch);
       const engine::BoundReport inc = session.evaluate(make_request());
-      r.inc_seconds = std::min(r.inc_seconds, inc_timer.seconds());
+      const double inc_seconds = inc_timer.seconds();
       r.dirty = applied.dirty_components;
       r.components = applied.components;
-      r.inc_eigensolves = inc.cache.eigensolves;
-      r.inc_component_hits = inc.cache.component_hits;
+      if (inc_seconds < r.inc.seconds) {
+        r.inc.seconds = inc_seconds;
+        r.inc.record(inc.cache);
+      }
 
       // From-scratch baseline: a fresh Engine (cold component cache) on
       // the same final graph.
@@ -148,24 +189,33 @@ int main(int argc, char** argv) {
       WallTimer scratch_timer;
       const engine::BoundReport scratch =
           scratch_engine.evaluate(scratch_req);
-      r.scratch_seconds = std::min(r.scratch_seconds, scratch_timer.seconds());
-      r.scratch_eigensolves = scratch.cache.eigensolves;
+      const double scratch_seconds = scratch_timer.seconds();
+      if (scratch_seconds < r.scratch.seconds) {
+        r.scratch.seconds = scratch_seconds;
+        r.scratch.record(scratch.cache);
+      }
       r.max_abs_diff = std::max(r.max_abs_diff, bounds_diff(inc, scratch));
     }
     r.speedup =
-        r.inc_seconds > 0.0 ? r.scratch_seconds / r.inc_seconds : 0.0;
+        r.inc.seconds > 0.0 ? r.scratch.seconds / r.inc.seconds : 0.0;
 
     table.add_row({format_int(r.patch_edges), format_int(r.dirty),
-                   format_int(r.inc_eigensolves),
-                   format_int(r.inc_component_hits),
-                   format_double(r.inc_seconds, 3),
-                   format_int(r.scratch_eigensolves),
-                   format_double(r.scratch_seconds, 3),
+                   format_int(r.inc.eigensolves),
+                   format_int(r.inc.component_hits),
+                   format_int(r.inc.subgraph_extractions),
+                   format_double(r.inc.seconds, 3),
+                   format_int(r.scratch.eigensolves),
+                   format_double(r.scratch.seconds, 3),
                    format_double(r.speedup, 2),
                    format_double(r.max_abs_diff, 12)});
     results.push_back(r);
   }
   bench::finish(table, args);
+  std::cout << "\nsingle-edge phase breakdown (incremental, seconds): "
+            << "fingerprint=" << results.front().inc.fingerprint_seconds
+            << " extract=" << results.front().inc.extract_seconds
+            << " solve=" << results.front().inc.solve_seconds
+            << " merge=" << results.front().inc.merge_seconds << "\n";
 
   io::JsonWriter w;
   w.begin_object();
@@ -180,19 +230,28 @@ int main(int argc, char** argv) {
   w.end_array();
   w.key("cases").begin_array();
   for (const CaseResult& r : results) {
+    const auto side = [&w](const char* name, const SideResult& s,
+                           bool hits) {
+      w.key(name).begin_object();
+      w.key("seconds").value(s.seconds);
+      w.key("eigensolves").value(s.eigensolves);
+      if (hits) w.key("component_hits").value(s.component_hits);
+      w.key("subgraph_extractions").value(s.subgraph_extractions);
+      w.key("fingerprint_computes").value(s.fingerprint_computes);
+      w.key("phases").begin_object();
+      w.key("fingerprint").value(s.fingerprint_seconds);
+      w.key("extract").value(s.extract_seconds);
+      w.key("solve").value(s.solve_seconds);
+      w.key("merge").value(s.merge_seconds);
+      w.end_object();
+      w.end_object();
+    };
     w.begin_object();
     w.key("patch_edges").value(r.patch_edges);
     w.key("dirty_components").value(r.dirty);
     w.key("components").value(r.components);
-    w.key("incremental").begin_object();
-    w.key("seconds").value(r.inc_seconds);
-    w.key("eigensolves").value(r.inc_eigensolves);
-    w.key("component_hits").value(r.inc_component_hits);
-    w.end_object();
-    w.key("scratch").begin_object();
-    w.key("seconds").value(r.scratch_seconds);
-    w.key("eigensolves").value(r.scratch_eigensolves);
-    w.end_object();
+    side("incremental", r.inc, /*hits=*/true);
+    side("scratch", r.scratch, /*hits=*/false);
     w.key("speedup").value(r.speedup);
     w.key("max_abs_diff").value(r.max_abs_diff);
     w.end_object();

@@ -127,6 +127,125 @@ void SpectralPipeline::set_component_solver(ComponentSolver solver) {
   solver_ = std::move(solver);
 }
 
+void SpectralPipeline::set_component_resolver(ComponentResolver resolver,
+                                              ComponentPublisher publisher) {
+  GIO_EXPECTS_MSG(resolver != nullptr, "component resolver must be callable");
+  resolver_ = std::move(resolver);
+  publisher_ = std::move(publisher);
+}
+
+ComponentSolve SpectralPipeline::solve_planned(const PlannedComponent& entry,
+                                               LaplacianKind kind, int h,
+                                               PipelineResult& result) const {
+  const int h_c = static_cast<int>(std::min<std::int64_t>(h, entry.vertices));
+  if (h_c <= 0) {
+    ComponentSolve solve;
+    solve.vertices = entry.vertices;
+    solve.edges = entry.edges;
+    return solve;
+  }
+  if (entry.edges == 0) {
+    // Every Laplacian of an edgeless component is zero: no fingerprint,
+    // no extraction, no solver — recomputing zeros beats hashing them.
+    ComponentSolve solve;
+    solve.vertices = entry.vertices;
+    solve.edges = entry.edges;
+    solve.values.assign(static_cast<std::size_t>(h_c), 0.0);
+    return solve;
+  }
+
+  // Lookup first: with a resolver installed and a fingerprint available
+  // (precomputed, or computable without extraction), a clean component
+  // never touches vertex data.
+  std::uint64_t fingerprint = entry.fingerprint;
+  bool have_fingerprint = entry.fingerprinted;
+  // nnz upper estimate without assembling the matrix: the diagonal plus
+  // one symmetric pair per edge.
+  const std::int64_t nnz = entry.vertices + 2 * entry.edges;
+  if (resolver_ != nullptr) {
+    if (!have_fingerprint && entry.fingerprint_fn != nullptr) {
+      WallTimer fp_timer;
+      fingerprint = entry.fingerprint_fn();
+      result.phases.fingerprint_seconds += fp_timer.seconds();
+      ++result.fingerprint_computes;
+      have_fingerprint = true;
+    }
+    if (have_fingerprint) {
+      if (std::optional<ComponentSolve> hit = resolver_(
+              fingerprint, entry.vertices, nnz, kind, h_c, options_))
+        return *std::move(hit);
+    }
+  }
+
+  // Miss: this component must materialize and solve.
+  std::optional<Digraph> extracted;
+  const Digraph* component = entry.in_place;
+  if (component == nullptr) {
+    GIO_EXPECTS_MSG(entry.materialize != nullptr,
+                    "planned component needs a materializer or an in-place "
+                    "graph");
+    WallTimer extract_timer;
+    extracted.emplace(entry.materialize());
+    result.phases.extract_seconds += extract_timer.seconds();
+    ++result.subgraph_extractions;
+    component = &*extracted;
+  }
+  GIO_EXPECTS_MSG(component->num_vertices() == entry.vertices &&
+                      component->num_edges() == entry.edges,
+                  "planned component shape does not match its subgraph");
+  ComponentSolve solve = solver_(*component, kind, h_c, options_);
+  result.phases.solve_seconds += solve.seconds;
+  if (publisher_ != nullptr && have_fingerprint && solve.solver_ran)
+    publisher_(fingerprint, kind, h_c, options_, solve);
+  return solve;
+}
+
+PipelineResult SpectralPipeline::run_plan(const ComponentPlan& plan,
+                                          LaplacianKind kind, int h) const {
+  WallTimer timer;
+  PipelineResult result;
+  std::int64_t total_vertices = 0;
+  for (const PlannedComponent& entry : plan.components)
+    total_vertices += entry.vertices;
+  h = static_cast<int>(std::min<std::int64_t>(h, total_vertices));
+  result.components = static_cast<int>(plan.components.size());
+  if (h <= 0 || plan.components.empty()) {
+    result.components = std::max(result.components, 1);
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  result.per_component.reserve(plan.components.size());
+  std::vector<double> pooled;
+  // Soundness cutoff for partial solves: a non-converged component's
+  // unreturned eigenvalues are all >= its last certified value (both
+  // sparse solvers lock in ascending-prefix order), so merged values at
+  // or below the smallest such cutoff still satisfy merged[i] <= λ_i of
+  // the true union — larger merged values might not, and are dropped.
+  double certified_cutoff = std::numeric_limits<double>::infinity();
+  for (const PlannedComponent& entry : plan.components) {
+    ComponentSolve solve = solve_planned(entry, kind, h, result);
+    result.converged = result.converged && solve.converged;
+    if (!solve.converged)
+      certified_cutoff = std::min(
+          certified_cutoff, solve.values.empty() ? 0.0 : solve.values.back());
+    if (solve.solver_ran) ++result.eigensolves;
+    if (solve.from_cache) ++result.component_cache_hits;
+    pooled.insert(pooled.end(), solve.values.begin(), solve.values.end());
+    result.per_component.push_back(std::move(solve));
+  }
+  // One merge over the pooled values — Spectrum::merge semantics with
+  // tolerance 0 (the union must stay exact), built in a single
+  // O(Ch log(Ch)) pass rather than C incremental merges.
+  WallTimer merge_timer;
+  result.values = Spectrum::from_values(pooled, 0.0).smallest(h);
+  while (!result.values.empty() && result.values.back() > certified_cutoff)
+    result.values.pop_back();
+  result.phases.merge_seconds = merge_timer.seconds();
+  result.seconds = timer.seconds();
+  return result;
+}
+
 PipelineResult SpectralPipeline::run(const Digraph& g, LaplacianKind kind,
                                      int h) const {
   WallTimer timer;
@@ -142,46 +261,33 @@ PipelineResult SpectralPipeline::run(const Digraph& g, LaplacianKind kind,
   if (!options_.decompose || components.count <= 1) {
     // Connected (or decomposition disabled): solve in place, no subgraph
     // copy — the single component IS the graph, vertex order included.
-    ComponentSolve solve = solver_(g, kind, h, options_);
-    result.converged = solve.converged;
-    result.eigensolves = solve.solver_ran ? 1 : 0;
-    result.component_cache_hits = solve.from_cache ? 1 : 0;
-    result.values = solve.values;
-    result.per_component.push_back(std::move(solve));
+    ComponentPlan plan;
+    PlannedComponent whole;
+    whole.vertices = g.num_vertices();
+    whole.edges = g.num_edges();
+    whole.in_place = &g;
+    plan.components.push_back(std::move(whole));
+    result = run_plan(plan, kind, h);
     result.seconds = timer.seconds();
     return result;
   }
 
-  result.components = components.count;
-  result.per_component.reserve(static_cast<std::size_t>(components.count));
-  std::vector<double> pooled;
-  // Soundness cutoff for partial solves: a non-converged component's
-  // unreturned eigenvalues are all >= its last certified value (both
-  // sparse solvers lock in ascending-prefix order), so merged values at
-  // or below the smallest such cutoff still satisfy merged[i] <= λ_i of
-  // the true union — larger merged values might not, and are dropped.
-  double certified_cutoff = std::numeric_limits<double>::infinity();
+  // Eager plan: no fingerprints (run() callers have no content-addressed
+  // cache), so every non-trivial component extracts — the pre-plan
+  // behavior, now with the extractions counted.
+  ComponentPlan plan;
+  plan.components.reserve(static_cast<std::size_t>(components.count));
   for (int c = 0; c < components.count; ++c) {
-    const auto n_c = static_cast<std::int64_t>(
+    PlannedComponent entry;
+    entry.vertices = static_cast<std::int64_t>(
         components.vertices[static_cast<std::size_t>(c)].size());
-    const int h_c = static_cast<int>(std::min<std::int64_t>(h, n_c));
-    ComponentSolve solve =
-        solver_(components.subgraph(g, c), kind, h_c, options_);
-    result.converged = result.converged && solve.converged;
-    if (!solve.converged)
-      certified_cutoff = std::min(
-          certified_cutoff, solve.values.empty() ? 0.0 : solve.values.back());
-    if (solve.solver_ran) ++result.eigensolves;
-    if (solve.from_cache) ++result.component_cache_hits;
-    pooled.insert(pooled.end(), solve.values.begin(), solve.values.end());
-    result.per_component.push_back(std::move(solve));
+    entry.edges = components.edges_in(g, c);
+    entry.materialize = [&g, &components, c] {
+      return components.subgraph(g, c);
+    };
+    plan.components.push_back(std::move(entry));
   }
-  // One merge over the pooled values — Spectrum::merge semantics with
-  // tolerance 0 (the union must stay exact), built in a single
-  // O(Ch log(Ch)) pass rather than C incremental merges.
-  result.values = Spectrum::from_values(pooled, 0.0).smallest(h);
-  while (!result.values.empty() && result.values.back() > certified_cutoff)
-    result.values.pop_back();
+  result = run_plan(plan, kind, h);
   result.seconds = timer.seconds();
   return result;
 }

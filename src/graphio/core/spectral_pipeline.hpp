@@ -19,14 +19,23 @@
 //      of the union — exactly what a monolithic solve would have
 //      produced, at any tolerance, because the decomposition is exact.
 //
-// The engine's ArtifactCache injects a component solver that consults a
-// fingerprint-keyed cache (engine/component_cache.hpp), so batch/serve
-// workloads sharing components across specs eigensolve each distinct
-// component once per process.
+// The hot path is *lookup-then-extract*: callers that know the
+// decomposition up front (the engine's ArtifactCache, the stream
+// session) describe it as a ComponentPlan — shape, content fingerprint,
+// and a lazy materializer per component — and run_plan consults a
+// fingerprint-first resolver (the engine's ComponentSpectrumCache,
+// engine/component_cache.hpp) before touching any vertex data. A
+// resolved (clean) component is never materialized, never re-hashed,
+// and never solved: a cache hit costs one map lookup and zero
+// allocations. Only resolver misses build their subgraph and run a
+// solver, so batch/serve workloads sharing components across specs
+// eigensolve — and extract — each distinct component once per process,
+// and a stream query pays only for the components its patch dirtied.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "graphio/core/spectral_bound.hpp"
@@ -70,9 +79,58 @@ struct PipelineResult {
   std::int64_t eigensolves = 0;
   /// Component solves served by an injected cache.
   std::int64_t component_cache_hits = 0;
+  /// Component subgraphs actually built. On the fingerprint-first path
+  /// this equals the resolver misses that reached a solver — the
+  /// "extractions == dirty components" invariant of the stream bench.
+  std::int64_t subgraph_extractions = 0;
+  /// Component fingerprints computed by this run (entries that arrived
+  /// pre-fingerprinted, e.g. from a stream session, cost zero).
+  std::int64_t fingerprint_computes = 0;
+  /// Where the wall time went — the stream bench's per-phase breakdown.
+  struct Phases {
+    double fingerprint_seconds = 0.0;
+    double extract_seconds = 0.0;
+    double solve_seconds = 0.0;
+    double merge_seconds = 0.0;
+  };
+  Phases phases;
   /// Per-component detail, in component order.
   std::vector<ComponentSolve> per_component;
   double seconds = 0.0;
+};
+
+/// One component of a precomputed decomposition, described without its
+/// vertex data: shape up front, content fingerprint either precomputed or
+/// computable on demand, and the subgraph itself built only when a
+/// fingerprint-first resolver cannot answer. This is what lets a
+/// ComponentSpectrumCache hit cost one map lookup and zero allocations.
+struct PlannedComponent {
+  std::int64_t vertices = 0;
+  std::int64_t edges = 0;
+  /// Content fingerprint (engine/fingerprint.hpp scheme); consulted only
+  /// when `fingerprinted` is true.
+  std::uint64_t fingerprint = 0;
+  bool fingerprinted = false;
+  /// Computes the fingerprint on demand (null when unavailable — the
+  /// resolver is then skipped for this component). Each call is counted
+  /// in PipelineResult::fingerprint_computes.
+  std::function<std::uint64_t()> fingerprint_fn;
+  /// Builds the induced subgraph; called only when the solve cannot be
+  /// resolved by fingerprint. Each call is counted in
+  /// PipelineResult::subgraph_extractions.
+  std::function<Digraph()> materialize;
+  /// When non-null, the component IS this graph (single-component plans:
+  /// a connected graph, or decomposition disabled) — solved in place,
+  /// never copied.
+  const Digraph* in_place = nullptr;
+};
+
+/// A full decomposition handed to SpectralPipeline::run_plan. Invariant:
+/// the components partition one graph (their vertex counts sum to its
+/// order), in the deterministic smallest-original-vertex order of
+/// weakly_connected_components.
+struct ComponentPlan {
+  std::vector<PlannedComponent> components;
 };
 
 /// The tier one component of shape (n, nnz, h) would be solved with:
@@ -94,11 +152,27 @@ ComponentSolve solve_component_spectrum(const Digraph& component,
 
 class SpectralPipeline {
  public:
-  /// Hook signature for replacing the per-component solve (the engine's
-  /// component-spectrum cache). Receives the component subgraph and the
-  /// clamped per-component h.
+  /// Hook signature for replacing the per-component solve (an
+  /// instrumented or caching wrapper). Receives the component subgraph
+  /// and the clamped per-component h. Runs only after the resolver (if
+  /// any) missed — i.e. on components that must materialize.
   using ComponentSolver = std::function<ComponentSolve(
       const Digraph&, LaplacianKind, int, const SpectralOptions&)>;
+
+  /// Fingerprint-first resolver: the cached solve for
+  /// (fingerprint, kind, h, options), or nullopt. Never sees vertex data
+  /// — (n, nnz) describe the component's shape so a resolver can reason
+  /// about tiers without the graph.
+  using ComponentResolver = std::function<std::optional<ComponentSolve>(
+      std::uint64_t fingerprint, std::int64_t n, std::int64_t nnz,
+      LaplacianKind kind, int h, const SpectralOptions&)>;
+
+  /// Publishes a freshly computed solve under its fingerprint so the next
+  /// run resolves it without materializing.
+  using ComponentPublisher =
+      std::function<void(std::uint64_t fingerprint, LaplacianKind kind,
+                         int requested, const SpectralOptions&,
+                         const ComponentSolve&)>;
 
   explicit SpectralPipeline(SpectralOptions options = {});
 
@@ -106,19 +180,41 @@ class SpectralPipeline {
   /// instrumented wrapper.
   void set_component_solver(ComponentSolver solver);
 
+  /// Installs the fingerprint-first hooks (the engine's
+  /// ComponentSpectrumCache). With a resolver installed, run_plan
+  /// consults it before ever touching a component's vertex data;
+  /// components it resolves are neither materialized nor solved.
+  void set_component_resolver(ComponentResolver resolver,
+                              ComponentPublisher publisher = nullptr);
+
   [[nodiscard]] const SpectralOptions& options() const noexcept {
     return options_;
   }
 
   /// Computes the smallest h eigenvalues of g's Laplacian by per-component
   /// decomposition (per options().decompose). h is clamped to the vertex
-  /// count.
+  /// count. Decomposes and extracts eagerly — callers that already know
+  /// the decomposition (and fingerprints) use run_plan instead.
   [[nodiscard]] PipelineResult run(const Digraph& g, LaplacianKind kind,
                                    int h) const;
 
+  /// Lookup-then-extract: for each planned component, resolve by
+  /// fingerprint first and materialize the subgraph only on a miss. The
+  /// merged result is identical to run() on the assembled graph (the
+  /// decomposition is exact); the difference is pure overhead — resolved
+  /// components cost one lookup and zero allocations.
+  [[nodiscard]] PipelineResult run_plan(const ComponentPlan& plan,
+                                        LaplacianKind kind, int h) const;
+
  private:
+  ComponentSolve solve_planned(const PlannedComponent& entry,
+                               LaplacianKind kind, int h,
+                               PipelineResult& result) const;
+
   SpectralOptions options_;
   ComponentSolver solver_;
+  ComponentResolver resolver_;
+  ComponentPublisher publisher_;
 };
 
 }  // namespace graphio

@@ -12,10 +12,135 @@
 namespace graphio::engine {
 
 ArtifactCache::ArtifactCache(Digraph graph,
-                             std::shared_ptr<ComponentSpectrumCache> components)
-    : graph_(std::move(graph)), components_(std::move(components)) {
+                             std::shared_ptr<ComponentSpectrumCache> components,
+                             std::optional<ComponentSeed> seed)
+    : graph_(std::move(graph)),
+      components_(std::move(components)),
+      seed_(std::move(seed)) {
   if (components_ == nullptr)
     components_ = std::make_shared<ComponentSpectrumCache>();
+}
+
+ArtifactCache::Decomposition& ArtifactCache::decomposition() {
+  if (decomp_.has_value()) return *decomp_;
+  Decomposition d;
+  if (seed_.has_value()) {
+    // Adopt the seeded decomposition after validating that it partitions
+    // the graph — a wrong seed would silently serve wrong spectra, so the
+    // O(n) check is worth one pass. Components are renumbered to the
+    // deterministic smallest-vertex order of weakly_connected_components.
+    std::sort(seed_->components.begin(), seed_->components.end(),
+              [](const ComponentSeed::Component& a,
+                 const ComponentSeed::Component& b) {
+                GIO_EXPECTS_MSG(!a.vertices.empty() && !b.vertices.empty(),
+                                "component seed entries must not be empty");
+                return a.vertices.front() < b.vertices.front();
+              });
+    const std::int64_t n = graph_.num_vertices();
+    d.wc.count = static_cast<int>(seed_->components.size());
+    d.wc.component_of.assign(static_cast<std::size_t>(n), -1);
+    d.wc.local_id.assign(static_cast<std::size_t>(n), 0);
+    std::int64_t covered = 0;
+    std::int64_t edge_total = 0;
+    for (int c = 0; c < d.wc.count; ++c) {
+      ComponentSeed::Component& comp =
+          seed_->components[static_cast<std::size_t>(c)];
+      GIO_EXPECTS_MSG(!comp.vertices.empty(),
+                      "component seed entries must not be empty");
+      for (std::size_t i = 0; i < comp.vertices.size(); ++i) {
+        const VertexId v = comp.vertices[i];
+        GIO_EXPECTS_MSG(v >= 0 && v < n,
+                        "component seed names vertex " + std::to_string(v) +
+                            " outside the graph");
+        GIO_EXPECTS_MSG(i == 0 || comp.vertices[i - 1] < v,
+                        "component seed vertex lists must ascend");
+        GIO_EXPECTS_MSG(d.wc.component_of[static_cast<std::size_t>(v)] == -1,
+                        "component seed assigns vertex " + std::to_string(v) +
+                            " twice");
+        d.wc.component_of[static_cast<std::size_t>(v)] = c;
+        d.wc.local_id[static_cast<std::size_t>(v)] =
+            static_cast<VertexId>(i);
+      }
+      covered += static_cast<std::int64_t>(comp.vertices.size());
+      edge_total += comp.edges;
+      d.wc.vertices.push_back(std::move(comp.vertices));
+      d.edges.push_back(comp.edges);
+      d.fingerprints.push_back(comp.fingerprint);
+      d.known.push_back(true);
+    }
+    GIO_EXPECTS_MSG(covered == n,
+                    "component seed must cover every vertex of the graph");
+    GIO_EXPECTS_MSG(edge_total == graph_.num_edges(),
+                    "component seed edge counts must sum to the graph's");
+    seed_.reset();
+  } else {
+    d.wc = weakly_connected_components(graph_);
+    d.edges.reserve(static_cast<std::size_t>(d.wc.count));
+    for (int c = 0; c < d.wc.count; ++c)
+      d.edges.push_back(d.wc.edges_in(graph_, c));
+    d.fingerprints.assign(static_cast<std::size_t>(d.wc.count), 0);
+    d.known.assign(static_cast<std::size_t>(d.wc.count), false);
+  }
+  decomp_ = std::move(d);
+  return *decomp_;
+}
+
+ComponentPlan ArtifactCache::build_plan(const SpectralOptions& options) {
+  ComponentPlan plan;
+  if (!options.decompose) {
+    // Monolithic: one in-place entry covering the whole graph, content-
+    // addressed by the whole-graph fingerprint (its cache entries stay
+    // distinct from decomposed ones — solver_options_equal keys the
+    // decompose switch).
+    PlannedComponent whole;
+    whole.vertices = graph_.num_vertices();
+    whole.edges = graph_.num_edges();
+    whole.in_place = &graph_;
+    if (fingerprint_.has_value()) {
+      whole.fingerprint = *fingerprint_;
+      whole.fingerprinted = true;
+    } else {
+      whole.fingerprint_fn = [this] {
+        fingerprint_ = graph_fingerprint(graph_);
+        return *fingerprint_;
+      };
+    }
+    plan.components.push_back(std::move(whole));
+    return plan;
+  }
+  Decomposition& d = decomposition();
+  plan.components.reserve(static_cast<std::size_t>(d.wc.count));
+  for (int c = 0; c < d.wc.count; ++c) {
+    PlannedComponent entry;
+    entry.vertices = static_cast<std::int64_t>(
+        d.wc.vertices[static_cast<std::size_t>(c)].size());
+    entry.edges = d.edges[static_cast<std::size_t>(c)];
+    if (d.known[static_cast<std::size_t>(c)]) {
+      entry.fingerprint = d.fingerprints[static_cast<std::size_t>(c)];
+      entry.fingerprinted = true;
+    } else {
+      // In-place hash of the still-unextracted component; memoized so a
+      // later kind (or a re-request with new options) pays zero.
+      entry.fingerprint_fn = [this, c] {
+        Decomposition& dd = *decomp_;
+        const auto i = static_cast<std::size_t>(c);
+        dd.fingerprints[i] = subgraph_fingerprint(graph_, dd.wc, c);
+        dd.known[i] = true;
+        return dd.fingerprints[i];
+      };
+    }
+    if (d.wc.count == 1) {
+      // A connected graph's single component reproduces the graph
+      // verbatim — solve in place, never copy.
+      entry.in_place = &graph_;
+    } else {
+      entry.materialize = [this, c] {
+        return decomp_->wc.subgraph(graph_, c);
+      };
+    }
+    plan.components.push_back(std::move(entry));
+  }
+  return plan;
 }
 
 std::uint64_t ArtifactCache::fingerprint() {
@@ -68,25 +193,25 @@ const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
   ++stats_.misses;
   WallTimer timer;
 
-  // Per-component pipeline with the fingerprint-keyed cache injected:
-  // equal components (within this graph or, via an Engine-shared cache,
-  // across specs) eigensolve once per process. Trivial (edgeless)
-  // components never touch the cache — recomputing zeros is cheaper than
-  // fingerprinting them.
+  // Lookup-then-extract: the plan describes every component without its
+  // vertex data, the resolver answers clean components straight from the
+  // fingerprint-keyed cache (zero allocations), and only misses
+  // materialize their subgraph and eigensolve. Equal components (within
+  // this graph or, via an Engine-shared cache, across specs) eigensolve
+  // once per process; trivial (edgeless) components never touch the
+  // cache — recomputing zeros is cheaper than fingerprinting them.
   SpectralPipeline pipeline(options);
-  pipeline.set_component_solver(
-      [this](const Digraph& component, LaplacianKind k, int h,
-             const SpectralOptions& opts) {
-        if (component.num_edges() == 0)
-          return solve_component_spectrum(component, k, h, opts);
-        const std::uint64_t fp = graph_fingerprint(component);
-        if (auto cached = components_->lookup(fp, k, h, opts))
-          return *std::move(cached);
-        ComponentSolve solve = solve_component_spectrum(component, k, h, opts);
-        components_->store(fp, k, h, opts, solve);
-        return solve;
+  pipeline.set_component_resolver(
+      [this](std::uint64_t fp, std::int64_t, std::int64_t, LaplacianKind k,
+             int h, const SpectralOptions& opts) {
+        return components_->lookup(fp, k, h, opts);
+      },
+      [this](std::uint64_t fp, LaplacianKind k, int requested,
+             const SpectralOptions& opts, const ComponentSolve& solve) {
+        components_->store(fp, k, requested, opts, solve);
       });
-  const PipelineResult result = pipeline.run(graph_, kind, count);
+  const PipelineResult result = pipeline.run_plan(build_plan(options), kind,
+                                                  count);
 
   SpectrumArtifact artifact;
   artifact.requested = count;
@@ -95,9 +220,20 @@ const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
   artifact.components = result.components;
   artifact.eigensolves = result.eigensolves;
   artifact.component_hits = result.component_cache_hits;
+  artifact.subgraph_extractions = result.subgraph_extractions;
+  artifact.fingerprint_computes = result.fingerprint_computes;
+  artifact.phases = result.phases;
+  if (options.decompose && decomp_.has_value())
+    artifact.component_fingerprints = decomp_->fingerprints;
   artifact.seconds = timer.seconds();
   stats_.eigensolves += result.eigensolves;
   stats_.component_hits += result.component_cache_hits;
+  stats_.subgraph_extractions += result.subgraph_extractions;
+  stats_.fingerprint_computes += result.fingerprint_computes;
+  stats_.fingerprint_seconds += result.phases.fingerprint_seconds;
+  stats_.extract_seconds += result.phases.extract_seconds;
+  stats_.solve_seconds += result.phases.solve_seconds;
+  stats_.merge_seconds += result.phases.merge_seconds;
   eigensolves_by_kind_[kind] += result.eigensolves;
   spectra_options_.insert_or_assign(kind, options);
   return spectra_.insert_or_assign(kind, std::move(artifact)).first->second;

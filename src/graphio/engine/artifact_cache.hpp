@@ -20,11 +20,33 @@
 #include "graphio/core/spectral_bound.hpp"
 #include "graphio/engine/component_cache.hpp"
 #include "graphio/flow/convex_mincut.hpp"
+#include "graphio/graph/components.hpp"
 #include "graphio/graph/digraph.hpp"
 #include "graphio/graph/laplacian.hpp"
 #include "graphio/la/csr_matrix.hpp"
 
 namespace graphio::engine {
+
+/// A precomputed component decomposition handed to an ArtifactCache by a
+/// caller that already maintains one — the stream session's
+/// DynamicComponents membership plus its incrementally-maintained
+/// per-component fingerprints. With a seed installed, a spectrum query
+/// never decomposes, never re-fingerprints, and materializes only the
+/// components whose fingerprints miss the ComponentSpectrumCache (for a
+/// stream session: exactly the dirty ones).
+struct ComponentSeed {
+  struct Component {
+    /// Vertex ids of the owning graph, ascending (the extraction order).
+    std::vector<VertexId> vertices;
+    /// Edges inside the component (weak components are edge-closed).
+    std::int64_t edges = 0;
+    /// Content fingerprint — must equal graph_fingerprint of the
+    /// component's extracted subgraph (the seeder's contract; the stream
+    /// session maintains exactly this invariant across patches).
+    std::uint64_t fingerprint = 0;
+  };
+  std::vector<Component> components;
+};
 
 class ArtifactCache {
  public:
@@ -35,10 +57,13 @@ class ArtifactCache {
   /// equal components across specs (and across the batch fan-out's
   /// private caches) eigensolve once per process; when null, the cache
   /// creates a private one (identical components *within* one graph still
-  /// dedupe).
+  /// dedupe). A `seed` (validated against the graph) pre-installs the
+  /// decomposition and per-component fingerprints, so the query path
+  /// skips both.
   explicit ArtifactCache(
       Digraph graph,
-      std::shared_ptr<ComponentSpectrumCache> components = nullptr);
+      std::shared_ptr<ComponentSpectrumCache> components = nullptr,
+      std::optional<ComponentSeed> seed = std::nullopt);
 
   [[nodiscard]] const Digraph& graph() const noexcept { return graph_; }
 
@@ -71,6 +96,21 @@ class ArtifactCache {
     std::int64_t eigensolves = 0;
     /// Component solves served by the shared component-spectrum cache.
     std::int64_t component_hits = 0;
+    /// Component subgraphs materialized for this artifact — on the
+    /// fingerprint-first path only resolver misses extract, so for a
+    /// seeded (stream) cache this equals the dirty-component count.
+    std::int64_t subgraph_extractions = 0;
+    /// Component fingerprints computed for this artifact. Zero when the
+    /// cache was seeded or an earlier artifact already hashed them —
+    /// fingerprints are computed once per graph, not once per spectrum.
+    std::int64_t fingerprint_computes = 0;
+    /// Content fingerprint per component, in component order. Unseeded
+    /// caches never hash trivial edgeless components, so those slots
+    /// hold 0; seeded (stream) caches carry the seeder's fingerprint for
+    /// every component.
+    std::vector<std::uint64_t> component_fingerprints;
+    /// Per-phase wall time of the pipeline run that built this artifact.
+    PipelineResult::Phases phases;
   };
 
   /// The `count` smallest Laplacian eigenvalues. A request covered by a
@@ -103,6 +143,17 @@ class ArtifactCache {
     /// Component solves served by the shared component-spectrum cache
     /// instead of an eigensolver run.
     std::int64_t component_hits = 0;
+    /// Component subgraphs materialized (fingerprint-first resolver
+    /// misses) — the stream invariant is extractions == dirty components.
+    std::int64_t subgraph_extractions = 0;
+    /// Component fingerprints computed (zero for seeded stream queries).
+    std::int64_t fingerprint_computes = 0;
+    /// Cumulative per-phase pipeline wall time (the stream bench's
+    /// fingerprint / extract / solve / merge breakdown).
+    double fingerprint_seconds = 0.0;
+    double extract_seconds = 0.0;
+    double solve_seconds = 0.0;
+    double merge_seconds = 0.0;
 
     /// Aggregation across caches/workers and before/after deltas — the
     /// only two operations consumers perform; keeping them here means a
@@ -113,13 +164,26 @@ class ArtifactCache {
       eigensolves += other.eigensolves;
       mincut_sweeps += other.mincut_sweeps;
       component_hits += other.component_hits;
+      subgraph_extractions += other.subgraph_extractions;
+      fingerprint_computes += other.fingerprint_computes;
+      fingerprint_seconds += other.fingerprint_seconds;
+      extract_seconds += other.extract_seconds;
+      solve_seconds += other.solve_seconds;
+      merge_seconds += other.merge_seconds;
       return *this;
     }
     [[nodiscard]] Stats operator-(const Stats& other) const noexcept {
-      return {hits - other.hits, misses - other.misses,
+      return {hits - other.hits,
+              misses - other.misses,
               eigensolves - other.eigensolves,
               mincut_sweeps - other.mincut_sweeps,
-              component_hits - other.component_hits};
+              component_hits - other.component_hits,
+              subgraph_extractions - other.subgraph_extractions,
+              fingerprint_computes - other.fingerprint_computes,
+              fingerprint_seconds - other.fingerprint_seconds,
+              extract_seconds - other.extract_seconds,
+              solve_seconds - other.solve_seconds,
+              merge_seconds - other.merge_seconds};
     }
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
@@ -136,8 +200,25 @@ class ArtifactCache {
   [[nodiscard]] std::int64_t eigensolves(LaplacianKind kind) const noexcept;
 
  private:
+  /// The cached decomposition behind every spectrum query: computed once
+  /// per graph (all Laplacian kinds and option groups share it), either
+  /// from a seed (zero work) or by one BFS. Fingerprints fill in lazily —
+  /// at most once per component for the cache's lifetime.
+  struct Decomposition {
+    WeakComponents wc;
+    std::vector<std::int64_t> edges;         ///< per component
+    std::vector<std::uint64_t> fingerprints; ///< valid where known
+    std::vector<bool> known;
+  };
+  Decomposition& decomposition();
+  /// The lookup-then-extract plan for one spectrum query (monolithic
+  /// single-entry plan when options.decompose is off).
+  ComponentPlan build_plan(const SpectralOptions& options);
+
   Digraph graph_;
   std::shared_ptr<ComponentSpectrumCache> components_;
+  std::optional<ComponentSeed> seed_;
+  std::optional<Decomposition> decomp_;
   Stats stats_;
   std::optional<std::uint64_t> fingerprint_;
   std::optional<std::vector<VertexId>> topo_;

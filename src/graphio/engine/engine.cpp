@@ -96,13 +96,15 @@ const Digraph& Engine::graph(const std::string& spec) {
   return ensure_cache(spec).graph();
 }
 
-void Engine::install_graph(const std::string& name, Digraph graph) {
+void Engine::install_graph(const std::string& name, Digraph graph,
+                           std::optional<ComponentSeed> seed) {
   GIO_EXPECTS_MSG(!name.empty(), "installed graph needs a name");
   GIO_EXPECTS_MSG(!GraphSpec::try_parse(name).has_value(),
                   "installed graph name '" + name +
                       "' collides with a family spec or graph file");
   caches_.insert_or_assign(
-      name, std::make_unique<ArtifactCache>(std::move(graph), components_));
+      name, std::make_unique<ArtifactCache>(std::move(graph), components_,
+                                            std::move(seed)));
 }
 
 std::uint64_t Engine::fingerprint(const std::string& spec) {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -73,7 +74,13 @@ class Engine {
   /// stream subsystem relies on. The name must not itself parse as a
   /// family spec or name an existing graph file (a later plain request
   /// for that spec would silently read the installed graph instead).
-  void install_graph(const std::string& name, Digraph graph);
+  /// A `seed` (engine/artifact_cache.hpp) pre-installs the component
+  /// decomposition and per-component fingerprints, so spectrum queries
+  /// skip decomposition and re-hashing entirely — the stream session
+  /// hands its incrementally-maintained membership here after every
+  /// patch.
+  void install_graph(const std::string& name, Digraph graph,
+                     std::optional<ComponentSeed> seed = std::nullopt);
 
   /// Content fingerprint of the graph a spec resolves to (building the
   /// graph on first use, like graph()). The serve ResultStore keys disk

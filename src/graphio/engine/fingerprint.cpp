@@ -15,6 +15,26 @@ std::uint64_t graph_fingerprint(const Digraph& g) noexcept {
   return h;
 }
 
+std::uint64_t subgraph_fingerprint(const Digraph& g, const WeakComponents& wc,
+                                   int c) noexcept {
+  // Mirrors graph_fingerprint over the virtual subgraph: local vertex i
+  // is wc.vertices[c][i] (ascending original ids, the extraction order),
+  // and each child maps through wc.local_id — the same values the
+  // extracted subgraph's adjacency lists would hold, in the same order.
+  const std::vector<VertexId>& ids =
+      wc.vertices[static_cast<std::size_t>(c)];
+  std::uint64_t h = fnv64_begin();
+  h = fnv64_mix(h, static_cast<std::uint64_t>(ids.size()));
+  for (VertexId v : ids) {
+    h = fnv64_mix(h, static_cast<std::uint64_t>(g.out_degree(v)));
+    for (VertexId w : g.children(v))
+      h = fnv64_mix(
+          h, static_cast<std::uint64_t>(
+                 wc.local_id[static_cast<std::size_t>(w)]));
+  }
+  return h;
+}
+
 std::string fingerprint_hex(std::uint64_t fingerprint) {
   static const char* digits = "0123456789abcdef";
   std::string out(16, '0');

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "graphio/graph/components.hpp"
 #include "graphio/graph/digraph.hpp"
 
 namespace graphio::engine {
@@ -36,6 +37,17 @@ namespace graphio::engine {
 /// platforms and process runs; identical graphs always collide, distinct
 /// graphs collide with probability ~2^-64.
 [[nodiscard]] std::uint64_t graph_fingerprint(const Digraph& g) noexcept;
+
+/// graph_fingerprint of WeakComponents::subgraph(g, c), computed in place
+/// — bit-identical to hashing the extracted subgraph, without building
+/// it. Sound because weak components are edge-closed (every edge of a
+/// member vertex stays inside the component) and extraction maps member
+/// vertices to local ids in ascending order. This is what lets the
+/// fingerprint-first query path look a component up before — usually
+/// instead of — materializing it.
+[[nodiscard]] std::uint64_t subgraph_fingerprint(const Digraph& g,
+                                                 const WeakComponents& wc,
+                                                 int c) noexcept;
 
 /// Fixed-width lowercase hex rendering ("00af3b…", 16 chars) — the form
 /// used in result-store keys and JSONL records.

@@ -74,6 +74,14 @@ void BoundReport::append_json(io::JsonWriter& w, bool include_timing) const {
     w.key("eigensolves").value(cache.eigensolves);
     w.key("mincut_sweeps").value(cache.mincut_sweeps);
     w.key("component_hits").value(cache.component_hits);
+    w.key("subgraph_extractions").value(cache.subgraph_extractions);
+    w.key("fingerprint_computes").value(cache.fingerprint_computes);
+    w.key("phase_seconds").begin_object();
+    w.key("fingerprint").value(cache.fingerprint_seconds);
+    w.key("extract").value(cache.extract_seconds);
+    w.key("solve").value(cache.solve_seconds);
+    w.key("merge").value(cache.merge_seconds);
+    w.end_object();
     w.end_object();
     w.key("seconds").value(seconds);
   }

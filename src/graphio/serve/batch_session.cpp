@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <istream>
 #include <ostream>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -102,6 +103,8 @@ std::string BatchSummary::to_json() const {
   w.key("eigensolves").value(cache.eigensolves);
   w.key("mincut_sweeps").value(cache.mincut_sweeps);
   w.key("component_hits").value(cache.component_hits);
+  w.key("subgraph_extractions").value(cache.subgraph_extractions);
+  w.key("fingerprint_computes").value(cache.fingerprint_computes);
   w.end_object();
   w.key("stream").begin_object();
   w.key("jobs").value(stream_jobs);
@@ -174,7 +177,29 @@ double BatchSession::handle_stream_job(const Job& job, std::ostream& out,
     JobResult result;
     result.id = job.id;
     result.ok = true;
-    result.report = session.evaluate(job.request);
+    if (store_ == nullptr) {
+      result.report = session.evaluate(job.request);
+    } else {
+      // An evolving graph's durable identity is its *state*: the
+      // order-independent component-multiset fingerprint the session
+      // maintains incrementally. Keying rows by it means a graph that
+      // reverts to a prior state (patch + inverse patch) re-keys to the
+      // prior rows and hits the disk store — zero eigensolves even
+      // though the dirty components' spectra were evicted in between.
+      // The key is numbering-agnostic (isomorphic states share it), so
+      // only isomorphism-invariant rows may live under it: memsim
+      // simulates schedules that tie-break on vertex ids, and stays out.
+      result.report = evaluate_with_store(
+          *store_, session.fingerprint(), job.request, session.name(),
+          session.num_vertices(), session.num_edges(),
+          [&session](const engine::BoundRequest& sub) {
+            return session.evaluate(sub);
+          },
+          &result.store_hits, &result.store_misses,
+          [](std::string_view method) { return method != "memsim"; });
+      summary.store_hits += result.store_hits;
+      summary.store_misses += result.store_misses;
+    }
     summary.cache += result.report.cache;
     write_result_line(out, result);
     ++summary.ok;

@@ -15,9 +15,11 @@
 // during ingest, each query seeing exactly the patches above it, while
 // plain bound jobs keep fanning out across the worker pool. Stream
 // queries run on the owning StreamSession's engine (clean components
-// served from its component cache), not on the worker engines, and
-// bypass the persistent ResultStore — a mutating graph has no durable
-// identity to key rows under.
+// served from its component cache), not on the worker engines. With a
+// ResultStore configured they are persistent too, keyed by the session's
+// order-independent component-multiset fingerprint — the durable
+// identity of an evolving graph's *state* — so a graph that reverts to a
+// previously analyzed state hits the disk store.
 //
 // Malformed lines are rejected as error records without aborting the rest
 // of the batch. Result lines are *deterministic*: reports are serialized

@@ -41,6 +41,88 @@ ResultStore::Key store_key(std::uint64_t fingerprint,
 
 }  // namespace
 
+engine::BoundReport evaluate_with_store(
+    ResultStore& store, std::uint64_t fingerprint,
+    const engine::BoundRequest& request, const std::string& display_name,
+    std::int64_t vertices, std::int64_t edges,
+    const std::function<engine::BoundReport(const engine::BoundRequest&)>&
+        evaluate,
+    std::int64_t* store_hits, std::int64_t* store_misses,
+    const std::function<bool(std::string_view)>& storeable) {
+  GIO_EXPECTS_MSG(!request.memories.empty(),
+                  "request needs at least one memory size");
+  const std::vector<const engine::BoundMethod*> selected =
+      engine::select_methods(request);
+
+  // Per-method: either every (method, M) row is on disk, or the whole
+  // sweep is recomputed (the sweep shares one spectrum/cut anyway and
+  // partial hits are rare — they only happen when the memory list
+  // changed between runs). Methods the caller declares non-storeable
+  // bypass the store both ways.
+  std::vector<std::vector<engine::MethodRow>> stored(selected.size());
+  std::vector<std::string> missed;
+  for (std::size_t s = 0; s < selected.size(); ++s) {
+    const std::string id(selected[s]->id());
+    if (storeable != nullptr && !storeable(id)) {
+      missed.push_back(id);
+      continue;
+    }
+    std::vector<engine::MethodRow> rows;
+    rows.reserve(request.memories.size());
+    for (double m : request.memories) {
+      auto row = store.lookup(store_key(fingerprint, request, id, m));
+      if (!row.has_value()) break;
+      rows.push_back(std::move(*row));
+    }
+    if (rows.size() == request.memories.size()) {
+      *store_hits += static_cast<std::int64_t>(request.memories.size());
+      stored[s] = std::move(rows);
+    } else {
+      *store_misses += static_cast<std::int64_t>(request.memories.size());
+      missed.push_back(id);
+    }
+  }
+
+  engine::BoundReport computed;
+  if (!missed.empty()) {
+    engine::BoundRequest sub = request;
+    sub.methods = missed;
+    computed = evaluate(sub);
+    // Only persist converged rows. Non-converged covers methods that
+    // threw (possibly transiently: the Engine marks exception rows
+    // converged=false), time-budget-cut min-cut sweeps, and partial
+    // spectra — caching any of those would serve a degraded or stale
+    // answer forever. Deterministic inapplicability verdicts ("graph
+    // is cyclic", "exceeds 21 vertices") stay converged and cached,
+    // preserving 100% warm-run hit rates.
+    for (const engine::MethodRow& row : computed.rows)
+      if (row.converged &&
+          (storeable == nullptr || storeable(row.method)))
+        store.insert(store_key(fingerprint, request, row.method, row.memory),
+                     row);
+  }
+
+  // Assemble the report in selection order, mixing stored and fresh
+  // rows; the deterministic serialization of both forms is identical.
+  engine::BoundReport report;
+  report.graph = display_name;
+  report.vertices = vertices;
+  report.edges = edges;
+  report.processors = request.processors;
+  report.memories = request.memories;
+  report.cache = computed.cache;  // zero when fully warm
+  for (std::size_t s = 0; s < selected.size(); ++s) {
+    if (!stored[s].empty()) {
+      for (engine::MethodRow& row : stored[s])
+        report.rows.push_back(std::move(row));
+      continue;
+    }
+    for (const engine::MethodRow* row : computed.rows_for(selected[s]->id()))
+      report.rows.push_back(*row);
+  }
+  return report;
+}
+
 Scheduler::Scheduler(const SchedulerOptions& options)
     : store_(options.store) {
   int threads = options.threads > 0 ? options.threads : hardware_threads();
@@ -65,10 +147,6 @@ JobResult Scheduler::evaluate_job(engine::Engine& engine,
       result.report = engine.evaluate(job.request);
     } else {
       const engine::BoundRequest& request = job.request;
-      GIO_EXPECTS_MSG(!request.memories.empty(),
-                      "request needs at least one memory size");
-      const std::vector<const engine::BoundMethod*> selected =
-          engine::select_methods(request);
       // Content-addressing makes explicit-graph requests first-class store
       // citizens: they hash the carried graph, spec requests hash (and
       // cache) through the Engine.
@@ -79,71 +157,13 @@ JobResult Scheduler::evaluate_job(engine::Engine& engine,
       const Digraph& graph = request.graph.has_value()
                                  ? *request.graph
                                  : engine.graph(request.spec);
-
-      // Per-method: either every (method, M) row is on disk, or the whole
-      // sweep is recomputed (the sweep shares one spectrum/cut anyway and
-      // partial hits are rare — they only happen when the memory list
-      // changed between runs).
-      std::vector<std::vector<engine::MethodRow>> stored(selected.size());
-      std::vector<std::string> missed;
-      for (std::size_t s = 0; s < selected.size(); ++s) {
-        const std::string id(selected[s]->id());
-        std::vector<engine::MethodRow> rows;
-        rows.reserve(request.memories.size());
-        for (double m : request.memories) {
-          auto row = store_->lookup(store_key(fingerprint, request, id, m));
-          if (!row.has_value()) break;
-          rows.push_back(std::move(*row));
-        }
-        if (rows.size() == request.memories.size()) {
-          result.store_hits +=
-              static_cast<std::int64_t>(request.memories.size());
-          stored[s] = std::move(rows);
-        } else {
-          result.store_misses +=
-              static_cast<std::int64_t>(request.memories.size());
-          missed.push_back(id);
-        }
-      }
-
-      engine::BoundReport computed;
-      if (!missed.empty()) {
-        engine::BoundRequest sub = request;
-        sub.methods = missed;
-        computed = engine.evaluate(sub);
-        // Only persist converged rows. Non-converged covers methods that
-        // threw (possibly transiently: the Engine marks exception rows
-        // converged=false), time-budget-cut min-cut sweeps, and partial
-        // spectra — caching any of those would serve a degraded or stale
-        // answer forever. Deterministic inapplicability verdicts ("graph
-        // is cyclic", "exceeds 21 vertices") stay converged and cached,
-        // preserving 100% warm-run hit rates.
-        for (const engine::MethodRow& row : computed.rows)
-          if (row.converged)
-            store_->insert(store_key(fingerprint, request, row.method,
-                                     row.memory),
-                           row);
-      }
-
-      // Assemble the report in selection order, mixing stored and fresh
-      // rows; the deterministic serialization of both forms is identical.
-      engine::BoundReport& report = result.report;
-      report.graph = request.display_name();
-      report.vertices = graph.num_vertices();
-      report.edges = graph.num_edges();
-      report.processors = request.processors;
-      report.memories = request.memories;
-      report.cache = computed.cache;  // zero when fully warm
-      for (std::size_t s = 0; s < selected.size(); ++s) {
-        if (!stored[s].empty()) {
-          for (engine::MethodRow& row : stored[s])
-            report.rows.push_back(std::move(row));
-          continue;
-        }
-        for (const engine::MethodRow* row :
-             computed.rows_for(selected[s]->id()))
-          report.rows.push_back(*row);
-      }
+      result.report = evaluate_with_store(
+          *store_, fingerprint, request, request.display_name(),
+          graph.num_vertices(), graph.num_edges(),
+          [&engine](const engine::BoundRequest& sub) {
+            return engine.evaluate(sub);
+          },
+          &result.store_hits, &result.store_misses);
     }
     result.ok = true;
   } catch (const std::exception& e) {

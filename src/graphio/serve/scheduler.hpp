@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "graphio/engine/engine.hpp"
@@ -33,6 +34,31 @@ struct SchedulerOptions {
   /// Shared persistent cache; nullptr disables store lookups.
   ResultStore* store = nullptr;
 };
+
+/// Store-backed evaluation, shared by the worker path and the stream
+/// lane: per (method, M) rows are resolved from `store` under
+/// `fingerprint` (all-or-nothing per method across the memory sweep),
+/// methods with any missing row are computed through `evaluate`, and the
+/// fresh converged rows are persisted. The assembled report mixes stored
+/// and fresh rows in method-selection order — byte-identical to a fully
+/// computed one under the deterministic serialization. `fingerprint` is
+/// whatever durable identity the caller keys rows by: the whole-graph
+/// content hash for spec/explicit-graph jobs, the order-independent
+/// component-multiset session fingerprint for stream queries (a graph
+/// that reverts to a prior state re-keys to — and hits — the prior
+/// rows).
+/// A non-null `storeable` predicate exempts methods from the store
+/// entirely (computed fresh, never persisted, never counted hit/miss) —
+/// the stream lane uses it to keep vertex-numbering-sensitive rows out
+/// of its numbering-agnostic multiset keys.
+engine::BoundReport evaluate_with_store(
+    ResultStore& store, std::uint64_t fingerprint,
+    const engine::BoundRequest& request, const std::string& display_name,
+    std::int64_t vertices, std::int64_t edges,
+    const std::function<engine::BoundReport(const engine::BoundRequest&)>&
+        evaluate,
+    std::int64_t* store_hits, std::int64_t* store_misses,
+    const std::function<bool(std::string_view)>& storeable = nullptr);
 
 struct JobResult {
   std::int64_t id = 0;

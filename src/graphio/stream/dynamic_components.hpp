@@ -42,8 +42,16 @@ class DynamicComponents {
   void reset(const DynamicGraph& g);
 
   /// Starts a patch: clears the dirty set (the rebuild queue carries over
-  /// only within a patch; flush() must have been called before).
+  /// only within a patch; flush() must have been called before) and
+  /// starts the inverse-mutation journal backing rollback_patch().
   void begin_patch();
+
+  /// Reverts every notification since begin_patch() — labels, membership
+  /// lists, slot liveness, dirty/rebuild queues — in O(state the patch
+  /// touched). Only valid before flush() (mutations can only fail while
+  /// they are being applied; flush() commits the patch and drops the
+  /// journal).
+  void rollback_patch();
 
   // Mutation notifications, called after the DynamicGraph applied the
   // mutation (labels read the post-mutation adjacency only in flush()).
@@ -108,6 +116,28 @@ class DynamicComponents {
     bool sorted = true;
   };
 
+  /// One journaled structural change. Flag/queue state needs no per-op
+  /// records (a patch starts with empty queues and all flags down, so
+  /// rollback just clears the members the lists name), and neither do
+  /// patch-added vertex labels (ids are append-only, so the final
+  /// component_of_ resize drops them).
+  struct Undo {
+    enum class Kind {
+      kNewSlot,  ///< a slot was appended (add_vertex, split pieces)
+      kMerge,    ///< `moved` vertices were appended from `drop` to `keep`
+      kErase     ///< v was erased from slot c at `pos` (remove_vertex)
+    };
+    Kind kind;
+    VertexId v = -1;
+    int c = -1;      ///< kMerge: keep; kErase: slot
+    int drop = -1;   ///< kMerge: the absorbed slot
+    std::size_t moved = 0;  ///< kMerge: appended vertex count
+    bool kept_was_sorted = false;   ///< kMerge
+    bool drop_was_sorted = false;   ///< kMerge
+    std::size_t pos = 0;            ///< kErase: erased index
+    bool slot_died = false;         ///< kErase: the erase emptied the slot
+  };
+
   int new_slot();
   void mark_dirty(int c);
   void queue_rebuild(int c);
@@ -119,6 +149,10 @@ class DynamicComponents {
   std::vector<bool> rebuild_flag_;  ///< by slot id
   std::vector<int> rebuild_list_;
   int alive_count_ = 0;
+  bool journaling_ = false;
+  std::vector<Undo> journal_;
+  int journal_alive_count_ = 0;          ///< alive_count_ at begin_patch
+  std::size_t journal_label_size_ = 0;   ///< component_of_.size() at begin
 };
 
 }  // namespace graphio::stream

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graphio/graph/digraph.hpp"
@@ -59,12 +60,50 @@ class DynamicGraph {
   /// Freezes the alive vertices into a Digraph: external ids compact to
   /// 0..n-1 in ascending order; edges keep per-vertex list order and
   /// names survive. When non-null, `external_of_local` receives the
-  /// external id of each materialized vertex.
+  /// external id of each materialized vertex, and `local_of_external`
+  /// the inverse map over the full id range (-1 for dead ids) — the
+  /// compaction builds it anyway, so callers translating component
+  /// membership need no second pass.
   [[nodiscard]] Digraph materialize(
-      std::vector<VertexId>* external_of_local = nullptr) const;
+      std::vector<VertexId>* external_of_local = nullptr,
+      std::vector<VertexId>* local_of_external = nullptr) const;
+
+  // Inverse-mutation journal: while active, every mutation records its
+  // exact inverse (list positions included), so a failed patch rolls back
+  // in O(state the patch touched) instead of the O(n + m) a full
+  // snapshot costs on EVERY patch, successful ones included. Rollback is
+  // bit-exact: adjacency-list order, names, and counters all return to
+  // the begin_journal() state — same content fingerprints.
+
+  /// Starts recording. O(1); any previous journal is discarded.
+  void begin_journal();
+  /// Accepts the mutations since begin_journal and drops the journal.
+  void commit_journal();
+  /// Reverts every mutation since begin_journal, newest first.
+  void rollback_journal();
 
  private:
+  struct Undo {
+    enum class Kind { kAddVertex, kAddEdge, kRemoveEdge, kRemoveVertex };
+    Kind kind;
+    VertexId u = -1;
+    VertexId v = -1;
+    /// kRemoveEdge: positions the edge occupied in out_[u] / in_[v].
+    std::size_t out_pos = 0;
+    std::size_t in_pos = 0;
+    /// kRemoveVertex: v's former adjacency (moved out, not copied) …
+    std::vector<VertexId> out_adj;
+    std::vector<VertexId> in_adj;
+    /// … and where each mirror occurrence was erased, in erase order:
+    /// out_mirror = (w, index of v in in_[w]), in_mirror = (w, index of v
+    /// in out_[w]). Undone in reverse, so every index is exact.
+    std::vector<std::pair<VertexId, std::size_t>> out_mirror;
+    std::vector<std::pair<VertexId, std::size_t>> in_mirror;
+    std::string name;
+  };
+
   void check_alive(VertexId v, const char* role) const;
+  void undo_one(const Undo& undo);
 
   std::vector<std::vector<VertexId>> out_;
   std::vector<std::vector<VertexId>> in_;
@@ -72,6 +111,8 @@ class DynamicGraph {
   std::vector<std::string> names_;
   std::int64_t num_alive_ = 0;
   std::int64_t num_edges_ = 0;
+  bool journaling_ = false;
+  std::vector<Undo> journal_;
 };
 
 }  // namespace graphio::stream

@@ -54,12 +54,12 @@ PatchReport StreamSession::apply(const Patch& patch) {
                                "' has no graph loaded yet");
   WallTimer timer;
   const std::int64_t evicted_before = stats_.evicted;
-  // Snapshot for atomicity: a failing mutation must leave the session on
-  // the last good graph, not half-patched. Both structures are plain
-  // vectors, so the copy is O(n + m) — the same order as the materialize
-  // every successful patch performs anyway.
-  const DynamicGraph graph_backup = graph_;
-  const DynamicComponents components_backup = components_;
+  // Atomicity by inverse-mutation journal: every mutation records its
+  // exact inverse as it applies, so a failing mutation unwinds in
+  // O(state the patch touched) — successful patches (the common case) no
+  // longer pay the O(n + m) snapshot copy the rollback path used to
+  // demand up front.
+  graph_.begin_journal();
   components_.begin_patch();
   for (std::size_t i = 0; i < patch.mutations.size(); ++i) {
     const Mutation& m = patch.mutations[i];
@@ -84,8 +84,8 @@ PatchReport StreamSession::apply(const Patch& patch) {
           break;
       }
     } catch (const std::exception& e) {
-      graph_ = graph_backup;
-      components_ = components_backup;
+      graph_.rollback_journal();
+      components_.rollback_patch();
       GIO_EXPECTS_MSG(false, "mutation " + std::to_string(i + 1) + "/" +
                                  std::to_string(patch.mutations.size()) +
                                  " (" + std::string(to_string(m.op)) +
@@ -93,6 +93,7 @@ PatchReport StreamSession::apply(const Patch& patch) {
     }
   }
   components_.flush(graph_);
+  graph_.commit_journal();
   return finish_patch_locked(patch, components_.dirty(), evicted_before,
                              timer.seconds());
 }
@@ -151,7 +152,28 @@ PatchReport StreamSession::finish_patch_locked(const Patch& patch,
                                                std::int64_t evicted_before,
                                                double seconds) {
   refingerprint_locked(dirty);
-  engine_->install_graph(name_, graph_.materialize());
+  // Hand the engine the decomposition this session already maintains —
+  // membership straight from DynamicComponents, fingerprints from the
+  // incremental re-hash above — so the query path never decomposes or
+  // re-fingerprints: clean components resolve from the component cache
+  // by fingerprint alone, and only dirty ones materialize. The external
+  // ids translate to materialized ids order-preservingly (compaction
+  // ascends), so ascending external lists stay ascending.
+  std::vector<VertexId> local_of;
+  Digraph materialized = graph_.materialize(nullptr, &local_of);
+  engine::ComponentSeed seed;
+  for (int c : components_.component_ids()) {
+    engine::ComponentSeed::Component comp;
+    comp.fingerprint = component_fingerprint_.at(c);
+    const std::vector<VertexId>& ext = components_.vertices_of(c);
+    comp.vertices.reserve(ext.size());
+    for (VertexId v : ext) {
+      comp.vertices.push_back(local_of[static_cast<std::size_t>(v)]);
+      comp.edges += static_cast<std::int64_t>(graph_.children(v).size());
+    }
+    seed.components.push_back(std::move(comp));
+  }
+  engine_->install_graph(name_, std::move(materialized), std::move(seed));
 
   PatchReport report;
   report.graph = name_;
@@ -196,6 +218,16 @@ Digraph StreamSession::graph() const {
   GIO_EXPECTS_MSG(loaded_, "stream session '" + name_ +
                                "' has no graph loaded yet");
   return graph_.materialize();
+}
+
+std::int64_t StreamSession::num_vertices() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return graph_.num_vertices();
+}
+
+std::int64_t StreamSession::num_edges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return graph_.num_edges();
 }
 
 bool StreamSession::loaded() const {

@@ -77,9 +77,11 @@ class StreamSession {
   PatchReport load(const std::string& spec);
   PatchReport load(const Digraph& graph);
 
-  /// Applies one patch atomically. Throws contract_error (leaving the
-  /// session on the last good graph) when a mutation does not apply —
-  /// callers retry with a corrected patch.
+  /// Applies one patch atomically: an inverse-mutation journal (not an
+  /// O(n+m) snapshot) backs the rollback, so a failing mutation unwinds
+  /// in O(state the patch touched). Throws contract_error (leaving the
+  /// session on the last good graph, bit-identically) when a mutation
+  /// does not apply — callers retry with a corrected patch.
   PatchReport apply(const Patch& patch);
 
   /// Evaluates a request against the current graph. request.spec/graph
@@ -95,6 +97,11 @@ class StreamSession {
 
   /// The current graph, frozen (compacted ids ascend with external ids).
   [[nodiscard]] Digraph graph() const;
+
+  /// Current structural counts, without materializing anything — the
+  /// serve layer stamps result lines with these.
+  [[nodiscard]] std::int64_t num_vertices() const;
+  [[nodiscard]] std::int64_t num_edges() const;
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] bool loaded() const;

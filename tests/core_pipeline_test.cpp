@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "graphio/core/spectral_bound.hpp"
 #include "graphio/core/spectral_pipeline.hpp"
+#include "graphio/engine/artifact_cache.hpp"
+#include "graphio/engine/component_cache.hpp"
+#include "graphio/engine/fingerprint.hpp"
 #include "graphio/engine/graph_spec.hpp"
 #include "graphio/graph/builders.hpp"
 #include "graphio/graph/components.hpp"
@@ -131,6 +136,211 @@ TEST(SpectralPipeline, ComponentSolverHookIsUsed) {
   EXPECT_EQ(calls, 4);
   EXPECT_EQ(result.components, 4);
 }
+
+// ------------------------------------------------- fingerprint-first plans
+
+/// Builds the eager plan run() would use, with counted materializers and
+/// precomputed fingerprints — the shape every resolver test needs.
+ComponentPlan counted_plan(const Digraph& g, const WeakComponents& wc,
+                           int* materialized) {
+  ComponentPlan plan;
+  for (int c = 0; c < wc.count; ++c) {
+    PlannedComponent entry;
+    entry.vertices = static_cast<std::int64_t>(
+        wc.vertices[static_cast<std::size_t>(c)].size());
+    entry.edges = wc.edges_in(g, c);
+    entry.fingerprint = engine::subgraph_fingerprint(g, wc, c);
+    entry.fingerprinted = true;
+    entry.materialize = [&g, &wc, c, materialized] {
+      ++*materialized;
+      return wc.subgraph(g, c);
+    };
+    plan.components.push_back(std::move(entry));
+  }
+  return plan;
+}
+
+void attach_cache(SpectralPipeline& pipeline,
+                  engine::ComponentSpectrumCache& cache) {
+  pipeline.set_component_resolver(
+      [&cache](std::uint64_t fp, std::int64_t, std::int64_t,
+               LaplacianKind k, int h, const SpectralOptions& opts) {
+        return cache.lookup(fp, k, h, opts);
+      },
+      [&cache](std::uint64_t fp, LaplacianKind k, int requested,
+               const SpectralOptions& opts, const ComponentSolve& solve) {
+        cache.store(fp, k, requested, opts, solve);
+      });
+}
+
+TEST(SpectralPipeline, ResolvedComponentsNeverMaterialize) {
+  // Four content-equal components, cache warm for that content: the whole
+  // run_plan is lookups — zero extractions, zero eigensolves.
+  const Digraph g = engine::GraphSpec::parse("multi:4:fft:3").build();
+  const WeakComponents wc = weakly_connected_components(g);
+  ASSERT_EQ(wc.count, 4);
+  const SpectralOptions options;
+  const int h = 6;
+
+  engine::ComponentSpectrumCache cache;
+  const Digraph sub0 = wc.subgraph(g, 0);
+  cache.store(engine::graph_fingerprint(sub0), LaplacianKind::kPlain, h,
+              options,
+              solve_component_spectrum(sub0, LaplacianKind::kPlain, h,
+                                       options));
+
+  int materialized = 0;
+  const ComponentPlan plan = counted_plan(g, wc, &materialized);
+  SpectralPipeline pipeline(options);
+  attach_cache(pipeline, cache);
+  const PipelineResult result =
+      pipeline.run_plan(plan, LaplacianKind::kPlain, h);
+
+  EXPECT_EQ(materialized, 0);
+  EXPECT_EQ(result.subgraph_extractions, 0);
+  EXPECT_EQ(result.fingerprint_computes, 0);
+  EXPECT_EQ(result.component_cache_hits, 4);
+  EXPECT_EQ(result.eigensolves, 0);
+
+  const PipelineResult direct =
+      SpectralPipeline(options).run(g, LaplacianKind::kPlain, h);
+  expect_near_spectra(result.values, direct.values, 1e-8, "resolved plan");
+}
+
+TEST(SpectralPipeline, MissesMaterializePublishAndThenResolve) {
+  // Cold cache: each *distinct* content extracts and solves once; the
+  // published solves make an immediate second run all-hits.
+  const Digraph g = engine::GraphSpec::parse("multi:3:inner:4").build();
+  const WeakComponents wc = weakly_connected_components(g);
+  ASSERT_EQ(wc.count, 3);
+  const SpectralOptions options;
+  const int h = 5;
+
+  engine::ComponentSpectrumCache cache;
+  int materialized = 0;
+  const ComponentPlan plan = counted_plan(g, wc, &materialized);
+  SpectralPipeline pipeline(options);
+  attach_cache(pipeline, cache);
+
+  const PipelineResult first =
+      pipeline.run_plan(plan, LaplacianKind::kOutDegreeNormalized, h);
+  EXPECT_EQ(first.subgraph_extractions, 1);  // 3 equal copies, 1 content
+  EXPECT_EQ(first.eigensolves, 1);
+  EXPECT_EQ(first.component_cache_hits, 2);
+  EXPECT_EQ(materialized, 1);
+
+  const PipelineResult second =
+      pipeline.run_plan(plan, LaplacianKind::kOutDegreeNormalized, h);
+  EXPECT_EQ(second.subgraph_extractions, 0);
+  EXPECT_EQ(second.component_cache_hits, 3);
+  EXPECT_EQ(materialized, 1);
+  expect_near_spectra(first.values, second.values, 0.0, "warm replay");
+}
+
+TEST(SpectralPipeline, LazyFingerprintsAreComputedOnDemandAndCounted) {
+  const Digraph g = engine::GraphSpec::parse("multi:2:fft:3").build();
+  const WeakComponents wc = weakly_connected_components(g);
+  const SpectralOptions options;
+  engine::ComponentSpectrumCache cache;
+
+  int hashed = 0;
+  int materialized = 0;
+  ComponentPlan plan = counted_plan(g, wc, &materialized);
+  for (int c = 0; c < wc.count; ++c) {
+    PlannedComponent& entry =
+        plan.components[static_cast<std::size_t>(c)];
+    entry.fingerprinted = false;
+    entry.fingerprint_fn = [&g, &wc, &hashed, c] {
+      ++hashed;
+      return engine::subgraph_fingerprint(g, wc, c);
+    };
+  }
+  SpectralPipeline pipeline(options);
+  attach_cache(pipeline, cache);
+  const PipelineResult result =
+      pipeline.run_plan(plan, LaplacianKind::kPlain, 4);
+  EXPECT_EQ(result.fingerprint_computes, 2);
+  EXPECT_EQ(hashed, 2);
+  // Equal content: the first copy misses (extracts, publishes), the
+  // second resolves off its freshly published fingerprint.
+  EXPECT_EQ(result.subgraph_extractions, 1);
+  EXPECT_EQ(result.component_cache_hits, 1);
+}
+
+TEST(SpectralPipeline, TrivialPlannedComponentsSkipEverything) {
+  // Edgeless components: no fingerprint, no resolve, no materialize.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  const WeakComponents wc = weakly_connected_components(g);
+  ASSERT_EQ(wc.count, 3);
+  engine::ComponentSpectrumCache cache;
+  int materialized = 0;
+  const ComponentPlan plan = counted_plan(g, wc, &materialized);
+  SpectralPipeline pipeline((SpectralOptions()));
+  attach_cache(pipeline, cache);
+  const PipelineResult result =
+      pipeline.run_plan(plan, LaplacianKind::kPlain, 4);
+  EXPECT_EQ(result.subgraph_extractions, 1);  // only the edge's component
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 1);
+  ASSERT_EQ(result.values.size(), 4u);
+  EXPECT_EQ(result.values[0], 0.0);
+  EXPECT_EQ(result.values[1], 0.0);
+}
+
+// Satellite (ISSUE 5): lookup-then-extract bounds equal the pre-plan
+// extract-then-lookup path to 1e-8 across specs × every solver policy.
+// The reference reproduces the PR 3/4 control flow literally: extract the
+// subgraph first, hash it, then consult the same cache type.
+class PlanPathParity
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(PlanPathParity, LookupFirstEqualsExtractFirst) {
+  const std::string spec = std::get<0>(GetParam());
+  const std::string solver = std::get<1>(GetParam());
+  const Digraph g = engine::GraphSpec::parse(spec).build();
+  SpectralOptions options;
+  options.solver = solver;
+  // Small h keeps the forced sparse tiers well-posed on tiny components.
+  const int h =
+      static_cast<int>(std::min<std::int64_t>(g.num_vertices(), 6));
+
+  for (const LaplacianKind kind :
+       {LaplacianKind::kPlain, LaplacianKind::kOutDegreeNormalized}) {
+    // Lookup-then-extract: the engine's plan-driven artifact cache.
+    engine::ArtifactCache plan_cache{Digraph(g)};
+    const std::vector<double> plan_values =
+        plan_cache.spectrum(kind, h, options).values;
+
+    // Extract-then-lookup: materialize every component, hash the
+    // materialized subgraph, then consult the cache — the old hook.
+    engine::ComponentSpectrumCache cache;
+    SpectralPipeline reference(options);
+    reference.set_component_solver(
+        [&cache](const Digraph& component, LaplacianKind k, int hh,
+                 const SpectralOptions& opts) {
+          if (component.num_edges() == 0)
+            return solve_component_spectrum(component, k, hh, opts);
+          const std::uint64_t fp = engine::graph_fingerprint(component);
+          if (auto cached = cache.lookup(fp, k, hh, opts))
+            return *std::move(cached);
+          ComponentSolve solve =
+              solve_component_spectrum(component, k, hh, opts);
+          cache.store(fp, k, hh, opts, solve);
+          return solve;
+        });
+    const PipelineResult ref = reference.run(g, kind, h);
+    expect_near_spectra(plan_values, ref.values, 1e-8,
+                        spec + "/" + solver);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecsBySolvers, PlanPathParity,
+    ::testing::Combine(::testing::Values("fft:4", "matmul:2",
+                                         "multi:3:fft:3", "multi:2:inner:5"),
+                       ::testing::Values("auto", "dense", "lanczos",
+                                         "lobpcg")));
 
 // --------------------------------------------------- merged-spectrum parity
 

@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "graphio/engine/artifact_cache.hpp"
 #include "graphio/engine/component_cache.hpp"
 #include "graphio/engine/engine.hpp"
+#include "graphio/engine/fingerprint.hpp"
 #include "graphio/engine/graph_spec.hpp"
 #include "graphio/graph/builders.hpp"
+#include "graphio/graph/components.hpp"
+#include "graphio/support/contracts.hpp"
 
 namespace graphio::engine {
 namespace {
@@ -35,14 +40,108 @@ TEST(ComponentCache, SharedComponentAcrossTwoSpecsEigensolvesOnce) {
 
 TEST(ComponentCache, IdenticalComponentsWithinOneGraphDedupe) {
   // Even a standalone ArtifactCache (private component cache) solves each
-  // *distinct* component once: 5 copies -> 1 eigensolve + 4 hits.
+  // *distinct* component once: 5 copies -> 1 eigensolve + 4 hits — and on
+  // the fingerprint-first path only the one miss ever materializes.
   ArtifactCache cache(GraphSpec::parse("multi:5:inner:3").build());
   const auto& artifact = cache.spectrum(kNorm, 20);
   EXPECT_EQ(artifact.components, 5);
   EXPECT_EQ(artifact.eigensolves, 1);
   EXPECT_EQ(artifact.component_hits, 4);
+  EXPECT_EQ(artifact.subgraph_extractions, 1);
+  EXPECT_EQ(artifact.fingerprint_computes, 5);
   EXPECT_EQ(cache.stats().eigensolves, 1);
   EXPECT_EQ(cache.stats().component_hits, 4);
+  EXPECT_EQ(cache.stats().subgraph_extractions, 1);
+  EXPECT_EQ(cache.stats().fingerprint_computes, 5);
+}
+
+TEST(ComponentCache, FingerprintsComputeOncePerGraphAcrossKinds) {
+  // The decomposition and its fingerprints belong to the graph, not to
+  // one spectrum: a second Laplacian kind re-solves (different matrix)
+  // but never re-hashes or re-decomposes.
+  ArtifactCache cache(GraphSpec::parse("multi:5:inner:3").build());
+  cache.spectrum(kNorm, 20);
+  EXPECT_EQ(cache.stats().fingerprint_computes, 5);
+  const auto& plain = cache.spectrum(LaplacianKind::kPlain, 20);
+  EXPECT_EQ(plain.fingerprint_computes, 0);
+  EXPECT_EQ(plain.subgraph_extractions, 1);  // the new kind's one miss
+  EXPECT_EQ(cache.stats().fingerprint_computes, 5);
+  ASSERT_EQ(plain.component_fingerprints.size(), 5u);
+  for (std::uint64_t fp : plain.component_fingerprints) EXPECT_NE(fp, 0u);
+}
+
+TEST(ComponentCache, CleanComponentsNeverMaterializeAcrossSpecs) {
+  // The zero-copy headline: once fft:4 is cached, every fft:4-shaped
+  // component of any later spec resolves by fingerprint alone — no
+  // subgraph is ever built for it.
+  Engine engine;
+  BoundRequest request;
+  request.spec = "fft:4";
+  request.memories = {8.0};
+  request.methods = {"spectral"};
+  const BoundReport first = engine.evaluate(request);
+  // Connected graph: solved in place, so even the miss never extracted.
+  EXPECT_EQ(first.cache.subgraph_extractions, 0);
+  EXPECT_EQ(first.cache.fingerprint_computes, 1);
+
+  request.spec = "multi:3:fft:4";
+  const BoundReport second = engine.evaluate(request);
+  EXPECT_EQ(second.cache.eigensolves, 0);
+  EXPECT_EQ(second.cache.component_hits, 3);
+  EXPECT_EQ(second.cache.subgraph_extractions, 0);
+  EXPECT_EQ(second.cache.fingerprint_computes, 3);
+}
+
+TEST(ComponentCache, SeededCacheSkipsDecompositionAndHashing) {
+  // A ComponentSeed (what the stream session hands install_graph) makes
+  // the first query fingerprint-free; only cache misses extract.
+  const Digraph g = GraphSpec::parse("multi:2:fft:3").build();
+  const auto wc = weakly_connected_components(g);
+  ASSERT_EQ(wc.count, 2);
+  ComponentSeed seed;
+  for (int c = 0; c < wc.count; ++c) {
+    ComponentSeed::Component comp;
+    comp.vertices = wc.vertices[static_cast<std::size_t>(c)];
+    comp.edges = wc.edges_in(g, c);
+    comp.fingerprint = graph_fingerprint(wc.subgraph(g, c));
+    seed.components.push_back(std::move(comp));
+  }
+  ArtifactCache cache(Digraph(g), nullptr, std::move(seed));
+  const auto& artifact = cache.spectrum(kNorm, 10);
+  EXPECT_EQ(artifact.components, 2);
+  EXPECT_EQ(artifact.fingerprint_computes, 0);
+  EXPECT_EQ(artifact.subgraph_extractions, 1);  // equal copies: one miss
+  EXPECT_EQ(artifact.eigensolves, 1);
+  EXPECT_EQ(artifact.component_hits, 1);
+
+  // Parity with an unseeded cache on the same graph.
+  ArtifactCache plain{Digraph(g)};
+  EXPECT_EQ(plain.spectrum(kNorm, 10).values, artifact.values);
+}
+
+TEST(ComponentCache, MalformedSeedsAreRejected) {
+  const Digraph g = GraphSpec::parse("multi:2:fft:3").build();
+  const auto wc = weakly_connected_components(g);
+  const auto seed_for = [&](bool drop_vertex, bool wrong_edges) {
+    ComponentSeed seed;
+    for (int c = 0; c < wc.count; ++c) {
+      ComponentSeed::Component comp;
+      comp.vertices = wc.vertices[static_cast<std::size_t>(c)];
+      comp.edges = wc.edges_in(g, c) + (wrong_edges ? 1 : 0);
+      comp.fingerprint = 1;
+      seed.components.push_back(std::move(comp));
+    }
+    if (drop_vertex) seed.components[0].vertices.pop_back();
+    return seed;
+  };
+  {
+    ArtifactCache cache(Digraph(g), nullptr, seed_for(true, false));
+    EXPECT_THROW(cache.spectrum(kNorm, 4), contract_error);
+  }
+  {
+    ArtifactCache cache(Digraph(g), nullptr, seed_for(false, true));
+    EXPECT_THROW(cache.spectrum(kNorm, 4), contract_error);
+  }
 }
 
 TEST(ComponentCache, TwoArtifactCachesShareThroughOneComponentCache) {

@@ -243,6 +243,29 @@ TEST(Scheduler, ResultsMatchSerialAcrossThreadCounts) {
   EXPECT_EQ(sorted_lines(serial), sorted_lines(threaded));
 }
 
+TEST(Scheduler, FingerprintResolverIsRaceFreeAcrossWorkers) {
+  // Specs sharing component content shard to different workers, whose
+  // Engines race fingerprint-first lookups and publishes on the one
+  // shared ComponentSpectrumCache — the hook the TSan job pins down.
+  // Determinism across thread counts certifies the resolved solves are
+  // the same answers a serial run computes.
+  std::string jobs;
+  for (int copies = 1; copies <= 6; ++copies)
+    jobs += "{\"spec\": \"multi:" + std::to_string(copies) +
+            ":fft:4\", \"memories\": [4, 8], \"methods\": [\"spectral\"]}\n";
+  std::string serial;
+  std::string threaded;
+  run_jobs(jobs, 1, &serial);
+  const BatchSummary s4 = run_jobs(jobs, 4, &threaded);
+  EXPECT_EQ(s4.ok, 6);
+  EXPECT_EQ(sorted_lines(serial), sorted_lines(threaded));
+  // Every job after the first resolves its components without solving:
+  // at most one eigensolve per raced worker can slip through.
+  EXPECT_GT(s4.cache.component_hits, 0);
+  EXPECT_EQ(s4.cache.fingerprint_computes,
+            s4.cache.component_hits + s4.cache.eigensolves);
+}
+
 TEST(Scheduler, FailedJobsReportWithoutSinkingTheBatch) {
   const std::string jobs =
       R"({"spec": "fft:4", "memories": [4], "methods": ["spectral"]}

@@ -245,5 +245,171 @@ TEST(StreamDynamicComponentsTest, RandomChurnMatchesScratchDecomposition) {
   }
 }
 
+// ---------------------------------------------------- rollback journals
+
+/// Bit-exact equality of two DynamicGraphs over their full external-id
+/// range: adjacency lists (order and multiplicity included), liveness,
+/// names, counters — everything a fingerprint or a later patch can see.
+void expect_graphs_identical(const DynamicGraph& a, const DynamicGraph& b) {
+  ASSERT_EQ(a.id_limit(), b.id_limit());
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < a.id_limit(); ++v) {
+    ASSERT_EQ(a.alive(v), b.alive(v)) << "vertex " << v;
+    if (!a.alive(v)) continue;
+    const auto ac = a.children(v);
+    const auto bc = b.children(v);
+    ASSERT_TRUE(std::equal(ac.begin(), ac.end(), bc.begin(), bc.end()))
+        << "children of " << v;
+    const auto ap = a.parents(v);
+    const auto bp = b.parents(v);
+    ASSERT_TRUE(std::equal(ap.begin(), ap.end(), bp.begin(), bp.end()))
+        << "parents of " << v;
+    EXPECT_EQ(a.name(v), b.name(v)) << "name of " << v;
+  }
+  EXPECT_EQ(engine::graph_fingerprint(a.materialize()),
+            engine::graph_fingerprint(b.materialize()));
+}
+
+TEST(StreamJournalTest, GraphRollbackRestoresEveryListExactly) {
+  // Parallel edges, names, interleaved adds/removes: rollback must put
+  // every adjacency entry back at its original index, not just restore
+  // set-equality — content fingerprints hash list order.
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);  // parallel
+  g.add_edge(3, 1);
+  g.add_edge(2, 4);
+  g.set_name(2, "mid");
+  DynamicGraph d(g);
+  const DynamicGraph reference = d;  // one-off snapshot, test-only
+
+  d.begin_journal();
+  d.remove_edge(0, 1);                     // drops the *last* multiplicity
+  const VertexId fresh = d.add_vertex();
+  d.add_edge(fresh, 0);
+  d.add_edge(1, fresh);
+  d.remove_vertex(2);                      // mid vertex with name + edges
+  d.remove_vertex(3);
+  d.add_edge(0, 4);
+  d.rollback_journal();
+
+  expect_graphs_identical(d, reference);
+}
+
+TEST(StreamJournalTest, GraphCommitKeepsMutationsAndReleasesJournal) {
+  DynamicGraph d(builders::path(4));
+  d.begin_journal();
+  d.add_edge(0, 3);
+  d.commit_journal();
+  EXPECT_EQ(d.num_edges(), 4);
+  EXPECT_THROW(d.rollback_journal(), contract_error);
+}
+
+TEST(StreamJournalTest, ComponentsRollbackUndoesMergesSplitsAndRemovals) {
+  // Two components that merge, one that loses a vertex, one fresh vertex:
+  // every labeled structure must return to the begin_patch state.
+  std::vector<Digraph> parts = {builders::path(4), builders::path(3),
+                                builders::path(5)};
+  DynamicGraph d(disjoint_union(parts));
+  DynamicComponents comps(d);
+  ASSERT_EQ(comps.count(), 3);
+  const std::vector<int> ids_before = comps.component_ids();
+  std::vector<std::vector<VertexId>> members_before;
+  for (int c : ids_before) members_before.push_back(comps.vertices_of(c));
+
+  d.begin_journal();
+  comps.begin_patch();
+  comps.on_add_vertex(d.add_vertex());     // fresh singleton slot
+  d.add_edge(0, 4);
+  comps.on_add_edge(0, 4);                 // merge path(4) into path(3)
+  comps.on_remove_vertex(11);              // shrink path(5)
+  d.remove_vertex(11);
+  d.remove_edge(0, 1);
+  comps.on_remove_edge(0, 1);              // queue a rebuild
+  comps.rollback_patch();
+  d.rollback_journal();
+
+  ASSERT_EQ(comps.component_ids(), ids_before);
+  for (std::size_t i = 0; i < ids_before.size(); ++i)
+    EXPECT_EQ(comps.vertices_of(ids_before[i]), members_before[i]);
+  EXPECT_TRUE(comps.matches(d));
+  // The structures still work: a real patch after the rollback behaves
+  // as if the failed one never happened.
+  comps.begin_patch();
+  d.add_edge(0, 4);
+  comps.on_add_edge(0, 4);
+  comps.flush(d);
+  EXPECT_EQ(comps.count(), 2);
+  EXPECT_TRUE(comps.matches(d));
+}
+
+TEST(StreamJournalTest, RandomRollbacksAlwaysRestoreScratchEquality) {
+  // Randomized failure injection at the structure level: apply a random
+  // mutation burst, roll it back, and demand exact equality with the
+  // untouched twin — across many seeds, so merges-of-merges, splits, and
+  // parallel-edge removals all get exercised.
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Digraph base = builders::erdos_renyi_dag(
+        24, 0.12, static_cast<std::uint64_t>(100 + trial));
+    DynamicGraph d(base);
+    DynamicComponents comps(d);
+    const DynamicGraph graph_ref = d;
+
+    std::vector<VertexId> alive;
+    for (VertexId v = 0; v < d.id_limit(); ++v)
+      if (d.alive(v)) alive.push_back(v);
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    for (VertexId v : alive)
+      for (VertexId w : d.children(v)) edges.emplace_back(v, w);
+
+    d.begin_journal();
+    comps.begin_patch();
+    const int burst = 1 + static_cast<int>(rng() % 8);
+    for (int m = 0; m < burst; ++m) {
+      switch (rng() % 4) {
+        case 0:
+          comps.on_add_vertex(d.add_vertex());
+          break;
+        case 1: {
+          const VertexId u = alive[rng() % alive.size()];
+          const VertexId v = alive[rng() % alive.size()];
+          if (u == v) break;
+          d.add_edge(u, v);
+          comps.on_add_edge(u, v);
+          edges.emplace_back(u, v);
+          break;
+        }
+        case 2: {
+          if (edges.empty()) break;
+          const auto [u, v] = edges[rng() % edges.size()];
+          d.remove_edge(u, v);
+          comps.on_remove_edge(u, v);
+          std::erase(edges, std::make_pair(u, v));
+          break;
+        }
+        default: {
+          if (alive.size() <= 2) break;
+          const std::size_t i = rng() % alive.size();
+          const VertexId v = alive[i];
+          comps.on_remove_vertex(v);
+          d.remove_vertex(v);
+          alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(i));
+          std::erase_if(edges, [v](const auto& e) {
+            return e.first == v || e.second == v;
+          });
+          break;
+        }
+      }
+    }
+    comps.rollback_patch();
+    d.rollback_journal();
+    expect_graphs_identical(d, graph_ref);
+    EXPECT_TRUE(comps.matches(d)) << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace graphio::stream

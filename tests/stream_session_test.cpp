@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graphio/engine/engine.hpp"
+#include "graphio/engine/fingerprint.hpp"
 #include "graphio/graph/builders.hpp"
 #include "graphio/graph/components.hpp"
 #include "graphio/stream/session.hpp"
@@ -153,6 +154,90 @@ TEST(StreamSessionTest, SingleEdgePatchSolvesOnlyTheDirtyComponent) {
   // component cache for both kinds.
   EXPECT_EQ(report.cache.eigensolves, 2);
   EXPECT_EQ(report.cache.component_hits, 6);
+}
+
+TEST(StreamSessionTest, ExtractionsEqualDirtyAfterEveryPatch) {
+  // The zero-copy invariant (ISSUE 5): at query time only the dirty
+  // components materialize, and nothing is ever re-fingerprinted — the
+  // session's incrementally-maintained hashes seed the artifact cache.
+  StreamSession session("g");
+  session.load("multi:6:fft:3");
+  engine::BoundRequest req;
+  req.memories = {8.0};
+  req.methods = {"spectral"};  // one Laplacian kind: clean accounting
+  req.spectral.solver = "dense";
+  req.spectral.adaptive = false;
+  req.spectral.max_eigenvalues = 8;
+
+  const engine::BoundReport warm = session.evaluate(req);
+  EXPECT_EQ(warm.cache.fingerprint_computes, 0);  // seeded by load
+  // 6 equal copies: one content, one extraction, five resolver hits.
+  EXPECT_EQ(warm.cache.subgraph_extractions, 1);
+
+  // Patch distinct components one at a time; every query must extract
+  // exactly the dirty (non-trivial) components and hash nothing.
+  for (int round = 0; round < 4; ++round) {
+    Patch patch;
+    for (int c = 0; c <= round; ++c) {
+      const VertexId off = static_cast<VertexId>(c) * 32;  // |fft:3| = 32
+      patch.mutations.push_back(
+          Mutation::add_edge(off + 2 * round, off + 2 * round + 1));
+    }
+    const PatchReport applied = session.apply(patch);
+    EXPECT_EQ(applied.dirty_components, round + 1);
+    const engine::BoundReport report = session.evaluate(req);
+    EXPECT_EQ(report.cache.subgraph_extractions, applied.dirty_components)
+        << "round " << round;
+    EXPECT_EQ(report.cache.fingerprint_computes, 0) << "round " << round;
+    EXPECT_EQ(report.cache.eigensolves, applied.dirty_components)
+        << "round " << round;
+  }
+}
+
+TEST(StreamSessionTest, FailedPatchJournalMatchesUntouchedTwin) {
+  // Randomized failure injection: a valid prefix followed by an invalid
+  // mutation must leave the session bit-identical to a twin that never
+  // saw the patch — graph, names, component structure, fingerprint, and
+  // all later behavior.
+  const std::vector<std::string> specs = {"multi:3:fft:3", "er:40:0.1:3"};
+  std::uint64_t seed = 11;
+  for (const std::string& spec : specs) {
+    for (int trial = 0; trial < 6; ++trial) {
+      StreamSession session("victim");
+      StreamSession twin("twin");
+      session.load(spec);
+      twin.load(spec);
+
+      RandomMutator mutator(session.graph(), seed++);
+      Patch bad = mutator.next_patch(1 + static_cast<int>(seed % 5));
+      bad.mutations.push_back(Mutation::remove_vertex(1 << 20));
+      EXPECT_THROW(session.apply(bad), contract_error);
+
+      EXPECT_EQ(session.fingerprint(), twin.fingerprint())
+          << spec << " trial " << trial;
+      const Digraph a = session.graph();
+      const Digraph b = twin.graph();
+      EXPECT_EQ(engine::graph_fingerprint(a), engine::graph_fingerprint(b));
+      ASSERT_EQ(a.num_vertices(), b.num_vertices());
+      for (VertexId v = 0; v < a.num_vertices(); ++v)
+        EXPECT_EQ(a.name(v), b.name(v));
+
+      // Both sessions now take the same valid patch and answer queries
+      // identically — the failed patch left no latent damage behind.
+      RandomMutator replay(twin.graph(), 999 + seed);
+      const Patch good = replay.next_patch(3);
+      const PatchReport pa = session.apply(good);
+      const PatchReport pb = twin.apply(good);
+      EXPECT_EQ(pa.fingerprint, pb.fingerprint);
+      EXPECT_EQ(pa.dirty_components, pb.dirty_components);
+      const engine::BoundReport ra =
+          session.evaluate(spectral_request("dense"));
+      const engine::BoundReport rb = twin.evaluate(spectral_request("dense"));
+      ASSERT_EQ(ra.rows.size(), rb.rows.size());
+      for (std::size_t i = 0; i < ra.rows.size(); ++i)
+        EXPECT_EQ(ra.rows[i].value, rb.rows[i].value);
+    }
+  }
 }
 
 TEST(StreamSessionTest, QueriesBetweenPatchesShareArtifacts) {

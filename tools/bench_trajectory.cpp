@@ -1,0 +1,129 @@
+// bench_trajectory — merges every BENCH_*.json in a directory into one
+// schema-stable BENCH_trajectory.json, so perf history is machine-
+// diffable across PRs without knowing each bench's private schema.
+//
+//   {"schema": 1, "benches": [
+//      {"bench": "solver_policy", "file": "BENCH_solver.json",
+//       "scale": "default", "headline_speedup": 174.1,
+//       "speedup_samples": 5}, ...]}
+//
+// The headline is deliberately schema-agnostic: the maximum over every
+// numeric "speedup" field found anywhere in the bench's JSON (each bench
+// reports per-case speedups under that key; a bench with none records 0
+// with zero samples). Benches are sorted by name, so the output diffs
+// cleanly run-over-run. CI uploads the merged file next to the raw
+// BENCH_*.json artifacts.
+//
+// Usage: graphio_bench_trajectory [dir] [out.json]
+//   dir default: current directory; out default: dir/BENCH_trajectory.json
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graphio/io/json.hpp"
+
+namespace {
+
+using graphio::io::JsonValue;
+
+struct BenchHeadline {
+  std::string bench;
+  std::string file;
+  std::string scale;
+  double headline_speedup = 0.0;
+  std::int64_t speedup_samples = 0;
+};
+
+/// Depth-first sweep for numeric "speedup" members at any nesting level.
+void collect_speedups(const JsonValue& value, BenchHeadline& out) {
+  if (value.is_object()) {
+    for (const auto& [key, member] : value.members()) {
+      if (key == "speedup" && member.is_number()) {
+        out.headline_speedup =
+            std::max(out.headline_speedup, member.as_double());
+        ++out.speedup_samples;
+      }
+      collect_speedups(member, out);
+    }
+    return;
+  }
+  if (value.is_array())
+    for (const JsonValue& item : value.items()) collect_speedups(item, out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : ".";
+  const std::filesystem::path out_path =
+      argc > 2 ? std::filesystem::path(argv[2])
+               : dir / "BENCH_trajectory.json";
+
+  std::vector<BenchHeadline> headlines;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!entry.is_regular_file() || name.rfind("BENCH_", 0) != 0 ||
+        entry.path().extension() != ".json" ||
+        name == "BENCH_trajectory.json")
+      continue;
+    std::ifstream in(entry.path());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    BenchHeadline headline;
+    headline.file = name;
+    try {
+      const JsonValue doc = JsonValue::parse(buffer.str());
+      const JsonValue* bench = doc.get("bench");
+      headline.bench = bench != nullptr && bench->is_string()
+                           ? bench->as_string()
+                           : name;
+      const JsonValue* scale = doc.get("scale");
+      if (scale != nullptr && scale->is_string())
+        headline.scale = scale->as_string();
+      collect_speedups(doc, headline);
+    } catch (const std::exception& e) {
+      std::cerr << "skipping " << name << ": " << e.what() << "\n";
+      continue;
+    }
+    headlines.push_back(std::move(headline));
+  }
+  if (ec) {
+    std::cerr << "cannot read " << dir << ": " << ec.message() << "\n";
+    return 1;
+  }
+  std::sort(headlines.begin(), headlines.end(),
+            [](const BenchHeadline& a, const BenchHeadline& b) {
+              return a.bench < b.bench;
+            });
+
+  graphio::io::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(static_cast<std::int64_t>(1));
+  w.key("benches").begin_array();
+  for (const BenchHeadline& h : headlines) {
+    w.begin_object();
+    w.key("bench").value(h.bench);
+    w.key("file").value(h.file);
+    if (!h.scale.empty()) w.key("scale").value(h.scale);
+    w.key("headline_speedup").value(h.headline_speedup);
+    w.key("speedup_samples").value(h.speedup_samples);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << w.str() << "\n";
+  std::cout << "merged " << headlines.size() << " bench file(s) into "
+            << out_path.string() << "\n";
+  return 0;
+}

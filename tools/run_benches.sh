@@ -3,7 +3,9 @@
 # BENCH_solver.json (monolithic vs per-component spectral pipeline),
 # BENCH_serve.json (batch throughput + persistent-store trajectory), and
 # BENCH_stream.json (incremental re-analysis vs full recompute) from a
-# fixed corpus into the repo root (or $GRAPHIO_BENCH_OUT).
+# fixed corpus into the repo root (or $GRAPHIO_BENCH_OUT), then merges
+# them all into the schema-stable BENCH_trajectory.json (bench name ->
+# headline speedup) so perf history is machine-diffable across PRs.
 #
 # Usage: tools/run_benches.sh [quick|default|paper] [build-dir]
 #   scale default: "default" (CI smoke uses "quick")
@@ -25,7 +27,8 @@ cmake -B "$build_dir" -S "$repo_root" \
       -DGRAPHIO_BUILD_TESTS=OFF \
       -DGRAPHIO_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j "$(nproc)" \
-      --target bench_solver_policy bench_serve_batch bench_stream_updates
+      --target bench_solver_policy bench_serve_batch bench_stream_updates \
+               graphio_bench_trajectory
 
 # The benches write BENCH_*.json into the working directory.
 mkdir -p "$out_dir"
@@ -33,8 +36,10 @@ cd "$out_dir"
 "$build_dir/bench_solver_policy" --scale "$scale"
 "$build_dir/bench_serve_batch" --scale "$scale"
 "$build_dir/bench_stream_updates" --scale "$scale"
+# "." — we already cd'ed into $out_dir (which may be a relative path).
+"$build_dir/graphio_bench_trajectory" .
 
 echo
 echo "benchmark JSON written to $out_dir:"
 ls -l "$out_dir"/BENCH_solver.json "$out_dir"/BENCH_serve.json \
-      "$out_dir"/BENCH_stream.json
+      "$out_dir"/BENCH_stream.json "$out_dir"/BENCH_trajectory.json
