@@ -23,8 +23,8 @@
 // decomposition up front (the engine's ArtifactCache, the stream
 // session) describe it as a ComponentPlan — shape, content fingerprint,
 // and a lazy materializer per component — and run_plan consults a
-// fingerprint-first resolver (the engine's ComponentSpectrumCache,
-// engine/component_cache.hpp) before touching any vertex data. A
+// fingerprint-first resolver (the content-addressed ArtifactStore,
+// store/artifact_store.hpp) before touching any vertex data. A
 // resolved (clean) component is never materialized, never re-hashed,
 // and never solved: a cache hit costs one map lookup and zero
 // allocations. Only resolver misses build their subgraph and run a
@@ -103,7 +103,7 @@ struct PipelineResult {
 /// vertex data: shape up front, content fingerprint either precomputed or
 /// computable on demand, and the subgraph itself built only when a
 /// fingerprint-first resolver cannot answer. This is what lets a
-/// ComponentSpectrumCache hit cost one map lookup and zero allocations.
+/// ArtifactStore hit cost one map lookup and zero allocations.
 struct PlannedComponent {
   std::int64_t vertices = 0;
   std::int64_t edges = 0;
@@ -181,7 +181,7 @@ class SpectralPipeline {
   void set_component_solver(ComponentSolver solver);
 
   /// Installs the fingerprint-first hooks (the engine's
-  /// ComponentSpectrumCache). With a resolver installed, run_plan
+  /// ArtifactStore). With a resolver installed, run_plan
   /// consults it before ever touching a component's vertex data;
   /// components it resolves are neither materialized nor solved.
   void set_component_resolver(ComponentResolver resolver,

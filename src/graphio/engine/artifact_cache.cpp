@@ -1,24 +1,69 @@
 #include "graphio/engine/artifact_cache.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <queue>
 #include <utility>
 
 #include "graphio/core/spectral_pipeline.hpp"
 #include "graphio/engine/fingerprint.hpp"
 #include "graphio/graph/topo.hpp"
+#include "graphio/sim/memsim.hpp"
 #include "graphio/support/contracts.hpp"
 #include "graphio/support/timer.hpp"
 
 namespace graphio::engine {
 
 ArtifactCache::ArtifactCache(Digraph graph,
-                             std::shared_ptr<ComponentSpectrumCache> components,
+                             std::shared_ptr<store::ArtifactStore> store,
                              std::optional<ComponentSeed> seed)
     : graph_(std::move(graph)),
-      components_(std::move(components)),
+      store_(std::move(store)),
       seed_(std::move(seed)) {
-  if (components_ == nullptr)
-    components_ = std::make_shared<ComponentSpectrumCache>();
+  if (store_ == nullptr) store_ = std::make_shared<store::ArtifactStore>();
+}
+
+ArtifactCache::ArtifactCache(LazyGraph lazy,
+                             std::shared_ptr<store::ArtifactStore> store,
+                             ComponentSeed seed)
+    : materialized_(false),
+      lazy_(std::move(lazy)),
+      store_(std::move(store)),
+      seed_(std::move(seed)) {
+  GIO_EXPECTS_MSG(lazy_->materialize && lazy_->component &&
+                      lazy_->max_out_degree && lazy_->max_in_degree,
+                  "lazy graph must provide every callback");
+  if (store_ == nullptr) store_ = std::make_shared<store::ArtifactStore>();
+}
+
+const Digraph& ArtifactCache::graph() {
+  if (!materialized_) {
+    graph_ = lazy_->materialize();
+    GIO_EXPECTS_MSG(graph_.num_vertices() == lazy_->vertices &&
+                        graph_.num_edges() == lazy_->edges,
+                    "lazy graph materialized to different counts than "
+                    "declared");
+    materialized_ = true;
+  }
+  return graph_;
+}
+
+std::int64_t ArtifactCache::num_vertices() const noexcept {
+  return materialized_ ? graph_.num_vertices() : lazy_->vertices;
+}
+
+std::int64_t ArtifactCache::num_edges() const noexcept {
+  return materialized_ ? graph_.num_edges() : lazy_->edges;
+}
+
+std::int64_t ArtifactCache::max_out_degree() {
+  return lazy_.has_value() ? lazy_->max_out_degree()
+                           : graph_.max_out_degree();
+}
+
+std::int64_t ArtifactCache::max_in_degree() {
+  return lazy_.has_value() ? lazy_->max_in_degree()
+                           : graph_.max_in_degree();
 }
 
 ArtifactCache::Decomposition& ArtifactCache::decomposition() {
@@ -28,23 +73,28 @@ ArtifactCache::Decomposition& ArtifactCache::decomposition() {
     // Adopt the seeded decomposition after validating that it partitions
     // the graph — a wrong seed would silently serve wrong spectra, so the
     // O(n) check is worth one pass. Components are renumbered to the
-    // deterministic smallest-vertex order of weakly_connected_components.
-    std::sort(seed_->components.begin(), seed_->components.end(),
-              [](const ComponentSeed::Component& a,
-                 const ComponentSeed::Component& b) {
-                GIO_EXPECTS_MSG(!a.vertices.empty() && !b.vertices.empty(),
-                                "component seed entries must not be empty");
-                return a.vertices.front() < b.vertices.front();
-              });
-    const std::int64_t n = graph_.num_vertices();
+    // deterministic smallest-vertex order of weakly_connected_components;
+    // source_index remembers each one's position in the caller's seed so
+    // LazyGraph::component can be asked for the right extraction.
+    std::vector<int> order(seed_->components.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [this](int a, int b) {
+      const auto& ca = seed_->components[static_cast<std::size_t>(a)];
+      const auto& cb = seed_->components[static_cast<std::size_t>(b)];
+      GIO_EXPECTS_MSG(!ca.vertices.empty() && !cb.vertices.empty(),
+                      "component seed entries must not be empty");
+      return ca.vertices.front() < cb.vertices.front();
+    });
+    const std::int64_t n = num_vertices();
     d.wc.count = static_cast<int>(seed_->components.size());
     d.wc.component_of.assign(static_cast<std::size_t>(n), -1);
     d.wc.local_id.assign(static_cast<std::size_t>(n), 0);
     std::int64_t covered = 0;
     std::int64_t edge_total = 0;
     for (int c = 0; c < d.wc.count; ++c) {
+      const int src = order[static_cast<std::size_t>(c)];
       ComponentSeed::Component& comp =
-          seed_->components[static_cast<std::size_t>(c)];
+          seed_->components[static_cast<std::size_t>(src)];
       GIO_EXPECTS_MSG(!comp.vertices.empty(),
                       "component seed entries must not be empty");
       for (std::size_t i = 0; i < comp.vertices.size(); ++i) {
@@ -67,14 +117,15 @@ ArtifactCache::Decomposition& ArtifactCache::decomposition() {
       d.edges.push_back(comp.edges);
       d.fingerprints.push_back(comp.fingerprint);
       d.known.push_back(true);
+      d.source_index.push_back(src);
     }
     GIO_EXPECTS_MSG(covered == n,
                     "component seed must cover every vertex of the graph");
-    GIO_EXPECTS_MSG(edge_total == graph_.num_edges(),
+    GIO_EXPECTS_MSG(edge_total == num_edges(),
                     "component seed edge counts must sum to the graph's");
     seed_.reset();
   } else {
-    d.wc = weakly_connected_components(graph_);
+    d.wc = weakly_connected_components(graph());
     d.edges.reserve(static_cast<std::size_t>(d.wc.count));
     for (int c = 0; c < d.wc.count; ++c)
       d.edges.push_back(d.wc.edges_in(graph_, c));
@@ -85,6 +136,26 @@ ArtifactCache::Decomposition& ArtifactCache::decomposition() {
   return *decomp_;
 }
 
+std::uint64_t ArtifactCache::component_fingerprint(int c) {
+  Decomposition& d = decomposition();
+  const auto i = static_cast<std::size_t>(c);
+  if (d.known[i]) return d.fingerprints[i];
+  // In-place hash of the still-unextracted component; memoized so every
+  // later artifact kind (and the spectral plan) pays zero.
+  d.fingerprints[i] = subgraph_fingerprint(graph(), d.wc, c);
+  d.known[i] = true;
+  ++stats_.fingerprint_computes;
+  return d.fingerprints[i];
+}
+
+Digraph ArtifactCache::component_subgraph(int c) {
+  Decomposition& d = decomposition();
+  ++stats_.subgraph_extractions;
+  if (lazy_.has_value())
+    return lazy_->component(d.source_index[static_cast<std::size_t>(c)]);
+  return d.wc.subgraph(graph_, c);
+}
+
 ComponentPlan ArtifactCache::build_plan(const SpectralOptions& options) {
   ComponentPlan plan;
   if (!options.decompose) {
@@ -93,9 +164,9 @@ ComponentPlan ArtifactCache::build_plan(const SpectralOptions& options) {
     // distinct from decomposed ones — solver_options_equal keys the
     // decompose switch).
     PlannedComponent whole;
-    whole.vertices = graph_.num_vertices();
-    whole.edges = graph_.num_edges();
-    whole.in_place = &graph_;
+    whole.vertices = num_vertices();
+    whole.edges = num_edges();
+    whole.in_place = &graph();
     if (fingerprint_.has_value()) {
       whole.fingerprint = *fingerprint_;
       whole.fingerprinted = true;
@@ -124,15 +195,20 @@ ComponentPlan ArtifactCache::build_plan(const SpectralOptions& options) {
       entry.fingerprint_fn = [this, c] {
         Decomposition& dd = *decomp_;
         const auto i = static_cast<std::size_t>(c);
-        dd.fingerprints[i] = subgraph_fingerprint(graph_, dd.wc, c);
+        dd.fingerprints[i] = subgraph_fingerprint(graph(), dd.wc, c);
         dd.known[i] = true;
         return dd.fingerprints[i];
       };
     }
-    if (d.wc.count == 1) {
+    if (d.wc.count == 1 && materialized_) {
       // A connected graph's single component reproduces the graph
       // verbatim — solve in place, never copy.
       entry.in_place = &graph_;
+    } else if (lazy_.has_value()) {
+      entry.materialize = [this, c] {
+        return lazy_->component(
+            decomp_->source_index[static_cast<std::size_t>(c)]);
+      };
     } else {
       entry.materialize = [this, c] {
         return decomp_->wc.subgraph(graph_, c);
@@ -149,7 +225,7 @@ std::uint64_t ArtifactCache::fingerprint() {
     return *fingerprint_;
   }
   ++stats_.misses;
-  fingerprint_ = graph_fingerprint(graph_);
+  fingerprint_ = graph_fingerprint(graph());
   return *fingerprint_;
 }
 
@@ -159,9 +235,70 @@ const std::vector<VertexId>& ArtifactCache::topo_order() {
     return *topo_;
   }
   ++stats_.misses;
-  auto order = topological_order(graph_);
-  GIO_EXPECTS_MSG(order.has_value(), "graph is cyclic");
-  topo_ = std::move(*order);
+  Decomposition& d = decomposition();
+  const int count = d.wc.count;
+  // Per-component orders in local ids: store hit, trivial, or Kahn run.
+  std::vector<std::vector<VertexId>> orders(
+      static_cast<std::size_t>(count));
+  for (int c = 0; c < count; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    const auto n = static_cast<std::int64_t>(d.wc.vertices[i].size());
+    if (d.edges[i] == 0) {
+      // Edgeless: min-first Kahn is the ascending local numbering —
+      // cheaper to regenerate than to fingerprint and store.
+      orders[i].resize(static_cast<std::size_t>(n));
+      std::iota(orders[i].begin(), orders[i].end(), VertexId{0});
+      continue;
+    }
+    const std::uint64_t fp = component_fingerprint(c);
+    if (auto cached = store_->lookup_topo(fp);
+        cached.has_value() &&
+        static_cast<std::int64_t>(cached->order.size()) == n) {
+      orders[i] = std::move(cached->order);
+      continue;
+    }
+    Digraph extracted;
+    const Digraph* sub;
+    if (count == 1 && materialized_) {
+      sub = &graph_;
+    } else {
+      extracted = component_subgraph(c);
+      sub = &extracted;
+    }
+    auto order = topological_order(*sub);
+    GIO_EXPECTS_MSG(order.has_value(), "graph is cyclic");
+    ++stats_.topo_computes;
+    store_->store_topo(fp, {*order});
+    orders[i] = std::move(*order);
+  }
+  // Merge by smallest next global id. Each component's min-first Kahn
+  // order is the restriction of the whole-graph order (readiness never
+  // crosses components), and ascending-extraction numbering makes
+  // local→global monotone within a component, so the globally smallest
+  // ready vertex is always some component's next element — the merge
+  // replays whole-graph Kahn exactly.
+  std::vector<std::size_t> pos(static_cast<std::size_t>(count), 0);
+  std::vector<VertexId> merged;
+  merged.reserve(static_cast<std::size_t>(num_vertices()));
+  using Item = std::pair<VertexId, int>;  // (global id, component)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (int c = 0; c < count; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    if (!orders[i].empty())
+      heap.push({d.wc.vertices[i][static_cast<std::size_t>(orders[i][0])],
+                 c});
+  }
+  while (!heap.empty()) {
+    const auto [global, c] = heap.top();
+    heap.pop();
+    merged.push_back(global);
+    const auto i = static_cast<std::size_t>(c);
+    if (++pos[i] < orders[i].size())
+      heap.push(
+          {d.wc.vertices[i][static_cast<std::size_t>(orders[i][pos[i]])],
+           c});
+  }
+  topo_ = std::move(merged);
   return *topo_;
 }
 
@@ -172,15 +309,14 @@ const la::CsrMatrix& ArtifactCache::laplacian(LaplacianKind kind) {
     return it->second;
   }
   ++stats_.misses;
-  return laplacians_.emplace(kind, graphio::laplacian(graph_, kind))
+  return laplacians_.emplace(kind, graphio::laplacian(graph(), kind))
       .first->second;
 }
 
 const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
     LaplacianKind kind, int count, const SpectralOptions& options) {
   GIO_EXPECTS(count >= 0);
-  count = static_cast<int>(
-      std::min<std::int64_t>(count, graph_.num_vertices()));
+  count = static_cast<int>(std::min<std::int64_t>(count, num_vertices()));
   const auto it = spectra_.find(kind);
   // Hit on `requested`, not values.size(): a non-converged solve returns
   // a shorter prefix, and re-running the identical failing solve would
@@ -195,20 +331,21 @@ const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
 
   // Lookup-then-extract: the plan describes every component without its
   // vertex data, the resolver answers clean components straight from the
-  // fingerprint-keyed cache (zero allocations), and only misses
+  // fingerprint-keyed store (zero allocations), and only misses
   // materialize their subgraph and eigensolve. Equal components (within
-  // this graph or, via an Engine-shared cache, across specs) eigensolve
-  // once per process; trivial (edgeless) components never touch the
-  // cache — recomputing zeros is cheaper than fingerprinting them.
+  // this graph or, via an Engine-shared store, across specs and — with a
+  // disk tier — across restarts) eigensolve once; trivial (edgeless)
+  // components never touch the store — recomputing zeros is cheaper than
+  // fingerprinting them.
   SpectralPipeline pipeline(options);
   pipeline.set_component_resolver(
       [this](std::uint64_t fp, std::int64_t, std::int64_t, LaplacianKind k,
              int h, const SpectralOptions& opts) {
-        return components_->lookup(fp, k, h, opts);
+        return store_->lookup_spectrum(fp, k, h, opts);
       },
       [this](std::uint64_t fp, LaplacianKind k, int requested,
              const SpectralOptions& opts, const ComponentSolve& solve) {
-        components_->store(fp, k, requested, opts, solve);
+        store_->store_spectrum(fp, k, requested, opts, solve);
       });
   const PipelineResult result = pipeline.run_plan(build_plan(options), kind,
                                                   count);
@@ -247,7 +384,7 @@ std::int64_t ArtifactCache::cached_spectrum_values(
              : static_cast<std::int64_t>(it->second.values.size());
 }
 
-const flow::ConvexMinCutResult& ArtifactCache::max_wavefront_cut(
+const ArtifactCache::WavefrontArtifact& ArtifactCache::max_wavefront_cut(
     const flow::ConvexMinCutOptions& options) {
   const auto it = max_cuts_.find(options.engine);
   if (it != max_cuts_.end()) {
@@ -255,12 +392,100 @@ const flow::ConvexMinCutResult& ArtifactCache::max_wavefront_cut(
     return it->second;
   }
   ++stats_.misses;
-  ++stats_.mincut_sweeps;
-  // Memory 0 keeps every cut relevant; per-M bounds derive from best_cut.
-  return max_cuts_
-      .emplace(options.engine,
-               flow::convex_mincut_bound(graph_, 0.0, options))
+  Decomposition& d = decomposition();
+  const int count = d.wc.count;
+  WavefrontArtifact artifact;
+  artifact.components = count;
+  artifact.cuts.resize(static_cast<std::size_t>(count), 0);
+  for (int c = 0; c < count; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    if (d.edges[i] == 0) continue;  // no descendants anywhere: C(v) = 0
+    const std::uint64_t fp = component_fingerprint(c);
+    if (auto cached = store_->lookup_mincut(fp, options.engine)) {
+      artifact.cuts[i] = cached->best_cut;
+      if (cached->best_cut > artifact.best_cut) {
+        artifact.best_cut = cached->best_cut;
+        artifact.best_vertex =
+            cached->best_vertex >= 0
+                ? d.wc.vertices[i][static_cast<std::size_t>(
+                      cached->best_vertex)]
+                : VertexId{-1};
+      }
+      continue;
+    }
+    Digraph extracted;
+    const Digraph* sub;
+    if (count == 1 && materialized_) {
+      sub = &graph_;
+    } else {
+      extracted = component_subgraph(c);
+      sub = &extracted;
+    }
+    ++stats_.mincut_sweeps;
+    // Memory 0 keeps every cut relevant; per-M bounds derive from the
+    // per-component best cuts.
+    const flow::ConvexMinCutResult result =
+        flow::convex_mincut_bound(*sub, 0.0, options);
+    artifact.cuts[i] = result.best_cut;
+    artifact.completed = artifact.completed && result.completed;
+    if (result.completed)
+      store_->store_mincut(fp, options.engine,
+                           {result.best_cut, result.best_vertex,
+                            result.vertices_processed, result.completed});
+    if (result.best_cut > artifact.best_cut) {
+      artifact.best_cut = result.best_cut;
+      artifact.best_vertex =
+          result.best_vertex >= 0
+              ? d.wc.vertices[i][static_cast<std::size_t>(
+                    result.best_vertex)]
+              : VertexId{-1};
+    }
+  }
+  return max_cuts_.emplace(options.engine, std::move(artifact))
       .first->second;
+}
+
+const ArtifactCache::MemsimArtifact& ArtifactCache::memsim_row(
+    std::int64_t memory, int random_orders) {
+  const auto key = std::make_pair(memory, random_orders);
+  const auto it = memsims_.find(key);
+  if (it != memsims_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  Decomposition& d = decomposition();
+  const int count = d.wc.count;
+  MemsimArtifact artifact;
+  artifact.components = count;
+  for (int c = 0; c < count; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    // Isolated vertices are sources and sinks at once: all their I/O is
+    // trivial and excluded from reads/writes by the simulator.
+    if (d.edges[i] == 0) continue;
+    const std::uint64_t fp = component_fingerprint(c);
+    if (auto cached = store_->lookup_memsim(fp, memory, random_orders)) {
+      artifact.reads += cached->reads;
+      artifact.writes += cached->writes;
+      continue;
+    }
+    Digraph extracted;
+    const Digraph* sub;
+    if (count == 1 && materialized_) {
+      sub = &graph_;
+    } else {
+      extracted = component_subgraph(c);
+      sub = &extracted;
+    }
+    ++stats_.memsim_runs;
+    const sim::SimResult result =
+        sim::best_schedule_io(*sub, memory, random_orders);
+    store_->store_memsim(fp, memory, random_orders,
+                         {result.reads, result.writes});
+    artifact.reads += result.reads;
+    artifact.writes += result.writes;
+  }
+  return memsims_.emplace(key, std::move(artifact)).first->second;
 }
 
 std::int64_t ArtifactCache::eigensolves(LaplacianKind kind) const noexcept {

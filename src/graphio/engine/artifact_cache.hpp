@@ -5,35 +5,41 @@
 // maximum wavefront cut of the convex min-cut baseline. None of them
 // depend on the memory size M, so one cache instance serves every method
 // and every M of a sweep — the Engine computes each artifact at most once
-// per graph. Hit/miss counters are exposed so tests (and the CLI's JSON
+// per graph. Per-component artifacts (spectra, topo orders, min-cut
+// sweeps, memsim rows) additionally resolve through the content-addressed
+// store::ArtifactStore before computing, so equal components across
+// specs, stream patches, and (with a disk tier) process restarts compute
+// once. Hit/miss counters are exposed so tests (and the CLI's JSON
 // reports) can certify the reuse, e.g. that a full `--method all
 // --memory 4,8,16` run performs exactly one eigendecomposition per
 // Laplacian kind.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "graphio/core/spectral_bound.hpp"
-#include "graphio/engine/component_cache.hpp"
 #include "graphio/flow/convex_mincut.hpp"
 #include "graphio/graph/components.hpp"
 #include "graphio/graph/digraph.hpp"
 #include "graphio/graph/laplacian.hpp"
 #include "graphio/la/csr_matrix.hpp"
+#include "graphio/store/artifact_store.hpp"
 
 namespace graphio::engine {
 
 /// A precomputed component decomposition handed to an ArtifactCache by a
 /// caller that already maintains one — the stream session's
 /// DynamicComponents membership plus its incrementally-maintained
-/// per-component fingerprints. With a seed installed, a spectrum query
-/// never decomposes, never re-fingerprints, and materializes only the
-/// components whose fingerprints miss the ComponentSpectrumCache (for a
-/// stream session: exactly the dirty ones).
+/// per-component fingerprints. With a seed installed, a per-component
+/// artifact query never decomposes, never re-fingerprints, and
+/// materializes only the components whose fingerprints miss the
+/// ArtifactStore (for a stream session: exactly the dirty ones).
 struct ComponentSeed {
   struct Component {
     /// Vertex ids of the owning graph, ascending (the extraction order).
@@ -48,31 +54,67 @@ struct ComponentSeed {
   std::vector<Component> components;
 };
 
+/// A graph described by callbacks instead of an owned Digraph — the
+/// stream session hands one of these (plus a seed) after every patch, so
+/// a query that only touches per-component artifacts never pays the
+/// O(n + m) whole-graph materialization. `component` receives the index
+/// of the seed component (in the caller's pre-sort order) to extract.
+struct LazyGraph {
+  std::int64_t vertices = 0;
+  std::int64_t edges = 0;
+  std::function<Digraph()> materialize;
+  std::function<Digraph(int)> component;
+  std::function<std::int64_t()> max_out_degree;
+  std::function<std::int64_t()> max_in_degree;
+};
+
 class ArtifactCache {
  public:
-  /// Takes ownership of the graph; artifacts are computed lazily. Spectra
-  /// are computed per weakly connected component through the
-  /// SpectralPipeline against `components`, the fingerprint-keyed
-  /// per-component spectrum cache — pass an Engine-shared instance so
-  /// equal components across specs (and across the batch fan-out's
-  /// private caches) eigensolve once per process; when null, the cache
-  /// creates a private one (identical components *within* one graph still
+  /// Takes ownership of the graph; artifacts are computed lazily.
+  /// Per-component artifacts resolve through `store`, the
+  /// fingerprint-keyed content-addressed artifact store — pass an
+  /// Engine-shared instance so equal components across specs (and across
+  /// the batch fan-out's private caches) compute once per process (or,
+  /// with a disk tier, once ever); when null, the cache creates a private
+  /// memory-only one (identical components *within* one graph still
   /// dedupe). A `seed` (validated against the graph) pre-installs the
   /// decomposition and per-component fingerprints, so the query path
   /// skips both.
   explicit ArtifactCache(
-      Digraph graph,
-      std::shared_ptr<ComponentSpectrumCache> components = nullptr,
+      Digraph graph, std::shared_ptr<store::ArtifactStore> store = nullptr,
       std::optional<ComponentSeed> seed = std::nullopt);
 
-  [[nodiscard]] const Digraph& graph() const noexcept { return graph_; }
+  /// Lazy variant: the graph stays unmaterialized until a whole-graph
+  /// consumer (partition-dp's DP, pebble-exact, monolithic spectra) asks
+  /// for it; per-component artifact queries extract through
+  /// `lazy.component` — only store misses — instead. Requires a seed:
+  /// without known fingerprints every component would have to
+  /// materialize anyway, defeating the point.
+  ArtifactCache(LazyGraph lazy, std::shared_ptr<store::ArtifactStore> store,
+                ComponentSeed seed);
+
+  /// The graph, materializing it on first use for lazily-constructed
+  /// caches.
+  [[nodiscard]] const Digraph& graph();
+
+  /// Structural counts, without materializing a lazy graph.
+  [[nodiscard]] std::int64_t num_vertices() const noexcept;
+  [[nodiscard]] std::int64_t num_edges() const noexcept;
+  [[nodiscard]] std::int64_t max_out_degree();
+  [[nodiscard]] std::int64_t max_in_degree();
 
   /// Content fingerprint of the graph (engine/fingerprint.hpp), computed
   /// on first use and cached — the serve ResultStore asks for it on every
   /// request.
   [[nodiscard]] std::uint64_t fingerprint();
 
-  /// Kahn topological order. Throws contract_error on cyclic graphs.
+  /// Kahn topological order (lowest-id-first), assembled per weak
+  /// component: each component's order resolves from the ArtifactStore by
+  /// content fingerprint or runs Kahn on just that component, and the
+  /// per-component orders merge by smallest next global id — bit-identical
+  /// to whole-graph Kahn, because the global greedy always picks the
+  /// minimum over the components' local minima. Throws contract_error on
+  /// cyclic graphs.
   const std::vector<VertexId>& topo_order();
 
   /// Sparse Laplacian of the requested kind.
@@ -92,9 +134,9 @@ class ArtifactCache {
     /// Weak components the pipeline decomposed the graph into.
     int components = 1;
     /// Component eigensolves actually run for this artifact (solves
-    /// served by the component cache or trivially zero are excluded).
+    /// served by the artifact store or trivially zero are excluded).
     std::int64_t eigensolves = 0;
-    /// Component solves served by the shared component-spectrum cache.
+    /// Component solves served by the shared artifact store.
     std::int64_t component_hits = 0;
     /// Component subgraphs materialized for this artifact — on the
     /// fingerprint-first path only resolver misses extract, so for a
@@ -128,20 +170,54 @@ class ArtifactCache {
   [[nodiscard]] std::int64_t cached_spectrum_values(
       LaplacianKind kind) const noexcept;
 
-  /// The memory-independent core of the convex min-cut baseline:
-  /// max_v C(v, G) (the bound at memory M is 2*max(0, best_cut - M)).
-  /// Cached per flow engine; a finite time budget only applies on the
-  /// first (computing) call.
-  const flow::ConvexMinCutResult& max_wavefront_cut(
+  /// The memory-independent core of the convex min-cut baseline, per weak
+  /// component: cuts[c] = max_v C(v) within component c. Components share
+  /// no wavefront (a down-closed set of a disjoint union is the union of
+  /// per-component down-closed sets), so the bound at memory M composes
+  /// per Kwasniewski-style subgraph summation:
+  ///     J* ≥ Σ_c 2·max(0, cuts[c] − M)
+  /// — equal to the classical whole-graph bound on connected graphs and
+  /// at least as strong on disjoint unions. Each component's sweep
+  /// resolves from the ArtifactStore by content fingerprint or computes
+  /// (and, when completed, publishes). Cached per flow engine; a finite
+  /// time budget applies per component on the first (computing) call.
+  struct WavefrontArtifact {
+    std::vector<std::int64_t> cuts;  ///< per component, component order
+    std::int64_t best_cut = 0;       ///< max over components
+    VertexId best_vertex = -1;       ///< global id of the argmax vertex
+    bool completed = true;           ///< every component sweep completed
+    int components = 1;
+  };
+  const WavefrontArtifact& max_wavefront_cut(
       const flow::ConvexMinCutOptions& options = {});
+
+  /// Best simulated schedule cost at (memory, random_orders), summed per
+  /// weak component. Components share no values, so scheduling them one
+  /// after another is feasible whenever each fits — the sum is a valid
+  /// (and never weaker) upper bound, identical to the whole-graph
+  /// simulation on connected graphs. Per-component rows resolve from the
+  /// ArtifactStore by content fingerprint. Requires memory ≥ the graph's
+  /// max in-degree (the caller's feasibility guard); throws
+  /// contract_error like sim::best_schedule_io otherwise.
+  struct MemsimArtifact {
+    std::int64_t reads = 0;
+    std::int64_t writes = 0;
+    int components = 1;
+    [[nodiscard]] std::int64_t total() const noexcept {
+      return reads + writes;
+    }
+  };
+  const MemsimArtifact& memsim_row(std::int64_t memory, int random_orders);
 
   struct Stats {
     std::int64_t hits = 0;         ///< artifact requests served from cache
     std::int64_t misses = 0;       ///< artifact requests that computed
     std::int64_t eigensolves = 0;  ///< per-component eigendecomposition runs
-    std::int64_t mincut_sweeps = 0;  ///< full wavefront min-cut sweeps
-    /// Component solves served by the shared component-spectrum cache
-    /// instead of an eigensolver run.
+    std::int64_t mincut_sweeps = 0;  ///< per-component wavefront sweeps run
+    std::int64_t topo_computes = 0;  ///< per-component Kahn runs
+    std::int64_t memsim_runs = 0;    ///< per-component schedule simulations
+    /// Component solves served by the shared artifact store instead of an
+    /// eigensolver run.
     std::int64_t component_hits = 0;
     /// Component subgraphs materialized (fingerprint-first resolver
     /// misses) — the stream invariant is extractions == dirty components.
@@ -163,6 +239,8 @@ class ArtifactCache {
       misses += other.misses;
       eigensolves += other.eigensolves;
       mincut_sweeps += other.mincut_sweeps;
+      topo_computes += other.topo_computes;
+      memsim_runs += other.memsim_runs;
       component_hits += other.component_hits;
       subgraph_extractions += other.subgraph_extractions;
       fingerprint_computes += other.fingerprint_computes;
@@ -177,6 +255,8 @@ class ArtifactCache {
               misses - other.misses,
               eigensolves - other.eigensolves,
               mincut_sweeps - other.mincut_sweeps,
+              topo_computes - other.topo_computes,
+              memsim_runs - other.memsim_runs,
               component_hits - other.component_hits,
               subgraph_extractions - other.subgraph_extractions,
               fingerprint_computes - other.fingerprint_computes,
@@ -188,11 +268,11 @@ class ArtifactCache {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
-  /// The per-component spectrum cache this cache resolves against (shared
-  /// with the owning Engine, or private).
-  [[nodiscard]] const std::shared_ptr<ComponentSpectrumCache>&
-  component_cache() const noexcept {
-    return components_;
+  /// The content-addressed artifact store this cache resolves against
+  /// (shared with the owning Engine, or private).
+  [[nodiscard]] const std::shared_ptr<store::ArtifactStore>&
+  artifact_store() const noexcept {
+    return store_;
   }
 
   /// Eigensolve count for one Laplacian kind (test hook for the
@@ -200,23 +280,34 @@ class ArtifactCache {
   [[nodiscard]] std::int64_t eigensolves(LaplacianKind kind) const noexcept;
 
  private:
-  /// The cached decomposition behind every spectrum query: computed once
-  /// per graph (all Laplacian kinds and option groups share it), either
-  /// from a seed (zero work) or by one BFS. Fingerprints fill in lazily —
-  /// at most once per component for the cache's lifetime.
+  /// The cached decomposition behind every per-component artifact:
+  /// computed once per graph (all artifact kinds and option groups share
+  /// it), either from a seed (zero work) or by one BFS. Fingerprints fill
+  /// in lazily — at most once per component for the cache's lifetime.
   struct Decomposition {
     WeakComponents wc;
     std::vector<std::int64_t> edges;         ///< per component
     std::vector<std::uint64_t> fingerprints; ///< valid where known
     std::vector<bool> known;
+    /// Pre-sort position of each component in the caller's seed — the
+    /// index LazyGraph::component expects (empty for unseeded caches).
+    std::vector<int> source_index;
   };
   Decomposition& decomposition();
   /// The lookup-then-extract plan for one spectrum query (monolithic
   /// single-entry plan when options.decompose is off).
   ComponentPlan build_plan(const SpectralOptions& options);
+  /// The content fingerprint of component c, computed (and counted) on
+  /// first use.
+  std::uint64_t component_fingerprint(int c);
+  /// Extracts component c's subgraph (counted). For single-component
+  /// materialized graphs callers should use graph() in place instead.
+  Digraph component_subgraph(int c);
 
   Digraph graph_;
-  std::shared_ptr<ComponentSpectrumCache> components_;
+  bool materialized_ = true;
+  std::optional<LazyGraph> lazy_;
+  std::shared_ptr<store::ArtifactStore> store_;
   std::optional<ComponentSeed> seed_;
   std::optional<Decomposition> decomp_;
   Stats stats_;
@@ -226,7 +317,8 @@ class ArtifactCache {
   std::map<LaplacianKind, SpectrumArtifact> spectra_;
   std::map<LaplacianKind, SpectralOptions> spectra_options_;
   std::map<LaplacianKind, std::int64_t> eigensolves_by_kind_;
-  std::map<flow::FlowEngine, flow::ConvexMinCutResult> max_cuts_;
+  std::map<flow::FlowEngine, WavefrontArtifact> max_cuts_;
+  std::map<std::pair<std::int64_t, int>, MemsimArtifact> memsims_;
 };
 
 }  // namespace graphio::engine

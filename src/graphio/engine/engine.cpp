@@ -23,8 +23,8 @@ BoundReport Engine::evaluate_with_cache(const BoundRequest& request,
 
   BoundReport report;
   report.graph = request.display_name();
-  report.vertices = cache.graph().num_vertices();
-  report.edges = cache.graph().num_edges();
+  report.vertices = cache.num_vertices();
+  report.edges = cache.num_edges();
   report.processors = request.processors;
   report.memories = request.memories;
 
@@ -74,7 +74,7 @@ ArtifactCache& Engine::ensure_cache(const std::string& spec) {
   if (it == caches_.end()) {
     it = caches_
              .emplace(spec, std::make_unique<ArtifactCache>(
-                                GraphSpec::parse(spec).build(), components_))
+                                GraphSpec::parse(spec).build(), store_))
              .first;
   }
   return *it->second;
@@ -84,9 +84,9 @@ BoundReport Engine::evaluate(const BoundRequest& request) {
   if (request.graph.has_value()) {
     // Explicit graphs get a private artifact cache (the Engine cannot
     // tell whether two Digraph values are the same computation), but
-    // share the component-spectrum cache — content addressing makes that
-    // safe and lets explicit graphs reuse spec-built component spectra.
-    ArtifactCache cache(*request.graph, components_);
+    // share the artifact store — content addressing makes that safe and
+    // lets explicit graphs reuse spec-built component artifacts.
+    ArtifactCache cache(*request.graph, store_);
     return evaluate_with_cache(request, cache);
   }
   return evaluate_with_cache(request, ensure_cache(request.spec));
@@ -103,7 +103,18 @@ void Engine::install_graph(const std::string& name, Digraph graph,
                   "installed graph name '" + name +
                       "' collides with a family spec or graph file");
   caches_.insert_or_assign(
-      name, std::make_unique<ArtifactCache>(std::move(graph), components_,
+      name, std::make_unique<ArtifactCache>(std::move(graph), store_,
+                                            std::move(seed)));
+}
+
+void Engine::install_graph(const std::string& name, LazyGraph graph,
+                           ComponentSeed seed) {
+  GIO_EXPECTS_MSG(!name.empty(), "installed graph needs a name");
+  GIO_EXPECTS_MSG(!GraphSpec::try_parse(name).has_value(),
+                  "installed graph name '" + name +
+                      "' collides with a family spec or graph file");
+  caches_.insert_or_assign(
+      name, std::make_unique<ArtifactCache>(std::move(graph), store_,
                                             std::move(seed)));
 }
 
@@ -137,7 +148,7 @@ std::vector<BoundReport> Engine::evaluate_batch(
                                            ? *request.graph
                                            : GraphSpec::parse(request.spec)
                                                  .build();
-                           ArtifactCache cache(std::move(g), components_);
+                           ArtifactCache cache(std::move(g), store_);
                            reports[static_cast<std::size_t>(i)] =
                                evaluate_with_cache(request, cache);
                          } catch (const std::exception& e) {
@@ -158,7 +169,7 @@ const ArtifactCache* Engine::cache(const std::string& spec) const {
 
 void Engine::clear() {
   caches_.clear();
-  components_->clear();
+  store_->clear();
 }
 
 }  // namespace graphio::engine

@@ -34,16 +34,17 @@ class Engine {
  public:
   Engine() = default;
 
-  /// Shares an existing per-component spectrum cache instead of owning a
-  /// private one — the serve scheduler hands one instance to every
-  /// worker Engine, so a component shared across specs eigensolves once
-  /// per process even when the specs shard to different workers. The
-  /// cache is mutex-guarded; everything else about the Engines stays
+  /// Shares an existing content-addressed artifact store instead of
+  /// owning a private (memory-only) one — the serve scheduler hands one
+  /// instance to every worker Engine, so a component shared across specs
+  /// computes each artifact once per process even when the specs shard to
+  /// different workers; with a disk tier attached, once ever. The store
+  /// is mutex-guarded; everything else about the Engines stays
   /// independent.
-  explicit Engine(std::shared_ptr<ComponentSpectrumCache> components)
-      : components_(std::move(components)) {
-    GIO_EXPECTS_MSG(components_ != nullptr,
-                    "shared component cache must not be null");
+  explicit Engine(std::shared_ptr<store::ArtifactStore> store)
+      : store_(std::move(store)) {
+    GIO_EXPECTS_MSG(store_ != nullptr,
+                    "shared artifact store must not be null");
   }
 
   /// Evaluates one request: resolves the graph (building it on first use
@@ -69,18 +70,26 @@ class Engine {
   /// whose spec equals `name` evaluate against it with a persistent
   /// ArtifactCache, exactly like a family spec. Replacing drops the old
   /// cache's whole-graph artifacts (they describe a graph that no longer
-  /// exists) while per-component spectra survive in the shared
-  /// content-addressed component cache — the invalidation granularity the
+  /// exists) while per-component artifacts survive in the shared
+  /// content-addressed artifact store — the invalidation granularity the
   /// stream subsystem relies on. The name must not itself parse as a
   /// family spec or name an existing graph file (a later plain request
   /// for that spec would silently read the installed graph instead).
   /// A `seed` (engine/artifact_cache.hpp) pre-installs the component
-  /// decomposition and per-component fingerprints, so spectrum queries
+  /// decomposition and per-component fingerprints, so artifact queries
   /// skip decomposition and re-hashing entirely — the stream session
   /// hands its incrementally-maintained membership here after every
   /// patch.
   void install_graph(const std::string& name, Digraph graph,
                      std::optional<ComponentSeed> seed = std::nullopt);
+
+  /// As above, but with a LazyGraph: the whole graph is never
+  /// materialized unless a whole-graph method (partition-dp,
+  /// pebble-exact, monolithic spectra) actually runs — per-component
+  /// artifact queries extract only the components whose fingerprints
+  /// miss the store. This is the stream session's post-patch handoff.
+  void install_graph(const std::string& name, LazyGraph graph,
+                     ComponentSeed seed);
 
   /// Content fingerprint of the graph a spec resolves to (building the
   /// graph on first use, like graph()). The serve ResultStore keys disk
@@ -97,15 +106,17 @@ class Engine {
   /// batch summary footer.
   [[nodiscard]] ArtifactCache::Stats stats() const;
 
-  /// The per-component spectrum cache shared by every ArtifactCache this
-  /// Engine creates — spec-addressed, explicit-graph, and batch fan-out
-  /// caches alike — so a component shared across specs eigensolves once.
-  [[nodiscard]] const std::shared_ptr<ComponentSpectrumCache>&
-  component_cache() const noexcept {
-    return components_;
+  /// The content-addressed artifact store shared by every ArtifactCache
+  /// this Engine creates — spec-addressed, explicit-graph, and batch
+  /// fan-out caches alike — so a component shared across specs computes
+  /// each artifact kind once.
+  [[nodiscard]] const std::shared_ptr<store::ArtifactStore>&
+  artifact_store() const noexcept {
+    return store_;
   }
 
-  /// Drops all cached graphs and artifacts (including component spectra).
+  /// Drops all cached graphs and artifacts (including the store's
+  /// memory tier; an attached disk tier is untouched).
   void clear();
 
  private:
@@ -113,8 +124,8 @@ class Engine {
   BoundReport evaluate_with_cache(const BoundRequest& request,
                                   ArtifactCache& cache);
 
-  std::shared_ptr<ComponentSpectrumCache> components_ =
-      std::make_shared<ComponentSpectrumCache>();
+  std::shared_ptr<store::ArtifactStore> store_ =
+      std::make_shared<store::ArtifactStore>();
   std::unordered_map<std::string, std::unique_ptr<ArtifactCache>> caches_;
 };
 

@@ -60,10 +60,10 @@ std::vector<MethodRow> spectral_rows(const BoundMethod& method,
                                      std::span<const double> memories,
                                      LaplacianKind kind, double scale,
                                      std::int64_t processors) {
-  const Digraph& g = ctx.cache.graph();
+  const std::int64_t n = ctx.cache.num_vertices();
   WallTimer timer;
   const int h = static_cast<int>(std::min<std::int64_t>(
-      ctx.request.spectral.max_eigenvalues, g.num_vertices()));
+      ctx.request.spectral.max_eigenvalues, n));
   const ArtifactCache::SpectrumArtifact& spectrum =
       ctx.cache.spectrum(kind, h, ctx.request.spectral);
 
@@ -72,7 +72,7 @@ std::vector<MethodRow> spectral_rows(const BoundMethod& method,
   for (std::size_t i = 0; i < memories.size(); ++i) {
     MethodRow row = base_row(method, memories[i], processors);
     const BoundOverK best = bound_from_spectrum(
-        spectrum.values, g.num_vertices(), memories[i], processors, scale);
+        spectrum.values, n, memories[i], processors, scale);
     row.value = best.bound;
     row.best_k = best.best_k;
     row.converged = spectrum.converged;
@@ -108,7 +108,7 @@ class SpectralPlainMethod final : public BoundMethod {
   BoundKind kind() const override { return BoundKind::kLower; }
   std::vector<MethodRow> evaluate(
       MethodContext& ctx, std::span<const double> memories) const override {
-    const std::int64_t dmax = ctx.cache.graph().max_out_degree();
+    const std::int64_t dmax = ctx.cache.max_out_degree();
     if (dmax == 0) {
       // Edgeless graph: the Laplacian is zero and the bound is trivially 0.
       std::vector<MethodRow> rows;
@@ -147,18 +147,25 @@ class MincutMethod final : public BoundMethod {
   std::vector<MethodRow> evaluate(
       MethodContext& ctx, std::span<const double> memories) const override {
     WallTimer timer;
-    // The wavefront cuts C(v) are M-independent; one sweep serves the
-    // whole memory sweep (the bound at M is 2*max(0, max_v C(v) - M)).
-    const flow::ConvexMinCutResult& sweep =
+    // The wavefront cuts C(v) are M-independent; one per-component sweep
+    // serves the whole memory sweep. Weak components share no wavefront,
+    // so the per-component bounds 2*max(0, C_c - M) sum — equal to the
+    // classical whole-graph bound on connected graphs and at least as
+    // strong on disjoint unions.
+    const ArtifactCache::WavefrontArtifact& sweep =
         ctx.cache.max_wavefront_cut(ctx.request.mincut);
     std::vector<MethodRow> rows;
     rows.reserve(memories.size());
     for (std::size_t i = 0; i < memories.size(); ++i) {
       MethodRow row = base_row(*this, memories[i]);
-      row.value = std::max(
-          0.0, 2.0 * (static_cast<double>(sweep.best_cut) - memories[i]));
+      double total = 0.0;
+      for (std::int64_t cut : sweep.cuts)
+        total += std::max(0.0, 2.0 * (static_cast<double>(cut) - memories[i]));
+      row.value = total;
       row.converged = sweep.completed;
       row.note = "C(v)=" + std::to_string(sweep.best_cut);
+      if (sweep.components > 1)
+        row.note += " components=" + std::to_string(sweep.components);
       row.seconds = i == 0 ? timer.seconds() : 0.0;
       rows.push_back(std::move(row));
     }
@@ -277,12 +284,12 @@ class PebbleExactMethod final : public BoundMethod {
   BoundKind kind() const override { return BoundKind::kExact; }
   std::vector<MethodRow> evaluate(
       MethodContext& ctx, std::span<const double> memories) const override {
-    const Digraph& g = ctx.cache.graph();
-    if (g.num_vertices() > exact::kMaxExactVertices)
+    if (ctx.cache.num_vertices() > exact::kMaxExactVertices)
       return inapplicable_rows(
           *this, memories,
           "graph exceeds " + std::to_string(exact::kMaxExactVertices) +
               " vertices");
+    const Digraph& g = ctx.cache.graph();
     std::vector<MethodRow> rows;
     rows.reserve(memories.size());
     for (double m : memories) {
@@ -320,13 +327,14 @@ class MemsimMethod final : public BoundMethod {
   BoundKind kind() const override { return BoundKind::kUpper; }
   std::vector<MethodRow> evaluate(
       MethodContext& ctx, std::span<const double> memories) const override {
-    const Digraph& g = ctx.cache.graph();
+    // Whole-graph feasibility; every component's max in-degree is <= it.
+    const std::int64_t dmax_in = ctx.cache.max_in_degree();
     std::vector<MethodRow> rows;
     rows.reserve(memories.size());
     for (double m : memories) {
       MethodRow row = base_row(*this, m);
       const auto mem = static_cast<std::int64_t>(m);
-      if (static_cast<double>(g.max_in_degree()) > m || mem < 1) {
+      if (static_cast<double>(dmax_in) > m || mem < 1) {
         row.applicable = false;
         row.note = "no feasible schedule: max in-degree exceeds M";
         rows.push_back(std::move(row));
@@ -334,8 +342,11 @@ class MemsimMethod final : public BoundMethod {
       }
       WallTimer timer;
       try {
-        const sim::SimResult r =
-            sim::best_schedule_io(g, mem, ctx.request.sim_random_orders);
+        // Per weak component (components share no values, so sequential
+        // per-component schedules compose); each row resolves through
+        // the artifact store, so only dirty components simulate.
+        const ArtifactCache::MemsimArtifact& r =
+            ctx.cache.memsim_row(mem, ctx.request.sim_random_orders);
         row.value = static_cast<double>(r.total());
         row.note = "reads=" + std::to_string(r.reads) +
                    " writes=" + std::to_string(r.writes);

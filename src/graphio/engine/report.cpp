@@ -73,6 +73,8 @@ void BoundReport::append_json(io::JsonWriter& w, bool include_timing) const {
     w.key("misses").value(cache.misses);
     w.key("eigensolves").value(cache.eigensolves);
     w.key("mincut_sweeps").value(cache.mincut_sweeps);
+    w.key("topo_computes").value(cache.topo_computes);
+    w.key("memsim_runs").value(cache.memsim_runs);
     w.key("component_hits").value(cache.component_hits);
     w.key("subgraph_extractions").value(cache.subgraph_extractions);
     w.key("fingerprint_computes").value(cache.fingerprint_computes);

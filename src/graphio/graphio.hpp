@@ -51,7 +51,7 @@
 // Unified analysis API: Engine, BoundRequest/BoundReport, the BoundMethod
 // registry, and the shared-artifact cache.
 #include "graphio/engine/artifact_cache.hpp"
-#include "graphio/engine/component_cache.hpp"
+#include "graphio/store/artifact_store.hpp"
 #include "graphio/engine/engine.hpp"
 #include "graphio/engine/fingerprint.hpp"
 #include "graphio/engine/graph_spec.hpp"

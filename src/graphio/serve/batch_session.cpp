@@ -1,6 +1,7 @@
 #include "graphio/serve/batch_session.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <istream>
 #include <ostream>
 #include <string_view>
@@ -102,6 +103,8 @@ std::string BatchSummary::to_json() const {
   w.key("misses").value(cache.misses);
   w.key("eigensolves").value(cache.eigensolves);
   w.key("mincut_sweeps").value(cache.mincut_sweeps);
+  w.key("topo_computes").value(cache.topo_computes);
+  w.key("memsim_runs").value(cache.memsim_runs);
   w.key("component_hits").value(cache.component_hits);
   w.key("subgraph_extractions").value(cache.subgraph_extractions);
   w.key("fingerprint_computes").value(cache.fingerprint_computes);
@@ -120,9 +123,17 @@ std::string BatchSummary::to_json() const {
 BatchSession::BatchSession(const BatchOptions& options) {
   if (!options.store_dir.empty())
     store_ = std::make_unique<ResultStore>(options.store_dir);
+  // One artifact store for the whole session: worker Engines and stream
+  // sessions all resolve per-component artifacts from it, and with
+  // artifact_dir set its disk tier makes them survive restarts.
+  artifacts_ = options.artifact_dir.empty()
+                   ? std::make_shared<store::ArtifactStore>()
+                   : std::make_shared<store::ArtifactStore>(
+                         std::filesystem::path(options.artifact_dir));
   SchedulerOptions scheduler_options;
   scheduler_options.threads = options.threads;
   scheduler_options.store = store_.get();
+  scheduler_options.artifacts = artifacts_;
   scheduler_ = std::make_unique<Scheduler>(scheduler_options);
 }
 
@@ -147,7 +158,7 @@ double BatchSession::handle_stream_job(const Job& job, std::ostream& out,
         // family spec); a bad name rejects this line only.
         it = streams_
                  .emplace(job.graph, std::make_unique<stream::StreamSession>(
-                                         job.graph))
+                                         job.graph, artifacts_))
                  .first;
       }
       const stream::PatchReport report = it->second->load(job.load_spec);

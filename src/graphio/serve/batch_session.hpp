@@ -49,6 +49,9 @@ struct BatchOptions {
   int threads = 0;
   /// Directory for the persistent ResultStore; empty disables it.
   std::string store_dir;
+  /// Directory for the durable tier of the process-wide ArtifactStore
+  /// (--store-artifacts); empty keeps the store memory-only.
+  std::string artifact_dir;
 };
 
 struct BatchSummary {
@@ -94,6 +97,12 @@ class BatchSession {
   [[nodiscard]] const ResultStore* store() const noexcept {
     return store_.get();
   }
+  /// The process-wide content-addressed artifact store shared by every
+  /// worker Engine and stream session (disk-backed iff artifact_dir).
+  [[nodiscard]] const std::shared_ptr<store::ArtifactStore>&
+  artifact_store() const noexcept {
+    return artifacts_;
+  }
   [[nodiscard]] Scheduler& scheduler() noexcept { return *scheduler_; }
 
   /// The named stream session, or nullptr before any load of that name
@@ -108,6 +117,7 @@ class BatchSession {
                            BatchSummary& summary);
 
   std::unique_ptr<ResultStore> store_;
+  std::shared_ptr<store::ArtifactStore> artifacts_;
   std::unique_ptr<Scheduler> scheduler_;
   std::map<std::string, std::unique_ptr<stream::StreamSession>> streams_;
 };

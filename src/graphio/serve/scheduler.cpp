@@ -128,13 +128,15 @@ Scheduler::Scheduler(const SchedulerOptions& options)
   int threads = options.threads > 0 ? options.threads : hardware_threads();
   threads = std::max(threads, 1);
   engines_.reserve(static_cast<std::size_t>(threads));
-  // One component-spectrum cache across all worker Engines (it is
-  // mutex-guarded): a component shared by specs sharded to different
-  // workers still eigensolves once per process.
-  const auto components =
-      std::make_shared<engine::ComponentSpectrumCache>();
+  // One content-addressed artifact store across all worker Engines (it
+  // is mutex-guarded): a component shared by specs sharded to different
+  // workers still computes each artifact once per process — and, when
+  // the caller attached a disk tier, once ever.
+  const auto artifacts = options.artifacts != nullptr
+                             ? options.artifacts
+                             : std::make_shared<store::ArtifactStore>();
   for (int t = 0; t < threads; ++t)
-    engines_.push_back(std::make_unique<engine::Engine>(components));
+    engines_.push_back(std::make_unique<engine::Engine>(artifacts));
 }
 
 JobResult Scheduler::evaluate_job(engine::Engine& engine,

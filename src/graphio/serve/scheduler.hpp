@@ -33,6 +33,10 @@ struct SchedulerOptions {
   int threads = 0;
   /// Shared persistent cache; nullptr disables store lookups.
   ResultStore* store = nullptr;
+  /// Content-addressed artifact store shared by every worker Engine
+  /// (possibly disk-backed, --store-artifacts); the Scheduler creates a
+  /// process-private memory-only one when null.
+  std::shared_ptr<store::ArtifactStore> artifacts;
 };
 
 /// Store-backed evaluation, shared by the worker path and the stream

@@ -1,0 +1,501 @@
+#include "graphio/store/artifact_store.hpp"
+
+#include <charconv>
+#include <limits>
+
+#include "graphio/engine/fingerprint.hpp"
+#include "graphio/io/json.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::store {
+
+namespace {
+
+/// Round-trippable double rendering (same contract as the ResultStore's):
+/// a value always looks up the way it was written.
+std::string format_double_exact(double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v,
+                                       std::chars_format::general, 17);
+  GIO_ASSERT(ec == std::errc());
+  return std::string(buf, static_cast<std::size_t>(end - buf));
+}
+
+std::uint64_t parse_fingerprint(const std::string& hex) {
+  GIO_EXPECTS_MSG(hex.size() == 16, "bad fingerprint");
+  std::uint64_t fp = 0;
+  const auto [p, ec] =
+      std::from_chars(hex.data(), hex.data() + hex.size(), fp, 16);
+  GIO_EXPECTS_MSG(ec == std::errc() && p == hex.data() + hex.size(),
+                  "bad fingerprint");
+  return fp;
+}
+
+std::string_view lap_name(LaplacianKind kind) {
+  return kind == LaplacianKind::kPlain ? "plain" : "norm";
+}
+
+LaplacianKind lap_from(const std::string& s) {
+  if (s == "plain") return LaplacianKind::kPlain;
+  if (s == "norm") return LaplacianKind::kOutDegreeNormalized;
+  GIO_EXPECTS_MSG(false, "unknown laplacian kind '" + s + "'");
+  return LaplacianKind::kPlain;  // unreachable
+}
+
+std::string_view flow_name(flow::FlowEngine engine) {
+  return engine == flow::FlowEngine::kDinic ? "dinic" : "push-relabel";
+}
+
+flow::FlowEngine flow_from(const std::string& s) {
+  if (s == "dinic") return flow::FlowEngine::kDinic;
+  if (s == "push-relabel") return flow::FlowEngine::kPushRelabel;
+  GIO_EXPECTS_MSG(false, "unknown flow engine '" + s + "'");
+  return flow::FlowEngine::kDinic;  // unreachable
+}
+
+la::SolverKind solver_from(const std::string& s) {
+  if (s == "dense") return la::SolverKind::kDense;
+  if (s == "lanczos") return la::SolverKind::kLanczos;
+  if (s == "lobpcg") return la::SolverKind::kLobpcg;
+  GIO_EXPECTS_MSG(false, "unknown solver kind '" + s + "'");
+  return la::SolverKind::kDense;  // unreachable
+}
+
+std::string spectrum_line(std::uint64_t fp, LaplacianKind kind,
+                          int requested, const std::string& options_key,
+                          const ComponentSolve& solve) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("kind").value("spectrum");
+  w.key("fp").value(engine::fingerprint_hex(fp));
+  w.key("lap").value(lap_name(kind));
+  w.key("opts").value(options_key);
+  w.key("requested").value(requested);
+  w.key("vertices").value(solve.vertices);
+  w.key("edges").value(solve.edges);
+  w.key("solver").value(la::to_string(solve.solver));
+  w.key("converged").value(solve.converged);
+  w.key("values").begin_array();
+  for (double v : solve.values) w.value(v);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string topo_line(std::uint64_t fp, const TopoOrderArtifact& topo) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("kind").value("topo");
+  w.key("fp").value(engine::fingerprint_hex(fp));
+  w.key("order").begin_array();
+  for (VertexId v : topo.order) w.value(static_cast<std::int64_t>(v));
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string mincut_line(std::uint64_t fp, flow::FlowEngine engine,
+                        const MincutSweepArtifact& sweep) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("kind").value("mincut");
+  w.key("fp").value(engine::fingerprint_hex(fp));
+  w.key("engine").value(flow_name(engine));
+  w.key("best_cut").value(sweep.best_cut);
+  w.key("best_vertex").value(static_cast<std::int64_t>(sweep.best_vertex));
+  w.key("vertices_processed").value(sweep.vertices_processed);
+  w.end_object();
+  return w.str();
+}
+
+std::string memsim_line(std::uint64_t fp, std::int64_t memory,
+                        int random_orders, const MemsimRowArtifact& row) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("kind").value("memsim");
+  w.key("fp").value(engine::fingerprint_hex(fp));
+  w.key("memory").value(memory);
+  w.key("orders").value(random_orders);
+  w.key("reads").value(row.reads);
+  w.key("writes").value(row.writes);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+std::string ArtifactStore::spectral_options_key(
+    const SpectralOptions& options) {
+  // Exactly the fields of solver_options_equal, pipe-joined; the solver
+  // policy names are identifiers, so '|' never collides.
+  std::string out = std::to_string(static_cast<int>(options.backend));
+  out += '|';
+  out += options.solver;
+  out += options.decompose ? "|1|" : "|0|";
+  out += format_double_exact(options.eig_rel_tol);
+  out += '|';
+  out += std::to_string(options.dense_threshold);
+  out += '|';
+  out += std::to_string(options.dense_rescue_threshold);
+  out += '|';
+  out += std::to_string(options.lanczos.block_size);
+  out += '|';
+  out += std::to_string(options.lanczos.max_basis);
+  out += '|';
+  out += std::to_string(options.lanczos.stall_basis_cap);
+  out += '|';
+  out += std::to_string(options.lanczos.max_cycles);
+  return out;
+}
+
+ArtifactStore::ArtifactStore(const std::filesystem::path& dir) {
+  GIO_EXPECTS_MSG(!dir.empty(), "artifact store directory must not be empty");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  GIO_EXPECTS_MSG(!ec, "cannot create artifact store directory '" +
+                           dir.string() + "': " + ec.message());
+  GIO_EXPECTS_MSG(std::filesystem::is_directory(dir, ec) && !ec,
+                  "artifact store path '" + dir.string() +
+                      "' is not a directory");
+  log_path_ = dir / "artifacts.jsonl";
+
+  if (std::filesystem::exists(log_path_)) {
+    std::ifstream in(log_path_);
+    GIO_EXPECTS_MSG(in.good(), "cannot read artifact store log '" +
+                                   log_path_.string() + "'");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      try {
+        replay_line_locked(line);
+        ++stats_.loaded;
+      } catch (const std::exception&) {
+        ++stats_.corrupt;  // torn/garbage line; keep replaying
+      }
+    }
+  }
+
+  log_.open(log_path_, std::ios::app);
+  GIO_EXPECTS_MSG(log_.good(), "cannot append to artifact store log '" +
+                                   log_path_.string() + "'");
+}
+
+void ArtifactStore::replay_line_locked(const std::string& line) {
+  const io::JsonValue v = io::JsonValue::parse(line);
+  const std::string& kind = v.at("kind").as_string();
+  const std::uint64_t fp = parse_fingerprint(v.at("fp").as_string());
+  if (kind == "spectrum") {
+    ComponentSolve solve;
+    solve.vertices = v.at("vertices").as_int();
+    solve.edges = v.at("edges").as_int();
+    solve.solver = solver_from(v.at("solver").as_string());
+    solve.converged = v.at("converged").as_bool();
+    for (const io::JsonValue& item : v.at("values").items())
+      solve.values.push_back(item.as_double());
+    put_spectrum_locked(fp, lap_from(v.at("lap").as_string()),
+                        static_cast<int>(v.at("requested").as_int()),
+                        v.at("opts").as_string(), solve);
+    return;
+  }
+  if (kind == "topo") {
+    TopoOrderArtifact topo;
+    for (const io::JsonValue& item : v.at("order").items())
+      topo.order.push_back(static_cast<VertexId>(item.as_int()));
+    put_topo_locked(fp, topo);
+    return;
+  }
+  if (kind == "mincut") {
+    MincutSweepArtifact sweep;
+    sweep.best_cut = v.at("best_cut").as_int();
+    sweep.best_vertex = static_cast<VertexId>(v.at("best_vertex").as_int());
+    sweep.vertices_processed = v.at("vertices_processed").as_int();
+    sweep.completed = true;  // only completed sweeps are persisted
+    put_mincut_locked(fp, flow_from(v.at("engine").as_string()), sweep);
+    return;
+  }
+  if (kind == "memsim") {
+    MemsimRowArtifact row;
+    row.reads = v.at("reads").as_int();
+    row.writes = v.at("writes").as_int();
+    put_memsim_locked(fp, v.at("memory").as_int(),
+                      static_cast<int>(v.at("orders").as_int()), row);
+    return;
+  }
+  GIO_EXPECTS_MSG(false, "unknown artifact kind '" + kind + "'");
+}
+
+void ArtifactStore::append_locked(const std::string& line) {
+  log_ << line << '\n';
+  log_.flush();
+  ++stats_.appended;
+}
+
+// ------------------------------------------------------------- spectrum
+
+std::optional<ComponentSolve> ArtifactStore::lookup_spectrum(
+    std::uint64_t fingerprint, LaplacianKind kind, int count,
+    const SpectralOptions& options) {
+  const std::string key = spectral_options_key(options);
+  const std::scoped_lock lock(mutex_);
+  const auto it = spectra_.find({fingerprint, kind});
+  if (it != spectra_.end()) {
+    for (const SpectrumEntry& entry : it->second) {
+      if (entry.requested < count || entry.options_key != key) continue;
+      ++stats_.spectrum.hits;
+      ComponentSolve solve = entry.solve;
+      // Truncate to the request (values are ascending, so the prefix IS
+      // the smallest `count`) — equal-count requests then see one
+      // deterministic answer regardless of population order.
+      if (static_cast<int>(solve.values.size()) > count)
+        solve.values.resize(static_cast<std::size_t>(count));
+      solve.from_cache = true;
+      solve.solver_ran = false;  // this call ran no eigensolver
+      solve.seconds = 0.0;
+      return solve;
+    }
+  }
+  ++stats_.spectrum.misses;
+  return std::nullopt;
+}
+
+bool ArtifactStore::put_spectrum_locked(std::uint64_t fingerprint,
+                                        LaplacianKind kind, int requested,
+                                        const std::string& options_key,
+                                        const ComponentSolve& solve) {
+  std::vector<SpectrumEntry>& slots = spectra_[{fingerprint, kind}];
+  for (SpectrumEntry& entry : slots) {
+    if (entry.options_key != options_key) continue;
+    // Two workers can race to solve the same component; keep the entry
+    // that answers more future requests (ties keep the existing one).
+    if (entry.requested >= requested) return false;
+    entry.solve = solve;
+    entry.solve.from_cache = false;
+    entry.requested = requested;
+    return true;
+  }
+  SpectrumEntry entry;
+  entry.options_key = options_key;
+  entry.requested = requested;
+  entry.solve = solve;
+  entry.solve.from_cache = false;
+  slots.push_back(std::move(entry));
+  ++stats_.spectrum.entries;
+  return true;
+}
+
+void ArtifactStore::store_spectrum(std::uint64_t fingerprint,
+                                   LaplacianKind kind, int requested,
+                                   const SpectralOptions& options,
+                                   const ComponentSolve& solve) {
+  const std::string key = spectral_options_key(options);
+  const std::scoped_lock lock(mutex_);
+  if (!put_spectrum_locked(fingerprint, kind, requested, key, solve)) return;
+  if (durable() && solve.converged)
+    append_locked(spectrum_line(fingerprint, kind, requested, key, solve));
+}
+
+// ----------------------------------------------------------- topo order
+
+std::optional<TopoOrderArtifact> ArtifactStore::lookup_topo(
+    std::uint64_t fingerprint) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = topo_.find(fingerprint);
+  if (it == topo_.end()) {
+    ++stats_.topo.misses;
+    return std::nullopt;
+  }
+  ++stats_.topo.hits;
+  return it->second;
+}
+
+bool ArtifactStore::put_topo_locked(std::uint64_t fingerprint,
+                                    const TopoOrderArtifact& topo) {
+  if (!topo_.emplace(fingerprint, topo).second) return false;
+  ++stats_.topo.entries;
+  return true;
+}
+
+void ArtifactStore::store_topo(std::uint64_t fingerprint,
+                               const TopoOrderArtifact& topo) {
+  const std::scoped_lock lock(mutex_);
+  if (!put_topo_locked(fingerprint, topo)) return;
+  if (durable()) append_locked(topo_line(fingerprint, topo));
+}
+
+// -------------------------------------------------------- min-cut sweep
+
+std::optional<MincutSweepArtifact> ArtifactStore::lookup_mincut(
+    std::uint64_t fingerprint, flow::FlowEngine engine) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = mincut_.find({fingerprint, engine});
+  if (it == mincut_.end()) {
+    ++stats_.mincut.misses;
+    return std::nullopt;
+  }
+  ++stats_.mincut.hits;
+  return it->second;
+}
+
+bool ArtifactStore::put_mincut_locked(std::uint64_t fingerprint,
+                                      flow::FlowEngine engine,
+                                      const MincutSweepArtifact& sweep) {
+  if (!mincut_.emplace(std::make_pair(fingerprint, engine), sweep).second)
+    return false;
+  ++stats_.mincut.entries;
+  return true;
+}
+
+void ArtifactStore::store_mincut(std::uint64_t fingerprint,
+                                 flow::FlowEngine engine,
+                                 const MincutSweepArtifact& sweep) {
+  const std::scoped_lock lock(mutex_);
+  if (!put_mincut_locked(fingerprint, engine, sweep)) return;
+  if (durable() && sweep.completed)
+    append_locked(mincut_line(fingerprint, engine, sweep));
+}
+
+// ----------------------------------------------------------- memsim row
+
+std::optional<MemsimRowArtifact> ArtifactStore::lookup_memsim(
+    std::uint64_t fingerprint, std::int64_t memory, int random_orders) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = memsim_.find({fingerprint, memory, random_orders});
+  if (it == memsim_.end()) {
+    ++stats_.memsim.misses;
+    return std::nullopt;
+  }
+  ++stats_.memsim.hits;
+  return it->second;
+}
+
+bool ArtifactStore::put_memsim_locked(std::uint64_t fingerprint,
+                                      std::int64_t memory, int random_orders,
+                                      const MemsimRowArtifact& row) {
+  if (!memsim_
+           .emplace(std::make_tuple(fingerprint, memory, random_orders), row)
+           .second)
+    return false;
+  ++stats_.memsim.entries;
+  return true;
+}
+
+void ArtifactStore::store_memsim(std::uint64_t fingerprint,
+                                 std::int64_t memory, int random_orders,
+                                 const MemsimRowArtifact& row) {
+  const std::scoped_lock lock(mutex_);
+  if (!put_memsim_locked(fingerprint, memory, random_orders, row)) return;
+  if (durable())
+    append_locked(memsim_line(fingerprint, memory, random_orders, row));
+}
+
+// ------------------------------------------------------------- lifetime
+
+std::int64_t ArtifactStore::erase(std::uint64_t fingerprint) {
+  const std::scoped_lock lock(mutex_);
+  std::int64_t removed = 0;
+  // Each map's keys sort by fingerprint first, so a fingerprint's entries
+  // form one contiguous range starting at the smallest secondary key.
+  {
+    auto it = spectra_.lower_bound({fingerprint, LaplacianKind{}});
+    while (it != spectra_.end() && it->first.first == fingerprint) {
+      const auto n = static_cast<std::int64_t>(it->second.size());
+      stats_.spectrum.entries -= n;
+      stats_.spectrum.evicted += n;
+      removed += n;
+      it = spectra_.erase(it);
+    }
+  }
+  if (topo_.erase(fingerprint) > 0) {
+    --stats_.topo.entries;
+    ++stats_.topo.evicted;
+    ++removed;
+  }
+  {
+    auto it = mincut_.lower_bound({fingerprint, flow::FlowEngine{}});
+    while (it != mincut_.end() && it->first.first == fingerprint) {
+      --stats_.mincut.entries;
+      ++stats_.mincut.evicted;
+      ++removed;
+      it = mincut_.erase(it);
+    }
+  }
+  {
+    auto it = memsim_.lower_bound(std::make_tuple(
+        fingerprint, std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<int>::min()));
+    while (it != memsim_.end() && std::get<0>(it->first) == fingerprint) {
+      --stats_.memsim.entries;
+      ++stats_.memsim.evicted;
+      ++removed;
+      it = memsim_.erase(it);
+    }
+  }
+  return removed;
+}
+
+void ArtifactStore::clear() {
+  const std::scoped_lock lock(mutex_);
+  spectra_.clear();
+  topo_.clear();
+  mincut_.clear();
+  memsim_.clear();
+  stats_.spectrum.entries = 0;
+  stats_.topo.entries = 0;
+  stats_.mincut.entries = 0;
+  stats_.memsim.entries = 0;
+}
+
+std::int64_t ArtifactStore::compact() {
+  const std::scoped_lock lock(mutex_);
+  GIO_EXPECTS_MSG(durable(), "artifact store has no disk tier to compact");
+  std::filesystem::path tmp = log_path_;
+  tmp += ".tmp";
+  std::int64_t written = 0;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    GIO_EXPECTS_MSG(out.good(), "cannot write compacted artifact log '" +
+                                    tmp.string() + "'");
+    for (const auto& [key, slots] : spectra_)
+      for (const SpectrumEntry& entry : slots) {
+        if (!entry.solve.converged) continue;  // never persisted
+        out << spectrum_line(key.first, key.second, entry.requested,
+                             entry.options_key, entry.solve)
+            << '\n';
+        ++written;
+      }
+    for (const auto& [fp, topo] : topo_) {
+      out << topo_line(fp, topo) << '\n';
+      ++written;
+    }
+    for (const auto& [key, sweep] : mincut_) {
+      if (!sweep.completed) continue;
+      out << mincut_line(key.first, key.second, sweep) << '\n';
+      ++written;
+    }
+    for (const auto& [key, row] : memsim_) {
+      out << memsim_line(std::get<0>(key), std::get<1>(key),
+                         std::get<2>(key), row)
+          << '\n';
+      ++written;
+    }
+    out.flush();
+    GIO_EXPECTS_MSG(out.good(), "error writing compacted artifact log '" +
+                                    tmp.string() + "'");
+  }
+  log_.close();
+  std::error_code ec;
+  std::filesystem::rename(tmp, log_path_, ec);
+  GIO_EXPECTS_MSG(!ec, "cannot replace artifact log '" + log_path_.string() +
+                           "': " + ec.message());
+  log_.open(log_path_, std::ios::app);
+  GIO_EXPECTS_MSG(log_.good(), "cannot reopen artifact store log '" +
+                                   log_path_.string() + "'");
+  return written;
+}
+
+ArtifactStore::Stats ArtifactStore::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace graphio::store

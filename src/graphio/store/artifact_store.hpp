@@ -1,0 +1,225 @@
+// ArtifactStore — typed, content-addressed store of per-component
+// analysis artifacts, with an optional durable tier.
+//
+// Kwasniewski-style composability (PAPERS.md) says every per-component
+// artifact the bound methods consume — not just eigen-spectra — is a pure
+// function of the component's content: its spectrum, its topological
+// order, its max-wavefront min-cut sweep, its memsim schedule row. The
+// store therefore keys all four kinds by the component's content
+// fingerprint (engine/fingerprint.hpp) plus a kind-specific options key,
+// and serves them across specs, across stream patches, and (with the disk
+// tier) across process restarts:
+//
+//   memory tier   mutex-guarded maps, refcount-evicted by the stream
+//                 session via erase(fingerprint) — subsumes the former
+//                 ComponentSpectrumCache with identical hit semantics;
+//   disk tier     append-only JSONL (`<dir>/artifacts.jsonl`), mirroring
+//                 serve/ResultStore: replayed on startup, torn/garbage
+//                 lines counted and skipped, inserts appended and
+//                 flushed. erase() never touches disk — a cold restart
+//                 against a warm directory answers every method with
+//                 zero eigensolves and zero topo recomputes.
+//
+// One instance is shared by every ArtifactCache of an Engine, every
+// worker Engine of a serve Scheduler, and every stream session of a
+// BatchSession; all public methods are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "graphio/core/spectral_pipeline.hpp"
+#include "graphio/flow/convex_mincut.hpp"
+#include "graphio/graph/laplacian.hpp"
+
+namespace graphio::store {
+
+/// The artifact families the store types its entries by.
+enum class ArtifactKind { kSpectrum, kTopoOrder, kMincutSweep, kMemsimRow };
+
+/// Kahn topological order of one component, in the component's local
+/// vertex ids (ascending-extraction numbering, so the order is meaningful
+/// for any graph the component's content appears in).
+struct TopoOrderArtifact {
+  std::vector<VertexId> order;
+};
+
+/// The memory-independent core of one component's convex min-cut sweep:
+/// max_v C(v) over the component (the bound at memory M derives as
+/// 2·max(0, best_cut − M); per-component sweeps sum per Kwasniewski).
+struct MincutSweepArtifact {
+  std::int64_t best_cut = 0;
+  VertexId best_vertex = -1;  ///< component-local id (-1 if none positive)
+  std::int64_t vertices_processed = 0;
+  bool completed = true;
+};
+
+/// One component's best simulated schedule at a fixed (memory, orders)
+/// configuration — components share no values, so per-component rows sum
+/// to a valid whole-graph schedule cost.
+struct MemsimRowArtifact {
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+};
+
+class ArtifactStore {
+ public:
+  /// Memory-only store (no durable tier).
+  ArtifactStore() = default;
+
+  /// Memory store backed by `dir/artifacts.jsonl`: the log is replayed on
+  /// construction (unparseable lines counted and skipped) and every new
+  /// artifact is appended. Throws contract_error when the directory
+  /// cannot be created or the log cannot be opened for append — a
+  /// silently cache-less run would recompute every eigensolve while the
+  /// caller believes artifacts persist.
+  explicit ArtifactStore(const std::filesystem::path& dir);
+
+  // ---------------------------------------------------------- spectrum
+  /// The cached solve for (fingerprint, kind) computed with equivalent
+  /// solver options and at least `count` requested values — the exact hit
+  /// rule of the former ComponentSpectrumCache: a non-converged solve is
+  /// still a hit for its requested count (re-running an identical failing
+  /// solve helps nobody), and values are truncated to the `count`
+  /// smallest so equal-count requests see one deterministic answer
+  /// regardless of population order.
+  std::optional<ComponentSolve> lookup_spectrum(
+      std::uint64_t fingerprint, LaplacianKind kind, int count,
+      const SpectralOptions& options);
+
+  /// Records a solve computed for `requested` values. Distinct solver
+  /// options coexist as separate entries; within one options group,
+  /// whichever of the existing and new entry answers more requests wins
+  /// (ties keep the existing entry). Converged solves are mirrored to the
+  /// disk tier; partial ones stay memory-only (persisting a degraded
+  /// spectrum would serve it forever).
+  void store_spectrum(std::uint64_t fingerprint, LaplacianKind kind,
+                      int requested, const SpectralOptions& options,
+                      const ComponentSolve& solve);
+
+  // --------------------------------------------------------- topo order
+  std::optional<TopoOrderArtifact> lookup_topo(std::uint64_t fingerprint);
+  void store_topo(std::uint64_t fingerprint, const TopoOrderArtifact& topo);
+
+  // ------------------------------------------------------ min-cut sweep
+  std::optional<MincutSweepArtifact> lookup_mincut(std::uint64_t fingerprint,
+                                                   flow::FlowEngine engine);
+  /// Only completed sweeps reach the disk tier — a time-budget-cut sweep
+  /// is a valid but degraded bound that must not be served forever.
+  void store_mincut(std::uint64_t fingerprint, flow::FlowEngine engine,
+                    const MincutSweepArtifact& sweep);
+
+  // --------------------------------------------------------- memsim row
+  std::optional<MemsimRowArtifact> lookup_memsim(std::uint64_t fingerprint,
+                                                 std::int64_t memory,
+                                                 int random_orders);
+  void store_memsim(std::uint64_t fingerprint, std::int64_t memory,
+                    int random_orders, const MemsimRowArtifact& row);
+
+  /// Drops every memory-tier entry cached for one component fingerprint —
+  /// all kinds, all options groups; returns how many entries went. The
+  /// stream subsystem calls this when the last component with that
+  /// content disappears from a session, so a long-lived mutation stream
+  /// cannot grow the memory tier without bound. The disk tier is
+  /// append-only and deliberately untouched: the content may return (a
+  /// reverted patch, a restarted process), and compact() reclaims space
+  /// offline.
+  std::int64_t erase(std::uint64_t fingerprint);
+
+  /// Drops every memory-tier entry (counters kept, disk untouched).
+  void clear();
+
+  /// Rewrites the log to exactly the current memory-tier contents —
+  /// deduplicating lines accumulated by erase-then-recompute cycles —
+  /// and returns the number of lines written. Requires a disk tier.
+  std::int64_t compact();
+
+  struct KindStats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t entries = 0;
+    std::int64_t evicted = 0;
+  };
+  struct Stats {
+    KindStats spectrum;
+    KindStats topo;
+    KindStats mincut;
+    KindStats memsim;
+    std::int64_t loaded = 0;   ///< artifacts replayed from disk at startup
+    std::int64_t corrupt = 0;  ///< log lines skipped as unparseable
+    std::int64_t appended = 0; ///< artifacts written to disk this session
+    [[nodiscard]] std::int64_t entries() const noexcept {
+      return spectrum.entries + topo.entries + mincut.entries +
+             memsim.entries;
+    }
+    [[nodiscard]] std::int64_t hits() const noexcept {
+      return spectrum.hits + topo.hits + mincut.hits + memsim.hits;
+    }
+    [[nodiscard]] std::int64_t misses() const noexcept {
+      return spectrum.misses + topo.misses + mincut.misses + memsim.misses;
+    }
+    [[nodiscard]] std::int64_t evicted() const noexcept {
+      return spectrum.evicted + topo.evicted + mincut.evicted +
+             memsim.evicted;
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// True when a durable tier is attached.
+  [[nodiscard]] bool durable() const noexcept { return !log_path_.empty(); }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return log_path_;
+  }
+
+  /// Canonical encoding of exactly the solver-relevant option fields
+  /// (core/spectral_bound.hpp solver_options_equal): two options compare
+  /// equal iff their keys are byte-identical, which is what lets the disk
+  /// tier round-trip spectrum entries without serializing the full
+  /// options struct. Exposed for tests.
+  static std::string spectral_options_key(const SpectralOptions& options);
+
+ private:
+  struct SpectrumEntry {
+    std::string options_key;
+    int requested = 0;
+    ComponentSolve solve;
+  };
+
+  /// Inserts without counting hits/misses; returns true when the memory
+  /// tier changed (new entry, or an existing one improved) — the signal
+  /// that a non-replay insert should also append to disk.
+  bool put_spectrum_locked(std::uint64_t fingerprint, LaplacianKind kind,
+                           int requested, const std::string& options_key,
+                           const ComponentSolve& solve);
+  bool put_topo_locked(std::uint64_t fingerprint,
+                       const TopoOrderArtifact& topo);
+  bool put_mincut_locked(std::uint64_t fingerprint, flow::FlowEngine engine,
+                         const MincutSweepArtifact& sweep);
+  bool put_memsim_locked(std::uint64_t fingerprint, std::int64_t memory,
+                         int random_orders, const MemsimRowArtifact& row);
+  void replay_line_locked(const std::string& line);
+  void append_locked(const std::string& line);
+
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::uint64_t, LaplacianKind>,
+           std::vector<SpectrumEntry>>
+      spectra_;
+  std::map<std::uint64_t, TopoOrderArtifact> topo_;
+  std::map<std::pair<std::uint64_t, flow::FlowEngine>, MincutSweepArtifact>
+      mincut_;
+  std::map<std::tuple<std::uint64_t, std::int64_t, int>, MemsimRowArtifact>
+      memsim_;
+  Stats stats_;
+  std::filesystem::path log_path_;
+  std::ofstream log_;
+};
+
+}  // namespace graphio::store

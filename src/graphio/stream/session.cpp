@@ -1,5 +1,6 @@
 #include "graphio/stream/session.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "graphio/engine/fingerprint.hpp"
@@ -9,8 +10,12 @@
 
 namespace graphio::stream {
 
-StreamSession::StreamSession(std::string name)
-    : name_(std::move(name)), engine_(std::make_unique<engine::Engine>()) {
+StreamSession::StreamSession(std::string name,
+                             std::shared_ptr<store::ArtifactStore> store)
+    : name_(std::move(name)),
+      engine_(store == nullptr
+                  ? std::make_unique<engine::Engine>()
+                  : std::make_unique<engine::Engine>(std::move(store))) {
   GIO_EXPECTS_MSG(!name_.empty(), "stream session needs a name");
   GIO_EXPECTS_MSG(
       !engine::GraphSpec::try_parse(name_).has_value(),
@@ -34,11 +39,11 @@ PatchReport StreamSession::load_locked(const Digraph& graph) {
   const std::int64_t evicted_before = stats_.evicted;
   graph_ = DynamicGraph(graph);
   components_.reset(graph_);
-  // Loading replaces everything: evict the previous graph's component
-  // entries (nothing else references a session-private engine's cache)
-  // and re-fingerprint from scratch.
+  // Loading replaces everything: evict the previous graph's memory-tier
+  // entries this session refcounts (a shared store's disk tier, being
+  // append-only, is untouched) and re-fingerprint from scratch.
   for (const auto& [fp, count] : fingerprint_refcount_) {
-    stats_.evicted += engine_->component_cache()->erase(fp);
+    stats_.evicted += engine_->artifact_store()->erase(fp);
     (void)count;
   }
   component_fingerprint_.clear();
@@ -106,7 +111,7 @@ void StreamSession::refingerprint_locked(const std::vector<int>& dirty) {
   auto release = [this](std::uint64_t fp) {
     if (--fingerprint_refcount_.at(fp) == 0) {
       fingerprint_refcount_.erase(fp);
-      stats_.evicted += engine_->component_cache()->erase(fp);
+      stats_.evicted += engine_->artifact_store()->erase(fp);
     }
   };
   for (int c : dirty) {
@@ -155,14 +160,21 @@ PatchReport StreamSession::finish_patch_locked(const Patch& patch,
   // Hand the engine the decomposition this session already maintains —
   // membership straight from DynamicComponents, fingerprints from the
   // incremental re-hash above — so the query path never decomposes or
-  // re-fingerprints: clean components resolve from the component cache
-  // by fingerprint alone, and only dirty ones materialize. The external
-  // ids translate to materialized ids order-preservingly (compaction
-  // ascends), so ascending external lists stay ascending.
-  std::vector<VertexId> local_of;
-  Digraph materialized = graph_.materialize(nullptr, &local_of);
+  // re-fingerprints: clean components resolve from the artifact store
+  // by fingerprint alone, and only dirty ones materialize. The graph
+  // itself goes over lazily: compaction ascends, so external ids map to
+  // would-be-materialized local ids by an alive-prefix count, and a
+  // query that only needs per-component artifacts (every method except
+  // partition-dp's DP, pebble-exact, and monolithic spectra) never pays
+  // the O(n + m) whole-graph materialization at all.
+  std::vector<VertexId> local_of(static_cast<std::size_t>(graph_.id_limit()),
+                                 -1);
+  VertexId next_local = 0;
+  for (VertexId v = 0; v < graph_.id_limit(); ++v)
+    if (graph_.alive(v)) local_of[static_cast<std::size_t>(v)] = next_local++;
+  const std::vector<int> ids = components_.component_ids();
   engine::ComponentSeed seed;
-  for (int c : components_.component_ids()) {
+  for (int c : ids) {
     engine::ComponentSeed::Component comp;
     comp.fingerprint = component_fingerprint_.at(c);
     const std::vector<VertexId>& ext = components_.vertices_of(c);
@@ -173,7 +185,35 @@ PatchReport StreamSession::finish_patch_locked(const Patch& patch,
     }
     seed.components.push_back(std::move(comp));
   }
-  engine_->install_graph(name_, std::move(materialized), std::move(seed));
+  // The callbacks capture `this` and read graph_/components_ without the
+  // session mutex: safe, because every call into them happens inside
+  // evaluate() (which holds the mutex) and the next patch replaces the
+  // installed graph — and with it every outstanding callback — before it
+  // mutates anything.
+  engine::LazyGraph lazy;
+  lazy.vertices = graph_.num_vertices();
+  lazy.edges = graph_.num_edges();
+  lazy.materialize = [this] { return graph_.materialize(); };
+  lazy.component = [this, ids](int i) {
+    return components_.subgraph(graph_, ids[static_cast<std::size_t>(i)]);
+  };
+  lazy.max_out_degree = [this] {
+    std::int64_t best = 0;
+    for (VertexId v = 0; v < graph_.id_limit(); ++v)
+      if (graph_.alive(v))
+        best = std::max(best,
+                        static_cast<std::int64_t>(graph_.children(v).size()));
+    return best;
+  };
+  lazy.max_in_degree = [this] {
+    std::int64_t best = 0;
+    for (VertexId v = 0; v < graph_.id_limit(); ++v)
+      if (graph_.alive(v))
+        best = std::max(best,
+                        static_cast<std::int64_t>(graph_.parents(v).size()));
+    return best;
+  };
+  engine_->install_graph(name_, std::move(lazy), std::move(seed));
 
   PatchReport report;
   report.graph = name_;

@@ -19,12 +19,16 @@
 //      session fingerprint from the per-component values — clean
 //      components are never re-hashed;
 //   3. invalidates exactly what died: the named graph's whole-graph
-//      artifacts (replaced via Engine::install_graph) and the component-
-//      cache entries whose content no longer occurs in the graph
-//      (refcounted across equal components, evicted at zero).
+//      artifacts (replaced via Engine::install_graph) and the artifact-
+//      store memory-tier entries whose content no longer occurs in the
+//      graph (refcounted across equal components, evicted at zero; a
+//      disk tier, being append-only, keeps them for restarts).
 //
-// The next evaluate() then eigensolves the dirty components only — clean
-// components hit the fingerprint-keyed ComponentSpectrumCache — while
+// The next evaluate() then recomputes the dirty components only — for
+// every artifact kind, not just spectra: clean components hit the
+// fingerprint-keyed store::ArtifactStore, and the graph itself is handed
+// to the engine lazily (engine::LazyGraph), so a query for topo/min-cut/
+// memsim artifacts never rematerializes the whole Digraph — while
 // producing bounds identical to a from-scratch analysis of the final
 // graph (the decomposition is exact; bench/stream_updates.cpp certifies
 // parity and the speedup, tests/stream_session_test.cpp the property).
@@ -58,7 +62,7 @@ struct PatchReport {
   int components = 0;
   int dirty_components = 0;  ///< components whose content changed
   int clean_components = 0;  ///< components untouched (spectra reusable)
-  std::int64_t evicted = 0;  ///< component-cache entries invalidated
+  std::int64_t evicted = 0;  ///< artifact-store entries invalidated
   std::string fingerprint;   ///< session fingerprint after the patch (hex)
   double seconds = 0.0;      ///< apply wall time (excluded from JSONL)
 };
@@ -68,8 +72,13 @@ class StreamSession {
   /// `name` addresses the evolving graph inside the owned Engine; it must
   /// not parse as a family spec or name an existing graph file (the
   /// closed-form method would otherwise trust the name's family metadata
-  /// for a graph the patches have since changed).
-  explicit StreamSession(std::string name = "stream");
+  /// for a graph the patches have since changed). `store` shares a
+  /// content-addressed artifact store with other sessions/engines (the
+  /// serve layer passes its process-wide, possibly disk-backed one);
+  /// when null the session owns a private memory-only store.
+  explicit StreamSession(std::string name = "stream",
+                         std::shared_ptr<store::ArtifactStore> store =
+                             nullptr);
 
   /// Seeds the session from a spec ("fft:6", a .gel/.dot path) or an
   /// explicit graph; replaces any previous state (a load is patch zero:
@@ -86,7 +95,7 @@ class StreamSession {
 
   /// Evaluates a request against the current graph. request.spec/graph
   /// are ignored (the session's graph wins); methods/memories/options
-  /// pass through. Clean components resolve from the component cache.
+  /// pass through. Clean components resolve from the artifact store.
   engine::BoundReport evaluate(engine::BoundRequest request);
 
   /// Session content fingerprint: the combination (order-independent) of
@@ -111,12 +120,12 @@ class StreamSession {
     std::int64_t mutations = 0;
     std::int64_t dirty_components = 0;  ///< summed over patches
     std::int64_t clean_components = 0;
-    std::int64_t evicted = 0;           ///< component-cache evictions
+    std::int64_t evicted = 0;           ///< artifact-store evictions
     std::int64_t queries = 0;
   };
   [[nodiscard]] Stats stats() const;
 
-  /// The owned engine (test/introspection hook; the component cache and
+  /// The owned engine (test/introspection hook; the artifact store and
   /// artifact stats live there).
   [[nodiscard]] engine::Engine& engine() noexcept { return *engine_; }
 

@@ -10,7 +10,7 @@
 #include "graphio/core/spectral_bound.hpp"
 #include "graphio/core/spectral_pipeline.hpp"
 #include "graphio/engine/artifact_cache.hpp"
-#include "graphio/engine/component_cache.hpp"
+#include "graphio/store/artifact_store.hpp"
 #include "graphio/engine/fingerprint.hpp"
 #include "graphio/engine/graph_spec.hpp"
 #include "graphio/graph/builders.hpp"
@@ -161,15 +161,15 @@ ComponentPlan counted_plan(const Digraph& g, const WeakComponents& wc,
 }
 
 void attach_cache(SpectralPipeline& pipeline,
-                  engine::ComponentSpectrumCache& cache) {
+                  store::ArtifactStore& cache) {
   pipeline.set_component_resolver(
       [&cache](std::uint64_t fp, std::int64_t, std::int64_t,
                LaplacianKind k, int h, const SpectralOptions& opts) {
-        return cache.lookup(fp, k, h, opts);
+        return cache.lookup_spectrum(fp, k, h, opts);
       },
       [&cache](std::uint64_t fp, LaplacianKind k, int requested,
                const SpectralOptions& opts, const ComponentSolve& solve) {
-        cache.store(fp, k, requested, opts, solve);
+        cache.store_spectrum(fp, k, requested, opts, solve);
       });
 }
 
@@ -182,9 +182,9 @@ TEST(SpectralPipeline, ResolvedComponentsNeverMaterialize) {
   const SpectralOptions options;
   const int h = 6;
 
-  engine::ComponentSpectrumCache cache;
+  store::ArtifactStore cache;
   const Digraph sub0 = wc.subgraph(g, 0);
-  cache.store(engine::graph_fingerprint(sub0), LaplacianKind::kPlain, h,
+  cache.store_spectrum(engine::graph_fingerprint(sub0), LaplacianKind::kPlain, h,
               options,
               solve_component_spectrum(sub0, LaplacianKind::kPlain, h,
                                        options));
@@ -216,7 +216,7 @@ TEST(SpectralPipeline, MissesMaterializePublishAndThenResolve) {
   const SpectralOptions options;
   const int h = 5;
 
-  engine::ComponentSpectrumCache cache;
+  store::ArtifactStore cache;
   int materialized = 0;
   const ComponentPlan plan = counted_plan(g, wc, &materialized);
   SpectralPipeline pipeline(options);
@@ -241,7 +241,7 @@ TEST(SpectralPipeline, LazyFingerprintsAreComputedOnDemandAndCounted) {
   const Digraph g = engine::GraphSpec::parse("multi:2:fft:3").build();
   const WeakComponents wc = weakly_connected_components(g);
   const SpectralOptions options;
-  engine::ComponentSpectrumCache cache;
+  store::ArtifactStore cache;
 
   int hashed = 0;
   int materialized = 0;
@@ -273,7 +273,7 @@ TEST(SpectralPipeline, TrivialPlannedComponentsSkipEverything) {
   g.add_edge(0, 1);
   const WeakComponents wc = weakly_connected_components(g);
   ASSERT_EQ(wc.count, 3);
-  engine::ComponentSpectrumCache cache;
+  store::ArtifactStore cache;
   int materialized = 0;
   const ComponentPlan plan = counted_plan(g, wc, &materialized);
   SpectralPipeline pipeline((SpectralOptions()));
@@ -281,7 +281,7 @@ TEST(SpectralPipeline, TrivialPlannedComponentsSkipEverything) {
   const PipelineResult result =
       pipeline.run_plan(plan, LaplacianKind::kPlain, 4);
   EXPECT_EQ(result.subgraph_extractions, 1);  // only the edge's component
-  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().spectrum.hits + cache.stats().spectrum.misses, 1);
   ASSERT_EQ(result.values.size(), 4u);
   EXPECT_EQ(result.values[0], 0.0);
   EXPECT_EQ(result.values[1], 0.0);
@@ -314,7 +314,7 @@ TEST_P(PlanPathParity, LookupFirstEqualsExtractFirst) {
 
     // Extract-then-lookup: materialize every component, hash the
     // materialized subgraph, then consult the cache — the old hook.
-    engine::ComponentSpectrumCache cache;
+    store::ArtifactStore cache;
     SpectralPipeline reference(options);
     reference.set_component_solver(
         [&cache](const Digraph& component, LaplacianKind k, int hh,
@@ -322,11 +322,11 @@ TEST_P(PlanPathParity, LookupFirstEqualsExtractFirst) {
           if (component.num_edges() == 0)
             return solve_component_spectrum(component, k, hh, opts);
           const std::uint64_t fp = engine::graph_fingerprint(component);
-          if (auto cached = cache.lookup(fp, k, hh, opts))
+          if (auto cached = cache.lookup_spectrum(fp, k, hh, opts))
             return *std::move(cached);
           ComponentSolve solve =
               solve_component_spectrum(component, k, hh, opts);
-          cache.store(fp, k, hh, opts, solve);
+          cache.store_spectrum(fp, k, hh, opts, solve);
           return solve;
         });
     const PipelineResult ref = reference.run(g, kind, h);

@@ -5,12 +5,12 @@
 #include <utility>
 
 #include "graphio/engine/artifact_cache.hpp"
-#include "graphio/engine/component_cache.hpp"
 #include "graphio/engine/engine.hpp"
 #include "graphio/engine/fingerprint.hpp"
 #include "graphio/engine/graph_spec.hpp"
 #include "graphio/graph/builders.hpp"
 #include "graphio/graph/components.hpp"
+#include "graphio/store/artifact_store.hpp"
 #include "graphio/support/contracts.hpp"
 
 namespace graphio::engine {
@@ -18,7 +18,7 @@ namespace {
 
 constexpr LaplacianKind kNorm = LaplacianKind::kOutDegreeNormalized;
 
-TEST(ComponentCache, SharedComponentAcrossTwoSpecsEigensolvesOnce) {
+TEST(ArtifactStoreEngine, SharedComponentAcrossTwoSpecsEigensolvesOnce) {
   // The ISSUE 3 cache acceptance: a component shared by two specs of the
   // same Engine is eigensolved exactly once.
   Engine engine;
@@ -35,10 +35,10 @@ TEST(ComponentCache, SharedComponentAcrossTwoSpecsEigensolvesOnce) {
   const BoundReport second = engine.evaluate(request);
   EXPECT_EQ(second.cache.eigensolves, 0);
   EXPECT_EQ(second.cache.component_hits, 3);
-  EXPECT_EQ(engine.component_cache()->stats().entries, 1);
+  EXPECT_EQ(engine.artifact_store()->stats().spectrum.entries, 1);
 }
 
-TEST(ComponentCache, IdenticalComponentsWithinOneGraphDedupe) {
+TEST(ArtifactStoreEngine, IdenticalComponentsWithinOneGraphDedupe) {
   // Even a standalone ArtifactCache (private component cache) solves each
   // *distinct* component once: 5 copies -> 1 eigensolve + 4 hits — and on
   // the fingerprint-first path only the one miss ever materializes.
@@ -55,7 +55,7 @@ TEST(ComponentCache, IdenticalComponentsWithinOneGraphDedupe) {
   EXPECT_EQ(cache.stats().fingerprint_computes, 5);
 }
 
-TEST(ComponentCache, FingerprintsComputeOncePerGraphAcrossKinds) {
+TEST(ArtifactStoreEngine, FingerprintsComputeOncePerGraphAcrossKinds) {
   // The decomposition and its fingerprints belong to the graph, not to
   // one spectrum: a second Laplacian kind re-solves (different matrix)
   // but never re-hashes or re-decomposes.
@@ -70,7 +70,7 @@ TEST(ComponentCache, FingerprintsComputeOncePerGraphAcrossKinds) {
   for (std::uint64_t fp : plain.component_fingerprints) EXPECT_NE(fp, 0u);
 }
 
-TEST(ComponentCache, CleanComponentsNeverMaterializeAcrossSpecs) {
+TEST(ArtifactStoreEngine, CleanComponentsNeverMaterializeAcrossSpecs) {
   // The zero-copy headline: once fft:4 is cached, every fft:4-shaped
   // component of any later spec resolves by fingerprint alone — no
   // subgraph is ever built for it.
@@ -92,7 +92,7 @@ TEST(ComponentCache, CleanComponentsNeverMaterializeAcrossSpecs) {
   EXPECT_EQ(second.cache.fingerprint_computes, 3);
 }
 
-TEST(ComponentCache, SeededCacheSkipsDecompositionAndHashing) {
+TEST(ArtifactStoreEngine, SeededCacheSkipsDecompositionAndHashing) {
   // A ComponentSeed (what the stream session hands install_graph) makes
   // the first query fingerprint-free; only cache misses extract.
   const Digraph g = GraphSpec::parse("multi:2:fft:3").build();
@@ -119,7 +119,7 @@ TEST(ComponentCache, SeededCacheSkipsDecompositionAndHashing) {
   EXPECT_EQ(plain.spectrum(kNorm, 10).values, artifact.values);
 }
 
-TEST(ComponentCache, MalformedSeedsAreRejected) {
+TEST(ArtifactStoreEngine, MalformedSeedsAreRejected) {
   const Digraph g = GraphSpec::parse("multi:2:fft:3").build();
   const auto wc = weakly_connected_components(g);
   const auto seed_for = [&](bool drop_vertex, bool wrong_edges) {
@@ -144,8 +144,8 @@ TEST(ComponentCache, MalformedSeedsAreRejected) {
   }
 }
 
-TEST(ComponentCache, TwoArtifactCachesShareThroughOneComponentCache) {
-  const auto shared = std::make_shared<ComponentSpectrumCache>();
+TEST(ArtifactStoreEngine, TwoArtifactCachesShareThroughOneComponentCache) {
+  const auto shared = std::make_shared<store::ArtifactStore>();
   ArtifactCache a(builders::fft(4), shared);
   ArtifactCache b(GraphSpec::parse("multi:2:fft:4").build(), shared);
 
@@ -156,16 +156,16 @@ TEST(ComponentCache, TwoArtifactCachesShareThroughOneComponentCache) {
   EXPECT_EQ(b.stats().component_hits, 2);
   // Same values: merging two copies of a spectrum and truncating to the
   // request reproduces the single copy's prefix (eigenvalue union).
-  EXPECT_EQ(shared->stats().entries, 1);
-  EXPECT_GE(shared->stats().hits, 2);
+  EXPECT_EQ(shared->stats().spectrum.entries, 1);
+  EXPECT_GE(shared->stats().spectrum.hits, 2);
 }
 
-TEST(ComponentCache, DifferentKindsAndOptionsAreDistinctEntries) {
-  const auto shared = std::make_shared<ComponentSpectrumCache>();
+TEST(ArtifactStoreEngine, DifferentKindsAndOptionsAreDistinctEntries) {
+  const auto shared = std::make_shared<store::ArtifactStore>();
   ArtifactCache cache(builders::fft(4), shared);
   cache.spectrum(kNorm, 8);
   cache.spectrum(LaplacianKind::kPlain, 8);
-  EXPECT_EQ(shared->stats().entries, 2);
+  EXPECT_EQ(shared->stats().spectrum.entries, 2);
   EXPECT_EQ(cache.stats().eigensolves, 2);
 
   SpectralOptions lanczos;
@@ -174,19 +174,19 @@ TEST(ComponentCache, DifferentKindsAndOptionsAreDistinctEntries) {
   EXPECT_EQ(cache.stats().eigensolves, 3);
 }
 
-TEST(ComponentCache, LargerRequestRecomputesSmallerHits) {
-  ComponentSpectrumCache cache;
+TEST(ArtifactStoreEngine, LargerRequestRecomputesSmallerHits) {
+  store::ArtifactStore cache;
   const SpectralOptions options;
   ComponentSolve solve;
   solve.vertices = 4;
   solve.values = {0.0, 1.0};
-  cache.store(42, kNorm, 2, options, solve);
-  EXPECT_TRUE(cache.lookup(42, kNorm, 2, options).has_value());
-  EXPECT_TRUE(cache.lookup(42, kNorm, 1, options).has_value());
-  EXPECT_FALSE(cache.lookup(42, kNorm, 3, options).has_value());
-  EXPECT_FALSE(cache.lookup(7, kNorm, 2, options).has_value());
+  cache.store_spectrum(42, kNorm, 2, options, solve);
+  EXPECT_TRUE(cache.lookup_spectrum(42, kNorm, 2, options).has_value());
+  EXPECT_TRUE(cache.lookup_spectrum(42, kNorm, 1, options).has_value());
+  EXPECT_FALSE(cache.lookup_spectrum(42, kNorm, 3, options).has_value());
+  EXPECT_FALSE(cache.lookup_spectrum(7, kNorm, 2, options).has_value());
 
-  const auto served = cache.lookup(42, kNorm, 2, options);
+  const auto served = cache.lookup_spectrum(42, kNorm, 2, options);
   ASSERT_TRUE(served.has_value());
   EXPECT_TRUE(served->from_cache);
   EXPECT_FALSE(served->solver_ran);
@@ -194,57 +194,57 @@ TEST(ComponentCache, LargerRequestRecomputesSmallerHits) {
   // A smaller request is served truncated — exactly what a fresh solve
   // for that count would return, so results cannot depend on which
   // request populated the cache first.
-  const auto truncated = cache.lookup(42, kNorm, 1, options);
+  const auto truncated = cache.lookup_spectrum(42, kNorm, 1, options);
   ASSERT_TRUE(truncated.has_value());
   ASSERT_EQ(truncated->values.size(), 1u);
   EXPECT_EQ(truncated->values[0], 0.0);
 }
 
-TEST(ComponentCache, MixedSolverOptionsCoexistWithoutThrashing) {
-  ComponentSpectrumCache cache;
+TEST(ArtifactStoreEngine, MixedSolverOptionsCoexistWithoutThrashing) {
+  store::ArtifactStore cache;
   SpectralOptions auto_policy;
   SpectralOptions dense;
   dense.solver = "dense";
   ComponentSolve solve;
   solve.values = {0.0, 1.0};
-  cache.store(9, kNorm, 2, auto_policy, solve);
-  cache.store(9, kNorm, 2, dense, solve);
+  cache.store_spectrum(9, kNorm, 2, auto_policy, solve);
+  cache.store_spectrum(9, kNorm, 2, dense, solve);
   // Both configurations stay resident — a batch alternating solvers must
   // not evict the other group's entry on every store.
-  EXPECT_TRUE(cache.lookup(9, kNorm, 2, auto_policy).has_value());
-  EXPECT_TRUE(cache.lookup(9, kNorm, 2, dense).has_value());
-  EXPECT_EQ(cache.stats().entries, 2);
+  EXPECT_TRUE(cache.lookup_spectrum(9, kNorm, 2, auto_policy).has_value());
+  EXPECT_TRUE(cache.lookup_spectrum(9, kNorm, 2, dense).has_value());
+  EXPECT_EQ(cache.stats().spectrum.entries, 2);
 }
 
-TEST(ComponentCache, StoreKeepsTheLargerSolve) {
-  ComponentSpectrumCache cache;
+TEST(ArtifactStoreEngine, StoreKeepsTheLargerSolve) {
+  store::ArtifactStore cache;
   const SpectralOptions options;
   ComponentSolve big;
   big.values = {0.0, 1.0, 2.0, 3.0};
-  cache.store(1, kNorm, 4, options, big);
+  cache.store_spectrum(1, kNorm, 4, options, big);
   ComponentSolve small;
   small.values = {0.0, 1.0};
-  cache.store(1, kNorm, 2, options, small);  // must not shrink the entry
-  const auto served = cache.lookup(1, kNorm, 4, options);
+  cache.store_spectrum(1, kNorm, 2, options, small);  // must not shrink
+  const auto served = cache.lookup_spectrum(1, kNorm, 4, options);
   ASSERT_TRUE(served.has_value());
   EXPECT_EQ(served->values.size(), 4u);
 }
 
-TEST(ComponentCache, EngineClearDropsComponentSpectra) {
+TEST(ArtifactStoreEngine, EngineClearDropsComponentSpectra) {
   Engine engine;
   BoundRequest request;
   request.spec = "fft:4";
   request.memories = {4.0};
   request.methods = {"spectral"};
   engine.evaluate(request);
-  EXPECT_EQ(engine.component_cache()->stats().entries, 1);
+  EXPECT_EQ(engine.artifact_store()->stats().spectrum.entries, 1);
   engine.clear();
-  EXPECT_EQ(engine.component_cache()->stats().entries, 0);
+  EXPECT_EQ(engine.artifact_store()->stats().spectrum.entries, 0);
   const BoundReport again = engine.evaluate(request);
   EXPECT_EQ(again.cache.eigensolves, 1);  // really recomputed
 }
 
-TEST(ComponentCache, BatchFanOutSharesComponents) {
+TEST(ArtifactStoreEngine, BatchFanOutSharesComponents) {
   // The parallel batch path uses private ArtifactCaches but the shared
   // component cache: N requests over the same graph still eigensolve each
   // kind once.
@@ -256,13 +256,12 @@ TEST(ComponentCache, BatchFanOutSharesComponents) {
     requests[i].methods = {"spectral"};
   }
   engine.evaluate_batch(requests, /*parallel=*/true);
-  const ComponentSpectrumCache::Stats stats =
-      engine.component_cache()->stats();
+  const store::ArtifactStore::Stats stats = engine.artifact_store()->stats();
   // Workers race, so up to hardware-parallelism requests may miss before
-  // the first store lands; the cache still converges to one entry and
+  // the first store lands; the store still converges to one entry and
   // every lookup is accounted for.
-  EXPECT_EQ(stats.entries, 1);
-  EXPECT_EQ(stats.hits + stats.misses, 4);
+  EXPECT_EQ(stats.spectrum.entries, 1);
+  EXPECT_EQ(stats.spectrum.hits + stats.spectrum.misses, 4);
   // A serial re-evaluation of the same spec is a pure component hit.
   BoundRequest again;
   again.spec = "fft:4";

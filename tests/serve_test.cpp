@@ -246,7 +246,7 @@ TEST(Scheduler, ResultsMatchSerialAcrossThreadCounts) {
 TEST(Scheduler, FingerprintResolverIsRaceFreeAcrossWorkers) {
   // Specs sharing component content shard to different workers, whose
   // Engines race fingerprint-first lookups and publishes on the one
-  // shared ComponentSpectrumCache — the hook the TSan job pins down.
+  // shared ArtifactStore — the hook the TSan job pins down.
   // Determinism across thread counts certifies the resolved solves are
   // the same answers a serial run computes.
   std::string jobs;

@@ -1,0 +1,371 @@
+// Tests for graphio::store::ArtifactStore — the typed content-addressed
+// artifact store with an optional durable JSONL tier.
+//
+// The load-bearing guarantees certified here:
+//   * every artifact kind round-trips through the disk tier bit-exactly
+//     (doubles via to_chars/from_chars, so restart bounds are identical),
+//   * torn/garbage log lines are counted and skipped, never served,
+//   * erase() is memory-tier-only (the disk tier warms restarts),
+//   * a cold-restarted StreamSession against a warm directory answers
+//     every method with zero eigensolves/topo/min-cut/memsim computes and
+//     bit-identical bounds (ISSUE satellite 3),
+//   * a corrupted disk tier degrades to recompute, never to wrong results
+//     (ISSUE satellite 4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graphio/engine/engine.hpp"
+#include "graphio/engine/fingerprint.hpp"
+#include "graphio/graph/builders.hpp"
+#include "graphio/store/artifact_store.hpp"
+#include "graphio/support/contracts.hpp"
+#include "graphio/stream/session.hpp"
+
+namespace graphio::store {
+namespace {
+
+/// Temp directory that cleans up after itself.
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& name)
+      : path(std::filesystem::temp_directory_path() / name) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+SpectralOptions lanczos_options() {
+  SpectralOptions options;
+  options.solver = "lanczos";
+  options.eig_rel_tol = 1e-7;
+  return options;
+}
+
+ComponentSolve sample_solve() {
+  ComponentSolve solve;
+  solve.vertices = 5;
+  solve.edges = 7;
+  solve.solver = la::SolverKind::kLanczos;
+  solve.solver_ran = true;
+  solve.converged = true;
+  // Awkward binary64 values: round-tripping through shortest-exact text
+  // must reproduce them bit-for-bit.
+  solve.values = {0.0, 0.1234567890123456789, std::nextafter(2.0, 3.0),
+                  1e-300};
+  return solve;
+}
+
+std::int64_t line_count(const std::filesystem::path& log) {
+  std::ifstream in(log);
+  std::string line;
+  std::int64_t n = 0;
+  while (std::getline(in, line))
+    if (!line.empty()) ++n;
+  return n;
+}
+
+// ----------------------------------------------------- disk round-trips
+
+TEST(ArtifactStore, SpectrumRoundTripsBitExactAcrossRestart) {
+  const TempDir dir("graphio_artifacts_spectrum");
+  const SpectralOptions options = lanczos_options();
+  const ComponentSolve solve = sample_solve();
+  {
+    ArtifactStore a(dir.path);
+    a.store_spectrum(0xabcdefull, LaplacianKind::kOutDegreeNormalized, 4, options,
+                     solve);
+    EXPECT_EQ(a.stats().appended, 1);
+  }
+  ArtifactStore b(dir.path);
+  EXPECT_EQ(b.stats().loaded, 1);
+  EXPECT_EQ(b.stats().corrupt, 0);
+  const auto hit =
+      b.lookup_spectrum(0xabcdefull, LaplacianKind::kOutDegreeNormalized, 4, options);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->from_cache);
+  EXPECT_FALSE(hit->solver_ran);
+  EXPECT_EQ(hit->vertices, solve.vertices);
+  EXPECT_EQ(hit->edges, solve.edges);
+  EXPECT_TRUE(hit->converged);
+  ASSERT_EQ(hit->values.size(), solve.values.size());
+  for (std::size_t i = 0; i < solve.values.size(); ++i)
+    EXPECT_EQ(hit->values[i], solve.values[i]);  // bit-exact, not near
+
+  // Different options group or a different Laplacian kind: miss.
+  SpectralOptions other = options;
+  other.eig_rel_tol = 1e-6;
+  EXPECT_FALSE(
+      b.lookup_spectrum(0xabcdefull, LaplacianKind::kOutDegreeNormalized, 4, other));
+  EXPECT_FALSE(
+      b.lookup_spectrum(0xabcdefull, LaplacianKind::kPlain, 4, options));
+}
+
+TEST(ArtifactStore, NonConvergedSpectraStayMemoryOnly) {
+  const TempDir dir("graphio_artifacts_partial");
+  ComponentSolve partial = sample_solve();
+  partial.converged = false;
+  {
+    ArtifactStore a(dir.path);
+    a.store_spectrum(7, LaplacianKind::kOutDegreeNormalized, 4, lanczos_options(),
+                     partial);
+    // Served from memory within the process...
+    EXPECT_TRUE(a.lookup_spectrum(7, LaplacianKind::kOutDegreeNormalized, 4,
+                                  lanczos_options()));
+    EXPECT_EQ(a.stats().appended, 0);
+  }
+  // ...but never across a restart: a degraded spectrum must not be
+  // served forever.
+  ArtifactStore b(dir.path);
+  EXPECT_EQ(b.stats().loaded, 0);
+  EXPECT_FALSE(b.lookup_spectrum(7, LaplacianKind::kOutDegreeNormalized, 4,
+                                 lanczos_options()));
+}
+
+TEST(ArtifactStore, TopoMincutMemsimRoundTripAcrossRestart) {
+  const TempDir dir("graphio_artifacts_kinds");
+  TopoOrderArtifact topo;
+  topo.order = {0, 2, 1, 3};
+  MincutSweepArtifact sweep;
+  sweep.best_cut = 9;
+  sweep.best_vertex = 2;
+  sweep.vertices_processed = 4;
+  MemsimRowArtifact row;
+  row.reads = 12;
+  row.writes = 34;
+  {
+    ArtifactStore a(dir.path);
+    a.store_topo(11, topo);
+    a.store_mincut(11, flow::FlowEngine::kDinic, sweep);
+    a.store_memsim(11, /*memory=*/8, /*random_orders=*/3, row);
+    EXPECT_EQ(a.stats().appended, 3);
+  }
+  ArtifactStore b(dir.path);
+  EXPECT_EQ(b.stats().loaded, 3);
+  const auto t = b.lookup_topo(11);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->order, topo.order);
+  const auto c = b.lookup_mincut(11, flow::FlowEngine::kDinic);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->best_cut, sweep.best_cut);
+  EXPECT_EQ(c->best_vertex, sweep.best_vertex);
+  EXPECT_EQ(c->vertices_processed, sweep.vertices_processed);
+  EXPECT_TRUE(c->completed);
+  const auto m = b.lookup_memsim(11, 8, 3);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->reads, row.reads);
+  EXPECT_EQ(m->writes, row.writes);
+  // Key dimensions are honored: other engine / memory / orders miss.
+  EXPECT_FALSE(b.lookup_mincut(11, flow::FlowEngine::kPushRelabel));
+  EXPECT_FALSE(b.lookup_memsim(11, 16, 3));
+  EXPECT_FALSE(b.lookup_memsim(11, 8, 4));
+}
+
+TEST(ArtifactStore, IncompleteMincutSweepsStayMemoryOnly) {
+  const TempDir dir("graphio_artifacts_mincut_partial");
+  MincutSweepArtifact partial;
+  partial.best_cut = 3;
+  partial.completed = false;
+  {
+    ArtifactStore a(dir.path);
+    a.store_mincut(5, flow::FlowEngine::kDinic, partial);
+    EXPECT_EQ(a.stats().appended, 0);
+  }
+  ArtifactStore b(dir.path);
+  EXPECT_FALSE(b.lookup_mincut(5, flow::FlowEngine::kDinic));
+}
+
+// ------------------------------------------------- corruption tolerance
+
+TEST(ArtifactStore, SkipsCorruptLinesOnLoad) {
+  const TempDir dir("graphio_artifacts_corrupt");
+  {
+    ArtifactStore a(dir.path);
+    TopoOrderArtifact topo;
+    topo.order = {0, 1};
+    a.store_topo(1, topo);
+    a.store_memsim(1, 4, 0, MemsimRowArtifact{3, 4});
+  }
+  {
+    // Torn write, plain garbage, wrong JSON shape, unknown kind.
+    std::ofstream log(dir.path / "artifacts.jsonl", std::ios::app);
+    log << "{\"kind\":\"topo\",\"fp\":\"00\n";
+    log << "not json at all\n";
+    log << "[1, 2, 3]\n";
+    log << "{\"kind\":\"hologram\",\"fp\":\"0000000000000001\"}\n";
+  }
+  ArtifactStore b(dir.path);
+  EXPECT_EQ(b.stats().loaded, 2);
+  EXPECT_EQ(b.stats().corrupt, 4);
+  // The valid entries still serve — corruption never poisons results.
+  const auto t = b.lookup_topo(1);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->order, (std::vector<VertexId>{0, 1}));
+  const auto m = b.lookup_memsim(1, 4, 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->reads, 3);
+}
+
+TEST(ArtifactStoreStream, CorruptedLogNeverPoisonsBounds) {
+  const TempDir dir("graphio_artifacts_poison");
+  {
+    // Seed the log with nothing but garbage before any store exists.
+    std::filesystem::create_directories(dir.path);
+    std::ofstream log(dir.path / "artifacts.jsonl");
+    log << "}}}}{{\n\x01\x02\x03\n{\"kind\":\"spectrum\"\n";
+  }
+  engine::BoundRequest req;
+  req.memories = {4.0};
+  req.methods = {"spectral", "mincut", "partition-dp"};
+
+  stream::StreamSession poisoned(
+      "poisoned", std::make_shared<ArtifactStore>(dir.path));
+  poisoned.load("multi:3:fft:3");
+  const engine::BoundReport got = poisoned.evaluate(req);
+  EXPECT_EQ(poisoned.engine().artifact_store()->stats().corrupt, 3);
+
+  stream::StreamSession clean("clean");
+  clean.load("multi:3:fft:3");
+  const engine::BoundReport want = clean.evaluate(req);
+
+  ASSERT_EQ(got.rows.size(), want.rows.size());
+  for (std::size_t i = 0; i < got.rows.size(); ++i) {
+    EXPECT_EQ(got.rows[i].method, want.rows[i].method);
+    EXPECT_EQ(got.rows[i].applicable, want.rows[i].applicable);
+    EXPECT_EQ(got.rows[i].value, want.rows[i].value);
+  }
+}
+
+// ------------------------------------------------ erase/compact/stats
+
+TEST(ArtifactStore, EraseDropsMemoryTierOnly) {
+  const TempDir dir("graphio_artifacts_erase");
+  {
+    ArtifactStore a(dir.path);
+    a.store_spectrum(9, LaplacianKind::kOutDegreeNormalized, 2, lanczos_options(),
+                     sample_solve());
+    a.store_topo(9, TopoOrderArtifact{{0}});
+    a.store_mincut(9, flow::FlowEngine::kDinic, MincutSweepArtifact{1, 0, 1});
+    a.store_memsim(9, 4, 0, MemsimRowArtifact{1, 1});
+    a.store_topo(10, TopoOrderArtifact{{0}});  // unrelated fingerprint
+    EXPECT_EQ(a.stats().entries(), 5);
+    EXPECT_EQ(a.erase(9), 4);  // all kinds, one call
+    EXPECT_EQ(a.stats().entries(), 1);
+    EXPECT_EQ(a.stats().evicted(), 4);
+    EXPECT_FALSE(a.lookup_topo(9));
+    EXPECT_TRUE(a.lookup_topo(10));
+    EXPECT_EQ(a.erase(9), 0);  // idempotent
+  }
+  // The disk tier is append-only: a restart resurrects everything.
+  ArtifactStore b(dir.path);
+  EXPECT_EQ(b.stats().loaded, 5);
+  EXPECT_TRUE(b.lookup_topo(9));
+  EXPECT_TRUE(b.lookup_spectrum(9, LaplacianKind::kOutDegreeNormalized, 2,
+                                lanczos_options()));
+}
+
+TEST(ArtifactStore, CompactRewritesLogToLiveEntries) {
+  const TempDir dir("graphio_artifacts_compact");
+  ArtifactStore a(dir.path);
+  // Erase-then-restore cycles accumulate duplicate log lines.
+  for (int round = 0; round < 3; ++round) {
+    a.store_topo(1, TopoOrderArtifact{{0, 1}});
+    a.store_memsim(1, 4, 0, MemsimRowArtifact{2, 2});
+    a.erase(1);
+  }
+  a.store_topo(1, TopoOrderArtifact{{0, 1}});
+  EXPECT_EQ(line_count(dir.path / "artifacts.jsonl"), 7);
+  EXPECT_EQ(a.compact(), 1);  // only the topo order is live
+  EXPECT_EQ(line_count(dir.path / "artifacts.jsonl"), 1);
+  // The compacted log replays cleanly.
+  ArtifactStore b(dir.path);
+  EXPECT_EQ(b.stats().loaded, 1);
+  EXPECT_TRUE(b.lookup_topo(1));
+}
+
+TEST(ArtifactStore, PerKindStatsCountHitsAndMisses) {
+  ArtifactStore store;  // memory-only
+  EXPECT_FALSE(store.durable());
+  EXPECT_FALSE(store.lookup_topo(1));
+  store.store_topo(1, TopoOrderArtifact{{0}});
+  EXPECT_TRUE(store.lookup_topo(1));
+  EXPECT_FALSE(store.lookup_mincut(1, flow::FlowEngine::kDinic));
+  EXPECT_FALSE(store.lookup_memsim(1, 4, 0));
+  const ArtifactStore::Stats s = store.stats();
+  EXPECT_EQ(s.topo.hits, 1);
+  EXPECT_EQ(s.topo.misses, 1);
+  EXPECT_EQ(s.topo.entries, 1);
+  EXPECT_EQ(s.mincut.misses, 1);
+  EXPECT_EQ(s.memsim.misses, 1);
+  EXPECT_EQ(s.spectrum.hits, 0);
+  EXPECT_EQ(s.hits(), 1);
+  EXPECT_EQ(s.misses(), 3);
+  EXPECT_EQ(s.entries(), 1);
+}
+
+TEST(ArtifactStore, CompactRequiresDurableTier) {
+  ArtifactStore store;
+  EXPECT_THROW(store.compact(), contract_error);
+}
+
+// ------------------------------------------- cold-restart warm path
+
+/// ISSUE satellite 3: kill the process (destroy the session), start a new
+/// one against the same --store-artifacts directory, re-query every
+/// method: zero eigensolves, zero topo/min-cut/memsim computes, and
+/// bit-identical bounds.
+TEST(ArtifactStoreStream, ColdRestartWarmPathAnswersAllMethods) {
+  const TempDir dir("graphio_artifacts_restart");
+  engine::BoundRequest req;
+  req.memories = {4.0, 8.0};
+  req.methods = {"all"};
+  req.spectral.adaptive = false;
+  req.spectral.max_eigenvalues = 6;
+
+  engine::BoundReport cold;
+  {
+    stream::StreamSession session(
+        "restart", std::make_shared<ArtifactStore>(dir.path));
+    session.load("multi:3:fft:3");
+    cold = session.evaluate(req);
+    EXPECT_GT(cold.cache.eigensolves, 0);
+    EXPECT_GT(cold.cache.topo_computes, 0);
+    EXPECT_GT(cold.cache.mincut_sweeps, 0);
+    EXPECT_GT(cold.cache.memsim_runs, 0);
+  }  // session gone; only the JSONL log survives
+
+  stream::StreamSession session(
+      "restart", std::make_shared<ArtifactStore>(dir.path));
+  session.load("multi:3:fft:3");
+  const engine::BoundReport warm = session.evaluate(req);
+
+  // The headline guarantee: the disk tier answers everything.
+  EXPECT_EQ(warm.cache.eigensolves, 0);
+  EXPECT_EQ(warm.cache.topo_computes, 0);
+  EXPECT_EQ(warm.cache.mincut_sweeps, 0);
+  EXPECT_EQ(warm.cache.memsim_runs, 0);
+
+  // Bit-identical bounds, row by row (doubles compared with ==, not near:
+  // the JSONL tier serializes binary64 exactly).
+  ASSERT_EQ(warm.rows.size(), cold.rows.size());
+  for (std::size_t i = 0; i < warm.rows.size(); ++i) {
+    EXPECT_EQ(warm.rows[i].method, cold.rows[i].method);
+    EXPECT_EQ(warm.rows[i].memory, cold.rows[i].memory);
+    EXPECT_EQ(warm.rows[i].applicable, cold.rows[i].applicable);
+    if (warm.rows[i].applicable) {
+      EXPECT_EQ(warm.rows[i].value, cold.rows[i].value)
+          << "method " << warm.rows[i].method << " at M="
+          << warm.rows[i].memory;
+      EXPECT_EQ(warm.rows[i].converged, cold.rows[i].converged);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphio::store

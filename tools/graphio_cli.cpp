@@ -24,6 +24,7 @@
 // (sortable, timing-free), the summary footer goes to stderr.
 #include <charconv>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -91,16 +92,23 @@ std::string solver_list() {
       "                                         Theorem 6 vs simulated p-proc\n"
       "  hierarchy <graph> [--levels 8,64,512]  per-level traffic bounds\n"
       "  batch <jobs.jsonl> [--threads N] [--store DIR]\n"
-      "                                         fan a JSONL job corpus across\n"
+      "        [--store-artifacts DIR]          fan a JSONL job corpus across\n"
       "                                         workers; results to stdout,\n"
       "                                         summary footer to stderr\n"
-      "  serve [--threads N] [--store DIR]      JSONL request/response loop\n"
+      "  serve [--threads N] [--store DIR] [--store-artifacts DIR]\n"
+      "                                         JSONL request/response loop\n"
       "                                         on stdin/stdout\n"
-      "  stream <updates.jsonl> [--json]        replay a stream of graph\n"
+      "  stream <updates.jsonl> [--json] [--store-artifacts DIR]\n"
+      "                                         replay a stream of graph\n"
       "                                         loads/patches/queries in\n"
       "                                         order; incremental re-analysis\n"
       "                                         (--json adds the summary as a\n"
       "                                         final stdout line)\n"
+      "  store stats <DIR> [--json]             inspect a durable artifact\n"
+      "                                         store (entries per kind,\n"
+      "                                         corrupt-line count)\n"
+      "  store compact <DIR>                    rewrite the artifact log to\n"
+      "                                         its live entries\n"
       "\n"
       "graph: family spec, edgelist file, or DOT file (*.dot, *.gv)\n"
       << engine::family_help() <<
@@ -165,6 +173,7 @@ struct Args {
   std::string levels = "8,64,512";
   std::int64_t threads = 0;
   std::string store;
+  std::string store_artifacts;
   std::string solver = "auto";
   bool monolithic = false;
   bool plain = false;
@@ -219,6 +228,8 @@ Args parse_args(int argc, char** argv) {
       if (a.threads < 1) usage("--threads must be >= 1");
     } else if (flag == "--store") {
       a.store = next();
+    } else if (flag == "--store-artifacts") {
+      a.store_artifacts = next();
     } else if (flag == "--solver") {
       a.solver = next();
       // Validate here so a typo fails with the registered names instead
@@ -484,6 +495,7 @@ serve::BatchOptions batch_options(const Args& a) {
   serve::BatchOptions options;
   options.threads = static_cast<int>(a.threads);
   options.store_dir = a.store;
+  options.artifact_dir = a.store_artifacts;
   return options;
 }
 
@@ -523,6 +535,61 @@ int cmd_stream(const Args& a) {
                                                                       : 1;
 }
 
+void append_kind_stats(io::JsonWriter& w, const char* name,
+                       const store::ArtifactStore::KindStats& kind) {
+  w.key(name).begin_object();
+  w.key("entries").value(kind.entries);
+  w.key("hits").value(kind.hits);
+  w.key("misses").value(kind.misses);
+  w.key("evicted").value(kind.evicted);
+  w.end_object();
+}
+
+int cmd_store(const Args& a) {
+  // `graphio store stats|compact DIR`: the subcommand and directory both
+  // arrive as positional "graph" arguments.
+  if (a.graphs.size() != 2)
+    usage("store needs a subcommand and a directory: "
+          "graphio store stats|compact DIR");
+  const std::string& sub = a.graphs[0];
+  const std::string& dir = a.graphs[1];
+  if (sub != "stats" && sub != "compact")
+    usage("unknown store subcommand '" + sub + "' (stats|compact)");
+  store::ArtifactStore artifacts{std::filesystem::path(dir)};
+  if (sub == "compact") {
+    const std::int64_t written = artifacts.compact();
+    std::cout << "compacted " << artifacts.path().string() << " to "
+              << written << " artifacts\n";
+    return 0;
+  }
+  const store::ArtifactStore::Stats stats = artifacts.stats();
+  if (a.json) {
+    io::JsonWriter w;
+    w.begin_object();
+    w.key("path").value(artifacts.path().string());
+    w.key("entries").value(stats.entries());
+    w.key("loaded").value(stats.loaded);
+    w.key("corrupt").value(stats.corrupt);
+    append_kind_stats(w, "spectrum", stats.spectrum);
+    append_kind_stats(w, "topo", stats.topo);
+    append_kind_stats(w, "mincut", stats.mincut);
+    append_kind_stats(w, "memsim", stats.memsim);
+    w.end_object();
+    std::cout << w.str() << "\n";
+    return 0;
+  }
+  Table t({"kind", "entries"});
+  t.add_row({"spectrum", std::to_string(stats.spectrum.entries)});
+  t.add_row({"topo", std::to_string(stats.topo.entries)});
+  t.add_row({"mincut", std::to_string(stats.mincut.entries)});
+  t.add_row({"memsim", std::to_string(stats.memsim.entries)});
+  t.add_row({"total", std::to_string(stats.entries())});
+  t.print(std::cout);
+  std::cout << artifacts.path().string() << ": " << stats.loaded
+            << " loaded, " << stats.corrupt << " corrupt line(s) skipped\n";
+  return 0;
+}
+
 int cmd_hierarchy(const Args& a) {
   const Digraph g = resolve_graph(a.graph());
   std::vector<double> capacities;
@@ -557,6 +624,7 @@ int main(int argc, char** argv) {
     if (a.command == "anneal") return cmd_anneal(a);
     if (a.command == "parallel") return cmd_parallel(a);
     if (a.command == "hierarchy") return cmd_hierarchy(a);
+    if (a.command == "store") return cmd_store(a);
     if (a.command == "batch") return cmd_batch(a);
     if (a.command == "serve") return cmd_serve(a);
     if (a.command == "stream") return cmd_stream(a);
