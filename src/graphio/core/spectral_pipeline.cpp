@@ -10,6 +10,7 @@
 #include "graphio/la/symmetric_eigen.hpp"
 #include "graphio/support/contracts.hpp"
 #include "graphio/support/timer.hpp"
+#include "graphio/telemetry/trace.hpp"
 
 namespace graphio {
 
@@ -164,9 +165,10 @@ ComponentSolve SpectralPipeline::solve_planned(const PlannedComponent& entry,
   const std::int64_t nnz = entry.vertices + 2 * entry.edges;
   if (resolver_ != nullptr) {
     if (!have_fingerprint && entry.fingerprint_fn != nullptr) {
-      WallTimer fp_timer;
+      telemetry::Span fp_span("fingerprint");
       fingerprint = entry.fingerprint_fn();
-      result.phases.fingerprint_seconds += fp_timer.seconds();
+      fp_span.end();
+      result.phases.fingerprint_seconds += fp_span.seconds();
       ++result.fingerprint_computes;
       have_fingerprint = true;
     }
@@ -184,17 +186,26 @@ ComponentSolve SpectralPipeline::solve_planned(const PlannedComponent& entry,
     GIO_EXPECTS_MSG(entry.materialize != nullptr,
                     "planned component needs a materializer or an in-place "
                     "graph");
-    WallTimer extract_timer;
+    telemetry::Span extract_span("extract");
+    extract_span.attr("vertices", entry.vertices).attr("edges", entry.edges);
     extracted.emplace(entry.materialize());
-    result.phases.extract_seconds += extract_timer.seconds();
+    extract_span.end();
+    result.phases.extract_seconds += extract_span.seconds();
     ++result.subgraph_extractions;
     component = &*extracted;
   }
   GIO_EXPECTS_MSG(component->num_vertices() == entry.vertices &&
                       component->num_edges() == entry.edges,
                   "planned component shape does not match its subgraph");
+  // The "solve" span brackets exactly the eigensolver invocations: clean
+  // components resolve above and never reach here, so a warm trace has
+  // zero solve spans (CI asserts this).
+  telemetry::Span solve_span("solve");
+  solve_span.attr("vertices", entry.vertices).attr("edges", entry.edges);
   ComponentSolve solve = solver_(*component, kind, h_c, options_);
-  result.phases.solve_seconds += solve.seconds;
+  solve_span.attr("converged", solve.converged ? "true" : "false");
+  solve_span.end();
+  result.phases.solve_seconds += solve_span.seconds();
   if (publisher_ != nullptr && have_fingerprint && solve.solver_ran)
     publisher_(fingerprint, kind, h_c, options_, solve);
   return solve;
@@ -237,11 +248,13 @@ PipelineResult SpectralPipeline::run_plan(const ComponentPlan& plan,
   // One merge over the pooled values — Spectrum::merge semantics with
   // tolerance 0 (the union must stay exact), built in a single
   // O(Ch log(Ch)) pass rather than C incremental merges.
-  WallTimer merge_timer;
+  telemetry::Span merge_span("merge");
+  merge_span.attr("components", result.components);
   result.values = Spectrum::from_values(pooled, 0.0).smallest(h);
   while (!result.values.empty() && result.values.back() > certified_cutoff)
     result.values.pop_back();
-  result.phases.merge_seconds = merge_timer.seconds();
+  merge_span.end();
+  result.phases.merge_seconds = merge_span.seconds();
   result.seconds = timer.seconds();
   return result;
 }

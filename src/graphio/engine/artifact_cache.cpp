@@ -11,8 +11,52 @@
 #include "graphio/sim/memsim.hpp"
 #include "graphio/support/contracts.hpp"
 #include "graphio/support/timer.hpp"
+#include "graphio/telemetry/metrics.hpp"
+#include "graphio/telemetry/trace.hpp"
 
 namespace graphio::engine {
+
+namespace {
+
+// Process-wide lifetime counters mirroring Stats. Resolved once (registry
+// lookup takes a mutex), then every dual-write is a single relaxed atomic
+// add. The registry totals are monotone — they survive cache destruction
+// and graph reinstalls, which the per-instance Stats do not.
+struct CacheMetrics {
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+  telemetry::Counter& eigensolves;
+  telemetry::Counter& mincut_sweeps;
+  telemetry::Counter& topo_computes;
+  telemetry::Counter& memsim_runs;
+  telemetry::Counter& component_hits;
+  telemetry::Counter& subgraph_extractions;
+  telemetry::Counter& fingerprint_computes;
+  telemetry::Gauge& fingerprint_seconds;
+  telemetry::Gauge& extract_seconds;
+  telemetry::Gauge& solve_seconds;
+  telemetry::Gauge& merge_seconds;
+};
+
+CacheMetrics& cache_metrics() {
+  auto& reg = telemetry::MetricsRegistry::global();
+  static CacheMetrics metrics{reg.counter("cache.hits"),
+                              reg.counter("cache.misses"),
+                              reg.counter("cache.eigensolves"),
+                              reg.counter("cache.mincut_sweeps"),
+                              reg.counter("cache.topo_computes"),
+                              reg.counter("cache.memsim_runs"),
+                              reg.counter("cache.component_hits"),
+                              reg.counter("cache.subgraph_extractions"),
+                              reg.counter("cache.fingerprint_computes"),
+                              reg.gauge("cache.fingerprint_seconds"),
+                              reg.gauge("cache.extract_seconds"),
+                              reg.gauge("cache.solve_seconds"),
+                              reg.gauge("cache.merge_seconds")};
+  return metrics;
+}
+
+}  // namespace
 
 ArtifactCache::ArtifactCache(Digraph graph,
                              std::shared_ptr<store::ArtifactStore> store,
@@ -145,12 +189,14 @@ std::uint64_t ArtifactCache::component_fingerprint(int c) {
   d.fingerprints[i] = subgraph_fingerprint(graph(), d.wc, c);
   d.known[i] = true;
   ++stats_.fingerprint_computes;
+  cache_metrics().fingerprint_computes.increment();
   return d.fingerprints[i];
 }
 
 Digraph ArtifactCache::component_subgraph(int c) {
   Decomposition& d = decomposition();
   ++stats_.subgraph_extractions;
+  cache_metrics().subgraph_extractions.increment();
   if (lazy_.has_value())
     return lazy_->component(d.source_index[static_cast<std::size_t>(c)]);
   return d.wc.subgraph(graph_, c);
@@ -222,9 +268,11 @@ ComponentPlan ArtifactCache::build_plan(const SpectralOptions& options) {
 std::uint64_t ArtifactCache::fingerprint() {
   if (fingerprint_.has_value()) {
     ++stats_.hits;
+    cache_metrics().hits.increment();
     return *fingerprint_;
   }
   ++stats_.misses;
+  cache_metrics().misses.increment();
   fingerprint_ = graph_fingerprint(graph());
   return *fingerprint_;
 }
@@ -232,9 +280,11 @@ std::uint64_t ArtifactCache::fingerprint() {
 const std::vector<VertexId>& ArtifactCache::topo_order() {
   if (topo_.has_value()) {
     ++stats_.hits;
+    cache_metrics().hits.increment();
     return *topo_;
   }
   ++stats_.misses;
+  cache_metrics().misses.increment();
   Decomposition& d = decomposition();
   const int count = d.wc.count;
   // Per-component orders in local ids: store hit, trivial, or Kahn run.
@@ -265,9 +315,13 @@ const std::vector<VertexId>& ArtifactCache::topo_order() {
       extracted = component_subgraph(c);
       sub = &extracted;
     }
+    telemetry::Span topo_span("topo");
+    topo_span.attr("vertices", n).attr("edges", d.edges[i]);
     auto order = topological_order(*sub);
+    topo_span.end();
     GIO_EXPECTS_MSG(order.has_value(), "graph is cyclic");
     ++stats_.topo_computes;
+    cache_metrics().topo_computes.increment();
     store_->store_topo(fp, {*order});
     orders[i] = std::move(*order);
   }
@@ -306,9 +360,11 @@ const la::CsrMatrix& ArtifactCache::laplacian(LaplacianKind kind) {
   const auto it = laplacians_.find(kind);
   if (it != laplacians_.end()) {
     ++stats_.hits;
+    cache_metrics().hits.increment();
     return it->second;
   }
   ++stats_.misses;
+  cache_metrics().misses.increment();
   return laplacians_.emplace(kind, graphio::laplacian(graph(), kind))
       .first->second;
 }
@@ -324,9 +380,11 @@ const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
   if (it != spectra_.end() && it->second.requested >= count &&
       solver_options_equal(spectra_options_.at(kind), options)) {
     ++stats_.hits;
+    cache_metrics().hits.increment();
     return it->second;
   }
   ++stats_.misses;
+  cache_metrics().misses.increment();
   WallTimer timer;
 
   // Lookup-then-extract: the plan describes every component without its
@@ -371,6 +429,15 @@ const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
   stats_.extract_seconds += result.phases.extract_seconds;
   stats_.solve_seconds += result.phases.solve_seconds;
   stats_.merge_seconds += result.phases.merge_seconds;
+  CacheMetrics& metrics = cache_metrics();
+  metrics.eigensolves.add(result.eigensolves);
+  metrics.component_hits.add(result.component_cache_hits);
+  metrics.subgraph_extractions.add(result.subgraph_extractions);
+  metrics.fingerprint_computes.add(result.fingerprint_computes);
+  metrics.fingerprint_seconds.add(result.phases.fingerprint_seconds);
+  metrics.extract_seconds.add(result.phases.extract_seconds);
+  metrics.solve_seconds.add(result.phases.solve_seconds);
+  metrics.merge_seconds.add(result.phases.merge_seconds);
   eigensolves_by_kind_[kind] += result.eigensolves;
   spectra_options_.insert_or_assign(kind, options);
   return spectra_.insert_or_assign(kind, std::move(artifact)).first->second;
@@ -389,9 +456,11 @@ const ArtifactCache::WavefrontArtifact& ArtifactCache::max_wavefront_cut(
   const auto it = max_cuts_.find(options.engine);
   if (it != max_cuts_.end()) {
     ++stats_.hits;
+    cache_metrics().hits.increment();
     return it->second;
   }
   ++stats_.misses;
+  cache_metrics().misses.increment();
   Decomposition& d = decomposition();
   const int count = d.wc.count;
   WavefrontArtifact artifact;
@@ -422,10 +491,15 @@ const ArtifactCache::WavefrontArtifact& ArtifactCache::max_wavefront_cut(
       sub = &extracted;
     }
     ++stats_.mincut_sweeps;
+    cache_metrics().mincut_sweeps.increment();
     // Memory 0 keeps every cut relevant; per-M bounds derive from the
     // per-component best cuts.
+    telemetry::Span mincut_span("mincut");
+    mincut_span.attr("vertices", sub->num_vertices())
+        .attr("edges", sub->num_edges());
     const flow::ConvexMinCutResult result =
         flow::convex_mincut_bound(*sub, 0.0, options);
+    mincut_span.end();
     artifact.cuts[i] = result.best_cut;
     artifact.completed = artifact.completed && result.completed;
     if (result.completed)
@@ -451,9 +525,11 @@ const ArtifactCache::MemsimArtifact& ArtifactCache::memsim_row(
   const auto it = memsims_.find(key);
   if (it != memsims_.end()) {
     ++stats_.hits;
+    cache_metrics().hits.increment();
     return it->second;
   }
   ++stats_.misses;
+  cache_metrics().misses.increment();
   Decomposition& d = decomposition();
   const int count = d.wc.count;
   MemsimArtifact artifact;
@@ -478,8 +554,14 @@ const ArtifactCache::MemsimArtifact& ArtifactCache::memsim_row(
       sub = &extracted;
     }
     ++stats_.memsim_runs;
+    cache_metrics().memsim_runs.increment();
+    telemetry::Span memsim_span("memsim");
+    memsim_span.attr("vertices", sub->num_vertices())
+        .attr("memory", memory)
+        .attr("random_orders", random_orders);
     const sim::SimResult result =
         sim::best_schedule_io(*sub, memory, random_orders);
+    memsim_span.end();
     store_->store_memsim(fp, memory, random_orders,
                          {result.reads, result.writes});
     artifact.reads += result.reads;

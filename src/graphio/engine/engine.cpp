@@ -6,6 +6,7 @@
 #include "graphio/support/contracts.hpp"
 #include "graphio/support/parallel.hpp"
 #include "graphio/support/timer.hpp"
+#include "graphio/telemetry/trace.hpp"
 
 namespace graphio::engine {
 
@@ -36,6 +37,10 @@ BoundReport Engine::evaluate_with_cache(const BoundRequest& request,
 
   MethodContext ctx{cache, request, spec.has_value() ? &*spec : nullptr};
   for (const BoundMethod* method : selected) {
+    telemetry::Span method_span("engine.method");
+    method_span.attr("method", method->id())
+        .attr("graph", report.graph)
+        .attr("memories", request.memories.size());
     std::vector<MethodRow> rows;
     try {
       rows = method->evaluate(ctx, request.memories);
@@ -102,6 +107,7 @@ void Engine::install_graph(const std::string& name, Digraph graph,
   GIO_EXPECTS_MSG(!GraphSpec::try_parse(name).has_value(),
                   "installed graph name '" + name +
                       "' collides with a family spec or graph file");
+  retire_cache_stats(name);
   caches_.insert_or_assign(
       name, std::make_unique<ArtifactCache>(std::move(graph), store_,
                                             std::move(seed)));
@@ -113,9 +119,15 @@ void Engine::install_graph(const std::string& name, LazyGraph graph,
   GIO_EXPECTS_MSG(!GraphSpec::try_parse(name).has_value(),
                   "installed graph name '" + name +
                       "' collides with a family spec or graph file");
+  retire_cache_stats(name);
   caches_.insert_or_assign(
       name, std::make_unique<ArtifactCache>(std::move(graph), store_,
                                             std::move(seed)));
+}
+
+void Engine::retire_cache_stats(const std::string& name) {
+  const auto it = caches_.find(name);
+  if (it != caches_.end()) retired_ += it->second->stats();
 }
 
 std::uint64_t Engine::fingerprint(const std::string& spec) {
@@ -123,7 +135,7 @@ std::uint64_t Engine::fingerprint(const std::string& spec) {
 }
 
 ArtifactCache::Stats Engine::stats() const {
-  ArtifactCache::Stats total;
+  ArtifactCache::Stats total = retired_;
   for (const auto& [spec, cache] : caches_) total += cache->stats();
   return total;
 }
@@ -168,6 +180,7 @@ const ArtifactCache* Engine::cache(const std::string& spec) const {
 }
 
 void Engine::clear() {
+  for (const auto& [spec, cache] : caches_) retired_ += cache->stats();
   caches_.clear();
   store_->clear();
 }

@@ -103,7 +103,9 @@ class Engine {
 
   /// Lifetime artifact-cache totals summed across every spec this Engine
   /// has touched — the serve layer reports these per worker and in the
-  /// batch summary footer.
+  /// batch summary footer. Includes counters retired when a graph is
+  /// reinstalled over an existing name (the stream session reinstalls
+  /// after every patch), so totals are monotone across reinstalls.
   [[nodiscard]] ArtifactCache::Stats stats() const;
 
   /// The content-addressed artifact store shared by every ArtifactCache
@@ -124,9 +126,15 @@ class Engine {
   BoundReport evaluate_with_cache(const BoundRequest& request,
                                   ArtifactCache& cache);
 
+  // Folds a to-be-replaced cache's counters into retired_ so stats()
+  // stays lifetime-accurate (install_graph over an existing name used to
+  // zero that spec's totals).
+  void retire_cache_stats(const std::string& name);
+
   std::shared_ptr<store::ArtifactStore> store_ =
       std::make_shared<store::ArtifactStore>();
   std::unordered_map<std::string, std::unique_ptr<ArtifactCache>> caches_;
+  ArtifactCache::Stats retired_;
 };
 
 }  // namespace graphio::engine

@@ -115,6 +115,11 @@
 #include "graphio/trace/programs.hpp"
 #include "graphio/trace/tape.hpp"
 
+// Observability: process-wide metrics registry and hierarchical span
+// tracing (Chrome trace / JSONL export). Off by default, observe-only.
+#include "graphio/telemetry/metrics.hpp"
+#include "graphio/telemetry/trace.hpp"
+
 // Serialization.
 #include "graphio/io/edgelist.hpp"
 #include "graphio/io/json.hpp"

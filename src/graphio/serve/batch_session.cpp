@@ -71,6 +71,15 @@ double percentile(std::vector<double> sorted_or_not, double p) {
   return sorted_or_not[std::min(rank, sorted_or_not.size() - 1)];
 }
 
+/// Process-wide per-job latency histogram — every lane (scheduler
+/// workers, stream jobs, serve loop) observes into the same one, and a
+/// run's summary carries the bracketing snapshot delta.
+telemetry::Histogram& job_latency_histogram() {
+  static telemetry::Histogram& h =
+      telemetry::MetricsRegistry::global().histogram("serve.job.seconds");
+  return h;
+}
+
 }  // namespace
 
 double BatchSummary::store_hit_rate() const {
@@ -93,6 +102,23 @@ std::string BatchSummary::to_json() const {
   w.key("throughput").value(throughput);
   w.key("p50_seconds").value(p50_seconds);
   w.key("p95_seconds").value(p95_seconds);
+  w.key("p99_seconds").value(p99_seconds);
+  w.key("latency").begin_object();
+  w.key("count").value(latency.count);
+  w.key("sum_seconds").value(latency.sum);
+  w.key("buckets").begin_array();
+  for (std::size_t i = 0; i < latency.counts.size(); ++i) {
+    if (latency.counts[i] == 0) continue;
+    w.begin_object();
+    if (i < latency.bounds.size())
+      w.key("le").value(latency.bounds[i]);
+    else
+      w.key("le").value("+inf");
+    w.key("count").value(latency.counts[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
   w.key("store").begin_object();
   w.key("hits").value(store_hits);
   w.key("misses").value(store_misses);
@@ -224,6 +250,8 @@ double BatchSession::handle_stream_job(const Job& job, std::ostream& out,
 BatchSummary BatchSession::run(std::istream& in, std::ostream& out) {
   BatchSummary summary;
   WallTimer timer;
+  const telemetry::HistogramSnapshot latency_before =
+      job_latency_histogram().snapshot();
 
   // Ingest first: rejected lines are reported up front (in line order),
   // valid bound jobs go to the queue. Stream jobs are stateful, so they
@@ -251,7 +279,9 @@ BatchSummary BatchSession::run(std::istream& in, std::ostream& out) {
     }
     job.id = line_no;
     if (job.is_stream()) {
-      latencies.push_back(handle_stream_job(job, out, summary));
+      const double seconds = handle_stream_job(job, out, summary);
+      job_latency_histogram().observe(seconds);
+      latencies.push_back(seconds);
       continue;
     }
     jobs.push_back(std::move(job));
@@ -263,6 +293,7 @@ BatchSummary BatchSession::run(std::istream& in, std::ostream& out) {
       std::move(jobs), [&](const JobResult& result) {
         // Serialized by the scheduler's result mutex.
         write_result_line(out, result);
+        job_latency_histogram().observe(result.seconds);
         latencies.push_back(result.seconds);
         if (result.ok) ++summary.ok;
         else ++summary.failed;
@@ -282,6 +313,8 @@ BatchSummary BatchSession::run(std::istream& in, std::ostream& out) {
           : 0.0;
   summary.p50_seconds = percentile(latencies, 0.50);
   summary.p95_seconds = percentile(latencies, 0.95);
+  summary.latency = job_latency_histogram().snapshot() - latency_before;
+  summary.p99_seconds = summary.latency.percentile(0.99);
   return summary;
 }
 
@@ -289,6 +322,8 @@ BatchSummary BatchSession::serve(std::istream& in, std::ostream& out) {
   BatchSummary summary;
   summary.threads = 1;
   WallTimer timer;
+  const telemetry::HistogramSnapshot latency_before =
+      job_latency_histogram().snapshot();
   std::vector<double> latencies;
   const engine::ArtifactCache::Stats before = scheduler_->engine_stats();
 
@@ -310,7 +345,9 @@ BatchSummary BatchSession::serve(std::istream& in, std::ostream& out) {
     }
     job.id = line_no;
     if (job.is_stream()) {
-      latencies.push_back(handle_stream_job(job, out, summary));
+      const double stream_seconds = handle_stream_job(job, out, summary);
+      job_latency_histogram().observe(stream_seconds);
+      latencies.push_back(stream_seconds);
       out.flush();
       continue;
     }
@@ -318,6 +355,7 @@ BatchSummary BatchSession::serve(std::istream& in, std::ostream& out) {
     const JobResult result = scheduler_->run_one(job);
     write_result_line(out, result);
     out.flush();
+    job_latency_histogram().observe(result.seconds);
     latencies.push_back(result.seconds);
     if (result.ok) ++summary.ok;
     else ++summary.failed;
@@ -335,6 +373,8 @@ BatchSummary BatchSession::serve(std::istream& in, std::ostream& out) {
           : 0.0;
   summary.p50_seconds = percentile(latencies, 0.50);
   summary.p95_seconds = percentile(latencies, 0.95);
+  summary.latency = job_latency_histogram().snapshot() - latency_before;
+  summary.p99_seconds = summary.latency.percentile(0.99);
   return summary;
 }
 

@@ -41,6 +41,7 @@
 
 #include "graphio/serve/scheduler.hpp"
 #include "graphio/stream/session.hpp"
+#include "graphio/telemetry/metrics.hpp"
 
 namespace graphio::serve {
 
@@ -65,6 +66,12 @@ struct BatchSummary {
   double throughput = 0.0;         ///< completed jobs per second
   double p50_seconds = 0.0;        ///< median per-job worker latency
   double p95_seconds = 0.0;        ///< 95th-percentile per-job latency
+  double p99_seconds = 0.0;        ///< 99th-percentile, from `latency`
+  /// Per-job latency distribution for this run: the delta of the
+  /// process-wide "serve.job.seconds" registry histogram bracketing the
+  /// run, so it covers exactly this batch even when several batches
+  /// share the process. p99_seconds is interpolated from it.
+  telemetry::HistogramSnapshot latency;
   std::int64_t store_hits = 0;     ///< rows served from the ResultStore
   std::int64_t store_misses = 0;
   engine::ArtifactCache::Stats cache;  ///< artifact activity this batch

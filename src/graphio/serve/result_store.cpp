@@ -6,10 +6,31 @@
 #include "graphio/engine/fingerprint.hpp"
 #include "graphio/io/json.hpp"
 #include "graphio/support/contracts.hpp"
+#include "graphio/telemetry/metrics.hpp"
 
 namespace graphio::serve {
 
 namespace {
+
+// Registry mirrors of Stats — process-wide lifetime totals across every
+// ResultStore instance.
+struct ResultStoreMetrics {
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+  telemetry::Counter& loaded;
+  telemetry::Counter& corrupt;
+  telemetry::Counter& appended;
+};
+
+ResultStoreMetrics& result_store_metrics() {
+  auto& reg = telemetry::MetricsRegistry::global();
+  static ResultStoreMetrics metrics{reg.counter("result_store.hits"),
+                                    reg.counter("result_store.misses"),
+                                    reg.counter("result_store.loaded"),
+                                    reg.counter("result_store.corrupt"),
+                                    reg.counter("result_store.appended")};
+  return metrics;
+}
 
 /// Round-trippable double rendering, shared by the key encoding and the
 /// log records so a value always looks up the way it was written.
@@ -149,6 +170,8 @@ ResultStore::ResultStore(const std::filesystem::path& dir) {
         ++stats_.corrupt;  // torn/garbage line; keep replaying
       }
     }
+    result_store_metrics().loaded.add(stats_.loaded);
+    result_store_metrics().corrupt.add(stats_.corrupt);
   }
 
   log_.open(log_path_, std::ios::app);
@@ -161,9 +184,11 @@ std::optional<engine::MethodRow> ResultStore::lookup(const Key& key) {
   const auto it = rows_.find(encode_key(key));
   if (it == rows_.end()) {
     ++stats_.misses;
+    result_store_metrics().misses.increment();
     return std::nullopt;
   }
   ++stats_.hits;
+  result_store_metrics().hits.increment();
   return it->second;
 }
 
@@ -173,6 +198,7 @@ void ResultStore::insert(const Key& key, const engine::MethodRow& row) {
   log_ << record_line(key, row) << '\n';
   log_.flush();
   ++stats_.appended;
+  result_store_metrics().appended.increment();
 }
 
 ResultStore::Stats ResultStore::stats() const {

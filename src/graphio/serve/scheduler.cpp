@@ -11,6 +11,7 @@
 #include "graphio/support/contracts.hpp"
 #include "graphio/support/parallel.hpp"
 #include "graphio/support/timer.hpp"
+#include "graphio/telemetry/trace.hpp"
 
 namespace graphio::serve {
 
@@ -139,10 +140,16 @@ Scheduler::Scheduler(const SchedulerOptions& options)
     engines_.push_back(std::make_unique<engine::Engine>(artifacts));
 }
 
-JobResult Scheduler::evaluate_job(engine::Engine& engine,
-                                  const Job& job) const {
+JobResult Scheduler::evaluate_job(engine::Engine& engine, const Job& job,
+                                  std::size_t worker) const {
   JobResult result;
   result.id = job.id;
+  telemetry::Span job_span("serve.job");
+  job_span.attr("job", job.id)
+      .attr("spec", job.request.display_name())
+      .attr("worker", worker)
+      .attr("shard",
+            std::hash<std::string>{}(job.request.spec) % engines_.size());
   WallTimer timer;
   try {
     if (store_ == nullptr) {
@@ -178,7 +185,7 @@ JobResult Scheduler::evaluate_job(engine::Engine& engine,
 }
 
 JobResult Scheduler::run_one(const Job& job) {
-  return evaluate_job(*engines_.front(), job);
+  return evaluate_job(*engines_.front(), job, 0);
 }
 
 engine::ArtifactCache::Stats Scheduler::engine_stats() const {
@@ -212,7 +219,7 @@ Scheduler::RunStats Scheduler::run(
     engine::Engine& engine = *engines_[index];
     Job job;
     while (queue.pop(index, job)) {
-      const JobResult result = evaluate_job(engine, job);
+      const JobResult result = evaluate_job(engine, job, index);
       const std::lock_guard<std::mutex> lock(result_mutex);
       if (on_result) on_result(result);
     }

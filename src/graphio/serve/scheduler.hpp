@@ -111,7 +111,8 @@ class Scheduler {
   [[nodiscard]] engine::ArtifactCache::Stats engine_stats() const;
 
  private:
-  JobResult evaluate_job(engine::Engine& engine, const Job& job) const;
+  JobResult evaluate_job(engine::Engine& engine, const Job& job,
+                         std::size_t worker) const;
 
   std::vector<std::unique_ptr<engine::Engine>> engines_;
   ResultStore* store_ = nullptr;

@@ -6,10 +6,59 @@
 #include "graphio/engine/fingerprint.hpp"
 #include "graphio/io/json.hpp"
 #include "graphio/support/contracts.hpp"
+#include "graphio/telemetry/metrics.hpp"
+#include "graphio/telemetry/trace.hpp"
 
 namespace graphio::store {
 
 namespace {
+
+// Registry mirrors of the per-kind Stats counters plus disk-tier events.
+// Process-wide lifetime totals; the struct Stats stays the per-instance
+// view. One relaxed atomic add per event once resolved.
+struct KindMetrics {
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+  telemetry::Counter& evicted;
+};
+
+struct StoreMetrics {
+  KindMetrics spectrum;
+  KindMetrics topo;
+  KindMetrics mincut;
+  KindMetrics memsim;
+  telemetry::Counter& loaded;
+  telemetry::Counter& corrupt;
+  telemetry::Counter& appended;
+};
+
+StoreMetrics& store_metrics() {
+  auto& reg = telemetry::MetricsRegistry::global();
+  auto kind = [&reg](const char* name) {
+    const std::string prefix = std::string("store.") + name;
+    return KindMetrics{reg.counter(prefix + ".hits"),
+                       reg.counter(prefix + ".misses"),
+                       reg.counter(prefix + ".evicted")};
+  };
+  static StoreMetrics metrics{kind("spectrum"),
+                              kind("topo"),
+                              kind("mincut"),
+                              kind("memsim"),
+                              reg.counter("store.disk.loaded"),
+                              reg.counter("store.disk.corrupt"),
+                              reg.counter("store.disk.appended")};
+  return metrics;
+}
+
+// Marker event under the current span (a method or stream query span)
+// when tracing is on — the hit/miss attribution per lookup the counters
+// cannot give.
+void trace_lookup(const char* kind, bool hit) {
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  if (!tracer.enabled()) return;
+  tracer.instant(hit ? "store.hit" : "store.miss",
+                 {telemetry::Attr::str("kind", kind)});
+}
 
 /// Round-trippable double rendering (same contract as the ResultStore's):
 /// a value always looks up the way it was written.
@@ -173,6 +222,14 @@ ArtifactStore::ArtifactStore(const std::filesystem::path& dir) {
         ++stats_.corrupt;  // torn/garbage line; keep replaying
       }
     }
+    store_metrics().loaded.add(stats_.loaded);
+    store_metrics().corrupt.add(stats_.corrupt);
+    telemetry::Tracer& tracer = telemetry::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.instant("store.replay",
+                     {telemetry::Attr::integer("loaded", stats_.loaded),
+                      telemetry::Attr::integer("corrupt", stats_.corrupt)});
+    }
   }
 
   log_.open(log_path_, std::ios::app);
@@ -228,6 +285,7 @@ void ArtifactStore::append_locked(const std::string& line) {
   log_ << line << '\n';
   log_.flush();
   ++stats_.appended;
+  store_metrics().appended.increment();
 }
 
 // ------------------------------------------------------------- spectrum
@@ -242,6 +300,8 @@ std::optional<ComponentSolve> ArtifactStore::lookup_spectrum(
     for (const SpectrumEntry& entry : it->second) {
       if (entry.requested < count || entry.options_key != key) continue;
       ++stats_.spectrum.hits;
+      store_metrics().spectrum.hits.increment();
+      trace_lookup("spectrum", true);
       ComponentSolve solve = entry.solve;
       // Truncate to the request (values are ascending, so the prefix IS
       // the smallest `count`) — equal-count requests then see one
@@ -255,6 +315,8 @@ std::optional<ComponentSolve> ArtifactStore::lookup_spectrum(
     }
   }
   ++stats_.spectrum.misses;
+  store_metrics().spectrum.misses.increment();
+  trace_lookup("spectrum", false);
   return std::nullopt;
 }
 
@@ -302,9 +364,13 @@ std::optional<TopoOrderArtifact> ArtifactStore::lookup_topo(
   const auto it = topo_.find(fingerprint);
   if (it == topo_.end()) {
     ++stats_.topo.misses;
+    store_metrics().topo.misses.increment();
+    trace_lookup("topo", false);
     return std::nullopt;
   }
   ++stats_.topo.hits;
+  store_metrics().topo.hits.increment();
+  trace_lookup("topo", true);
   return it->second;
 }
 
@@ -330,9 +396,13 @@ std::optional<MincutSweepArtifact> ArtifactStore::lookup_mincut(
   const auto it = mincut_.find({fingerprint, engine});
   if (it == mincut_.end()) {
     ++stats_.mincut.misses;
+    store_metrics().mincut.misses.increment();
+    trace_lookup("mincut", false);
     return std::nullopt;
   }
   ++stats_.mincut.hits;
+  store_metrics().mincut.hits.increment();
+  trace_lookup("mincut", true);
   return it->second;
 }
 
@@ -362,9 +432,13 @@ std::optional<MemsimRowArtifact> ArtifactStore::lookup_memsim(
   const auto it = memsim_.find({fingerprint, memory, random_orders});
   if (it == memsim_.end()) {
     ++stats_.memsim.misses;
+    store_metrics().memsim.misses.increment();
+    trace_lookup("memsim", false);
     return std::nullopt;
   }
   ++stats_.memsim.hits;
+  store_metrics().memsim.hits.increment();
+  trace_lookup("memsim", true);
   return it->second;
 }
 
@@ -401,6 +475,7 @@ std::int64_t ArtifactStore::erase(std::uint64_t fingerprint) {
       const auto n = static_cast<std::int64_t>(it->second.size());
       stats_.spectrum.entries -= n;
       stats_.spectrum.evicted += n;
+      store_metrics().spectrum.evicted.add(n);
       removed += n;
       it = spectra_.erase(it);
     }
@@ -408,6 +483,7 @@ std::int64_t ArtifactStore::erase(std::uint64_t fingerprint) {
   if (topo_.erase(fingerprint) > 0) {
     --stats_.topo.entries;
     ++stats_.topo.evicted;
+    store_metrics().topo.evicted.increment();
     ++removed;
   }
   {
@@ -415,6 +491,7 @@ std::int64_t ArtifactStore::erase(std::uint64_t fingerprint) {
     while (it != mincut_.end() && it->first.first == fingerprint) {
       --stats_.mincut.entries;
       ++stats_.mincut.evicted;
+      store_metrics().mincut.evicted.increment();
       ++removed;
       it = mincut_.erase(it);
     }
@@ -426,6 +503,7 @@ std::int64_t ArtifactStore::erase(std::uint64_t fingerprint) {
     while (it != memsim_.end() && std::get<0>(it->first) == fingerprint) {
       --stats_.memsim.entries;
       ++stats_.memsim.evicted;
+      store_metrics().memsim.evicted.increment();
       ++removed;
       it = memsim_.erase(it);
     }

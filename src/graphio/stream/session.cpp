@@ -7,8 +7,36 @@
 #include "graphio/engine/graph_spec.hpp"
 #include "graphio/support/contracts.hpp"
 #include "graphio/support/timer.hpp"
+#include "graphio/telemetry/metrics.hpp"
+#include "graphio/telemetry/trace.hpp"
 
 namespace graphio::stream {
+
+namespace {
+
+// Registry mirrors of Stats — process-wide lifetime totals across every
+// StreamSession instance.
+struct StreamMetrics {
+  telemetry::Counter& patches;
+  telemetry::Counter& mutations;
+  telemetry::Counter& dirty_components;
+  telemetry::Counter& clean_components;
+  telemetry::Counter& evicted;
+  telemetry::Counter& queries;
+};
+
+StreamMetrics& stream_metrics() {
+  auto& reg = telemetry::MetricsRegistry::global();
+  static StreamMetrics metrics{reg.counter("stream.patches"),
+                               reg.counter("stream.mutations"),
+                               reg.counter("stream.dirty_components"),
+                               reg.counter("stream.clean_components"),
+                               reg.counter("stream.evicted"),
+                               reg.counter("stream.queries")};
+  return metrics;
+}
+
+}  // namespace
 
 StreamSession::StreamSession(std::string name,
                              std::shared_ptr<store::ArtifactStore> store)
@@ -35,6 +63,7 @@ PatchReport StreamSession::load(const Digraph& graph) {
 }
 
 PatchReport StreamSession::load_locked(const Digraph& graph) {
+  telemetry::Span span("stream.load");
   WallTimer timer;
   const std::int64_t evicted_before = stats_.evicted;
   graph_ = DynamicGraph(graph);
@@ -49,14 +78,20 @@ PatchReport StreamSession::load_locked(const Digraph& graph) {
   component_fingerprint_.clear();
   fingerprint_refcount_.clear();
   loaded_ = true;
-  return finish_patch_locked(Patch{}, components_.component_ids(),
-                             evicted_before, timer.seconds());
+  PatchReport report = finish_patch_locked(
+      Patch{}, components_.component_ids(), evicted_before, timer.seconds());
+  span.attr("graph", name_)
+      .attr("vertices", report.vertices)
+      .attr("edges", report.edges)
+      .attr("components", report.components);
+  return report;
 }
 
 PatchReport StreamSession::apply(const Patch& patch) {
   const std::lock_guard<std::mutex> lock(mutex_);
   GIO_EXPECTS_MSG(loaded_, "stream session '" + name_ +
                                "' has no graph loaded yet");
+  telemetry::Span span("stream.patch");
   WallTimer timer;
   const std::int64_t evicted_before = stats_.evicted;
   // Atomicity by inverse-mutation journal: every mutation records its
@@ -99,8 +134,14 @@ PatchReport StreamSession::apply(const Patch& patch) {
   }
   components_.flush(graph_);
   graph_.commit_journal();
-  return finish_patch_locked(patch, components_.dirty(), evicted_before,
-                             timer.seconds());
+  PatchReport report = finish_patch_locked(patch, components_.dirty(),
+                                           evicted_before, timer.seconds());
+  span.attr("graph", name_)
+      .attr("label", patch.label)
+      .attr("mutations", report.mutations)
+      .attr("dirty", report.dirty_components)
+      .attr("clean", report.clean_components);
+  return report;
 }
 
 void StreamSession::refingerprint_locked(const std::vector<int>& dirty) {
@@ -234,6 +275,14 @@ PatchReport StreamSession::finish_patch_locked(const Patch& patch,
   // refingerprint_locked (and, for loads, the pre-reset sweep) advanced
   // stats_.evicted; the report carries this patch's share.
   report.evicted = stats_.evicted - evicted_before;
+  last_dirty_ = report.dirty_components;
+  last_clean_ = report.clean_components;
+  StreamMetrics& metrics = stream_metrics();
+  metrics.patches.increment();
+  metrics.mutations.add(report.mutations);
+  metrics.dirty_components.add(report.dirty_components);
+  metrics.clean_components.add(report.clean_components);
+  metrics.evicted.add(report.evicted);
   return report;
 }
 
@@ -245,6 +294,11 @@ engine::BoundReport StreamSession::evaluate(engine::BoundRequest request) {
   request.graph.reset();
   if (request.name.empty()) request.name = name_;
   ++stats_.queries;
+  stream_metrics().queries.increment();
+  telemetry::Span span("stream.query");
+  span.attr("graph", name_)
+      .attr("dirty", last_dirty_)
+      .attr("clean", last_clean_);
   return engine_->evaluate(request);
 }
 

@@ -150,6 +150,11 @@ class StreamSession {
   /// eviction fires when a count reaches zero.
   std::map<std::uint64_t, int> fingerprint_refcount_;
   Stats stats_;
+  /// Dirty/clean split of the most recent patch — stamped onto
+  /// "stream.query" spans so a trace relates each query's cost to how
+  /// much of the graph the preceding patch invalidated.
+  int last_dirty_ = 0;
+  int last_clean_ = 0;
 };
 
 }  // namespace graphio::stream

@@ -1,0 +1,169 @@
+#include "graphio/telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "graphio/io/json.hpp"
+
+namespace graphio::telemetry {
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket <= 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: the upper edge is unknown, report the last
+        // finite bound (a lower bound on the true percentile).
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double position = (target - cumulative) / in_bucket;
+      return lo + position * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+HistogramSnapshot HistogramSnapshot::operator-(
+    const HistogramSnapshot& other) const {
+  HistogramSnapshot delta;
+  delta.bounds = bounds;
+  delta.counts.resize(counts.size(), 0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::int64_t prev =
+        i < other.counts.size() ? other.counts[i] : 0;
+    delta.counts[i] = counts[i] - prev;
+  }
+  delta.count = count - other.count;
+  delta.sum = sum - other.sum;
+  return delta;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_latency_bounds();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_ = std::vector<std::atomic<std::int64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    snap.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<double> default_latency_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 1e3; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  return bounds;  // 1us, 2us, 5us, ..., 100s, 200s, 500s
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, counter] : counters_) {
+    w.key(name).value(counter->value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, gauge] : gauges_) {
+    w.key(name).value(gauge->value());
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot snap = histogram->snapshot();
+    w.key(name).begin_object();
+    w.key("count").value(snap.count);
+    w.key("sum").value(snap.sum);
+    w.key("p50").value(snap.percentile(0.50));
+    w.key("p95").value(snap.percentile(0.95));
+    w.key("p99").value(snap.percentile(0.99));
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      if (snap.counts[i] == 0) continue;
+      w.begin_object();
+      if (i < snap.bounds.size()) {
+        w.key("le").value(snap.bounds[i]);
+      } else {
+        w.key("le").value("+inf");
+      }
+      w.key("count").value(snap.counts[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace graphio::telemetry

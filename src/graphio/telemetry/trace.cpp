@@ -1,0 +1,481 @@
+#include "graphio/telemetry/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "graphio/io/json.hpp"
+#include "graphio/support/contracts.hpp"
+
+namespace graphio::telemetry {
+
+namespace {
+
+// Process-wide span id source; 0 is reserved for "no parent".
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+// Dense per-thread index (0, 1, 2, ... in first-use order), stable across
+// tracers and friendlier to trace viewers than raw OS tids.
+std::uint32_t this_thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+// Innermost open recording span on this thread (0 = none). Spans nest
+// strictly by scope, so a single slot per thread is enough.
+thread_local std::uint64_t t_current_span = 0;
+
+void write_attr_value(io::JsonWriter& w, const Attr& attr) {
+  switch (attr.kind) {
+    case Attr::Kind::kString:
+      w.value(attr.string_value);
+      break;
+    case Attr::Kind::kInt:
+      w.value(attr.int_value);
+      break;
+    case Attr::Kind::kDouble:
+      w.value(attr.double_value);
+      break;
+  }
+}
+
+Attr parse_attr(const std::string& key, const io::JsonValue& value) {
+  if (value.is_string()) return Attr::str(key, value.as_string());
+  if (value.is_number()) {
+    const double d = value.as_double();
+    if (d == std::floor(d) && std::abs(d) < 9.0e15) {
+      return Attr::integer(key, static_cast<std::int64_t>(d));
+    }
+    return Attr::number(key, d);
+  }
+  return Attr::str(key, "");
+}
+
+SpanRecord record_from_event(const io::JsonValue& event) {
+  SpanRecord rec;
+  if (const auto* name = event.get("name")) rec.name = name->as_string();
+  if (const auto* ts = event.get("ts")) rec.start_us = ts->as_double();
+  if (const auto* tid = event.get("tid")) {
+    rec.tid = static_cast<std::uint32_t>(tid->as_int());
+  }
+  const auto* ph = event.get("ph");
+  if (ph != nullptr && ph->as_string() == "i") {
+    rec.dur_us = -1.0;
+  } else if (const auto* dur = event.get("dur")) {
+    rec.dur_us = dur->as_double();
+  }
+  if (const auto* args = event.get("args")) {
+    for (const auto& [key, value] : args->members()) {
+      if (key == "id") {
+        rec.id = static_cast<std::uint64_t>(value.as_int());
+      } else if (key == "parent") {
+        rec.parent = static_cast<std::uint64_t>(value.as_int());
+      } else {
+        rec.attrs.push_back(parse_attr(key, value));
+      }
+    }
+  }
+  return rec;
+}
+
+SpanRecord record_from_jsonl(const io::JsonValue& line) {
+  SpanRecord rec;
+  if (const auto* name = line.get("name")) rec.name = name->as_string();
+  if (const auto* id = line.get("id")) {
+    rec.id = static_cast<std::uint64_t>(id->as_int());
+  }
+  if (const auto* parent = line.get("parent")) {
+    rec.parent = static_cast<std::uint64_t>(parent->as_int());
+  }
+  if (const auto* tid = line.get("tid")) {
+    rec.tid = static_cast<std::uint32_t>(tid->as_int());
+  }
+  if (const auto* ts = line.get("ts_us")) rec.start_us = ts->as_double();
+  const auto* instant = line.get("instant");
+  if (instant != nullptr && instant->as_bool()) {
+    rec.dur_us = -1.0;
+  } else if (const auto* dur = line.get("dur_us")) {
+    rec.dur_us = dur->as_double();
+  }
+  if (const auto* attrs = line.get("attrs")) {
+    for (const auto& [key, value] : attrs->members()) {
+      rec.attrs.push_back(parse_attr(key, value));
+    }
+  }
+  return rec;
+}
+
+void write_record_jsonl(io::JsonWriter& w, const SpanRecord& rec) {
+  w.begin_object();
+  w.key("name").value(rec.name);
+  w.key("id").value(static_cast<std::int64_t>(rec.id));
+  w.key("parent").value(static_cast<std::int64_t>(rec.parent));
+  w.key("tid").value(static_cast<std::int64_t>(rec.tid));
+  w.key("ts_us").value(rec.start_us);
+  if (rec.instant()) {
+    w.key("instant").value(true);
+  } else {
+    w.key("dur_us").value(rec.dur_us);
+  }
+  if (!rec.attrs.empty()) {
+    w.key("attrs").begin_object();
+    for (const Attr& attr : rec.attrs) {
+      w.key(attr.key);
+      write_attr_value(w, attr);
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+Attr Attr::str(std::string_view k, std::string_view v) {
+  Attr a;
+  a.key = std::string(k);
+  a.kind = Kind::kString;
+  a.string_value = std::string(v);
+  return a;
+}
+
+Attr Attr::integer(std::string_view k, std::int64_t v) {
+  Attr a;
+  a.key = std::string(k);
+  a.kind = Kind::kInt;
+  a.int_value = v;
+  return a;
+}
+
+Attr Attr::number(std::string_view k, double v) {
+  Attr a;
+  a.key = std::string(k);
+  a.kind = Kind::kDouble;
+  a.double_value = v;
+  return a;
+}
+
+// --- Tracer ----------------------------------------------------------------
+
+void Tracer::enable(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+  recorded_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[recorded_ % capacity_] = std::move(record);
+  }
+  ++recorded_;
+}
+
+void Tracer::instant(std::string_view name, std::vector<Attr> attrs) {
+  if (!enabled()) return;
+  SpanRecord rec;
+  rec.name = std::string(name);
+  rec.parent = t_current_span;
+  rec.tid = this_thread_index();
+  rec.start_us = now_us();
+  rec.dur_us = -1.0;
+  rec.attrs = std::move(attrs);
+  record(std::move(rec));
+}
+
+std::vector<SpanRecord> Tracer::ordered_locked() const {
+  // Caller holds mutex_. Oldest-first: once the ring wraps, the oldest
+  // record sits at recorded_ % capacity_.
+  if (recorded_ <= capacity_) return ring_;
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  const std::size_t head = recorded_ % capacity_;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head + i) % capacity_]);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ordered_locked();
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  recorded_ = 0;
+}
+
+double Tracer::now_us() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(now - epoch_).count();
+}
+
+void Tracer::export_chrome(std::ostream& out) const {
+  std::vector<SpanRecord> records = snapshot();
+  std::stable_sort(records.begin(), records.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_us < b.start_us;
+                   });
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const SpanRecord& rec : records) {
+    w.begin_object();
+    w.key("name").value(rec.name);
+    w.key("cat").value("graphio");
+    w.key("ph").value(rec.instant() ? "i" : "X");
+    w.key("ts").value(rec.start_us);
+    if (rec.instant()) {
+      w.key("s").value("t");
+    } else {
+      w.key("dur").value(rec.dur_us);
+    }
+    w.key("pid").value(1);
+    w.key("tid").value(static_cast<std::int64_t>(rec.tid));
+    w.key("args").begin_object();
+    w.key("id").value(static_cast<std::int64_t>(rec.id));
+    w.key("parent").value(static_cast<std::int64_t>(rec.parent));
+    for (const Attr& attr : rec.attrs) {
+      w.key(attr.key);
+      write_attr_value(w, attr);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+  out << w.str() << '\n';
+}
+
+void Tracer::export_jsonl(std::ostream& out) const {
+  for (const SpanRecord& rec : snapshot()) {
+    io::JsonWriter w;
+    write_record_jsonl(w, rec);
+    out << w.str() << '\n';
+  }
+}
+
+TraceSummary Tracer::summarize() const {
+  TraceSummary summary = summarize_records(snapshot());
+  summary.dropped = static_cast<std::int64_t>(dropped());
+  return summary;
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+// --- Span ------------------------------------------------------------------
+
+Span::Span(std::string_view name, Tracer& tracer)
+    : tracer_(&tracer), start_(std::chrono::steady_clock::now()) {
+  if (!tracer_->enabled()) return;
+  recording_ = true;
+  record_.name = std::string(name);
+  record_.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  record_.parent = t_current_span;
+  record_.tid = this_thread_index();
+  record_.start_us = tracer_->now_us();
+  t_current_span = record_.id;
+}
+
+Span::~Span() { end(); }
+
+Span& Span::attr(std::string_view key, std::string_view value) {
+  if (recording_) record_.attrs.push_back(Attr::str(key, value));
+  return *this;
+}
+
+Span& Span::attr(std::string_view key, const char* value) {
+  return attr(key, std::string_view(value));
+}
+
+Span& Span::attr_int(std::string_view key, std::int64_t value) {
+  if (recording_) record_.attrs.push_back(Attr::integer(key, value));
+  return *this;
+}
+
+Span& Span::attr(std::string_view key, double value) {
+  if (recording_) record_.attrs.push_back(Attr::number(key, value));
+  return *this;
+}
+
+void Span::end() {
+  if (ended_) return;
+  ended_ = true;
+  const auto now = std::chrono::steady_clock::now();
+  frozen_seconds_ = std::chrono::duration<double>(now - start_).count();
+  if (!recording_) return;
+  t_current_span = record_.parent;
+  record_.dur_us = frozen_seconds_ * 1e6;
+  // The tracer may have been disabled while the span was open; the id and
+  // parent linkage is already claimed, so record anyway for a coherent
+  // tree — record() is cheap and export happens after disable().
+  tracer_->record(std::move(record_));
+  recording_ = false;
+}
+
+double Span::seconds() const {
+  if (ended_) return frozen_seconds_;
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+// --- Trace files -----------------------------------------------------------
+
+std::vector<SpanRecord> parse_trace(std::string_view text) {
+  std::vector<SpanRecord> records;
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string_view::npos) return records;
+
+  // Chrome format is one JSON object with a traceEvents array; JSONL is
+  // one object per line. Try the document parse first.
+  if (text[first] == '{') {
+    const auto last_newline = text.find('\n', first);
+    const bool single_doc =
+        last_newline == std::string_view::npos ||
+        text.find_first_not_of(" \t\r\n", last_newline) ==
+            std::string_view::npos;
+    if (single_doc || text.find("traceEvents") != std::string_view::npos) {
+      const io::JsonValue doc = io::JsonValue::parse(text);
+      const io::JsonValue* events = doc.get("traceEvents");
+      GIO_EXPECTS_MSG(events != nullptr && events->is_array(),
+                      "trace document has no traceEvents array");
+      records.reserve(events->size());
+      for (const io::JsonValue& event : events->items()) {
+        records.push_back(record_from_event(event));
+      }
+      return records;
+    }
+  }
+
+  // JSONL: one record per non-empty line.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    records.push_back(record_from_jsonl(io::JsonValue::parse(line)));
+  }
+  return records;
+}
+
+TraceSummary summarize_records(const std::vector<SpanRecord>& records) {
+  TraceSummary summary;
+  // Self time = own duration minus the summed duration of direct children.
+  std::unordered_map<std::uint64_t, double> child_dur;
+  child_dur.reserve(records.size());
+  for (const SpanRecord& rec : records) {
+    if (rec.instant()) continue;
+    if (rec.parent != 0) child_dur[rec.parent] += rec.dur_us;
+  }
+  std::unordered_map<std::string, std::size_t> row_index;
+  for (const SpanRecord& rec : records) {
+    if (rec.instant()) {
+      ++summary.instants;
+      continue;
+    }
+    ++summary.spans;
+    auto [it, inserted] = row_index.emplace(rec.name, summary.rows.size());
+    if (inserted) {
+      SpanAggregate row;
+      row.name = rec.name;
+      summary.rows.push_back(std::move(row));
+    }
+    SpanAggregate& row = summary.rows[it->second];
+    ++row.count;
+    row.total_us += rec.dur_us;
+    double self = rec.dur_us;
+    const auto child = child_dur.find(rec.id);
+    if (child != child_dur.end()) self -= child->second;
+    row.self_us += std::max(0.0, self);
+  }
+  std::stable_sort(summary.rows.begin(), summary.rows.end(),
+                   [](const SpanAggregate& a, const SpanAggregate& b) {
+                     return a.self_us > b.self_us;
+                   });
+  return summary;
+}
+
+std::string summary_table(const TraceSummary& summary) {
+  std::ostringstream out;
+  auto ms = [](double us) {
+    std::ostringstream s;
+    s.setf(std::ios::fixed);
+    s.precision(3);
+    s << us / 1e3;
+    return s.str();
+  };
+  std::size_t name_width = 4;  // "span"
+  for (const SpanAggregate& row : summary.rows) {
+    name_width = std::max(name_width, row.name.size());
+  }
+  auto pad = [](const std::string& s, std::size_t width) {
+    return s + std::string(width > s.size() ? width - s.size() : 0, ' ');
+  };
+  auto rpad = [](const std::string& s, std::size_t width) {
+    return std::string(width > s.size() ? width - s.size() : 0, ' ') + s;
+  };
+  out << pad("span", name_width) << "  " << rpad("count", 7) << "  "
+      << rpad("total ms", 12) << "  " << rpad("self ms", 12) << "  "
+      << rpad("avg ms", 10) << '\n';
+  out << std::string(name_width + 2 + 7 + 2 + 12 + 2 + 12 + 2 + 10, '-')
+      << '\n';
+  for (const SpanAggregate& row : summary.rows) {
+    const double avg_us =
+        row.count > 0 ? row.total_us / static_cast<double>(row.count) : 0.0;
+    out << pad(row.name, name_width) << "  "
+        << rpad(std::to_string(row.count), 7) << "  "
+        << rpad(ms(row.total_us), 12) << "  " << rpad(ms(row.self_us), 12)
+        << "  " << rpad(ms(avg_us), 10) << '\n';
+  }
+  out << summary.spans << " spans, " << summary.instants << " instant events";
+  if (summary.dropped > 0) out << ", " << summary.dropped << " dropped";
+  out << '\n';
+  return out.str();
+}
+
+std::string summary_json(const TraceSummary& summary) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("spans").value(summary.spans);
+  w.key("instants").value(summary.instants);
+  w.key("dropped").value(summary.dropped);
+  w.key("rows").begin_array();
+  for (const SpanAggregate& row : summary.rows) {
+    w.begin_object();
+    w.key("name").value(row.name);
+    w.key("count").value(row.count);
+    w.key("total_us").value(row.total_us);
+    w.key("self_us").value(row.self_us);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace graphio::telemetry

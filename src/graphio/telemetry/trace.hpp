@@ -1,0 +1,173 @@
+#pragma once
+
+// Hierarchical span tracing: RAII `Span`s with parent/child nesting (per
+// thread, via strict scope nesting), thread ids, and key=value attributes,
+// recorded into a bounded per-process ring buffer and exported as JSONL or
+// Chrome `trace_event` JSON (loadable in chrome://tracing and Perfetto).
+//
+// Cost discipline: a Span always captures its start time (steady_clock
+// read, same cost as the WallTimer it replaces) so `seconds()` can feed
+// phase accounting even with tracing off; everything else — name copy,
+// attributes, ring-buffer insertion — happens only while the tracer is
+// enabled. Tracing is off by default and observe-only: it never keys
+// results and deterministic output modes are unaffected.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace graphio::telemetry {
+
+// One attribute on a span or instant event. Typed so numeric attributes
+// export as JSON numbers (CI parses dirty-component counts out of args).
+struct Attr {
+  enum class Kind { kString, kInt, kDouble };
+  std::string key;
+  Kind kind = Kind::kString;
+  std::string string_value;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+
+  static Attr str(std::string_view k, std::string_view v);
+  static Attr integer(std::string_view k, std::int64_t v);
+  static Attr number(std::string_view k, double v);
+};
+
+// A completed span (or instant event, dur_us < 0) in the ring buffer.
+// Timestamps are microseconds relative to the tracer's enable() epoch.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t id = 0;      // unique per process, never 0 for spans
+  std::uint64_t parent = 0;  // 0 = root
+  std::uint32_t tid = 0;     // dense per-thread index, not the OS tid
+  double start_us = 0.0;
+  double dur_us = 0.0;  // < 0 marks an instant event
+  std::vector<Attr> attrs;
+
+  bool instant() const { return dur_us < 0.0; }
+};
+
+// Aggregate row produced by summarize(): per-span-name totals plus self
+// time (duration minus the duration of direct children).
+struct SpanAggregate {
+  std::string name;
+  std::int64_t count = 0;
+  double total_us = 0.0;
+  double self_us = 0.0;
+};
+
+struct TraceSummary {
+  std::vector<SpanAggregate> rows;  // sorted by self_us descending
+  std::int64_t spans = 0;
+  std::int64_t instants = 0;
+  std::int64_t dropped = 0;  // only known for live Tracer summaries
+};
+
+// Bounded recorder. One global instance serves the whole process; tests
+// may construct private tracers. enable() clears prior records and sets
+// the timestamp epoch; disable() stops recording but keeps the buffer so
+// it can still be exported.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable();
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void record(SpanRecord record);
+  // Zero-duration marker event (e.g. a store hit) under the current span.
+  void instant(std::string_view name, std::vector<Attr> attrs = {});
+
+  // Oldest-first copy of the ring buffer.
+  std::vector<SpanRecord> snapshot() const;
+  std::uint64_t dropped() const;
+  void clear();
+
+  // Microseconds since the enable() epoch.
+  double now_us() const;
+
+  void export_chrome(std::ostream& out) const;
+  void export_jsonl(std::ostream& out) const;
+  TraceSummary summarize() const;
+
+  static Tracer& global();
+
+ private:
+  std::vector<SpanRecord> ordered_locked() const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t recorded_ = 0;  // lifetime records, for drop accounting
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+// RAII span. Construction captures the start time and (when the tracer is
+// enabled) claims an id and pushes itself as the thread's current span;
+// end()/destruction restores the parent and records the SpanRecord.
+// seconds() returns the elapsed time while open and the frozen duration
+// after end(), so it doubles as the phase timer on hot paths.
+class Span {
+ public:
+  explicit Span(std::string_view name, Tracer& tracer = Tracer::global());
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  Span& attr(std::string_view key, std::string_view value);
+  Span& attr(std::string_view key, const char* value);
+  Span& attr(std::string_view key, double value);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Span& attr(std::string_view key, T value) {
+    return attr_int(key, static_cast<std::int64_t>(value));
+  }
+
+  void end();
+  double seconds() const;
+  bool recording() const { return recording_; }
+
+ private:
+  Span& attr_int(std::string_view key, std::int64_t value);
+
+  Tracer* tracer_;
+  std::chrono::steady_clock::time_point start_;
+  double frozen_seconds_ = 0.0;
+  SpanRecord record_;
+  bool recording_ = false;
+  bool ended_ = false;
+};
+
+// --- Trace files -----------------------------------------------------------
+//
+// Parsing/summarizing side, shared by `graphio trace summarize` and
+// bench_trajectory. Accepts both export formats (Chrome trace JSON and
+// JSONL) and auto-detects which one it is looking at.
+
+// Parses a trace file's text into records. Throws contract_error on
+// malformed input.
+std::vector<SpanRecord> parse_trace(std::string_view text);
+
+// Per-name total/self aggregation of parsed records.
+TraceSummary summarize_records(const std::vector<SpanRecord>& records);
+
+// Renders a TraceSummary as an aligned text table.
+std::string summary_table(const TraceSummary& summary);
+
+// Renders a TraceSummary as a JSON document.
+std::string summary_json(const TraceSummary& summary);
+
+}  // namespace graphio::telemetry

@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graphio/engine/engine.hpp"
+#include "graphio/io/json.hpp"
+#include "graphio/serve/batch_session.hpp"
+#include "graphio/serve/job.hpp"
+#include "graphio/serve/scheduler.hpp"
+#include "graphio/stream/session.hpp"
+#include "graphio/telemetry/metrics.hpp"
+#include "graphio/telemetry/trace.hpp"
+
+namespace graphio::telemetry {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(TelemetryMetricsTest, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.increment();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5);
+  // Same name resolves to the same counter.
+  reg.counter("c").increment();
+  EXPECT_EQ(c.value(), 6);
+
+  Gauge& g = reg.gauge("g");
+  g.set(2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+// The interpolation is exact for data uniform within each bucket: 1000
+// values 1ms..1s in 1ms steps land uniformly in the 1-2-5 latency
+// buckets, so p50/p95/p99 come out exactly 0.5/0.95/0.99.
+TEST(TelemetryHistogramTest, PercentilesExactOnUniformData) {
+  Histogram h(default_latency_bounds());
+  for (int i = 1; i <= 1000; ++i) h.observe(0.001 * i);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000);
+  EXPECT_NEAR(snap.sum, 500.5, 1e-9);
+  EXPECT_NEAR(snap.percentile(0.50), 0.50, 1e-12);
+  EXPECT_NEAR(snap.percentile(0.95), 0.95, 1e-12);
+  EXPECT_NEAR(snap.percentile(0.99), 0.99, 1e-12);
+}
+
+TEST(TelemetryHistogramTest, SnapshotDeltaBracketsARun) {
+  Histogram h(default_latency_bounds());
+  for (int i = 0; i < 100; ++i) h.observe(0.010);  // pre-existing noise
+  const HistogramSnapshot before = h.snapshot();
+  for (int i = 0; i < 50; ++i) h.observe(0.100);
+  const HistogramSnapshot delta = h.snapshot() - before;
+  EXPECT_EQ(delta.count, 50);
+  EXPECT_NEAR(delta.sum, 5.0, 1e-9);
+  // Every delta observation sits in the (0.05, 0.1] bucket.
+  EXPECT_NEAR(delta.percentile(0.99), 0.1, 1e-2);
+}
+
+TEST(TelemetryHistogramTest, OverflowBucketClampsToLastBound) {
+  Histogram h(std::vector<double>{1.0, 2.0});
+  h.observe(100.0);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.5), 2.0);
+}
+
+TEST(TelemetryMetricsTest, RegistryJsonParses) {
+  MetricsRegistry reg;
+  reg.counter("a.events").add(3);
+  reg.gauge("a.level").set(1.25);
+  reg.histogram("a.seconds").observe(0.002);
+  const std::string json = reg.to_json();
+  const io::JsonValue doc = io::JsonValue::parse(json);
+  EXPECT_EQ(doc.at("counters").at("a.events").as_int(), 3);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("a.level").as_double(), 1.25);
+  EXPECT_EQ(doc.at("histograms").at("a.seconds").at("count").as_int(), 1);
+}
+
+// ------------------------------------------------------------------ spans
+
+TEST(TelemetryTraceTest, SpanNestingRecordsParentLinks) {
+  Tracer tracer;
+  tracer.enable();
+  {
+    Span outer("outer", tracer);
+    outer.attr("k", "v");
+    {
+      Span inner("inner", tracer);
+      inner.attr("n", 7);
+    }
+  }
+  tracer.disable();
+  const std::vector<SpanRecord> records = tracer.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  // Children end (and record) before their parents.
+  EXPECT_EQ(records[0].name, "inner");
+  EXPECT_EQ(records[1].name, "outer");
+  EXPECT_EQ(records[0].parent, records[1].id);
+  EXPECT_EQ(records[1].parent, 0u);
+  EXPECT_EQ(records[0].tid, records[1].tid);
+  EXPECT_GE(records[0].start_us, records[1].start_us);
+  ASSERT_EQ(records[0].attrs.size(), 1u);
+  EXPECT_EQ(records[0].attrs[0].key, "n");
+  EXPECT_EQ(records[0].attrs[0].int_value, 7);
+}
+
+TEST(TelemetryTraceTest, DisabledTracerRecordsNothingButTimes) {
+  Tracer tracer;  // never enabled
+  Span span("quiet", tracer);
+  span.attr("ignored", 1);
+  span.end();
+  EXPECT_GE(span.seconds(), 0.0);
+  EXPECT_FALSE(span.recording());
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(TelemetryTraceTest, SpanSecondsFreezesAtEnd) {
+  Tracer tracer;
+  Span span("t", tracer);
+  span.end();
+  const double first = span.seconds();
+  const double second = span.seconds();
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST(TelemetryTraceTest, RingBufferDropsOldestAndCounts) {
+  Tracer tracer;
+  tracer.enable(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) Span(std::to_string(i), tracer).end();
+  tracer.disable();
+  const std::vector<SpanRecord> records = tracer.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().name, "6");  // oldest surviving
+  EXPECT_EQ(records.back().name, "9");
+  EXPECT_EQ(tracer.dropped(), 6u);
+}
+
+TEST(TelemetryTraceTest, ChromeExportRoundTrips) {
+  Tracer tracer;
+  tracer.enable();
+  {
+    Span outer("phase", tracer);
+    outer.attr("graph", "fft:4").attr("items", 3).attr("ratio", 0.5);
+    tracer.instant("marker", {Attr::str("kind", "spectrum")});
+  }
+  tracer.disable();
+
+  std::ostringstream chrome;
+  tracer.export_chrome(chrome);
+  // Valid JSON first.
+  const io::JsonValue doc = io::JsonValue::parse(chrome.str());
+  ASSERT_TRUE(doc.get("traceEvents") != nullptr);
+  EXPECT_EQ(doc.at("traceEvents").items().size(), 2u);
+
+  // And parse_trace recovers the records.
+  const std::vector<SpanRecord> records = parse_trace(chrome.str());
+  ASSERT_EQ(records.size(), 2u);
+  int spans = 0;
+  int instants = 0;
+  for (const SpanRecord& r : records) {
+    if (r.instant()) {
+      ++instants;
+      EXPECT_EQ(r.name, "marker");
+    } else {
+      ++spans;
+      EXPECT_EQ(r.name, "phase");
+      ASSERT_EQ(r.attrs.size(), 3u);
+      EXPECT_EQ(r.attrs[0].string_value, "fft:4");
+      EXPECT_EQ(r.attrs[1].int_value, 3);
+      EXPECT_DOUBLE_EQ(r.attrs[2].double_value, 0.5);
+    }
+  }
+  EXPECT_EQ(spans, 1);
+  EXPECT_EQ(instants, 1);
+}
+
+TEST(TelemetryTraceTest, JsonlExportRoundTrips) {
+  Tracer tracer;
+  tracer.enable();
+  {
+    Span a("a", tracer);
+    Span b("b", tracer);
+  }
+  tracer.disable();
+  std::ostringstream jsonl;
+  tracer.export_jsonl(jsonl);
+  const std::vector<SpanRecord> records = parse_trace(jsonl.str());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "b");
+  EXPECT_EQ(records[1].name, "a");
+  EXPECT_EQ(records[0].parent, records[1].id);
+}
+
+TEST(TelemetryTraceTest, SummarizeComputesSelfTime) {
+  // Hand-built tree: parent (100us) with two children (30us + 20us),
+  // plus an unrelated root (10us). Self time subtracts direct children.
+  std::vector<SpanRecord> records;
+  SpanRecord parent;
+  parent.name = "parent";
+  parent.id = 1;
+  parent.start_us = 0;
+  parent.dur_us = 100;
+  SpanRecord c1;
+  c1.name = "child";
+  c1.id = 2;
+  c1.parent = 1;
+  c1.start_us = 10;
+  c1.dur_us = 30;
+  SpanRecord c2 = c1;
+  c2.id = 3;
+  c2.start_us = 50;
+  c2.dur_us = 20;
+  SpanRecord other;
+  other.name = "other";
+  other.id = 4;
+  other.start_us = 200;
+  other.dur_us = 10;
+  records = {parent, c1, c2, other};
+
+  const TraceSummary summary = summarize_records(records);
+  EXPECT_EQ(summary.spans, 4);
+  ASSERT_EQ(summary.rows.size(), 3u);
+  // Rows sorted by self time descending: parent 50, child 50... child's
+  // aggregate self is 30+20=50 == parent's; order between equals is by
+  // appearance, so just look rows up by name.
+  double parent_self = -1;
+  double child_self = -1;
+  double child_total = -1;
+  for (const SpanAggregate& row : summary.rows) {
+    if (row.name == "parent") parent_self = row.self_us;
+    if (row.name == "child") {
+      child_self = row.self_us;
+      child_total = row.total_us;
+    }
+  }
+  EXPECT_DOUBLE_EQ(parent_self, 50.0);
+  EXPECT_DOUBLE_EQ(child_self, 50.0);
+  EXPECT_DOUBLE_EQ(child_total, 50.0);
+
+  // The renderers accept the summary.
+  EXPECT_FALSE(summary_table(summary).empty());
+  const io::JsonValue doc = io::JsonValue::parse(summary_json(summary));
+  EXPECT_EQ(doc.at("spans").as_int(), 4);
+}
+
+// ----------------------------------------------------- instrumented layers
+
+// Engine artifact activity must mirror into the registry 1:1 — the legacy
+// Stats struct and the registry delta report identical values.
+TEST(TelemetryIntegrationTest, CacheStatsEqualRegistryDelta) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const std::int64_t hits_before = reg.counter("cache.hits").value();
+  const std::int64_t misses_before = reg.counter("cache.misses").value();
+  const std::int64_t solves_before = reg.counter("cache.eigensolves").value();
+
+  engine::Engine eng;
+  engine::BoundRequest req;
+  req.spec = "fft:4";
+  req.memories = {4, 8};
+  req.methods = {"spectral"};
+  (void)eng.evaluate(req);
+  const engine::ArtifactCache::Stats stats = eng.stats();
+
+  EXPECT_EQ(reg.counter("cache.hits").value() - hits_before, stats.hits);
+  EXPECT_EQ(reg.counter("cache.misses").value() - misses_before,
+            stats.misses);
+  EXPECT_EQ(reg.counter("cache.eigensolves").value() - solves_before,
+            stats.eigensolves);
+  EXPECT_GT(stats.eigensolves, 0);
+}
+
+// Reinstalling a graph under the same name (what every stream patch does)
+// used to zero the per-graph cache Stats; lifetime Engine totals must be
+// monotone across reinstalls.
+TEST(TelemetryIntegrationTest, EngineStatsSurviveGraphReinstall) {
+  stream::StreamSession session("telemetry_g");
+  session.load("fft:4");
+  engine::BoundRequest req;
+  req.memories = {8};
+  req.methods = {"spectral"};
+  (void)session.evaluate(req);
+  const engine::ArtifactCache::Stats before = session.engine().stats();
+  EXPECT_GT(before.eigensolves, 0);
+
+  // Patch zero: reload replaces the installed graph outright.
+  session.load("fft:4");
+  const engine::ArtifactCache::Stats after = session.engine().stats();
+  EXPECT_GE(after.eigensolves, before.eigensolves);
+  EXPECT_GE(after.misses, before.misses);
+
+  (void)session.evaluate(req);
+  const engine::ArtifactCache::Stats final_stats = session.engine().stats();
+  EXPECT_GT(final_stats.eigensolves, 0);
+  EXPECT_GE(final_stats.misses, after.misses);
+}
+
+// Span nesting stays consistent when the multi-threaded Scheduler runs
+// jobs concurrently (this test is part of the TSan suite).
+TEST(TelemetryIntegrationTest, SchedulerEmitsJobSpansAcrossThreads) {
+  Tracer& tracer = Tracer::global();
+  tracer.enable();
+
+  serve::SchedulerOptions options;
+  options.threads = 4;
+  serve::Scheduler scheduler(options);
+  std::vector<serve::Job> jobs;
+  const char* specs[] = {"fft:3", "fft:4", "grid:3:3", "path:16",
+                         "tree:3", "inner:4"};
+  for (int i = 0; i < 12; ++i) {
+    serve::Job job;
+    job.id = i + 1;
+    job.request.spec = specs[i % 6];
+    job.request.memories = {4};
+    job.request.methods = {"mincut"};
+    jobs.push_back(std::move(job));
+  }
+  int results = 0;
+  scheduler.run(std::move(jobs), [&](const serve::JobResult& result) {
+    EXPECT_TRUE(result.ok) << result.error;
+    ++results;
+  });
+  tracer.disable();
+  EXPECT_EQ(results, 12);
+
+  const std::vector<SpanRecord> records = tracer.snapshot();
+  int job_spans = 0;
+  std::set<std::uint64_t> job_ids;
+  for (const SpanRecord& r : records) {
+    if (r.name != "serve.job") continue;
+    ++job_spans;
+    EXPECT_EQ(r.parent, 0u);  // scheduler jobs are root spans
+    job_ids.insert(r.id);
+  }
+  EXPECT_EQ(job_spans, 12);
+  EXPECT_EQ(job_ids.size(), 12u);  // ids are process-unique
+  // Every non-root span's parent ran on the same thread.
+  for (const SpanRecord& r : records) {
+    if (r.parent == 0) continue;
+    for (const SpanRecord& p : records)
+      if (p.id == r.parent) EXPECT_EQ(p.tid, r.tid);
+  }
+  tracer.clear();
+}
+
+// BatchSummary latency distribution: count covers every job, p99 comes
+// from the registry histogram delta, and the JSON footer carries both.
+TEST(TelemetryIntegrationTest, BatchSummaryCarriesLatencyHistogram) {
+  serve::BatchSession session(serve::BatchOptions{.threads = 2});
+  std::istringstream jobs(
+      "{\"spec\": \"fft:3\", \"memories\": [4], \"methods\": [\"mincut\"]}\n"
+      "{\"spec\": \"fft:4\", \"memories\": [4], \"methods\": [\"mincut\"]}\n"
+      "{\"spec\": \"grid:3:3\", \"memories\": [4], \"methods\": "
+      "[\"mincut\"]}\n");
+  std::ostringstream out;
+  const serve::BatchSummary summary = session.run(jobs, out);
+  EXPECT_EQ(summary.ok, 3);
+  EXPECT_EQ(summary.latency.count, 3);
+  // p99 interpolates within the histogram bucket holding rank 0.99*count
+  // (it need not dominate the exact rank-based p50 when every sample
+  // shares one bucket); it is positive whenever any job ran.
+  EXPECT_GT(summary.p99_seconds, 0.0);
+
+  const io::JsonValue doc = io::JsonValue::parse(summary.to_json());
+  EXPECT_EQ(doc.at("latency").at("count").as_int(), 3);
+  EXPECT_TRUE(doc.get("p99_seconds") != nullptr);
+  std::int64_t bucket_total = 0;
+  for (const io::JsonValue& bucket : doc.at("latency").at("buckets").items())
+    bucket_total += bucket.at("count").as_int();
+  EXPECT_EQ(bucket_total, 3);
+}
+
+// Stream sessions mirror their Stats into stream.* registry counters.
+TEST(TelemetryIntegrationTest, StreamStatsEqualRegistryDelta) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const std::int64_t patches_before = reg.counter("stream.patches").value();
+  const std::int64_t queries_before = reg.counter("stream.queries").value();
+
+  stream::StreamSession session("telemetry_s");
+  session.load("fft:3");
+  stream::Patch patch;
+  patch.mutations.push_back(stream::Mutation::add_vertex());
+  session.apply(patch);
+  engine::BoundRequest req;
+  req.memories = {4};
+  req.methods = {"mincut"};
+  (void)session.evaluate(req);
+
+  const stream::StreamSession::Stats stats = session.stats();
+  EXPECT_EQ(reg.counter("stream.patches").value() - patches_before,
+            stats.patches);
+  EXPECT_EQ(reg.counter("stream.queries").value() - queries_before,
+            stats.queries);
+  EXPECT_EQ(stats.patches, 2);  // load counts as patch zero
+  EXPECT_EQ(stats.queries, 1);
+}
+
+}  // namespace
+}  // namespace graphio::telemetry

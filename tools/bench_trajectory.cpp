@@ -5,7 +5,17 @@
 //   {"schema": 1, "benches": [
 //      {"bench": "solver_policy", "file": "BENCH_solver.json",
 //       "scale": "default", "headline_speedup": 174.1,
-//       "speedup_samples": 5}, ...]}
+//       "speedup_samples": 5}, ...],
+//    "traces": [
+//      {"trace": "TRACE_stream.json", "spans": [
+//         {"name": "solve", "count": 3, "total_us": ..., "self_us": ...},
+//         ...]}, ...]}
+//
+// TRACE_*.json files (written by `graphio ... --trace`) contribute
+// per-span-name self-time aggregates, so where the wall time of a bench
+// went — solve vs extract vs store replay — rides along in the same
+// trajectory artifact. The "traces" key is absent when no trace files
+// are present, keeping pre-telemetry trajectories byte-stable.
 //
 // The headline is deliberately schema-agnostic: the maximum over every
 // numeric "speedup" field found anywhere in the bench's JSON (each bench
@@ -25,6 +35,7 @@
 #include <vector>
 
 #include "graphio/io/json.hpp"
+#include "graphio/telemetry/trace.hpp"
 
 namespace {
 
@@ -63,10 +74,33 @@ int main(int argc, char** argv) {
       argc > 2 ? std::filesystem::path(argv[2])
                : dir / "BENCH_trajectory.json";
 
+  struct TraceRollup {
+    std::string file;
+    graphio::telemetry::TraceSummary summary;
+  };
+
   std::vector<BenchHeadline> headlines;
+  std::vector<TraceRollup> traces;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.rfind("TRACE_", 0) == 0 &&
+        (entry.path().extension() == ".json" ||
+         entry.path().extension() == ".jsonl")) {
+      std::ifstream in(entry.path());
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      try {
+        TraceRollup rollup;
+        rollup.file = name;
+        rollup.summary = graphio::telemetry::summarize_records(
+            graphio::telemetry::parse_trace(buffer.str()));
+        traces.push_back(std::move(rollup));
+      } catch (const std::exception& e) {
+        std::cerr << "skipping " << name << ": " << e.what() << "\n";
+      }
+      continue;
+    }
     if (!entry.is_regular_file() || name.rfind("BENCH_", 0) != 0 ||
         entry.path().extension() != ".json" ||
         name == "BENCH_trajectory.json")
@@ -100,6 +134,10 @@ int main(int argc, char** argv) {
             [](const BenchHeadline& a, const BenchHeadline& b) {
               return a.bench < b.bench;
             });
+  std::sort(traces.begin(), traces.end(),
+            [](const TraceRollup& a, const TraceRollup& b) {
+              return a.file < b.file;
+            });
 
   graphio::io::JsonWriter w;
   w.begin_object();
@@ -115,6 +153,25 @@ int main(int argc, char** argv) {
     w.end_object();
   }
   w.end_array();
+  if (!traces.empty()) {
+    w.key("traces").begin_array();
+    for (const TraceRollup& t : traces) {
+      w.begin_object();
+      w.key("trace").value(t.file);
+      w.key("spans").begin_array();
+      for (const graphio::telemetry::SpanAggregate& row : t.summary.rows) {
+        w.begin_object();
+        w.key("name").value(row.name);
+        w.key("count").value(row.count);
+        w.key("total_us").value(row.total_us);
+        w.key("self_us").value(row.self_us);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
 
   std::ofstream out(out_path);
@@ -123,7 +180,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << w.str() << "\n";
-  std::cout << "merged " << headlines.size() << " bench file(s) into "
-            << out_path.string() << "\n";
+  std::cout << "merged " << headlines.size() << " bench file(s) and "
+            << traces.size() << " trace file(s) into " << out_path.string()
+            << "\n";
   return 0;
 }

@@ -27,6 +27,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,8 @@
 #include "graphio/sim/parallel_memsim.hpp"
 #include "graphio/sim/schedule.hpp"
 #include "graphio/support/table.hpp"
+#include "graphio/telemetry/metrics.hpp"
+#include "graphio/telemetry/trace.hpp"
 
 namespace {
 
@@ -109,6 +112,16 @@ std::string solver_list() {
       "                                         corrupt-line count)\n"
       "  store compact <DIR>                    rewrite the artifact log to\n"
       "                                         its live entries\n"
+      "  trace summarize <FILE> [--json]        per-span-name total/self time\n"
+      "                                         table for a --trace file\n"
+      "                                         (Chrome JSON or JSONL)\n"
+      "\n"
+      "telemetry (any command)\n"
+      "  --trace FILE                           record spans; write Chrome\n"
+      "                                         trace JSON on exit (JSONL\n"
+      "                                         when FILE ends in .jsonl)\n"
+      "  --metrics                              print the metrics registry\n"
+      "                                         as JSON to stderr on exit\n"
       "\n"
       "graph: family spec, edgelist file, or DOT file (*.dot, *.gv)\n"
       << engine::family_help() <<
@@ -175,6 +188,8 @@ struct Args {
   std::string store;
   std::string store_artifacts;
   std::string solver = "auto";
+  std::string trace_file;
+  bool metrics = false;
   bool monolithic = false;
   bool plain = false;
   bool json = false;
@@ -239,6 +254,11 @@ Args parse_args(int argc, char** argv) {
       } catch (const std::exception& e) {
         usage(e.what());
       }
+    } else if (flag == "--trace") {
+      a.trace_file = next();
+      if (a.trace_file.empty()) usage("--trace needs a file path");
+    } else if (flag == "--metrics") {
+      a.metrics = true;
     } else if (flag == "--monolithic") {
       a.monolithic = true;
     } else if (flag == "--plain") {
@@ -590,6 +610,58 @@ int cmd_store(const Args& a) {
   return 0;
 }
 
+int cmd_trace(const Args& a) {
+  // `graphio trace summarize FILE`: subcommand and file arrive as
+  // positional "graph" arguments.
+  if (a.graphs.size() != 2 || a.graphs[0] != "summarize")
+    usage("trace needs a subcommand and a file: graphio trace summarize FILE");
+  std::ifstream in(a.graphs[1]);
+  if (!in.good()) usage("cannot open trace file '" + a.graphs[1] + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::vector<telemetry::SpanRecord> records =
+      telemetry::parse_trace(text.str());
+  const telemetry::TraceSummary summary =
+      telemetry::summarize_records(records);
+  if (a.json)
+    std::cout << telemetry::summary_json(summary) << "\n";
+  else
+    std::cout << telemetry::summary_table(summary);
+  return 0;
+}
+
+/// Writes the recorded trace (when --trace was given; format by file
+/// extension) and the metrics registry (when --metrics was given) after
+/// the command ran. Failures here must not change the command's exit
+/// status beyond being reported.
+void finish_telemetry(const Args& a) {
+  if (!a.trace_file.empty()) {
+    telemetry::Tracer& tracer = telemetry::Tracer::global();
+    tracer.disable();
+    std::ofstream out(a.trace_file);
+    if (!out.good()) {
+      std::cerr << "error: cannot write trace file '" << a.trace_file
+                << "'\n";
+    } else {
+      const bool jsonl = a.trace_file.size() >= 6 &&
+                         a.trace_file.rfind(".jsonl") ==
+                             a.trace_file.size() - 6;
+      if (jsonl)
+        tracer.export_jsonl(out);
+      else
+        tracer.export_chrome(out);
+      const telemetry::TraceSummary summary = tracer.summarize();
+      std::cerr << "trace: wrote " << summary.spans << " spans, "
+                << summary.instants << " instant events to " << a.trace_file;
+      if (summary.dropped > 0)
+        std::cerr << " (" << summary.dropped << " dropped)";
+      std::cerr << "\n";
+    }
+  }
+  if (a.metrics)
+    std::cerr << telemetry::MetricsRegistry::global().to_json() << "\n";
+}
+
 int cmd_hierarchy(const Args& a) {
   const Digraph g = resolve_graph(a.graph());
   std::vector<double> capacities;
@@ -608,27 +680,35 @@ int cmd_hierarchy(const Args& a) {
   return 0;
 }
 
+int dispatch(const Args& a) {
+  if (a.command == "generate") return cmd_generate(a);
+  if (a.command == "info") return cmd_info(a);
+  if (a.command == "bound") return cmd_bound(a);
+  if (a.command == "compare") return cmd_compare(a);
+  if (a.command == "sweep") return cmd_sweep(a);
+  if (a.command == "spectrum") return cmd_spectrum(a);
+  if (a.command == "simulate") return cmd_simulate(a);
+  if (a.command == "exact") return cmd_exact(a);
+  if (a.command == "anneal") return cmd_anneal(a);
+  if (a.command == "parallel") return cmd_parallel(a);
+  if (a.command == "hierarchy") return cmd_hierarchy(a);
+  if (a.command == "store") return cmd_store(a);
+  if (a.command == "batch") return cmd_batch(a);
+  if (a.command == "serve") return cmd_serve(a);
+  if (a.command == "stream") return cmd_stream(a);
+  if (a.command == "trace") return cmd_trace(a);
+  usage("unknown command '" + a.command + "'");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Args a = parse_args(argc, argv);
-    if (a.command == "generate") return cmd_generate(a);
-    if (a.command == "info") return cmd_info(a);
-    if (a.command == "bound") return cmd_bound(a);
-    if (a.command == "compare") return cmd_compare(a);
-    if (a.command == "sweep") return cmd_sweep(a);
-    if (a.command == "spectrum") return cmd_spectrum(a);
-    if (a.command == "simulate") return cmd_simulate(a);
-    if (a.command == "exact") return cmd_exact(a);
-    if (a.command == "anneal") return cmd_anneal(a);
-    if (a.command == "parallel") return cmd_parallel(a);
-    if (a.command == "hierarchy") return cmd_hierarchy(a);
-    if (a.command == "store") return cmd_store(a);
-    if (a.command == "batch") return cmd_batch(a);
-    if (a.command == "serve") return cmd_serve(a);
-    if (a.command == "stream") return cmd_stream(a);
-    usage("unknown command '" + a.command + "'");
+    if (!a.trace_file.empty()) telemetry::Tracer::global().enable();
+    const int rc = dispatch(a);
+    finish_telemetry(a);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
