@@ -77,13 +77,16 @@ OptimalPartitionResult optimal_lemma1_bound(
     }
   }
 
-  if (f[static_cast<std::size_t>(n)] <= 0.0) return result;
-  result.bound = f[static_cast<std::size_t>(n)];
+  result.objective = f[static_cast<std::size_t>(n)];
   for (std::int64_t pos = n; pos > 0;
-       pos = parent_break[static_cast<std::size_t>(pos)]) {
+       pos = parent_break[static_cast<std::size_t>(pos)])
+    ++result.objective_segments;
+  if (result.objective <= 0.0) return result;
+  result.bound = result.objective;
+  result.segments = result.objective_segments;
+  for (std::int64_t pos = n; pos > 0;
+       pos = parent_break[static_cast<std::size_t>(pos)])
     result.breakpoints.push_back(parent_break[static_cast<std::size_t>(pos)]);
-    ++result.segments;
-  }
   std::reverse(result.breakpoints.begin(), result.breakpoints.end());
   return result;
 }

@@ -38,6 +38,17 @@ struct OptimalPartitionResult {
   /// Breakpoints of the maximizing partition: positions where segments
   /// start, ascending, beginning with 0 (empty when bound is 0).
   std::vector<std::int64_t> breakpoints;
+  /// The raw optimum f(n), unclamped — negative when even the best
+  /// partition loses to the 2M-per-segment charge. Per-component
+  /// composition needs the sign-carrying value: segment costs are
+  /// additive across weak components (no cross edges), so for a
+  /// component-concatenated order the whole-graph optimum is
+  /// Σ_c objective_c + 2M·(k−1), the boundary merges refunding one
+  /// segment charge per seam.
+  double objective = 0.0;
+  /// Segments of the unclamped maximizing partition (equals `segments`
+  /// whenever objective > 0; still meaningful when it is not).
+  std::int64_t objective_segments = 0;
 };
 
 /// Evaluates the Lemma 1 objective at the optimal contiguous partition of

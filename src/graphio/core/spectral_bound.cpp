@@ -47,6 +47,7 @@ std::vector<double> smallest_laplacian_eigenvalues(
 bool solver_options_equal(const SpectralOptions& a, const SpectralOptions& b) {
   return a.backend == b.backend && a.solver == b.solver &&
          a.decompose == b.decompose && a.eig_rel_tol == b.eig_rel_tol &&
+         a.warm_refresh_rel_tol == b.warm_refresh_rel_tol &&
          a.dense_threshold == b.dense_threshold &&
          a.dense_rescue_threshold == b.dense_rescue_threshold &&
          a.lanczos.block_size == b.lanczos.block_size &&

@@ -67,7 +67,26 @@ struct SpectralOptions {
   /// 1e-6 is often orders of magnitude faster than to eigensolver-grade
   /// 1e-9 on the clustered spectra the evaluation graphs produce.
   double eig_rel_tol = 1e-6;
+  /// Warm-refresh acceptance tolerance, relative to the Gershgorin scale
+  /// of the component Laplacian. With a retained predecessor basis, a
+  /// patched component first gets a single Rayleigh–Ritz pass over that
+  /// basis; when every refreshed pair's residual is at or below this
+  /// fraction of the scale, the certified lower estimates θ − ‖r‖ are
+  /// accepted as a one-iteration warm solve. Rejections (big patches,
+  /// stale bases) fall through to the warm-seeded iterative tiers. The
+  /// certification is the same θ − ‖r‖ the iterative tiers emit, so
+  /// soundness does not depend on this value; it only trades bound
+  /// tightness on the patched component for solve latency. 0 disables
+  /// the fast path. Dense solves never refresh — a dense tier (forced or
+  /// shape-chosen for a cold start) is a request for exact values.
+  double warm_refresh_rel_tol = 1e-2;
   la::LanczosOptions lanczos = {};
+  /// Retain converged per-component eigenbases (Ritz vectors) in the
+  /// artifact store's memory-only eigenbasis tier, keyed by component
+  /// fingerprint, so a later solve of a patched successor can warm-start
+  /// from them. Excluded from solver_options_equal on purpose: retention
+  /// never changes what a solve computes, only what it keeps.
+  bool retain_basis = false;
 };
 
 struct SpectralBound {

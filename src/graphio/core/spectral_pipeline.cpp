@@ -8,8 +8,10 @@
 #include "graphio/graph/components.hpp"
 #include "graphio/la/lobpcg.hpp"
 #include "graphio/la/symmetric_eigen.hpp"
+#include "graphio/la/vector_ops.hpp"
 #include "graphio/support/contracts.hpp"
 #include "graphio/support/timer.hpp"
+#include "graphio/telemetry/metrics.hpp"
 #include "graphio/telemetry/trace.hpp"
 
 namespace graphio {
@@ -23,29 +25,106 @@ std::vector<double> dense_smallest(const Digraph& g, LaplacianKind kind,
   return all;
 }
 
-}  // namespace
-
-la::SolverChoice resolve_component_solver(std::int64_t n, std::int64_t nnz,
-                                          int h,
-                                          const SpectralOptions& options) {
-  switch (options.backend) {
-    case EigenBackend::kDense:
-      return {la::SolverKind::kDense, "forced by backend"};
-    case EigenBackend::kLanczos:
-      return {la::SolverKind::kLanczos, "forced by backend"};
-    case EigenBackend::kLobpcg:
-      return {la::SolverKind::kLobpcg, "forced by backend"};
-    case EigenBackend::kAuto: break;
+/// Dense eigenpairs of the component Laplacian: values identical to
+/// dense_smallest (the QL value recurrence does not depend on vector
+/// accumulation), plus the h smallest eigenvectors for retention.
+void dense_smallest_with_vectors(const Digraph& g, LaplacianKind kind, int h,
+                                 std::vector<double>& values,
+                                 std::vector<std::vector<double>>& vectors) {
+  const la::SymmetricEigen eig = la::symmetric_eigen(dense_laplacian(g, kind));
+  values.assign(eig.values.begin(), eig.values.begin() + h);
+  const std::size_t n = eig.values.size();
+  vectors.clear();
+  vectors.reserve(static_cast<std::size_t>(h));
+  for (int j = 0; j < h; ++j) {
+    std::vector<double> col(n);
+    for (std::size_t i = 0; i < n; ++i)
+      col[i] = eig.vectors(i, static_cast<std::size_t>(j));
+    vectors.push_back(std::move(col));
   }
-  la::SolverThresholds thresholds;
-  thresholds.dense_n = options.dense_threshold;
-  return la::require_solver_policy(options.solver)
-      .choose({n, nnz, h}, thresholds);
 }
 
-ComponentSolve solve_component_spectrum(const Digraph& component,
-                                        LaplacianKind kind, int h,
-                                        const SpectralOptions& options) {
+/// One Rayleigh–Ritz pass over a retained predecessor basis: the warm
+/// fast path. Orthonormalizes the basis, rotates it into Ritz pairs of
+/// the patched Laplacian, and accepts when every pair's residual is at or
+/// below `accept_rel_tol` of the Gershgorin scale — the returned values
+/// are the same certified lower estimates max(0, θ − ‖r‖) the iterative
+/// tiers emit, so acceptance never changes soundness, only how much of
+/// the patch's perturbation is left in the bound. The rotated pairs
+/// replace the basis (via `retained`), so repeated small patches keep
+/// refreshing until drift trips the gate and a full solve resets it.
+/// Returns false (leaving `solve` untouched) when the basis is too thin,
+/// misshapen, or the residuals exceed the gate.
+bool warm_subspace_refresh(const la::CsrMatrix& lap,
+                           const std::vector<std::vector<double>>& basis,
+                           int h, double accept_rel_tol,
+                           ComponentSolve& solve,
+                           std::vector<std::vector<double>>* retained) {
+  const auto n = static_cast<std::size_t>(lap.size());
+  // Two-pass modified Gram–Schmidt; columns that collapse are dropped.
+  // Fewer than h survivors cannot certify h pairs.
+  std::vector<std::vector<double>> v;
+  v.reserve(basis.size());
+  for (const std::vector<double>& col : basis) {
+    if (col.size() != n) return false;
+    std::vector<double> w = col;
+    for (int pass = 0; pass < 2; ++pass)
+      for (const std::vector<double>& b : v) la::axpy(-la::dot(b, w), b, w);
+    if (la::normalize(w) > 1e-8) v.push_back(std::move(w));
+  }
+  if (static_cast<int>(v.size()) < h) return false;
+  const std::size_t m = v.size();
+
+  std::vector<std::vector<double>> lv(m, std::vector<double>(n));
+  for (std::size_t j = 0; j < m; ++j) lap.matvec(v[j], lv[j]);
+  la::DenseMatrix gram(m, m);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = i; j < m; ++j)
+      gram(i, j) = gram(j, i) = 0.5 * (la::dot(v[i], lv[j]) +
+                                       la::dot(v[j], lv[i]));
+  const la::SymmetricEigen ritz = la::symmetric_eigen(std::move(gram));
+
+  const double accept =
+      accept_rel_tol * std::max(lap.gershgorin_upper_bound(), 1e-300);
+  std::vector<double> values;
+  std::vector<std::vector<double>> rotated;
+  values.reserve(static_cast<std::size_t>(h));
+  rotated.reserve(static_cast<std::size_t>(h));
+  for (int j = 0; j < h; ++j) {
+    std::vector<double> x(n, 0.0);
+    std::vector<double> lx(n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double w = ritz.vectors(i, static_cast<std::size_t>(j));
+      if (w == 0.0) continue;
+      la::axpy(w, v[i], x);
+      la::axpy(w, lv[i], lx);
+    }
+    const double theta = ritz.values[static_cast<std::size_t>(j)];
+    la::axpy(-theta, x, lx);  // lx becomes the residual
+    const double rnorm = la::nrm2(lx);
+    if (rnorm > accept) return false;
+    values.push_back(std::max(0.0, theta - rnorm));
+    rotated.push_back(std::move(x));
+  }
+  std::sort(values.begin(), values.end());
+  solve.values = std::move(values);
+  solve.converged = true;
+  solve.iterations = 1;
+  solve.warm_started = true;
+  if (retained != nullptr) *retained = std::move(rotated);
+  return true;
+}
+
+/// The shared per-component solve behind both the public
+/// solve_component_spectrum (no warm seed, no retention) and the
+/// pipeline's warm-start path. `warm_columns` (nullable) seeds the
+/// iterative tiers; `retained` (nullable) receives the converged
+/// eigenvectors for the eigenbasis tier.
+ComponentSolve solve_component_impl(
+    const Digraph& component, LaplacianKind kind, int h,
+    const SpectralOptions& options,
+    const std::vector<std::vector<double>>* warm_columns,
+    std::vector<std::vector<double>>* retained) {
   const std::int64_t n = component.num_vertices();
   WallTimer timer;
   ComponentSolve solve;
@@ -63,38 +142,73 @@ ComponentSolve solve_component_spectrum(const Digraph& component,
     return solve;
   }
 
+  const bool warm = warm_columns != nullptr && !warm_columns->empty();
   // nnz upper estimate without assembling the matrix: the diagonal plus
   // one symmetric pair per edge (parallel edges share a slot, so the true
   // count is never larger — close enough for tier selection).
   const la::SolverChoice choice = resolve_component_solver(
-      n, n + 2 * component.num_edges(), h, options);
+      n, n + 2 * component.num_edges(), h, options, warm);
   solve.solver = choice.kind;
   solve.solver_ran = true;
+  solve.solver_reason = choice.reason;
 
   if (choice.kind == la::SolverKind::kDense) {
-    solve.values = dense_smallest(component, kind, h);
+    if (retained != nullptr)
+      dense_smallest_with_vectors(component, kind, h, solve.values, *retained);
+    else
+      solve.values = dense_smallest(component, kind, h);
     solve.seconds = timer.seconds();
     return solve;
   }
 
   const la::CsrMatrix lap = laplacian(component, kind);
+  // Warm fast path: one certified Rayleigh–Ritz pass over the retained
+  // basis. Applies to the iterative tiers only (a dense choice returned
+  // above), whether the tier was policy-chosen or forced — forcing an
+  // iterative solver, like warm-seeding it, asks for its family of
+  // certified estimates, and the refresh is the 1-iteration member.
+  if (warm && options.warm_refresh_rel_tol > 0.0 &&
+      warm_subspace_refresh(lap, *warm_columns, h,
+                            options.warm_refresh_rel_tol, solve, retained)) {
+    solve.seconds = timer.seconds();
+    return solve;
+  }
   std::vector<double> values;
   std::vector<double> residuals;
+  std::vector<std::vector<double>> vectors;
   bool sparse_converged = false;
   if (choice.kind == la::SolverKind::kLobpcg) {
     la::LobpcgOptions lopts;
     lopts.rel_tol = options.eig_rel_tol;
+    lopts.return_vectors = retained != nullptr;
+    if (warm) {
+      // Same tolerance as a cold solve: soundness never depends on it
+      // (the certified estimates below are valid at any residual), so
+      // tightening here would only trade the warm head start back for
+      // extra iterations.
+      lopts.warm_start = *warm_columns;
+      solve.warm_started = true;
+    }
     la::LobpcgResult res = la::lobpcg_smallest(lap, h, lopts);
     values = std::move(res.values);
     residuals = std::move(res.residuals);
+    vectors = std::move(res.vectors);
     sparse_converged = res.converged;
+    solve.iterations = res.iterations;
   } else {
     la::LanczosOptions lopts = options.lanczos;
     lopts.rel_tol = options.eig_rel_tol;
+    lopts.return_vectors = retained != nullptr;
+    if (warm) {
+      lopts.warm_start = *warm_columns;
+      solve.warm_started = true;
+    }
     la::LanczosResult res = la::smallest_eigenvalues(lap, h, lopts);
     values = std::move(res.values);
     residuals = std::move(res.residuals);
+    vectors = std::move(res.vectors);
     sparse_converged = res.converged;
+    solve.iterations = res.cycles;
   }
   if (!sparse_converged && options.backend == EigenBackend::kAuto &&
       options.solver == "auto" && n <= options.dense_rescue_threshold) {
@@ -102,14 +216,26 @@ ComponentSolve solve_component_spectrum(const Digraph& component,
     // on moderate components (e.g. Strassen Laplacians); the dense path
     // is slow but certain there. Only shape-chosen tiers are rescued —
     // forcing a tier (via backend or a forced policy name) is an
-    // explicit request for that solver's answer, ablations included.
+    // explicit request for that solver's answer, ablations included. A
+    // warm solve that fails to converge (e.g. a patch that disconnected
+    // its component) lands here too: the fallback is cold and exact.
     solve.solver = la::SolverKind::kDense;
-    solve.values = dense_smallest(component, kind, h);
+    solve.iterations = 0;
+    if (retained != nullptr)
+      dense_smallest_with_vectors(component, kind, h, solve.values, *retained);
+    else
+      solve.values = dense_smallest(component, kind, h);
     solve.converged = true;
     solve.seconds = timer.seconds();
     return solve;
   }
   solve.converged = sparse_converged;
+  if (retained != nullptr) {
+    if (sparse_converged)
+      *retained = std::move(vectors);
+    else
+      retained->clear();  // partial bases are not worth retaining
+  }
   // Certified lower estimates θ − ‖r‖: sound for the lower bound at any
   // tolerance (clamped to the PSD floor of zero).
   for (std::size_t i = 0; i < values.size(); ++i)
@@ -120,12 +246,86 @@ ComponentSolve solve_component_spectrum(const Digraph& component,
   return solve;
 }
 
+/// Maps a retained basis onto a (possibly patched) successor component of
+/// `n` vertices with the given external ids. Edge-only patches keep the
+/// vertex set and reuse the basis as-is; vertex add/remove patches remap
+/// rows by surviving external id (both id lists are ascending) and pad
+/// new rows with a small deterministic pseudo-random fill so the block
+/// spans fresh directions. Returns empty when the basis cannot apply.
+std::vector<std::vector<double>> remap_basis_rows(
+    const Eigenbasis& basis, const std::vector<VertexId>& external_ids,
+    std::int64_t n) {
+  if (basis.vectors.empty()) return {};
+  const auto rows = static_cast<std::int64_t>(basis.vectors.front().size());
+  if (rows == n &&
+      (basis.row_ids.empty() || external_ids.empty() ||
+       basis.row_ids == external_ids))
+    return basis.vectors;
+  if (basis.row_ids.empty() || external_ids.empty() ||
+      static_cast<std::int64_t>(external_ids.size()) != n)
+    return {};
+  std::vector<std::int64_t> old_row(static_cast<std::size_t>(n), -1);
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < external_ids.size(); ++i) {
+    while (j < basis.row_ids.size() && basis.row_ids[j] < external_ids[i]) ++j;
+    if (j < basis.row_ids.size() && basis.row_ids[j] == external_ids[i])
+      old_row[i] = static_cast<std::int64_t>(j);
+  }
+  std::vector<std::vector<double>> out;
+  out.reserve(basis.vectors.size());
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  for (const std::vector<double>& col : basis.vectors) {
+    std::vector<double> mapped(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < mapped.size(); ++i) {
+      if (old_row[i] >= 0) {
+        mapped[i] = col[static_cast<std::size_t>(old_row[i])];
+      } else {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        mapped[i] =
+            1e-3 * (static_cast<double>((state >> 33) & 0xFFFF) / 65536.0 -
+                    0.5);
+      }
+    }
+    out.push_back(std::move(mapped));
+  }
+  return out;
+}
+
+}  // namespace
+
+la::SolverChoice resolve_component_solver(std::int64_t n, std::int64_t nnz,
+                                          int h,
+                                          const SpectralOptions& options,
+                                          bool warm) {
+  switch (options.backend) {
+    case EigenBackend::kDense:
+      return {la::SolverKind::kDense, "forced by backend"};
+    case EigenBackend::kLanczos:
+      return {la::SolverKind::kLanczos, "forced by backend"};
+    case EigenBackend::kLobpcg:
+      return {la::SolverKind::kLobpcg, "forced by backend"};
+    case EigenBackend::kAuto: break;
+  }
+  la::SolverThresholds thresholds;
+  thresholds.dense_n = options.dense_threshold;
+  return la::require_solver_policy(options.solver)
+      .choose({n, nnz, h, warm}, thresholds);
+}
+
+ComponentSolve solve_component_spectrum(const Digraph& component,
+                                        LaplacianKind kind, int h,
+                                        const SpectralOptions& options) {
+  return solve_component_impl(component, kind, h, options,
+                              /*warm_columns=*/nullptr, /*retained=*/nullptr);
+}
+
 SpectralPipeline::SpectralPipeline(SpectralOptions options)
     : options_(std::move(options)), solver_(solve_component_spectrum) {}
 
 void SpectralPipeline::set_component_solver(ComponentSolver solver) {
   GIO_EXPECTS_MSG(solver != nullptr, "component solver must be callable");
   solver_ = std::move(solver);
+  custom_solver_ = true;
 }
 
 void SpectralPipeline::set_component_resolver(ComponentResolver resolver,
@@ -133,6 +333,14 @@ void SpectralPipeline::set_component_resolver(ComponentResolver resolver,
   GIO_EXPECTS_MSG(resolver != nullptr, "component resolver must be callable");
   resolver_ = std::move(resolver);
   publisher_ = std::move(publisher);
+}
+
+void SpectralPipeline::set_basis_hooks(BasisResolver resolver,
+                                       BasisPublisher publisher) {
+  GIO_EXPECTS_MSG(resolver != nullptr && publisher != nullptr,
+                  "basis hooks must both be callable");
+  basis_resolver_ = std::move(resolver);
+  basis_publisher_ = std::move(publisher);
 }
 
 ComponentSolve SpectralPipeline::solve_planned(const PlannedComponent& entry,
@@ -179,7 +387,18 @@ ComponentSolve SpectralPipeline::solve_planned(const PlannedComponent& entry,
     }
   }
 
-  // Miss: this component must materialize and solve.
+  // Miss: this component must materialize and solve. Before extracting,
+  // look up a retained eigenbasis — its own fingerprint first (stream
+  // sessions re-key the predecessor's basis to the successor fingerprint
+  // at patch time), then the threaded pre-patch fingerprint.
+  std::optional<Eigenbasis> warm_basis;
+  if (options_.retain_basis && basis_resolver_ != nullptr &&
+      !custom_solver_) {
+    if (have_fingerprint) warm_basis = basis_resolver_(fingerprint, kind);
+    if (!warm_basis && entry.has_predecessor)
+      warm_basis = basis_resolver_(entry.predecessor, kind);
+  }
+
   std::optional<Digraph> extracted;
   const Digraph* component = entry.in_place;
   if (component == nullptr) {
@@ -197,15 +416,70 @@ ComponentSolve SpectralPipeline::solve_planned(const PlannedComponent& entry,
   GIO_EXPECTS_MSG(component->num_vertices() == entry.vertices &&
                       component->num_edges() == entry.edges,
                   "planned component shape does not match its subgraph");
+  std::vector<std::vector<double>> warm_columns;
+  if (warm_basis)
+    warm_columns =
+        remap_basis_rows(*warm_basis, entry.external_ids, entry.vertices);
+
   // The "solve" span brackets exactly the eigensolver invocations: clean
   // components resolve above and never reach here, so a warm trace has
   // zero solve spans (CI asserts this).
   telemetry::Span solve_span("solve");
   solve_span.attr("vertices", entry.vertices).attr("edges", entry.edges);
-  ComponentSolve solve = solver_(*component, kind, h_c, options_);
+  ComponentSolve solve;
+  std::vector<std::vector<double>> fresh_vectors;
+  const bool retain = options_.retain_basis && basis_publisher_ != nullptr &&
+                      have_fingerprint && !custom_solver_;
+  if (custom_solver_) {
+    solve = solver_(*component, kind, h_c, options_);
+  } else {
+    solve = solve_component_impl(
+        *component, kind, h_c, options_,
+        warm_columns.empty() ? nullptr : &warm_columns,
+        retain ? &fresh_vectors : nullptr);
+  }
   solve_span.attr("converged", solve.converged ? "true" : "false");
+  if (solve.warm_started) solve_span.attr("warm", "true");
   solve_span.end();
   result.phases.solve_seconds += solve_span.seconds();
+
+  if (solve.warm_started) {
+    ++result.warm_hits;
+    const std::uint64_t pred = warm_basis->predecessor != 0
+                                   ? warm_basis->predecessor
+                                   : (entry.has_predecessor ? entry.predecessor
+                                                            : fingerprint);
+    solve.solver_reason = "warm(pred=" + std::to_string(pred) + ")";
+    const int saved = warm_basis->source_iterations - solve.iterations;
+    if (saved > 0) result.warm_iterations_saved += saved;
+  }
+  struct WarmCounters {
+    telemetry::Counter& hits;
+    telemetry::Counter& saved;
+    telemetry::Counter& iterations;
+  };
+  static WarmCounters counters{
+      telemetry::MetricsRegistry::global().counter("solver.warm_hits"),
+      telemetry::MetricsRegistry::global().counter(
+          "solver.warm_iterations_saved"),
+      telemetry::MetricsRegistry::global().counter("solver.iterations")};
+  if (solve.warm_started) {
+    counters.hits.increment();
+    const int saved = warm_basis->source_iterations - solve.iterations;
+    if (saved > 0) counters.saved.add(saved);
+  }
+  if (solve.iterations > 0) counters.iterations.add(solve.iterations);
+
+  if (retain && solve.solver_ran && solve.converged &&
+      !fresh_vectors.empty()) {
+    Eigenbasis fresh;
+    fresh.vectors = std::move(fresh_vectors);
+    fresh.row_ids = entry.external_ids;
+    fresh.predecessor =
+        entry.has_predecessor ? entry.predecessor : 0;
+    fresh.source_iterations = solve.iterations;
+    basis_publisher_(fingerprint, kind, std::move(fresh));
+  }
   if (publisher_ != nullptr && have_fingerprint && solve.solver_ran)
     publisher_(fingerprint, kind, h_c, options_, solve);
   return solve;

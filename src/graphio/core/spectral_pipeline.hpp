@@ -57,11 +57,46 @@ struct ComponentSolve {
   bool solver_ran = false;
   /// True when a component-spectrum cache served the values.
   bool from_cache = false;
+  /// True when the solve was seeded from a retained predecessor
+  /// eigenbasis (the warm tier).
+  bool warm_started = false;
+  /// Iterations (LOBPCG) or restart cycles (Lanczos) the solve spent;
+  /// 0 for the dense tier.
+  int iterations = 0;
+  /// The solver choice's reason string; `warm(pred=<fp>)` on warm hits.
+  std::string solver_reason;
   /// Certified smallest eigenvalues of the component's Laplacian block,
   /// ascending; may be shorter than requested on non-convergence.
   std::vector<double> values;
   bool converged = true;
   double seconds = 0.0;
+};
+
+/// A retained component eigenbasis: the converged Ritz vectors of a past
+/// solve, kept in the artifact store's memory-only eigenbasis tier keyed
+/// by (component fingerprint, Laplacian kind) so a patched successor can
+/// warm-start from them. Rows are addressed by the session-stable
+/// external vertex ids recorded at retention time — an edge-only patch
+/// reuses the basis as-is, a vertex add/remove patch remaps surviving
+/// rows and random-fills new ones.
+struct Eigenbasis {
+  /// Ritz vectors, one column of length n per retained eigenpair.
+  std::vector<std::vector<double>> vectors;
+  /// External id per row, ascending; empty means rows are positional
+  /// (reusable only by a successor with the identical vertex count).
+  std::vector<VertexId> row_ids;
+  /// Fingerprint of the solve that produced the basis (0 for an original
+  /// retention; the pre-patch fingerprint after a stream adoption).
+  std::uint64_t predecessor = 0;
+  /// Iterations the producing solve spent (its cold cost — what a warm
+  /// successor saves against).
+  int source_iterations = 0;
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t total = sizeof(Eigenbasis) + row_ids.size() * sizeof(VertexId);
+    for (const std::vector<double>& col : vectors)
+      total += col.size() * sizeof(double) + sizeof(col);
+    return total;
+  }
 };
 
 /// The merged result of one pipeline run.
@@ -86,6 +121,11 @@ struct PipelineResult {
   /// Component fingerprints computed by this run (entries that arrived
   /// pre-fingerprinted, e.g. from a stream session, cost zero).
   std::int64_t fingerprint_computes = 0;
+  /// Solves seeded from a retained predecessor eigenbasis.
+  std::int64_t warm_hits = 0;
+  /// Σ max(0, producing solve's iterations − warm solve's iterations)
+  /// across warm hits — the iteration count the warm starts avoided.
+  std::int64_t warm_iterations_saved = 0;
   /// Where the wall time went — the stream bench's per-phase breakdown.
   struct Phases {
     double fingerprint_seconds = 0.0;
@@ -123,6 +163,16 @@ struct PlannedComponent {
   /// a connected graph, or decomposition disabled) — solved in place,
   /// never copied.
   const Digraph* in_place = nullptr;
+  /// Pre-patch fingerprint of this component's predecessor (stream dirty
+  /// components); consulted by the warm-start layer when its own
+  /// fingerprint has no retained basis, and recorded in the solver
+  /// choice's `warm(pred=<fp>)` reason.
+  std::uint64_t predecessor = 0;
+  bool has_predecessor = false;
+  /// External id per local vertex, ascending — lets a retained eigenbasis
+  /// remap rows across vertex add/remove patches. Empty when unavailable
+  /// (warm reuse then requires an identical vertex count).
+  std::vector<VertexId> external_ids;
 };
 
 /// A full decomposition handed to SpectralPipeline::run_plan. Invariant:
@@ -139,7 +189,8 @@ struct ComponentPlan {
 /// names) on an unknown policy name.
 la::SolverChoice resolve_component_solver(std::int64_t n, std::int64_t nnz,
                                           int h,
-                                          const SpectralOptions& options);
+                                          const SpectralOptions& options,
+                                          bool warm = false);
 
 /// Solves one graph as a single block: resolves the solver tier through
 /// the policy registry (options.backend forces a tier; otherwise
@@ -174,6 +225,15 @@ class SpectralPipeline {
                          int requested, const SpectralOptions&,
                          const ComponentSolve&)>;
 
+  /// Eigenbasis hooks (the warm-start layer). The resolver returns the
+  /// retained basis of (fingerprint, kind) or nullopt; the publisher
+  /// retains a freshly converged basis. Consulted only when
+  /// options().retain_basis is set.
+  using BasisResolver = std::function<std::optional<Eigenbasis>(
+      std::uint64_t fingerprint, LaplacianKind kind)>;
+  using BasisPublisher = std::function<void(
+      std::uint64_t fingerprint, LaplacianKind kind, Eigenbasis basis)>;
+
   explicit SpectralPipeline(SpectralOptions options = {});
 
   /// Replaces the default solve_component_spectrum with a caching or
@@ -186,6 +246,10 @@ class SpectralPipeline {
   /// components it resolves are neither materialized nor solved.
   void set_component_resolver(ComponentResolver resolver,
                               ComponentPublisher publisher = nullptr);
+
+  /// Installs the eigenbasis retention/warm-start hooks (the artifact
+  /// store's memory-only eigenbasis tier).
+  void set_basis_hooks(BasisResolver resolver, BasisPublisher publisher);
 
   [[nodiscard]] const SpectralOptions& options() const noexcept {
     return options_;
@@ -213,8 +277,13 @@ class SpectralPipeline {
 
   SpectralOptions options_;
   ComponentSolver solver_;
+  /// True after set_component_solver: a custom solver cannot accept warm
+  /// seeds or emit a basis, so the warm-start layer steps aside.
+  bool custom_solver_ = false;
   ComponentResolver resolver_;
   ComponentPublisher publisher_;
+  BasisResolver basis_resolver_;
+  BasisPublisher basis_publisher_;
 };
 
 }  // namespace graphio

@@ -5,6 +5,7 @@
 #include <queue>
 #include <utility>
 
+#include "graphio/core/partition_dp.hpp"
 #include "graphio/core/spectral_pipeline.hpp"
 #include "graphio/engine/fingerprint.hpp"
 #include "graphio/graph/topo.hpp"
@@ -29,6 +30,7 @@ struct CacheMetrics {
   telemetry::Counter& mincut_sweeps;
   telemetry::Counter& topo_computes;
   telemetry::Counter& memsim_runs;
+  telemetry::Counter& partition_runs;
   telemetry::Counter& component_hits;
   telemetry::Counter& subgraph_extractions;
   telemetry::Counter& fingerprint_computes;
@@ -46,6 +48,7 @@ CacheMetrics& cache_metrics() {
                               reg.counter("cache.mincut_sweeps"),
                               reg.counter("cache.topo_computes"),
                               reg.counter("cache.memsim_runs"),
+                              reg.counter("cache.partition_runs"),
                               reg.counter("cache.component_hits"),
                               reg.counter("cache.subgraph_extractions"),
                               reg.counter("cache.fingerprint_computes"),
@@ -157,11 +160,17 @@ ArtifactCache::Decomposition& ArtifactCache::decomposition() {
       }
       covered += static_cast<std::int64_t>(comp.vertices.size());
       edge_total += comp.edges;
+      GIO_EXPECTS_MSG(comp.external_ids.empty() ||
+                          comp.external_ids.size() == comp.vertices.size(),
+                      "component seed external ids must align with vertices");
       d.wc.vertices.push_back(std::move(comp.vertices));
       d.edges.push_back(comp.edges);
       d.fingerprints.push_back(comp.fingerprint);
       d.known.push_back(true);
       d.source_index.push_back(src);
+      d.external_ids.push_back(std::move(comp.external_ids));
+      d.predecessors.push_back(comp.predecessor);
+      d.has_predecessor.push_back(comp.has_predecessor);
     }
     GIO_EXPECTS_MSG(covered == n,
                     "component seed must cover every vertex of the graph");
@@ -175,6 +184,9 @@ ArtifactCache::Decomposition& ArtifactCache::decomposition() {
       d.edges.push_back(d.wc.edges_in(graph_, c));
     d.fingerprints.assign(static_cast<std::size_t>(d.wc.count), 0);
     d.known.assign(static_cast<std::size_t>(d.wc.count), false);
+    d.external_ids.resize(static_cast<std::size_t>(d.wc.count));
+    d.predecessors.assign(static_cast<std::size_t>(d.wc.count), 0);
+    d.has_predecessor.assign(static_cast<std::size_t>(d.wc.count), false);
   }
   decomp_ = std::move(d);
   return *decomp_;
@@ -232,6 +244,9 @@ ComponentPlan ArtifactCache::build_plan(const SpectralOptions& options) {
     entry.vertices = static_cast<std::int64_t>(
         d.wc.vertices[static_cast<std::size_t>(c)].size());
     entry.edges = d.edges[static_cast<std::size_t>(c)];
+    entry.predecessor = d.predecessors[static_cast<std::size_t>(c)];
+    entry.has_predecessor = d.has_predecessor[static_cast<std::size_t>(c)];
+    entry.external_ids = d.external_ids[static_cast<std::size_t>(c)];
     if (d.known[static_cast<std::size_t>(c)]) {
       entry.fingerprint = d.fingerprints[static_cast<std::size_t>(c)];
       entry.fingerprinted = true;
@@ -405,6 +420,18 @@ const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
              const SpectralOptions& opts, const ComponentSolve& solve) {
         store_->store_spectrum(fp, k, requested, opts, solve);
       });
+  if (options.retain_basis) {
+    // The warm-start layer: converged component bases are retained in the
+    // store's memory-only eigenbasis tier, and solves of patched
+    // successors seed from them (store/artifact_store.hpp).
+    pipeline.set_basis_hooks(
+        [this](std::uint64_t fp, LaplacianKind k) {
+          return store_->lookup_eigenbasis(fp, k);
+        },
+        [this](std::uint64_t fp, LaplacianKind k, Eigenbasis basis) {
+          store_->store_eigenbasis(fp, k, std::move(basis));
+        });
+  }
   const PipelineResult result = pipeline.run_plan(build_plan(options), kind,
                                                   count);
 
@@ -417,6 +444,8 @@ const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
   artifact.component_hits = result.component_cache_hits;
   artifact.subgraph_extractions = result.subgraph_extractions;
   artifact.fingerprint_computes = result.fingerprint_computes;
+  artifact.warm_hits = result.warm_hits;
+  artifact.warm_iterations_saved = result.warm_iterations_saved;
   artifact.phases = result.phases;
   if (options.decompose && decomp_.has_value())
     artifact.component_fingerprints = decomp_->fingerprints;
@@ -425,6 +454,8 @@ const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
   stats_.component_hits += result.component_cache_hits;
   stats_.subgraph_extractions += result.subgraph_extractions;
   stats_.fingerprint_computes += result.fingerprint_computes;
+  stats_.warm_hits += result.warm_hits;
+  stats_.warm_iterations_saved += result.warm_iterations_saved;
   stats_.fingerprint_seconds += result.phases.fingerprint_seconds;
   stats_.extract_seconds += result.phases.extract_seconds;
   stats_.solve_seconds += result.phases.solve_seconds;
@@ -568,6 +599,86 @@ const ArtifactCache::MemsimArtifact& ArtifactCache::memsim_row(
     artifact.writes += result.writes;
   }
   return memsims_.emplace(key, std::move(artifact)).first->second;
+}
+
+const ArtifactCache::PartitionArtifact& ArtifactCache::partition_row(
+    double memory) {
+  const auto it = partitions_.find(memory);
+  if (it != partitions_.end()) {
+    ++stats_.hits;
+    cache_metrics().hits.increment();
+    return it->second;
+  }
+  ++stats_.misses;
+  cache_metrics().misses.increment();
+  Decomposition& d = decomposition();
+  const int count = d.wc.count;
+  PartitionArtifact artifact;
+  artifact.components = count;
+  double total = 0.0;
+  std::int64_t segments = 0;
+  int nontrivial = 0;
+  for (int c = 0; c < count; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    // Edgeless: the component's own optimum is one empty segment (−2M),
+    // exactly cancelled by the seam refund of counting it — skip both.
+    if (d.edges[i] == 0) continue;
+    ++nontrivial;
+    const std::uint64_t fp = component_fingerprint(c);
+    if (auto cached = store_->lookup_partition(fp, memory)) {
+      total += cached->objective;
+      segments += cached->segments;
+      continue;
+    }
+    Digraph extracted;
+    const Digraph* sub;
+    if (count == 1 && materialized_) {
+      sub = &graph_;
+    } else {
+      extracted = component_subgraph(c);
+      sub = &extracted;
+    }
+    const auto n = static_cast<std::int64_t>(d.wc.vertices[i].size());
+    // The DP walks the component's own natural order — the restriction
+    // of the merged whole-graph Kahn order, already store-cached by the
+    // topo artifact.
+    std::vector<VertexId> order;
+    if (auto cached = store_->lookup_topo(fp);
+        cached.has_value() &&
+        static_cast<std::int64_t>(cached->order.size()) == n) {
+      order = std::move(cached->order);
+    } else {
+      telemetry::Span topo_span("topo");
+      topo_span.attr("vertices", n).attr("edges", d.edges[i]);
+      auto computed = topological_order(*sub);
+      topo_span.end();
+      GIO_EXPECTS_MSG(computed.has_value(), "graph is cyclic");
+      ++stats_.topo_computes;
+      cache_metrics().topo_computes.increment();
+      store_->store_topo(fp, {*computed});
+      order = std::move(*computed);
+    }
+    ++stats_.partition_runs;
+    cache_metrics().partition_runs.increment();
+    telemetry::Span dp_span("partition_dp");
+    dp_span.attr("vertices", n).attr("edges", d.edges[i]);
+    const OptimalPartitionResult r =
+        optimal_lemma1_bound(*sub, order, memory);
+    dp_span.end();
+    store_->store_partition(fp, memory,
+                            {r.objective, r.objective_segments});
+    total += r.objective;
+    segments += r.objective_segments;
+  }
+  if (nontrivial > 0) {
+    const double objective =
+        total + 2.0 * memory * static_cast<double>(nontrivial - 1);
+    if (objective > 0.0) {
+      artifact.bound = objective;
+      artifact.segments = segments - (nontrivial - 1);
+    }
+  }
+  return partitions_.emplace(memory, std::move(artifact)).first->second;
 }
 
 std::int64_t ArtifactCache::eigensolves(LaplacianKind kind) const noexcept {

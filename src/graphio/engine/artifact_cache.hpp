@@ -50,6 +50,16 @@ struct ComponentSeed {
     /// component's extracted subgraph (the seeder's contract; the stream
     /// session maintains exactly this invariant across patches).
     std::uint64_t fingerprint = 0;
+    /// Session-stable external id per vertex, aligned with `vertices`
+    /// (ascending). Lets a retained eigenbasis remap its rows across
+    /// vertex add/remove patches; empty when unavailable (warm reuse
+    /// then requires an identical vertex count).
+    std::vector<VertexId> external_ids;
+    /// Pre-patch content fingerprint of this component (stream dirty
+    /// components) — the key the warm-start layer falls back to when the
+    /// component's own fingerprint has no retained basis.
+    std::uint64_t predecessor = 0;
+    bool has_predecessor = false;
   };
   std::vector<Component> components;
 };
@@ -146,6 +156,10 @@ class ArtifactCache {
     /// cache was seeded or an earlier artifact already hashed them —
     /// fingerprints are computed once per graph, not once per spectrum.
     std::int64_t fingerprint_computes = 0;
+    /// Component solves seeded from a retained predecessor eigenbasis.
+    std::int64_t warm_hits = 0;
+    /// Iterations the warm starts avoided versus their producing solves.
+    std::int64_t warm_iterations_saved = 0;
     /// Content fingerprint per component, in component order. Unseeded
     /// caches never hash trivial edgeless components, so those slots
     /// hold 0; seeded (stream) caches carry the seeder's fingerprint for
@@ -209,6 +223,28 @@ class ArtifactCache {
   };
   const MemsimArtifact& memsim_row(std::int64_t memory, int random_orders);
 
+  /// Optimal Lemma 1 partition certificate at `memory`, composed per weak
+  /// component: segment costs are additive across components (no cross
+  /// edges), and merging adjacent segments at a component seam costs
+  /// nothing while refunding one 2M segment charge, so for the
+  /// component-concatenated natural order the whole-graph optimum is
+  ///     max(0, Σ_c objective_c + 2M·(k − 1))
+  /// over the k components with edges (edgeless components fold into a
+  /// neighboring segment at zero cost — their own −2M optimum exactly
+  /// cancels their seam refund). Per-component objectives resolve from
+  /// the ArtifactStore by content fingerprint (and persist through its
+  /// disk tier); only misses extract their subgraph and run the O(n²)
+  /// DP — a stream patch recomputes exactly the dirty components. At
+  /// least as strong as the former whole-graph DP on the interleaved
+  /// merged order, and identical on connected graphs. Throws
+  /// contract_error on cyclic graphs.
+  struct PartitionArtifact {
+    double bound = 0.0;         ///< max(0, composed objective)
+    std::int64_t segments = 0;  ///< maximizing partition (0 when bound 0)
+    int components = 1;
+  };
+  const PartitionArtifact& partition_row(double memory);
+
   struct Stats {
     std::int64_t hits = 0;         ///< artifact requests served from cache
     std::int64_t misses = 0;       ///< artifact requests that computed
@@ -216,6 +252,7 @@ class ArtifactCache {
     std::int64_t mincut_sweeps = 0;  ///< per-component wavefront sweeps run
     std::int64_t topo_computes = 0;  ///< per-component Kahn runs
     std::int64_t memsim_runs = 0;    ///< per-component schedule simulations
+    std::int64_t partition_runs = 0; ///< per-component Lemma 1 DP runs
     /// Component solves served by the shared artifact store instead of an
     /// eigensolver run.
     std::int64_t component_hits = 0;
@@ -224,6 +261,10 @@ class ArtifactCache {
     std::int64_t subgraph_extractions = 0;
     /// Component fingerprints computed (zero for seeded stream queries).
     std::int64_t fingerprint_computes = 0;
+    /// Component eigensolves warm-started from a retained basis.
+    std::int64_t warm_hits = 0;
+    /// Iterations those warm starts avoided versus their producing solves.
+    std::int64_t warm_iterations_saved = 0;
     /// Cumulative per-phase pipeline wall time (the stream bench's
     /// fingerprint / extract / solve / merge breakdown).
     double fingerprint_seconds = 0.0;
@@ -241,9 +282,12 @@ class ArtifactCache {
       mincut_sweeps += other.mincut_sweeps;
       topo_computes += other.topo_computes;
       memsim_runs += other.memsim_runs;
+      partition_runs += other.partition_runs;
       component_hits += other.component_hits;
       subgraph_extractions += other.subgraph_extractions;
       fingerprint_computes += other.fingerprint_computes;
+      warm_hits += other.warm_hits;
+      warm_iterations_saved += other.warm_iterations_saved;
       fingerprint_seconds += other.fingerprint_seconds;
       extract_seconds += other.extract_seconds;
       solve_seconds += other.solve_seconds;
@@ -257,9 +301,12 @@ class ArtifactCache {
               mincut_sweeps - other.mincut_sweeps,
               topo_computes - other.topo_computes,
               memsim_runs - other.memsim_runs,
+              partition_runs - other.partition_runs,
               component_hits - other.component_hits,
               subgraph_extractions - other.subgraph_extractions,
               fingerprint_computes - other.fingerprint_computes,
+              warm_hits - other.warm_hits,
+              warm_iterations_saved - other.warm_iterations_saved,
               fingerprint_seconds - other.fingerprint_seconds,
               extract_seconds - other.extract_seconds,
               solve_seconds - other.solve_seconds,
@@ -292,6 +339,12 @@ class ArtifactCache {
     /// Pre-sort position of each component in the caller's seed — the
     /// index LazyGraph::component expects (empty for unseeded caches).
     std::vector<int> source_index;
+    /// Session-stable external ids per component (seeded caches only;
+    /// inner vectors may be empty) — the eigenbasis row-remap key.
+    std::vector<std::vector<VertexId>> external_ids;
+    /// Pre-patch predecessor fingerprints per component (0 = none).
+    std::vector<std::uint64_t> predecessors;
+    std::vector<bool> has_predecessor;
   };
   Decomposition& decomposition();
   /// The lookup-then-extract plan for one spectrum query (monolithic
@@ -319,6 +372,7 @@ class ArtifactCache {
   std::map<LaplacianKind, std::int64_t> eigensolves_by_kind_;
   std::map<flow::FlowEngine, WavefrontArtifact> max_cuts_;
   std::map<std::pair<std::int64_t, int>, MemsimArtifact> memsims_;
+  std::map<double, PartitionArtifact> partitions_;
 };
 
 }  // namespace graphio::engine

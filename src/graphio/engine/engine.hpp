@@ -84,10 +84,10 @@ class Engine {
                      std::optional<ComponentSeed> seed = std::nullopt);
 
   /// As above, but with a LazyGraph: the whole graph is never
-  /// materialized unless a whole-graph method (partition-dp,
-  /// pebble-exact, monolithic spectra) actually runs — per-component
-  /// artifact queries extract only the components whose fingerprints
-  /// miss the store. This is the stream session's post-patch handoff.
+  /// materialized unless a whole-graph method (pebble-exact, monolithic
+  /// spectra) actually runs — per-component artifact queries extract
+  /// only the components whose fingerprints miss the store. This is the
+  /// stream session's post-patch handoff.
   void install_graph(const std::string& name, LazyGraph graph,
                      ComponentSeed seed);
 

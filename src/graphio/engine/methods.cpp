@@ -2,7 +2,6 @@
 #include <cmath>
 
 #include "graphio/core/analytic_bounds.hpp"
-#include "graphio/core/partition_dp.hpp"
 #include "graphio/engine/method.hpp"
 #include "graphio/exact/pebble_search.hpp"
 #include "graphio/sim/memsim.hpp"
@@ -184,22 +183,25 @@ class PartitionDpMethod final : public BoundMethod {
   BoundKind kind() const override { return BoundKind::kCertificate; }
   std::vector<MethodRow> evaluate(
       MethodContext& ctx, std::span<const double> memories) const override {
-    const std::vector<VertexId>* order = nullptr;
-    try {
-      order = &ctx.cache.topo_order();
-    } catch (const contract_error&) {
-      return inapplicable_rows(*this, memories, "graph is cyclic");
-    }
+    // Per-component DP composed by the cache (segment costs are additive
+    // across weak components): clean components resolve their objective
+    // from the artifact store, so a stream patch re-runs the O(n²) DP on
+    // exactly the dirty components — and the lazy graph never
+    // materializes.
     std::vector<MethodRow> rows;
     rows.reserve(memories.size());
     for (double m : memories) {
       WallTimer timer;
       MethodRow row = base_row(*this, m);
-      const OptimalPartitionResult r =
-          optimal_lemma1_bound(ctx.cache.graph(), *order, m);
-      row.value = r.bound;
-      row.best_k = static_cast<int>(r.segments);
-      row.note = "segments=" + std::to_string(r.segments);
+      try {
+        const ArtifactCache::PartitionArtifact& r =
+            ctx.cache.partition_row(m);
+        row.value = r.bound;
+        row.best_k = static_cast<int>(r.segments);
+        row.note = "segments=" + std::to_string(r.segments);
+      } catch (const contract_error&) {
+        return inapplicable_rows(*this, memories, "graph is cyclic");
+      }
       row.seconds = timer.seconds();
       rows.push_back(std::move(row));
     }

@@ -75,9 +75,12 @@ void BoundReport::append_json(io::JsonWriter& w, bool include_timing) const {
     w.key("mincut_sweeps").value(cache.mincut_sweeps);
     w.key("topo_computes").value(cache.topo_computes);
     w.key("memsim_runs").value(cache.memsim_runs);
+    w.key("partition_runs").value(cache.partition_runs);
     w.key("component_hits").value(cache.component_hits);
     w.key("subgraph_extractions").value(cache.subgraph_extractions);
     w.key("fingerprint_computes").value(cache.fingerprint_computes);
+    w.key("warm_hits").value(cache.warm_hits);
+    w.key("warm_iterations_saved").value(cache.warm_iterations_saved);
     w.key("phase_seconds").begin_object();
     w.key("fingerprint").value(cache.fingerprint_seconds);
     w.key("extract").value(cache.extract_seconds);

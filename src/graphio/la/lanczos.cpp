@@ -161,9 +161,24 @@ LanczosResult smallest_eigenvalues(const CsrMatrix& a, int want,
 
   // Small problems: the dense solver is both faster and exact.
   if (n <= std::max<std::int64_t>(opts.dense_fallback, 3L * block)) {
-    std::vector<double> all = symmetric_eigenvalues(a.to_dense());
-    all.resize(static_cast<std::size_t>(want));
-    result.values = std::move(all);
+    if (opts.return_vectors) {
+      const SymmetricEigen eig = symmetric_eigen(a.to_dense());
+      result.values.assign(eig.values.begin(),
+                           eig.values.begin() + want);
+      result.vectors.reserve(static_cast<std::size_t>(want));
+      for (int j = 0; j < want; ++j) {
+        Column col(static_cast<std::size_t>(n));
+        for (std::int64_t i = 0; i < n; ++i)
+          col[static_cast<std::size_t>(i)] =
+              eig.vectors(static_cast<std::size_t>(i),
+                          static_cast<std::size_t>(j));
+        result.vectors.push_back(std::move(col));
+      }
+    } else {
+      std::vector<double> all = symmetric_eigenvalues(a.to_dense());
+      all.resize(static_cast<std::size_t>(want));
+      result.values = std::move(all);
+    }
     result.residuals.assign(result.values.size(), 0.0);
     result.converged = true;
     return result;
@@ -212,8 +227,19 @@ LanczosResult smallest_eigenvalues(const CsrMatrix& a, int want,
   };
 
   // Continuation directions for the next expansion (residual block carried
-  // over a thick restart); starts empty so the first cycle seeds randomly.
+  // over a thick restart); starts empty so the first cycle seeds randomly —
+  // unless a warm-start basis is supplied, in which case its columns
+  // (mutually orthonormalized; collapsed ones dropped) seed the first
+  // cycle and the Krylov space starts next to the predecessor invariant
+  // subspace.
   ColumnSet continuation;
+  for (const std::vector<double>& wc : opts.warm_start) {
+    if (static_cast<std::int64_t>(wc.size()) != n) continue;
+    if (static_cast<int>(continuation.size()) >= max_basis) break;
+    Column col = wc;
+    project_out_once(col, continuation);
+    if (normalize(col) > 1e-8) continuation.push_back(std::move(col));
+  }
 
   // Chebyshev window top, learned from the first Rayleigh–Ritz solve
   // (0 = no filter yet).
@@ -404,6 +430,8 @@ LanczosResult smallest_eigenvalues(const CsrMatrix& a, int want,
        i < perm.size() && static_cast<int>(i) < want; ++i) {
     result.values.push_back(locked_vals[perm[i]]);
     result.residuals.push_back(locked_res[perm[i]]);
+    if (opts.return_vectors)
+      result.vectors.push_back(std::move(locked_vecs[perm[i]]));
   }
   result.converged = static_cast<int>(result.values.size()) == want;
   return result;

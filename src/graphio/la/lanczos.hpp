@@ -60,6 +60,13 @@ struct LanczosOptions {
   std::uint64_t seed = 0x5EEDBA5EULL;
   /// n at or below which the problem is handed to the dense solver.
   int dense_fallback = 320;
+  /// Optional warm-start basis: columns of length n seeding the first
+  /// cycle's continuation block in place of the random start (surplus or
+  /// wrong-length columns are dropped). Warm starts change only the cycle
+  /// count — T stays exact and the locking certification is untouched.
+  std::vector<std::vector<double>> warm_start;
+  /// Retain the locked eigenvectors in LanczosResult::vectors.
+  bool return_vectors = false;
 };
 
 struct LanczosResult {
@@ -69,6 +76,9 @@ struct LanczosResult {
   /// θ − residual is a *certified lower estimate* — what the I/O bound
   /// consumes when run at loose tolerance.
   std::vector<double> residuals;
+  /// Locked eigenvectors, same order as `values` (only when
+  /// LanczosOptions::return_vectors; empty otherwise).
+  std::vector<std::vector<double>> vectors;
   bool converged = false;  ///< all `want` values locked
   int cycles = 0;          ///< restart cycles used
   std::int64_t matvecs = 0;    ///< sparse matvec count

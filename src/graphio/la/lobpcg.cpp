@@ -50,9 +50,24 @@ LobpcgResult lobpcg_smallest(const CsrMatrix& a, int want,
     return result;
   }
   if (n <= std::max<std::int64_t>(opts.dense_fallback, 2L * want)) {
-    std::vector<double> all = symmetric_eigenvalues(a.to_dense());
-    all.resize(static_cast<std::size_t>(want));
-    result.values = std::move(all);
+    if (opts.return_vectors) {
+      const SymmetricEigen eig = symmetric_eigen(a.to_dense());
+      result.values.assign(eig.values.begin(),
+                           eig.values.begin() + want);
+      result.vectors.reserve(static_cast<std::size_t>(want));
+      for (int j = 0; j < want; ++j) {
+        std::vector<double> col(static_cast<std::size_t>(n));
+        for (std::int64_t i = 0; i < n; ++i)
+          col[static_cast<std::size_t>(i)] =
+              eig.vectors(static_cast<std::size_t>(i),
+                          static_cast<std::size_t>(j));
+        result.vectors.push_back(std::move(col));
+      }
+    } else {
+      std::vector<double> all = symmetric_eigenvalues(a.to_dense());
+      all.resize(static_cast<std::size_t>(want));
+      result.values = std::move(all);
+    }
     result.residuals.assign(result.values.size(), 0.0);
     result.converged = true;
     return result;
@@ -85,9 +100,25 @@ LobpcgResult lobpcg_smallest(const CsrMatrix& a, int want,
   Block locked;  // converged eigenvectors, ascending eigenvalue order
 
   // Current iterates X, orthonormal; conjugate directions P start empty.
+  // Warm-start columns (a retained predecessor eigenbasis) replace the
+  // random seeds; whatever is missing or collapses under
+  // orthonormalization is random-filled, so a degenerate warm block
+  // degrades to the cold start rather than failing.
   Block x;
-  for (int j = 0; j < block_width(want); ++j) x.push_back(random_column());
+  for (const std::vector<double>& col : opts.warm_start) {
+    if (static_cast<int>(x.size()) >= block_width(want)) break;
+    if (static_cast<std::int64_t>(col.size()) == n) x.push_back(col);
+  }
+  while (static_cast<int>(x.size()) < block_width(want))
+    x.push_back(random_column());
   x = orthonormalize(locked, std::move(x));
+  while (static_cast<int>(x.size()) < block_width(want)) {
+    Block extra;
+    extra.push_back(random_column());
+    Block ortho = orthonormalize(x, std::move(extra));
+    if (ortho.empty()) break;
+    for (auto& col : ortho) x.push_back(std::move(col));
+  }
   Block p;
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
@@ -236,6 +267,12 @@ LobpcgResult lobpcg_smallest(const CsrMatrix& a, int want,
   }
   result.values = std::move(sorted_values);
   result.residuals = std::move(sorted_residuals);
+  if (opts.return_vectors) {
+    // `locked` is aligned with the pre-sort value order.
+    result.vectors.resize(perm.size());
+    for (std::size_t i = 0; i < perm.size(); ++i)
+      result.vectors[i] = std::move(locked[perm[i]]);
+  }
   return result;
 }
 

@@ -37,11 +37,22 @@ struct LobpcgOptions {
   std::uint64_t seed = 0x10BCD6ULL;
   /// n at or below which the problem is handed to the dense solver.
   int dense_fallback = 320;
+  /// Optional warm-start block: columns of length n that seed X in place
+  /// of the random start (surplus columns are dropped, missing ones are
+  /// random-filled, wrong-length columns are ignored). Warm starts change
+  /// only the iteration count — convergence criteria, explicit-residual
+  /// locking, and the ascending-prefix rule are untouched.
+  std::vector<std::vector<double>> warm_start;
+  /// Retain the locked Ritz vectors in LobpcgResult::vectors.
+  bool return_vectors = false;
 };
 
 struct LobpcgResult {
   std::vector<double> values;     ///< locked eigenvalues, ascending
   std::vector<double> residuals;  ///< explicit ‖Az − θz‖ per locked pair
+  /// Locked Ritz vectors, same order as `values` (only when
+  /// LobpcgOptions::return_vectors; empty otherwise).
+  std::vector<std::vector<double>> vectors;
   bool converged = false;         ///< all `want` values locked
   int iterations = 0;
   std::int64_t matvecs = 0;

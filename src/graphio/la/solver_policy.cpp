@@ -24,6 +24,12 @@ class AutoPolicy final : public SolverPolicy {
   }
   SolverChoice choose(const SolverProblem& problem,
                       const SolverThresholds& t) const override {
+    // Warm tier first: a resident predecessor basis makes the block
+    // iteration converge in O(1) iterations, so it wins even below the
+    // cold dense threshold (the caller decorates the reason with the
+    // predecessor fingerprint).
+    if (problem.warm)
+      return {SolverKind::kLobpcg, "warm"};
     if (problem.n <= t.dense_n)
       return {SolverKind::kDense,
               "n=" + std::to_string(problem.n) +

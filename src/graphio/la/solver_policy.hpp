@@ -38,6 +38,11 @@ struct SolverProblem {
   std::int64_t n = 0;
   std::int64_t nnz = 0;
   int h = 0;
+  /// True when a predecessor eigenbasis is resident for this component —
+  /// the warm tier: a block iteration seeded with the old basis converges
+  /// in a handful of iterations, beating the dense solver even below the
+  /// cold thresholds.
+  bool warm = false;
 };
 
 /// Tuning knobs of the "auto" policy. Callers can widen or narrow the

@@ -131,9 +131,12 @@ std::string BatchSummary::to_json() const {
   w.key("mincut_sweeps").value(cache.mincut_sweeps);
   w.key("topo_computes").value(cache.topo_computes);
   w.key("memsim_runs").value(cache.memsim_runs);
+  w.key("partition_runs").value(cache.partition_runs);
   w.key("component_hits").value(cache.component_hits);
   w.key("subgraph_extractions").value(cache.subgraph_extractions);
   w.key("fingerprint_computes").value(cache.fingerprint_computes);
+  w.key("warm_hits").value(cache.warm_hits);
+  w.key("warm_iterations_saved").value(cache.warm_iterations_saved);
   w.end_object();
   w.key("stream").begin_object();
   w.key("jobs").value(stream_jobs);
@@ -156,6 +159,12 @@ BatchSession::BatchSession(const BatchOptions& options) {
                    ? std::make_shared<store::ArtifactStore>()
                    : std::make_shared<store::ArtifactStore>(
                          std::filesystem::path(options.artifact_dir));
+  // Stream sessions read the budget to decide whether to retain bases
+  // and warm-start patched components (stream/session.cpp).
+  artifacts_->set_eigenbasis_budget(options.warm_basis_mb << 20);
+  telemetry::MetricsRegistry::global()
+      .gauge("store.eigenbasis.budget_bytes")
+      .set(static_cast<double>(artifacts_->eigenbasis_budget()));
   SchedulerOptions scheduler_options;
   scheduler_options.threads = options.threads;
   scheduler_options.store = store_.get();

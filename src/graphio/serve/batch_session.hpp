@@ -53,6 +53,11 @@ struct BatchOptions {
   /// Directory for the durable tier of the process-wide ArtifactStore
   /// (--store-artifacts); empty keeps the store memory-only.
   std::string artifact_dir;
+  /// Eigenbasis LRU budget in MiB (--warm-basis-mb). With a budget,
+  /// stream queries retain converged component eigenbases and warm-start
+  /// the solves of patched successors from them; 0 turns the warm layer
+  /// off entirely.
+  std::int64_t warm_basis_mb = 0;
 };
 
 struct BatchSummary {

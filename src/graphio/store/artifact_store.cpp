@@ -27,6 +27,8 @@ struct StoreMetrics {
   KindMetrics topo;
   KindMetrics mincut;
   KindMetrics memsim;
+  KindMetrics partition;
+  KindMetrics eigenbasis;
   telemetry::Counter& loaded;
   telemetry::Counter& corrupt;
   telemetry::Counter& appended;
@@ -44,6 +46,8 @@ StoreMetrics& store_metrics() {
                               kind("topo"),
                               kind("mincut"),
                               kind("memsim"),
+                              kind("partition"),
+                              kind("eigenbasis"),
                               reg.counter("store.disk.loaded"),
                               reg.counter("store.disk.corrupt"),
                               reg.counter("store.disk.appended")};
@@ -171,6 +175,19 @@ std::string memsim_line(std::uint64_t fp, std::int64_t memory,
   return w.str();
 }
 
+std::string partition_line(std::uint64_t fp, double memory,
+                           const PartitionRowArtifact& row) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("kind").value("partition");
+  w.key("fp").value(engine::fingerprint_hex(fp));
+  w.key("memory").value(memory);
+  w.key("objective").value(row.objective);
+  w.key("segments").value(row.segments);
+  w.end_object();
+  return w.str();
+}
+
 }  // namespace
 
 std::string ArtifactStore::spectral_options_key(
@@ -182,6 +199,8 @@ std::string ArtifactStore::spectral_options_key(
   out += options.solver;
   out += options.decompose ? "|1|" : "|0|";
   out += format_double_exact(options.eig_rel_tol);
+  out += '|';
+  out += format_double_exact(options.warm_refresh_rel_tol);
   out += '|';
   out += std::to_string(options.dense_threshold);
   out += '|';
@@ -276,6 +295,13 @@ void ArtifactStore::replay_line_locked(const std::string& line) {
     row.writes = v.at("writes").as_int();
     put_memsim_locked(fp, v.at("memory").as_int(),
                       static_cast<int>(v.at("orders").as_int()), row);
+    return;
+  }
+  if (kind == "partition") {
+    PartitionRowArtifact row;
+    row.objective = v.at("objective").as_double();
+    row.segments = v.at("segments").as_int();
+    put_partition_locked(fp, v.at("memory").as_double(), row);
     return;
   }
   GIO_EXPECTS_MSG(false, "unknown artifact kind '" + kind + "'");
@@ -462,6 +488,131 @@ void ArtifactStore::store_memsim(std::uint64_t fingerprint,
     append_locked(memsim_line(fingerprint, memory, random_orders, row));
 }
 
+// -------------------------------------------------------- partition row
+
+std::optional<PartitionRowArtifact> ArtifactStore::lookup_partition(
+    std::uint64_t fingerprint, double memory) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = partition_.find({fingerprint, memory});
+  if (it == partition_.end()) {
+    ++stats_.partition.misses;
+    store_metrics().partition.misses.increment();
+    trace_lookup("partition", false);
+    return std::nullopt;
+  }
+  ++stats_.partition.hits;
+  store_metrics().partition.hits.increment();
+  trace_lookup("partition", true);
+  return it->second;
+}
+
+bool ArtifactStore::put_partition_locked(std::uint64_t fingerprint,
+                                         double memory,
+                                         const PartitionRowArtifact& row) {
+  if (!partition_.emplace(std::make_pair(fingerprint, memory), row).second)
+    return false;
+  ++stats_.partition.entries;
+  return true;
+}
+
+void ArtifactStore::store_partition(std::uint64_t fingerprint, double memory,
+                                    const PartitionRowArtifact& row) {
+  const std::scoped_lock lock(mutex_);
+  if (!put_partition_locked(fingerprint, memory, row)) return;
+  if (durable()) append_locked(partition_line(fingerprint, memory, row));
+}
+
+// ----------------------------------------------------------- eigenbasis
+
+std::optional<Eigenbasis> ArtifactStore::lookup_eigenbasis(
+    std::uint64_t fingerprint, LaplacianKind kind) {
+  const std::scoped_lock lock(mutex_);
+  if (basis_budget_ > 0) {
+    const auto it = bases_.find({fingerprint, kind});
+    if (it != bases_.end()) {
+      it->second.last_used = ++basis_tick_;
+      ++stats_.eigenbasis.hits;
+      store_metrics().eigenbasis.hits.increment();
+      trace_lookup("eigenbasis", true);
+      return it->second.basis;
+    }
+  }
+  ++stats_.eigenbasis.misses;
+  store_metrics().eigenbasis.misses.increment();
+  trace_lookup("eigenbasis", false);
+  return std::nullopt;
+}
+
+void ArtifactStore::store_eigenbasis(std::uint64_t fingerprint,
+                                     LaplacianKind kind, Eigenbasis basis) {
+  const std::scoped_lock lock(mutex_);
+  if (basis_budget_ <= 0) return;  // tier off: drop on the floor
+  const auto bytes = static_cast<std::int64_t>(basis.bytes());
+  auto [it, inserted] = bases_.try_emplace({fingerprint, kind});
+  if (!inserted) basis_bytes_ -= static_cast<std::int64_t>(it->second.bytes);
+  else ++stats_.eigenbasis.entries;
+  it->second.basis = std::move(basis);
+  it->second.bytes = static_cast<std::size_t>(bytes);
+  it->second.last_used = ++basis_tick_;
+  basis_bytes_ += bytes;
+  evict_eigenbases_locked();
+}
+
+void ArtifactStore::adopt_eigenbasis(std::uint64_t from, std::uint64_t to) {
+  const std::scoped_lock lock(mutex_);
+  if (from == to || bases_.empty()) return;
+  auto it = bases_.lower_bound({from, LaplacianKind{}});
+  while (it != bases_.end() && it->first.first == from) {
+    BasisEntry entry = std::move(it->second);
+    const LaplacianKind kind = it->first.second;
+    it = bases_.erase(it);
+    entry.basis.predecessor = from;
+    auto [slot, inserted] = bases_.try_emplace({to, kind});
+    if (!inserted) {
+      // The successor already has its own basis — keep it, drop ours.
+      basis_bytes_ -= static_cast<std::int64_t>(entry.bytes);
+      --stats_.eigenbasis.entries;
+      continue;
+    }
+    slot->second = std::move(entry);
+  }
+}
+
+void ArtifactStore::evict_eigenbases_locked() {
+  while (basis_bytes_ > basis_budget_ && !bases_.empty()) {
+    auto victim = bases_.begin();
+    for (auto it = bases_.begin(); it != bases_.end(); ++it)
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    basis_bytes_ -= static_cast<std::int64_t>(victim->second.bytes);
+    bases_.erase(victim);
+    --stats_.eigenbasis.entries;
+    ++stats_.eigenbasis.evicted;
+    store_metrics().eigenbasis.evicted.increment();
+  }
+}
+
+void ArtifactStore::set_eigenbasis_budget(std::int64_t bytes) {
+  const std::scoped_lock lock(mutex_);
+  basis_budget_ = bytes < 0 ? 0 : bytes;
+  if (basis_budget_ == 0) {
+    stats_.eigenbasis.entries -= static_cast<std::int64_t>(bases_.size());
+    bases_.clear();
+    basis_bytes_ = 0;
+  } else {
+    evict_eigenbases_locked();
+  }
+}
+
+std::int64_t ArtifactStore::eigenbasis_budget() const {
+  const std::scoped_lock lock(mutex_);
+  return basis_budget_;
+}
+
+std::int64_t ArtifactStore::eigenbasis_bytes() const {
+  const std::scoped_lock lock(mutex_);
+  return basis_bytes_;
+}
+
 // ------------------------------------------------------------- lifetime
 
 std::int64_t ArtifactStore::erase(std::uint64_t fingerprint) {
@@ -508,6 +659,28 @@ std::int64_t ArtifactStore::erase(std::uint64_t fingerprint) {
       it = memsim_.erase(it);
     }
   }
+  {
+    auto it = partition_.lower_bound(
+        {fingerprint, -std::numeric_limits<double>::infinity()});
+    while (it != partition_.end() && it->first.first == fingerprint) {
+      --stats_.partition.entries;
+      ++stats_.partition.evicted;
+      store_metrics().partition.evicted.increment();
+      ++removed;
+      it = partition_.erase(it);
+    }
+  }
+  {
+    auto it = bases_.lower_bound({fingerprint, LaplacianKind{}});
+    while (it != bases_.end() && it->first.first == fingerprint) {
+      basis_bytes_ -= static_cast<std::int64_t>(it->second.bytes);
+      --stats_.eigenbasis.entries;
+      ++stats_.eigenbasis.evicted;
+      store_metrics().eigenbasis.evicted.increment();
+      ++removed;
+      it = bases_.erase(it);
+    }
+  }
   return removed;
 }
 
@@ -517,10 +690,15 @@ void ArtifactStore::clear() {
   topo_.clear();
   mincut_.clear();
   memsim_.clear();
+  partition_.clear();
+  bases_.clear();
+  basis_bytes_ = 0;
   stats_.spectrum.entries = 0;
   stats_.topo.entries = 0;
   stats_.mincut.entries = 0;
   stats_.memsim.entries = 0;
+  stats_.partition.entries = 0;
+  stats_.eigenbasis.entries = 0;
 }
 
 std::int64_t ArtifactStore::compact() {
@@ -556,6 +734,10 @@ std::int64_t ArtifactStore::compact() {
           << '\n';
       ++written;
     }
+    for (const auto& [key, row] : partition_) {
+      out << partition_line(key.first, key.second, row) << '\n';
+      ++written;
+    }
     out.flush();
     GIO_EXPECTS_MSG(out.good(), "error writing compacted artifact log '" +
                                     tmp.string() + "'");
@@ -573,7 +755,9 @@ std::int64_t ArtifactStore::compact() {
 
 ArtifactStore::Stats ArtifactStore::stats() const {
   const std::scoped_lock lock(mutex_);
-  return stats_;
+  Stats out = stats_;
+  out.eigenbasis_bytes = basis_bytes_;
+  return out;
 }
 
 }  // namespace graphio::store

@@ -4,8 +4,9 @@
 // Kwasniewski-style composability (PAPERS.md) says every per-component
 // artifact the bound methods consume — not just eigen-spectra — is a pure
 // function of the component's content: its spectrum, its topological
-// order, its max-wavefront min-cut sweep, its memsim schedule row. The
-// store therefore keys all four kinds by the component's content
+// order, its max-wavefront min-cut sweep, its memsim schedule row, its
+// optimal Lemma 1 partition objective. The store therefore keys every
+// kind by the component's content
 // fingerprint (engine/fingerprint.hpp) plus a kind-specific options key,
 // and serves them across specs, across stream patches, and (with the disk
 // tier) across process restarts:
@@ -43,7 +44,14 @@
 namespace graphio::store {
 
 /// The artifact families the store types its entries by.
-enum class ArtifactKind { kSpectrum, kTopoOrder, kMincutSweep, kMemsimRow };
+enum class ArtifactKind {
+  kSpectrum,
+  kTopoOrder,
+  kMincutSweep,
+  kMemsimRow,
+  kPartitionRow,
+  kEigenbasis
+};
 
 /// Kahn topological order of one component, in the component's local
 /// vertex ids (ascending-extraction numbering, so the order is meaningful
@@ -68,6 +76,16 @@ struct MincutSweepArtifact {
 struct MemsimRowArtifact {
   std::int64_t reads = 0;
   std::int64_t writes = 0;
+};
+
+/// One component's optimal Lemma 1 partition objective at a fixed memory
+/// size, UNCLAMPED (core/partition_dp.hpp OptimalPartitionResult
+/// ::objective): segment costs are additive across weak components, so
+/// per-component objectives compose to the whole-graph certificate as
+/// Σ_c objective_c + 2M·(components − 1), clamped at 0 by the consumer.
+struct PartitionRowArtifact {
+  double objective = 0.0;
+  std::int64_t segments = 0;  ///< segments of the maximizing partition
 };
 
 class ArtifactStore {
@@ -124,6 +142,39 @@ class ArtifactStore {
   void store_memsim(std::uint64_t fingerprint, std::int64_t memory,
                     int random_orders, const MemsimRowArtifact& row);
 
+  // ------------------------------------------------------ partition row
+  /// Keyed by the exact memory value (doubles round-trip through the disk
+  /// tier at 17 significant digits, so a value always looks up the way it
+  /// was written).
+  std::optional<PartitionRowArtifact> lookup_partition(
+      std::uint64_t fingerprint, double memory);
+  void store_partition(std::uint64_t fingerprint, double memory,
+                       const PartitionRowArtifact& row);
+
+  // --------------------------------------------------------- eigenbasis
+  // Retained component eigenbases (Ritz vectors) for warm-started
+  // solves. Memory tier ONLY: vectors are n×h doubles and must never hit
+  // the append-only JSONL disk tier. The tier is a bytes-bounded LRU —
+  // lookups refresh recency, inserts evict the least recently used bases
+  // until the budget holds. A budget of 0 disables the tier entirely
+  // (lookups miss, puts drop).
+  std::optional<Eigenbasis> lookup_eigenbasis(std::uint64_t fingerprint,
+                                              LaplacianKind kind);
+  void store_eigenbasis(std::uint64_t fingerprint, LaplacianKind kind,
+                        Eigenbasis basis);
+  /// Re-keys every retained basis of `from` to `to`, recording `from` as
+  /// the predecessor — the stream session calls this while
+  /// re-fingerprinting a dirty component, BEFORE releasing the old
+  /// fingerprint, so refcount eviction of dead content (which also drops
+  /// its basis) cannot race the warm solve that needs it.
+  void adopt_eigenbasis(std::uint64_t from, std::uint64_t to);
+  /// Sets the eigenbasis LRU budget in bytes (0 disables and drops all
+  /// resident bases).
+  void set_eigenbasis_budget(std::int64_t bytes);
+  [[nodiscard]] std::int64_t eigenbasis_budget() const;
+  /// Resident eigenbasis bytes (for stats surfaces).
+  [[nodiscard]] std::int64_t eigenbasis_bytes() const;
+
   /// Drops every memory-tier entry cached for one component fingerprint —
   /// all kinds, all options groups; returns how many entries went. The
   /// stream subsystem calls this when the last component with that
@@ -153,22 +204,27 @@ class ArtifactStore {
     KindStats topo;
     KindStats mincut;
     KindStats memsim;
+    KindStats partition;
+    KindStats eigenbasis;            ///< memory-only warm-start tier
+    std::int64_t eigenbasis_bytes = 0;  ///< resident basis bytes
     std::int64_t loaded = 0;   ///< artifacts replayed from disk at startup
     std::int64_t corrupt = 0;  ///< log lines skipped as unparseable
     std::int64_t appended = 0; ///< artifacts written to disk this session
     [[nodiscard]] std::int64_t entries() const noexcept {
       return spectrum.entries + topo.entries + mincut.entries +
-             memsim.entries;
+             memsim.entries + partition.entries + eigenbasis.entries;
     }
     [[nodiscard]] std::int64_t hits() const noexcept {
-      return spectrum.hits + topo.hits + mincut.hits + memsim.hits;
+      return spectrum.hits + topo.hits + mincut.hits + memsim.hits +
+             partition.hits + eigenbasis.hits;
     }
     [[nodiscard]] std::int64_t misses() const noexcept {
-      return spectrum.misses + topo.misses + mincut.misses + memsim.misses;
+      return spectrum.misses + topo.misses + mincut.misses + memsim.misses +
+             partition.misses + eigenbasis.misses;
     }
     [[nodiscard]] std::int64_t evicted() const noexcept {
       return spectrum.evicted + topo.evicted + mincut.evicted +
-             memsim.evicted;
+             memsim.evicted + partition.evicted + eigenbasis.evicted;
     }
   };
   [[nodiscard]] Stats stats() const;
@@ -205,8 +261,19 @@ class ArtifactStore {
                          const MincutSweepArtifact& sweep);
   bool put_memsim_locked(std::uint64_t fingerprint, std::int64_t memory,
                          int random_orders, const MemsimRowArtifact& row);
+  bool put_partition_locked(std::uint64_t fingerprint, double memory,
+                            const PartitionRowArtifact& row);
   void replay_line_locked(const std::string& line);
   void append_locked(const std::string& line);
+
+  struct BasisEntry {
+    Eigenbasis basis;
+    std::size_t bytes = 0;
+    std::uint64_t last_used = 0;  ///< LRU tick (monotonic per store)
+  };
+  /// Evicts least-recently-used bases until resident bytes fit the
+  /// budget; updates stats. Caller holds the mutex.
+  void evict_eigenbases_locked();
 
   mutable std::mutex mutex_;
   std::map<std::pair<std::uint64_t, LaplacianKind>,
@@ -217,6 +284,11 @@ class ArtifactStore {
       mincut_;
   std::map<std::tuple<std::uint64_t, std::int64_t, int>, MemsimRowArtifact>
       memsim_;
+  std::map<std::pair<std::uint64_t, double>, PartitionRowArtifact> partition_;
+  std::map<std::pair<std::uint64_t, LaplacianKind>, BasisEntry> bases_;
+  std::int64_t basis_budget_ = 0;
+  std::int64_t basis_bytes_ = 0;
+  std::uint64_t basis_tick_ = 0;
   Stats stats_;
   std::filesystem::path log_path_;
   std::ofstream log_;

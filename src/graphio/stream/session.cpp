@@ -145,22 +145,41 @@ PatchReport StreamSession::apply(const Patch& patch) {
 }
 
 void StreamSession::refingerprint_locked(const std::vector<int>& dirty) {
-  // Retire old fingerprints first — the dirty components' own, and those
-  // of components that died this patch (merged away, fully removed) — so
-  // equal content surviving elsewhere keeps its refcount and its cache
-  // entries. Eviction fires only when a content's last instance goes.
   auto release = [this](std::uint64_t fp) {
     if (--fingerprint_refcount_.at(fp) == 0) {
       fingerprint_refcount_.erase(fp);
       stats_.evicted += engine_->artifact_store()->erase(fp);
     }
   };
+  // Dirty components: compute the successor fingerprint FIRST, adopt any
+  // retained eigenbasis old→new, and only then release the old content —
+  // refcount eviction at zero also drops the content's bases, so the
+  // adopt-before-release order is what keeps a predecessor basis alive
+  // for the warm solve of the very component whose patch retired it.
+  // Incrementing the new fingerprint before releasing the old also keeps
+  // store entries alive when a patch leaves a component's content equal.
+  predecessor_fingerprint_.clear();
+  const bool warm = engine_->artifact_store()->eigenbasis_budget() > 0;
   for (int c : dirty) {
+    const std::uint64_t fp =
+        engine::graph_fingerprint(components_.subgraph(graph_, c));
     const auto it = component_fingerprint_.find(c);
-    if (it == component_fingerprint_.end()) continue;
-    release(it->second);
-    component_fingerprint_.erase(it);
+    if (it == component_fingerprint_.end()) {
+      component_fingerprint_.emplace(c, fp);
+      ++fingerprint_refcount_[fp];
+      continue;
+    }
+    const std::uint64_t old_fp = it->second;
+    if (old_fp == fp) continue;  // content returned unchanged
+    ++fingerprint_refcount_[fp];
+    predecessor_fingerprint_.emplace(c, old_fp);
+    if (warm) engine_->artifact_store()->adopt_eigenbasis(old_fp, fp);
+    it->second = fp;
+    release(old_fp);
   }
+  // Components that died this patch (merged away, fully removed): equal
+  // content surviving elsewhere keeps its refcount and cache entries;
+  // eviction fires only when a content's last instance goes.
   for (auto it = component_fingerprint_.begin();
        it != component_fingerprint_.end();) {
     if (components_.alive(it->first)) {
@@ -169,13 +188,6 @@ void StreamSession::refingerprint_locked(const std::vector<int>& dirty) {
     }
     release(it->second);
     it = component_fingerprint_.erase(it);
-  }
-
-  for (int c : dirty) {
-    const std::uint64_t fp =
-        engine::graph_fingerprint(components_.subgraph(graph_, c));
-    component_fingerprint_.emplace(c, fp);
-    ++fingerprint_refcount_[fp];
   }
 }
 
@@ -206,8 +218,8 @@ PatchReport StreamSession::finish_patch_locked(const Patch& patch,
   // itself goes over lazily: compaction ascends, so external ids map to
   // would-be-materialized local ids by an alive-prefix count, and a
   // query that only needs per-component artifacts (every method except
-  // partition-dp's DP, pebble-exact, and monolithic spectra) never pays
-  // the O(n + m) whole-graph materialization at all.
+  // pebble-exact and monolithic spectra) never pays the O(n + m)
+  // whole-graph materialization at all.
   std::vector<VertexId> local_of(static_cast<std::size_t>(graph_.id_limit()),
                                  -1);
   VertexId next_local = 0;
@@ -223,6 +235,15 @@ PatchReport StreamSession::finish_patch_locked(const Patch& patch,
     for (VertexId v : ext) {
       comp.vertices.push_back(local_of[static_cast<std::size_t>(v)]);
       comp.edges += static_cast<std::int64_t>(graph_.children(v).size());
+    }
+    // Session-stable external ids let a retained eigenbasis remap its
+    // rows across vertex add/remove patches; the predecessor fingerprint
+    // is the warm-start fallback key for this patch's dirty components.
+    comp.external_ids = ext;
+    const auto pred = predecessor_fingerprint_.find(c);
+    if (pred != predecessor_fingerprint_.end()) {
+      comp.predecessor = pred->second;
+      comp.has_predecessor = true;
     }
     seed.components.push_back(std::move(comp));
   }
@@ -293,6 +314,12 @@ engine::BoundReport StreamSession::evaluate(engine::BoundRequest request) {
   request.spec = name_;
   request.graph.reset();
   if (request.name.empty()) request.name = name_;
+  // The warm-start layer follows the store's eigenbasis budget: with a
+  // budget set, converged component bases are retained and patched
+  // successors warm-start from them; at 0 the query path is bit-identical
+  // to the cold one (retention is excluded from the options key).
+  request.spectral.retain_basis =
+      engine_->artifact_store()->eigenbasis_budget() > 0;
   ++stats_.queries;
   stream_metrics().queries.increment();
   telemetry::Span span("stream.query");

@@ -367,5 +367,123 @@ TEST(ArtifactStoreStream, ColdRestartWarmPathAnswersAllMethods) {
   }
 }
 
+// ------------------------------------------------- eigenbasis LRU tier
+
+/// A basis of `cols` columns × `n` rows whose bytes() is deterministic,
+/// tagged so lookups can tell bases apart.
+Eigenbasis sample_basis(std::size_t n, std::size_t cols, int tag) {
+  Eigenbasis basis;
+  for (std::size_t j = 0; j < cols; ++j)
+    basis.vectors.emplace_back(n, static_cast<double>(tag));
+  basis.source_iterations = tag;
+  return basis;
+}
+
+TEST(ArtifactStore, EigenbasisTierOffByDefault) {
+  ArtifactStore store;
+  EXPECT_EQ(store.eigenbasis_budget(), 0);
+  store.store_eigenbasis(1, LaplacianKind::kPlain, sample_basis(8, 2, 1));
+  EXPECT_FALSE(store.lookup_eigenbasis(1, LaplacianKind::kPlain));
+  EXPECT_EQ(store.stats().eigenbasis.entries, 0);
+  EXPECT_EQ(store.eigenbasis_bytes(), 0);
+}
+
+TEST(ArtifactStore, EigenbasisLruEvictsLeastRecentlyUsedWithinBudget) {
+  ArtifactStore store;
+  const auto one = static_cast<std::int64_t>(sample_basis(64, 4, 0).bytes());
+  store.set_eigenbasis_budget(2 * one);  // room for exactly two bases
+
+  store.store_eigenbasis(1, LaplacianKind::kPlain, sample_basis(64, 4, 1));
+  store.store_eigenbasis(2, LaplacianKind::kPlain, sample_basis(64, 4, 2));
+  EXPECT_EQ(store.stats().eigenbasis.entries, 2);
+  EXPECT_LE(store.eigenbasis_bytes(), 2 * one);
+
+  // Touch 1 so 2 becomes the LRU victim when 3 arrives.
+  EXPECT_TRUE(store.lookup_eigenbasis(1, LaplacianKind::kPlain));
+  store.store_eigenbasis(3, LaplacianKind::kPlain, sample_basis(64, 4, 3));
+  EXPECT_EQ(store.stats().eigenbasis.entries, 2);
+  EXPECT_EQ(store.stats().eigenbasis.evicted, 1);
+  EXPECT_TRUE(store.lookup_eigenbasis(1, LaplacianKind::kPlain));
+  EXPECT_FALSE(store.lookup_eigenbasis(2, LaplacianKind::kPlain));
+  EXPECT_TRUE(store.lookup_eigenbasis(3, LaplacianKind::kPlain));
+
+  // Shrinking the budget to zero drops everything resident.
+  store.set_eigenbasis_budget(0);
+  EXPECT_EQ(store.stats().eigenbasis.entries, 0);
+  EXPECT_EQ(store.eigenbasis_bytes(), 0);
+  EXPECT_FALSE(store.lookup_eigenbasis(1, LaplacianKind::kPlain));
+}
+
+TEST(ArtifactStore, EigenbasisAdoptRekeysAndEraseDrops) {
+  ArtifactStore store;
+  store.set_eigenbasis_budget(1 << 20);
+  store.store_eigenbasis(10, LaplacianKind::kPlain, sample_basis(8, 2, 1));
+  store.store_eigenbasis(10, LaplacianKind::kOutDegreeNormalized,
+                         sample_basis(8, 2, 2));
+
+  // Adoption moves every kind's basis to the successor fingerprint and
+  // records the predecessor; the old key is gone.
+  store.adopt_eigenbasis(10, 11);
+  EXPECT_FALSE(store.lookup_eigenbasis(10, LaplacianKind::kPlain));
+  const auto plain = store.lookup_eigenbasis(11, LaplacianKind::kPlain);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->predecessor, 10u);
+  EXPECT_EQ(plain->source_iterations, 1);
+  const auto norm =
+      store.lookup_eigenbasis(11, LaplacianKind::kOutDegreeNormalized);
+  ASSERT_TRUE(norm.has_value());
+  EXPECT_EQ(norm->source_iterations, 2);
+  EXPECT_EQ(store.stats().eigenbasis.entries, 2);
+
+  // A successor that already retained its own basis keeps it.
+  store.store_eigenbasis(20, LaplacianKind::kPlain, sample_basis(8, 2, 5));
+  store.store_eigenbasis(21, LaplacianKind::kPlain, sample_basis(8, 2, 6));
+  store.adopt_eigenbasis(20, 21);
+  const auto kept = store.lookup_eigenbasis(21, LaplacianKind::kPlain);
+  ASSERT_TRUE(kept.has_value());
+  EXPECT_EQ(kept->source_iterations, 6);
+
+  // erase() takes bases with the rest of the fingerprint's entries.
+  const std::int64_t bytes_before = store.eigenbasis_bytes();
+  EXPECT_GT(store.erase(11), 0);
+  EXPECT_FALSE(store.lookup_eigenbasis(11, LaplacianKind::kPlain));
+  EXPECT_LT(store.eigenbasis_bytes(), bytes_before);
+  EXPECT_GT(store.stats().eigenbasis.evicted, 0);
+}
+
+// ------------------------------------------------------- partition rows
+
+TEST(ArtifactStore, PartitionRowRoundTripsBitExactAcrossRestart) {
+  const TempDir dir("graphio_artifacts_partition");
+  PartitionRowArtifact row;
+  row.objective = -0.1234567890123456789;  // awkward binary64, negative
+  row.segments = 7;
+  const double memory = 3.0000000000000004;  // must key exactly
+  {
+    ArtifactStore a(dir.path);
+    a.store_partition(42, memory, row);
+    EXPECT_EQ(a.stats().appended, 1);
+    const auto hit = a.lookup_partition(42, memory);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->objective, row.objective);
+  }
+  ArtifactStore b(dir.path);
+  EXPECT_EQ(b.stats().loaded, 1);
+  const auto hit = b.lookup_partition(42, memory);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->objective, row.objective);  // bit-exact
+  EXPECT_EQ(hit->segments, row.segments);
+  // A nearby-but-different memory value is a different key.
+  EXPECT_FALSE(b.lookup_partition(42, 3.0));
+  EXPECT_EQ(b.stats().partition.hits, 1);
+  EXPECT_EQ(b.stats().partition.misses, 1);
+
+  // erase() is memory-tier-only for partition rows too.
+  EXPECT_GT(b.erase(42), 0);
+  EXPECT_FALSE(b.lookup_partition(42, memory));
+  ArtifactStore c(dir.path);
+  EXPECT_TRUE(c.lookup_partition(42, memory));
+}
+
 }  // namespace
 }  // namespace graphio::store

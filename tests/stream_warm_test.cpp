@@ -1,0 +1,286 @@
+// Warm-started eigensolve tests (ISSUE satellite 3): a session whose
+// store retains eigenbases must answer every query identically to a
+// from-scratch Engine, for any patch sequence, any spec, and any solver
+// policy — warm starts are a latency lever, never a values lever.
+//
+// Certified here:
+//   * with the refresh fast path disabled, warm-seeded solves match a
+//     scratch Engine to 1e-8 across random patch sequences, specs, and
+//     every solver policy (the seeding-only parity property),
+//   * the refresh fast path reports warm hits for exactly the dirty
+//     components and preserves the exact multi-component zero modes the
+//     bound consumes,
+//   * a patch that disconnects a component falls back to a cold solve
+//     without error (the split halves cannot both inherit the
+//     predecessor basis),
+//   * refcounted stream eviction drops the eigenbases of dead content
+//     along with its spectra (ISSUE satellite: eviction respects the
+//     stream's refcount discipline).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graphio/engine/engine.hpp"
+#include "graphio/graph/builders.hpp"
+#include "graphio/store/artifact_store.hpp"
+#include "graphio/stream/session.hpp"
+
+namespace graphio::stream {
+namespace {
+
+std::shared_ptr<store::ArtifactStore> warm_store() {
+  auto s = std::make_shared<store::ArtifactStore>();
+  s->set_eigenbasis_budget(std::int64_t{16} << 20);
+  return s;
+}
+
+engine::BoundRequest spectral_request(const std::string& solver) {
+  engine::BoundRequest req;
+  req.memories = {3.0, 7.5};
+  req.methods = {"spectral", "spectral-plain"};
+  req.spectral.solver = solver;
+  req.spectral.adaptive = false;
+  req.spectral.max_eigenvalues = 6;
+  return req;
+}
+
+/// Applies a random mutation to the patch under construction, mirroring
+/// state so every mutation is valid for the session's current graph
+/// (same shape as the cold-session property test's mutator).
+struct RandomMutator {
+  std::mt19937_64 rng;
+  std::vector<VertexId> alive;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  VertexId next_id = 0;
+
+  explicit RandomMutator(const Digraph& g, std::uint64_t seed) : rng(seed) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) alive.push_back(v);
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      for (VertexId w : g.children(v)) edges.emplace_back(v, w);
+    next_id = g.num_vertices();
+  }
+
+  Patch next_patch(int mutations) {
+    Patch patch;
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng() % 4) {
+        case 0: {
+          patch.mutations.push_back(Mutation::add_vertex());
+          alive.push_back(next_id++);
+          break;
+        }
+        case 1: {
+          if (alive.size() < 2) break;
+          const VertexId u = alive[rng() % alive.size()];
+          const VertexId v = alive[rng() % alive.size()];
+          if (u == v) break;
+          patch.mutations.push_back(Mutation::add_edge(u, v));
+          edges.emplace_back(u, v);
+          break;
+        }
+        case 2: {
+          if (edges.empty()) break;
+          const std::size_t i = rng() % edges.size();
+          patch.mutations.push_back(
+              Mutation::remove_edge(edges[i].first, edges[i].second));
+          edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+        default: {
+          if (alive.size() <= 3) break;
+          const std::size_t i = rng() % alive.size();
+          const VertexId v = alive[i];
+          patch.mutations.push_back(Mutation::remove_vertex(v));
+          alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(i));
+          std::erase_if(edges, [v](const auto& e) {
+            return e.first == v || e.second == v;
+          });
+          break;
+        }
+      }
+    }
+    return patch;
+  }
+};
+
+/// Warm-vs-cold parity property (ISSUE satellite): any random patch
+/// sequence against a basis-retaining session yields bounds identical
+/// (1e-8) to a from-scratch Engine, across specs and every solver
+/// policy. The refresh fast path is disabled so this isolates the
+/// seeding layer — a warm *start* must change iteration counts only,
+/// never converged values.
+TEST(StreamWarmTest, SeededSolversMatchScratchAcrossSpecs) {
+  const std::vector<std::string> specs = {"fft:4", "er:40:0.1:3",
+                                          "multi:3:fft:3"};
+  const std::vector<std::string> solvers = {"auto", "dense", "lanczos",
+                                            "lobpcg"};
+  std::uint64_t seed = 17;
+  std::int64_t warm_hits_total = 0;
+  for (const std::string& spec : specs) {
+    for (const std::string& solver : solvers) {
+      StreamSession session("warm-" + spec + "-" + solver, warm_store());
+      session.load(spec);
+      RandomMutator mutator(session.graph(), seed++);
+      for (int round = 0; round < 5; ++round) {
+        const Patch patch =
+            mutator.next_patch(1 + static_cast<int>(mutator.rng() % 4));
+        session.apply(patch);
+        engine::BoundRequest req = spectral_request(solver);
+        req.spectral.warm_refresh_rel_tol = 0.0;  // seeding only
+        const engine::BoundReport incremental = session.evaluate(req);
+        warm_hits_total += incremental.cache.warm_hits;
+
+        engine::BoundRequest scratch_req = req;
+        scratch_req.graph = session.graph();
+        engine::Engine scratch;
+        const engine::BoundReport reference = scratch.evaluate(scratch_req);
+
+        ASSERT_EQ(incremental.rows.size(), reference.rows.size());
+        for (std::size_t i = 0; i < incremental.rows.size(); ++i) {
+          const engine::MethodRow& a = incremental.rows[i];
+          const engine::MethodRow& b = reference.rows[i];
+          ASSERT_EQ(a.method, b.method);
+          ASSERT_EQ(a.memory, b.memory);
+          EXPECT_EQ(a.applicable, b.applicable)
+              << spec << " " << solver << " round " << round << " "
+              << a.method;
+          EXPECT_NEAR(a.value, b.value, 1e-8)
+              << spec << " " << solver << " round " << round << " "
+              << a.method << " M=" << a.memory;
+        }
+      }
+    }
+  }
+  // The parity above is vacuous unless the warm layer actually engaged.
+  EXPECT_GT(warm_hits_total, 0);
+}
+
+/// The refresh fast path answers exactly the dirty components warm and
+/// keeps the merged zero modes (one per weak component) exact — so the
+/// multi-component bound it feeds agrees with a scratch Engine even
+/// though the refreshed interior values are certified estimates.
+TEST(StreamWarmTest, RefreshReportsWarmHitsForDirtyComponentsOnly) {
+  StreamSession session("warm-refresh", warm_store());
+  session.load("multi:4:fft:3");
+  engine::BoundRequest req;
+  req.memories = {3.0, 7.5};
+  req.methods = {"spectral"};
+  req.spectral.solver = "lobpcg";  // force the iterative (refreshable) tier
+  req.spectral.adaptive = false;
+  req.spectral.max_eigenvalues = 4;  // = #components: merged zeros only
+
+  const engine::BoundReport cold = session.evaluate(req);
+  EXPECT_EQ(cold.cache.warm_hits, 0);  // nothing retained yet
+
+  for (int round = 0; round < 3; ++round) {
+    Patch patch;
+    // fft edges are layer-adjacent (stride 8); a stride-17 edge is
+    // guaranteed new, stays inside copy 0, and keeps the DAG acyclic.
+    patch.mutations.push_back(Mutation::add_edge(round, round + 17));
+    const PatchReport applied = session.apply(patch);
+    ASSERT_EQ(applied.dirty_components, 1);
+    const engine::BoundReport warm = session.evaluate(req);
+    EXPECT_EQ(warm.cache.warm_hits, 1) << "round " << round;
+    EXPECT_EQ(warm.cache.eigensolves, 1) << "round " << round;
+    EXPECT_GE(warm.cache.warm_iterations_saved, 0) << "round " << round;
+
+    engine::BoundRequest scratch_req = req;
+    scratch_req.graph = session.graph();
+    engine::Engine scratch;
+    const engine::BoundReport reference = scratch.evaluate(scratch_req);
+    ASSERT_EQ(warm.rows.size(), reference.rows.size());
+    for (std::size_t i = 0; i < warm.rows.size(); ++i)
+      EXPECT_NEAR(warm.rows[i].value, reference.rows[i].value, 1e-9)
+          << "round " << round << " M=" << warm.rows[i].memory;
+  }
+}
+
+/// Disconnecting patch: removing a bridge splits one warm component into
+/// two whose fingerprints are both new — at most one half can inherit
+/// the predecessor basis (by adoption), the other must solve cold. The
+/// query must survive the split and stay exact.
+TEST(StreamWarmTest, DisconnectingPatchFallsBackColdCleanly) {
+  const std::vector<Digraph> parts = {builders::fft(3),
+                                      builders::inner_product(4)};
+  Digraph bridged = disjoint_union(parts);
+  const VertexId bridge_to = builders::fft(3).num_vertices();  // part 2's v0
+  bridged.add_edge(0, bridge_to);
+
+  StreamSession session("warm-split", warm_store());
+  session.load(bridged);
+  engine::BoundRequest req = spectral_request("lobpcg");
+  req.spectral.warm_refresh_rel_tol = 0.0;  // exact parity, any basis state
+  session.evaluate(req);  // retains the bridged component's basis
+
+  Patch cut;
+  cut.mutations.push_back(Mutation::remove_edge(0, bridge_to));
+  const PatchReport applied = session.apply(cut);
+  EXPECT_EQ(applied.components, 2);
+
+  const engine::BoundReport warm = session.evaluate(req);
+  // At most one of the split halves can warm-start; the cold half's solve
+  // must simply run, not fail.
+  EXPECT_LE(warm.cache.warm_hits, applied.dirty_components);
+
+  engine::BoundRequest scratch_req = req;
+  scratch_req.graph = session.graph();
+  engine::Engine scratch;
+  const engine::BoundReport reference = scratch.evaluate(scratch_req);
+  ASSERT_EQ(warm.rows.size(), reference.rows.size());
+  for (std::size_t i = 0; i < warm.rows.size(); ++i) {
+    EXPECT_EQ(warm.rows[i].applicable, reference.rows[i].applicable);
+    EXPECT_NEAR(warm.rows[i].value, reference.rows[i].value, 1e-8)
+        << warm.rows[i].method << " M=" << warm.rows[i].memory;
+  }
+}
+
+/// Refcounted stream eviction drops dead content's eigenbases along with
+/// its spectra: when the last component carrying a content disappears,
+/// its retained basis goes too (the adopt-before-release ordering means
+/// a *surviving* component's basis instead follows it to the new
+/// fingerprint).
+TEST(StreamWarmTest, EvictionDropsBasesOfDeadContent) {
+  const std::vector<Digraph> parts = {builders::fft(3),
+                                      builders::inner_product(4)};
+  StreamSession session("warm-evict", warm_store());
+  session.load(disjoint_union(parts));
+  const auto& cache = *session.engine().artifact_store();
+
+  engine::BoundRequest req;
+  req.memories = {8.0};
+  req.methods = {"spectral"};
+  req.spectral.solver = "lobpcg";
+  req.spectral.adaptive = false;
+  req.spectral.max_eigenvalues = 4;
+  session.evaluate(req);
+  // Two distinct contents, one Laplacian kind: two retained bases.
+  EXPECT_EQ(cache.stats().eigenbasis.entries, 2);
+  EXPECT_GT(cache.eigenbasis_bytes(), 0);
+
+  // Delete every vertex of the second part: its content dies, and the
+  // refcount release must take the basis with the spectra.
+  const VertexId split = builders::fft(3).num_vertices();
+  Patch wipe;
+  for (VertexId v = split; v < session.graph().num_vertices(); ++v)
+    wipe.mutations.push_back(Mutation::remove_vertex(v));
+  const PatchReport applied = session.apply(wipe);
+  EXPECT_GT(applied.evicted, 0);
+  EXPECT_EQ(cache.stats().eigenbasis.entries, 1);
+  EXPECT_GT(cache.stats().eigenbasis.evicted, 0);
+
+  // The surviving component still answers warm after further patches.
+  Patch touch;
+  touch.mutations.push_back(Mutation::add_edge(0, 9));
+  session.apply(touch);
+  const engine::BoundReport warm = session.evaluate(req);
+  EXPECT_EQ(warm.cache.warm_hits, 1);
+}
+
+}  // namespace
+}  // namespace graphio::stream

@@ -102,11 +102,14 @@ std::string solver_list() {
       "                                         JSONL request/response loop\n"
       "                                         on stdin/stdout\n"
       "  stream <updates.jsonl> [--json] [--store-artifacts DIR]\n"
-      "                                         replay a stream of graph\n"
+      "        [--warm-basis-mb N]              replay a stream of graph\n"
       "                                         loads/patches/queries in\n"
       "                                         order; incremental re-analysis\n"
-      "                                         (--json adds the summary as a\n"
-      "                                         final stdout line)\n"
+      "                                         with warm-started eigensolves\n"
+      "                                         (N MiB of retained bases,\n"
+      "                                         default 64, 0 = off; --json\n"
+      "                                         adds the summary as a final\n"
+      "                                         stdout line)\n"
       "  store stats <DIR> [--json]             inspect a durable artifact\n"
       "                                         store (entries per kind,\n"
       "                                         corrupt-line count)\n"
@@ -187,6 +190,9 @@ struct Args {
   std::int64_t threads = 0;
   std::string store;
   std::string store_artifacts;
+  /// Eigenbasis warm-start budget in MiB; -1 = unset (commands pick
+  /// their default: 64 for `stream`, 0 elsewhere).
+  std::int64_t warm_basis_mb = -1;
   std::string solver = "auto";
   std::string trace_file;
   bool metrics = false;
@@ -245,6 +251,9 @@ Args parse_args(int argc, char** argv) {
       a.store = next();
     } else if (flag == "--store-artifacts") {
       a.store_artifacts = next();
+    } else if (flag == "--warm-basis-mb") {
+      a.warm_basis_mb = parse_int(next(), "warm-basis-mb");
+      if (a.warm_basis_mb < 0) usage("--warm-basis-mb must be >= 0");
     } else if (flag == "--solver") {
       a.solver = next();
       // Validate here so a typo fails with the registered names instead
@@ -511,11 +520,14 @@ int cmd_parallel(const Args& a) {
   return 0;
 }
 
-serve::BatchOptions batch_options(const Args& a) {
+serve::BatchOptions batch_options(const Args& a,
+                                  std::int64_t default_warm_mb = 0) {
   serve::BatchOptions options;
   options.threads = static_cast<int>(a.threads);
   options.store_dir = a.store;
   options.artifact_dir = a.store_artifacts;
+  options.warm_basis_mb =
+      a.warm_basis_mb >= 0 ? a.warm_basis_mb : default_warm_mb;
   return options;
 }
 
@@ -544,7 +556,9 @@ int cmd_stream(const Args& a) {
   std::ifstream updates(a.graphs.front());
   if (!updates.good())
     usage("cannot open updates file '" + a.graphs.front() + "'");
-  serve::BatchSession session(batch_options(a));
+  // Warm-started solves default ON for stream replay (64 MiB of retained
+  // eigenbases); --warm-basis-mb 0 turns the layer off.
+  serve::BatchSession session(batch_options(a, /*default_warm_mb=*/64));
   // serve(): the ordered single-lane loop — every query sees exactly the
   // patches above it, and results stream out as they complete.
   const serve::BatchSummary summary = session.serve(updates, std::cout);
@@ -594,6 +608,9 @@ int cmd_store(const Args& a) {
     append_kind_stats(w, "topo", stats.topo);
     append_kind_stats(w, "mincut", stats.mincut);
     append_kind_stats(w, "memsim", stats.memsim);
+    append_kind_stats(w, "partition", stats.partition);
+    append_kind_stats(w, "eigenbasis", stats.eigenbasis);
+    w.key("eigenbasis_bytes").value(stats.eigenbasis_bytes);
     w.end_object();
     std::cout << w.str() << "\n";
     return 0;
@@ -603,6 +620,8 @@ int cmd_store(const Args& a) {
   t.add_row({"topo", std::to_string(stats.topo.entries)});
   t.add_row({"mincut", std::to_string(stats.mincut.entries)});
   t.add_row({"memsim", std::to_string(stats.memsim.entries)});
+  t.add_row({"partition", std::to_string(stats.partition.entries)});
+  t.add_row({"eigenbasis", std::to_string(stats.eigenbasis.entries)});
   t.add_row({"total", std::to_string(stats.entries())});
   t.print(std::cout);
   std::cout << artifacts.path().string() << ": " << stats.loaded
