@@ -90,6 +90,7 @@ bool warm_subspace_refresh(const la::CsrMatrix& lap,
   std::vector<std::vector<double>> rotated;
   values.reserve(static_cast<std::size_t>(h));
   rotated.reserve(static_cast<std::size_t>(h));
+  double max_residual = 0.0;
   for (int j = 0; j < h; ++j) {
     std::vector<double> x(n, 0.0);
     std::vector<double> lx(n, 0.0);
@@ -103,6 +104,7 @@ bool warm_subspace_refresh(const la::CsrMatrix& lap,
     la::axpy(-theta, x, lx);  // lx becomes the residual
     const double rnorm = la::nrm2(lx);
     if (rnorm > accept) return false;
+    max_residual = std::max(max_residual, rnorm);
     values.push_back(std::max(0.0, theta - rnorm));
     rotated.push_back(std::move(x));
   }
@@ -111,6 +113,8 @@ bool warm_subspace_refresh(const la::CsrMatrix& lap,
   solve.converged = true;
   solve.iterations = 1;
   solve.warm_started = true;
+  solve.refresh = true;
+  solve.max_residual = max_residual;
   if (retained != nullptr) *retained = std::move(rotated);
   return true;
 }
@@ -238,8 +242,10 @@ ComponentSolve solve_component_impl(
   }
   // Certified lower estimates θ − ‖r‖: sound for the lower bound at any
   // tolerance (clamped to the PSD floor of zero).
-  for (std::size_t i = 0; i < values.size(); ++i)
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    solve.max_residual = std::max(solve.max_residual, residuals[i]);
     values[i] = std::max(0.0, values[i] - residuals[i]);
+  }
   std::sort(values.begin(), values.end());
   solve.values = std::move(values);
   solve.seconds = timer.seconds();
@@ -382,8 +388,11 @@ ComponentSolve SpectralPipeline::solve_planned(const PlannedComponent& entry,
     }
     if (have_fingerprint) {
       if (std::optional<ComponentSolve> hit = resolver_(
-              fingerprint, entry.vertices, nnz, kind, h_c, options_))
+              fingerprint, entry.vertices, nnz, kind, h_c, options_)) {
+        hit->fingerprint = fingerprint;
+        hit->fingerprinted = true;
         return *std::move(hit);
+      }
     }
   }
 
@@ -443,6 +452,8 @@ ComponentSolve SpectralPipeline::solve_planned(const PlannedComponent& entry,
   solve_span.end();
   result.phases.solve_seconds += solve_span.seconds();
 
+  solve.fingerprint = have_fingerprint ? fingerprint : 0;
+  solve.fingerprinted = have_fingerprint;
   if (solve.warm_started) {
     ++result.warm_hits;
     const std::uint64_t pred = warm_basis->predecessor != 0
@@ -450,6 +461,7 @@ ComponentSolve SpectralPipeline::solve_planned(const PlannedComponent& entry,
                                    : (entry.has_predecessor ? entry.predecessor
                                                             : fingerprint);
     solve.solver_reason = "warm(pred=" + std::to_string(pred) + ")";
+    solve.warm_predecessor = pred;
     const int saved = warm_basis->source_iterations - solve.iterations;
     if (saved > 0) result.warm_iterations_saved += saved;
   }

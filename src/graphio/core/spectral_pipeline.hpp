@@ -57,14 +57,32 @@ struct ComponentSolve {
   bool solver_ran = false;
   /// True when a component-spectrum cache served the values.
   bool from_cache = false;
+  /// True when the cached values originated in the store's disk tier
+  /// (JSONL replay) rather than this process — only meaningful together
+  /// with from_cache.
+  bool from_disk = false;
   /// True when the solve was seeded from a retained predecessor
   /// eigenbasis (the warm tier).
   bool warm_started = false;
+  /// True when the warm tier's single certified Rayleigh–Ritz refresh
+  /// was accepted (implies warm_started and iterations == 1).
+  bool refresh = false;
   /// Iterations (LOBPCG) or restart cycles (Lanczos) the solve spent;
   /// 0 for the dense tier.
   int iterations = 0;
+  /// Largest residual norm ‖Ax − θx‖ over the returned pairs before the
+  /// certified clamp — the certificate width: every reported value is at
+  /// least θ − this. 0 for the dense tier and trivial components.
+  double max_residual = 0.0;
   /// The solver choice's reason string; `warm(pred=<fp>)` on warm hits.
   std::string solver_reason;
+  /// Predecessor fingerprint the warm seed came from (0 when cold).
+  std::uint64_t warm_predecessor = 0;
+  /// Content fingerprint of the component, stamped by run_plan whenever
+  /// one was available (precomputed or computed for the lookup); 0 with
+  /// fingerprinted == false otherwise (trivial or unplanned components).
+  std::uint64_t fingerprint = 0;
+  bool fingerprinted = false;
   /// Certified smallest eigenvalues of the component's Laplacian block,
   /// ascending; may be shorter than requested on non-convergence.
   std::vector<double> values;

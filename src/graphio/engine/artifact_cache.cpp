@@ -396,6 +396,7 @@ const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
       solver_options_equal(spectra_options_.at(kind), options)) {
     ++stats_.hits;
     cache_metrics().hits.increment();
+    it->second.touched_serial = ++spectrum_touches_;
     return it->second;
   }
   ++stats_.misses;
@@ -432,8 +433,8 @@ const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
           store_->store_eigenbasis(fp, k, std::move(basis));
         });
   }
-  const PipelineResult result = pipeline.run_plan(build_plan(options), kind,
-                                                  count);
+  PipelineResult result = pipeline.run_plan(build_plan(options), kind,
+                                            count);
 
   SpectrumArtifact artifact;
   artifact.requested = count;
@@ -446,10 +447,17 @@ const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
   artifact.fingerprint_computes = result.fingerprint_computes;
   artifact.warm_hits = result.warm_hits;
   artifact.warm_iterations_saved = result.warm_iterations_saved;
-  artifact.phases = result.phases;
+  SpectrumRun run;
+  run.kind = kind;
+  run.requested = count;
+  run.merged_values = static_cast<std::int64_t>(result.values.size());
+  run.per_component = result.per_component;
+  spectrum_runs_.push_back(std::move(run));
+  artifact.per_component = std::move(result.per_component);
   if (options.decompose && decomp_.has_value())
     artifact.component_fingerprints = decomp_->fingerprints;
   artifact.seconds = timer.seconds();
+  artifact.computed_serial = artifact.touched_serial = ++spectrum_touches_;
   stats_.eigensolves += result.eigensolves;
   stats_.component_hits += result.component_cache_hits;
   stats_.subgraph_extractions += result.subgraph_extractions;

@@ -165,8 +165,17 @@ class ArtifactCache {
     /// hold 0; seeded (stream) caches carry the seeder's fingerprint for
     /// every component.
     std::vector<std::uint64_t> component_fingerprints;
-    /// Per-phase wall time of the pipeline run that built this artifact.
-    PipelineResult::Phases phases;
+    /// Per-component solve detail of the pipeline run that built this
+    /// artifact, in component order — the provenance layer's raw
+    /// material (tier, iterations, residual, artifact source).
+    std::vector<ComponentSolve> per_component;
+    /// Monotonic per-cache spectrum-request ticks: `computed_serial` is
+    /// the tick at which this artifact was (re)computed,
+    /// `touched_serial` that of its most recent request (hit or
+    /// compute). An evaluation brackets spectrum_touch_serial() to
+    /// learn which artifacts it consumed and which it computed fresh.
+    std::uint64_t computed_serial = 0;
+    std::uint64_t touched_serial = 0;
   };
 
   /// The `count` smallest Laplacian eigenvalues. A request covered by a
@@ -326,6 +335,35 @@ class ArtifactCache {
   /// computed-exactly-once guarantee).
   [[nodiscard]] std::int64_t eigensolves(LaplacianKind kind) const noexcept;
 
+  /// Every spectrum artifact currently cached, by Laplacian kind — const
+  /// introspection for the provenance layer; never computes.
+  [[nodiscard]] const std::map<LaplacianKind, SpectrumArtifact>&
+  cached_spectra() const noexcept {
+    return spectra_;
+  }
+
+  /// One pipeline run performed by spectrum() — the adaptive-h loop can
+  /// run several per evaluation, each replacing the cached artifact, so
+  /// the per-run log (not the final artifact) is what reconciles against
+  /// the solver registry counters. The engine brackets
+  /// spectrum_runs().size() around an evaluation to attribute runs to it.
+  struct SpectrumRun {
+    LaplacianKind kind = LaplacianKind::kOutDegreeNormalized;
+    int requested = 0;
+    std::int64_t merged_values = 0;
+    std::vector<ComponentSolve> per_component;
+  };
+  [[nodiscard]] const std::vector<SpectrumRun>& spectrum_runs()
+      const noexcept {
+    return spectrum_runs_;
+  }
+  /// Monotonic tick bumped on every spectrum() request (hit or compute);
+  /// artifacts record the tick they were touched/computed at, so
+  /// bracketing this value identifies the spectra one evaluation used.
+  [[nodiscard]] std::uint64_t spectrum_touch_serial() const noexcept {
+    return spectrum_touches_;
+  }
+
  private:
   /// The cached decomposition behind every per-component artifact:
   /// computed once per graph (all artifact kinds and option groups share
@@ -369,6 +407,8 @@ class ArtifactCache {
   std::map<LaplacianKind, la::CsrMatrix> laplacians_;
   std::map<LaplacianKind, SpectrumArtifact> spectra_;
   std::map<LaplacianKind, SpectralOptions> spectra_options_;
+  std::uint64_t spectrum_touches_ = 0;
+  std::vector<SpectrumRun> spectrum_runs_;
   std::map<LaplacianKind, std::int64_t> eigensolves_by_kind_;
   std::map<flow::FlowEngine, WavefrontArtifact> max_cuts_;
   std::map<std::pair<std::int64_t, int>, MemsimArtifact> memsims_;

@@ -6,9 +6,71 @@
 #include "graphio/support/contracts.hpp"
 #include "graphio/support/parallel.hpp"
 #include "graphio/support/timer.hpp"
+#include "graphio/telemetry/metrics.hpp"
 #include "graphio/telemetry/trace.hpp"
 
 namespace graphio::engine {
+
+namespace {
+
+const char* laplacian_provenance_name(LaplacianKind kind) {
+  return kind == LaplacianKind::kPlain ? "plain" : "norm";
+}
+
+/// Fills report.provenance from the evaluation's bracketed state: the
+/// pipeline runs performed (computed spectra, reconciled against the
+/// registry deltas), the artifacts served without re-running, and the
+/// final rows. Deterministic: run order, then kind order, no wall-clock.
+void assemble_provenance(BoundReport& report, ArtifactCache& cache,
+                         std::size_t runs_before,
+                         std::uint64_t serial_before,
+                         std::int64_t warm_delta, std::int64_t iter_delta) {
+  audit::ProvenanceRecord& prov = report.provenance;
+  prov.kind = "bound";
+  prov.graph = report.graph;
+  prov.registry.warm_hits = warm_delta;
+  prov.registry.iterations = iter_delta;
+  const std::vector<ArtifactCache::SpectrumRun>& runs = cache.spectrum_runs();
+  for (std::size_t i = runs_before; i < runs.size(); ++i) {
+    const ArtifactCache::SpectrumRun& run = runs[i];
+    audit::SpectrumProvenance sp;
+    sp.laplacian = laplacian_provenance_name(run.kind);
+    sp.requested = run.requested;
+    sp.computed = true;
+    sp.merged_values = run.merged_values;
+    sp.components.reserve(run.per_component.size());
+    for (const ComponentSolve& solve : run.per_component)
+      sp.components.push_back(audit::component_provenance(solve));
+    prov.spectra.push_back(std::move(sp));
+  }
+  for (const auto& [kind, artifact] : cache.cached_spectra()) {
+    if (artifact.touched_serial <= serial_before) continue;  // unused here
+    if (artifact.computed_serial > serial_before) continue;  // in runs above
+    audit::SpectrumProvenance sp;
+    sp.laplacian = laplacian_provenance_name(kind);
+    sp.requested = artifact.requested;
+    sp.computed = false;
+    sp.merged_values = static_cast<std::int64_t>(artifact.values.size());
+    sp.components.reserve(artifact.per_component.size());
+    for (const ComponentSolve& solve : artifact.per_component)
+      sp.components.push_back(audit::component_provenance(solve));
+    prov.spectra.push_back(std::move(sp));
+  }
+  prov.rows.reserve(report.rows.size());
+  for (const MethodRow& row : report.rows) {
+    audit::RowLineage lineage;
+    lineage.method = row.method;
+    lineage.memory = row.memory;
+    lineage.processors = row.processors;
+    lineage.applicable = row.applicable;
+    lineage.bound = row.value;
+    lineage.best_k = row.best_k;
+    lineage.converged = row.converged;
+    prov.rows.push_back(std::move(lineage));
+  }
+}
+
+}  // namespace
 
 BoundReport Engine::evaluate_with_cache(const BoundRequest& request,
                                         ArtifactCache& cache) {
@@ -21,6 +83,20 @@ BoundReport Engine::evaluate_with_cache(const BoundRequest& request,
 
   WallTimer timer;
   const ArtifactCache::Stats before = cache.stats();
+  // Provenance bracket: registry counters (process-wide — the record's
+  // `exclusive` flag says whether the deltas are attributable solely to
+  // this evaluation) and the cache's spectrum run/touch serials.
+  struct SolverCounters {
+    telemetry::Counter& warm_hits;
+    telemetry::Counter& iterations;
+  };
+  static SolverCounters solver_counters{
+      telemetry::MetricsRegistry::global().counter("solver.warm_hits"),
+      telemetry::MetricsRegistry::global().counter("solver.iterations")};
+  const std::int64_t warm_before = solver_counters.warm_hits.value();
+  const std::int64_t iter_before = solver_counters.iterations.value();
+  const std::size_t runs_before = cache.spectrum_runs().size();
+  const std::uint64_t serial_before = cache.spectrum_touch_serial();
 
   BoundReport report;
   report.graph = request.display_name();
@@ -68,6 +144,9 @@ BoundReport Engine::evaluate_with_cache(const BoundRequest& request,
   }
 
   report.cache = cache.stats() - before;
+  assemble_provenance(report, cache, runs_before, serial_before,
+                      solver_counters.warm_hits.value() - warm_before,
+                      solver_counters.iterations.value() - iter_before);
   report.seconds = timer.seconds();
   return report;
 }
@@ -171,6 +250,11 @@ std::vector<BoundReport> Engine::evaluate_batch(
     GIO_EXPECTS_MSG(errors[i].empty(), "request '" +
                                            requests[i].display_name() +
                                            "' failed: " + errors[i]);
+  // Concurrent evaluations interleave their updates to the process-wide
+  // solver counters, so no parallel report's registry delta is
+  // attributable to it alone.
+  for (BoundReport& report : reports)
+    report.provenance.registry.exclusive = false;
   return reports;
 }
 

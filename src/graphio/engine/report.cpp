@@ -56,7 +56,8 @@ const MethodRow* BoundReport::row(std::string_view method,
   return nullptr;
 }
 
-void BoundReport::append_json(io::JsonWriter& w, bool include_timing) const {
+void BoundReport::append_json(io::JsonWriter& w, bool include_timing,
+                              bool include_provenance) const {
   w.begin_object();
   w.key("graph").begin_object();
   w.key("name").value(graph);
@@ -93,6 +94,10 @@ void BoundReport::append_json(io::JsonWriter& w, bool include_timing) const {
   w.key("rows").begin_array();
   for (const MethodRow& row : rows) append_row_json(w, row, include_timing);
   w.end_array();
+  if (include_provenance) {
+    w.key("provenance");
+    provenance.append_json(w);
+  }
   w.end_object();
 }
 

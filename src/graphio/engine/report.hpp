@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "graphio/audit/provenance.hpp"
 #include "graphio/engine/artifact_cache.hpp"
 #include "graphio/engine/method.hpp"
 #include "graphio/io/json.hpp"
@@ -28,6 +29,11 @@ struct BoundReport {
   /// Artifact reuse during this evaluation (hits/misses/eigensolves are
   /// deltas for this request, not cache lifetime totals).
   ArtifactCache::Stats cache;
+  /// Per-result lineage: which spectra this evaluation consumed, the
+  /// solver tier each component actually took, and the registry deltas
+  /// the claims reconcile against (audit/provenance.hpp). Always
+  /// assembled; serialized only on request (`--explain`).
+  audit::ProvenanceRecord provenance;
   /// Total wall time of the evaluation.
   double seconds = 0.0;
 
@@ -43,8 +49,12 @@ struct BoundReport {
   /// seconds) and cache-delta stats are omitted, making the output a pure
   /// function of the analysis — the serve layer streams this form so
   /// result files compare byte-identical across thread counts and
-  /// warm/cold store runs.
-  void append_json(io::JsonWriter& w, bool include_timing = true) const;
+  /// warm/cold store runs. include_provenance adds the lineage record
+  /// under "provenance"; it is off by default because tiers legitimately
+  /// differ between warm and cold store states, which would break the
+  /// deterministic-diff property above.
+  void append_json(io::JsonWriter& w, bool include_timing = true,
+                   bool include_provenance = false) const;
   /// Complete JSON document.
   [[nodiscard]] std::string to_json() const;
   /// Console table: method | M | kind | bound | detail | conv | seconds.

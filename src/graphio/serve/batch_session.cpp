@@ -15,13 +15,15 @@ namespace graphio::serve {
 
 namespace {
 
-void write_result_line(std::ostream& out, const JobResult& result) {
+void write_result_line(std::ostream& out, const JobResult& result,
+                       bool explain) {
   io::JsonWriter w;
   w.begin_object();
   w.key("job").value(result.id);
   if (result.ok) {
     w.key("report");
-    result.report.append_json(w, /*include_timing=*/false);
+    result.report.append_json(w, /*include_timing=*/false,
+                              /*include_provenance=*/explain);
   } else {
     w.key("error").value(result.error);
   }
@@ -170,6 +172,10 @@ BatchSession::BatchSession(const BatchOptions& options) {
   scheduler_options.store = store_.get();
   scheduler_options.artifacts = artifacts_;
   scheduler_ = std::make_unique<Scheduler>(scheduler_options);
+  if (!options.provenance_dir.empty())
+    provenance_ = std::make_unique<audit::ProvenanceLog>(
+        std::filesystem::path(options.provenance_dir));
+  explain_ = options.explain;
 }
 
 BatchSession::~BatchSession() = default;
@@ -247,7 +253,11 @@ double BatchSession::handle_stream_job(const Job& job, std::ostream& out,
       summary.store_misses += result.store_misses;
     }
     summary.cache += result.report.cache;
-    write_result_line(out, result);
+    // Stream records replay from the updates file (the mutations matter,
+    // not just the final query), but the query itself is still recorded.
+    result.report.provenance.request = request_to_json_line(job.request);
+    if (provenance_ != nullptr) provenance_->append(result.report.provenance);
+    write_result_line(out, result, explain_);
     ++summary.ok;
   } catch (const std::exception& e) {
     write_reject_line(out, job.id, e.what());
@@ -301,7 +311,9 @@ BatchSummary BatchSession::run(std::istream& in, std::ostream& out) {
   const Scheduler::RunStats stats = scheduler_->run(
       std::move(jobs), [&](const JobResult& result) {
         // Serialized by the scheduler's result mutex.
-        write_result_line(out, result);
+        if (result.ok && provenance_ != nullptr)
+          provenance_->append(result.report.provenance);
+        write_result_line(out, result, explain_);
         job_latency_histogram().observe(result.seconds);
         latencies.push_back(result.seconds);
         if (result.ok) ++summary.ok;
@@ -362,7 +374,9 @@ BatchSummary BatchSession::serve(std::istream& in, std::ostream& out) {
     }
     ++summary.jobs;
     const JobResult result = scheduler_->run_one(job);
-    write_result_line(out, result);
+    if (result.ok && provenance_ != nullptr)
+      provenance_->append(result.report.provenance);
+    write_result_line(out, result, explain_);
     out.flush();
     job_latency_histogram().observe(result.seconds);
     latencies.push_back(result.seconds);

@@ -39,6 +39,7 @@
 #include <memory>
 #include <string>
 
+#include "graphio/audit/provenance.hpp"
 #include "graphio/serve/scheduler.hpp"
 #include "graphio/stream/session.hpp"
 #include "graphio/telemetry/metrics.hpp"
@@ -58,6 +59,15 @@ struct BatchOptions {
   /// the solves of patched successors from them; 0 turns the warm layer
   /// off entirely.
   std::int64_t warm_basis_mb = 0;
+  /// Attach each report's provenance record to its result line
+  /// (--explain). Off by default: result lines stay byte-identical
+  /// across warm/cold stores, which `--explain` deliberately gives up
+  /// (solver tiers differ between a cold and a warm run).
+  bool explain = false;
+  /// Directory for the append-only provenance JSONL (--provenance);
+  /// empty disables the trail. Independent of `explain` — the trail can
+  /// be recorded while result lines stay deterministic.
+  std::string provenance_dir;
 };
 
 struct BatchSummary {
@@ -122,6 +132,11 @@ class BatchSession {
   [[nodiscard]] const stream::StreamSession* stream_session(
       const std::string& name) const;
 
+  /// The provenance trail, or nullptr when provenance_dir was empty.
+  [[nodiscard]] const audit::ProvenanceLog* provenance_log() const noexcept {
+    return provenance_.get();
+  }
+
  private:
   /// Executes one stream-lane job, writes its result line, updates the
   /// summary, and returns the job latency in seconds.
@@ -132,6 +147,8 @@ class BatchSession {
   std::shared_ptr<store::ArtifactStore> artifacts_;
   std::unique_ptr<Scheduler> scheduler_;
   std::map<std::string, std::unique_ptr<stream::StreamSession>> streams_;
+  std::unique_ptr<audit::ProvenanceLog> provenance_;
+  bool explain_ = false;
 };
 
 }  // namespace graphio::serve

@@ -112,14 +112,34 @@ engine::BoundReport evaluate_with_store(
   report.processors = request.processors;
   report.memories = request.memories;
   report.cache = computed.cache;  // zero when fully warm
+  // Lineage: the computed sub-evaluation's spectra and registry deltas
+  // carry over verbatim (empty when fully warm); the row lineage is
+  // rebuilt below so store-served rows are labeled as such.
+  report.provenance = std::move(computed.provenance);
+  report.provenance.graph = display_name;
+  report.provenance.fingerprint = fingerprint;
+  report.provenance.rows.clear();
   for (std::size_t s = 0; s < selected.size(); ++s) {
-    if (!stored[s].empty()) {
-      for (engine::MethodRow& row : stored[s])
-        report.rows.push_back(std::move(row));
-      continue;
+    const bool from_store = !stored[s].empty();
+    std::vector<const engine::MethodRow*> method_rows;
+    if (from_store) {
+      for (engine::MethodRow& row : stored[s]) method_rows.push_back(&row);
+    } else {
+      method_rows = computed.rows_for(selected[s]->id());
     }
-    for (const engine::MethodRow* row : computed.rows_for(selected[s]->id()))
+    for (const engine::MethodRow* row : method_rows) {
+      audit::RowLineage lineage;
+      lineage.method = row->method;
+      lineage.memory = row->memory;
+      lineage.processors = row->processors;
+      lineage.applicable = row->applicable;
+      lineage.bound = row->value;
+      lineage.best_k = row->best_k;
+      lineage.converged = row->converged;
+      lineage.source = from_store ? "store" : "computed";
+      report.provenance.rows.push_back(std::move(lineage));
       report.rows.push_back(*row);
+    }
   }
   return report;
 }
@@ -174,6 +194,9 @@ JobResult Scheduler::evaluate_job(engine::Engine& engine, const Job& job,
           },
           &result.store_hits, &result.store_misses);
     }
+    // Record the originating request in job-line form: `graphio audit`
+    // re-evaluates it from scratch when replaying the trail.
+    result.report.provenance.request = request_to_json_line(job.request);
     result.ok = true;
   } catch (const std::exception& e) {
     result.ok = false;
@@ -219,7 +242,11 @@ Scheduler::RunStats Scheduler::run(
     engine::Engine& engine = *engines_[index];
     Job job;
     while (queue.pop(index, job)) {
-      const JobResult result = evaluate_job(engine, job, index);
+      JobResult result = evaluate_job(engine, job, index);
+      // With several workers the process-wide solver counters interleave,
+      // so no single report's registry delta is attributable to it alone.
+      if (engines_.size() > 1)
+        result.report.provenance.registry.exclusive = false;
       const std::lock_guard<std::mutex> lock(result_mutex);
       if (on_result) on_result(result);
     }

@@ -128,6 +128,17 @@ std::string spectrum_line(std::uint64_t fp, LaplacianKind kind,
   w.key("edges").value(solve.edges);
   w.key("solver").value(la::to_string(solve.solver));
   w.key("converged").value(solve.converged);
+  // Provenance of the producing solve, written only when non-default so
+  // pre-existing logs stay byte-compatible and replay stays cheap.
+  if (solve.iterations != 0) w.key("iterations").value(solve.iterations);
+  if (solve.warm_started) w.key("warm").value(true);
+  if (solve.refresh) w.key("refresh").value(true);
+  if (solve.max_residual != 0.0)
+    w.key("residual").value(solve.max_residual);
+  if (solve.warm_predecessor != 0)
+    w.key("pred").value(engine::fingerprint_hex(solve.warm_predecessor));
+  if (!solve.solver_reason.empty())
+    w.key("reason").value(solve.solver_reason);
   w.key("values").begin_array();
   for (double v : solve.values) w.value(v);
   w.end_array();
@@ -266,6 +277,21 @@ void ArtifactStore::replay_line_locked(const std::string& line) {
     solve.edges = v.at("edges").as_int();
     solve.solver = solver_from(v.at("solver").as_string());
     solve.converged = v.at("converged").as_bool();
+    // Optional provenance keys (absent in logs written before they
+    // existed — defaults are the cold-solve values).
+    if (const io::JsonValue* it = v.get("iterations"))
+      solve.iterations = static_cast<int>(it->as_int());
+    if (const io::JsonValue* warm = v.get("warm"))
+      solve.warm_started = warm->as_bool();
+    if (const io::JsonValue* refresh = v.get("refresh"))
+      solve.refresh = refresh->as_bool();
+    if (const io::JsonValue* residual = v.get("residual"))
+      solve.max_residual = residual->as_double();
+    if (const io::JsonValue* pred = v.get("pred"))
+      solve.warm_predecessor = parse_fingerprint(pred->as_string());
+    if (const io::JsonValue* reason = v.get("reason"))
+      solve.solver_reason = reason->as_string();
+    solve.from_disk = true;  // this entry's values crossed a process restart
     for (const io::JsonValue& item : v.at("values").items())
       solve.values.push_back(item.as_double());
     put_spectrum_locked(fp, lap_from(v.at("lap").as_string()),

@@ -326,7 +326,16 @@ engine::BoundReport StreamSession::evaluate(engine::BoundRequest request) {
   span.attr("graph", name_)
       .attr("dirty", last_dirty_)
       .attr("clean", last_clean_);
-  return engine_->evaluate(request);
+  engine::BoundReport report = engine_->evaluate(request);
+  // Stream lineage: the per-patch dirty/clean split this query paid for,
+  // plus the durable session identity (component-multiset fingerprint —
+  // the key serve's ResultStore uses for stream rows).
+  report.provenance.kind = "stream";
+  report.provenance.graph = name_;
+  report.provenance.fingerprint = combined_fingerprint_locked();
+  report.provenance.dirty = last_dirty_;
+  report.provenance.clean = last_clean_;
+  return report;
 }
 
 std::uint64_t StreamSession::fingerprint() const {

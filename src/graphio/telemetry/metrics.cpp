@@ -1,11 +1,34 @@
 #include "graphio/telemetry/metrics.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstddef>
 
 #include "graphio/io/json.hpp"
 
 namespace graphio::telemetry {
+
+namespace {
+
+/// graphio_<name with every non-[a-zA-Z0-9_] mapped to '_'>.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "graphio_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Shortest round-trip decimal (std::to_chars), like the JSON writer.
+std::string prometheus_value(double value) {
+  char buf[64];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  return ec == std::errc() ? std::string(buf, p) : std::string("0");
+}
+
+}  // namespace
 
 double HistogramSnapshot::percentile(double p) const {
   if (count == 0) return 0.0;
@@ -159,6 +182,40 @@ std::string MetricsRegistry::to_json() const {
   w.end_object();
   w.end_object();
   return w.str();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = prometheus_name(name) + "_total";
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + prometheus_value(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot snap = histogram->snapshot();
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Snapshot buckets are per-bucket; the exposition format wants
+    // cumulative counts, ending with le="+Inf" == _count.
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      cumulative += snap.counts[i];
+      const std::string le = i < snap.bounds.size()
+                                 ? prometheus_value(snap.bounds[i])
+                                 : std::string("+Inf");
+      out += prom + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_sum " + prometheus_value(snap.sum) + "\n";
+    out += prom + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
 }
 
 MetricsRegistry& MetricsRegistry::global() {

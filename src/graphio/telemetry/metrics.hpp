@@ -113,6 +113,12 @@ class MetricsRegistry {
   //  p50, p95, p99, buckets: [{le, count}, ...nonzero...]}}}
   std::string to_json() const;
 
+  // Prometheus text exposition format: one family per metric under a
+  // `graphio_` prefix with dots mapped to underscores — counters as
+  // `_total`, gauges verbatim, histograms as *cumulative* `_bucket{le=}`
+  // series ending at `+Inf`, plus `_sum`/`_count`.
+  std::string to_prometheus() const;
+
   static MetricsRegistry& global();
 
  private:

@@ -263,6 +263,11 @@ void Tracer::export_chrome(std::ostream& out) const {
   }
   w.end_array();
   w.key("displayTimeUnit").value("ms");
+  // Overflow is part of the trace's meaning: a summary computed from the
+  // file must be able to say its totals undercount. Written only when
+  // non-zero so complete traces stay byte-identical to older exports.
+  const auto dropped_events = static_cast<std::int64_t>(dropped());
+  if (dropped_events > 0) w.key("droppedEvents").value(dropped_events);
   w.end_object();
   out << w.str() << '\n';
 }
@@ -271,6 +276,17 @@ void Tracer::export_jsonl(std::ostream& out) const {
   for (const SpanRecord& rec : snapshot()) {
     io::JsonWriter w;
     write_record_jsonl(w, rec);
+    out << w.str() << '\n';
+  }
+  // Trailing metadata line (parse_trace skips it); only on overflow so
+  // complete traces stay line-per-record.
+  const auto dropped_events = static_cast<std::int64_t>(dropped());
+  if (dropped_events > 0) {
+    io::JsonWriter w;
+    w.begin_object();
+    w.key("trace_meta").value(true);
+    w.key("dropped").value(dropped_events);
+    w.end_object();
     out << w.str() << '\n';
   }
 }
@@ -345,6 +361,12 @@ double Span::seconds() const {
 // --- Trace files -----------------------------------------------------------
 
 std::vector<SpanRecord> parse_trace(std::string_view text) {
+  return parse_trace(text, nullptr);
+}
+
+std::vector<SpanRecord> parse_trace(std::string_view text,
+                                    std::int64_t* dropped) {
+  if (dropped != nullptr) *dropped = 0;
   std::vector<SpanRecord> records;
   const auto first = text.find_first_not_of(" \t\r\n");
   if (first == std::string_view::npos) return records;
@@ -362,6 +384,10 @@ std::vector<SpanRecord> parse_trace(std::string_view text) {
       const io::JsonValue* events = doc.get("traceEvents");
       GIO_EXPECTS_MSG(events != nullptr && events->is_array(),
                       "trace document has no traceEvents array");
+      if (dropped != nullptr) {
+        if (const io::JsonValue* d = doc.get("droppedEvents"))
+          *dropped = d->as_int();
+      }
       records.reserve(events->size());
       for (const io::JsonValue& event : events->items()) {
         records.push_back(record_from_event(event));
@@ -378,7 +404,14 @@ std::vector<SpanRecord> parse_trace(std::string_view text) {
     const std::string_view line = text.substr(pos, eol - pos);
     pos = eol + 1;
     if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
-    records.push_back(record_from_jsonl(io::JsonValue::parse(line)));
+    const io::JsonValue v = io::JsonValue::parse(line);
+    if (v.get("trace_meta") != nullptr) {
+      if (dropped != nullptr) {
+        if (const io::JsonValue* d = v.get("dropped")) *dropped = d->as_int();
+      }
+      continue;
+    }
+    records.push_back(record_from_jsonl(v));
   }
   return records;
 }

@@ -158,8 +158,13 @@ class Span {
 // JSONL) and auto-detects which one it is looking at.
 
 // Parses a trace file's text into records. Throws contract_error on
-// malformed input.
+// malformed input. The overload's `dropped` out-param receives the
+// ring-buffer drop count the exporter recorded (0 for files predating
+// drop metadata); the metadata itself never becomes a record, so
+// summaries stay unchanged either way.
 std::vector<SpanRecord> parse_trace(std::string_view text);
+std::vector<SpanRecord> parse_trace(std::string_view text,
+                                    std::int64_t* dropped);
 
 // Per-name total/self aggregation of parsed records.
 TraceSummary summarize_records(const std::vector<SpanRecord>& records);

@@ -81,6 +81,39 @@ TEST(TelemetryMetricsTest, RegistryJsonParses) {
   EXPECT_EQ(doc.at("histograms").at("a.seconds").at("count").as_int(), 1);
 }
 
+TEST(TelemetryMetricsTest, PrometheusExpositionFormat) {
+  MetricsRegistry reg;
+  reg.counter("solver.warm_hits").add(3);
+  reg.gauge("queue.depth").set(1.5);
+  reg.histogram("job.seconds", {0.01, 0.1}).observe(0.002);
+  reg.histogram("job.seconds").observe(0.05);
+  reg.histogram("job.seconds").observe(5.0);  // overflow bucket
+  const std::string text = reg.to_prometheus();
+
+  // Counters get the graphio_ prefix, sanitized names, and _total.
+  EXPECT_NE(text.find("# TYPE graphio_solver_warm_hits_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("graphio_solver_warm_hits_total 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("graphio_queue_depth 1.5"), std::string::npos);
+  // Histogram buckets are CUMULATIVE and end at +Inf == count.
+  EXPECT_NE(text.find("graphio_job_seconds_bucket{le=\"0.01\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("graphio_job_seconds_bucket{le=\"0.1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("graphio_job_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("graphio_job_seconds_count 3"), std::string::npos);
+  // Every non-comment line is "name[{labels}] value".
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+    EXPECT_EQ(line.rfind("graphio_", 0), 0u) << line;
+  }
+}
+
 // ------------------------------------------------------------------ spans
 
 TEST(TelemetryTraceTest, SpanNestingRecordsParentLinks) {
@@ -194,6 +227,45 @@ TEST(TelemetryTraceTest, JsonlExportRoundTrips) {
   EXPECT_EQ(records[0].name, "b");
   EXPECT_EQ(records[1].name, "a");
   EXPECT_EQ(records[0].parent, records[1].id);
+}
+
+TEST(TelemetryTraceTest, DropCountsSurviveExportRoundTrip) {
+  Tracer tracer;
+  tracer.enable(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) Span(std::to_string(i), tracer).end();
+  tracer.disable();
+  ASSERT_EQ(tracer.dropped(), 6u);
+
+  // Both export formats carry the drop count, and parse_trace recovers
+  // it so `trace summarize` can warn that its totals undercount.
+  std::ostringstream chrome;
+  tracer.export_chrome(chrome);
+  std::int64_t dropped = -1;
+  std::vector<SpanRecord> records = parse_trace(chrome.str(), &dropped);
+  EXPECT_EQ(dropped, 6);
+  EXPECT_EQ(records.size(), 4u);
+
+  std::ostringstream jsonl;
+  tracer.export_jsonl(jsonl);
+  dropped = -1;
+  records = parse_trace(jsonl.str(), &dropped);
+  EXPECT_EQ(dropped, 6);
+  EXPECT_EQ(records.size(), 4u);
+
+  // A clean trace exports byte-identically to the pre-drop format: no
+  // meta line, and the out-param comes back zero.
+  Tracer clean;
+  clean.enable();
+  Span("first", clean).end();
+  Span("second", clean).end();
+  clean.disable();
+  std::ostringstream clean_jsonl;
+  clean.export_jsonl(clean_jsonl);
+  EXPECT_EQ(clean_jsonl.str().find("trace_meta"), std::string::npos);
+  dropped = -1;
+  records = parse_trace(clean_jsonl.str(), &dropped);
+  EXPECT_EQ(dropped, 0);
+  EXPECT_EQ(records.size(), 2u);
 }
 
 TEST(TelemetryTraceTest, SummarizeComputesSelfTime) {

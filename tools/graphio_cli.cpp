@@ -27,10 +27,13 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "graphio/audit/provenance.hpp"
 #include "graphio/core/hierarchy.hpp"
 #include "graphio/core/spectral_bound.hpp"
 #include "graphio/engine/engine.hpp"
@@ -42,10 +45,13 @@
 #include "graphio/io/json.hpp"
 #include "graphio/la/solver_policy.hpp"
 #include "graphio/serve/batch_session.hpp"
+#include "graphio/serve/job.hpp"
 #include "graphio/sim/anneal.hpp"
 #include "graphio/sim/memsim.hpp"
 #include "graphio/sim/parallel_memsim.hpp"
 #include "graphio/sim/schedule.hpp"
+#include "graphio/store/artifact_store.hpp"
+#include "graphio/stream/session.hpp"
 #include "graphio/support/table.hpp"
 #include "graphio/telemetry/metrics.hpp"
 #include "graphio/telemetry/trace.hpp"
@@ -118,6 +124,13 @@ std::string solver_list() {
       "  trace summarize <FILE> [--json]        per-span-name total/self time\n"
       "                                         table for a --trace file\n"
       "                                         (Chrome JSON or JSONL)\n"
+      "  audit <DIR|FILE> [updates.jsonl]       check a recorded provenance\n"
+      "                                         trail (--provenance output)\n"
+      "                                         and replay it from scratch,\n"
+      "                                         verifying bit-identical\n"
+      "                                         bounds; stream records need\n"
+      "                                         the updates file; exit 1 on\n"
+      "                                         any mismatch\n"
       "\n"
       "telemetry (any command)\n"
       "  --trace FILE                           record spans; write Chrome\n"
@@ -125,6 +138,21 @@ std::string solver_list() {
       "                                         when FILE ends in .jsonl)\n"
       "  --metrics                              print the metrics registry\n"
       "                                         as JSON to stderr on exit\n"
+      "  --metrics-prom FILE                    write the metrics registry in\n"
+      "                                         Prometheus text format on exit\n"
+      "\n"
+      "provenance (bound/compare/stream/batch/serve)\n"
+      "  --explain                              attach the per-result lineage\n"
+      "                                         record: per-component solver\n"
+      "                                         tier (refresh/warm/cold),\n"
+      "                                         iterations, certified residual,\n"
+      "                                         artifact source (human table,\n"
+      "                                         or a provenance field with\n"
+      "                                         --json)\n"
+      "  --provenance DIR                       append one provenance record\n"
+      "                                         per result to\n"
+      "                                         DIR/provenance.jsonl (see\n"
+      "                                         `graphio audit`)\n"
       "\n"
       "graph: family spec, edgelist file, or DOT file (*.dot, *.gv)\n"
       << engine::family_help() <<
@@ -195,6 +223,9 @@ struct Args {
   std::int64_t warm_basis_mb = -1;
   std::string solver = "auto";
   std::string trace_file;
+  std::string metrics_prom;
+  std::string provenance_dir;
+  bool explain = false;
   bool metrics = false;
   bool monolithic = false;
   bool plain = false;
@@ -268,6 +299,14 @@ Args parse_args(int argc, char** argv) {
       if (a.trace_file.empty()) usage("--trace needs a file path");
     } else if (flag == "--metrics") {
       a.metrics = true;
+    } else if (flag == "--metrics-prom") {
+      a.metrics_prom = next();
+      if (a.metrics_prom.empty()) usage("--metrics-prom needs a file path");
+    } else if (flag == "--explain") {
+      a.explain = true;
+    } else if (flag == "--provenance") {
+      a.provenance_dir = next();
+      if (a.provenance_dir.empty()) usage("--provenance needs a directory");
     } else if (flag == "--monolithic") {
       a.monolithic = true;
     } else if (flag == "--plain") {
@@ -310,17 +349,56 @@ engine::BoundRequest make_request(const Args& a, const std::string& spec) {
 
 int emit_reports(const Args& a, std::span<const engine::BoundReport> reports) {
   if (a.json) {
-    if (reports.size() == 1)
-      std::cout << reports.front().to_json() << "\n";
-    else
-      std::cout << engine::reports_to_json(reports) << "\n";
+    io::JsonWriter w;
+    if (reports.size() == 1) {
+      reports.front().append_json(w, /*include_timing=*/true,
+                                  /*include_provenance=*/a.explain);
+    } else {
+      w.begin_array();
+      for (const engine::BoundReport& report : reports)
+        report.append_json(w, /*include_timing=*/true,
+                           /*include_provenance=*/a.explain);
+      w.end_array();
+    }
+    std::cout << w.str() << "\n";
     return 0;
   }
   if (reports.size() == 1)
     reports.front().to_table().print(std::cout);
   else
     engine::reports_to_table(reports).print(std::cout);
+  if (a.explain) {
+    for (const engine::BoundReport& report : reports) {
+      const audit::ProvenanceRecord& prov = report.provenance;
+      std::cout << "\nprovenance — " << report.graph << "\n";
+      prov.to_table().print(std::cout);
+      std::cout << "registry delta: warm_hits=" << prov.registry.warm_hits
+                << " iterations=" << prov.registry.iterations
+                << (prov.registry.exclusive ? "" : " (not exclusive)")
+                << "\n";
+    }
+  }
   return 0;
+}
+
+/// Stamps the identity fields only the CLI layer knows (the Engine never
+/// fingerprints eagerly — that would materialize lazy graphs) and the
+/// request in its replayable job-line form, then appends the records to
+/// --provenance. Gated on --explain/--provenance so plain runs skip the
+/// fingerprint work.
+void finish_provenance(const Args& a, engine::Engine& eng,
+                       std::span<const engine::BoundRequest> requests,
+                       std::span<engine::BoundReport> reports) {
+  if (!a.explain && a.provenance_dir.empty()) return;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    reports[i].provenance.fingerprint = eng.fingerprint(requests[i].spec);
+    reports[i].provenance.request =
+        serve::request_to_json_line(requests[i]);
+  }
+  if (a.provenance_dir.empty()) return;
+  audit::ProvenanceLog log{std::filesystem::path(a.provenance_dir)};
+  for (const engine::BoundReport& report : reports)
+    log.append(report.provenance);
 }
 
 int cmd_generate(const Args& a) {
@@ -368,8 +446,10 @@ int cmd_info(const Args& a) {
 int cmd_bound(const Args& a) {
   require_memory(a);
   engine::Engine eng;
-  const engine::BoundReport report = eng.evaluate(make_request(a, a.graph()));
-  const engine::BoundReport reports[] = {report};
+  const engine::BoundRequest request = make_request(a, a.graph());
+  engine::BoundReport reports[] = {eng.evaluate(request)};
+  const engine::BoundRequest requests[] = {request};
+  finish_provenance(a, eng, requests, reports);
   return emit_reports(a, reports);
 }
 
@@ -382,7 +462,8 @@ int cmd_compare(const Args& a) {
   for (const std::string& spec : a.graphs)
     requests.push_back(make_request(a, spec));
   engine::Engine eng;
-  const auto reports = eng.evaluate_batch(requests);
+  auto reports = eng.evaluate_batch(requests);
+  finish_provenance(a, eng, requests, reports);
   return emit_reports(a, reports);
 }
 
@@ -528,6 +609,8 @@ serve::BatchOptions batch_options(const Args& a,
   options.artifact_dir = a.store_artifacts;
   options.warm_basis_mb =
       a.warm_basis_mb >= 0 ? a.warm_basis_mb : default_warm_mb;
+  options.explain = a.explain;
+  options.provenance_dir = a.provenance_dir;
   return options;
 }
 
@@ -638,10 +721,14 @@ int cmd_trace(const Args& a) {
   if (!in.good()) usage("cannot open trace file '" + a.graphs[1] + "'");
   std::ostringstream text;
   text << in.rdbuf();
+  std::int64_t dropped = 0;
   const std::vector<telemetry::SpanRecord> records =
-      telemetry::parse_trace(text.str());
-  const telemetry::TraceSummary summary =
-      telemetry::summarize_records(records);
+      telemetry::parse_trace(text.str(), &dropped);
+  telemetry::TraceSummary summary = telemetry::summarize_records(records);
+  summary.dropped = dropped;
+  if (dropped > 0)
+    std::cerr << "warning: ring buffer overflowed while recording — "
+              << dropped << " event(s) dropped, totals undercount\n";
   if (a.json)
     std::cout << telemetry::summary_json(summary) << "\n";
   else
@@ -679,6 +766,207 @@ void finish_telemetry(const Args& a) {
   }
   if (a.metrics)
     std::cerr << telemetry::MetricsRegistry::global().to_json() << "\n";
+  if (!a.metrics_prom.empty()) {
+    std::ofstream out(a.metrics_prom);
+    if (!out.good())
+      std::cerr << "error: cannot write metrics file '" << a.metrics_prom
+                << "'\n";
+    else
+      out << telemetry::MetricsRegistry::global().to_prometheus();
+  }
+}
+
+/// `graphio audit DIR|FILE [updates.jsonl]`: loads a recorded provenance
+/// trail, checks every record's internal tier/certificate consistency,
+/// then replays the recorded work from scratch — bound records through a
+/// fresh Engine via their recorded request, stream records by re-running
+/// the updates file through fresh StreamSessions — and verifies the
+/// bounds come out bit-identical. Solver *tiers* may legitimately differ
+/// between recording and replay (a warm recorded run replays cold), so
+/// replayed records are checked for internal consistency, not equality.
+int cmd_audit(const Args& a) {
+  if (a.graphs.empty() || a.graphs.size() > 2)
+    usage("audit needs a provenance dir/file and an optional updates file: "
+          "graphio audit DIR [updates.jsonl]");
+  std::filesystem::path trail(a.graphs.front());
+  if (std::filesystem::is_directory(trail)) trail /= "provenance.jsonl";
+  const std::vector<audit::ProvenanceRecord> records =
+      audit::load_provenance(trail);
+
+  std::int64_t issues = 0;
+  const auto report_issues = [&issues](const std::vector<std::string>& found,
+                                       std::int64_t record_no,
+                                       const char* which) {
+    for (const std::string& issue : found) {
+      std::cerr << "audit: record " << record_no << " (" << which
+                << "): " << issue << "\n";
+      ++issues;
+    }
+  };
+  for (std::size_t i = 0; i < records.size(); ++i)
+    report_issues(audit::check_record(records[i]),
+                  static_cast<std::int64_t>(i) + 1, "recorded");
+
+  std::int64_t replayed = 0;
+  std::int64_t mismatches = 0;
+  const auto compare = [&replayed, &mismatches](
+                           const audit::ProvenanceRecord& recorded,
+                           const engine::BoundReport& fresh,
+                           std::int64_t record_no) {
+    ++replayed;
+    const auto flag = [&mismatches, &recorded,
+                       record_no](const std::string& what) {
+      std::cerr << "audit: record " << record_no << " ('" << recorded.graph
+                << "'): " << what << "\n";
+      ++mismatches;
+    };
+    if (recorded.rows.size() != fresh.rows.size()) {
+      flag("replay produced " + std::to_string(fresh.rows.size()) +
+           " rows, recorded " + std::to_string(recorded.rows.size()));
+      return;
+    }
+    for (std::size_t r = 0; r < recorded.rows.size(); ++r) {
+      const audit::RowLineage& want = recorded.rows[r];
+      const engine::MethodRow& got = fresh.rows[r];
+      const std::string where = "row " + std::to_string(r + 1) + " (" +
+                                want.method + ", M=" +
+                                format_double(want.memory, 0) + ")";
+      if (want.method != got.method || want.memory != got.memory) {
+        flag(where + " replayed as (" + got.method + ", M=" +
+             format_double(got.memory, 0) + ")");
+        continue;
+      }
+      if (want.applicable != got.applicable) {
+        flag(where + " applicability changed on replay");
+        continue;
+      }
+      if (!want.applicable) continue;
+      if (want.bound != got.value)  // bit-identical, not approximate
+        flag(where + " bound " + format_double(got.value, 12) +
+             " != recorded " + format_double(want.bound, 12));
+      if (want.best_k != got.best_k)
+        flag(where + " best_k " + std::to_string(got.best_k) +
+             " != recorded " + std::to_string(want.best_k));
+      if (want.converged != got.converged)
+        flag(where + " convergence changed on replay");
+    }
+  };
+
+  // Bound records: re-evaluate the recorded request on a fresh Engine.
+  engine::Engine eng;
+  std::map<std::string, std::vector<std::pair<
+                            std::int64_t, const audit::ProvenanceRecord*>>>
+      stream_records;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const audit::ProvenanceRecord& record = records[i];
+    const auto record_no = static_cast<std::int64_t>(i) + 1;
+    if (record.kind == "stream") {
+      stream_records[record.graph].emplace_back(record_no, &record);
+      continue;
+    }
+    if (record.request.empty()) {
+      std::cerr << "audit: record " << record_no
+                << " carries no request — cannot replay\n";
+      ++mismatches;
+      continue;
+    }
+    const engine::BoundRequest request =
+        serve::request_from_json_line(record.request);
+    const engine::BoundReport fresh = eng.evaluate(request);
+    compare(record, fresh, record_no);
+    report_issues(audit::check_record(fresh.provenance), record_no,
+                  "replayed");
+  }
+
+  // Stream records: the mutations matter, not just the final queries, so
+  // they replay by re-running the updates file in order, mirroring
+  // `graphio stream` (fresh artifact store, same warm-basis default).
+  std::map<std::string, std::size_t> cursor;
+  if (!stream_records.empty() && a.graphs.size() < 2) {
+    std::int64_t pending = 0;
+    for (const auto& [name, queue] : stream_records)
+      pending += static_cast<std::int64_t>(queue.size());
+    std::cerr << "audit: " << pending << " stream record(s) need the "
+              << "updates file to replay: graphio audit DIR updates.jsonl\n";
+    mismatches += pending;
+  } else if (!stream_records.empty()) {
+    std::ifstream updates(a.graphs[1]);
+    if (!updates.good())
+      usage("cannot open updates file '" + a.graphs[1] + "'");
+    auto artifacts = std::make_shared<store::ArtifactStore>();
+    const std::int64_t warm_mb =
+        a.warm_basis_mb >= 0 ? a.warm_basis_mb : 64;
+    artifacts->set_eigenbasis_budget(warm_mb << 20);
+    std::map<std::string, std::unique_ptr<stream::StreamSession>> sessions;
+    std::string line;
+    std::int64_t line_no = 0;
+    while (std::getline(updates, line)) {
+      ++line_no;
+      const auto start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos) continue;
+      if (line[start] == '#') continue;
+      const serve::Job job = serve::job_from_json_line(line);
+      if (!job.is_stream()) continue;  // bound jobs replayed via records
+      auto it = sessions.find(job.graph);
+      if (job.kind == serve::JobKind::kLoad) {
+        if (it == sessions.end())
+          it = sessions
+                   .emplace(job.graph, std::make_unique<stream::StreamSession>(
+                                           job.graph, artifacts))
+                   .first;
+        it->second->load(job.load_spec);
+        continue;
+      }
+      if (it == sessions.end())
+        usage("updates file line " + std::to_string(line_no) +
+              " addresses unloaded graph '" + job.graph + "'");
+      if (job.kind == serve::JobKind::kPatch) {
+        it->second->apply(job.patch);
+        continue;
+      }
+      const engine::BoundReport fresh = it->second->evaluate(job.request);
+      auto& queue = stream_records[job.graph];
+      std::size_t& next = cursor[job.graph];
+      if (next >= queue.size()) {
+        std::cerr << "audit: updates file line " << line_no << " queries '"
+                  << job.graph << "' beyond the recorded trail\n";
+        ++mismatches;
+        continue;
+      }
+      const auto [record_no, record] = queue[next++];
+      compare(*record, fresh, record_no);
+      report_issues(audit::check_record(fresh.provenance), record_no,
+                    "replayed");
+    }
+    for (const auto& [name, queue] : stream_records) {
+      const std::size_t done = cursor[name];
+      if (done < queue.size()) {
+        std::cerr << "audit: " << queue.size() - done
+                  << " recorded quer(ies) for '" << name
+                  << "' never replayed by the updates file\n";
+        mismatches += static_cast<std::int64_t>(queue.size() - done);
+      }
+    }
+  }
+
+  const bool ok = issues == 0 && mismatches == 0;
+  if (a.json) {
+    io::JsonWriter w;
+    w.begin_object();
+    w.key("records").value(static_cast<std::int64_t>(records.size()));
+    w.key("replayed").value(replayed);
+    w.key("issues").value(issues);
+    w.key("mismatches").value(mismatches);
+    w.key("ok").value(ok);
+    w.end_object();
+    std::cout << w.str() << "\n";
+  } else {
+    std::cout << "audit: " << records.size() << " record(s), " << replayed
+              << " replayed, " << issues << " consistency issue(s), "
+              << mismatches << " replay mismatch(es)"
+              << (ok ? " — trail verified" : "") << "\n";
+  }
+  return ok ? 0 : 1;
 }
 
 int cmd_hierarchy(const Args& a) {
@@ -716,6 +1004,7 @@ int dispatch(const Args& a) {
   if (a.command == "serve") return cmd_serve(a);
   if (a.command == "stream") return cmd_stream(a);
   if (a.command == "trace") return cmd_trace(a);
+  if (a.command == "audit") return cmd_audit(a);
   usage("unknown command '" + a.command + "'");
 }
 
