@@ -1,10 +1,14 @@
 #include "graphio/audit/provenance.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "graphio/engine/fingerprint.hpp"
+#include "graphio/faults/fault_injection.hpp"
 #include "graphio/support/contracts.hpp"
+#include "graphio/support/durability.hpp"
+#include "graphio/telemetry/metrics.hpp"
 
 namespace graphio::audit {
 
@@ -73,6 +77,8 @@ void append_row_json(io::JsonWriter& w, const RowLineage& r) {
     w.key("bound").value(r.bound);
     if (r.best_k != 0) w.key("best_k").value(r.best_k);
     w.key("converged").value(r.converged);
+    // Only-when-true keeps pre-existing trails byte-identical.
+    if (r.degraded) w.key("degraded").value(true);
   }
   w.key("source").value(r.source);
   w.end_object();
@@ -89,6 +95,7 @@ RowLineage parse_row(const io::JsonValue& v) {
     if (const io::JsonValue* k = v.get("best_k"))
       r.best_k = static_cast<int>(k->as_int());
     r.converged = v.at("converged").as_bool();
+    if (const io::JsonValue* d = v.get("degraded")) r.degraded = d->as_bool();
   }
   r.source = v.at("source").as_string();
   return r;
@@ -97,6 +104,7 @@ RowLineage parse_row(const io::JsonValue& v) {
 }  // namespace
 
 std::string_view solve_tier(const ComponentSolve& solve) {
+  if (solve.skipped) return "skipped";
   if (solve.refresh) return "refresh";
   if (solve.warm_started) return "warm";
   if (!solve.solver_ran && !solve.from_cache) return "trivial";
@@ -115,7 +123,8 @@ ComponentProvenance component_provenance(const ComponentSolve& solve) {
   c.vertices = solve.vertices;
   c.edges = solve.edges;
   c.tier = std::string(solve_tier(solve));
-  if (c.tier != "trivial") c.solver = std::string(la::to_string(solve.solver));
+  if (c.tier != "trivial" && c.tier != "skipped")
+    c.solver = std::string(la::to_string(solve.solver));
   c.source = std::string(solve_source(solve));
   c.iterations = solve.iterations;
   c.residual = solve.max_residual;
@@ -243,7 +252,7 @@ std::vector<std::string> check_record(const ProvenanceRecord& record) {
       const std::string where =
           sp.laplacian + " component #" + std::to_string(i);
       if (c.tier != "refresh" && c.tier != "warm" && c.tier != "cold" &&
-          c.tier != "trivial")
+          c.tier != "trivial" && c.tier != "skipped")
         flag(where + " has unknown tier '" + c.tier + "'");
       if (c.source != "computed" && c.source != "memory" &&
           c.source != "disk")
@@ -267,6 +276,12 @@ std::vector<std::string> check_record(const ProvenanceRecord& record) {
       }
       if (c.tier == "cold" && c.warm_predecessor != 0)
         flag(where + " claims cold but carries a warm predecessor");
+      if (c.tier == "skipped") {
+        if (c.iterations != 0 || c.residual != 0.0)
+          flag(where + " claims skipped but reports solver work");
+        if (c.converged)
+          flag(where + " claims skipped but also converged");
+      }
     }
   }
   if (record.registry.exclusive) {
@@ -307,9 +322,38 @@ ProvenanceLog::ProvenanceLog(const std::filesystem::path& dir) {
 void ProvenanceLog::append(const ProvenanceRecord& record) {
   const std::string line = record.to_json();
   const std::scoped_lock lock(mutex_);
-  out_ << line << '\n';
+  if (demoted_) return;
+  try {
+    faults::inject("provenance.append");
+    out_ << line << '\n';
+    out_.flush();
+    if (!out_.good())
+      throw std::runtime_error("write failed on '" + path_.string() + "'");
+    ++appended_;
+  } catch (const std::exception& e) {
+    demote_locked(e.what());
+  }
+}
+
+void ProvenanceLog::demote_locked(const std::string& why) {
+  demoted_ = true;
+  telemetry::MetricsRegistry::global().counter("provenance.demoted")
+      .increment();
+  out_.close();
+  std::fprintf(stderr,
+               "graphio: provenance trail disabled (%s); bounds unaffected\n",
+               why.c_str());
+}
+
+void ProvenanceLog::sync() {
+  const std::scoped_lock lock(mutex_);
+  if (demoted_) return;
   out_.flush();
-  ++appended_;
+  if (!out_.good()) {
+    demote_locked("flush failed on '" + path_.string() + "'");
+    return;
+  }
+  fsync_path(path_.string());
 }
 
 }  // namespace graphio::audit

@@ -95,6 +95,11 @@ struct RowLineage {
   double bound = 0.0;
   int best_k = 0;
   bool converged = true;
+  /// True when the bound was certified-truncated (deadline or injected
+  /// fault): still a sound lower bound, but weaker than a full evaluation
+  /// — `graphio audit` accepts it iff the recorded value does not exceed
+  /// the fresh one.
+  bool degraded = false;
   /// "computed" or "store" (served from the serve ResultStore).
   std::string source = "computed";
 };
@@ -162,7 +167,15 @@ class ProvenanceLog {
  public:
   explicit ProvenanceLog(const std::filesystem::path& dir);
 
+  /// Appends one record. A write failure (or injected `provenance.append`
+  /// fault) disables the log with a warning and the `provenance.demoted`
+  /// counter — losing lineage must never fail the run that produced the
+  /// bound.
   void append(const ProvenanceRecord& record);
+
+  /// Flushes and fsyncs the trail (no-op when demoted). Called at batch
+  /// boundaries under `--durable`.
+  void sync();
 
   [[nodiscard]] const std::filesystem::path& path() const noexcept {
     return path_;
@@ -170,10 +183,13 @@ class ProvenanceLog {
   [[nodiscard]] std::int64_t appended() const noexcept { return appended_; }
 
  private:
+  void demote_locked(const std::string& why);
+
   std::mutex mutex_;
   std::filesystem::path path_;
   std::ofstream out_;
   std::int64_t appended_ = 0;
+  bool demoted_ = false;
 };
 
 }  // namespace graphio::audit

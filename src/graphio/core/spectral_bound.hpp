@@ -87,6 +87,14 @@ struct SpectralOptions {
   /// from them. Excluded from solver_options_equal on purpose: retention
   /// never changes what a solve computes, only what it keeps.
   bool retain_basis = false;
+  /// Soft deadline for one pipeline run in seconds (0 = none), checked at
+  /// component boundaries: once elapsed, remaining component solves are
+  /// skipped and the merge is certified-truncated to what the solved
+  /// components support — a valid (degraded) lower bound instead of an
+  /// unbounded wait. Excluded from solver_options_equal on purpose, like
+  /// retain_basis: a deadline changes how much gets computed this run,
+  /// never the value of any individual cached solve.
+  double deadline_seconds = 0.0;
 };
 
 struct SpectralBound {

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "graphio/faults/fault_injection.hpp"
 #include "graphio/graph/components.hpp"
 #include "graphio/la/lobpcg.hpp"
 #include "graphio/la/symmetric_eigen.hpp"
@@ -452,6 +453,17 @@ ComponentSolve SpectralPipeline::solve_planned(const PlannedComponent& entry,
   solve_span.end();
   result.phases.solve_seconds += solve_span.seconds();
 
+  // Fault seam: force this solve to report non-convergence. The values
+  // are genuine, so the certified-cutoff truncation in run_plan keeps the
+  // merge sound; the site only exercises the degraded path. Tripped
+  // solves are never published — a fault must not pollute shared caches.
+  const bool convergence_fault =
+      solve.solver_ran && faults::trip("solver.converge");
+  if (convergence_fault) {
+    solve.converged = false;
+    solve.solver_reason = "fault(solver.converge)";
+  }
+
   solve.fingerprint = have_fingerprint ? fingerprint : 0;
   solve.fingerprinted = have_fingerprint;
   if (solve.warm_started) {
@@ -492,7 +504,8 @@ ComponentSolve SpectralPipeline::solve_planned(const PlannedComponent& entry,
     fresh.source_iterations = solve.iterations;
     basis_publisher_(fingerprint, kind, std::move(fresh));
   }
-  if (publisher_ != nullptr && have_fingerprint && solve.solver_ran)
+  if (publisher_ != nullptr && have_fingerprint && solve.solver_ran &&
+      !convergence_fault)
     publisher_(fingerprint, kind, h_c, options_, solve);
   return solve;
 }
@@ -520,7 +533,31 @@ PipelineResult SpectralPipeline::run_plan(const ComponentPlan& plan,
   // or below the smallest such cutoff still satisfy merged[i] <= λ_i of
   // the true union — larger merged values might not, and are dropped.
   double certified_cutoff = std::numeric_limits<double>::infinity();
+  const double deadline = options_.deadline_seconds;
   for (const PlannedComponent& entry : plan.components) {
+    if (deadline > 0.0 && timer.seconds() >= deadline) {
+      // Out of budget: claim h_c zeros for this component. Each block of
+      // a Laplacian is PSD, so zeros are a complete pointwise lower bound
+      // on its true spectrum — decreasing pooled elements can only
+      // decrease merged order statistics, so the merge (and every bound
+      // derived from it) stays valid, just weaker. Unlike a truncated
+      // solve, the claim covers all h_c positions, so the cutoff rule
+      // below must NOT engage for skipped components.
+      ComponentSolve solve;
+      solve.vertices = entry.vertices;
+      solve.edges = entry.edges;
+      solve.skipped = true;
+      solve.converged = false;
+      solve.solver_reason = "deadline";
+      solve.values.assign(
+          static_cast<std::size_t>(std::min<std::int64_t>(h, entry.vertices)),
+          0.0);
+      ++result.skipped_components;
+      result.converged = false;
+      pooled.insert(pooled.end(), solve.values.begin(), solve.values.end());
+      result.per_component.push_back(std::move(solve));
+      continue;
+    }
     ComponentSolve solve = solve_planned(entry, kind, h, result);
     result.converged = result.converged && solve.converged;
     if (!solve.converged)
@@ -541,6 +578,10 @@ PipelineResult SpectralPipeline::run_plan(const ComponentPlan& plan,
     result.values.pop_back();
   merge_span.end();
   result.phases.merge_seconds = merge_span.seconds();
+  // Any non-converged contribution means the merge was certified-cut to
+  // what the completed solves support: still a valid lower-bound
+  // spectrum, but weaker than a full run — surface it as degraded.
+  result.degraded = !result.converged;
   result.seconds = timer.seconds();
   return result;
 }

@@ -87,6 +87,11 @@ struct ComponentSolve {
   /// ascending; may be shorter than requested on non-convergence.
   std::vector<double> values;
   bool converged = true;
+  /// True when the run's deadline skipped this solve entirely: `values`
+  /// is then h_c zeros — a complete pointwise lower bound on the true
+  /// spectrum (each Laplacian block is PSD), which keeps the merge sound
+  /// without engaging the truncation cutoff.
+  bool skipped = false;
   double seconds = 0.0;
 };
 
@@ -123,6 +128,13 @@ struct PipelineResult {
   std::vector<double> values;
   /// False when any contributing component solve did not converge.
   bool converged = true;
+  /// True when the run was certified-truncated — a deadline
+  /// (options.deadline_seconds) or injected fault skipped or weakened
+  /// component solves, and the merge was cut to what the completed ones
+  /// certify. The values are still a valid lower-bound spectrum prefix.
+  bool degraded = false;
+  /// Component solves skipped outright by the deadline.
+  std::int64_t skipped_components = 0;
   /// Weak components the graph decomposed into (1 when decomposition is
   /// disabled).
   int components = 1;

@@ -440,6 +440,7 @@ const ArtifactCache::SpectrumArtifact& ArtifactCache::spectrum(
   artifact.requested = count;
   artifact.values = result.values;
   artifact.converged = result.converged;
+  artifact.degraded = result.degraded;
   artifact.components = result.components;
   artifact.eigensolves = result.eigensolves;
   artifact.component_hits = result.component_cache_hits;

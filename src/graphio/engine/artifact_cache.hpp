@@ -135,6 +135,10 @@ class ArtifactCache {
     /// May be shorter than `requested` when the solver did not converge.
     std::vector<double> values;
     bool converged = true;
+    /// True when the producing pipeline run was certified-truncated (a
+    /// deadline or injected fault) — the values are a valid but weaker
+    /// lower-bound spectrum; rows derived from them carry degraded:true.
+    bool degraded = false;
     /// The count the artifact was computed for (values.size() can be
     /// smaller on non-convergence; re-requesting the same count is still
     /// a hit — re-running an identical failing solve helps nobody).

@@ -66,6 +66,7 @@ void assemble_provenance(BoundReport& report, ArtifactCache& cache,
     lineage.bound = row.value;
     lineage.best_k = row.best_k;
     lineage.converged = row.converged;
+    lineage.degraded = row.degraded;
     prov.rows.push_back(std::move(lineage));
   }
 }

@@ -54,6 +54,10 @@ struct MethodRow {
   /// False when an iterative solver stopped early or a sweep was cut off;
   /// the value is still a valid (weaker) bound.
   bool converged = true;
+  /// True when the value came from a certified-truncated evaluation (job
+  /// deadline or injected fault): sound, but weaker than a full run.
+  /// Serialized only when true, so fault-free outputs are byte-identical.
+  bool degraded = false;
   double seconds = 0.0;
   /// Free-form detail ("k=12", "C(v)=33", "not a DAG", ...).
   std::string note;

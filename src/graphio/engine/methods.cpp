@@ -75,6 +75,7 @@ std::vector<MethodRow> spectral_rows(const BoundMethod& method,
     row.value = best.bound;
     row.best_k = best.best_k;
     row.converged = spectrum.converged;
+    row.degraded = spectrum.degraded;
     row.note = "k=" + std::to_string(best.best_k);
     if (spectrum.components > 1)
       row.note += " components=" + std::to_string(spectrum.components);

@@ -18,6 +18,8 @@ void append_row_json(io::JsonWriter& w, const MethodRow& row,
     w.key("bound").value(row.value);
     if (row.best_k != 0) w.key("best_k").value(row.best_k);
     w.key("converged").value(row.converged);
+    // Only-when-true keeps fault-free outputs byte-identical.
+    if (row.degraded) w.key("degraded").value(true);
   }
   if (include_timing) w.key("seconds").value(row.seconds);
   if (!row.note.empty()) w.key("note").value(row.note);

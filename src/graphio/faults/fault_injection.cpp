@@ -1,0 +1,236 @@
+#include "graphio/faults/fault_injection.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "graphio/support/contracts.hpp"
+#include "graphio/telemetry/metrics.hpp"
+
+namespace graphio::faults {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+std::int64_t parse_int(std::string_view text, std::string_view what) {
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.begin(), text.end(), value);
+  GIO_EXPECTS_MSG(ec == std::errc{} && ptr == text.end(),
+                  "fault plan: bad " + std::string(what) + " '" +
+                      std::string(text) + "'");
+  return value;
+}
+
+double parse_double(std::string_view text, std::string_view what) {
+  std::string owned(text);
+  char* end = nullptr;
+  double value = std::strtod(owned.c_str(), &end);
+  GIO_EXPECTS_MSG(end == owned.c_str() + owned.size() && !owned.empty(),
+                  "fault plan: bad " + std::string(what) + " '" + owned + "'");
+  return value;
+}
+
+std::uint64_t site_hash(std::string_view site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+telemetry::Counter& injected_counter() {
+  static telemetry::Counter& counter =
+      telemetry::MetricsRegistry::global().counter("faults.injected");
+  return counter;
+}
+
+}  // namespace
+
+FaultInjected::FaultInjected(std::string site, std::string kind,
+                             bool transient)
+    : std::runtime_error("injected fault at " + site + " (kind=" + kind + ")"),
+      site_(std::move(site)),
+      kind_(std::move(kind)),
+      transient_(transient) {}
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    std::string_view entry = trim(rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (entry.empty()) continue;
+
+    const std::size_t colon = entry.find(':');
+    GIO_EXPECTS_MSG(colon != std::string_view::npos && colon > 0,
+                    "fault plan: entry '" + std::string(entry) +
+                        "' is not site:key=value[,key=value...]");
+    FaultSpec spec;
+    spec.site = std::string(trim(entry.substr(0, colon)));
+    bool have_nth = false;
+    bool have_prob = false;
+    bool have_seed = false;
+
+    std::string_view params = entry.substr(colon + 1);
+    while (!params.empty()) {
+      const std::size_t comma = params.find(',');
+      std::string_view kv = trim(params.substr(0, comma));
+      params = comma == std::string_view::npos ? std::string_view{}
+                                               : params.substr(comma + 1);
+      if (kv.empty()) continue;
+      const std::size_t eq = kv.find('=');
+      GIO_EXPECTS_MSG(eq != std::string_view::npos,
+                      "fault plan: parameter '" + std::string(kv) +
+                          "' is not key=value");
+      const std::string_view key = trim(kv.substr(0, eq));
+      const std::string_view value = trim(kv.substr(eq + 1));
+      if (key == "nth") {
+        spec.nth = parse_int(value, "nth");
+        GIO_EXPECTS_MSG(spec.nth >= 1, "fault plan: nth must be >= 1");
+        have_nth = true;
+      } else if (key == "prob") {
+        spec.probability = parse_double(value, "prob");
+        GIO_EXPECTS_MSG(spec.probability >= 0.0 && spec.probability <= 1.0,
+                        "fault plan: prob must be in [0, 1]");
+        have_prob = true;
+      } else if (key == "seed") {
+        spec.seed = static_cast<std::uint64_t>(parse_int(value, "seed"));
+        have_seed = true;
+      } else if (key == "kind") {
+        GIO_EXPECTS_MSG(!value.empty(), "fault plan: empty kind");
+        spec.kind = std::string(value);
+      } else {
+        GIO_EXPECTS_MSG(false, "fault plan: unknown parameter '" +
+                                   std::string(key) + "'");
+      }
+    }
+    GIO_EXPECTS_MSG(have_nth != have_prob,
+                    "fault plan: entry for '" + spec.site +
+                        "' needs exactly one of nth= or prob=");
+    GIO_EXPECTS_MSG(!have_seed || have_prob,
+                    "fault plan: seed= only applies to prob= triggers");
+    plan.specs.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+FaultRegistry& FaultRegistry::global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+FaultRegistry::FaultRegistry() {
+  register_site("store.disk.append",
+                "artifact store disk-tier log append");
+  register_site("store.disk.compact",
+                "artifact store compaction tmp->rename");
+  register_site("result_store.append",
+                "serve result store log append");
+  register_site("provenance.append",
+                "provenance trail append");
+  register_site("solver.converge",
+                "force an eigensolve to report non-convergence");
+  register_site("serve.worker",
+                "scheduler worker job body");
+  register_site("stream.apply",
+                "mid-patch mutation apply");
+}
+
+void FaultRegistry::register_site(std::string_view name,
+                                  std::string_view description) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState& state = sites_[std::string(name)];
+  if (state.description.empty()) state.description = std::string(description);
+}
+
+void FaultRegistry::install(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, state] : sites_) {
+    state.hits = 0;
+    state.fired = 0;
+    state.spec_index = -1;
+  }
+  plan_ = std::move(plan);
+  for (int i = 0; i < static_cast<int>(plan_.specs.size()); ++i) {
+    const FaultSpec& spec = plan_.specs[static_cast<std::size_t>(i)];
+    auto it = sites_.find(spec.site);
+    GIO_EXPECTS_MSG(it != sites_.end(),
+                    "fault plan: unknown site '" + spec.site +
+                        "' (see `graphio faults list`)");
+    GIO_EXPECTS_MSG(it->second.spec_index < 0,
+                    "fault plan: duplicate entry for site '" + spec.site +
+                        "'");
+    it->second.spec_index = i;
+    it->second.prng = Prng(spec.seed ^ site_hash(spec.site));
+  }
+  armed_.store(!plan_.specs.empty(), std::memory_order_relaxed);
+}
+
+void FaultRegistry::clear() { install(FaultPlan{}); }
+
+std::optional<FaultSpec> FaultRegistry::check(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    // Unregistered sites are tolerated (counted from first sight) so a seam
+    // added without updating the canonical list still injects.
+    it = sites_.emplace(std::string(site), SiteState{}).first;
+  }
+  SiteState& state = it->second;
+  ++state.hits;
+  if (state.spec_index < 0) return std::nullopt;
+  const FaultSpec& spec = plan_.specs[static_cast<std::size_t>(state.spec_index)];
+  const bool fire = spec.nth > 0 ? state.hits == spec.nth
+                                 : state.prng.bernoulli(spec.probability);
+  if (!fire) return std::nullopt;
+  ++state.fired;
+  injected_counter().increment();
+  return spec;
+}
+
+void FaultRegistry::inject(std::string_view site) {
+  std::optional<FaultSpec> spec = check(site);
+  if (spec)
+    throw FaultInjected(spec->site, spec->kind, spec->transient());
+}
+
+bool FaultRegistry::trip(std::string_view site) {
+  return check(site).has_value();
+}
+
+std::vector<SiteInfo> FaultRegistry::sites() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SiteInfo> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, state] : sites_) {
+    SiteInfo info;
+    info.name = name;
+    info.description = state.description;
+    info.armed = state.spec_index >= 0;
+    info.hits = state.hits;
+    info.fired = state.fired;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+ScopedFaultPlan::ScopedFaultPlan(std::string_view spec) {
+  FaultRegistry::global().install(FaultPlan::parse(spec));
+}
+
+ScopedFaultPlan::ScopedFaultPlan(FaultPlan plan) {
+  FaultRegistry::global().install(std::move(plan));
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() { FaultRegistry::global().clear(); }
+
+}  // namespace graphio::faults

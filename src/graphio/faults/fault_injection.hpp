@@ -1,0 +1,161 @@
+#pragma once
+
+// Deterministic fault injection.
+//
+// Failure-prone seams (disk appends, compaction renames, worker bodies,
+// eigensolve convergence, mid-patch mutation apply) declare a *named site*
+// and consult the process-wide FaultRegistry before doing the risky thing.
+// A FaultPlan arms sites with deterministic triggers: fire on the Nth hit
+// of a site, or per-hit with a seeded-PRNG probability. With no plan
+// installed the check is a single relaxed atomic load, so production runs
+// pay nothing.
+//
+// Two consumption styles:
+//   faults::inject("store.disk.append")  — throws FaultInjected when armed,
+//     modelling an I/O error escaping the call.
+//   faults::trip("solver.converge")      — returns true when armed, for
+//     seams where the failure mode is a *state* (a solve that reports
+//     non-convergence) rather than an exception.
+//
+// Plans are installed from a textual spec (see FaultPlan::parse):
+//   site:nth=N[,kind=K]            fire on exactly the Nth hit (1-based)
+//   site:prob=P,seed=S[,kind=K]    fire each hit with probability P
+// entries separated by ';'. `kind` defaults to "transient"; the scheduler
+// retries transient job faults and quarantines everything else.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graphio/support/prng.hpp"
+
+namespace graphio::faults {
+
+/// Thrown by an armed injection site (the throwing consumption style).
+class FaultInjected : public std::runtime_error {
+ public:
+  FaultInjected(std::string site, std::string kind, bool transient);
+
+  const std::string& site() const noexcept { return site_; }
+  const std::string& kind() const noexcept { return kind_; }
+  bool transient() const noexcept { return transient_; }
+
+ private:
+  std::string site_;
+  std::string kind_;
+  bool transient_ = false;
+};
+
+/// One armed trigger. Exactly one of nth / probability is active.
+struct FaultSpec {
+  std::string site;
+  std::string kind = "transient";
+  std::int64_t nth = 0;      // fire on exactly this hit (1-based); 0 = off
+  double probability = 0.0;  // per-hit Bernoulli when nth == 0
+  std::uint64_t seed = 0;    // PRNG seed for probability mode
+
+  bool transient() const noexcept { return kind == "transient"; }
+};
+
+/// An ordered set of FaultSpecs, parsed from the --fault-plan grammar.
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+
+  bool empty() const noexcept { return specs.empty(); }
+
+  /// Parses `site:nth=N[,kind=K]` / `site:prob=P[,seed=S][,kind=K]`
+  /// entries separated by ';'. Throws contract_error on malformed specs
+  /// or unknown sites.
+  static FaultPlan parse(std::string_view text);
+};
+
+/// Listing entry for `graphio faults list`.
+struct SiteInfo {
+  std::string name;
+  std::string description;
+  bool armed = false;       // a spec in the installed plan targets this site
+  std::int64_t hits = 0;    // evaluations while any plan was installed
+  std::int64_t fired = 0;   // faults actually injected
+};
+
+/// Process-wide registry of injection sites. Sites are registered eagerly
+/// at construction so `graphio faults list` enumerates every seam without
+/// executing a workload.
+class FaultRegistry {
+ public:
+  static FaultRegistry& global();
+
+  /// Adds a site (idempotent). Canonical sites self-register.
+  void register_site(std::string_view name, std::string_view description);
+
+  /// Replaces the current plan and resets per-site hit counts, so Nth-hit
+  /// triggers are deterministic from the moment of installation.
+  void install(FaultPlan plan);
+  void clear();
+
+  /// Disarmed fast path: one relaxed load, no lock.
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Counts a hit and returns the triggering spec if the plan fires.
+  std::optional<FaultSpec> check(std::string_view site);
+
+  /// Throwing style: throws FaultInjected when the plan fires.
+  void inject(std::string_view site);
+  /// State style: returns true when the plan fires.
+  bool trip(std::string_view site);
+
+  std::vector<SiteInfo> sites() const;
+
+ private:
+  FaultRegistry();
+
+  struct SiteState {
+    std::string description;
+    std::int64_t hits = 0;
+    std::int64_t fired = 0;
+    int spec_index = -1;  // into plan_.specs, -1 when unarmed
+    Prng prng{0};
+  };
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> armed_{false};
+  std::map<std::string, SiteState, std::less<>> sites_;
+  FaultPlan plan_;
+};
+
+/// Site check with the zero-overhead disarmed fast path. Throws
+/// FaultInjected when an installed plan fires at `site`.
+inline void inject(std::string_view site) {
+  FaultRegistry& registry = FaultRegistry::global();
+  if (!registry.armed()) return;
+  registry.inject(site);
+}
+
+/// Non-throwing variant for state-style failure seams.
+inline bool trip(std::string_view site) {
+  FaultRegistry& registry = FaultRegistry::global();
+  if (!registry.armed()) return false;
+  return registry.trip(site);
+}
+
+/// RAII plan installation for tests: installs on construction, clears on
+/// destruction so no plan leaks across test cases.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(std::string_view spec);
+  explicit ScopedFaultPlan(FaultPlan plan);
+  ~ScopedFaultPlan();
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace graphio::faults

@@ -8,12 +8,23 @@
 #include <utility>
 #include <vector>
 
+#include "graphio/faults/fault_injection.hpp"
 #include "graphio/io/json.hpp"
 #include "graphio/support/timer.hpp"
 
 namespace graphio::serve {
 
 namespace {
+
+/// Any row served from a deadline- or fault-degraded evaluation. The
+/// result line surfaces this at the top level so a consumer can tell
+/// "sound but weaker" apart from full-strength bounds without walking
+/// the rows.
+bool report_degraded(const engine::BoundReport& report) {
+  for (const engine::MethodRow& row : report.rows)
+    if (row.degraded) return true;
+  return false;
+}
 
 void write_result_line(std::ostream& out, const JobResult& result,
                        bool explain) {
@@ -24,19 +35,36 @@ void write_result_line(std::ostream& out, const JobResult& result,
     w.key("report");
     result.report.append_json(w, /*include_timing=*/false,
                               /*include_provenance=*/explain);
+    if (report_degraded(result.report)) w.key("degraded").value(true);
   } else {
-    w.key("error").value(result.error);
+    w.key("error").begin_object();
+    w.key("kind").value(result.error_kind.empty() ? std::string("error")
+                                                  : result.error_kind);
+    if (!result.error_site.empty()) w.key("site").value(result.error_site);
+    w.key("attempts").value(static_cast<std::int64_t>(result.attempts));
+    if (result.quarantined) w.key("quarantined").value(true);
+    w.key("message").value(result.error);
+    w.end_object();
   }
   w.end_object();
   out << w.str() << '\n';
 }
 
+/// Structured error line for jobs that never reached the scheduler:
+/// unparseable input lines (kind "reject") and stream-lane failures
+/// (the injected fault's kind/site when one fired, "error" otherwise).
 void write_reject_line(std::ostream& out, std::int64_t line_no,
-                       const std::string& what) {
+                       const std::string& what,
+                       const std::string& kind = "reject",
+                       const std::string& site = "") {
   io::JsonWriter w;
   w.begin_object();
   w.key("job").value(line_no);
-  w.key("error").value(what);
+  w.key("error").begin_object();
+  w.key("kind").value(kind);
+  if (!site.empty()) w.key("site").value(site);
+  w.key("message").value(what);
+  w.end_object();
   w.end_object();
   out << w.str() << '\n';
 }
@@ -98,6 +126,9 @@ std::string BatchSummary::to_json() const {
   w.key("ok").value(ok);
   w.key("failed").value(failed);
   w.key("rejected_lines").value(rejected_lines);
+  w.key("retried").value(retried);
+  w.key("quarantined").value(quarantined);
+  w.key("degraded").value(degraded);
   w.key("threads").value(threads);
   w.key("steals").value(steals);
   w.key("seconds").value(seconds);
@@ -171,11 +202,22 @@ BatchSession::BatchSession(const BatchOptions& options) {
   scheduler_options.threads = options.threads;
   scheduler_options.store = store_.get();
   scheduler_options.artifacts = artifacts_;
+  scheduler_options.max_attempts = options.max_attempts;
+  scheduler_options.backoff_ms = options.backoff_ms;
+  scheduler_options.job_timeout_ms = options.job_timeout_ms;
   scheduler_ = std::make_unique<Scheduler>(scheduler_options);
   if (!options.provenance_dir.empty())
     provenance_ = std::make_unique<audit::ProvenanceLog>(
         std::filesystem::path(options.provenance_dir));
   explain_ = options.explain;
+  durable_ = options.durable;
+}
+
+void BatchSession::sync_durable() {
+  if (!durable_) return;
+  if (store_ != nullptr) store_->sync();
+  if (artifacts_ != nullptr) artifacts_->sync();
+  if (provenance_ != nullptr) provenance_->sync();
 }
 
 BatchSession::~BatchSession() = default;
@@ -258,9 +300,15 @@ double BatchSession::handle_stream_job(const Job& job, std::ostream& out,
     result.report.provenance.request = request_to_json_line(job.request);
     if (provenance_ != nullptr) provenance_->append(result.report.provenance);
     write_result_line(out, result, explain_);
+    if (report_degraded(result.report)) ++summary.degraded;
     ++summary.ok;
+  } catch (const faults::FaultInjected& e) {
+    // Injected mid-patch fault: the session already rolled the journal
+    // back, so the graph is exactly its pre-patch state.
+    write_reject_line(out, job.id, e.what(), e.kind(), e.site());
+    ++summary.failed;
   } catch (const std::exception& e) {
-    write_reject_line(out, job.id, e.what());
+    write_reject_line(out, job.id, e.what(), "error");
     ++summary.failed;
   }
   return timer.seconds();
@@ -316,8 +364,14 @@ BatchSummary BatchSession::run(std::istream& in, std::ostream& out) {
         write_result_line(out, result, explain_);
         job_latency_histogram().observe(result.seconds);
         latencies.push_back(result.seconds);
-        if (result.ok) ++summary.ok;
-        else ++summary.failed;
+        summary.retried += result.attempts - 1;
+        if (result.quarantined) ++summary.quarantined;
+        if (result.ok) {
+          ++summary.ok;
+          if (report_degraded(result.report)) ++summary.degraded;
+        } else {
+          ++summary.failed;
+        }
         summary.store_hits += result.store_hits;
         summary.store_misses += result.store_misses;
       });
@@ -336,6 +390,7 @@ BatchSummary BatchSession::run(std::istream& in, std::ostream& out) {
   summary.p95_seconds = percentile(latencies, 0.95);
   summary.latency = job_latency_histogram().snapshot() - latency_before;
   summary.p99_seconds = summary.latency.percentile(0.99);
+  sync_durable();
   return summary;
 }
 
@@ -380,8 +435,14 @@ BatchSummary BatchSession::serve(std::istream& in, std::ostream& out) {
     out.flush();
     job_latency_histogram().observe(result.seconds);
     latencies.push_back(result.seconds);
-    if (result.ok) ++summary.ok;
-    else ++summary.failed;
+    summary.retried += result.attempts - 1;
+    if (result.quarantined) ++summary.quarantined;
+    if (result.ok) {
+      ++summary.ok;
+      if (report_degraded(result.report)) ++summary.degraded;
+    } else {
+      ++summary.failed;
+    }
     summary.store_hits += result.store_hits;
     summary.store_misses += result.store_misses;
   }
@@ -398,6 +459,7 @@ BatchSummary BatchSession::serve(std::istream& in, std::ostream& out) {
   summary.p95_seconds = percentile(latencies, 0.95);
   summary.latency = job_latency_histogram().snapshot() - latency_before;
   summary.p99_seconds = summary.latency.percentile(0.99);
+  sync_durable();
   return summary;
 }
 

@@ -7,7 +7,16 @@
 //   {"job": 3, "report": {...}}          evaluated request (job = line no)
 //   {"job": 5, "load": {...}}            stream graph created/replaced
 //   {"job": 6, "patch": {...}}           stream mutations applied
-//   {"job": 7, "error": "unknown …"}     failed request
+//   {"job": 7, "error": {"kind": "reject", "message": "unknown …"}}
+//
+// Failed jobs carry a structured error object — kind ("reject" for
+// unparseable lines, "error" for evaluation failures, an injected
+// fault's kind otherwise), the fault site when one fired, the attempts
+// consumed by the scheduler's transient-retry loop, and quarantined:true
+// when a job exhausted its retry budget. Reports whose bound came from a
+// deadline- or fault-degraded evaluation carry a top-level
+// "degraded": true next to "report" (the bound is still a sound lower
+// bound, just weaker than a full run).
 //
 // Stream jobs (any line with a "graph" key) address named evolving
 // graphs (graphio/stream) owned by the session. Mutations are stateful,
@@ -68,6 +77,17 @@ struct BatchOptions {
   /// empty disables the trail. Independent of `explain` — the trail can
   /// be recorded while result lines stay deterministic.
   std::string provenance_dir;
+  /// fsync the ResultStore, artifact-store and provenance logs at batch
+  /// boundaries (--durable): appended rows survive power loss, not just
+  /// process death. Off by default — flush-only keeps serve latency flat.
+  bool durable = false;
+  /// Soft per-job deadline in milliseconds (--job-timeout-ms, 0 = none);
+  /// see SchedulerOptions::job_timeout_ms.
+  std::int64_t job_timeout_ms = 0;
+  /// Transient-failure attempts per job; see SchedulerOptions.
+  int max_attempts = 3;
+  /// Backoff before the first retry in milliseconds, doubled per retry.
+  double backoff_ms = 1.0;
 };
 
 struct BatchSummary {
@@ -75,6 +95,9 @@ struct BatchSummary {
   std::int64_t ok = 0;             ///< jobs that produced a result
   std::int64_t failed = 0;         ///< jobs that errored during evaluation
   std::int64_t rejected_lines = 0; ///< unparseable job lines
+  std::int64_t retried = 0;        ///< extra attempts spent on transients
+  std::int64_t quarantined = 0;    ///< jobs that exhausted their retries
+  std::int64_t degraded = 0;       ///< ok jobs with a degraded bound
   int threads = 0;
   std::int64_t steals = 0;         ///< queue rebalance events
   double seconds = 0.0;            ///< batch wall time
@@ -149,6 +172,10 @@ class BatchSession {
   std::map<std::string, std::unique_ptr<stream::StreamSession>> streams_;
   std::unique_ptr<audit::ProvenanceLog> provenance_;
   bool explain_ = false;
+  bool durable_ = false;
+
+  /// --durable batch-boundary fsync of every configured log.
+  void sync_durable();
 };
 
 }  // namespace graphio::serve

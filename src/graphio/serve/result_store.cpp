@@ -1,11 +1,14 @@
 #include "graphio/serve/result_store.hpp"
 
 #include <charconv>
+#include <cstdio>
 #include <utility>
 
 #include "graphio/engine/fingerprint.hpp"
+#include "graphio/faults/fault_injection.hpp"
 #include "graphio/io/json.hpp"
 #include "graphio/support/contracts.hpp"
+#include "graphio/support/durability.hpp"
 #include "graphio/telemetry/metrics.hpp"
 
 namespace graphio::serve {
@@ -20,6 +23,7 @@ struct ResultStoreMetrics {
   telemetry::Counter& loaded;
   telemetry::Counter& corrupt;
   telemetry::Counter& appended;
+  telemetry::Counter& demoted;
 };
 
 ResultStoreMetrics& result_store_metrics() {
@@ -28,7 +32,8 @@ ResultStoreMetrics& result_store_metrics() {
                                     reg.counter("result_store.misses"),
                                     reg.counter("result_store.loaded"),
                                     reg.counter("result_store.corrupt"),
-                                    reg.counter("result_store.appended")};
+                                    reg.counter("result_store.appended"),
+                                    reg.counter("result_store.demoted")};
   return metrics;
 }
 
@@ -195,10 +200,41 @@ std::optional<engine::MethodRow> ResultStore::lookup(const Key& key) {
 void ResultStore::insert(const Key& key, const engine::MethodRow& row) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!rows_.emplace(encode_key(key), row).second) return;
-  log_ << record_line(key, row) << '\n';
+  if (demoted_) return;
+  try {
+    faults::inject("result_store.append");
+    log_ << record_line(key, row) << '\n';
+    log_.flush();
+    if (!log_.good())
+      throw std::runtime_error("write failed on '" + log_path_.string() +
+                               "'");
+    ++stats_.appended;
+    result_store_metrics().appended.increment();
+  } catch (const std::exception& e) {
+    demote_locked(e.what());
+  }
+}
+
+void ResultStore::demote_locked(const std::string& why) {
+  demoted_ = true;
+  stats_.demoted = true;
+  result_store_metrics().demoted.increment();
+  log_.close();
+  std::fprintf(stderr,
+               "graphio: result store disk tier disabled (%s); "
+               "continuing memory-only\n",
+               why.c_str());
+}
+
+void ResultStore::sync() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (demoted_) return;
   log_.flush();
-  ++stats_.appended;
-  result_store_metrics().appended.increment();
+  if (!log_.good()) {
+    demote_locked("flush failed on '" + log_path_.string() + "'");
+    return;
+  }
+  fsync_path(log_path_.string());
 }
 
 ResultStore::Stats ResultStore::stats() const {

@@ -56,8 +56,13 @@ class ResultStore {
 
   /// Records a computed row: appends one JSONL line and indexes it. A key
   /// already present is ignored (first write wins, matching lookup).
-  /// Thread-safe.
+  /// Thread-safe. A disk write failure demotes the store to memory-only
+  /// (the in-process index keeps serving; the log is never corrupted).
   void insert(const Key& key, const engine::MethodRow& row);
+
+  /// Flushes and fsyncs the log (no-op when demoted). Called at batch
+  /// boundaries under `--durable`.
+  void sync();
 
   struct Stats {
     std::int64_t loaded = 0;     ///< rows replayed from disk at startup
@@ -65,6 +70,7 @@ class ResultStore {
     std::int64_t hits = 0;       ///< lookups served
     std::int64_t misses = 0;     ///< lookups that found nothing
     std::int64_t appended = 0;   ///< rows written this session
+    bool demoted = false;        ///< disk writes disabled after a failure
   };
   [[nodiscard]] Stats stats() const;
 
@@ -76,12 +82,14 @@ class ResultStore {
 
  private:
   static std::string encode_key(const Key& key);
+  void demote_locked(const std::string& why);
 
   mutable std::mutex mutex_;
   std::filesystem::path log_path_;
   std::ofstream log_;
   std::unordered_map<std::string, engine::MethodRow> rows_;
   Stats stats_;
+  bool demoted_ = false;
 };
 
 }  // namespace graphio::serve

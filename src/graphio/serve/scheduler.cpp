@@ -1,21 +1,38 @@
 #include "graphio/serve/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 
 #include "graphio/engine/fingerprint.hpp"
+#include "graphio/faults/fault_injection.hpp"
 #include "graphio/serve/job_queue.hpp"
 #include "graphio/support/contracts.hpp"
 #include "graphio/support/parallel.hpp"
 #include "graphio/support/timer.hpp"
+#include "graphio/telemetry/metrics.hpp"
 #include "graphio/telemetry/trace.hpp"
 
 namespace graphio::serve {
 
 namespace {
+
+struct JobMetrics {
+  telemetry::Counter& failed;
+  telemetry::Counter& retried;
+  telemetry::Counter& quarantined;
+};
+
+JobMetrics& job_metrics() {
+  static JobMetrics metrics{
+      telemetry::MetricsRegistry::global().counter("serve.job.failed"),
+      telemetry::MetricsRegistry::global().counter("serve.job.retried"),
+      telemetry::MetricsRegistry::global().counter("serve.job.quarantined")};
+  return metrics;
+}
 
 /// The store key for one (request, method, memory) cell. processors,
 /// sim_random_orders, and the spectral solver knobs only key the methods
@@ -136,6 +153,7 @@ engine::BoundReport evaluate_with_store(
       lineage.bound = row->value;
       lineage.best_k = row->best_k;
       lineage.converged = row->converged;
+      lineage.degraded = row->degraded;
       lineage.source = from_store ? "store" : "computed";
       report.provenance.rows.push_back(std::move(lineage));
       report.rows.push_back(*row);
@@ -145,7 +163,10 @@ engine::BoundReport evaluate_with_store(
 }
 
 Scheduler::Scheduler(const SchedulerOptions& options)
-    : store_(options.store) {
+    : store_(options.store),
+      max_attempts_(std::max(1, options.max_attempts)),
+      backoff_ms_(std::max(0.0, options.backoff_ms)),
+      job_timeout_ms_(std::max<std::int64_t>(0, options.job_timeout_ms)) {
   int threads = options.threads > 0 ? options.threads : hardware_threads();
   threads = std::max(threads, 1);
   engines_.reserve(static_cast<std::size_t>(threads));
@@ -171,37 +192,78 @@ JobResult Scheduler::evaluate_job(engine::Engine& engine, const Job& job,
       .attr("shard",
             std::hash<std::string>{}(job.request.spec) % engines_.size());
   WallTimer timer;
-  try {
-    if (store_ == nullptr) {
-      result.report = engine.evaluate(job.request);
-    } else {
-      const engine::BoundRequest& request = job.request;
-      // Content-addressing makes explicit-graph requests first-class store
-      // citizens: they hash the carried graph, spec requests hash (and
-      // cache) through the Engine.
-      const std::uint64_t fingerprint =
-          request.graph.has_value()
-              ? engine::graph_fingerprint(*request.graph)
-              : engine.fingerprint(request.spec);
-      const Digraph& graph = request.graph.has_value()
-                                 ? *request.graph
-                                 : engine.graph(request.spec);
-      result.report = evaluate_with_store(
-          *store_, fingerprint, request, request.display_name(),
-          graph.num_vertices(), graph.num_edges(),
-          [&engine](const engine::BoundRequest& sub) {
-            return engine.evaluate(sub);
-          },
-          &result.store_hits, &result.store_misses);
+  // The per-job soft deadline rides into the pipeline as
+  // SpectralOptions::deadline_seconds (deliberately excluded from solver
+  // identity and store keys, like retain_basis): over-budget component
+  // solves are skipped and the job returns a certified partial bound
+  // flagged degraded instead of hanging the worker.
+  engine::BoundRequest request = job.request;
+  if (job_timeout_ms_ > 0 && request.spectral.deadline_seconds <= 0.0)
+    request.spectral.deadline_seconds =
+        static_cast<double>(job_timeout_ms_) / 1000.0;
+  // Bounded retry: only *transient* failures (an injected fault with
+  // kind=transient — a stand-in for I/O hiccups) re-run, with exponential
+  // backoff; a job still failing on the last attempt is quarantined.
+  // Deterministic failures (bad spec, cyclic graph) fail once, first try.
+  for (int attempt = 1;; ++attempt) {
+    result.attempts = attempt;
+    try {
+      faults::inject("serve.worker");
+      if (store_ == nullptr) {
+        result.report = engine.evaluate(request);
+      } else {
+        // Content-addressing makes explicit-graph requests first-class
+        // store citizens: they hash the carried graph, spec requests hash
+        // (and cache) through the Engine.
+        const std::uint64_t fingerprint =
+            request.graph.has_value()
+                ? engine::graph_fingerprint(*request.graph)
+                : engine.fingerprint(request.spec);
+        const Digraph& graph = request.graph.has_value()
+                                   ? *request.graph
+                                   : engine.graph(request.spec);
+        result.report = evaluate_with_store(
+            *store_, fingerprint, request, request.display_name(),
+            graph.num_vertices(), graph.num_edges(),
+            [&engine](const engine::BoundRequest& sub) {
+              return engine.evaluate(sub);
+            },
+            &result.store_hits, &result.store_misses);
+      }
+      // Record the originating request in job-line form: `graphio audit`
+      // re-evaluates it from scratch when replaying the trail.
+      result.report.provenance.request = request_to_json_line(job.request);
+      result.ok = true;
+      break;
+    } catch (const faults::FaultInjected& e) {
+      result.ok = false;
+      result.error = e.what();
+      result.error_kind = e.kind();
+      result.error_site = e.site();
+      if (e.transient() && attempt < max_attempts_) {
+        job_metrics().retried.increment();
+        if (backoff_ms_ > 0.0) {
+          const double delay =
+              backoff_ms_ * static_cast<double>(std::int64_t{1}
+                                                << (attempt - 1));
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(delay));
+        }
+        continue;
+      }
+      if (e.transient()) {
+        result.quarantined = true;
+        job_metrics().quarantined.increment();
+      }
+      break;
+    } catch (const std::exception& e) {
+      result.ok = false;
+      result.error = e.what();
+      result.error_kind = "error";
+      break;
     }
-    // Record the originating request in job-line form: `graphio audit`
-    // re-evaluates it from scratch when replaying the trail.
-    result.report.provenance.request = request_to_json_line(job.request);
-    result.ok = true;
-  } catch (const std::exception& e) {
-    result.ok = false;
-    result.error = e.what();
   }
+  if (!result.ok) job_metrics().failed.increment();
   result.seconds = timer.seconds();
   result.report.seconds = result.seconds;
   return result;

@@ -37,6 +37,18 @@ struct SchedulerOptions {
   /// (possibly disk-backed, --store-artifacts); the Scheduler creates a
   /// process-private memory-only one when null.
   std::shared_ptr<store::ArtifactStore> artifacts;
+  /// Attempts per job for *transient* failures (bounded retry with
+  /// exponential backoff). A job still failing transiently after the
+  /// last attempt is quarantined (`serve.job.quarantined`); permanent
+  /// failures (bad spec, cyclic graph) never retry.
+  int max_attempts = 3;
+  /// Backoff before the first retry in milliseconds, doubled per retry.
+  double backoff_ms = 1.0;
+  /// Soft per-job deadline in milliseconds (0 = none), threaded into the
+  /// spectral pipeline as SpectralOptions::deadline_seconds: over-budget
+  /// component solves are skipped and the job returns a certified partial
+  /// bound flagged degraded:true instead of hanging.
+  std::int64_t job_timeout_ms = 0;
 };
 
 /// Store-backed evaluation, shared by the worker path and the stream
@@ -69,6 +81,16 @@ struct JobResult {
   bool ok = false;
   /// Failure reason when !ok (bad spec, unknown method, cyclic graph…).
   std::string error;
+  /// Structured failure taxonomy when !ok: "transient", "io", "fatal"…
+  /// from an injected fault's kind, "error" for ordinary exceptions.
+  std::string error_kind;
+  /// Fault site that produced the failure ("" for ordinary exceptions).
+  std::string error_site;
+  /// Evaluation attempts consumed (1 = first try; >1 means retried).
+  int attempts = 1;
+  /// True when the job kept failing transiently through max_attempts and
+  /// was quarantined instead of retried forever.
+  bool quarantined = false;
   engine::BoundReport report;
   /// Worker wall time spent on this job (store lookups included).
   double seconds = 0.0;
@@ -116,6 +138,9 @@ class Scheduler {
 
   std::vector<std::unique_ptr<engine::Engine>> engines_;
   ResultStore* store_ = nullptr;
+  int max_attempts_ = 3;
+  double backoff_ms_ = 1.0;
+  std::int64_t job_timeout_ms_ = 0;
 };
 
 }  // namespace graphio::serve

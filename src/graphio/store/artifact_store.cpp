@@ -3,9 +3,13 @@
 #include <charconv>
 #include <limits>
 
+#include <cstdio>
+
 #include "graphio/engine/fingerprint.hpp"
+#include "graphio/faults/fault_injection.hpp"
 #include "graphio/io/json.hpp"
 #include "graphio/support/contracts.hpp"
+#include "graphio/support/durability.hpp"
 #include "graphio/telemetry/metrics.hpp"
 #include "graphio/telemetry/trace.hpp"
 
@@ -32,6 +36,7 @@ struct StoreMetrics {
   telemetry::Counter& loaded;
   telemetry::Counter& corrupt;
   telemetry::Counter& appended;
+  telemetry::Counter& demoted;
 };
 
 StoreMetrics& store_metrics() {
@@ -50,7 +55,8 @@ StoreMetrics& store_metrics() {
                               kind("eigenbasis"),
                               reg.counter("store.disk.loaded"),
                               reg.counter("store.disk.corrupt"),
-                              reg.counter("store.disk.appended")};
+                              reg.counter("store.disk.appended"),
+                              reg.counter("store.disk.demoted")};
   return metrics;
 }
 
@@ -334,10 +340,33 @@ void ArtifactStore::replay_line_locked(const std::string& line) {
 }
 
 void ArtifactStore::append_locked(const std::string& line) {
-  log_ << line << '\n';
-  log_.flush();
-  ++stats_.appended;
-  store_metrics().appended.increment();
+  if (demoted_) return;
+  try {
+    faults::inject("store.disk.append");
+    log_ << line << '\n';
+    log_.flush();
+    // A failed flush (ENOSPC, short write) sets badbit; the line may be
+    // torn on disk, which replay tolerates. Never keep writing into a
+    // failed stream — that is how logs corrupt.
+    if (!log_.good())
+      throw std::runtime_error("write failed on '" + log_path_.string() +
+                               "'");
+    ++stats_.appended;
+    store_metrics().appended.increment();
+  } catch (const std::exception& e) {
+    demote_locked(e.what());
+  }
+}
+
+void ArtifactStore::demote_locked(const std::string& why) {
+  demoted_ = true;
+  stats_.demoted = true;
+  store_metrics().demoted.increment();
+  log_.close();
+  std::fprintf(stderr,
+               "graphio: artifact store disk tier disabled (%s); "
+               "continuing memory-only\n",
+               why.c_str());
 }
 
 // ------------------------------------------------------------- spectrum
@@ -770,13 +799,38 @@ std::int64_t ArtifactStore::compact() {
   }
   log_.close();
   std::error_code ec;
-  std::filesystem::rename(tmp, log_path_, ec);
-  GIO_EXPECTS_MSG(!ec, "cannot replace artifact log '" + log_path_.string() +
-                           "': " + ec.message());
+  const bool injected = faults::trip("store.disk.compact");
+  if (!injected) std::filesystem::rename(tmp, log_path_, ec);
+  if (injected || ec) {
+    // The original log is untouched by a failed rename: drop the stale
+    // .tmp, resume appending to the original, and surface the failure.
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    log_.open(log_path_, std::ios::app);
+    if (injected)
+      throw faults::FaultInjected("store.disk.compact", "io", false);
+    GIO_EXPECTS_MSG(false, "cannot replace artifact log '" +
+                               log_path_.string() + "': " + ec.message());
+  }
+  // Make the rename itself durable: without a directory fsync a crash can
+  // resurface the old inode — or nothing at all.
+  fsync_path(log_path_.string());
+  fsync_parent_dir(log_path_.string());
   log_.open(log_path_, std::ios::app);
   GIO_EXPECTS_MSG(log_.good(), "cannot reopen artifact store log '" +
                                    log_path_.string() + "'");
   return written;
+}
+
+void ArtifactStore::sync() {
+  const std::scoped_lock lock(mutex_);
+  if (!durable()) return;
+  log_.flush();
+  if (!log_.good()) {
+    demote_locked("flush failed on '" + log_path_.string() + "'");
+    return;
+  }
+  fsync_path(log_path_.string());
 }
 
 ArtifactStore::Stats ArtifactStore::stats() const {

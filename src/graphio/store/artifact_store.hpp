@@ -190,8 +190,15 @@ class ArtifactStore {
 
   /// Rewrites the log to exactly the current memory-tier contents —
   /// deduplicating lines accumulated by erase-then-recompute cycles —
-  /// and returns the number of lines written. Requires a disk tier.
+  /// and returns the number of lines written. Requires a disk tier. On
+  /// rename failure the original log is left intact and appendable (the
+  /// stale `.tmp` is removed) and the error is surfaced; on success the
+  /// rename is made durable with a directory fsync.
   std::int64_t compact();
+
+  /// Flushes and fsyncs the disk tier (no-op without one). BatchSession
+  /// calls this at batch boundaries under `--durable`.
+  void sync();
 
   struct KindStats {
     std::int64_t hits = 0;
@@ -210,6 +217,7 @@ class ArtifactStore {
     std::int64_t loaded = 0;   ///< artifacts replayed from disk at startup
     std::int64_t corrupt = 0;  ///< log lines skipped as unparseable
     std::int64_t appended = 0; ///< artifacts written to disk this session
+    bool demoted = false;      ///< disk tier disabled after a write failure
     [[nodiscard]] std::int64_t entries() const noexcept {
       return spectrum.entries + topo.entries + mincut.entries +
              memsim.entries + partition.entries + eigenbasis.entries;
@@ -229,8 +237,14 @@ class ArtifactStore {
   };
   [[nodiscard]] Stats stats() const;
 
-  /// True when a durable tier is attached.
-  [[nodiscard]] bool durable() const noexcept { return !log_path_.empty(); }
+  /// True when a durable tier is attached and healthy. A disk-tier write
+  /// failure (short write, ENOSPC, injected fault) *demotes* the store to
+  /// memory-only — the log stops growing but is never corrupted, lookups
+  /// and inserts keep working, and the incident is surfaced once on
+  /// stderr plus the `store.disk.demoted` counter.
+  [[nodiscard]] bool durable() const noexcept {
+    return !log_path_.empty() && !demoted_;
+  }
   [[nodiscard]] const std::filesystem::path& path() const noexcept {
     return log_path_;
   }
@@ -265,6 +279,8 @@ class ArtifactStore {
                             const PartitionRowArtifact& row);
   void replay_line_locked(const std::string& line);
   void append_locked(const std::string& line);
+  /// Disables the disk tier after a write failure. Caller holds the mutex.
+  void demote_locked(const std::string& why);
 
   struct BasisEntry {
     Eigenbasis basis;
@@ -292,6 +308,7 @@ class ArtifactStore {
   Stats stats_;
   std::filesystem::path log_path_;
   std::ofstream log_;
+  bool demoted_ = false;
 };
 
 }  // namespace graphio::store

@@ -5,6 +5,7 @@
 
 #include "graphio/engine/fingerprint.hpp"
 #include "graphio/engine/graph_spec.hpp"
+#include "graphio/faults/fault_injection.hpp"
 #include "graphio/support/contracts.hpp"
 #include "graphio/support/timer.hpp"
 #include "graphio/telemetry/metrics.hpp"
@@ -104,6 +105,10 @@ PatchReport StreamSession::apply(const Patch& patch) {
   for (std::size_t i = 0; i < patch.mutations.size(); ++i) {
     const Mutation& m = patch.mutations[i];
     try {
+      // Mid-patch fault seam: fires between mutations, after some have
+      // already applied — exactly the state the rollback journal exists
+      // to unwind.
+      faults::inject("stream.apply");
       switch (m.op) {
         case MutationOp::kAddVertex:
           for (std::int64_t k = 0; k < m.count; ++k)
@@ -123,6 +128,12 @@ PatchReport StreamSession::apply(const Patch& patch) {
           components_.on_remove_edge(m.u, m.v);
           break;
       }
+    } catch (const faults::FaultInjected&) {
+      // Same unwind as a real failure, but rethrown intact so the serve
+      // layer can report the fault's kind/site in its structured error.
+      graph_.rollback_journal();
+      components_.rollback_patch();
+      throw;
     } catch (const std::exception& e) {
       graph_.rollback_journal();
       components_.rollback_patch();

@@ -1,0 +1,48 @@
+#include "graphio/support/durability.hpp"
+
+#include <filesystem>
+
+#if defined(_WIN32)
+// No fsync; treat durable writes as best-effort flushes.
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace graphio {
+
+namespace {
+
+#if !defined(_WIN32)
+bool fsync_at(const char* path, int extra_flags) {
+  const int fd = ::open(path, O_RDONLY | extra_flags);
+  if (fd < 0) return false;
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  return rc == 0;
+}
+#endif
+
+}  // namespace
+
+bool fsync_path(const std::string& path) {
+#if defined(_WIN32)
+  (void)path;
+  return true;
+#else
+  return fsync_at(path.c_str(), 0);
+#endif
+}
+
+bool fsync_parent_dir(const std::string& path) {
+#if defined(_WIN32)
+  (void)path;
+  return true;
+#else
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  return fsync_at(parent.c_str(), O_DIRECTORY);
+#endif
+}
+
+}  // namespace graphio

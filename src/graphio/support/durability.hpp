@@ -1,0 +1,23 @@
+#pragma once
+
+// Durable-write helpers. An ofstream flush() only hands data to the OS;
+// these push it to stable storage with POSIX fsync so a crash after a
+// batch boundary cannot lose acknowledged appends. Both helpers open a
+// fresh descriptor on the path — fsync flushes all dirty pages of the
+// file regardless of which descriptor wrote them — so callers keep their
+// buffered streams and sync at whatever cadence they choose.
+
+#include <string>
+
+namespace graphio {
+
+/// fsyncs the file at `path` (after the caller has flushed its stream).
+/// Returns false if the file cannot be opened or synced. No-op success on
+/// platforms without fsync.
+bool fsync_path(const std::string& path);
+
+/// fsyncs the directory containing `path`, making a rename of `path`
+/// itself durable. Returns false on failure.
+bool fsync_parent_dir(const std::string& path);
+
+}  // namespace graphio

@@ -150,15 +150,18 @@ TEST(StreamServeTest, ServeLoopHandlesStreamJobsAndErrors) {
 
   const auto lines = parse_lines(out.str());
   ASSERT_EQ(lines.size(), 5u);
-  // Patch before load: a per-line error naming the fix.
+  // Patch before load: a structured per-line error naming the fix.
   ASSERT_NE(lines[0].get("error"), nullptr);
-  EXPECT_NE(lines[0].at("error").as_string().find("load it first"),
+  EXPECT_NE(lines[0].at("error").at("message").as_string().find(
+                "load it first"),
             std::string::npos);
+  EXPECT_EQ(lines[0].at("error").at("kind").as_string(), "error");
   EXPECT_NE(lines[1].get("load"), nullptr);
   // Invalid mutation: error carries the mutation index and reason.
   ASSERT_NE(lines[2].get("error"), nullptr);
-  EXPECT_NE(lines[2].at("error").as_string().find("mutation 1/1"),
-            std::string::npos);
+  EXPECT_NE(
+      lines[2].at("error").at("message").as_string().find("mutation 1/1"),
+      std::string::npos);
   // A graph name colliding with a family spec is rejected.
   EXPECT_NE(lines[3].get("error"), nullptr);
   EXPECT_NE(lines[4].get("report"), nullptr);
